@@ -1,0 +1,28 @@
+//! Micro-benchmarks: color-difference formulas (the inner loop of grading).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdl_color::{DeltaE, Lab, Rgb8};
+
+fn bench_deltae(c: &mut Criterion) {
+    let a = Rgb8::new(118, 123, 119);
+    let b = Rgb8::PAPER_TARGET;
+    let mut g = c.benchmark_group("deltae");
+    for metric in [DeltaE::RgbEuclidean, DeltaE::Cie76, DeltaE::Cie94, DeltaE::Ciede2000] {
+        g.bench_function(metric.name(), |bench| {
+            bench.iter(|| black_box(metric.between(black_box(a), black_box(b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let rgb = Rgb8::new(120, 120, 120);
+    c.bench_function("rgb_to_lab", |b| b.iter(|| black_box(Lab::from_rgb8(black_box(rgb)))));
+    let lab = Lab::from_rgb8(rgb);
+    c.bench_function("lab_to_rgb", |b| {
+        b.iter(|| black_box(lab.to_xyz().to_linear().to_srgb()))
+    });
+}
+
+criterion_group!(benches, bench_deltae, bench_conversions);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Simulation-kernel benchmarks: event-queue throughput and the process
+//! executive's context-switch cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdl_desim::{EventQueue, RngHub, SimDuration, SimTime, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_executive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executive");
+    g.sample_size(10);
+    // 8 processes × 50 holds with a shared resource: measures the
+    // coordinator's wake/request round-trip (thread-based coroutines).
+    g.bench_function("8_procs_400_holds", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(RngHub::new(1)).without_trace();
+            let arm = sim.resource("arm", 1);
+            for i in 0..8 {
+                sim.process(format!("p{i}"), move |ctx| {
+                    for _ in 0..50 {
+                        ctx.acquire(arm);
+                        ctx.hold(SimDuration::from_millis(10));
+                        ctx.release(arm);
+                    }
+                });
+            }
+            black_box(sim.run().unwrap().end)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_executive);
+criterion_main!(benches);

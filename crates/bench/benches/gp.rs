@@ -1,0 +1,47 @@
+//! Gaussian-process benchmarks: O(n³) fit scaling and acquisition
+//! evaluation — the cost profile behind the Bayesian solver (ablation item
+//! 4 in DESIGN.md).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdl_solvers::{Gp, RbfKernel};
+
+fn training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..4).map(|_| rng.gen::<f64>()).collect()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            let t = [0.18, 0.16, 0.16, 0.62];
+            x.iter().zip(&t).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_fit");
+    g.sample_size(12);
+    for n in [16usize, 64, 128] {
+        let (xs, ys) = training_data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Gp::fit(&xs, &ys, RbfKernel::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict_and_ei(c: &mut Criterion) {
+    let (xs, ys) = training_data(64);
+    let gp = Gp::fit(&xs, &ys, RbfKernel::default()).unwrap();
+    let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let q = vec![0.2, 0.2, 0.2, 0.6];
+    c.bench_function("gp_predict_n64", |b| b.iter(|| black_box(gp.predict(black_box(&q)))));
+    c.bench_function("gp_ei_n64", |b| {
+        b.iter(|| black_box(gp.expected_improvement(black_box(&q), best)))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict_and_ei);
+criterion_main!(benches);

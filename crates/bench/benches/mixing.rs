@@ -1,0 +1,28 @@
+//! Micro-benchmarks: forward mixing models (the simulated chemistry).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdl_color::{DyeSet, MixKind, Recipe};
+
+fn bench_mixing(c: &mut Criterion) {
+    let set = DyeSet::cmyk();
+    let recipe = Recipe::new(vec![7.4, 6.2, 6.4, 25.0]).unwrap();
+    let mut g = c.benchmark_group("mixing");
+    for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear] {
+        let model = kind.model();
+        g.bench_function(kind.name(), |bench| {
+            bench.iter(|| black_box(model.well_color(black_box(&set), black_box(&recipe))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_recipe_mapping(c: &mut Criterion) {
+    let set = DyeSet::cmyk();
+    let ratios = [0.18, 0.16, 0.16, 0.62];
+    c.bench_function("recipe_from_ratios", |b| {
+        b.iter(|| black_box(Recipe::from_ratios(black_box(&ratios), &set).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_mixing, bench_recipe_mapping);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Solver proposal throughput with a realistic 64-observation history,
+//! including the GA batch-strategy ablation (DESIGN.md item 3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdl_color::Rgb8;
+use sdl_solvers::{Observation, SolverKind};
+
+fn history(n: usize) -> Vec<Observation> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            let ratios: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let t = [0.18, 0.16, 0.16, 0.62];
+            let score =
+                ratios.iter().zip(&t).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+            Observation { ratios, measured: Rgb8::new(100, 100, 100), score }
+        })
+        .collect()
+}
+
+fn bench_proposals(c: &mut Criterion) {
+    let h = history(64);
+    let mut g = c.benchmark_group("propose_b4_h64");
+    g.sample_size(20);
+    for kind in [SolverKind::Genetic, SolverKind::Bayesian, SolverKind::Random, SolverKind::Grid] {
+        g.bench_function(kind.name(), |b| {
+            let mut solver = kind.build(4);
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| black_box(solver.propose(Rgb8::PAPER_TARGET, &h, 4, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ga_batch_sizes(c: &mut Criterion) {
+    // Ablation: the faithful elite+thirds scheme (B >= 4) vs the degenerate
+    // small-batch path (B < 4).
+    let h = history(64);
+    let mut g = c.benchmark_group("ga_batch");
+    for batch in [1usize, 2, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut solver = SolverKind::Genetic.build(4);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(solver.propose(Rgb8::PAPER_TARGET, &h, batch, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_proposals, bench_ga_batch_sizes);
+criterion_main!(benches);

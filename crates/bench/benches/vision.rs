@@ -1,0 +1,50 @@
+//! Benchmarks for the imaging substrate: rendering a frame and each stage
+//! of the §2.4 detection pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdl_color::LinRgb;
+use sdl_vision::{
+    detect_markers, hough_circles, render, ArucoParams, Detector, HoughParams, PlateScene,
+};
+
+fn filled_scene() -> PlateScene {
+    let mut scene = PlateScene::empty_plate();
+    for i in 0..48 {
+        scene.set_well(i / 12, i % 12, LinRgb::new(0.2, 0.15, 0.3));
+    }
+    scene
+}
+
+fn bench_render(c: &mut Criterion) {
+    let scene = filled_scene();
+    let mut g = c.benchmark_group("vision");
+    g.sample_size(20);
+    g.bench_function("render_frame_640x480", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(render(&scene, &mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scene = filled_scene();
+    let img = render(&scene, &mut StdRng::seed_from_u64(2));
+    let mut g = c.benchmark_group("vision");
+    g.sample_size(20);
+    g.bench_function("aruco_detect", |b| {
+        b.iter(|| black_box(detect_markers(black_box(&img), &ArucoParams::default())))
+    });
+    g.bench_function("hough_circles", |b| {
+        b.iter(|| black_box(hough_circles(black_box(&img), &HoughParams::default())))
+    });
+    let detector = Detector::default();
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| black_box(detector.detect(black_box(&img)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_render, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 — mixing-model ablation (§2.5 notes the problem "admits an analytic
+//! solution, given accurate models of how colors combine"): run the GA
+//! against the three forward models and compare convergence. The naive
+//! linear model makes the problem easier than the physical Beer–Lambert
+//! chemistry; Kubelka–Munk sits between.
+//!
+//! Usage: `cargo run --release -p sdl-bench --bin ablation_mixing [--samples 64]`
+
+use sdl_bench::{arg_or, mean, stddev, table};
+use sdl_color::MixKind;
+use sdl_core::{run_sweep, AppConfig, SweepItem};
+
+fn main() {
+    let samples: u32 = arg_or("--samples", 64);
+    let seeds = [1u64, 2, 3];
+    let models = [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Spectral, MixKind::Linear];
+    let mut items = Vec::new();
+    for model in models {
+        for seed in seeds {
+            let config = AppConfig {
+                sample_budget: samples,
+                batch: 4,
+                mix: model,
+                seed,
+                publish_images: false,
+                ..AppConfig::default()
+            };
+            items.push(SweepItem { label: format!("{}/{}", model.name(), seed), config });
+        }
+    }
+    eprintln!("running {} experiments...", items.len());
+    let results = run_sweep(items);
+
+    let mut rows = Vec::new();
+    for model in models {
+        let finals: Vec<f64> = results
+            .iter()
+            .filter(|(l, _)| l.starts_with(model.name()))
+            .map(|(l, r)| r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}")).best_score)
+            .collect();
+        let half: Vec<f64> = results
+            .iter()
+            .filter(|(l, _)| l.starts_with(model.name()))
+            .map(|(l, r)| {
+                let out = r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}"));
+                out.trajectory[out.trajectory.len() / 2].best
+            })
+            .collect();
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{:.2}", mean(&half)),
+            format!("{:.2}", mean(&finals)),
+            format!("{:.2}", stddev(&finals)),
+        ]);
+    }
+    println!("# Mixing-model ablation — GA convergence under each forward model (B=4, N={samples})");
+    println!("{}", table(&["model", "best@N/2", "final best", "sd"], &rows));
+}

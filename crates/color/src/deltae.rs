@@ -1,0 +1,251 @@
+//! Color-difference metrics.
+//!
+//! The paper grades samples by "delta e distance to the target" (§2.5) and
+//! plots "Euclidean distance in three-dimensional color space" for Figure 4.
+//! All common formulas are provided; [`DeltaE`] selects one at run time so
+//! applications can swap the grading metric without touching the solvers.
+
+use crate::lab::Lab;
+use crate::rgb::Rgb8;
+
+/// ΔE\*ab (CIE 1976): plain Euclidean distance in Lab.
+pub fn cie76(a: Lab, b: Lab) -> f64 {
+    let dl = a.l - b.l;
+    let da = a.a - b.a;
+    let db = a.b - b.b;
+    (dl * dl + da * da + db * db).sqrt()
+}
+
+/// ΔE\*94 (graphic-arts weights, kL = kC = kH = 1).
+pub fn cie94(a: Lab, b: Lab) -> f64 {
+    let dl = a.l - b.l;
+    let c1 = a.chroma();
+    let c2 = b.chroma();
+    let dc = c1 - c2;
+    let da = a.a - b.a;
+    let db = a.b - b.b;
+    let dh2 = (da * da + db * db - dc * dc).max(0.0);
+    let sl = 1.0;
+    let sc = 1.0 + 0.045 * c1;
+    let sh = 1.0 + 0.015 * c1;
+    let t = (dl / sl).powi(2) + (dc / sc).powi(2) + dh2 / (sh * sh);
+    t.sqrt()
+}
+
+/// ΔE00 (CIEDE2000), the current CIE recommendation. Implements the full
+/// Sharma–Wu–Dalal formulation; validated against their published test data.
+pub fn ciede2000(lab1: Lab, lab2: Lab) -> f64 {
+    let (l1, a1, b1) = (lab1.l, lab1.a, lab1.b);
+    let (l2, a2, b2) = (lab2.l, lab2.a, lab2.b);
+
+    let c1 = (a1 * a1 + b1 * b1).sqrt();
+    let c2 = (a2 * a2 + b2 * b2).sqrt();
+    let c_bar = (c1 + c2) / 2.0;
+    let c_bar7 = c_bar.powi(7);
+    let g = 0.5 * (1.0 - (c_bar7 / (c_bar7 + 25.0_f64.powi(7))).sqrt());
+
+    let a1p = (1.0 + g) * a1;
+    let a2p = (1.0 + g) * a2;
+    let c1p = (a1p * a1p + b1 * b1).sqrt();
+    let c2p = (a2p * a2p + b2 * b2).sqrt();
+
+    let h1p = if c1p == 0.0 { 0.0 } else { positive_deg(b1.atan2(a1p).to_degrees()) };
+    let h2p = if c2p == 0.0 { 0.0 } else { positive_deg(b2.atan2(a2p).to_degrees()) };
+
+    let dl_p = l2 - l1;
+    let dc_p = c2p - c1p;
+
+    let dh_p = if c1p * c2p == 0.0 {
+        0.0
+    } else {
+        let d = h2p - h1p;
+        if d.abs() <= 180.0 {
+            d
+        } else if d > 180.0 {
+            d - 360.0
+        } else {
+            d + 360.0
+        }
+    };
+    let dh_big = 2.0 * (c1p * c2p).sqrt() * (dh_p.to_radians() / 2.0).sin();
+
+    let l_bar = (l1 + l2) / 2.0;
+    let c_bar_p = (c1p + c2p) / 2.0;
+
+    let h_bar = if c1p * c2p == 0.0 {
+        h1p + h2p
+    } else {
+        let d = (h1p - h2p).abs();
+        let s = h1p + h2p;
+        if d <= 180.0 {
+            s / 2.0
+        } else if s < 360.0 {
+            (s + 360.0) / 2.0
+        } else {
+            (s - 360.0) / 2.0
+        }
+    };
+
+    let t = 1.0 - 0.17 * (h_bar - 30.0).to_radians().cos()
+        + 0.24 * (2.0 * h_bar).to_radians().cos()
+        + 0.32 * (3.0 * h_bar + 6.0).to_radians().cos()
+        - 0.20 * (4.0 * h_bar - 63.0).to_radians().cos();
+
+    let d_theta = 30.0 * (-((h_bar - 275.0) / 25.0).powi(2)).exp();
+    let c_bar_p7 = c_bar_p.powi(7);
+    let r_c = 2.0 * (c_bar_p7 / (c_bar_p7 + 25.0_f64.powi(7))).sqrt();
+    let l50 = (l_bar - 50.0).powi(2);
+    let s_l = 1.0 + 0.015 * l50 / (20.0 + l50).sqrt();
+    let s_c = 1.0 + 0.045 * c_bar_p;
+    let s_h = 1.0 + 0.015 * c_bar_p * t;
+    let r_t = -(2.0 * d_theta).to_radians().sin() * r_c;
+
+    let dl = dl_p / s_l;
+    let dc = dc_p / s_c;
+    let dh = dh_big / s_h;
+    (dl * dl + dc * dc + dh * dh + r_t * dc * dh).sqrt()
+}
+
+fn positive_deg(d: f64) -> f64 {
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Runtime-selectable color-difference metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaE {
+    /// Euclidean distance in 8-bit RGB — the metric of Figure 4.
+    #[default]
+    RgbEuclidean,
+    /// ΔE\*ab 1976 in Lab.
+    Cie76,
+    /// ΔE\*94 in Lab.
+    Cie94,
+    /// CIEDE2000 in Lab.
+    Ciede2000,
+}
+
+impl DeltaE {
+    /// Difference between two 8-bit colors under this metric.
+    pub fn between(self, a: Rgb8, b: Rgb8) -> f64 {
+        match self {
+            DeltaE::RgbEuclidean => a.distance(b),
+            DeltaE::Cie76 => cie76(Lab::from_rgb8(a), Lab::from_rgb8(b)),
+            DeltaE::Cie94 => cie94(Lab::from_rgb8(a), Lab::from_rgb8(b)),
+            DeltaE::Ciede2000 => ciede2000(Lab::from_rgb8(a), Lab::from_rgb8(b)),
+        }
+    }
+
+    /// Short machine-readable name (used in configs and published records).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaE::RgbEuclidean => "rgb",
+            DeltaE::Cie76 => "cie76",
+            DeltaE::Cie94 => "cie94",
+            DeltaE::Ciede2000 => "ciede2000",
+        }
+    }
+
+    /// Parse the name produced by [`DeltaE::name`].
+    pub fn parse(s: &str) -> Option<DeltaE> {
+        match s {
+            "rgb" => Some(DeltaE::RgbEuclidean),
+            "cie76" => Some(DeltaE::Cie76),
+            "cie94" => Some(DeltaE::Cie94),
+            "ciede2000" => Some(DeltaE::Ciede2000),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Selected pairs from the Sharma, Wu & Dalal CIEDE2000 test data set
+    /// (Color Res. Appl. 30(1), 2005). Expected values have 4 decimals.
+    const SHARMA_CASES: &[(Lab, Lab, f64)] = &[
+        (Lab::new(50.0, 2.6772, -79.7751), Lab::new(50.0, 0.0, -82.7485), 2.0425),
+        (Lab::new(50.0, 3.1571, -77.2803), Lab::new(50.0, 0.0, -82.7485), 2.8615),
+        (Lab::new(50.0, 2.8361, -74.0200), Lab::new(50.0, 0.0, -82.7485), 3.4412),
+        (Lab::new(50.0, -1.3802, -84.2814), Lab::new(50.0, 0.0, -82.7485), 1.0000),
+        (Lab::new(50.0, -1.1848, -84.8006), Lab::new(50.0, 0.0, -82.7485), 1.0000),
+        (Lab::new(50.0, -0.9009, -85.5211), Lab::new(50.0, 0.0, -82.7485), 1.0000),
+        (Lab::new(50.0, 0.0, 0.0), Lab::new(50.0, -1.0, 2.0), 2.3669),
+        (Lab::new(50.0, -1.0, 2.0), Lab::new(50.0, 0.0, 0.0), 2.3669),
+        (Lab::new(50.0, 2.4900, -0.0010), Lab::new(50.0, -2.4900, 0.0009), 7.1792),
+        (Lab::new(50.0, 2.4900, -0.0010), Lab::new(50.0, -2.4900, 0.0011), 7.2195),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(50.0, 0.0, -2.5000), 4.3065),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(73.0, 25.0, -18.0), 27.1492),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(61.0, -5.0, 29.0), 22.8977),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(56.0, -27.0, -3.0), 31.9030),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(58.0, 24.0, 15.0), 19.4535),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(50.0, 3.1736, 0.5854), 1.0000),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(50.0, 3.2972, 0.0), 1.0000),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(50.0, 1.8634, 0.5757), 1.0000),
+        (Lab::new(50.0, 2.5000, 0.0), Lab::new(50.0, 3.2592, 0.3350), 1.0000),
+        (Lab::new(60.2574, -34.0099, 36.2677), Lab::new(60.4626, -34.1751, 39.4387), 1.2644),
+        (Lab::new(63.0109, -31.0961, -5.8663), Lab::new(62.8187, -29.7946, -4.0864), 1.2630),
+        (Lab::new(61.2901, 3.7196, -5.3901), Lab::new(61.4292, 2.2480, -4.9620), 1.8731),
+        (Lab::new(35.0831, -44.1164, 3.7933), Lab::new(35.0232, -40.0716, 1.5901), 1.8645),
+        (Lab::new(22.7233, 20.0904, -46.6940), Lab::new(23.0331, 14.9730, -42.5619), 2.0373),
+        (Lab::new(36.4612, 47.8580, 18.3852), Lab::new(36.2715, 50.5065, 21.2231), 1.4146),
+        (Lab::new(90.8027, -2.0831, 1.4410), Lab::new(91.1528, -1.6435, 0.0447), 1.4441),
+        (Lab::new(90.9257, -0.5406, -0.9208), Lab::new(88.6381, -0.8985, -0.7239), 1.5381),
+        (Lab::new(6.7747, -0.2908, -2.4247), Lab::new(5.8714, -0.0985, -2.2286), 0.6377),
+        (Lab::new(2.0776, 0.0795, -1.1350), Lab::new(0.9033, -0.0636, -0.5514), 0.9082),
+    ];
+
+    #[test]
+    fn ciede2000_matches_sharma_dataset() {
+        for (i, &(a, b, expect)) in SHARMA_CASES.iter().enumerate() {
+            let got = ciede2000(a, b);
+            assert!((got - expect).abs() < 1e-4, "case {i}: got {got}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn all_metrics_are_zero_on_identity() {
+        let c = Rgb8::new(120, 120, 120);
+        for m in [DeltaE::RgbEuclidean, DeltaE::Cie76, DeltaE::Cie94, DeltaE::Ciede2000] {
+            assert_eq!(m.between(c, c), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn cie76_is_symmetric_and_positive() {
+        let a = Lab::new(50.0, 10.0, -10.0);
+        let b = Lab::new(60.0, -5.0, 20.0);
+        assert_eq!(cie76(a, b), cie76(b, a));
+        assert!(cie76(a, b) > 0.0);
+    }
+
+    #[test]
+    fn cie94_upper_bounded_by_cie76() {
+        // The S weights are >= 1, so ΔE94 <= ΔE76 for any pair.
+        let pairs = [
+            (Lab::new(50.0, 30.0, 10.0), Lab::new(55.0, 25.0, 12.0)),
+            (Lab::new(20.0, -10.0, -40.0), Lab::new(22.0, -12.0, -35.0)),
+        ];
+        for (a, b) in pairs {
+            assert!(cie94(a, b) <= cie76(a, b) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for m in [DeltaE::RgbEuclidean, DeltaE::Cie76, DeltaE::Cie94, DeltaE::Ciede2000] {
+            assert_eq!(DeltaE::parse(m.name()), Some(m));
+        }
+        assert_eq!(DeltaE::parse("nope"), None);
+    }
+
+    #[test]
+    fn rgb_metric_matches_figure4_units() {
+        // One unit step on one channel = distance 1.
+        assert_eq!(DeltaE::RgbEuclidean.between(Rgb8::new(120, 120, 120), Rgb8::new(121, 120, 120)), 1.0);
+    }
+}

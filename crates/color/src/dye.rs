@@ -1,0 +1,126 @@
+//! Dye stocks: the four component liquids of the color-picker application
+//! (paper §2.1: "cyan, yellow, magenta, and black dyes").
+//!
+//! Each dye is characterized by its decadic absorbance per microliter of
+//! stock dispensed into a well, in the three linear-RGB camera bands. The
+//! default coefficients are calibrated so the paper's target color
+//! RGB (120, 120, 120) lies in the interior of the reachable set (a
+//! black-dominant mixture with small CMY trims — see `mix` tests).
+
+/// One dye stock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dye {
+    /// Human-readable name (also used in OT-2 protocols and portal records).
+    pub name: String,
+    /// Decadic absorbance added per µL of this stock, per linear-RGB band.
+    pub absorbance_per_ul: [f64; 3],
+    /// Kubelka–Munk K/S contribution per µL, per band (for the KM model).
+    pub ks_per_ul: [f64; 3],
+}
+
+impl Dye {
+    /// Construct a dye with the given per-µL absorbance; K/S follows.
+    pub fn new(name: impl Into<String>, absorbance_per_ul: [f64; 3]) -> Self {
+        // By default derive K/S from absorbance: a dye that absorbs strongly
+        // also shifts K/S strongly. The factor keeps the two models in a
+        // comparable lightness range.
+        let ks = [
+            absorbance_per_ul[0] * 2.3,
+            absorbance_per_ul[1] * 2.3,
+            absorbance_per_ul[2] * 2.3,
+        ];
+        Dye { name: name.into(), absorbance_per_ul, ks_per_ul: ks }
+    }
+}
+
+/// The set of dye stocks loaded into the OT-2 reservoirs, plus the per-dye
+/// dispense ceiling that maps solver ratios to volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DyeSet {
+    /// The stocks, in reservoir order.
+    pub dyes: Vec<Dye>,
+    /// Maximum volume of a single dye per well, µL. Solver ratio 1.0 maps to
+    /// this volume.
+    pub max_volume_ul: f64,
+}
+
+impl DyeSet {
+    /// The default CMYK dye set used throughout the benchmark.
+    pub fn cmyk() -> DyeSet {
+        DyeSet {
+            dyes: vec![
+                Dye::new("cyan", [0.024_7, 0.003_6, 0.001_6]),
+                Dye::new("magenta", [0.002_9, 0.022_1, 0.003_4]),
+                Dye::new("yellow", [0.000_65, 0.001_6, 0.019_5]),
+                Dye::new("black", [0.020_8, 0.022_1, 0.022_8]),
+            ],
+            max_volume_ul: 40.0,
+        }
+    }
+
+    /// A three-dye (CMY) set, for experiments on problem dimensionality.
+    pub fn cmy() -> DyeSet {
+        let mut set = DyeSet::cmyk();
+        set.dyes.truncate(3);
+        set
+    }
+
+    /// Number of dyes.
+    pub fn len(&self) -> usize {
+        self.dyes.len()
+    }
+
+    /// True if the set holds no dyes.
+    pub fn is_empty(&self) -> bool {
+        self.dyes.is_empty()
+    }
+
+    /// Index of a dye by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.dyes.iter().position(|d| d.name == name)
+    }
+
+    /// Dye names in reservoir order.
+    pub fn names(&self) -> Vec<&str> {
+        self.dyes.iter().map(|d| d.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmyk_has_four_named_dyes() {
+        let set = DyeSet::cmyk();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.names(), vec!["cyan", "magenta", "yellow", "black"]);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let set = DyeSet::cmyk();
+        assert_eq!(set.index_of("black"), Some(3));
+        assert_eq!(set.index_of("chartreuse"), None);
+    }
+
+    #[test]
+    fn each_dye_absorbs_its_complement_most() {
+        let set = DyeSet::cmyk();
+        let c = &set.dyes[0].absorbance_per_ul;
+        assert!(c[0] > c[1] && c[0] > c[2], "cyan absorbs red most");
+        let m = &set.dyes[1].absorbance_per_ul;
+        assert!(m[1] > m[0] && m[1] > m[2], "magenta absorbs green most");
+        let y = &set.dyes[2].absorbance_per_ul;
+        assert!(y[2] > y[0] && y[2] > y[1], "yellow absorbs blue most");
+        let k = &set.dyes[3].absorbance_per_ul;
+        let spread = k.iter().cloned().fold(f64::MIN, f64::max) - k.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.005, "black is near-neutral");
+    }
+
+    #[test]
+    fn cmy_truncates() {
+        assert_eq!(DyeSet::cmy().len(), 3);
+    }
+}

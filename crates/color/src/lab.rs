@@ -1,0 +1,143 @@
+//! CIE L\*a\*b\* (D65) — the space in which the solvers' "delta e" grades
+//! are defined (paper §2.5).
+
+use crate::rgb::Rgb8;
+use crate::xyz::{Xyz, D65};
+
+/// A CIELAB color (D65 reference white).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Lab {
+    /// Lightness, 0 (black) – 100 (diffuse white).
+    pub l: f64,
+    /// Green–red opponent axis.
+    pub a: f64,
+    /// Blue–yellow opponent axis.
+    pub b: f64,
+}
+
+const DELTA: f64 = 6.0 / 29.0;
+
+fn f(t: f64) -> f64 {
+    if t > DELTA * DELTA * DELTA {
+        t.cbrt()
+    } else {
+        t / (3.0 * DELTA * DELTA) + 4.0 / 29.0
+    }
+}
+
+fn f_inv(t: f64) -> f64 {
+    if t > DELTA {
+        t * t * t
+    } else {
+        3.0 * DELTA * DELTA * (t - 4.0 / 29.0)
+    }
+}
+
+impl Lab {
+    /// Construct from L*, a*, b* components.
+    pub const fn new(l: f64, a: f64, b: f64) -> Self {
+        Lab { l, a, b }
+    }
+
+    /// Convert from CIE XYZ (D65).
+    pub fn from_xyz(c: Xyz) -> Lab {
+        let fx = f(c.x / D65.x);
+        let fy = f(c.y / D65.y);
+        let fz = f(c.z / D65.z);
+        Lab { l: 116.0 * fy - 16.0, a: 500.0 * (fx - fy), b: 200.0 * (fy - fz) }
+    }
+
+    /// Convert back to CIE XYZ (D65).
+    pub fn to_xyz(self) -> Xyz {
+        let fy = (self.l + 16.0) / 116.0;
+        let fx = fy + self.a / 500.0;
+        let fz = fy - self.b / 200.0;
+        Xyz { x: D65.x * f_inv(fx), y: D65.y * f_inv(fy), z: D65.z * f_inv(fz) }
+    }
+
+    /// Convert from 8-bit sRGB.
+    pub fn from_rgb8(c: Rgb8) -> Lab {
+        Lab::from_xyz(Xyz::from_linear(c.to_linear()))
+    }
+
+    /// Chroma: distance from the neutral axis.
+    pub fn chroma(self) -> f64 {
+        (self.a * self.a + self.b * self.b).sqrt()
+    }
+
+    /// Hue angle in degrees, in `[0, 360)`.
+    pub fn hue_deg(self) -> f64 {
+        if self.a == 0.0 && self.b == 0.0 {
+            return 0.0;
+        }
+        let h = self.b.atan2(self.a).to_degrees();
+        if h < 0.0 {
+            h + 360.0
+        } else {
+            h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgb::LinRgb;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn white_is_l100_neutral() {
+        let lab = Lab::from_xyz(Xyz::from_linear(LinRgb::WHITE));
+        assert!(close(lab.l, 100.0, 1e-3));
+        assert!(close(lab.a, 0.0, 1e-3));
+        assert!(close(lab.b, 0.0, 1e-3));
+    }
+
+    #[test]
+    fn black_is_l0() {
+        let lab = Lab::from_xyz(Xyz::from_linear(LinRgb::BLACK));
+        assert!(close(lab.l, 0.0, 1e-6));
+    }
+
+    #[test]
+    fn xyz_roundtrip() {
+        for &(x, y, z) in &[(0.2, 0.3, 0.4), (0.9, 1.0, 1.0), (0.05, 0.02, 0.01), (0.4, 0.4, 0.4)] {
+            let lab = Lab::from_xyz(Xyz::new(x, y, z));
+            let back = lab.to_xyz();
+            assert!(close(back.x, x, 1e-9));
+            assert!(close(back.y, y, 1e-9));
+            assert!(close(back.z, z, 1e-9));
+        }
+    }
+
+    #[test]
+    fn paper_target_gray_is_neutral_midtone() {
+        let lab = Lab::from_rgb8(Rgb8::PAPER_TARGET);
+        assert!(close(lab.a, 0.0, 0.5));
+        assert!(close(lab.b, 0.0, 0.5));
+        assert!(lab.l > 45.0 && lab.l < 56.0, "L = {}", lab.l);
+    }
+
+    #[test]
+    fn red_has_positive_a() {
+        let lab = Lab::from_rgb8(Rgb8::new(200, 20, 20));
+        assert!(lab.a > 40.0);
+    }
+
+    #[test]
+    fn hue_angle_quadrants() {
+        assert!(close(Lab::new(50.0, 10.0, 0.0).hue_deg(), 0.0, 1e-9));
+        assert!(close(Lab::new(50.0, 0.0, 10.0).hue_deg(), 90.0, 1e-9));
+        assert!(close(Lab::new(50.0, -10.0, 0.0).hue_deg(), 180.0, 1e-9));
+        assert!(close(Lab::new(50.0, 0.0, -10.0).hue_deg(), 270.0, 1e-9));
+        assert_eq!(Lab::new(50.0, 0.0, 0.0).hue_deg(), 0.0);
+    }
+
+    #[test]
+    fn chroma_is_euclidean_in_ab() {
+        assert!(close(Lab::new(50.0, 3.0, 4.0).chroma(), 5.0, 1e-12));
+    }
+}

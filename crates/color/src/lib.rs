@@ -1,0 +1,49 @@
+//! `sdl-color` — color science for the color-matching benchmark.
+//!
+//! Everything the closed loop needs to reason about color:
+//!
+//! * [`Rgb8`] / [`LinRgb`] — 8-bit sRGB (what the camera reports) and
+//!   linear light (where the physics happens);
+//! * [`Xyz`] / [`Lab`] — CIE spaces for perceptual grading;
+//! * [`DeltaE`] — the grading metrics ("delta e distance", paper §2.5),
+//!   including the plain RGB Euclidean distance plotted in Figure 4;
+//! * [`DyeSet`] / [`Recipe`] — the four CMYK dye stocks and per-well
+//!   dispense volumes;
+//! * [`MixModel`] implementations — Beer–Lambert (default), Kubelka–Munk
+//!   and naive linear blending, the forward models that substitute for the
+//!   physical dye chemistry.
+//!
+//! # Example
+//!
+//! ```
+//! use sdl_color::{BeerLambert, DeltaE, DyeSet, MixModel, Recipe, Rgb8};
+//!
+//! let set = DyeSet::cmyk();
+//! let recipe = Recipe::from_ratios(&[0.18, 0.16, 0.16, 0.62], &set).unwrap();
+//! let color = BeerLambert::default().well_color(&set, &recipe).to_srgb();
+//! let score = DeltaE::RgbEuclidean.between(color, Rgb8::PAPER_TARGET);
+//! assert!(score < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deltae;
+mod dye;
+mod lab;
+mod mix;
+mod recipe;
+mod rgb;
+mod spectrum;
+mod xyz;
+
+pub use deltae::{cie76, cie94, ciede2000, DeltaE};
+pub use dye::{Dye, DyeSet};
+pub use lab::Lab;
+pub use mix::{BeerLambert, KubelkaMunk, LinearMix, MixKind, MixModel};
+pub use recipe::{Recipe, RecipeError};
+pub use rgb::{linear_to_srgb, srgb_to_linear, LinRgb, Rgb8};
+pub use spectrum::{
+    band_center, spectral_cmyk, CameraResponse, SpectralDye, SpectralMix, Spectrum, BANDS,
+};
+pub use xyz::{Xyz, D65};

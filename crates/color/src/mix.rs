@@ -1,0 +1,261 @@
+//! Mixing models: how a recipe of dye volumes becomes a well color.
+//!
+//! The paper treats color formation as a black box; the simulator needs an
+//! explicit forward model. Three are provided:
+//!
+//! * [`BeerLambert`] (default) — each µL of stock adds decadic absorbance;
+//!   the camera sees the illuminant filtered by the resulting transmittance.
+//!   This is the standard model for dilute transparent dyes in water.
+//! * [`KubelkaMunk`] — two-flux reflectance for scattering media; additive
+//!   in K/S. Slightly different nonlinearity; used for the E7 ablation.
+//! * [`LinearMix`] — naive volume-weighted average of dye colors. Physically
+//!   wrong but popular as a first approximation; included as the ablation's
+//!   strawman.
+//!
+//! All models are deterministic; sensor noise belongs to the camera module.
+
+use crate::dye::DyeSet;
+use crate::recipe::Recipe;
+use crate::rgb::LinRgb;
+
+/// A forward model from recipe to the well's true (noise-free) color.
+pub trait MixModel: Send + Sync {
+    /// The color of a well prepared with `recipe`, in linear RGB.
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb;
+
+    /// Short machine-readable model name.
+    fn name(&self) -> &'static str;
+}
+
+/// Beer–Lambert absorbance model (default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeerLambert {
+    /// The light that would be measured off a blank well (ring-light white).
+    pub illuminant: LinRgb,
+}
+
+impl Default for BeerLambert {
+    fn default() -> Self {
+        BeerLambert { illuminant: LinRgb::WHITE }
+    }
+}
+
+impl MixModel for BeerLambert {
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        debug_assert_eq!(recipe.arity(), set.len());
+        let mut absorbance = [0.0f64; 3];
+        for (dye, &v) in set.dyes.iter().zip(recipe.volumes_ul()) {
+            for (a, eps) in absorbance.iter_mut().zip(&dye.absorbance_per_ul) {
+                *a += eps * v;
+            }
+        }
+        let t = LinRgb::new(
+            10f64.powf(-absorbance[0]),
+            10f64.powf(-absorbance[1]),
+            10f64.powf(-absorbance[2]),
+        );
+        self.illuminant.filter(t)
+    }
+
+    fn name(&self) -> &'static str {
+        "beer-lambert"
+    }
+}
+
+/// Kubelka–Munk two-flux reflectance model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KubelkaMunk;
+
+impl MixModel for KubelkaMunk {
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        debug_assert_eq!(recipe.arity(), set.len());
+        let mut chans = [0.0f64; 3];
+        for (ch, out) in chans.iter_mut().enumerate() {
+            let ks: f64 = set
+                .dyes
+                .iter()
+                .zip(recipe.volumes_ul())
+                .map(|(dye, &v)| dye.ks_per_ul[ch] * v)
+                .sum();
+            // R_inf = 1 + K/S - sqrt((K/S)^2 + 2 K/S)
+            *out = 1.0 + ks - (ks * ks + 2.0 * ks).sqrt();
+        }
+        LinRgb::new(chans[0], chans[1], chans[2])
+    }
+
+    fn name(&self) -> &'static str {
+        "kubelka-munk"
+    }
+}
+
+/// Naive volume-weighted linear blending of dye colors with white.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearMix;
+
+impl LinearMix {
+    /// The display color assigned to a pure dye: the Beer–Lambert color of a
+    /// full-ceiling dispense of that dye alone.
+    fn dye_color(set: &DyeSet, idx: usize) -> LinRgb {
+        let d = &set.dyes[idx];
+        LinRgb::new(
+            10f64.powf(-d.absorbance_per_ul[0] * set.max_volume_ul),
+            10f64.powf(-d.absorbance_per_ul[1] * set.max_volume_ul),
+            10f64.powf(-d.absorbance_per_ul[2] * set.max_volume_ul),
+        )
+    }
+}
+
+impl MixModel for LinearMix {
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        debug_assert_eq!(recipe.arity(), set.len());
+        let capacity = set.max_volume_ul * set.len() as f64;
+        let mut acc = LinRgb::BLACK;
+        let mut used = 0.0;
+        for (i, &v) in recipe.volumes_ul().iter().enumerate() {
+            let w = v / capacity;
+            acc = acc.add(Self::dye_color(set, i).scale(w));
+            used += w;
+        }
+        acc.add(LinRgb::WHITE.scale((1.0 - used).max(0.0))).clamped()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Runtime-selectable mixing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixKind {
+    /// Beer–Lambert absorbance (default).
+    #[default]
+    BeerLambert,
+    /// Kubelka–Munk two-flux.
+    KubelkaMunk,
+    /// Naive linear blending.
+    Linear,
+    /// Full 16-band spectral Beer–Lambert through camera response curves.
+    Spectral,
+}
+
+impl MixKind {
+    /// Instantiate the model.
+    pub fn model(self) -> Box<dyn MixModel> {
+        match self {
+            MixKind::BeerLambert => Box::new(BeerLambert::default()),
+            MixKind::KubelkaMunk => Box::new(KubelkaMunk),
+            MixKind::Linear => Box::new(LinearMix),
+            MixKind::Spectral => Box::new(crate::spectrum::SpectralMix::cmyk()),
+        }
+    }
+
+    /// Name as used in configs.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixKind::BeerLambert => "beer-lambert",
+            MixKind::KubelkaMunk => "kubelka-munk",
+            MixKind::Linear => "linear",
+            MixKind::Spectral => "spectral",
+        }
+    }
+
+    /// Parse the name produced by [`MixKind::name`].
+    pub fn parse(s: &str) -> Option<MixKind> {
+        match s {
+            "beer-lambert" => Some(MixKind::BeerLambert),
+            "kubelka-munk" => Some(MixKind::KubelkaMunk),
+            "linear" => Some(MixKind::Linear),
+            "spectral" => Some(MixKind::Spectral),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgb::Rgb8;
+
+    fn set() -> DyeSet {
+        DyeSet::cmyk()
+    }
+
+    fn blank() -> Recipe {
+        Recipe::new(vec![0.0; 4]).unwrap()
+    }
+
+    #[test]
+    fn empty_well_is_white_in_all_models() {
+        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral] {
+            let c = kind.model().well_color(&set(), &blank());
+            assert_eq!(c.to_srgb(), Rgb8::new(255, 255, 255), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn paper_target_is_reachable_under_beer_lambert() {
+        // Black-dominant mixture with CMY trim, found by the analytic solver
+        // (see sdl-solvers::analytic); verifies calibration of the dye set.
+        let recipe = Recipe::new(vec![7.4, 6.2, 6.4, 25.0]).unwrap();
+        let c = BeerLambert::default().well_color(&set(), &recipe).to_srgb();
+        assert!(
+            c.distance(Rgb8::PAPER_TARGET) < 8.0,
+            "calibration recipe lands at {c}, target {}",
+            Rgb8::PAPER_TARGET
+        );
+    }
+
+    #[test]
+    fn more_dye_is_darker_beer_lambert() {
+        let m = BeerLambert::default();
+        let mut prev = f64::INFINITY;
+        for steps in 1..=8 {
+            let v = steps as f64 * 5.0;
+            let recipe = Recipe::new(vec![0.0, 0.0, 0.0, v]).unwrap();
+            let lum = m.well_color(&set(), &recipe).g;
+            assert!(lum < prev, "luminance must fall as black dye increases");
+            prev = lum;
+        }
+    }
+
+    #[test]
+    fn cyan_dye_leaves_cyan_tint() {
+        let m = BeerLambert::default();
+        let recipe = Recipe::new(vec![30.0, 0.0, 0.0, 0.0]).unwrap();
+        let c = m.well_color(&set(), &recipe);
+        assert!(c.g > c.r && c.b > c.r, "cyan absorbs red: {c:?}");
+    }
+
+    #[test]
+    fn kubelka_munk_is_monotone_and_bounded() {
+        let m = KubelkaMunk;
+        let mut prev = 1.1;
+        for steps in 0..=10 {
+            let recipe = Recipe::new(vec![0.0, 0.0, 0.0, steps as f64 * 4.0]).unwrap();
+            let c = m.well_color(&set(), &recipe);
+            for ch in c.channels() {
+                assert!((0.0..=1.0).contains(&ch));
+            }
+            assert!(c.g <= prev);
+            prev = c.g;
+        }
+    }
+
+    #[test]
+    fn linear_model_diverges_from_beer_lambert() {
+        // The ablation hinges on the models disagreeing away from the corners.
+        let recipe = Recipe::new(vec![20.0, 20.0, 20.0, 20.0]).unwrap();
+        let a = BeerLambert::default().well_color(&set(), &recipe).to_srgb();
+        let b = LinearMix.well_color(&set(), &recipe).to_srgb();
+        assert!(a.distance(b) > 20.0, "models too similar: {a} vs {b}");
+    }
+
+    #[test]
+    fn mix_kind_roundtrip() {
+        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral] {
+            assert_eq!(MixKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.model().name(), kind.name());
+        }
+        assert_eq!(MixKind::parse("ideal"), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Recipes: per-dye volumes to dispense into one well.
+//!
+//! Solvers search the unit box (one ratio per dye); the application converts
+//! ratios to µL via the dye set's per-dye ceiling. Keeping the two
+//! representations distinct avoids unit bugs between the optimizer and the
+//! liquid handler.
+
+use crate::dye::DyeSet;
+use std::fmt;
+
+/// Volumes of each dye (µL) destined for a single well, in reservoir order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    volumes_ul: Vec<f64>,
+}
+
+/// Errors from recipe construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeError {
+    /// A volume was negative, NaN or infinite.
+    InvalidVolume,
+    /// The number of volumes does not match the dye set.
+    WrongArity {
+        /// Dye-set length.
+        expected: usize,
+        /// Volumes supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RecipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecipeError::InvalidVolume => write!(f, "volumes must be finite and non-negative"),
+            RecipeError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} volumes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecipeError {}
+
+impl Recipe {
+    /// Build from explicit volumes.
+    pub fn new(volumes_ul: Vec<f64>) -> Result<Recipe, RecipeError> {
+        if volumes_ul.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(RecipeError::InvalidVolume);
+        }
+        Ok(Recipe { volumes_ul })
+    }
+
+    /// Map solver ratios (clamped into `[0,1]`) to volumes for `set`.
+    pub fn from_ratios(ratios: &[f64], set: &DyeSet) -> Result<Recipe, RecipeError> {
+        if ratios.len() != set.len() {
+            return Err(RecipeError::WrongArity { expected: set.len(), got: ratios.len() });
+        }
+        let volumes = ratios
+            .iter()
+            .map(|r| {
+                let r = if r.is_finite() { r.clamp(0.0, 1.0) } else { 0.0 };
+                r * set.max_volume_ul
+            })
+            .collect();
+        Ok(Recipe { volumes_ul: volumes })
+    }
+
+    /// Volumes in µL, reservoir order.
+    pub fn volumes_ul(&self) -> &[f64] {
+        &self.volumes_ul
+    }
+
+    /// Total dispensed volume, µL.
+    pub fn total_ul(&self) -> f64 {
+        self.volumes_ul.iter().sum()
+    }
+
+    /// Back-convert to ratios of the per-dye ceiling.
+    pub fn ratios(&self, set: &DyeSet) -> Vec<f64> {
+        self.volumes_ul.iter().map(|v| (v / set.max_volume_ul).clamp(0.0, 1.0)).collect()
+    }
+
+    /// Number of dyes this recipe covers.
+    pub fn arity(&self) -> usize {
+        self.volumes_ul.len()
+    }
+
+    /// True if nothing is dispensed.
+    pub fn is_blank(&self) -> bool {
+        self.total_ul() == 0.0
+    }
+}
+
+impl fmt::Display for Recipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.volumes_ul.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.1}µL")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_volumes() {
+        assert_eq!(Recipe::new(vec![1.0, -0.1]), Err(RecipeError::InvalidVolume));
+        assert_eq!(Recipe::new(vec![f64::NAN]), Err(RecipeError::InvalidVolume));
+        assert_eq!(Recipe::new(vec![f64::INFINITY]), Err(RecipeError::InvalidVolume));
+        assert!(Recipe::new(vec![0.0, 2.5]).is_ok());
+    }
+
+    #[test]
+    fn ratios_roundtrip() {
+        let set = DyeSet::cmyk();
+        let r = Recipe::from_ratios(&[0.0, 0.25, 0.5, 1.0], &set).unwrap();
+        assert_eq!(r.volumes_ul(), &[0.0, 10.0, 20.0, 40.0]);
+        assert_eq!(r.ratios(&set), vec![0.0, 0.25, 0.5, 1.0]);
+        assert_eq!(r.total_ul(), 70.0);
+    }
+
+    #[test]
+    fn from_ratios_clamps_and_sanitizes() {
+        let set = DyeSet::cmyk();
+        let r = Recipe::from_ratios(&[-0.5, 1.5, f64::NAN, 0.5], &set).unwrap();
+        assert_eq!(r.volumes_ul(), &[0.0, 40.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let set = DyeSet::cmyk();
+        assert_eq!(
+            Recipe::from_ratios(&[0.5; 3], &set),
+            Err(RecipeError::WrongArity { expected: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn blank_detection_and_display() {
+        let blank = Recipe::new(vec![0.0; 4]).unwrap();
+        assert!(blank.is_blank());
+        let r = Recipe::new(vec![7.4, 6.2]).unwrap();
+        assert!(!r.is_blank());
+        assert_eq!(r.to_string(), "[7.4µL, 6.2µL]");
+    }
+}

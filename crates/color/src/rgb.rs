@@ -1,0 +1,192 @@
+//! sRGB and linear RGB representations.
+//!
+//! The camera reports 8-bit sRGB; the physics of dye mixing happens in
+//! linear light. Conversions follow IEC 61966-2-1.
+
+use std::fmt;
+
+/// An 8-bit sRGB color, as reported by the camera module and used for the
+/// paper's Figure-4 score (Euclidean distance in 0–255 RGB space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb8 {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb8 {
+    /// Construct from channel bytes.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb8 { r, g, b }
+    }
+
+    /// The paper's fixed target color, RGB = (120, 120, 120).
+    pub const PAPER_TARGET: Rgb8 = Rgb8::new(120, 120, 120);
+
+    /// Euclidean distance in 8-bit RGB space — the y-axis of Figure 4.
+    pub fn distance(self, other: Rgb8) -> f64 {
+        let dr = self.r as f64 - other.r as f64;
+        let dg = self.g as f64 - other.g as f64;
+        let db = self.b as f64 - other.b as f64;
+        (dr * dr + dg * dg + db * db).sqrt()
+    }
+
+    /// Decode to linear light.
+    pub fn to_linear(self) -> LinRgb {
+        LinRgb {
+            r: srgb_to_linear(self.r as f64 / 255.0),
+            g: srgb_to_linear(self.g as f64 / 255.0),
+            b: srgb_to_linear(self.b as f64 / 255.0),
+        }
+    }
+
+    /// Channels as an array.
+    pub fn channels(self) -> [u8; 3] {
+        [self.r, self.g, self.b]
+    }
+}
+
+impl fmt::Display for Rgb8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.r, self.g, self.b)
+    }
+}
+
+/// Linear-light RGB with channels nominally in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinRgb {
+    /// Red channel (linear light).
+    pub r: f64,
+    /// Green channel (linear light).
+    pub g: f64,
+    /// Blue channel (linear light).
+    pub b: f64,
+}
+
+impl LinRgb {
+    /// Construct from linear channel values.
+    pub const fn new(r: f64, g: f64, b: f64) -> Self {
+        LinRgb { r, g, b }
+    }
+
+    /// Linear white (all channels 1).
+    pub const WHITE: LinRgb = LinRgb::new(1.0, 1.0, 1.0);
+    /// Linear black (all channels 0).
+    pub const BLACK: LinRgb = LinRgb::new(0.0, 0.0, 0.0);
+
+    /// Clamp channels into `[0, 1]`.
+    pub fn clamped(self) -> LinRgb {
+        LinRgb { r: self.r.clamp(0.0, 1.0), g: self.g.clamp(0.0, 1.0), b: self.b.clamp(0.0, 1.0) }
+    }
+
+    /// Encode to 8-bit sRGB (clamping out-of-gamut values).
+    pub fn to_srgb(self) -> Rgb8 {
+        let c = self.clamped();
+        Rgb8 {
+            r: (linear_to_srgb(c.r) * 255.0).round() as u8,
+            g: (linear_to_srgb(c.g) * 255.0).round() as u8,
+            b: (linear_to_srgb(c.b) * 255.0).round() as u8,
+        }
+    }
+
+    /// Per-channel multiply (transmittance filtering).
+    pub fn filter(self, t: LinRgb) -> LinRgb {
+        LinRgb { r: self.r * t.r, g: self.g * t.g, b: self.b * t.b }
+    }
+
+    /// Uniform scale.
+    pub fn scale(self, k: f64) -> LinRgb {
+        LinRgb { r: self.r * k, g: self.g * k, b: self.b * k }
+    }
+
+    /// Channel-wise addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: LinRgb) -> LinRgb {
+        LinRgb { r: self.r + other.r, g: self.g + other.g, b: self.b + other.b }
+    }
+
+    /// Channels as an array.
+    pub fn channels(self) -> [f64; 3] {
+        [self.r, self.g, self.b]
+    }
+}
+
+/// sRGB electro-optical transfer function (decode), input/output in `[0,1]`.
+pub fn srgb_to_linear(s: f64) -> f64 {
+    if s <= 0.04045 {
+        s / 12.92
+    } else {
+        ((s + 0.055) / 1.055).powf(2.4)
+    }
+}
+
+/// Inverse OETF (encode), input/output in `[0,1]`.
+pub fn linear_to_srgb(l: f64) -> f64 {
+    if l <= 0.003_130_8 {
+        12.92 * l
+    } else {
+        1.055 * l.powf(1.0 / 2.4) - 0.055
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_function_endpoints() {
+        assert_eq!(srgb_to_linear(0.0), 0.0);
+        assert!((srgb_to_linear(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(linear_to_srgb(0.0), 0.0);
+        assert!((linear_to_srgb(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        for v in 0..=255u8 {
+            let c = Rgb8::new(v, v, v);
+            assert_eq!(c.to_linear().to_srgb(), c, "byte {v}");
+        }
+    }
+
+    #[test]
+    fn middle_gray_is_nonlinear() {
+        // sRGB 120 is darker than 47% linear: the transfer curve matters.
+        let lin = Rgb8::new(120, 120, 120).to_linear();
+        assert!((lin.r - 0.1874).abs() < 1e-3, "got {}", lin.r);
+    }
+
+    #[test]
+    fn distance_matches_hand_computation() {
+        let a = Rgb8::new(120, 120, 120);
+        let b = Rgb8::new(123, 116, 120);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Rgb8::new(10, 200, 30);
+        let b = Rgb8::new(250, 0, 99);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn filter_and_clamp() {
+        let white = LinRgb::WHITE;
+        let t = LinRgb::new(0.5, 2.0, -0.5);
+        let f = white.filter(t).clamped();
+        assert_eq!(f, LinRgb::new(0.5, 1.0, 0.0));
+    }
+
+    #[test]
+    fn srgb_encode_clamps_out_of_gamut() {
+        let c = LinRgb::new(1.5, -0.2, 0.5);
+        let s = c.to_srgb();
+        assert_eq!(s.r, 255);
+        assert_eq!(s.g, 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Spectral color formation: a higher-fidelity forward model.
+//!
+//! The RGB-band Beer–Lambert model in `mix` treats each camera channel as a
+//! single absorbance number. Real dyes absorb across a continuous spectrum
+//! and the camera integrates that spectrum through three broad response
+//! curves — which is why *metamerism* exists (different spectra, same RGB).
+//! This module models 16 bands over 400–700 nm: dye absorption spectra,
+//! an illuminant, camera response curves, and a [`SpectralMix`] that plugs
+//! into the same [`MixModel`] interface as the band models.
+
+use crate::dye::DyeSet;
+use crate::mix::MixModel;
+use crate::recipe::Recipe;
+use crate::rgb::LinRgb;
+
+/// Number of spectral bands.
+pub const BANDS: usize = 16;
+/// Shortest modeled wavelength, nm.
+pub const LAMBDA_MIN: f64 = 400.0;
+/// Longest modeled wavelength, nm.
+pub const LAMBDA_MAX: f64 = 700.0;
+
+/// A sampled spectrum (unit depends on context: absorbance, power, response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum(pub [f64; BANDS]);
+
+/// Center wavelength of band `i`, nm.
+pub fn band_center(i: usize) -> f64 {
+    let step = (LAMBDA_MAX - LAMBDA_MIN) / BANDS as f64;
+    LAMBDA_MIN + (i as f64 + 0.5) * step
+}
+
+impl Spectrum {
+    /// The zero spectrum.
+    pub fn zero() -> Spectrum {
+        Spectrum([0.0; BANDS])
+    }
+
+    /// A constant spectrum.
+    pub fn flat(v: f64) -> Spectrum {
+        Spectrum([v; BANDS])
+    }
+
+    /// A Gaussian band: peak `amplitude` at `center_nm` with the given
+    /// standard deviation.
+    pub fn gaussian(center_nm: f64, sigma_nm: f64, amplitude: f64) -> Spectrum {
+        let mut s = [0.0; BANDS];
+        for (i, v) in s.iter_mut().enumerate() {
+            let d = (band_center(i) - center_nm) / sigma_nm;
+            *v = amplitude * (-0.5 * d * d).exp();
+        }
+        Spectrum(s)
+    }
+
+    /// Pointwise sum with another spectrum, scaled by `k`.
+    pub fn add_scaled(&mut self, other: &Spectrum, k: f64) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += k * b;
+        }
+    }
+
+    /// Inner product with another spectrum.
+    pub fn dot(&self, other: &Spectrum) -> f64 {
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// One dye's absorption spectrum (decadic absorbance per µL dispensed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralDye {
+    /// Dye name (matches the RGB dye set order).
+    pub name: String,
+    /// Absorbance per µL in each band.
+    pub absorbance_per_ul: Spectrum,
+}
+
+/// The camera's three response curves plus the illuminant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraResponse {
+    /// Red channel sensitivity.
+    pub red: Spectrum,
+    /// Green channel sensitivity.
+    pub green: Spectrum,
+    /// Blue channel sensitivity.
+    pub blue: Spectrum,
+    /// Illuminant power spectrum (the ring light).
+    pub illuminant: Spectrum,
+}
+
+impl Default for CameraResponse {
+    fn default() -> Self {
+        CameraResponse {
+            red: Spectrum::gaussian(600.0, 45.0, 1.0),
+            green: Spectrum::gaussian(540.0, 40.0, 1.0),
+            blue: Spectrum::gaussian(460.0, 35.0, 1.0),
+            illuminant: Spectrum::flat(1.0), // white-ish LED ring light
+        }
+    }
+}
+
+impl CameraResponse {
+    /// Integrate a transmittance spectrum into linear RGB, normalized so a
+    /// blank well (T ≡ 1) reads pure white.
+    pub fn integrate(&self, transmittance: &Spectrum) -> LinRgb {
+        let weigh = |resp: &Spectrum| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..BANDS {
+                let w = resp.0[i] * self.illuminant.0[i];
+                num += w * transmittance.0[i];
+                den += w;
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        };
+        LinRgb::new(weigh(&self.red), weigh(&self.green), weigh(&self.blue))
+    }
+}
+
+/// The spectral CMYK dye set: absorption bands at the complementary
+/// wavelengths, calibrated to land near the RGB-band model.
+pub fn spectral_cmyk() -> Vec<SpectralDye> {
+    // Cyan absorbs red (~620 nm), magenta green (~540 nm), yellow blue
+    // (~450 nm); black is broadband with a mild red tilt.
+    let mut black = Spectrum::flat(0.021);
+    black.add_scaled(&Spectrum::gaussian(440.0, 80.0, 0.003), 1.0);
+    vec![
+        SpectralDye {
+            name: "cyan".into(),
+            absorbance_per_ul: Spectrum::gaussian(620.0, 55.0, 0.028),
+        },
+        SpectralDye {
+            name: "magenta".into(),
+            absorbance_per_ul: Spectrum::gaussian(540.0, 45.0, 0.026),
+        },
+        SpectralDye {
+            name: "yellow".into(),
+            absorbance_per_ul: Spectrum::gaussian(450.0, 50.0, 0.024),
+        },
+        SpectralDye { name: "black".into(), absorbance_per_ul: black },
+    ]
+}
+
+/// Spectral forward model: full Beer–Lambert per band, integrated through
+/// the camera response. Carries its own dye spectra; the RGB [`DyeSet`]
+/// passed to [`MixModel::well_color`] supplies only arity and volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralMix {
+    /// Dye absorption spectra (reservoir order).
+    pub dyes: Vec<SpectralDye>,
+    /// Camera model.
+    pub camera: CameraResponse,
+}
+
+impl SpectralMix {
+    /// The default spectral CMYK setup.
+    pub fn cmyk() -> SpectralMix {
+        SpectralMix { dyes: spectral_cmyk(), camera: CameraResponse::default() }
+    }
+
+    /// The transmittance spectrum of a well (before camera integration).
+    pub fn transmittance(&self, recipe: &Recipe) -> Spectrum {
+        let mut absorbance = Spectrum::zero();
+        for (dye, &v) in self.dyes.iter().zip(recipe.volumes_ul()) {
+            absorbance.add_scaled(&dye.absorbance_per_ul, v);
+        }
+        let mut t = [0.0; BANDS];
+        for (out, a) in t.iter_mut().zip(&absorbance.0) {
+            *out = 10f64.powf(-a);
+        }
+        Spectrum(t)
+    }
+}
+
+impl MixModel for SpectralMix {
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        debug_assert_eq!(recipe.arity(), set.len());
+        debug_assert_eq!(self.dyes.len(), set.len(), "spectral dye count must match the dye set");
+        self.camera.integrate(&self.transmittance(recipe))
+    }
+
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rgb::Rgb8;
+
+    fn set() -> DyeSet {
+        DyeSet::cmyk()
+    }
+
+    #[test]
+    fn blank_well_is_white() {
+        let m = SpectralMix::cmyk();
+        let c = m.well_color(&set(), &Recipe::new(vec![0.0; 4]).unwrap());
+        assert_eq!(c.to_srgb(), Rgb8::new(255, 255, 255));
+    }
+
+    #[test]
+    fn band_centers_span_the_visible_range() {
+        assert!((band_center(0) - 409.375).abs() < 1e-9);
+        assert!((band_center(BANDS - 1) - 690.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dyes_absorb_their_complements() {
+        let m = SpectralMix::cmyk();
+        let one = |idx: usize| {
+            let mut v = vec![0.0; 4];
+            v[idx] = 30.0;
+            m.well_color(&set(), &Recipe::new(v).unwrap())
+        };
+        let cyan = one(0);
+        assert!(cyan.r < cyan.g && cyan.r < cyan.b, "cyan absorbs red: {cyan:?}");
+        let magenta = one(1);
+        assert!(magenta.g < magenta.r && magenta.g < magenta.b, "magenta absorbs green: {magenta:?}");
+        let yellow = one(2);
+        assert!(yellow.b < yellow.r && yellow.b < yellow.g, "yellow absorbs blue: {yellow:?}");
+        let black = one(3);
+        let spread = black.channels().iter().cloned().fold(f64::MIN, f64::max)
+            - black.channels().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.12, "black is near-neutral: {black:?}");
+    }
+
+    #[test]
+    fn paper_target_is_reachable_spectrally() {
+        // The gray region is reachable with a black-dominant mixture, as in
+        // the RGB-band model (exact ratios differ slightly).
+        let m = SpectralMix::cmyk();
+        let mut best = f64::INFINITY;
+        for k in 0..40 {
+            let v = k as f64;
+            let recipe = Recipe::new(vec![4.0, 3.0, 3.0, v]).unwrap();
+            let c = m.well_color(&set(), &recipe).to_srgb();
+            best = best.min(c.distance(Rgb8::PAPER_TARGET));
+        }
+        assert!(best < 12.0, "closest gray at distance {best}");
+    }
+
+    #[test]
+    fn monotone_in_every_dye() {
+        let m = SpectralMix::cmyk();
+        let base = Recipe::new(vec![5.0, 5.0, 5.0, 5.0]).unwrap();
+        let c0 = m.well_color(&set(), &base);
+        for i in 0..4 {
+            let mut v = base.volumes_ul().to_vec();
+            v[i] += 10.0;
+            let c1 = m.well_color(&set(), &Recipe::new(v).unwrap());
+            assert!(c1.r <= c0.r + 1e-12 && c1.g <= c0.g + 1e-12 && c1.b <= c0.b + 1e-12);
+        }
+    }
+
+    #[test]
+    fn metamerism_exists() {
+        // Two different transmittance spectra integrating to (almost) the
+        // same RGB: a narrow deep notch vs a broad shallow one at the same
+        // channel. The camera cannot tell them apart; a spectrometer could.
+        let cam = CameraResponse::default();
+        // Build two absorbers in the green band.
+        let narrow = Spectrum::gaussian(540.0, 15.0, 1.2);
+        let broad = Spectrum::gaussian(540.0, 50.0, 0.33);
+        let to_t = |a: &Spectrum| {
+            let mut t = [0.0; BANDS];
+            for (o, x) in t.iter_mut().zip(&a.0) {
+                *o = 10f64.powf(-x);
+            }
+            Spectrum(t)
+        };
+        let t1 = to_t(&narrow);
+        let t2 = to_t(&broad);
+        // The spectra differ a lot...
+        let spectral_gap: f64 =
+            t1.0.iter().zip(&t2.0).map(|(a, b)| (a - b).abs()).sum();
+        assert!(spectral_gap > 0.5, "spectra too similar for the test: {spectral_gap}");
+        // ...but the camera integrals nearly agree on the green channel.
+        let c1 = cam.integrate(&t1);
+        let c2 = cam.integrate(&t2);
+        assert!((c1.g - c2.g).abs() < 0.06, "green reads {:.3} vs {:.3}", c1.g, c2.g);
+    }
+
+    #[test]
+    fn spectrum_helpers() {
+        let mut s = Spectrum::zero();
+        s.add_scaled(&Spectrum::flat(2.0), 0.5);
+        assert_eq!(s, Spectrum::flat(1.0));
+        assert!((Spectrum::flat(1.0).dot(&Spectrum::flat(2.0)) - 2.0 * BANDS as f64).abs() < 1e-12);
+        let g = Spectrum::gaussian(550.0, 30.0, 1.0);
+        let peak_band = (0..BANDS).max_by(|&a, &b| g.0[a].total_cmp(&g.0[b])).unwrap();
+        assert!((band_center(peak_band) - 550.0).abs() < 20.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! CIE XYZ tristimulus values (D65, 2° observer) and conversion from/to
+//! linear sRGB primaries.
+
+use crate::rgb::LinRgb;
+
+/// CIE XYZ tristimulus, normalized so that D65 white has Y = 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Xyz {
+    /// X tristimulus component.
+    pub x: f64,
+    /// Y tristimulus component (luminance).
+    pub y: f64,
+    /// Z tristimulus component.
+    pub z: f64,
+}
+
+/// D65 reference white.
+pub const D65: Xyz = Xyz { x: 0.950_47, y: 1.0, z: 1.088_83 };
+
+impl Xyz {
+    /// Construct from tristimulus components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Xyz { x, y, z }
+    }
+
+    /// Linear sRGB → XYZ (IEC 61966-2-1 matrix).
+    pub fn from_linear(c: LinRgb) -> Xyz {
+        Xyz {
+            x: 0.412_456_4 * c.r + 0.357_576_1 * c.g + 0.180_437_5 * c.b,
+            y: 0.212_672_9 * c.r + 0.715_152_2 * c.g + 0.072_175_0 * c.b,
+            z: 0.019_333_9 * c.r + 0.119_192_0 * c.g + 0.950_304_1 * c.b,
+        }
+    }
+
+    /// XYZ → linear sRGB (inverse matrix). May leave the sRGB gamut.
+    pub fn to_linear(self) -> LinRgb {
+        LinRgb {
+            r: 3.240_454_2 * self.x - 1.537_138_5 * self.y - 0.498_531_4 * self.z,
+            g: -0.969_266_0 * self.x + 1.876_010_8 * self.y + 0.041_556_0 * self.z,
+            b: 0.055_643_4 * self.x - 0.204_025_9 * self.y + 1.057_225_2 * self.z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn white_maps_to_d65() {
+        let w = Xyz::from_linear(LinRgb::WHITE);
+        assert!(close(w.x, D65.x, 1e-4));
+        assert!(close(w.y, D65.y, 1e-4));
+        assert!(close(w.z, D65.z, 1e-4));
+    }
+
+    #[test]
+    fn black_maps_to_zero() {
+        let k = Xyz::from_linear(LinRgb::BLACK);
+        assert!(close(k.x, 0.0, 1e-12));
+        assert!(close(k.y, 0.0, 1e-12));
+        assert!(close(k.z, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        for &(r, g, b) in
+            &[(0.2, 0.5, 0.8), (1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0), (0.33, 0.33, 0.33)]
+        {
+            let c = LinRgb::new(r, g, b);
+            let back = Xyz::from_linear(c).to_linear();
+            assert!(close(back.r, r, 1e-6));
+            assert!(close(back.g, g, 1e-6));
+            assert!(close(back.b, b, 1e-6));
+        }
+    }
+
+    #[test]
+    fn luminance_weights_green_most() {
+        let r = Xyz::from_linear(LinRgb::new(1.0, 0.0, 0.0)).y;
+        let g = Xyz::from_linear(LinRgb::new(0.0, 1.0, 0.0)).y;
+        let b = Xyz::from_linear(LinRgb::new(0.0, 0.0, 1.0)).y;
+        assert!(g > r && r > b);
+        assert!(close(r + g + b, 1.0, 1e-4));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the color-science crate.
+
+use proptest::prelude::*;
+use sdl_color::{
+    cie76, ciede2000, BeerLambert, DeltaE, DyeSet, Lab, LinRgb, MixModel, Recipe, Rgb8, Xyz,
+};
+
+fn arb_rgb8() -> impl Strategy<Value = Rgb8> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Rgb8::new(r, g, b))
+}
+
+fn arb_lab() -> impl Strategy<Value = Lab> {
+    (0.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64).prop_map(|(l, a, b)| Lab::new(l, a, b))
+}
+
+proptest! {
+    /// sRGB → linear → sRGB is the identity on all 8-bit colors.
+    #[test]
+    fn srgb_roundtrip(c in arb_rgb8()) {
+        prop_assert_eq!(c.to_linear().to_srgb(), c);
+    }
+
+    /// RGB → XYZ → Lab → XYZ → RGB returns to the same 8-bit color.
+    #[test]
+    fn full_pipeline_roundtrip(c in arb_rgb8()) {
+        let lab = Lab::from_xyz(Xyz::from_linear(c.to_linear()));
+        let back = lab.to_xyz().to_linear().to_srgb();
+        prop_assert_eq!(back, c);
+    }
+
+    /// RGB, CIE76 and CIEDE2000 are symmetric; CIE94 is *reference-based*
+    /// (weights depend on the first color's chroma) and only needs to be
+    /// finite and non-negative.
+    #[test]
+    fn metrics_symmetric(a in arb_rgb8(), b in arb_rgb8()) {
+        for m in [DeltaE::RgbEuclidean, DeltaE::Cie76, DeltaE::Ciede2000] {
+            let ab = m.between(a, b);
+            let ba = m.between(b, a);
+            prop_assert!((ab - ba).abs() < 1e-9, "{} not symmetric: {} vs {}", m.name(), ab, ba);
+            prop_assert!(ab >= 0.0);
+        }
+        let d94 = DeltaE::Cie94.between(a, b);
+        prop_assert!(d94.is_finite() && d94 >= 0.0);
+    }
+
+    /// CIE76 satisfies the triangle inequality (it is a true metric).
+    #[test]
+    fn cie76_triangle(a in arb_lab(), b in arb_lab(), c in arb_lab()) {
+        prop_assert!(cie76(a, c) <= cie76(a, b) + cie76(b, c) + 1e-9);
+    }
+
+    /// CIEDE2000 is finite and non-negative over the realistic Lab volume.
+    #[test]
+    fn ciede2000_well_behaved(a in arb_lab(), b in arb_lab()) {
+        let d = ciede2000(a, b);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= 0.0);
+    }
+
+    /// Adding dye volume never makes any channel brighter (Beer–Lambert is
+    /// channel-wise monotone decreasing in every volume).
+    #[test]
+    fn beer_lambert_monotone(
+        base in proptest::collection::vec(0.0..30.0f64, 4),
+        extra in 0.1..10.0f64,
+        which in 0usize..4,
+    ) {
+        let set = DyeSet::cmyk();
+        let m = BeerLambert::default();
+        let r1 = Recipe::new(base.clone()).unwrap();
+        let mut more = base;
+        more[which] += extra;
+        let r2 = Recipe::new(more).unwrap();
+        let c1 = m.well_color(&set, &r1);
+        let c2 = m.well_color(&set, &r2);
+        prop_assert!(c2.r <= c1.r + 1e-12);
+        prop_assert!(c2.g <= c1.g + 1e-12);
+        prop_assert!(c2.b <= c1.b + 1e-12);
+    }
+
+    /// All mixing models stay inside the unit cube for in-box recipes.
+    #[test]
+    fn mix_models_stay_in_gamut(ratios in proptest::collection::vec(0.0..=1.0f64, 4)) {
+        let set = DyeSet::cmyk();
+        let recipe = Recipe::from_ratios(&ratios, &set).unwrap();
+        for kind in [sdl_color::MixKind::BeerLambert, sdl_color::MixKind::KubelkaMunk, sdl_color::MixKind::Linear] {
+            let c = kind.model().well_color(&set, &recipe);
+            for ch in c.channels() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ch), "{} out of gamut: {:?}", kind.name(), c);
+            }
+        }
+    }
+
+    /// Ratio → recipe → ratio roundtrips within float tolerance.
+    #[test]
+    fn recipe_ratio_roundtrip(ratios in proptest::collection::vec(0.0..=1.0f64, 4)) {
+        let set = DyeSet::cmyk();
+        let recipe = Recipe::from_ratios(&ratios, &set).unwrap();
+        let back = recipe.ratios(&set);
+        for (orig, b) in ratios.iter().zip(&back) {
+            prop_assert!((orig - b).abs() < 1e-12);
+        }
+    }
+
+    /// Linear-light filter of white by transmittance t equals t.
+    #[test]
+    fn white_filter_identity(r in 0.0..=1.0f64, g in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let t = LinRgb::new(r, g, b);
+        let f = LinRgb::WHITE.filter(t);
+        prop_assert_eq!(f, t);
+    }
+}

@@ -1,0 +1,68 @@
+//! Parse and access errors with source positions.
+
+use std::fmt;
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in the source document (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> ParseError {
+        ParseError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.msg)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A typed-access error produced by [`crate::path::lookup`] helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessError {
+    /// The dotted path that failed.
+    pub path: String,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl AccessError {
+    pub(crate) fn new(path: impl Into<String>, msg: impl Into<String>) -> AccessError {
+        AccessError { path: path.into(), msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error at '{}': {}", self.path, self.msg)
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new(12, "bad indent");
+        assert_eq!(e.to_string(), "parse error at line 12: bad indent");
+        let eof = ParseError::new(0, "unexpected end");
+        assert_eq!(eof.to_string(), "parse error: unexpected end");
+        let a = AccessError::new("modules.0.name", "expected string");
+        assert!(a.to_string().contains("modules.0.name"));
+    }
+}

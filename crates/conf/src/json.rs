@@ -1,0 +1,380 @@
+//! JSON reader/writer for the publication substrate.
+//!
+//! Published run records (paper Figure 3) are serialized as JSON documents;
+//! the portal reads them back for search and rendering.
+
+use crate::error::ParseError;
+use crate::value::Value;
+
+/// Serialize compactly (single line).
+pub fn to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, None, 0, &mut out);
+    out
+}
+
+/// Serialize with two-space indentation.
+pub fn to_json_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(v, Some(2), 0, &mut out);
+    out
+}
+
+fn write_json(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_json(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_json_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document.
+pub fn from_json(src: &str) -> Result<Value, ParseError> {
+    let mut p = JsonParser { src: src.as_bytes(), pos: 0, line: 1 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(ParseError { line: p.line, msg: "trailing characters after document".into() });
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, msg: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.src.get(self.pos) {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(&b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, ParseError> {
+        if self.src[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.src.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| self.err("invalid utf-8"))?;
+        if is_float {
+            text.parse::<f64>()
+                .ok()
+                .filter(|f| f.is_finite())
+                .map(Value::Float)
+                .ok_or_else(|| self.err(format!("invalid number '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err(format!("invalid integer '{text}'")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.src.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for our records;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.src[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key '{key}'")));
+            }
+            entries.push((key, value));
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_record() {
+        let mut rec = Value::map();
+        rec.set("run", 12).set("score", 10.44).set("ok", true).set("note", Value::Null);
+        rec.set("color", vec![119i64, 121, 118]);
+        let mut nested = Value::map();
+        nested.set("step", "cp_wf_mixcolor");
+        rec.set("timing", nested);
+        for text in [to_json(&rec), to_json_pretty(&rec)] {
+            assert_eq!(from_json(&text).unwrap(), rec, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn compact_formatting() {
+        let mut v = Value::map();
+        v.set("a", 1).set("b", vec!["x", "y"]);
+        assert_eq!(to_json(&v), r#"{"a":1,"b":["x","y"]}"#);
+    }
+
+    #[test]
+    fn pretty_formatting_indents() {
+        let mut v = Value::map();
+        v.set("a", 1);
+        assert_eq!(to_json_pretty(&v), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode ☃";
+        let v = Value::Str(s.to_string());
+        assert_eq!(from_json(&to_json(&v)).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn parses_standard_constructs() {
+        let v = from_json(r#" { "a" : [ 1 , -2.5e1 , true , null ] , "b" : {} } "#).unwrap();
+        let a = v.get("a").unwrap().as_seq().unwrap();
+        assert_eq!(a[0], Value::Int(1));
+        assert_eq!(a[1], Value::Float(-25.0));
+        assert_eq!(a[2], Value::Bool(true));
+        assert!(a[3].is_null());
+        assert_eq!(v.get("b").unwrap().as_map().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let v = from_json(r#""snow☃""#).unwrap();
+        assert_eq!(v.as_str(), Some("snow☃"));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("[1,]").is_err());
+        assert!(from_json(r#"{"a":1,"a":2}"#).unwrap_err().msg.contains("duplicate"));
+        assert!(from_json("[1] extra").unwrap_err().msg.contains("trailing"));
+        let err = from_json("{\n\"a\": @\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_json(&Value::Float(f64::INFINITY)), "null");
+    }
+}

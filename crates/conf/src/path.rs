@@ -1,0 +1,150 @@
+//! Dotted-path navigation and typed extraction.
+//!
+//! Config consumers (the WEI engine, the application) read values through
+//! paths like `modules.2.config.towers`, getting errors that name the full
+//! path rather than a bare "expected string".
+
+use crate::error::AccessError;
+use crate::value::Value;
+
+/// Navigate a dotted path; numeric segments index sequences.
+pub fn lookup<'a>(root: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = root;
+    if path.is_empty() {
+        return Some(cur);
+    }
+    for seg in path.split('.') {
+        cur = match cur {
+            Value::Map(_) => cur.get(seg)?,
+            Value::Seq(_) => cur.idx(seg.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Typed accessors over a root value, producing path-qualified errors.
+pub trait ValueExt {
+    /// Value at `path`, or an error naming the path.
+    fn req(&self, path: &str) -> Result<&Value, AccessError>;
+    /// String at `path`.
+    fn req_str(&self, path: &str) -> Result<&str, AccessError>;
+    /// Integer at `path`.
+    fn req_i64(&self, path: &str) -> Result<i64, AccessError>;
+    /// Float (or int) at `path`.
+    fn req_f64(&self, path: &str) -> Result<f64, AccessError>;
+    /// Boolean at `path`.
+    fn req_bool(&self, path: &str) -> Result<bool, AccessError>;
+    /// Sequence at `path`.
+    fn req_seq(&self, path: &str) -> Result<&[Value], AccessError>;
+    /// Optional string at `path` (None when absent or null).
+    fn opt_str(&self, path: &str) -> Option<&str>;
+    /// Optional float at `path`.
+    fn opt_f64(&self, path: &str) -> Option<f64>;
+    /// Optional integer at `path`.
+    fn opt_i64(&self, path: &str) -> Option<i64>;
+    /// Optional bool at `path`.
+    fn opt_bool(&self, path: &str) -> Option<bool>;
+}
+
+impl ValueExt for Value {
+    fn req(&self, path: &str) -> Result<&Value, AccessError> {
+        lookup(self, path).ok_or_else(|| AccessError::new(path, "missing"))
+    }
+
+    fn req_str(&self, path: &str) -> Result<&str, AccessError> {
+        let v = self.req(path)?;
+        v.as_str().ok_or_else(|| AccessError::new(path, format!("expected string, got {}", v.type_name())))
+    }
+
+    fn req_i64(&self, path: &str) -> Result<i64, AccessError> {
+        let v = self.req(path)?;
+        v.as_i64().ok_or_else(|| AccessError::new(path, format!("expected int, got {}", v.type_name())))
+    }
+
+    fn req_f64(&self, path: &str) -> Result<f64, AccessError> {
+        let v = self.req(path)?;
+        v.as_f64().ok_or_else(|| AccessError::new(path, format!("expected number, got {}", v.type_name())))
+    }
+
+    fn req_bool(&self, path: &str) -> Result<bool, AccessError> {
+        let v = self.req(path)?;
+        v.as_bool().ok_or_else(|| AccessError::new(path, format!("expected bool, got {}", v.type_name())))
+    }
+
+    fn req_seq(&self, path: &str) -> Result<&[Value], AccessError> {
+        let v = self.req(path)?;
+        v.as_seq().ok_or_else(|| AccessError::new(path, format!("expected sequence, got {}", v.type_name())))
+    }
+
+    fn opt_str(&self, path: &str) -> Option<&str> {
+        lookup(self, path).and_then(Value::as_str)
+    }
+
+    fn opt_f64(&self, path: &str) -> Option<f64> {
+        lookup(self, path).and_then(Value::as_f64)
+    }
+
+    fn opt_i64(&self, path: &str) -> Option<i64> {
+        lookup(self, path).and_then(Value::as_i64)
+    }
+
+    fn opt_bool(&self, path: &str) -> Option<bool> {
+        lookup(self, path).and_then(Value::as_bool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml::from_yaml;
+
+    fn doc() -> Value {
+        from_yaml(
+            "name: cell\nmodules:\n  - name: ot2\n    config:\n      tips: 96\n  - name: pf400\nrate: 2.5\nlive: true\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_traverses_maps_and_seqs() {
+        let d = doc();
+        assert_eq!(lookup(&d, "modules.0.config.tips").unwrap().as_i64(), Some(96));
+        assert_eq!(lookup(&d, "modules.1.name").unwrap().as_str(), Some("pf400"));
+        assert!(lookup(&d, "modules.5").is_none());
+        assert!(lookup(&d, "modules.x").is_none());
+        assert!(lookup(&d, "name.deeper").is_none());
+        assert_eq!(lookup(&d, "").unwrap(), &d);
+    }
+
+    #[test]
+    fn req_accessors_succeed() {
+        let d = doc();
+        assert_eq!(d.req_str("name").unwrap(), "cell");
+        assert_eq!(d.req_i64("modules.0.config.tips").unwrap(), 96);
+        assert_eq!(d.req_f64("rate").unwrap(), 2.5);
+        assert_eq!(d.req_f64("modules.0.config.tips").unwrap(), 96.0);
+        assert!(d.req_bool("live").unwrap());
+        assert_eq!(d.req_seq("modules").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn req_accessors_report_paths() {
+        let d = doc();
+        let err = d.req_str("modules.0.config.tips").unwrap_err();
+        assert!(err.to_string().contains("modules.0.config.tips"));
+        assert!(err.msg.contains("expected string, got int"));
+        assert_eq!(d.req("nope.nope").unwrap_err().msg, "missing");
+    }
+
+    #[test]
+    fn optional_accessors() {
+        let d = doc();
+        assert_eq!(d.opt_str("name"), Some("cell"));
+        assert_eq!(d.opt_str("missing"), None);
+        assert_eq!(d.opt_f64("rate"), Some(2.5));
+        assert_eq!(d.opt_i64("modules.0.config.tips"), Some(96));
+        assert_eq!(d.opt_bool("live"), Some(true));
+        assert_eq!(d.opt_bool("rate"), None);
+    }
+}

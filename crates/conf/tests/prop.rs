@@ -1,0 +1,81 @@
+//! Property tests: YAML and JSON round-trips over generated value trees.
+
+use proptest::prelude::*;
+use sdl_conf::{from_json, from_yaml, to_json, to_json_pretty, to_yaml, Value};
+
+/// Strings over a broad printable alphabet, including YAML-hostile content.
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").unwrap()
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_ .:#-]{0,15}").unwrap()
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12..1e12f64).prop_map(Value::Float),
+        arb_string().prop_map(Value::Str),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Seq),
+            proptest::collection::vec((arb_key(), inner), 0..5).prop_map(|entries| {
+                // Deduplicate keys: duplicate keys are a parse error by design.
+                let mut seen = std::collections::HashSet::new();
+                Value::Map(entries.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Any generated tree survives JSON serialization (compact and pretty).
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        prop_assert_eq!(&from_json(&to_json(&v)).unwrap(), &v);
+        prop_assert_eq!(&from_json(&to_json_pretty(&v)).unwrap(), &v);
+    }
+
+    /// Any generated tree survives YAML serialization.
+    #[test]
+    fn yaml_roundtrip(v in arb_value()) {
+        let text = to_yaml(&v);
+        let back = from_yaml(&text).unwrap();
+        prop_assert_eq!(&back, &v, "document was:\n{}", text);
+    }
+
+    /// The YAML parser never panics on arbitrary printable input.
+    #[test]
+    fn yaml_parser_total(s in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
+        let _ = from_yaml(&s);
+    }
+
+    /// The JSON parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_total(s in any::<String>()) {
+        let _ = from_json(&s);
+    }
+
+    /// JSON is a valid interchange for YAML flow values: a JSON document our
+    /// writer produces also parses as a YAML scalar line where applicable.
+    #[test]
+    fn ints_and_floats_keep_type(i in any::<i64>(), f in -1e9..1e9f64) {
+        let doc = format!("i: {i}\nf: {f:?}\n");
+        let v = from_yaml(&doc).unwrap();
+        prop_assert_eq!(v.req("i").unwrap(), &Value::Int(i));
+        match v.req("f").unwrap() {
+            Value::Float(g) => prop_assert_eq!(*g, f),
+            Value::Int(g) => prop_assert_eq!(*g as f64, f),
+            other => prop_assert!(false, "unexpected type {:?}", other),
+        }
+    }
+}
+
+use sdl_conf::ValueExt;

@@ -1,0 +1,235 @@
+//! Application configuration.
+
+use sdl_color::{DeltaE, DyeSet, MixKind, Rgb8};
+use sdl_conf::{from_yaml, Value, ValueExt};
+use sdl_desim::FaultPlan;
+use sdl_solvers::SolverKind;
+use sdl_wei::RPL_WORKCELL_YAML;
+use std::fmt;
+
+/// Everything a color-picker experiment needs.
+#[derive(Clone)]
+pub struct AppConfig {
+    /// Experiment name (portal metadata).
+    pub experiment_name: String,
+    /// Date string recorded in the portal (the paper's demo ran 2023-08-16).
+    pub date: String,
+    /// Target color. Paper experiments fix RGB (120, 120, 120).
+    pub target: Rgb8,
+    /// Total sample budget N. Paper: 128.
+    pub sample_budget: u32,
+    /// Batch size B (wells per mix iteration). Paper: 1–64.
+    pub batch: u32,
+    /// Decision procedure.
+    pub solver: SolverKind,
+    /// Grading metric (Figure 4 uses RGB Euclidean distance).
+    pub metric: DeltaE,
+    /// Forward mixing model of the simulated chemistry.
+    pub mix: MixKind,
+    /// Dye stocks.
+    pub dyes: DyeSet,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Workcell document to instantiate.
+    pub workcell_yaml: String,
+    /// Stop early when the best score reaches this value.
+    pub match_threshold: Option<f64>,
+    /// Run `cp_wf_replenish` when any reservoir falls below this volume (µL).
+    pub refill_watermark_ul: f64,
+    /// Attach plate images to published records.
+    pub publish_images: bool,
+    /// Seconds of solver/compute time per iteration (the "Compute" box of
+    /// Figure 2).
+    pub compute_seconds: f64,
+    /// Command-fault injection plan.
+    pub faults: FaultPlan,
+    /// Enable the detector's flat-field correction (off on the paper's rig).
+    pub flat_field: bool,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            experiment_name: "ColorPickerRPL".into(),
+            date: "2023-08-16".into(),
+            target: Rgb8::PAPER_TARGET,
+            sample_budget: 128,
+            batch: 1,
+            solver: SolverKind::Genetic,
+            metric: DeltaE::RgbEuclidean,
+            mix: MixKind::BeerLambert,
+            dyes: DyeSet::cmyk(),
+            seed: 42,
+            workcell_yaml: RPL_WORKCELL_YAML.to_string(),
+            match_threshold: None,
+            refill_watermark_ul: 2_600.0,
+            publish_images: true,
+            compute_seconds: 2.0,
+            faults: FaultPlan::none(),
+            flat_field: false,
+        }
+    }
+}
+
+impl fmt::Debug for AppConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppConfig")
+            .field("experiment_name", &self.experiment_name)
+            .field("target", &self.target)
+            .field("sample_budget", &self.sample_budget)
+            .field("batch", &self.batch)
+            .field("solver", &self.solver.name())
+            .field("metric", &self.metric.name())
+            .field("mix", &self.mix.name())
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Errors raised while reading an application config document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl AppConfig {
+    /// Parse an application config document; unspecified fields keep their
+    /// defaults.
+    ///
+    /// ```yaml
+    /// experiment: ColorPickerRPL
+    /// target: [120, 120, 120]
+    /// samples: 128
+    /// batch: 4
+    /// solver: genetic
+    /// metric: rgb
+    /// mix_model: beer-lambert
+    /// seed: 7
+    /// ```
+    pub fn from_yaml(src: &str) -> Result<AppConfig, ConfigError> {
+        let doc = from_yaml(src).map_err(|e| ConfigError(e.to_string()))?;
+        let mut cfg = AppConfig::default();
+        if let Some(v) = doc.opt_str("experiment") {
+            cfg.experiment_name = v.to_string();
+        }
+        if let Some(v) = doc.opt_str("date") {
+            cfg.date = v.to_string();
+        }
+        if let Ok(t) = doc.req_seq("target") {
+            if t.len() != 3 {
+                return Err(ConfigError("target must have 3 components".into()));
+            }
+            let ch: Vec<i64> = t.iter().filter_map(Value::as_i64).collect();
+            if ch.len() != 3 || ch.iter().any(|c| !(0..=255).contains(c)) {
+                return Err(ConfigError("target components must be 0-255 integers".into()));
+            }
+            cfg.target = Rgb8::new(ch[0] as u8, ch[1] as u8, ch[2] as u8);
+        }
+        if let Some(v) = doc.opt_i64("samples") {
+            if v <= 0 {
+                return Err(ConfigError("samples must be positive".into()));
+            }
+            cfg.sample_budget = v as u32;
+        }
+        if let Some(v) = doc.opt_i64("batch") {
+            if v <= 0 {
+                return Err(ConfigError("batch must be positive".into()));
+            }
+            cfg.batch = v as u32;
+        }
+        if let Some(v) = doc.opt_str("solver") {
+            cfg.solver =
+                SolverKind::parse(v).ok_or_else(|| ConfigError(format!("unknown solver '{v}'")))?;
+        }
+        if let Some(v) = doc.opt_str("metric") {
+            cfg.metric = DeltaE::parse(v).ok_or_else(|| ConfigError(format!("unknown metric '{v}'")))?;
+        }
+        if let Some(v) = doc.opt_str("mix_model") {
+            cfg.mix = MixKind::parse(v).ok_or_else(|| ConfigError(format!("unknown mix model '{v}'")))?;
+        }
+        if let Some(v) = doc.opt_i64("seed") {
+            cfg.seed = v as u64;
+        }
+        if let Some(v) = doc.opt_f64("match_threshold") {
+            cfg.match_threshold = Some(v);
+        }
+        if let Some(v) = doc.opt_f64("refill_watermark_ul") {
+            cfg.refill_watermark_ul = v;
+        }
+        if let Some(v) = doc.opt_bool("publish_images") {
+            cfg.publish_images = v;
+        }
+        if let Some(v) = doc.opt_f64("compute_seconds") {
+            cfg.compute_seconds = v;
+        }
+        if let Some(v) = doc.opt_bool("flat_field") {
+            cfg.flat_field = v;
+        }
+        Ok(cfg)
+    }
+
+    /// Experiment identifier derived from the configuration.
+    pub fn experiment_id(&self) -> String {
+        format!(
+            "{}-b{}-{}-seed{}",
+            self.experiment_name.to_lowercase().replace(' ', "-"),
+            self.batch,
+            self.solver.name(),
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = AppConfig::default();
+        assert_eq!(c.target, Rgb8::new(120, 120, 120));
+        assert_eq!(c.sample_budget, 128);
+        assert_eq!(c.batch, 1);
+        assert_eq!(c.solver, SolverKind::Genetic);
+        assert_eq!(c.metric, DeltaE::RgbEuclidean);
+    }
+
+    #[test]
+    fn yaml_overrides_fields() {
+        let c = AppConfig::from_yaml(
+            "experiment: Demo\ntarget: [10, 20, 30]\nsamples: 64\nbatch: 8\nsolver: bayesian\nmetric: ciede2000\nmix_model: linear\nseed: 9\nmatch_threshold: 5.0\n",
+        )
+        .unwrap();
+        assert_eq!(c.experiment_name, "Demo");
+        assert_eq!(c.target, Rgb8::new(10, 20, 30));
+        assert_eq!(c.sample_budget, 64);
+        assert_eq!(c.batch, 8);
+        assert_eq!(c.solver, SolverKind::Bayesian);
+        assert_eq!(c.metric, DeltaE::Ciede2000);
+        assert_eq!(c.mix, MixKind::Linear);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.match_threshold, Some(5.0));
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(AppConfig::from_yaml("target: [1, 2]").is_err());
+        assert!(AppConfig::from_yaml("target: [1, 2, 900]").is_err());
+        assert!(AppConfig::from_yaml("samples: 0").is_err());
+        assert!(AppConfig::from_yaml("batch: -1").is_err());
+        assert!(AppConfig::from_yaml("solver: quantum").is_err());
+        assert!(AppConfig::from_yaml("metric: vibes").is_err());
+    }
+
+    #[test]
+    fn experiment_id_is_descriptive() {
+        let c = AppConfig::default();
+        assert_eq!(c.experiment_id(), "colorpickerrpl-b1-genetic-seed42");
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment sweeps: the driver behind Figure 4 and the solver-comparison
+//! study. Each configuration runs its own independent simulated lab; sweeps
+//! parallelize across crossbeam scoped threads (one virtual 8-hour run per
+//! core).
+
+use crate::app::{AppError, ColorPickerApp, ExperimentOutcome};
+use crate::config::AppConfig;
+use sdl_solvers::SolverKind;
+
+/// Run one experiment to completion.
+pub fn run_one(config: AppConfig) -> Result<ExperimentOutcome, AppError> {
+    ColorPickerApp::new(config)?.run()
+}
+
+/// A labelled configuration inside a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepItem {
+    /// Label for reports ("B=1", "genetic/seed 3"…).
+    pub label: String,
+    /// The configuration to run.
+    pub config: AppConfig,
+}
+
+/// Run many experiments in parallel; results come back in input order.
+pub fn run_sweep(items: Vec<SweepItem>) -> Vec<(String, Result<ExperimentOutcome, AppError>)> {
+    let mut slots: Vec<Option<(String, Result<ExperimentOutcome, AppError>)>> =
+        (0..items.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            handles.push((i, scope.spawn(move |_| (item.label.clone(), run_one(item.config)))));
+        }
+        for (i, h) in handles {
+            slots[i] = Some(h.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("sweep scope");
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// The Figure-4 batch sweep: N samples at each batch size, same solver.
+pub fn batch_sweep(base: &AppConfig, batches: &[u32]) -> Vec<SweepItem> {
+    batches
+        .iter()
+        .map(|&b| {
+            let mut config = base.clone();
+            config.batch = b;
+            // Per-experiment seed, as in the paper (each experiment's first
+            // samples are independently random).
+            config.seed = base.seed.wrapping_add(b as u64).wrapping_mul(0x9e37_79b9);
+            SweepItem { label: format!("B={b}"), config }
+        })
+        .collect()
+}
+
+/// Solver-comparison sweep: same budget, several seeds per solver.
+pub fn solver_sweep(base: &AppConfig, solvers: &[SolverKind], seeds: &[u64]) -> Vec<SweepItem> {
+    let mut items = Vec::new();
+    for &solver in solvers {
+        for &seed in seeds {
+            let mut config = base.clone();
+            config.solver = solver;
+            config.seed = seed;
+            items.push(SweepItem { label: format!("{}/seed{}", solver.name(), seed), config });
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> AppConfig {
+        AppConfig {
+            sample_budget: 6,
+            batch: 3,
+            publish_images: false,
+            ..AppConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let base = small_config();
+        let items = batch_sweep(&base, &[1, 2, 3]);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].label, "B=1");
+        assert_eq!(items[2].config.batch, 3);
+        // Distinct seeds per experiment.
+        assert_ne!(items[0].config.seed, items[1].config.seed);
+    }
+
+    #[test]
+    fn solver_sweep_crosses_solvers_and_seeds() {
+        let base = small_config();
+        let items = solver_sweep(&base, &[SolverKind::Genetic, SolverKind::Random], &[1, 2, 3]);
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[0].label, "genetic/seed1");
+        assert_eq!(items[5].config.solver, SolverKind::Random);
+    }
+
+    #[test]
+    fn parallel_sweep_runs_everything() {
+        let base = small_config();
+        let items = batch_sweep(&base, &[2, 3]);
+        let results = run_sweep(items);
+        assert_eq!(results.len(), 2);
+        for (label, r) in &results {
+            let out = r.as_ref().unwrap_or_else(|e| panic!("{label} failed: {e}"));
+            assert_eq!(out.samples_measured, 6, "{label}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `sdl-core` — the color-picker application (the paper's primary
+//! contribution, Figure 2).
+//!
+//! [`ColorPickerApp`] closes the loop: an optimization solver proposes dye
+//! ratios, the WEI engine drives the simulated workcell through the four
+//! `cp_wf_*` workflows, the camera's frames run through the §2.4 detection
+//! pipeline, scores feed back to the solver, and every sample is published
+//! to the ACDC-style portal — all on a virtual clock calibrated to Table 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdl_core::{AppConfig, ColorPickerApp};
+//!
+//! let config = AppConfig { sample_budget: 4, batch: 2, publish_images: false, ..AppConfig::default() };
+//! let outcome = ColorPickerApp::new(config).unwrap().run().unwrap();
+//! assert_eq!(outcome.samples_measured, 4);
+//! assert!(outcome.best_score.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod config;
+mod experiment;
+mod metrics;
+mod multi;
+mod protocol;
+mod termination;
+
+pub use app::{
+    AppError, ColorPickerApp, ExperimentOutcome, TrajectoryPoint, WF_MIXCOLOR, WF_NEWPLATE,
+    WF_REPLENISH, WF_TRASHPLATE,
+};
+pub use config::{AppConfig, ConfigError};
+pub use experiment::{batch_sweep, run_one, run_sweep, solver_sweep, SweepItem};
+pub use metrics::SdlMetrics;
+pub use multi::{multi_ot2_workcell_yaml, run_multi_ot2, MultiOt2Outcome};
+pub use protocol::{build_protocol, ProtocolError};
+pub use termination::TerminationReason;

@@ -1,0 +1,188 @@
+//! The paper's proposed SDL metrics (§4, Table 1).
+//!
+//! * **TWH** — time without humans: the longest stretch of the run with no
+//!   human intervention;
+//! * **CCWH** — commands completed without humans: the longest streak of
+//!   robotic commands (the camera is a sensor and does not count);
+//! * **synthesis time** — OT-2 protocol execution;
+//! * **transfer time** — pf400 moves plus imaging turnaround;
+//! * **time per color** — total runtime divided by colors mixed.
+//!
+//! Plate logistics (sciclops fetches, barty pump work) fall outside the
+//! paper's two buckets and are reported separately as `logistics`.
+
+use sdl_desim::{SimDuration, SimTime};
+use sdl_wei::{Counters, Reliability, WorkflowRunLog};
+use std::fmt::Write as _;
+
+/// Computed metrics for one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdlMetrics {
+    /// Time without humans.
+    pub twh: SimDuration,
+    /// Commands completed without humans (robotic commands).
+    pub ccwh: u64,
+    /// Total OT-2 synthesis time.
+    pub synthesis: SimDuration,
+    /// Total transfer + imaging time.
+    pub transfer: SimDuration,
+    /// Plate/reservoir logistics time (sciclops + barty).
+    pub logistics: SimDuration,
+    /// Whole-experiment duration.
+    pub total: SimDuration,
+    /// Colors mixed (samples measured).
+    pub colors_mixed: u32,
+    /// Mean time per color.
+    pub time_per_color: SimDuration,
+    /// All robotic commands completed over the run.
+    pub robotic_commands: u64,
+    /// All commands completed (including camera).
+    pub total_commands: u64,
+    /// Human interventions over the run.
+    pub human_interventions: u64,
+}
+
+impl SdlMetrics {
+    /// Derive metrics from engine history and reliability bookkeeping.
+    pub fn compute(
+        history: &[WorkflowRunLog],
+        counters: &Counters,
+        reliability: &Reliability,
+        run_start: SimTime,
+        run_end: SimTime,
+        colors_mixed: u32,
+    ) -> SdlMetrics {
+        let mut synthesis = SimDuration::ZERO;
+        let mut transfer = SimDuration::ZERO;
+        let mut logistics = SimDuration::ZERO;
+        for log in history {
+            for r in &log.records {
+                let d = r.duration();
+                match r.action.as_str() {
+                    "run_protocol" => synthesis += d,
+                    "transfer" | "take_picture" => transfer += d,
+                    _ => logistics += d,
+                }
+            }
+        }
+        let total = run_end - run_start;
+        SdlMetrics {
+            twh: reliability.time_without_humans(run_start, run_end),
+            ccwh: reliability.commands_without_humans(),
+            synthesis,
+            transfer,
+            logistics,
+            total,
+            colors_mixed,
+            time_per_color: if colors_mixed > 0 { total / colors_mixed as u64 } else { SimDuration::ZERO },
+            robotic_commands: counters.robotic_completed,
+            total_commands: counters.completed,
+            human_interventions: counters.human_interventions,
+        }
+    }
+
+    /// Render the Table-1 rows.
+    pub fn render_table1(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<44} Value", "Metric");
+        let _ = writeln!(out, "{:-<60}", "");
+        let _ = writeln!(out, "{:<44} {}", "Time without humans (TWH)", self.twh);
+        let _ = writeln!(out, "{:<44} {}", "Completed commands without humans (CCWH)", self.ccwh);
+        let _ = writeln!(out, "{:<44} {}", "Synthesis time", self.synthesis);
+        let _ = writeln!(out, "{:<44} {}", "Transfer time", self.transfer);
+        let _ = writeln!(out, "{:<44} {}", "Plate/reservoir logistics", self.logistics);
+        let _ = writeln!(out, "{:<44} {}", "Total colors mixed", self.colors_mixed);
+        let _ = writeln!(out, "{:<44} {}", "Time per color", self.time_per_color);
+        out
+    }
+
+    /// Synthesis share of the total (the paper reports 63%).
+    pub fn synthesis_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.synthesis.as_secs_f64() / self.total.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_wei::StepRecord;
+
+    fn log_with(action: &str, module: &str, dur_s: u64) -> WorkflowRunLog {
+        WorkflowRunLog {
+            workflow: "wf".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(dur_s),
+            records: vec![StepRecord {
+                name: action.to_string(),
+                module: module.into(),
+                action: action.into(),
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(dur_s),
+                attempts: 1,
+                human_intervened: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn buckets_by_action() {
+        let history = vec![
+            log_with("run_protocol", "ot2", 143),
+            log_with("transfer", "pf400", 34),
+            log_with("transfer", "pf400", 34),
+            log_with("take_picture", "camera", 15),
+            log_with("get_plate", "sciclops", 30),
+            log_with("fill_colors", "barty", 44),
+        ];
+        let m = SdlMetrics::compute(
+            &history,
+            &Counters { completed: 6, robotic_completed: 5, ..Counters::default() },
+            &Reliability::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(300),
+            1,
+        );
+        assert_eq!(m.synthesis, SimDuration::from_secs(143));
+        assert_eq!(m.transfer, SimDuration::from_secs(83));
+        assert_eq!(m.logistics, SimDuration::from_secs(74));
+        assert_eq!(m.total, SimDuration::from_secs(300));
+        assert_eq!(m.time_per_color, SimDuration::from_secs(300));
+        assert!((m.synthesis_fraction() - 143.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn twh_spans_interventions() {
+        let mut rel = Reliability::default();
+        rel.human_times.push(SimTime::from_secs(1_000));
+        let m = SdlMetrics::compute(
+            &[],
+            &Counters::default(),
+            &rel,
+            SimTime::ZERO,
+            SimTime::from_secs(10_000),
+            0,
+        );
+        assert_eq!(m.twh, SimDuration::from_secs(9_000));
+        assert_eq!(m.time_per_color, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let m = SdlMetrics::compute(
+            &[],
+            &Counters::default(),
+            &Reliability::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            4,
+        );
+        let t = m.render_table1();
+        for needle in ["TWH", "CCWH", "Synthesis", "Transfer", "Total colors mixed", "Time per color"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! OT-2 protocol generation: solver ratios → dispense instructions.
+//!
+//! The orange box under `Ot2.Run_Protocol` in Figure 2 is a protocol file;
+//! here it is built programmatically from the solver's proposals and the
+//! plate's next free wells.
+
+use sdl_color::{DyeSet, Recipe, RecipeError};
+use sdl_instruments::{ProtocolSpec, WellDispense, WellIndex};
+
+/// Errors while building a protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// More proposals than free wells supplied.
+    NotEnoughWells {
+        /// Proposals to place.
+        proposals: usize,
+        /// Wells available.
+        wells: usize,
+    },
+    /// A proposal could not be converted to a recipe.
+    BadRecipe(RecipeError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NotEnoughWells { proposals, wells } => {
+                write!(f, "{proposals} proposals but only {wells} free wells")
+            }
+            ProtocolError::BadRecipe(e) => write!(f, "bad recipe: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Build the mix-colors protocol for one batch.
+pub fn build_protocol(
+    ratios: &[Vec<f64>],
+    wells: &[WellIndex],
+    dyes: &DyeSet,
+) -> Result<ProtocolSpec, ProtocolError> {
+    if ratios.len() > wells.len() {
+        return Err(ProtocolError::NotEnoughWells { proposals: ratios.len(), wells: wells.len() });
+    }
+    let mut dispenses = Vec::with_capacity(ratios.len());
+    for (r, &well) in ratios.iter().zip(wells) {
+        let recipe = Recipe::from_ratios(r, dyes).map_err(ProtocolError::BadRecipe)?;
+        dispenses.push(WellDispense { well, volumes_ul: recipe.volumes_ul().to_vec() });
+    }
+    Ok(ProtocolSpec { name: "combine_colors.yaml".into(), dispenses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_dispenses_in_well_order() {
+        let dyes = DyeSet::cmyk();
+        let ratios = vec![vec![0.5, 0.0, 0.0, 0.25], vec![0.0, 1.0, 0.0, 0.0]];
+        let wells = vec![WellIndex::new(0, 0), WellIndex::new(0, 1), WellIndex::new(0, 2)];
+        let p = build_protocol(&ratios, &wells, &dyes).unwrap();
+        assert_eq!(p.dispenses.len(), 2);
+        assert_eq!(p.dispenses[0].well, WellIndex::new(0, 0));
+        assert_eq!(p.dispenses[0].volumes_ul, vec![20.0, 0.0, 0.0, 10.0]);
+        assert_eq!(p.dispenses[1].volumes_ul, vec![0.0, 40.0, 0.0, 0.0]);
+        assert_eq!(p.name, "combine_colors.yaml");
+    }
+
+    #[test]
+    fn too_many_proposals_fail() {
+        let dyes = DyeSet::cmyk();
+        let ratios = vec![vec![0.1; 4]; 3];
+        let wells = vec![WellIndex::new(0, 0)];
+        assert_eq!(
+            build_protocol(&ratios, &wells, &dyes),
+            Err(ProtocolError::NotEnoughWells { proposals: 3, wells: 1 })
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_recipe_error() {
+        let dyes = DyeSet::cmyk();
+        let ratios = vec![vec![0.1; 3]];
+        let wells = vec![WellIndex::new(0, 0)];
+        assert!(matches!(
+            build_protocol(&ratios, &wells, &dyes),
+            Err(ProtocolError::BadRecipe(_))
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! Termination criteria: "once termination criteria are satisfied (e.g.,
+//! target color matched or resources exhausted), the application runs
+//! cp_wf_trashplate again to finalize the experiment" (§2.3).
+
+use std::fmt;
+
+/// Why an experiment ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerminationReason {
+    /// The sample budget (N) was spent.
+    BudgetExhausted,
+    /// The best score reached the configured match threshold.
+    TargetMatched {
+        /// The score that satisfied the threshold.
+        score: f64,
+    },
+    /// The sciclops ran out of plates.
+    OutOfPlates,
+}
+
+impl TerminationReason {
+    /// Did the run end by matching the target?
+    pub fn matched(&self) -> bool {
+        matches!(self, TerminationReason::TargetMatched { .. })
+    }
+}
+
+impl fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationReason::BudgetExhausted => write!(f, "sample budget exhausted"),
+            TerminationReason::TargetMatched { score } => {
+                write!(f, "target matched (score {score:.2})")
+            }
+            TerminationReason::OutOfPlates => write!(f, "plate storage exhausted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_matched() {
+        assert_eq!(TerminationReason::BudgetExhausted.to_string(), "sample budget exhausted");
+        let t = TerminationReason::TargetMatched { score: 4.5 };
+        assert!(t.matched());
+        assert!(t.to_string().contains("4.50"));
+        assert!(!TerminationReason::OutOfPlates.matched());
+    }
+}

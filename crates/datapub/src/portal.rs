@@ -1,0 +1,283 @@
+//! The ACDC-style data portal.
+//!
+//! "The publication step engages a Globus flow to publish data to the ALCF
+//! Community Data Co-Op (ACDC) data portal" (§2.3). The portal here is a
+//! searchable, insertion-ordered record index with the two views of
+//! Figure 3: the experiment summary and the per-run detail table. Records
+//! can be exported to and reloaded from JSON-lines files.
+
+use crate::record::SampleRecord;
+use parking_lot::RwLock;
+use sdl_conf::{from_json, to_json, Value, ValueExt};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Thread-safe searchable record index.
+#[derive(Debug, Default)]
+pub struct AcdcPortal {
+    records: RwLock<Vec<Value>>,
+}
+
+impl AcdcPortal {
+    /// Empty portal.
+    pub fn new() -> AcdcPortal {
+        AcdcPortal::default()
+    }
+
+    /// Ingest one record (any value tree with a `kind` field).
+    pub fn ingest(&self, record: Value) {
+        self.records.write().push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// True when the portal holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// All records matching a string-equality filter on a dotted path.
+    pub fn find(&self, path: &str, value: &str) -> Vec<Value> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| {
+                r.opt_str(path) == Some(value)
+                    || r.opt_i64(path).map(|v| v.to_string()).as_deref() == Some(value)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Records matching an arbitrary predicate.
+    pub fn search(&self, pred: impl Fn(&Value) -> bool) -> Vec<Value> {
+        self.records.read().iter().filter(|r| pred(r)).cloned().collect()
+    }
+
+    /// Sample records of one experiment, in publication order.
+    pub fn samples(&self, experiment_id: &str) -> Vec<SampleRecord> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.opt_str("experiment_id") == Some(experiment_id))
+            .filter_map(SampleRecord::from_value)
+            .collect()
+    }
+
+    /// The Figure-3 left view: experiment summary.
+    pub fn summary_view(&self, experiment_id: &str) -> String {
+        let meta = {
+            let records = self.records.read();
+            records
+                .iter()
+                .find(|r| {
+                    r.opt_str("kind") == Some("experiment")
+                        && r.opt_str("experiment_id") == Some(experiment_id)
+                })
+                .cloned()
+        };
+        let samples = self.samples(experiment_id);
+        let runs: std::collections::BTreeSet<u32> = samples.iter().map(|s| s.run).collect();
+        let best = samples.iter().map(|s| s.score).fold(f64::INFINITY, f64::min);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "=== ACDC portal: experiment {experiment_id} ===");
+        if let Some(m) = meta {
+            let _ = writeln!(
+                out,
+                "name: {}   date: {}   solver: {}   batch: {}",
+                m.opt_str("name").unwrap_or("?"),
+                m.opt_str("date").unwrap_or("?"),
+                m.opt_str("solver").unwrap_or("?"),
+                m.opt_i64("batch").unwrap_or(0),
+            );
+            if let Some(t) = m.req("target").ok().and_then(Value::as_seq) {
+                let t: Vec<String> = t.iter().filter_map(Value::as_i64).map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "target color: RGB=({})", t.join(","));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} runs, {} samples total{}",
+            runs.len(),
+            samples.len(),
+            if best.is_finite() { format!(", best score {best:.2}") } else { String::new() }
+        );
+        for run in runs {
+            let in_run: Vec<&SampleRecord> = samples.iter().filter(|s| s.run == run).collect();
+            let run_best = in_run.iter().map(|s| s.score).fold(f64::INFINITY, f64::min);
+            let _ = writeln!(out, "  run #{run:<3} {:>3} samples   best {run_best:>7.2}", in_run.len());
+        }
+        out
+    }
+
+    /// The Figure-3 right view: detailed data from one run.
+    pub fn run_detail(&self, experiment_id: &str, run: u32) -> String {
+        let samples: Vec<SampleRecord> =
+            self.samples(experiment_id).into_iter().filter(|s| s.run == run).collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "=== ACDC portal: experiment {experiment_id}, run #{run} ===");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>15} {:>15} {:>8} {:>8} {:>10}  image",
+            "sample", "well", "measured RGB", "target RGB", "score", "best", "elapsed"
+        );
+        for s in &samples {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>5} {:>15} {:>15} {:>8.2} {:>8.2} {:>9.1}m  {}",
+                s.sample,
+                s.well,
+                format!("({},{},{})", s.measured[0], s.measured[1], s.measured[2]),
+                format!("({},{},{})", s.target[0], s.target[1], s.target[2]),
+                s.score,
+                s.best_so_far,
+                s.elapsed_s / 60.0,
+                s.image_ref.as_deref().unwrap_or("-"),
+            );
+        }
+        if samples.is_empty() {
+            let _ = writeln!(out, "(no samples)");
+        }
+        out
+    }
+
+    /// Export all records as JSON lines.
+    pub fn export_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        use std::io::Write;
+        let records = self.records.read();
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        for r in records.iter() {
+            writeln!(w, "{}", to_json(r))?;
+        }
+        w.flush()?;
+        Ok(records.len())
+    }
+
+    /// Load records from a JSON-lines file (appending).
+    pub fn import_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let mut n = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match from_json(line) {
+                Ok(v) => {
+                    self.ingest(v);
+                    n += 1;
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+                }
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ExperimentRecord;
+
+    fn seed_portal() -> AcdcPortal {
+        let portal = AcdcPortal::new();
+        portal.ingest(
+            ExperimentRecord {
+                experiment_id: "exp-1".into(),
+                name: "ColorPickerRPL".into(),
+                date: "2023-08-16".into(),
+                target: [120, 120, 120],
+                solver: "genetic".into(),
+                batch: 15,
+                sample_budget: 180,
+            }
+            .to_value(),
+        );
+        for run in 1..=12u32 {
+            for i in 1..=15u32 {
+                let sample = (run - 1) * 15 + i;
+                portal.ingest(
+                    SampleRecord {
+                        experiment_id: "exp-1".into(),
+                        run,
+                        sample,
+                        well: format!("A{}", (i % 12) + 1),
+                        ratios: vec![0.2; 4],
+                        volumes_ul: vec![8.0; 4],
+                        measured: [120, 119, 122],
+                        target: [120, 120, 120],
+                        score: 30.0 - sample as f64 / 10.0,
+                        best_so_far: 30.0 - sample as f64 / 10.0,
+                        elapsed_s: sample as f64 * 228.0,
+                        image_ref: None,
+                    }
+                    .to_value(),
+                );
+            }
+        }
+        portal
+    }
+
+    #[test]
+    fn figure3_scale_is_reproduced() {
+        let portal = seed_portal();
+        // 12 runs × 15 samples = 180 experiments, plus 1 metadata record.
+        assert_eq!(portal.len(), 181);
+        assert_eq!(portal.samples("exp-1").len(), 180);
+    }
+
+    #[test]
+    fn find_filters_by_field() {
+        let portal = seed_portal();
+        assert_eq!(portal.find("kind", "experiment").len(), 1);
+        assert_eq!(portal.find("run", "12").len(), 15);
+        assert_eq!(portal.find("experiment_id", "nope").len(), 0);
+    }
+
+    #[test]
+    fn search_with_predicate() {
+        let portal = seed_portal();
+        let good = portal.search(|r| r.opt_f64("score").map(|s| s < 15.0).unwrap_or(false));
+        assert!(!good.is_empty());
+        assert!(good.len() < 180);
+    }
+
+    #[test]
+    fn summary_view_mentions_runs_and_best() {
+        let portal = seed_portal();
+        let view = portal.summary_view("exp-1");
+        assert!(view.contains("12 runs, 180 samples"), "{view}");
+        assert!(view.contains("ColorPickerRPL"));
+        assert!(view.contains("RGB=(120,120,120)"));
+        assert!(view.contains("run #12"));
+    }
+
+    #[test]
+    fn run_detail_lists_samples() {
+        let portal = seed_portal();
+        let view = portal.run_detail("exp-1", 12);
+        assert_eq!(view.lines().count(), 2 + 15);
+        assert!(view.contains("run #12"));
+        let empty = portal.run_detail("exp-1", 99);
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let portal = seed_portal();
+        let path = std::env::temp_dir().join(format!("sdl-portal-{}.jsonl", std::process::id()));
+        let n = portal.export_jsonl(&path).unwrap();
+        assert_eq!(n, 181);
+        let fresh = AcdcPortal::new();
+        let m = fresh.import_jsonl(&path).unwrap();
+        assert_eq!(m, 181);
+        assert_eq!(fresh.samples("exp-1").len(), 180);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,141 @@
+//! Content-addressed blob store for plate images.
+//!
+//! The portal keeps "the raw plate images for quality control" (§2.3).
+//! Blobs are addressed by a content hash, deduplicated, and optionally
+//! spilled to a directory as `.bin` files.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Reference to a stored blob (`blob:<hex>`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlobRef(pub String);
+
+impl BlobRef {
+    fn from_hash(h: u64) -> BlobRef {
+        BlobRef(format!("blob:{h:016x}"))
+    }
+}
+
+impl std::fmt::Display for BlobRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Mix in the length to separate prefix collisions.
+    h ^ (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Thread-safe content-addressed store.
+#[derive(Debug, Default)]
+pub struct BlobStore {
+    blobs: Mutex<HashMap<BlobRef, Bytes>>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl BlobStore {
+    /// In-memory store.
+    pub fn in_memory() -> BlobStore {
+        BlobStore::default()
+    }
+
+    /// Store that also writes each blob to `dir` (created on demand).
+    pub fn with_spill_dir(dir: impl Into<PathBuf>) -> BlobStore {
+        BlobStore { blobs: Mutex::new(HashMap::new()), spill_dir: Some(dir.into()) }
+    }
+
+    /// Store a blob, returning its reference (idempotent).
+    pub fn put(&self, data: Bytes) -> BlobRef {
+        let r = BlobRef::from_hash(fnv64(&data));
+        let mut blobs = self.blobs.lock();
+        if blobs.contains_key(&r) {
+            return r;
+        }
+        if let Some(dir) = &self.spill_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let name = r.0.replace(':', "_");
+            let _ = std::fs::write(dir.join(format!("{name}.bin")), &data);
+        }
+        blobs.insert(r.clone(), data);
+        r
+    }
+
+    /// Fetch a blob.
+    pub fn get(&self, r: &BlobRef) -> Option<Bytes> {
+        self.blobs.lock().get(r).cloned()
+    }
+
+    /// Number of distinct blobs held.
+    pub fn len(&self) -> usize {
+        self.blobs.lock().len()
+    }
+
+    /// True when no blobs are held.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.lock().is_empty()
+    }
+
+    /// Total bytes held in memory.
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.lock().values().map(Bytes::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = BlobStore::in_memory();
+        let r = store.put(Bytes::from_static(b"plate image bytes"));
+        assert_eq!(store.get(&r).unwrap(), Bytes::from_static(b"plate image bytes"));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn identical_content_deduplicates() {
+        let store = BlobStore::in_memory();
+        let a = store.put(Bytes::from_static(b"same"));
+        let b = store.put(Bytes::from_static(b"same"));
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+        let c = store.put(Bytes::from_static(b"different"));
+        assert_ne!(a, c);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes(), 4 + 9);
+    }
+
+    #[test]
+    fn missing_blob_is_none() {
+        let store = BlobStore::in_memory();
+        assert!(store.get(&BlobRef("blob:deadbeef".into())).is_none());
+    }
+
+    #[test]
+    fn spill_dir_receives_files() {
+        let dir = std::env::temp_dir().join(format!("sdl-blob-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = BlobStore::with_spill_dir(&dir);
+        let r = store.put(Bytes::from_static(b"spilled"));
+        let expect = dir.join(format!("{}.bin", r.0.replace(':', "_")));
+        assert_eq!(std::fs::read(expect).unwrap(), b"spilled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = BlobRef::from_hash(0xabcd);
+        assert_eq!(r.to_string(), "blob:000000000000abcd");
+    }
+}

@@ -1,0 +1,600 @@
+//! Deterministic process executive.
+//!
+//! Simulation *processes* are ordinary imperative closures that run on their
+//! own OS threads but never execute concurrently: a central coordinator wakes
+//! exactly one process at a time and advances the virtual clock between
+//! wakes. Processes block on [`ProcCtx::hold`] (let simulated time pass) and
+//! [`ProcCtx::acquire`] (wait for a shared resource such as a robot arm), so
+//! workcell workflows read as straight-line code while the kernel still
+//! models real concurrency — two workflows contending for the `pf400` arm
+//! queue exactly as they would on the physical rail.
+//!
+//! Determinism: wake events are ordered by `(time, sequence)`, resource
+//! queues are FIFO, and only one process runs at any real instant, so a run
+//! is a pure function of the master seed and the scheduled work.
+
+use crate::queue::EventQueue;
+use crate::rng::RngHub;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Identifier of a spawned process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(usize);
+
+/// Handle to a declared resource (capacity-limited, FIFO-granted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+type ProcFn = Box<dyn FnOnce(&mut ProcCtx) + Send + 'static>;
+
+enum Request {
+    /// Blocking: sleep for a duration of virtual time.
+    Hold { proc: ProcId, dur: SimDuration },
+    /// Blocking: wait for one unit of the resource.
+    Acquire { proc: ProcId, res: ResourceId },
+    /// Non-blocking: return one unit of the resource.
+    Release { proc: ProcId, res: ResourceId },
+    /// Non-blocking: start a new process at the current instant.
+    Spawn { name: String, f: ProcFn },
+    /// Non-blocking: record a user trace event.
+    Trace { proc: ProcId, kind: TraceKind, detail: String },
+    /// Blocking (terminal): the process body returned or panicked.
+    Finished { proc: ProcId, panicked: bool },
+}
+
+/// Per-process context handed to each process closure.
+pub struct ProcCtx {
+    id: ProcId,
+    name: String,
+    now: SimTime,
+    tx: Sender<Request>,
+    wake_rx: Receiver<SimTime>,
+    hub: RngHub,
+}
+
+impl ProcCtx {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's name (for logs and traces).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulation's RNG hub; derive named streams from it.
+    pub fn hub(&self) -> RngHub {
+        self.hub
+    }
+
+    /// Let `dur` of virtual time pass.
+    pub fn hold(&mut self, dur: SimDuration) {
+        self.tx
+            .send(Request::Hold { proc: self.id, dur })
+            .expect("coordinator alive");
+        self.now = self.wake_rx.recv().expect("coordinator alive");
+    }
+
+    /// Wait until one unit of `res` is available and take it. Units are
+    /// granted in request order. Pair with [`ProcCtx::release`]; units still
+    /// held when the process ends are returned automatically.
+    pub fn acquire(&mut self, res: ResourceId) {
+        self.tx
+            .send(Request::Acquire { proc: self.id, res })
+            .expect("coordinator alive");
+        self.now = self.wake_rx.recv().expect("coordinator alive");
+    }
+
+    /// Return one unit of `res`.
+    pub fn release(&mut self, res: ResourceId) {
+        self.tx
+            .send(Request::Release { proc: self.id, res })
+            .expect("coordinator alive");
+    }
+
+    /// Run `body` while holding `res`.
+    pub fn with_resource<R>(&mut self, res: ResourceId, body: impl FnOnce(&mut ProcCtx) -> R) -> R {
+        self.acquire(res);
+        let out = body(self);
+        self.release(res);
+        out
+    }
+
+    /// Start a sibling process at the current virtual instant.
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(&mut ProcCtx) + Send + 'static) {
+        self.tx
+            .send(Request::Spawn { name: name.into(), f: Box::new(f) })
+            .expect("coordinator alive");
+    }
+
+    /// Record a user-level trace event at the current instant.
+    pub fn trace(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.tx
+            .send(Request::Trace {
+                proc: self.id,
+                kind: TraceKind::User(kind.into()),
+                detail: detail.into(),
+            })
+            .expect("coordinator alive");
+    }
+}
+
+struct ResourceState {
+    name: String,
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<ProcId>,
+}
+
+struct ProcSlot {
+    name: String,
+    wake_tx: Sender<SimTime>,
+    join: Option<JoinHandle<()>>,
+    alive: bool,
+    held: Vec<ResourceId>,
+}
+
+/// Errors surfaced by [`Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// All remaining processes are blocked on resources nobody will release.
+    Deadlock {
+        /// Names of the blocked processes.
+        blocked: Vec<String>,
+    },
+    /// A process body panicked; the panic message is in the thread output.
+    ProcessPanicked {
+        /// Name of the panicked process.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked; blocked processes: {}", blocked.join(", "))
+            }
+            SimError::ProcessPanicked { name } => write!(f, "process '{name}' panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a completed simulation.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Instant at which the last process finished.
+    pub end: SimTime,
+    /// Chronological trace of scheduler and user events.
+    pub trace: Trace,
+}
+
+/// A configured simulation: declare resources and root processes, then
+/// [`Simulation::run`].
+pub struct Simulation {
+    hub: RngHub,
+    resources: Vec<(String, usize)>,
+    roots: Vec<(String, ProcFn)>,
+    trace_enabled: bool,
+}
+
+impl Simulation {
+    /// An empty simulation drawing randomness from `hub`.
+    pub fn new(hub: RngHub) -> Self {
+        Simulation { hub, resources: Vec::new(), roots: Vec::new(), trace_enabled: true }
+    }
+
+    /// Disable trace collection (saves memory on very long runs).
+    pub fn without_trace(mut self) -> Self {
+        self.trace_enabled = false;
+        self
+    }
+
+    /// Declare a resource with `capacity` concurrent units.
+    pub fn resource(&mut self, name: impl Into<String>, capacity: usize) -> ResourceId {
+        assert!(capacity > 0, "resource capacity must be positive");
+        let id = ResourceId(self.resources.len());
+        self.resources.push((name.into(), capacity));
+        id
+    }
+
+    /// Declare a root process started at t = 0.
+    pub fn process(&mut self, name: impl Into<String>, f: impl FnOnce(&mut ProcCtx) + Send + 'static) {
+        self.roots.push((name.into(), Box::new(f)));
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        Coordinator::new(self).run()
+    }
+}
+
+struct Coordinator {
+    hub: RngHub,
+    req_tx: Sender<Request>,
+    req_rx: Receiver<Request>,
+    procs: Vec<ProcSlot>,
+    resources: Vec<ResourceState>,
+    wakes: EventQueue<ProcId>,
+    now: SimTime,
+    alive: usize,
+    trace: Trace,
+    trace_enabled: bool,
+    panicked: Option<String>,
+}
+
+impl Coordinator {
+    fn new(sim: Simulation) -> Self {
+        let (req_tx, req_rx) = channel();
+        let mut coord = Coordinator {
+            hub: sim.hub,
+            req_tx,
+            req_rx,
+            procs: Vec::new(),
+            resources: sim
+                .resources
+                .into_iter()
+                .map(|(name, capacity)| ResourceState { name, capacity, in_use: 0, waiters: VecDeque::new() })
+                .collect(),
+            wakes: EventQueue::new(),
+            now: SimTime::ZERO,
+            alive: 0,
+            trace: Trace::new(),
+            trace_enabled: sim.trace_enabled,
+            panicked: None,
+        };
+        for (name, f) in sim.roots {
+            coord.spawn_process(name, f);
+        }
+        coord
+    }
+
+    fn spawn_process(&mut self, name: String, f: ProcFn) {
+        let id = ProcId(self.procs.len());
+        let (wake_tx, wake_rx) = channel();
+        let mut ctx = ProcCtx {
+            id,
+            name: name.clone(),
+            now: self.now,
+            tx: self.req_tx.clone(),
+            wake_rx,
+            hub: self.hub,
+        };
+        let thread_name = name.clone();
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Guard notifies the coordinator even if `f` unwinds.
+                struct FinishGuard {
+                    tx: Sender<Request>,
+                    id: ProcId,
+                    clean: bool,
+                }
+                impl Drop for FinishGuard {
+                    fn drop(&mut self) {
+                        let _ = self.tx.send(Request::Finished { proc: self.id, panicked: !self.clean });
+                    }
+                }
+                let mut guard = FinishGuard { tx: ctx.tx.clone(), id: ctx.id, clean: false };
+                // First wake delivers the start time.
+                ctx.now = match ctx.wake_rx.recv() {
+                    Ok(t) => t,
+                    Err(_) => return, // coordinator dropped before start
+                };
+                f(&mut ctx);
+                guard.clean = true;
+            })
+            .expect("spawn simulation process thread");
+        self.procs.push(ProcSlot { name, wake_tx, join: Some(join), alive: true, held: Vec::new() });
+        self.alive += 1;
+        self.wakes.push(self.now, id);
+        self.record(id, TraceKind::ProcStart, String::new());
+    }
+
+    fn record(&mut self, proc: ProcId, kind: TraceKind, detail: String) {
+        if self.trace_enabled {
+            self.trace.push(TraceEvent {
+                at: self.now,
+                process: self.procs[proc.0].name.clone(),
+                kind,
+                detail,
+            });
+        }
+    }
+
+    fn grant(&mut self, proc: ProcId, res: ResourceId) {
+        self.resources[res.0].in_use += 1;
+        self.procs[proc.0].held.push(res);
+        let name = self.resources[res.0].name.clone();
+        self.record(proc, TraceKind::Grant, name);
+        // Resume at the current instant, after already-queued same-time wakes.
+        self.wakes.push(self.now, proc);
+    }
+
+    fn do_release(&mut self, proc: ProcId, res: ResourceId) {
+        let slot = &mut self.procs[proc.0];
+        if let Some(pos) = slot.held.iter().position(|r| *r == res) {
+            slot.held.swap_remove(pos);
+        }
+        let name = self.resources[res.0].name.clone();
+        self.record(proc, TraceKind::Release, name);
+        let state = &mut self.resources[res.0];
+        state.in_use = state.in_use.saturating_sub(1);
+        if let Some(waiter) = self.resources[res.0].waiters.pop_front() {
+            self.grant(waiter, res);
+        }
+    }
+
+    /// Handle requests from the currently-running process until it blocks.
+    fn drain_until_blocked(&mut self) {
+        loop {
+            let req = self.req_rx.recv().expect("at least one process alive");
+            match req {
+                Request::Hold { proc, dur } => {
+                    self.record(proc, TraceKind::Hold, dur.to_string());
+                    self.wakes.push(self.now + dur, proc);
+                    return;
+                }
+                Request::Acquire { proc, res } => {
+                    let state = &self.resources[res.0];
+                    self.record(proc, TraceKind::Acquire, state.name.clone());
+                    if self.resources[res.0].in_use < self.resources[res.0].capacity {
+                        self.grant(proc, res);
+                    } else {
+                        self.resources[res.0].waiters.push_back(proc);
+                    }
+                    return;
+                }
+                Request::Release { proc, res } => {
+                    self.do_release(proc, res);
+                }
+                Request::Spawn { name, f } => {
+                    self.spawn_process(name, f);
+                }
+                Request::Trace { proc, kind, detail } => {
+                    self.record(proc, kind, detail);
+                }
+                Request::Finished { proc, panicked } => {
+                    self.record(proc, TraceKind::ProcEnd, String::new());
+                    if panicked {
+                        self.panicked = Some(self.procs[proc.0].name.clone());
+                    }
+                    // Return any units the process still holds.
+                    let held: Vec<ResourceId> = self.procs[proc.0].held.clone();
+                    for res in held {
+                        self.do_release(proc, res);
+                    }
+                    self.procs[proc.0].alive = false;
+                    self.alive -= 1;
+                    if let Some(join) = self.procs[proc.0].join.take() {
+                        let _ = join.join();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<SimOutcome, SimError> {
+        while let Some((at, proc)) = self.wakes.pop() {
+            self.now = at;
+            if !self.procs[proc.0].alive {
+                continue;
+            }
+            if self.procs[proc.0].wake_tx.send(self.now).is_err() {
+                // Thread already gone; its Finished request is still queued.
+            }
+            self.drain_until_blocked();
+            if let Some(name) = self.panicked.take() {
+                return Err(SimError::ProcessPanicked { name });
+            }
+        }
+        if self.alive > 0 {
+            let blocked: Vec<String> = self
+                .resources
+                .iter()
+                .flat_map(|r| r.waiters.iter().map(|p| self.procs[p.0].name.clone()))
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+        Ok(SimOutcome { end: self.now, trace: self.trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn hub() -> RngHub {
+        RngHub::new(7)
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let mut sim = Simulation::new(hub());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        sim.process("p", move |ctx| {
+            ctx.hold(SimDuration::from_secs(10));
+            l.lock().unwrap().push(ctx.now());
+            ctx.hold(SimDuration::from_secs(5));
+            l.lock().unwrap().push(ctx.now());
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.end, SimTime::from_secs(15));
+        let log = log.lock().unwrap();
+        assert_eq!(*log, vec![SimTime::from_secs(10), SimTime::from_secs(15)]);
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        let mut sim = Simulation::new(hub());
+        let arm = sim.resource("arm", 1);
+        let spans = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let spans = spans.clone();
+            sim.process(format!("flow-{i}"), move |ctx| {
+                ctx.acquire(arm);
+                let start = ctx.now();
+                ctx.hold(SimDuration::from_secs(10));
+                spans.lock().unwrap().push((start, ctx.now()));
+                ctx.release(arm);
+            });
+        }
+        let out = sim.run().unwrap();
+        assert_eq!(out.end, SimTime::from_secs(30));
+        let spans = spans.lock().unwrap();
+        // Non-overlapping, FIFO order.
+        assert_eq!(
+            *spans,
+            vec![
+                (SimTime::ZERO, SimTime::from_secs(10)),
+                (SimTime::from_secs(10), SimTime::from_secs(20)),
+                (SimTime::from_secs(20), SimTime::from_secs(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_two_allows_overlap() {
+        let mut sim = Simulation::new(hub());
+        let bay = sim.resource("bay", 2);
+        sim.process("a", move |ctx| ctx.with_resource(bay, |c| c.hold(SimDuration::from_secs(10))));
+        sim.process("b", move |ctx| ctx.with_resource(bay, |c| c.hold(SimDuration::from_secs(10))));
+        sim.process("c", move |ctx| ctx.with_resource(bay, |c| c.hold(SimDuration::from_secs(10))));
+        let out = sim.run().unwrap();
+        // Two run together, the third queues: 10 + 10.
+        assert_eq!(out.end, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn spawned_children_run() {
+        let mut sim = Simulation::new(hub());
+        let total = Arc::new(Mutex::new(0u32));
+        let t = total.clone();
+        sim.process("parent", move |ctx| {
+            ctx.hold(SimDuration::from_secs(1));
+            for i in 0..4 {
+                let t = t.clone();
+                ctx.spawn(format!("child-{i}"), move |c| {
+                    c.hold(SimDuration::from_secs(2));
+                    *t.lock().unwrap() += 1;
+                });
+            }
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(*total.lock().unwrap(), 4);
+        assert_eq!(out.end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Simulation::new(hub());
+        let a = sim.resource("a", 1);
+        let b = sim.resource("b", 1);
+        sim.process("p1", move |ctx| {
+            ctx.acquire(a);
+            ctx.hold(SimDuration::from_secs(1));
+            ctx.acquire(b);
+            ctx.release(b);
+            ctx.release(a);
+        });
+        sim.process("p2", move |ctx| {
+            ctx.acquire(b);
+            ctx.hold(SimDuration::from_secs(1));
+            ctx.acquire(a);
+            ctx.release(a);
+            ctx.release(b);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_process_is_reported() {
+        let mut sim = Simulation::new(hub());
+        sim.process("bad", |ctx| {
+            ctx.hold(SimDuration::from_secs(1));
+            panic!("boom");
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name }) => assert_eq!(name, "bad"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn held_resources_released_on_finish() {
+        let mut sim = Simulation::new(hub());
+        let r = sim.resource("r", 1);
+        sim.process("holder", move |ctx| {
+            ctx.acquire(r);
+            ctx.hold(SimDuration::from_secs(5));
+            // Never releases explicitly.
+        });
+        sim.process("waiter", move |ctx| {
+            ctx.hold(SimDuration::from_secs(1));
+            ctx.acquire(r);
+            ctx.release(r);
+        });
+        let out = sim.run().unwrap();
+        assert_eq!(out.end, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn trace_records_events_in_order() {
+        let mut sim = Simulation::new(hub());
+        sim.process("p", |ctx| {
+            ctx.trace("step", "one");
+            ctx.hold(SimDuration::from_secs(2));
+            ctx.trace("step", "two");
+        });
+        let out = sim.run().unwrap();
+        let user: Vec<_> = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::User(_)))
+            .map(|e| (e.at, e.detail.clone()))
+            .collect();
+        assert_eq!(user, vec![(SimTime::ZERO, "one".into()), (SimTime::from_secs(2), "two".into())]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> Vec<(SimTime, String)> {
+            let mut sim = Simulation::new(RngHub::new(11));
+            let arm = sim.resource("arm", 1);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..5 {
+                let log = log.clone();
+                sim.process(format!("f{i}"), move |ctx| {
+                    use rand::Rng;
+                    let mut rng = ctx.hub().substream("dur", i);
+                    let d = SimDuration::from_millis(rng.gen_range(100..2_000));
+                    ctx.acquire(arm);
+                    ctx.hold(d);
+                    log.lock().unwrap().push((ctx.now(), ctx.name().to_string()));
+                    ctx.release(arm);
+                });
+            }
+            sim.run().unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,146 @@
+//! Fault injection for reliability experiments.
+//!
+//! The paper observes that "most failures occur during reception and
+//! processing of commands", and proposes commands-completed-without-humans
+//! (CCWH) as a resiliency metric. A [`FaultPlan`] decides, per dispatched
+//! command, whether the command is dropped at reception, fails mid-action,
+//! or succeeds — with independent per-module rates so experiments can model
+//! one flaky instrument.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The module never acknowledged the command (the paper's dominant mode).
+    ReceptionDropped,
+    /// The module started the action but reported failure.
+    ActionFailed,
+}
+
+/// Per-module failure probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a command is dropped at reception.
+    pub reception: f64,
+    /// Probability an accepted command fails during execution.
+    pub action: f64,
+}
+
+impl FaultRates {
+    /// Never fault.
+    pub const NONE: FaultRates = FaultRates { reception: 0.0, action: 0.0 };
+
+    /// Rates for reception drops and mid-action failures (each 0–1).
+    pub fn new(reception: f64, action: f64) -> Self {
+        assert!((0.0..=1.0).contains(&reception) && (0.0..=1.0).contains(&action));
+        FaultRates { reception, action }
+    }
+}
+
+/// A plan mapping module names to fault rates, with a default for modules
+/// not explicitly listed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    default: Option<FaultRates>,
+    per_module: HashMap<String, FaultRates>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan applying `rates` to every module.
+    pub fn uniform(rates: FaultRates) -> Self {
+        FaultPlan { default: Some(rates), per_module: HashMap::new() }
+    }
+
+    /// Override the rates for one module.
+    pub fn with_module(mut self, module: impl Into<String>, rates: FaultRates) -> Self {
+        self.per_module.insert(module.into(), rates);
+        self
+    }
+
+    /// Rates in effect for `module`.
+    pub fn rates_for(&self, module: &str) -> FaultRates {
+        self.per_module
+            .get(module)
+            .copied()
+            .or(self.default)
+            .unwrap_or(FaultRates::NONE)
+    }
+
+    /// Draw the fate of one command dispatched to `module`.
+    pub fn draw(&self, module: &str, rng: &mut impl Rng) -> Option<FaultKind> {
+        let rates = self.rates_for(module);
+        if rates.reception > 0.0 && rng.gen::<f64>() < rates.reception {
+            return Some(FaultKind::ReceptionDropped);
+        }
+        if rates.action > 0.0 && rng.gen::<f64>() < rates.action {
+            return Some(FaultKind::ActionFailed);
+        }
+        None
+    }
+
+    /// True if the plan can never produce a fault.
+    pub fn is_null(&self) -> bool {
+        self.default.is_none_or(|r| r.reception == 0.0 && r.action == 0.0)
+            && self
+                .per_module
+                .values()
+                .all(|r| r.reception == 0.0 && r.action == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn null_plan_never_faults() {
+        let plan = FaultPlan::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(plan.is_null());
+        for _ in 0..1000 {
+            assert_eq!(plan.draw("ot2", &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn uniform_rates_apply_to_all_modules() {
+        let plan = FaultPlan::uniform(FaultRates::new(1.0, 0.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(plan.draw("pf400", &mut rng), Some(FaultKind::ReceptionDropped));
+        assert_eq!(plan.draw("camera", &mut rng), Some(FaultKind::ReceptionDropped));
+        assert!(!plan.is_null());
+    }
+
+    #[test]
+    fn per_module_override_wins() {
+        let plan = FaultPlan::uniform(FaultRates::NONE).with_module("ot2", FaultRates::new(0.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(plan.draw("pf400", &mut rng), None);
+        assert_eq!(plan.draw("ot2", &mut rng), Some(FaultKind::ActionFailed));
+    }
+
+    #[test]
+    fn rates_are_statistically_respected() {
+        let plan = FaultPlan::uniform(FaultRates::new(0.2, 0.0));
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let faults = (0..n).filter(|_| plan.draw("m", &mut rng).is_some()).count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let r = std::panic::catch_unwind(|| FaultRates::new(1.5, 0.0));
+        assert!(r.is_err());
+    }
+}

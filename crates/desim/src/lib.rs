@@ -1,0 +1,49 @@
+//! `sdl-desim` — deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate that lets the color-picker benchmark replay
+//! the paper's eight-hour robotic runs in milliseconds of wall time:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time;
+//! * [`EventQueue`] — a time-ordered queue with FIFO tie-breaking;
+//! * [`Simulation`] / [`ProcCtx`] — a *process executive*: workflows are
+//!   imperative closures on coordinated threads that `hold` virtual time and
+//!   `acquire`/`release` shared resources (the robot arm, instrument decks);
+//! * [`RngHub`] — named deterministic RNG streams, so every stochastic
+//!   component is reproducible and independent of event interleaving;
+//! * [`FaultPlan`] — per-module command-fault injection for the CCWH
+//!   reliability experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use sdl_desim::{RngHub, SimDuration, Simulation};
+//!
+//! let mut sim = Simulation::new(RngHub::new(1));
+//! let arm = sim.resource("pf400", 1);
+//! for i in 0..2 {
+//!     sim.process(format!("flow-{i}"), move |ctx| {
+//!         ctx.acquire(arm);
+//!         ctx.hold(SimDuration::from_secs(30));
+//!         ctx.release(arm);
+//!     });
+//! }
+//! let outcome = sim.run().unwrap();
+//! assert_eq!(outcome.end, sdl_desim::SimTime::from_secs(60));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod fault;
+mod queue;
+mod rng;
+mod time;
+mod trace;
+
+pub use exec::{ProcCtx, ProcId, ResourceId, SimError, SimOutcome, Simulation};
+pub use fault::{FaultKind, FaultPlan, FaultRates};
+pub use queue::EventQueue;
+pub use rng::RngHub;
+pub use time::{SimDuration, SimTime, MICROS_PER_SEC};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,267 @@
+//! Virtual time for the simulation kernel.
+//!
+//! Simulated time is tracked as an integer number of microseconds so that
+//! event ordering is exact and runs are bit-for-bit reproducible. Durations
+//! and instants are distinct types to keep the arithmetic honest.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, measured from the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+impl SimTime {
+    /// The instant the simulation starts at.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Minutes since simulation start as a float (the unit of Figure 4's x-axis).
+    pub fn as_minutes(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero value.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds; negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration(0);
+        }
+        SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Minutes as a float.
+    pub fn as_minutes(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// True for the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a non-negative factor (used for timing jitter).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+fn fmt_hms(us: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let total_secs = us / MICROS_PER_SEC;
+    let h = total_secs / 3600;
+    let m = (total_secs % 3600) / 60;
+    let s = total_secs % 60;
+    if h > 0 {
+        write!(f, "{h}h {m:02}m {s:02}s")
+    } else if m > 0 {
+        write!(f, "{m}m {s:02}s")
+    } else {
+        let frac = us % MICROS_PER_SEC;
+        if frac == 0 {
+            write!(f, "{s}s")
+        } else {
+            write!(f, "{:.3}s", us as f64 / MICROS_PER_SEC as f64)
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hms(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hms(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_secs(90);
+        assert_eq!(t.as_secs_f64(), 90.0);
+        assert_eq!(t.as_minutes(), 1.5);
+        let d = t - SimTime::from_secs(30);
+        assert_eq!(d, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(20);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_secs(8 * 3600 + 12 * 60).to_string(), "8h 12m 00s");
+        assert_eq!(SimDuration::from_secs(65).to_string(), "1m 05s");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn from_secs_f64_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 2, SimDuration::from_secs(5));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+}

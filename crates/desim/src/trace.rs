@@ -1,0 +1,152 @@
+//! Chronological trace of simulation activity.
+//!
+//! The trace is the simulator's equivalent of the paper's per-workflow log
+//! files ("a file is created that details the step names run, their start
+//! time, end time and total duration"): every scheduler decision and every
+//! user-emitted event, timestamped on the virtual clock.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A process was started.
+    ProcStart,
+    /// A process finished.
+    ProcEnd,
+    /// A process began a timed hold; detail is the duration.
+    Hold,
+    /// A process requested a resource; detail is the resource name.
+    Acquire,
+    /// A resource unit was granted; detail is the resource name.
+    Grant,
+    /// A resource unit was returned; detail is the resource name.
+    Release,
+    /// A user event; the payload names the event class.
+    User(String),
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::ProcStart => write!(f, "start"),
+            TraceKind::ProcEnd => write!(f, "end"),
+            TraceKind::Hold => write!(f, "hold"),
+            TraceKind::Acquire => write!(f, "acquire"),
+            TraceKind::Grant => write!(f, "grant"),
+            TraceKind::Release => write!(f, "release"),
+            TraceKind::User(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which process emitted it.
+    pub process: String,
+    /// What kind of event.
+    pub kind: TraceKind,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "[{}] {} {}", self.at, self.process, self.kind)
+        } else {
+            write!(f, "[{}] {} {}: {}", self.at, self.process, self.kind, self.detail)
+        }
+    }
+}
+
+/// Append-only event log, ordered by emission (and therefore by time).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Construct a new instance.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events emitted by a given process.
+    pub fn by_process<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.process == name)
+    }
+
+    /// User events of a given class.
+    pub fn user_events<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| matches!(&e.kind, TraceKind::User(k) if k == class))
+    }
+
+    /// Render the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_s: u64, process: &str, kind: TraceKind, detail: &str) -> TraceEvent {
+        TraceEvent { at: SimTime::from_secs(at_s), process: process.into(), kind, detail: detail.into() }
+    }
+
+    #[test]
+    fn filters_by_process_and_class() {
+        let mut t = Trace::new();
+        t.push(ev(0, "a", TraceKind::ProcStart, ""));
+        t.push(ev(1, "a", TraceKind::User("mix".into()), "well A1"));
+        t.push(ev(2, "b", TraceKind::User("mix".into()), "well A2"));
+        t.push(ev(3, "a", TraceKind::User("image".into()), "plate"));
+        assert_eq!(t.by_process("a").count(), 3);
+        assert_eq!(t.user_events("mix").count(), 2);
+        assert_eq!(t.user_events("image").count(), 1);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new();
+        t.push(ev(0, "p", TraceKind::ProcStart, ""));
+        t.push(ev(5, "p", TraceKind::Hold, "5s"));
+        let r = t.render();
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("[5s] p hold: 5s"));
+    }
+}

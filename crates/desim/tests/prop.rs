@@ -1,0 +1,112 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+use sdl_desim::{EventQueue, RngHub, SimDuration, SimTime, Simulation};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    /// Popping the event queue always yields non-decreasing times, and
+    /// same-time payloads come out in insertion order.
+    #[test]
+    fn event_queue_is_stable_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Time arithmetic: (t + d) - t == d for all representable values.
+    #[test]
+    fn add_then_subtract_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(t);
+        let d = SimDuration::from_micros(d);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Named streams are a pure function of (seed, name).
+    #[test]
+    fn rng_streams_are_pure(seed in any::<u64>(), name in "[a-z]{1,12}") {
+        use rand::Rng;
+        let a: u64 = RngHub::new(seed).stream(&name).gen();
+        let b: u64 = RngHub::new(seed).stream(&name).gen();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A pipeline of processes contending for one resource always ends at
+    /// the sum of their hold times, no matter the individual durations.
+    #[test]
+    fn serialized_holds_sum(durs in proptest::collection::vec(1u64..5_000u64, 1..12)) {
+        let mut sim = Simulation::new(RngHub::new(5)).without_trace();
+        let arm = sim.resource("arm", 1);
+        for (i, &ms) in durs.iter().enumerate() {
+            sim.process(format!("p{i}"), move |ctx| {
+                ctx.acquire(arm);
+                ctx.hold(SimDuration::from_millis(ms));
+                ctx.release(arm);
+            });
+        }
+        let out = sim.run().unwrap();
+        let total: u64 = durs.iter().sum();
+        prop_assert_eq!(out.end, SimTime::ZERO + SimDuration::from_millis(total));
+    }
+
+    /// With capacity >= number of processes there is no queueing: the end
+    /// time equals the maximum hold, not the sum.
+    #[test]
+    fn parallel_holds_max(durs in proptest::collection::vec(1u64..5_000u64, 1..10)) {
+        let n = durs.len();
+        let mut sim = Simulation::new(RngHub::new(5)).without_trace();
+        let bay = sim.resource("bay", n);
+        for (i, &ms) in durs.iter().enumerate() {
+            sim.process(format!("p{i}"), move |ctx| {
+                ctx.acquire(bay);
+                ctx.hold(SimDuration::from_millis(ms));
+                ctx.release(bay);
+            });
+        }
+        let out = sim.run().unwrap();
+        let max = *durs.iter().max().unwrap();
+        prop_assert_eq!(out.end, SimTime::ZERO + SimDuration::from_millis(max));
+    }
+}
+
+/// Same seed, same program → identical traces; guard against accidental
+/// nondeterminism from thread scheduling.
+#[test]
+fn full_trace_determinism() {
+    fn run() -> String {
+        let mut sim = Simulation::new(RngHub::new(123));
+        let arm = sim.resource("arm", 1);
+        let deck = sim.resource("deck", 2);
+        let log = Arc::new(Mutex::new(String::new()));
+        for i in 0..6u64 {
+            let log = log.clone();
+            sim.process(format!("wf{i}"), move |ctx| {
+                use rand::Rng;
+                let mut rng = ctx.hub().substream("d", i);
+                ctx.acquire(arm);
+                ctx.hold(SimDuration::from_millis(rng.gen_range(10..500)));
+                ctx.release(arm);
+                ctx.acquire(deck);
+                ctx.hold(SimDuration::from_millis(rng.gen_range(10..500)));
+                ctx.release(deck);
+                log.lock().unwrap().push_str(&format!("{} {}\n", ctx.name(), ctx.now()));
+            });
+        }
+        let out = sim.run().unwrap();
+        let mut s = log.lock().unwrap().clone();
+        s.push_str(&out.trace.render());
+        s
+    }
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,201 @@
+//! `barty` — the RPL-built liquid replenisher: "a robot developed in RPL
+//! with four peristaltic pumps that transfer liquid from large storage
+//! vessels to the reservoirs of the ot2" (paper §2.2).
+
+use crate::module::{
+    ActionArgs, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+};
+use crate::timing::TimingModel;
+use crate::world::World;
+use rand::rngs::StdRng;
+use sdl_desim::SimDuration;
+
+/// Liquid-replenisher simulator.
+#[derive(Debug, Clone)]
+pub struct Barty {
+    name: String,
+    state: ModuleState,
+    /// Which reservoir bank this robot's tubing is plumbed into.
+    bank: String,
+    /// Stock volume per dye, µL.
+    stock_ul: Vec<f64>,
+    pumped_total_ul: f64,
+}
+
+impl Barty {
+    /// A replenisher with `stock_ul` µL of each dye in its storage vessels.
+    pub fn new(name: impl Into<String>, bank: impl Into<String>, stock_ul: Vec<f64>) -> Barty {
+        Barty {
+            name: name.into(),
+            state: ModuleState::Idle,
+            bank: bank.into(),
+            stock_ul,
+            pumped_total_ul: 0.0,
+        }
+    }
+
+    /// Remaining stock per dye, µL.
+    pub fn stock_ul(&self) -> &[f64] {
+        &self.stock_ul
+    }
+
+    /// Total volume pumped so far, µL.
+    pub fn pumped_total_ul(&self) -> f64 {
+        self.pumped_total_ul
+    }
+
+    /// The bank this robot feeds.
+    pub fn bank_name(&self) -> &str {
+        &self.bank
+    }
+}
+
+impl Instrument for Barty {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::LiquidReplenisher
+    }
+
+    fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = ModuleState::Idle;
+    }
+
+    fn mark_error(&mut self) {
+        self.state = ModuleState::Error;
+    }
+
+    fn actions(&self) -> &'static [&'static str] {
+        &["fill_colors", "drain_colors"]
+    }
+
+    fn execute(
+        &mut self,
+        action: &str,
+        _args: &ActionArgs,
+        world: &mut World,
+        timing: &TimingModel,
+        rng: &mut StdRng,
+    ) -> Result<ActionOutcome, InstrumentError> {
+        if self.state == ModuleState::Error {
+            return Err(InstrumentError::NeedsReset);
+        }
+        match action {
+            "fill_colors" => {
+                // Validate stock first: refills are atomic.
+                {
+                    let bank = world.bank(&self.bank)?;
+                    if bank.reservoirs.len() != self.stock_ul.len() {
+                        return Err(InstrumentError::BadArgs(format!(
+                            "barty has {} stocks, bank has {} reservoirs",
+                            self.stock_ul.len(),
+                            bank.reservoirs.len()
+                        )));
+                    }
+                    for (res, stock) in bank.reservoirs.iter().zip(&self.stock_ul) {
+                        let need = res.capacity_ul - res.volume_ul;
+                        if need > *stock + 1e-9 {
+                            return Err(InstrumentError::StockEmpty { dye: res.dye.clone() });
+                        }
+                    }
+                }
+                let mut pumped = 0.0;
+                let bank = world.bank_mut(&self.bank)?;
+                for (i, res) in bank.reservoirs.iter_mut().enumerate() {
+                    let need = res.capacity_ul - res.volume_ul;
+                    res.volume_ul = res.capacity_ul;
+                    self.stock_ul[i] -= need;
+                    pumped += need;
+                }
+                self.pumped_total_ul += pumped;
+                let duration = timing.barty_overhead.sample(rng)
+                    + SimDuration::from_secs_f64(pumped / timing.barty_pump_ul_per_s);
+                Ok(ActionOutcome::lasting(duration))
+            }
+            "drain_colors" => {
+                let mut drained = 0.0;
+                let bank = world.bank_mut(&self.bank)?;
+                for res in &mut bank.reservoirs {
+                    drained += res.volume_ul;
+                    res.volume_ul = 0.0;
+                }
+                self.pumped_total_ul += drained;
+                let duration = timing.barty_overhead.sample(rng)
+                    + SimDuration::from_secs_f64(drained / timing.barty_pump_ul_per_s);
+                Ok(ActionOutcome::lasting(duration))
+            }
+            other => Err(InstrumentError::UnknownAction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ReservoirBank;
+    use rand::SeedableRng;
+    use sdl_color::{DyeSet, MixKind};
+
+    fn setup(stock_each: f64) -> (Barty, World, TimingModel, StdRng) {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
+        (
+            Barty::new("barty", "ot2", vec![stock_each; 4]),
+            world,
+            TimingModel::default(),
+            StdRng::seed_from_u64(6),
+        )
+    }
+
+    #[test]
+    fn fill_tops_up_and_consumes_stock() {
+        let (mut barty, mut world, timing, mut rng) = setup(2_000_000.0);
+        // Deplete two reservoirs.
+        world.bank_mut("ot2").unwrap().reservoirs[0].volume_ul = 1000.0;
+        world.bank_mut("ot2").unwrap().reservoirs[3].volume_ul = 500.0;
+        let out = barty.execute("fill_colors", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        let bank = world.bank("ot2").unwrap();
+        assert!(bank.reservoirs.iter().all(|r| r.volume_ul == r.capacity_ul));
+        assert_eq!(barty.stock_ul()[0], 2_000_000.0 - 3000.0);
+        assert_eq!(barty.stock_ul()[3], 2_000_000.0 - 3500.0);
+        assert_eq!(barty.pumped_total_ul(), 6500.0);
+        // 6500 µL at 500 µL/s + overhead ≈ 25 s.
+        let secs = out.duration.as_secs_f64();
+        assert!((secs - 25.0).abs() < 2.0, "fill took {secs}");
+    }
+
+    #[test]
+    fn drain_empties_bank() {
+        let (mut barty, mut world, timing, mut rng) = setup(1_000_000.0);
+        barty.execute("drain_colors", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        assert!(world.bank("ot2").unwrap().reservoirs.iter().all(|r| r.volume_ul == 0.0));
+        assert_eq!(barty.pumped_total_ul(), 16_000.0);
+    }
+
+    #[test]
+    fn empty_stock_blocks_fill_atomically() {
+        let (mut barty, mut world, timing, mut rng) = setup(100.0);
+        world.bank_mut("ot2").unwrap().reservoirs[2].volume_ul = 0.0;
+        let before = world.bank("ot2").unwrap().clone();
+        let err = barty.execute("fill_colors", &ActionArgs::none(), &mut world, &timing, &mut rng);
+        assert_eq!(err, Err(InstrumentError::StockEmpty { dye: "yellow".into() }));
+        assert_eq!(world.bank("ot2").unwrap(), &before, "no partial fill");
+    }
+
+    #[test]
+    fn error_state_blocks() {
+        let (mut barty, mut world, timing, mut rng) = setup(1_000_000.0);
+        barty.mark_error();
+        assert_eq!(
+            barty.execute("drain_colors", &ActionArgs::none(), &mut world, &timing, &mut rng),
+            Err(InstrumentError::NeedsReset)
+        );
+    }
+}

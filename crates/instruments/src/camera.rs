@@ -1,0 +1,195 @@
+//! `camera` — the Logitech webcam with ring light: "used to capture images
+//! of the microplate … a microplate mount designed to allow the pf400 to
+//! place the microplate in the same location each time" (paper §2.2).
+//!
+//! The simulator computes each well's true color from the shared world
+//! state, then renders a full frame through `sdl-vision` — vignette, sensor
+//! noise, pose jitter and all — so the downstream image-processing pipeline
+//! is exercised exactly as on the physical rig.
+
+use crate::module::{
+    ActionArgs, ActionData, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+};
+use crate::timing::TimingModel;
+use crate::world::World;
+use rand::rngs::StdRng;
+use sdl_vision::{render, Lighting, PlateScene, Pose};
+
+/// Camera simulator.
+#[derive(Debug, Clone)]
+pub struct CameraSim {
+    name: String,
+    state: ModuleState,
+    /// The imaging nest a plate must occupy.
+    nest_slot: String,
+    /// Lighting model for rendered frames.
+    pub lighting: Lighting,
+    /// Maximum per-frame translation jitter, px.
+    pub max_shift_px: f64,
+    /// Maximum per-frame rotation jitter, degrees.
+    pub max_rot_deg: f64,
+    /// Which fiducial is printed next to the mount.
+    pub marker_id: usize,
+    frames_captured: u64,
+}
+
+impl CameraSim {
+    /// A camera watching `nest_slot`.
+    pub fn new(name: impl Into<String>, nest_slot: impl Into<String>) -> CameraSim {
+        CameraSim {
+            name: name.into(),
+            state: ModuleState::Idle,
+            nest_slot: nest_slot.into(),
+            lighting: Lighting::default(),
+            max_shift_px: 5.0,
+            max_rot_deg: 1.0,
+            marker_id: 0,
+            frames_captured: 0,
+        }
+    }
+
+    /// Frames captured so far.
+    pub fn frames_captured(&self) -> u64 {
+        self.frames_captured
+    }
+
+    /// The imaging nest name.
+    pub fn nest_slot(&self) -> &str {
+        &self.nest_slot
+    }
+}
+
+impl Instrument for CameraSim {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Camera
+    }
+
+    fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = ModuleState::Idle;
+    }
+
+    fn mark_error(&mut self) {
+        self.state = ModuleState::Error;
+    }
+
+    fn actions(&self) -> &'static [&'static str] {
+        &["take_picture"]
+    }
+
+    fn execute(
+        &mut self,
+        action: &str,
+        _args: &ActionArgs,
+        world: &mut World,
+        timing: &TimingModel,
+        rng: &mut StdRng,
+    ) -> Result<ActionOutcome, InstrumentError> {
+        if self.state == ModuleState::Error {
+            return Err(InstrumentError::NeedsReset);
+        }
+        match action {
+            "take_picture" => {
+                let plate_id = world
+                    .plate_at(&self.nest_slot)?
+                    .ok_or_else(|| InstrumentError::World(crate::world::WorldError::SlotEmpty(self.nest_slot.clone())))?;
+
+                let mut scene = PlateScene::empty_plate();
+                scene.marker_id = self.marker_id;
+                scene.lighting = self.lighting.clone();
+                scene.pose = Pose::jittered(rng, self.max_shift_px, self.max_rot_deg);
+
+                let plate = world.plate(plate_id)?.clone();
+                for (idx, well) in plate.iter() {
+                    if well.is_empty() {
+                        continue;
+                    }
+                    if idx.row < scene.plate.rows && idx.col < scene.plate.cols {
+                        if let Some(color) = world.well_color(plate_id, idx)? {
+                            scene.set_well(idx.row, idx.col, color);
+                        }
+                    }
+                }
+                let frame = render(&scene, rng);
+                self.frames_captured += 1;
+                Ok(ActionOutcome {
+                    duration: timing.camera_capture.sample(rng),
+                    data: ActionData::Image(frame),
+                })
+            }
+            other => Err(InstrumentError::UnknownAction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labware::{Microplate, WellIndex};
+    use rand::SeedableRng;
+    use sdl_color::{DyeSet, MixKind};
+    use sdl_vision::Detector;
+
+    fn setup() -> (CameraSim, World, TimingModel, StdRng) {
+        let mut world = World::new(DyeSet::cmyk(), MixKind::BeerLambert);
+        world.add_slot("camera.nest");
+        (CameraSim::new("camera", "camera.nest"), world, TimingModel::default(), StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn empty_nest_is_an_error() {
+        let (mut cam, mut world, timing, mut rng) = setup();
+        let err = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng);
+        assert!(matches!(err, Err(InstrumentError::World(_))));
+        assert_eq!(cam.frames_captured(), 0);
+    }
+
+    #[test]
+    fn captured_frame_contains_dispensed_well() {
+        let (mut cam, mut world, timing, mut rng) = setup();
+        let id = world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
+        // Strong black sample in A1.
+        world.plate_mut(id).unwrap().dispense(WellIndex::new(0, 0), &[0.0, 0.0, 0.0, 35.0]).unwrap();
+        let out = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        assert_eq!(cam.frames_captured(), 1);
+        let ActionData::Image(frame) = out.data else {
+            panic!("expected an image")
+        };
+        // Run the real detection pipeline on the simulated frame.
+        let reading = Detector::default().detect(&frame).unwrap();
+        // 35 µL of black stock is calibrated to read near the paper's
+        // mid-gray target; the camera should measure within ~15 RGB units of
+        // the Beer–Lambert prediction.
+        let truth = world
+            .well_color(id, WellIndex::new(0, 0))
+            .unwrap()
+            .unwrap()
+            .to_srgb();
+        let a1 = reading.well(0, 0).unwrap();
+        assert!(
+            a1.color.distance(truth) < 15.0,
+            "A1 measured {} vs truth {}",
+            a1.color,
+            truth
+        );
+        let b1 = reading.well(1, 0).unwrap();
+        assert!(b1.color.r > 170, "empty well should stay light: {}", b1.color);
+        assert!(b1.color.r as i32 - a1.color.r as i32 > 50, "sample clearly darker than empty");
+    }
+
+    #[test]
+    fn frames_differ_between_captures() {
+        let (mut cam, mut world, timing, mut rng) = setup();
+        world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
+        let a = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        let b = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        assert_ne!(a.data, b.data, "noise and pose jitter vary per frame");
+    }
+}

@@ -1,0 +1,259 @@
+//! Microplate labware: 96-well plates, well addressing, volume tracking.
+
+use std::fmt;
+
+/// A well address on a plate ("A1" … "H12").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WellIndex {
+    /// Row, 0-based (0 = A).
+    pub row: usize,
+    /// Column, 0-based (0 = 1).
+    pub col: usize,
+}
+
+impl WellIndex {
+    /// Construct from 0-based row/col.
+    pub fn new(row: usize, col: usize) -> WellIndex {
+        WellIndex { row, col }
+    }
+
+    /// Parse "A1"-style labels (case-insensitive).
+    pub fn parse(s: &str) -> Option<WellIndex> {
+        let mut chars = s.chars();
+        let row_ch = chars.next()?.to_ascii_uppercase();
+        if !row_ch.is_ascii_uppercase() {
+            return None;
+        }
+        let row = (row_ch as u8 - b'A') as usize;
+        let col_str: String = chars.collect();
+        let col: usize = col_str.parse().ok()?;
+        if col == 0 {
+            return None;
+        }
+        Some(WellIndex { row, col: col - 1 })
+    }
+
+    /// Flat row-major index for a plate with `cols` columns.
+    pub fn flat(&self, cols: usize) -> usize {
+        self.row * cols + self.col
+    }
+
+    /// Inverse of [`WellIndex::flat`].
+    pub fn from_flat(i: usize, cols: usize) -> WellIndex {
+        WellIndex { row: i / cols, col: i % cols }
+    }
+}
+
+impl fmt::Display for WellIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", (b'A' + self.row as u8) as char, self.col + 1)
+    }
+}
+
+/// One well's contents: volume per dye, reservoir order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Well {
+    /// Dispensed volume per dye, µL.
+    pub volumes_ul: Vec<f64>,
+}
+
+impl Well {
+    /// Total liquid volume, µL.
+    pub fn total_ul(&self) -> f64 {
+        self.volumes_ul.iter().sum()
+    }
+
+    /// True if nothing has been dispensed.
+    pub fn is_empty(&self) -> bool {
+        self.volumes_ul.is_empty() || self.total_ul() == 0.0
+    }
+}
+
+/// Labware errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabwareError {
+    /// Address outside the plate.
+    BadWell(String),
+    /// Dispense would exceed the well's working volume.
+    Overflow(String),
+    /// The well already holds a sample (wells are single-use in this
+    /// protocol).
+    AlreadyUsed(String),
+}
+
+impl fmt::Display for LabwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabwareError::BadWell(w) => write!(f, "no such well {w}"),
+            LabwareError::Overflow(w) => write!(f, "well {w} would overflow"),
+            LabwareError::AlreadyUsed(w) => write!(f, "well {w} already contains a sample"),
+        }
+    }
+}
+
+impl std::error::Error for LabwareError {}
+
+/// A 96-well (by default) microplate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microplate {
+    /// Rows (8 for a 96-well plate).
+    pub rows: usize,
+    /// Columns (12 for a 96-well plate).
+    pub cols: usize,
+    /// Working volume per well, µL.
+    pub well_capacity_ul: f64,
+    wells: Vec<Well>,
+}
+
+impl Microplate {
+    /// Standard 96-well plate with 360 µL working volume.
+    pub fn standard96() -> Microplate {
+        Microplate::new(8, 12, 360.0)
+    }
+
+    /// Custom geometry.
+    pub fn new(rows: usize, cols: usize, well_capacity_ul: f64) -> Microplate {
+        assert!(rows > 0 && cols > 0);
+        Microplate { rows, cols, well_capacity_ul, wells: vec![Well::default(); rows * cols] }
+    }
+
+    /// Number of wells.
+    pub fn well_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The well at `idx`.
+    pub fn well(&self, idx: WellIndex) -> Result<&Well, LabwareError> {
+        if idx.row >= self.rows || idx.col >= self.cols {
+            return Err(LabwareError::BadWell(idx.to_string()));
+        }
+        Ok(&self.wells[idx.flat(self.cols)])
+    }
+
+    /// Dispense `volumes_ul` (per dye) into an unused well.
+    pub fn dispense(&mut self, idx: WellIndex, volumes_ul: &[f64]) -> Result<(), LabwareError> {
+        if idx.row >= self.rows || idx.col >= self.cols {
+            return Err(LabwareError::BadWell(idx.to_string()));
+        }
+        let cap = self.well_capacity_ul;
+        let cols = self.cols;
+        let well = &mut self.wells[idx.flat(cols)];
+        if !well.is_empty() {
+            return Err(LabwareError::AlreadyUsed(idx.to_string()));
+        }
+        let total: f64 = volumes_ul.iter().sum();
+        if total > cap {
+            return Err(LabwareError::Overflow(idx.to_string()));
+        }
+        well.volumes_ul = volumes_ul.to_vec();
+        Ok(())
+    }
+
+    /// Number of wells holding samples.
+    pub fn used_wells(&self) -> usize {
+        self.wells.iter().filter(|w| !w.is_empty()).count()
+    }
+
+    /// Remaining sample slots.
+    pub fn free_wells(&self) -> usize {
+        self.well_count() - self.used_wells()
+    }
+
+    /// The next `n` unused wells in row-major order.
+    pub fn next_free(&self, n: usize) -> Vec<WellIndex> {
+        let mut out = Vec::with_capacity(n);
+        for (i, w) in self.wells.iter().enumerate() {
+            if out.len() == n {
+                break;
+            }
+            if w.is_empty() {
+                out.push(WellIndex::from_flat(i, self.cols));
+            }
+        }
+        out
+    }
+
+    /// True once every well holds a sample.
+    pub fn is_full(&self) -> bool {
+        self.used_wells() == self.well_count()
+    }
+
+    /// Iterate (index, well).
+    pub fn iter(&self) -> impl Iterator<Item = (WellIndex, &Well)> {
+        let cols = self.cols;
+        self.wells.iter().enumerate().map(move |(i, w)| (WellIndex::from_flat(i, cols), w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_index_parse_and_display() {
+        assert_eq!(WellIndex::parse("A1"), Some(WellIndex::new(0, 0)));
+        assert_eq!(WellIndex::parse("h12"), Some(WellIndex::new(7, 11)));
+        assert_eq!(WellIndex::parse("C07"), Some(WellIndex::new(2, 6)));
+        assert_eq!(WellIndex::parse("A0"), None);
+        assert_eq!(WellIndex::parse("12"), None);
+        assert_eq!(WellIndex::parse(""), None);
+        assert_eq!(WellIndex::new(7, 11).to_string(), "H12");
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        for i in 0..96 {
+            assert_eq!(WellIndex::from_flat(i, 12).flat(12), i);
+        }
+    }
+
+    #[test]
+    fn dispense_tracks_usage() {
+        let mut plate = Microplate::standard96();
+        assert_eq!(plate.well_count(), 96);
+        assert_eq!(plate.free_wells(), 96);
+        plate.dispense(WellIndex::new(0, 0), &[10.0, 5.0, 0.0, 20.0]).unwrap();
+        assert_eq!(plate.used_wells(), 1);
+        let w = plate.well(WellIndex::new(0, 0)).unwrap();
+        assert_eq!(w.total_ul(), 35.0);
+        assert!(!plate.is_full());
+    }
+
+    #[test]
+    fn dispense_errors() {
+        let mut plate = Microplate::standard96();
+        assert!(matches!(
+            plate.dispense(WellIndex::new(9, 0), &[1.0]),
+            Err(LabwareError::BadWell(_))
+        ));
+        assert!(matches!(
+            plate.dispense(WellIndex::new(0, 0), &[500.0]),
+            Err(LabwareError::Overflow(_))
+        ));
+        plate.dispense(WellIndex::new(0, 0), &[10.0]).unwrap();
+        assert!(matches!(
+            plate.dispense(WellIndex::new(0, 0), &[10.0]),
+            Err(LabwareError::AlreadyUsed(_))
+        ));
+    }
+
+    #[test]
+    fn next_free_walks_row_major() {
+        let mut plate = Microplate::standard96();
+        plate.dispense(WellIndex::new(0, 0), &[1.0]).unwrap();
+        plate.dispense(WellIndex::new(0, 2), &[1.0]).unwrap();
+        let free = plate.next_free(3);
+        assert_eq!(free, vec![WellIndex::new(0, 1), WellIndex::new(0, 3), WellIndex::new(0, 4)]);
+    }
+
+    #[test]
+    fn fills_up() {
+        let mut plate = Microplate::new(2, 2, 100.0);
+        for idx in plate.next_free(4) {
+            plate.dispense(idx, &[1.0]).unwrap();
+        }
+        assert!(plate.is_full());
+        assert!(plate.next_free(1).is_empty());
+        assert_eq!(plate.iter().count(), 4);
+    }
+}

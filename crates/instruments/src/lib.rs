@@ -1,0 +1,42 @@
+//! `sdl-instruments` — simulated workcell hardware.
+//!
+//! One simulator per module of the paper's RPL workcell (Figure 1):
+//!
+//! * [`SciClops`] — plate crane with storage towers;
+//! * [`Pf400`] — rail-mounted transfer arm;
+//! * [`Ot2`] — pipetting robot with reservoirs and tips;
+//! * [`Barty`] — peristaltic-pump liquid replenisher;
+//! * [`CameraSim`] — webcam + ring light, rendering real frames through
+//!   `sdl-vision`.
+//!
+//! Shared physical state (plates, slots, reservoir banks) lives in
+//! [`World`]; labware in [`Microplate`]; action durations in the calibrated
+//! [`TimingModel`]. Every device implements the [`Instrument`] trait — the
+//! module abstraction of the WEI platform (paper §2.2) — so the workflow
+//! engine addresses them uniformly and alternatives can be swapped in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barty;
+mod camera;
+mod labware;
+mod module;
+mod ot2;
+mod pf400;
+mod sciclops;
+mod timing;
+mod world;
+
+pub use barty::Barty;
+pub use camera::CameraSim;
+pub use labware::{LabwareError, Microplate, Well, WellIndex};
+pub use module::{
+    ActionArgs, ActionData, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+    ProtocolSpec, WellDispense,
+};
+pub use ot2::Ot2;
+pub use pf400::Pf400;
+pub use sciclops::SciClops;
+pub use timing::{Jittered, TimingModel};
+pub use world::{PlateId, Reservoir, ReservoirBank, World, WorldError};

@@ -1,0 +1,336 @@
+//! `ot2` — the Opentrons OT-2 pipetting robot: "an automatic pipetting
+//! device that contains four separate color reservoirs and a set of pipette
+//! tips … it mixes liquids in the proportions set by the optimization
+//! algorithm" (paper §2.2).
+
+use crate::module::{
+    ActionArgs, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+};
+use crate::timing::TimingModel;
+use crate::world::World;
+use rand::rngs::StdRng;
+
+/// Liquid-handler simulator.
+#[derive(Debug, Clone)]
+pub struct Ot2 {
+    name: String,
+    state: ModuleState,
+    /// Deck nest where the working plate must sit.
+    deck_slot: String,
+    /// Reservoir bank name in the world (conventionally the module name).
+    bank: String,
+    /// Clean tips remaining.
+    tips_remaining: u32,
+    protocols_run: u64,
+    wells_dispensed: u64,
+}
+
+impl Ot2 {
+    /// A handler with a full tip supply.
+    pub fn new(name: impl Into<String>, deck_slot: impl Into<String>, bank: impl Into<String>, tips: u32) -> Ot2 {
+        Ot2 {
+            name: name.into(),
+            state: ModuleState::Idle,
+            deck_slot: deck_slot.into(),
+            bank: bank.into(),
+            tips_remaining: tips,
+            protocols_run: 0,
+            wells_dispensed: 0,
+        }
+    }
+
+    /// Tips left in the racks.
+    pub fn tips_remaining(&self) -> u32 {
+        self.tips_remaining
+    }
+
+    /// Protocols completed.
+    pub fn protocols_run(&self) -> u64 {
+        self.protocols_run
+    }
+
+    /// Total wells dispensed.
+    pub fn wells_dispensed(&self) -> u64 {
+        self.wells_dispensed
+    }
+
+    /// The deck nest name.
+    pub fn deck_slot(&self) -> &str {
+        &self.deck_slot
+    }
+
+    /// The reservoir bank this handler draws from.
+    pub fn bank_name(&self) -> &str {
+        &self.bank
+    }
+}
+
+impl Instrument for Ot2 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::LiquidHandler
+    }
+
+    fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = ModuleState::Idle;
+    }
+
+    fn mark_error(&mut self) {
+        self.state = ModuleState::Error;
+    }
+
+    fn actions(&self) -> &'static [&'static str] {
+        &["run_protocol"]
+    }
+
+    fn execute(
+        &mut self,
+        action: &str,
+        args: &ActionArgs,
+        world: &mut World,
+        timing: &TimingModel,
+        rng: &mut StdRng,
+    ) -> Result<ActionOutcome, InstrumentError> {
+        if self.state == ModuleState::Error {
+            return Err(InstrumentError::NeedsReset);
+        }
+        match action {
+            "run_protocol" => {
+                let protocol = args
+                    .protocol
+                    .as_ref()
+                    .ok_or_else(|| InstrumentError::BadArgs("run_protocol needs a protocol payload".into()))?;
+                let n_dyes = world.dyes.len();
+
+                // Validate everything before mutating anything: plate present,
+                // arity, tips, reservoir volumes, then the wells themselves.
+                let plate_id = world
+                    .plate_at(&self.deck_slot)?
+                    .ok_or_else(|| InstrumentError::World(crate::world::WorldError::SlotEmpty(self.deck_slot.clone())))?;
+                for d in &protocol.dispenses {
+                    if d.volumes_ul.len() != n_dyes {
+                        return Err(InstrumentError::BadArgs(format!(
+                            "dispense for {} has {} volumes, dye set has {n_dyes}",
+                            d.well,
+                            d.volumes_ul.len()
+                        )));
+                    }
+                    if d.volumes_ul.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                        return Err(InstrumentError::BadArgs(format!("invalid volume for {}", d.well)));
+                    }
+                }
+                let tips_needed = protocol.dyes_used(n_dyes) as u32;
+                if tips_needed > self.tips_remaining {
+                    return Err(InstrumentError::OutOfTips);
+                }
+                let demand = protocol.demand_ul(n_dyes);
+                {
+                    let bank = world.bank(&self.bank)?;
+                    for (res, need) in bank.reservoirs.iter().zip(&demand) {
+                        if res.volume_ul + 1e-9 < *need {
+                            return Err(InstrumentError::InsufficientReservoir { dye: res.dye.clone() });
+                        }
+                    }
+                }
+                {
+                    let plate = world.plate(plate_id)?;
+                    for d in &protocol.dispenses {
+                        let well = plate.well(d.well)?;
+                        if !well.is_empty() {
+                            return Err(InstrumentError::Labware(
+                                crate::labware::LabwareError::AlreadyUsed(d.well.to_string()),
+                            ));
+                        }
+                        let total: f64 = d.volumes_ul.iter().sum();
+                        if total > plate.well_capacity_ul {
+                            return Err(InstrumentError::Labware(crate::labware::LabwareError::Overflow(
+                                d.well.to_string(),
+                            )));
+                        }
+                    }
+                }
+
+                // Commit: drain reservoirs, fill wells, consume tips.
+                {
+                    let bank = world.bank_mut(&self.bank)?;
+                    for (res, need) in bank.reservoirs.iter_mut().zip(&demand) {
+                        res.volume_ul -= need;
+                    }
+                }
+                {
+                    let plate = world.plate_mut(plate_id)?;
+                    for d in &protocol.dispenses {
+                        plate.dispense(d.well, &d.volumes_ul)?;
+                    }
+                }
+                self.tips_remaining -= tips_needed;
+                self.protocols_run += 1;
+                self.wells_dispensed += protocol.dispenses.len() as u64;
+
+                let n = protocol.dispenses.len();
+                // Per-well time with batch economies of scale: one jittered
+                // per-well draw scaled by n^exponent.
+                let scale = (n as f64).powf(timing.ot2_batch_exponent);
+                let wells_time = timing.ot2_per_well.sample(rng).mul_f64(scale);
+                let duration = timing.ot2_protocol_fixed.sample(rng) + wells_time;
+                Ok(ActionOutcome::lasting(duration))
+            }
+            other => Err(InstrumentError::UnknownAction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labware::{Microplate, WellIndex};
+    use crate::module::{ProtocolSpec, WellDispense};
+    use crate::world::ReservoirBank;
+    use rand::SeedableRng;
+    use sdl_color::{DyeSet, MixKind};
+
+    fn setup() -> (Ot2, World, TimingModel, StdRng) {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_slot("ot2.deck");
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
+        world.spawn_plate("ot2.deck", Microplate::standard96()).unwrap();
+        (Ot2::new("ot2", "ot2.deck", "ot2", 960), world, TimingModel::default(), StdRng::seed_from_u64(3))
+    }
+
+    fn protocol(wells: &[(usize, usize)], volumes: &[f64]) -> ActionArgs {
+        ActionArgs::none().with_protocol(ProtocolSpec {
+            name: "mix_colors".into(),
+            dispenses: wells
+                .iter()
+                .map(|&(r, c)| WellDispense { well: WellIndex::new(r, c), volumes_ul: volumes.to_vec() })
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn protocol_conserves_volume() {
+        let (mut ot2, mut world, timing, mut rng) = setup();
+        let args = protocol(&[(0, 0), (0, 1)], &[10.0, 5.0, 0.0, 20.0]);
+        ot2.execute("run_protocol", &args, &mut world, &timing, &mut rng).unwrap();
+
+        let plate_id = world.plate_at("ot2.deck").unwrap().unwrap();
+        let w = world.plate(plate_id).unwrap().well(WellIndex::new(0, 1)).unwrap();
+        assert_eq!(w.volumes_ul, vec![10.0, 5.0, 0.0, 20.0]);
+
+        let bank = world.bank("ot2").unwrap();
+        assert_eq!(bank.reservoirs[0].volume_ul, 4000.0 - 20.0);
+        assert_eq!(bank.reservoirs[2].volume_ul, 4000.0);
+        assert_eq!(bank.reservoirs[3].volume_ul, 4000.0 - 40.0);
+        // 3 dyes used → 3 tips.
+        assert_eq!(ot2.tips_remaining(), 957);
+        assert_eq!(ot2.protocols_run(), 1);
+        assert_eq!(ot2.wells_dispensed(), 2);
+    }
+
+    #[test]
+    fn duration_scales_with_batch() {
+        let (mut ot2, mut world, timing, mut rng) = setup();
+        let d1 = ot2
+            .execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
+            .unwrap()
+            .duration;
+        let wells: Vec<(usize, usize)> = (0..8).map(|c| (1usize, c)).collect();
+        let d8 = ot2
+            .execute("run_protocol", &protocol(&wells, &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
+            .unwrap()
+            .duration;
+        let expect_ratio = timing.ot2_protocol_mean_s(8) / timing.ot2_protocol_mean_s(1);
+        let ratio = d8.as_secs_f64() / d1.as_secs_f64();
+        assert!((ratio - expect_ratio).abs() < 0.25, "ratio {ratio} expect {expect_ratio}");
+    }
+
+    #[test]
+    fn insufficient_reservoir_fails_atomically() {
+        let (mut ot2, mut world, timing, mut rng) = setup();
+        world.bank_mut("ot2").unwrap().reservoirs[3].volume_ul = 5.0;
+        let err = ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 0)], &[0.0, 0.0, 0.0, 10.0]),
+            &mut world,
+            &timing,
+            &mut rng,
+        );
+        assert_eq!(err, Err(InstrumentError::InsufficientReservoir { dye: "black".into() }));
+        // Nothing was dispensed or consumed.
+        let plate_id = world.plate_at("ot2.deck").unwrap().unwrap();
+        assert_eq!(world.plate(plate_id).unwrap().used_wells(), 0);
+        assert_eq!(ot2.tips_remaining(), 960);
+    }
+
+    #[test]
+    fn out_of_tips() {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_slot("ot2.deck");
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
+        world.spawn_plate("ot2.deck", Microplate::standard96()).unwrap();
+        let mut ot2 = Ot2::new("ot2", "ot2.deck", "ot2", 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]),
+            &mut world,
+            &TimingModel::default(),
+            &mut rng,
+        );
+        assert_eq!(err, Err(InstrumentError::OutOfTips));
+    }
+
+    #[test]
+    fn missing_plate_fails() {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_slot("ot2.deck");
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
+        let mut ot2 = Ot2::new("ot2", "ot2.deck", "ot2", 960);
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]),
+            &mut world,
+            &TimingModel::default(),
+            &mut rng,
+        );
+        assert!(matches!(err, Err(InstrumentError::World(_))));
+    }
+
+    #[test]
+    fn reused_well_fails_before_any_mutation() {
+        let (mut ot2, mut world, timing, mut rng) = setup();
+        ot2.execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
+            .unwrap();
+        let before = world.bank("ot2").unwrap().reservoirs[0].volume_ul;
+        let err = ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 1), (0, 0)], &[1.0, 1.0, 1.0, 1.0]),
+            &mut world,
+            &timing,
+            &mut rng,
+        );
+        assert!(matches!(err, Err(InstrumentError::Labware(_))));
+        assert_eq!(world.bank("ot2").unwrap().reservoirs[0].volume_ul, before);
+        let plate_id = world.plate_at("ot2.deck").unwrap().unwrap();
+        assert_eq!(world.plate(plate_id).unwrap().used_wells(), 1, "batch must be atomic");
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let (mut ot2, mut world, timing, mut rng) = setup();
+        let err =
+            ot2.execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0]), &mut world, &timing, &mut rng);
+        assert!(matches!(err, Err(InstrumentError::BadArgs(_))));
+    }
+}

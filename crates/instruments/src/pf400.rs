@@ -1,0 +1,153 @@
+//! `pf400` — the rail-mounted manipulator arm: "the central transportation
+//! unit within the workcell. Its core function is to shuttle microplates
+//! between different modules" (paper §2.2).
+
+use crate::module::{
+    ActionArgs, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+};
+use crate::timing::TimingModel;
+use crate::world::World;
+use rand::rngs::StdRng;
+
+/// Manipulator simulator.
+#[derive(Debug, Clone)]
+pub struct Pf400 {
+    name: String,
+    state: ModuleState,
+    /// Nest the gripper is currently parked at (after the last transfer).
+    position: Option<String>,
+    transfers_completed: u64,
+}
+
+impl Pf400 {
+    /// A new arm, parked at no particular nest.
+    pub fn new(name: impl Into<String>) -> Pf400 {
+        Pf400 { name: name.into(), state: ModuleState::Idle, position: None, transfers_completed: 0 }
+    }
+
+    /// Where the arm last placed a plate.
+    pub fn position(&self) -> Option<&str> {
+        self.position.as_deref()
+    }
+
+    /// Number of completed transfers (feeds the pick-and-place accounting
+    /// the paper reports: "the pf400 had to pick and place the microplate
+    /// precisely twice per time period").
+    pub fn transfers_completed(&self) -> u64 {
+        self.transfers_completed
+    }
+}
+
+impl Instrument for Pf400 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Manipulator
+    }
+
+    fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = ModuleState::Idle;
+    }
+
+    fn mark_error(&mut self) {
+        self.state = ModuleState::Error;
+    }
+
+    fn actions(&self) -> &'static [&'static str] {
+        &["transfer"]
+    }
+
+    fn execute(
+        &mut self,
+        action: &str,
+        args: &ActionArgs,
+        world: &mut World,
+        timing: &TimingModel,
+        rng: &mut StdRng,
+    ) -> Result<ActionOutcome, InstrumentError> {
+        if self.state == ModuleState::Error {
+            return Err(InstrumentError::NeedsReset);
+        }
+        match action {
+            "transfer" => {
+                let source = args.req("source")?;
+                let target = args.req("target")?;
+                if source == target {
+                    return Err(InstrumentError::BadArgs("source equals target".into()));
+                }
+                world.move_plate(source, target)?;
+                self.position = Some(target.to_string());
+                self.transfers_completed += 1;
+                Ok(ActionOutcome::lasting(timing.pf400_transfer.sample(rng)))
+            }
+            other => Err(InstrumentError::UnknownAction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labware::Microplate;
+    use rand::SeedableRng;
+    use sdl_color::{DyeSet, MixKind};
+
+    fn setup() -> (Pf400, World, TimingModel, StdRng) {
+        let mut world = World::new(DyeSet::cmyk(), MixKind::BeerLambert);
+        for s in ["sciclops.exchange", "camera.nest", "ot2.deck"] {
+            world.add_slot(s);
+        }
+        world.spawn_plate("sciclops.exchange", Microplate::standard96()).unwrap();
+        (Pf400::new("pf400"), world, TimingModel::default(), StdRng::seed_from_u64(2))
+    }
+
+    fn args(from: &str, to: &str) -> ActionArgs {
+        ActionArgs::none().with("source", from).with("target", to)
+    }
+
+    #[test]
+    fn transfer_moves_plate_and_tracks_position() {
+        let (mut arm, mut world, timing, mut rng) = setup();
+        arm.execute("transfer", &args("sciclops.exchange", "camera.nest"), &mut world, &timing, &mut rng)
+            .unwrap();
+        assert!(world.plate_at("camera.nest").unwrap().is_some());
+        assert_eq!(arm.position(), Some("camera.nest"));
+        assert_eq!(arm.transfers_completed(), 1);
+        arm.execute("transfer", &args("camera.nest", "ot2.deck"), &mut world, &timing, &mut rng).unwrap();
+        assert_eq!(arm.transfers_completed(), 2);
+    }
+
+    #[test]
+    fn transfer_validates_slots() {
+        let (mut arm, mut world, timing, mut rng) = setup();
+        assert!(matches!(
+            arm.execute("transfer", &args("camera.nest", "ot2.deck"), &mut world, &timing, &mut rng),
+            Err(InstrumentError::World(_))
+        ));
+        assert!(matches!(
+            arm.execute("transfer", &args("ot2.deck", "ot2.deck"), &mut world, &timing, &mut rng),
+            Err(InstrumentError::BadArgs(_))
+        ));
+        assert!(matches!(
+            arm.execute("transfer", &ActionArgs::none(), &mut world, &timing, &mut rng),
+            Err(InstrumentError::BadArgs(_))
+        ));
+        assert_eq!(arm.transfers_completed(), 0);
+    }
+
+    #[test]
+    fn duration_close_to_calibrated_mean() {
+        let (mut arm, mut world, timing, mut rng) = setup();
+        let out = arm
+            .execute("transfer", &args("sciclops.exchange", "ot2.deck"), &mut world, &timing, &mut rng)
+            .unwrap();
+        let secs = out.duration.as_secs_f64();
+        assert!((secs - 34.0).abs() < 1.0, "transfer took {secs}");
+    }
+}

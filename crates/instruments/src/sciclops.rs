@@ -1,0 +1,171 @@
+//! `sciclops` — the Hudson SciClops microplate handler: "a microplate
+//! storage and staging system that can access multiple storage towers"
+//! (paper §2.2).
+
+use crate::labware::Microplate;
+use crate::module::{
+    ActionArgs, ActionData, ActionOutcome, Instrument, InstrumentError, ModuleKind, ModuleState,
+};
+use crate::timing::TimingModel;
+use crate::world::World;
+use rand::rngs::StdRng;
+
+/// Plate crane simulator.
+#[derive(Debug, Clone)]
+pub struct SciClops {
+    name: String,
+    state: ModuleState,
+    /// Plates remaining per storage tower.
+    towers: Vec<u32>,
+    /// The exchange nest where fetched plates are staged.
+    exchange_slot: String,
+    /// Labware template for new plates.
+    plate_template: Microplate,
+}
+
+impl SciClops {
+    /// A crane with the given tower inventory.
+    pub fn new(name: impl Into<String>, towers: Vec<u32>, exchange_slot: impl Into<String>) -> SciClops {
+        SciClops {
+            name: name.into(),
+            state: ModuleState::Idle,
+            towers,
+            exchange_slot: exchange_slot.into(),
+            plate_template: Microplate::standard96(),
+        }
+    }
+
+    /// Plates left across all towers.
+    pub fn plates_remaining(&self) -> u32 {
+        self.towers.iter().sum()
+    }
+
+    /// The exchange slot name.
+    pub fn exchange_slot(&self) -> &str {
+        &self.exchange_slot
+    }
+}
+
+impl Instrument for SciClops {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::PlateCrane
+    }
+
+    fn state(&self) -> ModuleState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = ModuleState::Idle;
+    }
+
+    fn mark_error(&mut self) {
+        self.state = ModuleState::Error;
+    }
+
+    fn actions(&self) -> &'static [&'static str] {
+        &["get_plate"]
+    }
+
+    fn execute(
+        &mut self,
+        action: &str,
+        _args: &ActionArgs,
+        world: &mut World,
+        timing: &TimingModel,
+        rng: &mut StdRng,
+    ) -> Result<ActionOutcome, InstrumentError> {
+        if self.state == ModuleState::Error {
+            return Err(InstrumentError::NeedsReset);
+        }
+        match action {
+            "get_plate" => {
+                let tower = self
+                    .towers
+                    .iter_mut()
+                    .find(|t| **t > 0)
+                    .ok_or(InstrumentError::OutOfPlates)?;
+                // Reserve the plate only after the destination is validated.
+                let id = world.spawn_plate(&self.exchange_slot, self.plate_template.clone())?;
+                *tower -= 1;
+                Ok(ActionOutcome {
+                    duration: timing.sciclops_get_plate.sample(rng),
+                    data: ActionData::Plate(id),
+                })
+            }
+            other => Err(InstrumentError::UnknownAction(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdl_color::{DyeSet, MixKind};
+
+    fn setup() -> (SciClops, World, TimingModel, StdRng) {
+        let mut world = World::new(DyeSet::cmyk(), MixKind::BeerLambert);
+        world.add_slot("sciclops.exchange");
+        (
+            SciClops::new("sciclops", vec![2, 1], "sciclops.exchange"),
+            world,
+            TimingModel::default(),
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn dispenses_plates_until_empty() {
+        let (mut crane, mut world, timing, mut rng) = setup();
+        assert_eq!(crane.plates_remaining(), 3);
+        for i in 0..3 {
+            let out = crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+            assert!(matches!(out.data, ActionData::Plate(_)), "fetch {i}");
+            assert!(out.duration.as_secs_f64() > 25.0);
+            // Clear the nest for the next fetch.
+            world.retire_plate("sciclops.exchange").unwrap();
+        }
+        assert_eq!(crane.plates_remaining(), 0);
+        assert_eq!(
+            crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng),
+            Err(InstrumentError::OutOfPlates)
+        );
+    }
+
+    #[test]
+    fn occupied_exchange_fails_without_consuming_a_plate() {
+        let (mut crane, mut world, timing, mut rng) = setup();
+        crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        let err = crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng);
+        assert!(matches!(err, Err(InstrumentError::World(_))));
+        assert_eq!(crane.plates_remaining(), 2, "inventory untouched on failure");
+    }
+
+    #[test]
+    fn error_state_blocks_commands() {
+        let (mut crane, mut world, timing, mut rng) = setup();
+        crane.mark_error();
+        assert_eq!(crane.state(), ModuleState::Error);
+        assert_eq!(
+            crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng),
+            Err(InstrumentError::NeedsReset)
+        );
+        crane.reset();
+        assert_eq!(crane.state(), ModuleState::Idle);
+        assert!(crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let (mut crane, mut world, timing, mut rng) = setup();
+        assert_eq!(
+            crane.execute("warp_plate", &ActionArgs::none(), &mut world, &timing, &mut rng),
+            Err(InstrumentError::UnknownAction("warp_plate".into()))
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The workcell timing model.
+//!
+//! Action durations are calibrated so a B = 1, N = 128 color-picker run
+//! reproduces Table 1 of the paper (see DESIGN.md §6):
+//!
+//! * per-iteration ≈ 228 s (paper: one data upload every 3 m 48 s);
+//! * OT-2 protocol = fixed + per-well so that synthesis time ≈ 5 h 10 m;
+//! * transfers + imaging ≈ 3 h 02 m;
+//! * whole run ≈ 8 h 12 m.
+//!
+//! Every duration carries a small uniform jitter (real robot actions are not
+//! metronomic); jitter draws come from a dedicated RNG stream so they do not
+//! disturb solver reproducibility.
+
+use rand::Rng;
+use sdl_desim::SimDuration;
+
+/// A mean duration with ± fractional uniform jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jittered {
+    /// Mean duration, seconds.
+    pub mean_s: f64,
+    /// Fractional half-width of the uniform jitter (0.02 = ±2%).
+    pub jitter: f64,
+}
+
+impl Jittered {
+    /// A fixed duration with the default ±2% jitter.
+    pub const fn secs(mean_s: f64) -> Jittered {
+        Jittered { mean_s, jitter: 0.02 }
+    }
+
+    /// Draw one duration.
+    pub fn sample(&self, rng: &mut impl Rng) -> SimDuration {
+        let f = if self.jitter > 0.0 { rng.gen_range(-self.jitter..=self.jitter) } else { 0.0 };
+        SimDuration::from_secs_f64(self.mean_s * (1.0 + f))
+    }
+}
+
+/// All workcell action timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// sciclops: fetch a plate from a tower to the exchange point.
+    pub sciclops_get_plate: Jittered,
+    /// pf400: one plate transfer between any two nests.
+    pub pf400_transfer: Jittered,
+    /// OT-2: protocol overhead (homing, tip pickup, deck calibration).
+    pub ot2_protocol_fixed: Jittered,
+    /// OT-2: additional time per well dispensed.
+    pub ot2_per_well: Jittered,
+    /// Camera: stage, capture and store one frame.
+    pub camera_capture: Jittered,
+    /// barty: pump throughput, µL/s.
+    pub barty_pump_ul_per_s: f64,
+    /// barty: per-command valve/priming overhead.
+    pub barty_overhead: Jittered,
+    /// Economy-of-scale exponent for multi-well protocols: dispensing B
+    /// wells costs `ot2_per_well × B^exponent` (multi-channel pipetting and
+    /// amortized tip handling make large batches strongly sublinear; 0.78
+    /// reproduces the Figure-4 x-extents, where B=64 finishes in ~1 hour
+    /// while B=1 takes over eight).
+    pub ot2_batch_exponent: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            sciclops_get_plate: Jittered::secs(30.0),
+            pf400_transfer: Jittered::secs(34.0),
+            ot2_protocol_fixed: Jittered::secs(83.0),
+            ot2_per_well: Jittered::secs(60.0),
+            camera_capture: Jittered::secs(15.0),
+            barty_pump_ul_per_s: 500.0,
+            barty_overhead: Jittered::secs(12.0),
+            ot2_batch_exponent: 0.78,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Expected duration of an OT-2 protocol over `wells` wells (no jitter),
+    /// for capacity planning and tests.
+    pub fn ot2_protocol_mean_s(&self, wells: usize) -> f64 {
+        self.ot2_protocol_fixed.mean_s + self.ot2_wells_mean_s(wells)
+    }
+
+    /// Expected well-dispensing time for a batch of `wells` (no jitter),
+    /// with the economy-of-scale exponent applied.
+    pub fn ot2_wells_mean_s(&self, wells: usize) -> f64 {
+        self.ot2_per_well.mean_s * (wells as f64).powf(self.ot2_batch_exponent)
+    }
+
+    /// Expected duration of one full B-well mix iteration (two transfers, a
+    /// protocol, a capture).
+    pub fn iteration_mean_s(&self, batch: usize) -> f64 {
+        2.0 * self.pf400_transfer.mean_s + self.ot2_protocol_mean_s(batch) + self.camera_capture.mean_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_matches_table1_shape() {
+        let t = TimingModel::default();
+        // One B=1 iteration ≈ 228 s (3 m 48 s upload cadence).
+        let iter_s = t.iteration_mean_s(1);
+        assert!((iter_s - 228.0).abs() < 4.0, "iteration {iter_s}");
+        // 128 iterations ≈ 8 h 06 m; plate logistics push it to ≈ 8 h 12 m.
+        let loop_s = 128.0 * iter_s;
+        assert!(loop_s > 7.9 * 3600.0 && loop_s < 8.3 * 3600.0, "loop {loop_s}");
+        // Synthesis 128 × protocol(1) ≈ 5 h 10 m.
+        let synth_s = 128.0 * t.ot2_protocol_mean_s(1);
+        assert!((synth_s / 3600.0 - 5.08).abs() < 0.2, "synthesis {synth_s}");
+        // Transfer bucket 128 × (2 moves + capture) ≈ 3 h.
+        let transfer_s = 128.0 * (2.0 * t.pf400_transfer.mean_s + t.camera_capture.mean_s);
+        assert!((transfer_s / 3600.0 - 3.0).abs() < 0.15, "transfer {transfer_s}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_reproducible() {
+        let j = Jittered { mean_s: 100.0, jitter: 0.05 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = j.sample(&mut rng).as_secs_f64();
+            assert!((95.0..=105.0).contains(&d));
+        }
+        let a = j.sample(&mut StdRng::seed_from_u64(9));
+        let b = j.sample(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let j = Jittered { mean_s: 42.0, jitter: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(j.sample(&mut rng), SimDuration::from_secs(42));
+    }
+
+    #[test]
+    fn batch_scaling_is_sublinear_in_wells() {
+        let t = TimingModel::default();
+        // B = 64 well-time per well is far below the B = 1 rate.
+        let per_well_1 = t.ot2_wells_mean_s(1);
+        let per_well_64 = t.ot2_wells_mean_s(64) / 64.0;
+        assert!((per_well_1 - 60.0).abs() < 1e-9);
+        assert!(per_well_64 < 30.0, "B=64 rate {per_well_64}");
+        // Figure-4 endpoint check: a full 128-sample B=64 run is ~1 hour.
+        let total_64 = 2.0 * (t.iteration_mean_s(64));
+        assert!((3000.0..4200.0).contains(&total_64), "B=64 total {total_64}");
+    }
+}

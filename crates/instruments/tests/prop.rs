@@ -1,0 +1,153 @@
+//! Property tests: labware conservation and instrument invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdl_color::{DyeSet, MixKind};
+use sdl_instruments::{
+    ActionArgs, Barty, Instrument, Microplate, Ot2, ProtocolSpec, ReservoirBank, TimingModel,
+    WellDispense, WellIndex, World,
+};
+
+fn arb_volumes() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..40.0f64, 4)
+}
+
+proptest! {
+    /// Volume is conserved: whatever leaves the reservoirs lands in wells.
+    #[test]
+    fn ot2_conserves_volume(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_volumes(), 1..6),
+            1..4,
+        )
+    ) {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_slot("ot2.deck");
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 100_000.0));
+        let plate_id = world.spawn_plate("ot2.deck", Microplate::standard96()).unwrap();
+        let mut ot2 = Ot2::new("ot2", "ot2.deck", "ot2", 960);
+        let timing = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+
+        let mut next_well = 0usize;
+        let mut dispensed_total = 0.0;
+        for batch in batches {
+            let dispenses: Vec<WellDispense> = batch
+                .iter()
+                .map(|v| {
+                    let w = WellIndex::from_flat(next_well, 12);
+                    next_well += 1;
+                    WellDispense { well: w, volumes_ul: v.clone() }
+                })
+                .collect();
+            if next_well > 96 {
+                break;
+            }
+            let demand: f64 = dispenses.iter().map(|d| d.volumes_ul.iter().sum::<f64>()).sum();
+            let args = ActionArgs::none()
+                .with_protocol(ProtocolSpec { name: "p".into(), dispenses });
+            ot2.execute("run_protocol", &args, &mut world, &timing, &mut rng).unwrap();
+            dispensed_total += demand;
+        }
+
+        let bank_used: f64 = world
+            .bank("ot2")
+            .unwrap()
+            .reservoirs
+            .iter()
+            .map(|r| r.capacity_ul - r.volume_ul)
+            .sum();
+        let in_wells: f64 = world
+            .plate(plate_id)
+            .unwrap()
+            .iter()
+            .map(|(_, w)| w.total_ul())
+            .sum();
+        prop_assert!((bank_used - dispensed_total).abs() < 1e-6);
+        prop_assert!((in_wells - dispensed_total).abs() < 1e-6);
+    }
+
+    /// barty fill always restores a full bank, whatever state it was in.
+    #[test]
+    fn barty_fill_restores_capacity(levels in proptest::collection::vec(0.0..4000.0f64, 4)) {
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes.clone(), MixKind::BeerLambert);
+        world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
+        for (r, lvl) in world.bank_mut("ot2").unwrap().reservoirs.iter_mut().zip(&levels) {
+            r.volume_ul = *lvl;
+        }
+        let mut barty = Barty::new("barty", "ot2", vec![1_000_000.0; 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        barty
+            .execute("fill_colors", &ActionArgs::none(), &mut world, &TimingModel::default(), &mut rng)
+            .unwrap();
+        for r in &world.bank("ot2").unwrap().reservoirs {
+            prop_assert_eq!(r.volume_ul, r.capacity_ul);
+        }
+        // Stock decreased by exactly the poured volume.
+        let poured: f64 = levels.iter().map(|l| 4000.0 - l).sum();
+        let stock_used: f64 = barty.stock_ul().iter().map(|s| 1_000_000.0 - s).sum();
+        prop_assert!((stock_used - poured).abs() < 1e-6);
+    }
+
+    /// Well labels roundtrip for every plate position.
+    #[test]
+    fn well_index_label_roundtrip(row in 0usize..8, col in 0usize..12) {
+        let idx = WellIndex::new(row, col);
+        prop_assert_eq!(WellIndex::parse(&idx.to_string()), Some(idx));
+    }
+
+    /// Plate dispensing never exceeds capacity and tracks usage exactly.
+    #[test]
+    fn plate_usage_accounting(wells in proptest::collection::vec((0usize..8, 0usize..12), 1..40)) {
+        let mut plate = Microplate::standard96();
+        let mut used = std::collections::HashSet::new();
+        for (row, col) in wells {
+            let idx = WellIndex::new(row, col);
+            let result = plate.dispense(idx, &[1.0, 2.0, 3.0, 4.0]);
+            if used.insert(idx) {
+                prop_assert!(result.is_ok());
+            } else {
+                prop_assert!(result.is_err(), "double dispense into {idx} must fail");
+            }
+        }
+        prop_assert_eq!(plate.used_wells(), used.len());
+        prop_assert_eq!(plate.free_wells(), 96 - used.len());
+    }
+
+    /// The pf400 cannot teleport plates: a random walk of transfers keeps
+    /// exactly one plate in the system, always at a valid slot.
+    #[test]
+    fn pf400_custody_is_conserved(moves in proptest::collection::vec(0usize..3, 1..20)) {
+        let slots = ["sciclops.exchange", "camera.nest", "ot2.deck"];
+        let dyes = DyeSet::cmyk();
+        let mut world = World::new(dyes, MixKind::BeerLambert);
+        for s in slots {
+            world.add_slot(s);
+        }
+        let mut arm = sdl_instruments::Pf400::new("pf400");
+        let timing = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        world.spawn_plate(slots[0], Microplate::standard96()).unwrap();
+        let mut at = 0usize;
+        for target in moves {
+            let args = ActionArgs::none().with("source", slots[at]).with("target", slots[target]);
+            let result = arm.execute("transfer", &args, &mut world, &timing, &mut rng);
+            if target == at {
+                prop_assert!(result.is_err());
+            } else {
+                prop_assert!(result.is_ok());
+                at = target;
+            }
+            // Exactly one slot is occupied.
+            let occupied = slots
+                .iter()
+                .filter(|s| world.plate_at(s).unwrap().is_some())
+                .count();
+            prop_assert_eq!(occupied, 1);
+            prop_assert!(world.plate_at(slots[at]).unwrap().is_some());
+        }
+    }
+}

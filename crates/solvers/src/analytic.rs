@@ -1,0 +1,162 @@
+//! The analytic oracle: "the color picking problem admits to an analytic
+//! solution, given accurate models of how colors combine and the properties
+//! of our color sensor" (§2.5).
+//!
+//! This solver is that analytic solution: it knows the Beer–Lambert forward
+//! model and the dye set, and inverts them with multi-start Nelder–Mead. It
+//! serves as the skyline in the solver-comparison experiment — black-box
+//! methods cannot beat it, and the gap to it measures what treating the
+//! problem "as a black box" costs.
+
+use crate::neldermead::minimize;
+use crate::solver::{sanitize, ColorSolver, Observation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sdl_color::{BeerLambert, DyeSet, MixModel, Recipe, Rgb8};
+
+/// Model-inverting oracle solver.
+pub struct AnalyticSolver {
+    dyes: DyeSet,
+    model: Box<dyn MixModel>,
+    /// Multi-start count for the inversion.
+    pub starts: usize,
+    /// Jitter radius for batch slots beyond the first (re-measuring one
+    /// point repeatedly wastes samples under sensor noise).
+    pub jitter: f64,
+    cached: Option<(Rgb8, Vec<f64>)>,
+}
+
+impl AnalyticSolver {
+    /// Oracle over an explicit dye set and model.
+    pub fn new(dyes: DyeSet, model: Box<dyn MixModel>) -> AnalyticSolver {
+        AnalyticSolver { dyes, model, starts: 6, jitter: 0.02, cached: None }
+    }
+
+    /// Oracle for the default CMYK Beer–Lambert setup.
+    pub fn default_cmyk() -> AnalyticSolver {
+        AnalyticSolver::new(DyeSet::cmyk(), Box::new(BeerLambert::default()))
+    }
+
+    /// Invert the forward model for `target` (cached per target).
+    pub fn invert(&mut self, target: Rgb8, rng: &mut StdRng) -> Vec<f64> {
+        if let Some((t, x)) = &self.cached {
+            if *t == target {
+                return x.clone();
+            }
+        }
+        let dims = self.dyes.len();
+        let target_lin = target.to_linear();
+        let dyes = self.dyes.clone();
+        let model = &self.model;
+        let mut objective = |ratios: &[f64]| -> f64 {
+            let recipe = match Recipe::from_ratios(ratios, &dyes) {
+                Ok(r) => r,
+                Err(_) => return f64::INFINITY,
+            };
+            let c = model.well_color(&dyes, &recipe);
+            let dr = c.r - target_lin.r;
+            let dg = c.g - target_lin.g;
+            let db = c.b - target_lin.b;
+            dr * dr + dg * dg + db * db
+        };
+
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for s in 0..self.starts {
+            let x0: Vec<f64> = if s == 0 {
+                vec![0.2; dims]
+            } else {
+                (0..dims).map(|_| rng.gen::<f64>()).collect()
+            };
+            let (x, fx) = minimize(&mut objective, &x0, 0.2, 300);
+            if best.as_ref().is_none_or(|(_, bf)| fx < *bf) {
+                best = Some((x, fx));
+            }
+        }
+        let (mut x, _) = best.expect("at least one start");
+        sanitize(&mut x);
+        self.cached = Some((target, x.clone()));
+        x
+    }
+}
+
+impl ColorSolver for AnalyticSolver {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn propose(
+        &mut self,
+        target: Rgb8,
+        _history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        let solution = self.invert(target, rng);
+        let mut out = Vec::with_capacity(batch);
+        out.push(solution.clone());
+        for _ in 1..batch {
+            let mut p: Vec<f64> =
+                solution.iter().map(|x| x + rng.gen_range(-self.jitter..=self.jitter)).collect();
+            sanitize(&mut p);
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdl_color::MixModel;
+
+    #[test]
+    fn inversion_hits_the_paper_target() {
+        let mut oracle = AnalyticSolver::default_cmyk();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ratios = oracle.invert(Rgb8::PAPER_TARGET, &mut rng);
+        let set = DyeSet::cmyk();
+        let recipe = Recipe::from_ratios(&ratios, &set).unwrap();
+        let achieved = BeerLambert::default().well_color(&set, &recipe).to_srgb();
+        let err = achieved.distance(Rgb8::PAPER_TARGET);
+        assert!(err < 2.0, "oracle lands at {achieved} ({err:.2} away)");
+    }
+
+    #[test]
+    fn inversion_is_cached_per_target() {
+        let mut oracle = AnalyticSolver::default_cmyk();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = oracle.invert(Rgb8::new(100, 140, 90), &mut rng);
+        let b = oracle.invert(Rgb8::new(100, 140, 90), &mut rng);
+        assert_eq!(a, b);
+        let c = oracle.invert(Rgb8::new(60, 60, 150), &mut rng);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_jitters_around_solution() {
+        let mut oracle = AnalyticSolver::default_cmyk();
+        let mut rng = StdRng::seed_from_u64(3);
+        let props = oracle.propose(Rgb8::PAPER_TARGET, &[], 8, &mut rng);
+        assert_eq!(props.len(), 8);
+        for p in &props[1..] {
+            let d: f64 = p
+                .iter()
+                .zip(&props[0])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d <= 0.05, "jitter too large: {d}");
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_saturate_gracefully() {
+        // Pure saturated red is outside the CMYK subtractive gamut; the
+        // oracle should still return a finite best effort.
+        let mut oracle = AnalyticSolver::default_cmyk();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ratios = oracle.invert(Rgb8::new(255, 0, 0), &mut rng);
+        assert!(ratios.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

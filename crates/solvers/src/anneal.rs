@@ -1,0 +1,190 @@
+//! Simulated-annealing solver.
+//!
+//! The paper's future work (§4) is to connect the rig to Baird & Sparks'
+//! CLSLab "so as to permit experimentation with their various optimization
+//! codes and different search approaches". This solver is one such
+//! alternative: Metropolis acceptance over the measurement history with a
+//! geometric temperature schedule tied to the sample budget.
+
+use crate::solver::{best_observation, sanitize, ColorSolver, Observation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sdl_color::Rgb8;
+
+/// Simulated-annealing color solver.
+#[derive(Debug, Clone)]
+pub struct AnnealingSolver {
+    dims: usize,
+    /// Initial step half-width (fraction of the unit box).
+    pub initial_step: f64,
+    /// Final step half-width.
+    pub final_step: f64,
+    /// Samples over which the temperature anneals to its floor.
+    pub horizon: u32,
+    /// Initial acceptance temperature in score units.
+    pub initial_temp: f64,
+    /// Current incumbent the chain walks from (None until first feedback).
+    state: Option<Vec<f64>>,
+    state_score: f64,
+    proposals_made: u32,
+}
+
+impl AnnealingSolver {
+    /// Default-configured solver for `dims` dyes.
+    pub fn new(dims: usize) -> AnnealingSolver {
+        AnnealingSolver {
+            dims,
+            initial_step: 0.25,
+            final_step: 0.03,
+            horizon: 96,
+            initial_temp: 20.0,
+            state: None,
+            state_score: f64::INFINITY,
+            proposals_made: 0,
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        (self.proposals_made as f64 / self.horizon as f64).min(1.0)
+    }
+
+    fn step_width(&self) -> f64 {
+        self.initial_step + (self.final_step - self.initial_step) * self.progress()
+    }
+
+    fn temperature(&self) -> f64 {
+        // Geometric cooling to 1% of the initial temperature.
+        self.initial_temp * (0.01f64).powf(self.progress())
+    }
+
+    /// Metropolis update of the chain state from the latest observations.
+    fn absorb(&mut self, history: &[Observation], rng: &mut StdRng) {
+        let new: Vec<&Observation> = history
+            .iter()
+            .rev()
+            .take(8) // at most the last batch matters
+            .collect();
+        for obs in new.into_iter().rev() {
+            match &self.state {
+                None => {
+                    self.state = Some(obs.ratios.clone());
+                    self.state_score = obs.score;
+                }
+                Some(_) => {
+                    let delta = obs.score - self.state_score;
+                    let accept = delta <= 0.0
+                        || rng.gen::<f64>() < (-delta / self.temperature().max(1e-9)).exp();
+                    if accept {
+                        self.state = Some(obs.ratios.clone());
+                        self.state_score = obs.score;
+                    }
+                }
+            }
+        }
+        // Never walk away from the global best entirely: restart the chain
+        // there if it has drifted badly (score more than 3 temperatures off).
+        if let Some(best) = best_observation(history) {
+            if self.state_score > best.score + 3.0 * self.temperature().max(1.0) {
+                self.state = Some(best.ratios.clone());
+                self.state_score = best.score;
+            }
+        }
+    }
+}
+
+impl ColorSolver for AnnealingSolver {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn propose(
+        &mut self,
+        _target: Rgb8,
+        history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        assert!(batch > 0);
+        self.absorb(history, rng);
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            self.proposals_made += 1;
+            let step = self.step_width();
+            let mut p: Vec<f64> = match &self.state {
+                Some(s) => s.iter().map(|x| x + rng.gen_range(-step..=step)).collect(),
+                None => (0..self.dims).map(|_| rng.gen::<f64>()).collect(),
+            };
+            sanitize(&mut p);
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn obs(ratios: Vec<f64>, score: f64) -> Observation {
+        Observation { ratios, measured: Rgb8::new(0, 0, 0), score }
+    }
+
+    #[test]
+    fn cold_start_is_random() {
+        let mut s = AnnealingSolver::new(4);
+        let props = s.propose(Rgb8::PAPER_TARGET, &[], 4, &mut StdRng::seed_from_u64(1));
+        assert_eq!(props.len(), 4);
+        for p in &props {
+            assert_eq!(p.len(), 4);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn step_width_shrinks_over_the_horizon() {
+        let mut s = AnnealingSolver::new(4);
+        let early = s.step_width();
+        s.proposals_made = s.horizon;
+        let late = s.step_width();
+        assert!(early > late);
+        assert!((late - s.final_step).abs() < 1e-12);
+        assert!(s.temperature() < s.initial_temp * 0.02);
+    }
+
+    #[test]
+    fn walks_near_the_incumbent_when_cold() {
+        let mut s = AnnealingSolver::new(4);
+        s.proposals_made = s.horizon; // fully annealed: small steps
+        let history = vec![obs(vec![0.3, 0.3, 0.3, 0.3], 5.0), obs(vec![0.9, 0.9, 0.9, 0.9], 80.0)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let props = s.propose(Rgb8::PAPER_TARGET, &history, 8, &mut rng);
+        for p in props {
+            let d: f64 = p
+                .iter()
+                .zip(&[0.3, 0.3, 0.3, 0.3])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d < 0.2, "proposal strayed {d} from the incumbent");
+        }
+    }
+
+    #[test]
+    fn converges_on_a_synthetic_objective() {
+        let hidden = [0.18, 0.16, 0.16, 0.62];
+        let mut s = AnnealingSolver::new(4);
+        let mut history: Vec<Observation> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..32 {
+            let batch = s.propose(Rgb8::PAPER_TARGET, &history, 4, &mut rng);
+            for p in batch {
+                let score: f64 =
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                history.push(obs(p, score));
+            }
+        }
+        let best = best_observation(&history).unwrap().score;
+        assert!(best < 15.0, "SA failed to converge: best {best}");
+    }
+}

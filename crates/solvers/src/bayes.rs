@@ -1,0 +1,197 @@
+//! Bayesian-optimization solver: GP surrogate + expected improvement.
+//!
+//! Mirrors the paper's scikit-learn-based method (§2.5): a Gaussian-process
+//! surrogate over the unit box, refit each iteration, with candidates ranked
+//! by expected improvement. Batches are diversified with a minimum-distance
+//! constraint (a cheap stand-in for constant-liar q-EI).
+
+use crate::gp::Gp;
+use crate::linalg::dist;
+use crate::sampling::latin_hypercube;
+use crate::solver::{best_observation, sanitize, ColorSolver, Observation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sdl_color::Rgb8;
+
+/// GP-EI color solver.
+#[derive(Debug, Clone)]
+pub struct BayesSolver {
+    dims: usize,
+    /// Observations required before the surrogate takes over from LHS.
+    pub init_samples: usize,
+    /// Random candidates scored per proposal round.
+    pub candidates: usize,
+    /// Local perturbations of the incumbent added to the candidate pool.
+    pub local_candidates: usize,
+    /// Minimum pairwise distance inside one proposed batch.
+    pub batch_min_dist: f64,
+    /// Cap on history length used for the fit (GP is O(n³)).
+    pub max_fit_points: usize,
+}
+
+impl BayesSolver {
+    /// Default-configured solver for `dims` dyes.
+    pub fn new(dims: usize) -> BayesSolver {
+        BayesSolver {
+            dims,
+            init_samples: 2 * dims,
+            candidates: 512,
+            local_candidates: 128,
+            batch_min_dist: 0.05,
+            max_fit_points: 160,
+        }
+    }
+
+    fn candidate_pool(&self, incumbent: &[f64], rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let mut pool = Vec::with_capacity(self.candidates + self.local_candidates);
+        for _ in 0..self.candidates {
+            pool.push((0..self.dims).map(|_| rng.gen::<f64>()).collect());
+        }
+        for i in 0..self.local_candidates {
+            // Shrinking shells around the incumbent.
+            let radius = 0.02 + 0.2 * (i as f64 / self.local_candidates.max(1) as f64);
+            let mut p: Vec<f64> = incumbent
+                .iter()
+                .map(|x| x + rng.gen_range(-radius..=radius))
+                .collect();
+            sanitize(&mut p);
+            pool.push(p);
+        }
+        pool
+    }
+}
+
+impl ColorSolver for BayesSolver {
+    fn name(&self) -> &'static str {
+        "bayesian"
+    }
+
+    fn propose(
+        &mut self,
+        _target: Rgb8,
+        history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        assert!(batch > 0);
+        if history.len() < self.init_samples {
+            let n = batch.max(1);
+            let mut pts = latin_hypercube(self.dims, n, rng);
+            pts.truncate(batch);
+            return pts;
+        }
+
+        // Fit on the most recent window (plus the incumbent is inside it in
+        // practice; scores are noisy so recency is a feature, not a bug).
+        let start = history.len().saturating_sub(self.max_fit_points);
+        let window = &history[start..];
+        let xs: Vec<Vec<f64>> = window.iter().map(|o| o.ratios.clone()).collect();
+        let ys: Vec<f64> = window.iter().map(|o| o.score).collect();
+        let incumbent = best_observation(history).expect("non-empty").ratios.clone();
+
+        let gp = match Gp::fit_auto(&xs, &ys) {
+            Ok(gp) => gp,
+            Err(_) => {
+                // Degenerate fit (duplicate points): fall back to random.
+                return (0..batch)
+                    .map(|_| (0..self.dims).map(|_| rng.gen::<f64>()).collect())
+                    .collect();
+            }
+        };
+        let best_y = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        let mut scored: Vec<(f64, Vec<f64>)> = self
+            .candidate_pool(&incumbent, rng)
+            .into_iter()
+            .map(|p| (gp.expected_improvement(&p, best_y), p))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        // Greedy batch with diversity.
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(batch);
+        for (_, p) in &scored {
+            if out.len() == batch {
+                break;
+            }
+            if out.iter().all(|q| dist(q, p) >= self.batch_min_dist) {
+                out.push(p.clone());
+            }
+        }
+        // Fill any shortfall with random points.
+        while out.len() < batch {
+            out.push((0..self.dims).map(|_| rng.gen::<f64>()).collect());
+        }
+        for p in &mut out {
+            sanitize(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn obs(ratios: Vec<f64>, score: f64) -> Observation {
+        Observation { ratios, measured: Rgb8::new(0, 0, 0), score }
+    }
+
+    #[test]
+    fn warms_up_with_latin_hypercube() {
+        let mut s = BayesSolver::new(4);
+        let props = s.propose(Rgb8::PAPER_TARGET, &[], 4, &mut StdRng::seed_from_u64(1));
+        assert_eq!(props.len(), 4);
+        for p in &props {
+            assert_eq!(p.len(), 4);
+        }
+    }
+
+    #[test]
+    fn batch_respects_diversity() {
+        let mut s = BayesSolver::new(2);
+        s.init_samples = 4;
+        let history: Vec<Observation> = (0..12)
+            .map(|i| {
+                let x = (i % 4) as f64 / 3.0;
+                let y = (i / 4) as f64 / 2.0;
+                obs(vec![x, y], ((x - 0.3).powi(2) + (y - 0.6).powi(2)) * 100.0)
+            })
+            .collect();
+        let props = s.propose(Rgb8::PAPER_TARGET, &history, 6, &mut StdRng::seed_from_u64(2));
+        assert_eq!(props.len(), 6);
+        for i in 0..props.len() {
+            for j in i + 1..props.len() {
+                assert!(dist(&props[i], &props[j]) >= s.batch_min_dist * 0.99,
+                    "batch points too close: {:?} vs {:?}", props[i], props[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn converges_on_a_synthetic_objective() {
+        let hidden = [0.18, 0.16, 0.16, 0.62];
+        let mut s = BayesSolver::new(4);
+        let mut history: Vec<Observation> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let batch = s.propose(Rgb8::PAPER_TARGET, &history, 4, &mut rng);
+            for p in batch {
+                let score: f64 =
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                history.push(obs(p, score));
+            }
+        }
+        let best = best_observation(&history).unwrap().score;
+        assert!(best < 10.0, "BO failed to converge: best {best}");
+    }
+
+    #[test]
+    fn duplicate_history_does_not_crash() {
+        let mut s = BayesSolver::new(3);
+        s.init_samples = 2;
+        let history = vec![obs(vec![0.5, 0.5, 0.5], 10.0); 8];
+        let props = s.propose(Rgb8::PAPER_TARGET, &history, 3, &mut StdRng::seed_from_u64(4));
+        assert_eq!(props.len(), 3);
+    }
+}

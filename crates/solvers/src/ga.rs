@@ -1,0 +1,278 @@
+//! The paper's evolutionary solver (§2.5), reimplemented faithfully:
+//!
+//! * the initial population is "sampled from a uniform grid of proper
+//!   dimensions (corresponding to the number of mixing colors)";
+//! * each generation, "the most accurate element of the previous population
+//!   is propagated into the new generation";
+//! * "one third of the new population is created by randomly selecting two
+//!   elements of the previous population and taking the average of them";
+//! * "one third … by taking a random element of the previous population and
+//!   randomly shifting its ratios";
+//! * "the final third … by randomly creating a new set of ratios".
+//!
+//! Because batch sizes below four cannot hold an elite plus three thirds,
+//! small batches degenerate gracefully: B = 1 proposes a mutation of the
+//! best-so-far (re-measuring the elite every iteration would waste the
+//! sample budget), alternating with crossover and fresh random points.
+
+use crate::sampling::grid_sample;
+use crate::solver::{best_observation, sanitize, ColorSolver, Observation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sdl_color::Rgb8;
+
+/// Evolutionary color solver.
+#[derive(Debug, Clone)]
+pub struct GeneticSolver {
+    dims: usize,
+    /// Grid levels per dimension for the initial population.
+    pub grid_levels: usize,
+    /// Half-width of the uniform mutation shift.
+    pub mutation_shift: f64,
+    /// How many recent observations form the "previous population".
+    pub population_window: usize,
+    /// Re-measure the elite each generation, as the paper specifies ("the
+    /// most accurate element of the previous population is propagated into
+    /// the new generation"). Disabling it spends that sample on an extra
+    /// mutation instead (ablation item 3 in DESIGN.md).
+    pub elite_replication: bool,
+    generation: u64,
+}
+
+impl GeneticSolver {
+    /// Default-configured solver for `dims` dyes.
+    pub fn new(dims: usize) -> GeneticSolver {
+        GeneticSolver {
+            dims,
+            grid_levels: 4,
+            mutation_shift: 0.15,
+            population_window: 16,
+            elite_replication: true,
+            generation: 0,
+        }
+    }
+
+    /// The parent pool: the most recent window of observations, plus the
+    /// global elite (which may be older).
+    fn parents<'a>(&self, history: &'a [Observation]) -> Vec<&'a Observation> {
+        let start = history.len().saturating_sub(self.population_window);
+        let mut pool: Vec<&Observation> = history[start..].iter().collect();
+        if let Some(best) = best_observation(history) {
+            if !pool.iter().any(|o| std::ptr::eq(*o, best)) {
+                pool.push(best);
+            }
+        }
+        pool
+    }
+
+    fn crossover(&self, pool: &[&Observation], rng: &mut StdRng) -> Vec<f64> {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        a.ratios.iter().zip(&b.ratios).map(|(x, y)| (x + y) / 2.0).collect()
+    }
+
+    fn mutate(&self, pool: &[&Observation], rng: &mut StdRng) -> Vec<f64> {
+        let p = pool[rng.gen_range(0..pool.len())];
+        p.ratios
+            .iter()
+            .map(|x| x + rng.gen_range(-self.mutation_shift..=self.mutation_shift))
+            .collect()
+    }
+
+    fn fresh(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dims).map(|_| rng.gen::<f64>()).collect()
+    }
+}
+
+impl ColorSolver for GeneticSolver {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn propose(
+        &mut self,
+        _target: Rgb8,
+        history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        assert!(batch > 0);
+        self.generation += 1;
+
+        // Initial population from the uniform grid.
+        if history.is_empty() {
+            return grid_sample(self.dims, self.grid_levels, batch, rng);
+        }
+
+        let pool = self.parents(history);
+        let elite = best_observation(history).expect("non-empty history");
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(batch);
+
+        if batch >= 4 {
+            // Faithful scheme: elite + thirds. With replication disabled the
+            // elite's slot becomes one more mutation of it.
+            if self.elite_replication {
+                out.push(elite.ratios.clone());
+            } else {
+                let mutated: Vec<f64> = elite
+                    .ratios
+                    .iter()
+                    .map(|x| x + rng.gen_range(-self.mutation_shift..=self.mutation_shift) * 0.5)
+                    .collect();
+                out.push(mutated);
+            }
+            let rest = batch - 1;
+            let third = rest / 3;
+            let n_cross = third;
+            let n_mut = third;
+            let n_rand = rest - 2 * third;
+            for _ in 0..n_cross {
+                out.push(self.crossover(&pool, rng));
+            }
+            for _ in 0..n_mut {
+                out.push(self.mutate(&pool, rng));
+            }
+            for _ in 0..n_rand {
+                out.push(self.fresh(rng));
+            }
+        } else {
+            // Degenerate small batches: rotate mutation / crossover / random,
+            // always anchored on the elite's neighborhood.
+            for i in 0..batch {
+                let choice = (self.generation as usize + i) % 3;
+                let mut p: Vec<f64> = match choice {
+                    0 => {
+                        // Mutate the elite.
+                        elite
+                            .ratios
+                            .iter()
+                            .map(|x| x + rng.gen_range(-self.mutation_shift..=self.mutation_shift))
+                            .collect()
+                    }
+                    1 => self.crossover(&pool, rng),
+                    _ => self.fresh(rng),
+                };
+                // Tiny pools can crossover the elite with itself; nudge so a
+                // one-sample batch never burns its budget re-measuring it.
+                if p == elite.ratios {
+                    for v in p.iter_mut() {
+                        *v += rng.gen_range(-self.mutation_shift..=self.mutation_shift) * 0.5;
+                    }
+                }
+                out.push(p);
+            }
+        }
+
+        for p in &mut out {
+            sanitize(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn obs(ratios: Vec<f64>, score: f64) -> Observation {
+        Observation { ratios, measured: Rgb8::new(0, 0, 0), score }
+    }
+
+    #[test]
+    fn initial_population_comes_from_grid() {
+        let mut ga = GeneticSolver::new(4);
+        let props = ga.propose(Rgb8::PAPER_TARGET, &[], 8, &mut rng());
+        assert_eq!(props.len(), 8);
+        for p in &props {
+            assert_eq!(p.len(), 4);
+            for &v in p {
+                // Grid levels for 4 levels: 0, 1/3, 2/3, 1.
+                let on_grid = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]
+                    .iter()
+                    .any(|l| (v - l).abs() < 1e-9);
+                assert!(on_grid, "{v} not on grid");
+            }
+        }
+    }
+
+    #[test]
+    fn large_batch_contains_elite_and_thirds() {
+        let mut ga = GeneticSolver::new(4);
+        let history = vec![
+            obs(vec![0.2, 0.2, 0.2, 0.6], 5.0),
+            obs(vec![0.8, 0.1, 0.3, 0.4], 25.0),
+            obs(vec![0.5, 0.5, 0.5, 0.5], 40.0),
+        ];
+        let props = ga.propose(Rgb8::PAPER_TARGET, &history, 16, &mut rng());
+        assert_eq!(props.len(), 16);
+        // Elite propagated verbatim.
+        assert_eq!(props[0], vec![0.2, 0.2, 0.2, 0.6]);
+        // Everything in the unit box.
+        for p in &props {
+            for &v in p {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_never_return_plain_elite() {
+        let mut ga = GeneticSolver::new(4);
+        let history = vec![obs(vec![0.2, 0.2, 0.2, 0.6], 5.0), obs(vec![0.9, 0.9, 0.9, 0.9], 80.0)];
+        let mut r = rng();
+        for _ in 0..12 {
+            let props = ga.propose(Rgb8::PAPER_TARGET, &history, 1, &mut r);
+            assert_eq!(props.len(), 1);
+            assert_ne!(props[0], history[0].ratios, "B=1 must not re-measure the elite");
+        }
+    }
+
+    #[test]
+    fn converges_on_a_synthetic_objective() {
+        // Minimize distance to a hidden point under the solver loop.
+        let hidden = [0.18, 0.16, 0.16, 0.62];
+        let mut ga = GeneticSolver::new(4);
+        let mut history: Vec<Observation> = Vec::new();
+        let mut r = rng();
+        for _ in 0..40 {
+            let batch = ga.propose(Rgb8::PAPER_TARGET, &history, 4, &mut r);
+            for p in batch {
+                let score: f64 =
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                history.push(obs(p, score));
+            }
+        }
+        let best = best_observation(&history).unwrap().score;
+        assert!(best < 12.0, "GA failed to converge: best {best}");
+    }
+
+    #[test]
+    fn elite_replication_can_be_disabled() {
+        let mut ga = GeneticSolver::new(4);
+        ga.elite_replication = false;
+        let history = vec![obs(vec![0.2, 0.2, 0.2, 0.6], 5.0), obs(vec![0.8, 0.8, 0.8, 0.8], 60.0)];
+        let props = ga.propose(Rgb8::PAPER_TARGET, &history, 8, &mut rng());
+        assert_ne!(props[0], history[0].ratios, "slot 0 must not repeat the elite");
+        // But it stays near the elite.
+        let d: f64 = props[0]
+            .iter()
+            .zip(&history[0].ratios)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d < 0.2, "stray {d}");
+    }
+
+    #[test]
+    fn proposals_are_deterministic_per_seed() {
+        let history = vec![obs(vec![0.3, 0.3, 0.3, 0.3], 10.0)];
+        let a = GeneticSolver::new(4).propose(Rgb8::PAPER_TARGET, &history, 8, &mut StdRng::seed_from_u64(3));
+        let b = GeneticSolver::new(4).propose(Rgb8::PAPER_TARGET, &history, 8, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

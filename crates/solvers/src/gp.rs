@@ -1,0 +1,232 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! The paper's second decision procedure is "a Bayesian optimization method
+//! based on scikit-learn … [that] leverages a surrogate probabilistic model,
+//! commonly Gaussian Processes" (§2.5). This is that surrogate, implemented
+//! from scratch on the crate's own Cholesky.
+
+use crate::linalg::{mean, std_dev, Matrix, NotPositiveDefinite};
+
+/// RBF (squared-exponential) kernel hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    /// Lengthscale (in the unit-box input space).
+    pub lengthscale: f64,
+    /// Signal variance σf².
+    pub signal_variance: f64,
+    /// Observation noise variance σn².
+    pub noise_variance: f64,
+}
+
+impl Default for RbfKernel {
+    fn default() -> Self {
+        RbfKernel { lengthscale: 0.25, signal_variance: 1.0, noise_variance: 0.05 }
+    }
+}
+
+impl RbfKernel {
+    /// k(a, b).
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_variance * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+}
+
+/// A fitted Gaussian process (zero-mean on standardized targets).
+#[derive(Debug, Clone)]
+pub struct Gp {
+    kernel: RbfKernel,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Matrix,
+    y_mean: f64,
+    y_scale: f64,
+    log_marginal: f64,
+}
+
+impl Gp {
+    /// Fit to inputs `x` (unit box) and targets `y`. Targets are
+    /// standardized internally.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], kernel: RbfKernel) -> Result<Gp, NotPositiveDefinite> {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        let n = x.len();
+        let y_mean = mean(y);
+        let y_scale = {
+            let s = std_dev(y);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        };
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+
+        let k = Matrix::from_fn(n, n, |r, c| {
+            kernel.eval(&x[r], &x[c]) + if r == c { kernel.noise_variance } else { 0.0 }
+        });
+        let chol = k.cholesky()?;
+        let alpha = chol.solve_lower_transpose(&chol.solve_lower(&ys));
+
+        // log p(y|X) = -1/2 yᵀα - 1/2 log|K| - n/2 log 2π  (standardized y)
+        let fit_term: f64 = -0.5 * ys.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
+        let log_marginal = fit_term
+            - 0.5 * chol.log_det_from_cholesky()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(Gp { kernel, x: x.to_vec(), alpha, chol, y_mean, y_scale, log_marginal })
+    }
+
+    /// Fit with a small ML-II grid search over the lengthscale.
+    pub fn fit_auto(x: &[Vec<f64>], y: &[f64]) -> Result<Gp, NotPositiveDefinite> {
+        let mut best: Option<Gp> = None;
+        for &l in &[0.1, 0.18, 0.3, 0.5] {
+            let k = RbfKernel { lengthscale: l, ..RbfKernel::default() };
+            if let Ok(gp) = Gp::fit(x, y, k) {
+                if best.as_ref().is_none_or(|b| gp.log_marginal > b.log_marginal) {
+                    best = Some(gp);
+                }
+            }
+        }
+        best.ok_or(NotPositiveDefinite)
+    }
+
+    /// Posterior mean and variance at `q` (de-standardized).
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let ks: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let mu_std: f64 = ks.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.chol.solve_lower(&ks);
+        let var_std = (self.kernel.eval(q, q) + self.kernel.noise_variance
+            - v.iter().map(|x| x * x).sum::<f64>())
+        .max(1e-12);
+        (mu_std * self.y_scale + self.y_mean, var_std * self.y_scale * self.y_scale)
+    }
+
+    /// Model evidence of the fit (standardized space).
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// Expected improvement at `q` for minimization against `best_y`.
+    pub fn expected_improvement(&self, q: &[f64], best_y: f64) -> f64 {
+        let (mu, var) = self.predict(q);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return (best_y - mu).max(0.0);
+        }
+        let z = (best_y - mu) / sigma;
+        let (pdf, cdf) = normal_pdf_cdf(z);
+        ((best_y - mu) * cdf + sigma * pdf).max(0.0)
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the model holds no data (never constructible via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Standard normal pdf and cdf (Abramowitz–Stegun erf approximation).
+fn normal_pdf_cdf(z: f64) -> (f64, f64) {
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let cdf = 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
+    (pdf, cdf)
+}
+
+/// erf via the A&S 7.1.26 polynomial (|ε| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592 + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = (x - 0.3)^2 sampled on a grid.
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.3) * (x[0] - 0.3)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = toy_data();
+        let k = RbfKernel { noise_variance: 1e-6, ..RbfKernel::default() };
+        let gp = Gp::fit(&xs, &ys, k).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mu, _) = gp.predict(x);
+            assert!((mu - y).abs() < 0.01, "at {x:?}: {mu} vs {y}");
+        }
+        assert_eq!(gp.len(), 9);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = toy_data();
+        let gp = Gp::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        let (_, var_in) = gp.predict(&[0.5]);
+        let (_, var_out) = gp.predict(&[3.0]);
+        assert!(var_out > var_in * 2.0, "in {var_in}, out {var_out}");
+    }
+
+    #[test]
+    fn ei_prefers_promising_regions() {
+        let (xs, ys) = toy_data();
+        let gp = Gp::fit(&xs, &ys, RbfKernel { noise_variance: 1e-4, ..RbfKernel::default() }).unwrap();
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        // EI near the optimum (0.3) should beat EI at the far edge (1.0).
+        let ei_opt = gp.expected_improvement(&[0.3], best);
+        let ei_edge = gp.expected_improvement(&[0.995], best);
+        assert!(ei_opt >= 0.0 && ei_edge >= 0.0);
+        let ei_gap = gp.expected_improvement(&[0.30001], best);
+        assert!(ei_gap >= ei_edge, "opt {ei_opt} gap {ei_gap} edge {ei_edge}");
+    }
+
+    #[test]
+    fn auto_fit_picks_reasonable_lengthscale() {
+        let (xs, ys) = toy_data();
+        let gp = Gp::fit_auto(&xs, &ys).unwrap();
+        // A smooth quadratic prefers longer lengthscales over 0.1.
+        assert!(gp.kernel.lengthscale >= 0.18, "picked {}", gp.kernel.lengthscale);
+    }
+
+    #[test]
+    fn constant_targets_do_not_crash() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let ys = vec![2.0; 5];
+        let gp = Gp::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        let (mu, var) = gp.predict(&[0.5]);
+        assert!((mu - 2.0).abs() < 0.3);
+        assert!(var.is_finite());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multidimensional_inputs() {
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 3.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let gp = Gp::fit_auto(&xs, &ys).unwrap();
+        let (mu, _) = gp.predict(&[0.5, 0.5]);
+        assert!((mu - 1.5).abs() < 0.2, "predicted {mu}");
+    }
+}

@@ -1,0 +1,43 @@
+//! `sdl-solvers` — decision procedures for the color-matching loop.
+//!
+//! The paper's two solvers plus baselines, all behind one [`ColorSolver`]
+//! interface so "multiple optimization algorithms \[run\] without changes to
+//! other elements of the system" (§2.5):
+//!
+//! * [`GeneticSolver`] — the paper's evolutionary scheme (elite + ⅓
+//!   crossover-average + ⅓ mutation + ⅓ random, grid-seeded);
+//! * [`BayesSolver`] — Gaussian-process surrogate with expected
+//!   improvement, built on the crate's own [`Gp`] and [`Matrix`];
+//! * [`RandomSolver`] / [`GridSolver`] — baselines;
+//! * [`AnalyticSolver`] — the model-inverting oracle the paper mentions as
+//!   the analytic solution.
+//!
+//! Solvers propose points in the unit box (one ratio per dye) and receive
+//! scored [`Observation`]s back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analytic;
+mod anneal;
+mod bayes;
+mod ga;
+mod gp;
+mod gridsearch;
+pub mod linalg;
+mod neldermead;
+mod random;
+mod sampling;
+mod solver;
+
+pub use analytic::AnalyticSolver;
+pub use anneal::AnnealingSolver;
+pub use bayes::BayesSolver;
+pub use ga::GeneticSolver;
+pub use gp::{Gp, RbfKernel};
+pub use gridsearch::GridSolver;
+pub use linalg::Matrix;
+pub use neldermead::minimize as nelder_mead;
+pub use random::RandomSolver;
+pub use sampling::{grid_sample, latin_hypercube, uniform_grid};
+pub use solver::{best_observation, sanitize, ColorSolver, Observation, SolverKind};

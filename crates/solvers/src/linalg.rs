@@ -1,0 +1,235 @@
+//! Minimal dense linear algebra for the Gaussian-process solver.
+//!
+//! Row-major matrices, Cholesky factorization and triangular solves — all
+//! the GP needs. Written here because the reproduction avoids external
+//! numerics crates (repro note: sparse Rust BO ecosystem).
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Numerical failure during factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Cholesky factorization: returns lower-triangular `L` with
+    /// `L Lᵀ = self`. The matrix must be symmetric positive definite.
+    pub fn cholesky(&self) -> Result<Matrix, NotPositiveDefinite> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `L y = b` for lower-triangular `L` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * y[k];
+            }
+            y[i] = sum / self[(i, i)];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` for lower-triangular `L` (back substitution on the
+    /// transpose).
+    pub fn solve_lower_transpose(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(y.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A x = b` via this matrix's Cholesky factor (self must be SPD).
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+        let l = self.cholesky()?;
+        Ok(l.solve_lower_transpose(&l.solve_lower(b)))
+    }
+
+    /// Log-determinant from a Cholesky factor (`self` must be the factor L).
+    pub fn log_det_from_cholesky(&self) -> f64 {
+        (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Euclidean distance between two points.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_fn(2, 2, |r, c| [[4.0, 2.0], [2.0, 3.0]][r][c]);
+        let l = a.cholesky().unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        let a = Matrix::from_fn(3, 3, |r, c| {
+            [[6.0, 2.0, 1.0], [2.0, 5.0, 2.0], [1.0, 2.0, 4.0]][r][c]
+        });
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve_spd(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_detected() {
+        let a = Matrix::from_fn(2, 2, |r, c| [[1.0, 2.0], [2.0, 1.0]][r][c]);
+        assert_eq!(a.cholesky(), Err(NotPositiveDefinite));
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let i = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.solve_spd(&b).unwrap(), b);
+        assert_eq!(i.matvec(&b), b);
+    }
+
+    #[test]
+    fn log_det() {
+        let a = Matrix::from_fn(2, 2, |r, c| [[4.0, 0.0], [0.0, 9.0]][r][c]);
+        let l = a.cholesky().unwrap();
+        assert!((l.log_det_from_cholesky() - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

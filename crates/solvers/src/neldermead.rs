@@ -1,0 +1,138 @@
+//! Nelder–Mead simplex minimization with box constraints.
+//!
+//! Used by the analytic oracle to invert the mixing model and by the
+//! Bayesian solver to polish acquisition maxima.
+
+/// Minimize `f` over the unit box starting at `x0`.
+///
+/// Returns `(x_best, f_best)`. `max_iters` bounds function evaluations
+/// roughly at `2 × max_iters`.
+pub fn minimize(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    step: f64,
+    max_iters: usize,
+) -> (Vec<f64>, f64) {
+    let d = x0.len();
+    assert!(d > 0);
+    let clamp = |x: &mut Vec<f64>| {
+        for v in x.iter_mut() {
+            *v = v.clamp(0.0, 1.0);
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
+    let mut x0 = x0.to_vec();
+    clamp(&mut x0);
+    let fx0 = f(&x0);
+    simplex.push((x0.clone(), fx0));
+    for i in 0..d {
+        let mut xi = x0.clone();
+        xi[i] = if xi[i] + step <= 1.0 { xi[i] + step } else { (xi[i] - step).max(0.0) };
+        let fx = f(&xi);
+        simplex.push((xi, fx));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    for _ in 0..max_iters {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = simplex[0].1;
+        let worst = simplex[d].1;
+        if (worst - best).abs() < 1e-12 {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; d];
+        for (x, _) in &simplex[..d] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / d as f64;
+            }
+        }
+
+        let point = |base: &[f64], towards: &[f64], coeff: f64| -> Vec<f64> {
+            let mut p: Vec<f64> =
+                base.iter().zip(towards).map(|(c, w)| c + coeff * (c - w)).collect();
+            for v in p.iter_mut() {
+                *v = v.clamp(0.0, 1.0);
+            }
+            p
+        };
+
+        // Reflection.
+        let xr = point(&centroid, &simplex[d].0, alpha);
+        let fr = f(&xr);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = point(&centroid, &simplex[d].0, gamma);
+            let fe = f(&xe);
+            simplex[d] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            continue;
+        }
+        if fr < simplex[d - 1].1 {
+            simplex[d] = (xr, fr);
+            continue;
+        }
+        // Contraction.
+        let xc = point(&centroid, &simplex[d].0, -rho);
+        let fc = f(&xc);
+        if fc < simplex[d].1 {
+            simplex[d] = (xc, fc);
+            continue;
+        }
+        // Shrink.
+        let best_x = simplex[0].0.clone();
+        for entry in simplex.iter_mut().skip(1) {
+            let x: Vec<f64> =
+                entry.0.iter().zip(&best_x).map(|(v, b)| b + sigma * (v - b)).collect();
+            let fx = f(&x);
+            *entry = (x, fx);
+        }
+    }
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    simplex.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_quadratic_minimum() {
+        let mut f = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2);
+        let (x, fx) = minimize(&mut f, &[0.9, 0.1], 0.2, 200);
+        assert!(fx < 1e-6, "f = {fx}");
+        assert!((x[0] - 0.3).abs() < 1e-3 && (x[1] - 0.7).abs() < 1e-3, "{x:?}");
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        // Unconstrained minimum at -1, box forces 0.
+        let mut f = |x: &[f64]| (x[0] + 1.0).powi(2);
+        let (x, _) = minimize(&mut f, &[0.5], 0.2, 200);
+        assert!(x[0] >= 0.0);
+        assert!(x[0] < 0.01, "{x:?}");
+    }
+
+    #[test]
+    fn handles_rosenbrock_reasonably() {
+        // Scaled Rosenbrock inside the unit box; optimum at (1,1) corner.
+        let mut f = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            a * a + 20.0 * b * b
+        };
+        let (x, fx) = minimize(&mut f, &[0.2, 0.2], 0.3, 800);
+        assert!(fx < 0.05, "f = {fx} at {x:?}");
+    }
+
+    #[test]
+    fn four_dimensional_sphere() {
+        let target = [0.18, 0.16, 0.16, 0.62];
+        let mut f =
+            |x: &[f64]| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+        let (x, fx) = minimize(&mut f, &[0.5; 4], 0.25, 600);
+        assert!(fx < 1e-5, "f = {fx} at {x:?}");
+    }
+}

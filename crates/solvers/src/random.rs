@@ -1,0 +1,63 @@
+//! Uniform random search — the floor any real solver must beat.
+
+use crate::solver::{ColorSolver, Observation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sdl_color::Rgb8;
+
+/// Random-search baseline.
+#[derive(Debug, Clone)]
+pub struct RandomSolver {
+    dims: usize,
+}
+
+impl RandomSolver {
+    /// Baseline for `dims` dyes.
+    pub fn new(dims: usize) -> RandomSolver {
+        RandomSolver { dims }
+    }
+}
+
+impl ColorSolver for RandomSolver {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        _target: Rgb8,
+        _history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>> {
+        (0..batch).map(|_| (0..self.dims).map(|_| rng.gen::<f64>()).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposals_fill_the_box() {
+        let mut s = RandomSolver::new(4);
+        let props = s.propose(Rgb8::PAPER_TARGET, &[], 256, &mut StdRng::seed_from_u64(1));
+        assert_eq!(props.len(), 256);
+        // Each dimension should span most of [0,1] over 256 draws.
+        for d in 0..4 {
+            let lo = props.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = props.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            assert!(lo < 0.1 && hi > 0.9, "dim {d}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn history_is_ignored() {
+        let mut s = RandomSolver::new(2);
+        let h = vec![Observation { ratios: vec![0.5, 0.5], measured: Rgb8::new(1, 2, 3), score: 1.0 }];
+        let a = s.propose(Rgb8::PAPER_TARGET, &h, 3, &mut StdRng::seed_from_u64(2));
+        let b = s.propose(Rgb8::PAPER_TARGET, &[], 3, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+    }
+}

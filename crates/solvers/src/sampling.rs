@@ -1,0 +1,125 @@
+//! Initial-design sampling: uniform grids and Latin hypercubes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Points of a uniform grid with `per_dim` levels per dimension, in
+/// lexicographic order. The paper's GA seeds its initial population from
+/// "a uniform grid of proper dimensions" (§2.5).
+pub fn uniform_grid(dims: usize, per_dim: usize) -> Vec<Vec<f64>> {
+    assert!(dims > 0 && per_dim > 0);
+    let levels: Vec<f64> = if per_dim == 1 {
+        vec![0.5]
+    } else {
+        (0..per_dim).map(|i| i as f64 / (per_dim - 1) as f64).collect()
+    };
+    let total = per_dim.pow(dims as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut idx in 0..total {
+        let mut point = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            point.push(levels[idx % per_dim]);
+            idx /= per_dim;
+        }
+        out.push(point);
+    }
+    out
+}
+
+/// `n` random draws from the grid (without replacement while possible).
+pub fn grid_sample(dims: usize, per_dim: usize, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    let mut grid = uniform_grid(dims, per_dim);
+    grid.shuffle(rng);
+    if n <= grid.len() {
+        grid.truncate(n);
+        grid
+    } else {
+        // Not enough grid nodes: repeat draws with replacement.
+        let mut out = grid.clone();
+        while out.len() < n {
+            out.push(grid[rng.gen_range(0..grid.len())].clone());
+        }
+        out
+    }
+}
+
+/// Latin hypercube sample of `n` points in `[0,1]^dims`.
+pub fn latin_hypercube(dims: usize, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    assert!(dims > 0 && n > 0);
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut cells: Vec<usize> = (0..n).collect();
+        cells.shuffle(rng);
+        columns.push(
+            cells
+                .into_iter()
+                .map(|c| (c as f64 + rng.gen::<f64>()) / n as f64)
+                .collect(),
+        );
+    }
+    (0..n).map(|i| columns.iter().map(|col| col[i]).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_has_expected_size_and_bounds() {
+        let g = uniform_grid(4, 3);
+        assert_eq!(g.len(), 81);
+        for p in &g {
+            assert_eq!(p.len(), 4);
+            for &v in p {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // Corners present.
+        assert!(g.contains(&vec![0.0, 0.0, 0.0, 0.0]));
+        assert!(g.contains(&vec![1.0, 1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn single_level_grid_is_centered() {
+        assert_eq!(uniform_grid(2, 1), vec![vec![0.5, 0.5]]);
+    }
+
+    #[test]
+    fn grid_sample_without_replacement_when_possible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = grid_sample(2, 4, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let unique: std::collections::HashSet<String> =
+            s.iter().map(|p| format!("{p:?}")).collect();
+        assert_eq!(unique.len(), 10, "sampling should be without replacement");
+        // Oversampling falls back to replacement.
+        let s = grid_sample(1, 2, 5, &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn lhs_stratifies_each_dimension() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 8;
+        let s = latin_hypercube(3, n, &mut rng);
+        assert_eq!(s.len(), n);
+        for d in 0..3 {
+            // Exactly one point in each 1/n stratum.
+            let mut counts = vec![0usize; n];
+            for p in &s {
+                let cell = ((p[d] * n as f64) as usize).min(n - 1);
+                counts[cell] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 1), "dim {d}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn lhs_is_seeded() {
+        let a = latin_hypercube(2, 5, &mut StdRng::seed_from_u64(7));
+        let b = latin_hypercube(2, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,163 @@
+//! The solver interface: "the ability to run multiple optimization
+//! algorithms without changes to other elements of the system" (§2.5).
+
+use rand::rngs::StdRng;
+use sdl_color::Rgb8;
+use std::fmt;
+
+/// One completed measurement fed back to the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The proposed point, as ratios in the unit box (one per dye).
+    pub ratios: Vec<f64>,
+    /// What the camera measured.
+    pub measured: Rgb8,
+    /// The grade: delta-e distance to the target (lower is better).
+    pub score: f64,
+}
+
+/// A color-picking decision procedure.
+///
+/// Solvers receive the full measurement history and propose `batch` new
+/// points in the unit box; the application converts ratios to volumes.
+pub trait ColorSolver: Send {
+    /// Solver name for logs and records.
+    fn name(&self) -> &'static str;
+
+    /// Propose the next batch of points.
+    fn propose(
+        &mut self,
+        target: Rgb8,
+        history: &[Observation],
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<f64>>;
+}
+
+/// Best observation (lowest score) in a history.
+pub fn best_observation(history: &[Observation]) -> Option<&Observation> {
+    history.iter().min_by(|a, b| a.score.total_cmp(&b.score))
+}
+
+/// Runtime-selectable solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The paper's evolutionary solver (default).
+    Genetic,
+    /// Gaussian-process Bayesian optimization with expected improvement.
+    Bayesian,
+    /// Uniform random search (baseline).
+    Random,
+    /// Deterministic grid refinement (baseline).
+    Grid,
+    /// Analytic oracle: inverts the known mixing model (skyline).
+    Analytic,
+    /// Simulated annealing (a CLSLab-style alternative search, paper §4).
+    Annealing,
+}
+
+impl SolverKind {
+    /// Name as used in configs and records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Genetic => "genetic",
+            SolverKind::Bayesian => "bayesian",
+            SolverKind::Random => "random",
+            SolverKind::Grid => "grid",
+            SolverKind::Analytic => "analytic",
+            SolverKind::Annealing => "annealing",
+        }
+    }
+
+    /// Parse the name produced by [`SolverKind::name`].
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        match s {
+            "genetic" | "ga" | "evolutionary" => Some(SolverKind::Genetic),
+            "bayesian" | "bayes" | "gp" => Some(SolverKind::Bayesian),
+            "random" => Some(SolverKind::Random),
+            "grid" => Some(SolverKind::Grid),
+            "analytic" | "oracle" => Some(SolverKind::Analytic),
+            "annealing" | "sa" => Some(SolverKind::Annealing),
+            _ => None,
+        }
+    }
+
+    /// Instantiate a solver for a `dims`-dye problem.
+    pub fn build(self, dims: usize) -> Box<dyn ColorSolver> {
+        match self {
+            SolverKind::Genetic => Box::new(crate::ga::GeneticSolver::new(dims)),
+            SolverKind::Bayesian => Box::new(crate::bayes::BayesSolver::new(dims)),
+            SolverKind::Random => Box::new(crate::random::RandomSolver::new(dims)),
+            SolverKind::Grid => Box::new(crate::gridsearch::GridSolver::new(dims)),
+            SolverKind::Analytic => Box::new(crate::analytic::AnalyticSolver::default_cmyk()),
+            SolverKind::Annealing => Box::new(crate::anneal::AnnealingSolver::new(dims)),
+        }
+    }
+
+    /// All kinds, for sweeps.
+    pub fn all() -> [SolverKind; 6] {
+        [
+            SolverKind::Genetic,
+            SolverKind::Bayesian,
+            SolverKind::Annealing,
+            SolverKind::Random,
+            SolverKind::Grid,
+            SolverKind::Analytic,
+        ]
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Clamp a proposal into the unit box and fix non-finite components.
+pub fn sanitize(point: &mut [f64]) {
+    for v in point.iter_mut() {
+        if !v.is_finite() {
+            *v = 0.5;
+        }
+        *v = v.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in SolverKind::all() {
+            assert_eq!(SolverKind::parse(k.name()), Some(k));
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(SolverKind::parse("ga"), Some(SolverKind::Genetic));
+        assert_eq!(SolverKind::parse("gp"), Some(SolverKind::Bayesian));
+        assert_eq!(SolverKind::parse("quantum"), None);
+    }
+
+    #[test]
+    fn best_observation_finds_minimum() {
+        let mk = |s: f64| Observation { ratios: vec![0.5], measured: Rgb8::new(0, 0, 0), score: s };
+        let h = vec![mk(12.0), mk(3.5), mk(9.0)];
+        assert_eq!(best_observation(&h).unwrap().score, 3.5);
+        assert!(best_observation(&[]).is_none());
+    }
+
+    #[test]
+    fn sanitize_fixes_bad_points() {
+        let mut p = vec![-0.5, 2.0, f64::NAN, 0.25];
+        sanitize(&mut p);
+        assert_eq!(p, vec![0.0, 1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn builders_produce_named_solvers() {
+        for k in SolverKind::all() {
+            let s = k.build(4);
+            assert_eq!(s.name(), k.name());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: every solver is well-behaved on arbitrary histories.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdl_color::Rgb8;
+use sdl_solvers::{best_observation, uniform_grid, Gp, Matrix, Observation, RbfKernel, SolverKind};
+
+fn arb_history() -> impl Strategy<Value = Vec<Observation>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0.0..=1.0f64, 4), 0.0..200.0f64).prop_map(|(ratios, score)| {
+            Observation { ratios, measured: Rgb8::new(0, 0, 0), score }
+        }),
+        0..24,
+    )
+}
+
+proptest! {
+    /// Any solver, any history, any batch: proposals are the right arity and
+    /// stay in the unit box.
+    #[test]
+    fn all_solvers_propose_in_box(
+        history in arb_history(),
+        batch in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        for kind in SolverKind::all() {
+            let mut solver = kind.build(4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let props = solver.propose(Rgb8::PAPER_TARGET, &history, batch, &mut rng);
+            prop_assert_eq!(props.len(), batch, "{} returned wrong batch", kind.name());
+            for p in &props {
+                prop_assert_eq!(p.len(), 4, "{} wrong arity", kind.name());
+                for &v in p {
+                    prop_assert!((0.0..=1.0).contains(&v), "{} out of box: {}", kind.name(), v);
+                    prop_assert!(v.is_finite());
+                }
+            }
+        }
+    }
+
+    /// Solvers are deterministic given seed and history.
+    #[test]
+    fn solvers_are_deterministic(history in arb_history(), seed in 0u64..100) {
+        for kind in [SolverKind::Genetic, SolverKind::Bayesian, SolverKind::Annealing, SolverKind::Random] {
+            let run = |k: SolverKind| {
+                let mut s = k.build(4);
+                let mut rng = StdRng::seed_from_u64(seed);
+                s.propose(Rgb8::PAPER_TARGET, &history, 4, &mut rng)
+            };
+            prop_assert_eq!(run(kind), run(kind), "{} nondeterministic", kind.name());
+        }
+    }
+
+    /// best_observation really is the minimum.
+    #[test]
+    fn best_observation_is_min(history in arb_history()) {
+        match best_observation(&history) {
+            Some(best) => {
+                for o in &history {
+                    prop_assert!(best.score <= o.score);
+                }
+            }
+            None => prop_assert!(history.is_empty()),
+        }
+    }
+
+    /// Cholesky of A = B Bᵀ + n·I succeeds and reconstructs A.
+    #[test]
+    fn cholesky_roundtrips_spd(
+        entries in proptest::collection::vec(-1.0..1.0f64, 16),
+        jitter in 0.1..2.0f64,
+    ) {
+        let b = Matrix::from_fn(4, 4, |r, c| entries[r * 4 + c]);
+        // A = B Bᵀ + jitter I is SPD by construction.
+        let a = Matrix::from_fn(4, 4, |r, c| {
+            let mut s = 0.0;
+            for k in 0..4 {
+                s += b[(r, k)] * b[(c, k)];
+            }
+            s + if r == c { jitter } else { 0.0 }
+        });
+        let l = a.cholesky().unwrap();
+        // L Lᵀ == A.
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += l[(r, k)] * l[(c, k)];
+                }
+                prop_assert!((s - a[(r, c)]).abs() < 1e-9);
+            }
+        }
+        // Solves agree with matvec.
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let rhs = a.matvec(&x);
+        let back = a.solve_spd(&rhs).unwrap();
+        for (xi, bi) in x.iter().zip(&back) {
+            prop_assert!((xi - bi).abs() < 1e-6);
+        }
+    }
+
+    /// GP posterior mean at a training point approaches the target as noise
+    /// shrinks, and variance is non-negative everywhere.
+    #[test]
+    fn gp_posterior_sane(
+        ys in proptest::collection::vec(-5.0..5.0f64, 4..10),
+        q in proptest::collection::vec(0.0..=1.0f64, 1),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 / (ys.len() - 1) as f64])
+            .collect();
+        let gp = Gp::fit(&xs, &ys, RbfKernel { noise_variance: 1e-6, ..RbfKernel::default() }).unwrap();
+        let (_, var) = gp.predict(&q);
+        prop_assert!(var >= 0.0);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mu, _) = gp.predict(x);
+            prop_assert!((mu - y).abs() < 0.35, "mu {mu} vs y {y}");
+        }
+        // EI is non-negative for any incumbent.
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(gp.expected_improvement(&q, best) >= 0.0);
+    }
+
+    /// Uniform grids are complete lattices: size and uniqueness.
+    #[test]
+    fn uniform_grid_is_a_lattice(dims in 1usize..4, per_dim in 1usize..5) {
+        let g = uniform_grid(dims, per_dim);
+        prop_assert_eq!(g.len(), per_dim.pow(dims as u32));
+        let unique: std::collections::HashSet<String> =
+            g.iter().map(|p| format!("{p:?}")).collect();
+        prop_assert_eq!(unique.len(), g.len());
+    }
+}

@@ -1,0 +1,362 @@
+//! ArUco-style fiducial markers: generation and detection.
+//!
+//! The rig locates the plate via an ArUco marker (paper §2.4, citing
+//! Garrido-Jurado et al.). This module implements a compatible scheme from
+//! scratch: a deterministic 4×4-bit dictionary with guaranteed Hamming
+//! separation under rotation, a renderer, and a detector based on
+//! thresholding, connected components and 6×6 cell sampling.
+
+use crate::image::ImageRgb8;
+use sdl_color::Rgb8;
+use std::sync::OnceLock;
+
+/// Number of codes in the built-in dictionary.
+pub const DICT_SIZE: usize = 8;
+/// Minimum Hamming distance enforced between any two dictionary codes under
+/// any relative rotation (and between distinct rotations of one code).
+pub const MIN_HAMMING: u32 = 5;
+
+/// Rotate a 4×4 bit pattern 90° clockwise.
+fn rot90(code: u16) -> u16 {
+    let mut out = 0u16;
+    for r in 0..4 {
+        for c in 0..4 {
+            // new[r][c] = old[3-c][r]
+            if code & (1 << ((3 - c) * 4 + r)) != 0 {
+                out |= 1 << (r * 4 + c);
+            }
+        }
+    }
+    out
+}
+
+/// All four rotations of a code.
+fn rotations(code: u16) -> [u16; 4] {
+    let r1 = rot90(code);
+    let r2 = rot90(r1);
+    let r3 = rot90(r2);
+    [code, r1, r2, r3]
+}
+
+fn hamming(a: u16, b: u16) -> u32 {
+    (a ^ b).count_ones()
+}
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The marker dictionary: generated greedily and deterministically so the
+/// renderer and detector always agree, with [`MIN_HAMMING`] separation
+/// between all rotations of all codes (making orientation unambiguous).
+pub fn dictionary() -> &'static [u16; DICT_SIZE] {
+    static DICT: OnceLock<[u16; DICT_SIZE]> = OnceLock::new();
+    DICT.get_or_init(|| {
+        let mut codes: Vec<u16> = Vec::new();
+        let mut state = 0x5eed_c0de_u64;
+        while codes.len() < DICT_SIZE {
+            let cand = (splitmix(&mut state) & 0xffff) as u16;
+            let cand_rots = rotations(cand);
+            // Self-distance: all rotations distinct enough to identify
+            // orientation.
+            let self_ok = (1..4).all(|i| hamming(cand_rots[0], cand_rots[i]) >= MIN_HAMMING);
+            let cross_ok = codes.iter().all(|&existing| {
+                rotations(existing)
+                    .iter()
+                    .all(|&er| cand_rots.iter().all(|&cr| hamming(er, cr) >= MIN_HAMMING))
+            });
+            if self_ok && cross_ok {
+                codes.push(cand);
+            }
+        }
+        codes.try_into().expect("exact dictionary size")
+    })
+}
+
+/// Is cell (row, col) of the 6×6 marker grid white for marker `id`?
+/// Border cells are always black; inner 4×4 cells carry the code bits
+/// (bit set = white).
+pub fn cell_is_white(id: usize, row: usize, col: usize) -> bool {
+    if row == 0 || row == 5 || col == 0 || col == 5 {
+        return false;
+    }
+    let code = dictionary()[id];
+    code & (1 << ((row - 1) * 4 + (col - 1))) != 0
+}
+
+/// Render marker `id` into a `cells_px`-per-cell image (with a one-cell white
+/// quiet zone), for documentation and tests.
+pub fn render_marker(id: usize, cell_px: usize) -> ImageRgb8 {
+    let size = 8 * cell_px; // 6 cells + quiet zone on each side
+    let mut img = ImageRgb8::new(size, size, Rgb8::new(255, 255, 255));
+    for row in 0..6 {
+        for col in 0..6 {
+            let c = if cell_is_white(id, row, col) {
+                Rgb8::new(255, 255, 255)
+            } else {
+                Rgb8::new(0, 0, 0)
+            };
+            crate::draw::fill_rect(
+                &mut img,
+                ((col + 1) * cell_px) as i64,
+                ((row + 1) * cell_px) as i64,
+                cell_px as i64,
+                cell_px as i64,
+                c,
+            );
+        }
+    }
+    img
+}
+
+/// A detected marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkerDetection {
+    /// Dictionary index.
+    pub id: usize,
+    /// Marker center, px.
+    pub center: (f64, f64),
+    /// Side length, px (mean of the bounding box sides).
+    pub size_px: f64,
+    /// Number of 90° clockwise rotations applied to match the dictionary.
+    pub rotation: usize,
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArucoParams {
+    /// Luma threshold below which a pixel counts as marker-black.
+    pub black_threshold: u8,
+    /// Smallest plausible marker component area, px².
+    pub min_area: usize,
+    /// Largest plausible marker component area, px².
+    pub max_area: usize,
+    /// Maximum Hamming distance accepted when matching codes.
+    pub max_code_errors: u32,
+}
+
+impl Default for ArucoParams {
+    fn default() -> Self {
+        ArucoParams { black_threshold: 90, min_area: 300, max_area: 40_000, max_code_errors: 1 }
+    }
+}
+
+/// Find markers in the frame. Returns detections sorted by component size
+/// (largest first).
+pub fn detect_markers(img: &ImageRgb8, params: &ArucoParams) -> Vec<MarkerDetection> {
+    let w = img.width();
+    let h = img.height();
+    let luma = img.to_luma();
+    let is_black = |x: usize, y: usize| luma[y * w + x] < params.black_threshold;
+
+    let mut visited = vec![false; w * h];
+    let mut detections = Vec::new();
+    let mut queue = Vec::new();
+
+    for sy in 0..h {
+        for sx in 0..w {
+            if visited[sy * w + sx] || !is_black(sx, sy) {
+                continue;
+            }
+            // BFS over the black component.
+            queue.clear();
+            queue.push((sx, sy));
+            visited[sy * w + sx] = true;
+            let (mut minx, mut maxx, mut miny, mut maxy) = (sx, sx, sy, sy);
+            let mut area = 0usize;
+            let mut qi = 0;
+            while qi < queue.len() {
+                let (x, y) = queue[qi];
+                qi += 1;
+                area += 1;
+                minx = minx.min(x);
+                maxx = maxx.max(x);
+                miny = miny.min(y);
+                maxy = maxy.max(y);
+                let neighbors = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbors {
+                    if nx < w && ny < h && !visited[ny * w + nx] && is_black(nx, ny) {
+                        visited[ny * w + nx] = true;
+                        queue.push((nx, ny));
+                    }
+                }
+            }
+            if area < params.min_area || area > params.max_area {
+                continue;
+            }
+            let bw = (maxx - minx + 1) as f64;
+            let bh = (maxy - miny + 1) as f64;
+            let aspect = bw / bh;
+            if !(0.75..=1.33).contains(&aspect) {
+                continue;
+            }
+            if let Some(det) = decode_candidate(img, params, minx, miny, bw, bh) {
+                detections.push((area, det));
+            }
+        }
+    }
+    detections.sort_by_key(|(area, _)| std::cmp::Reverse(*area));
+    detections.into_iter().map(|(_, d)| d).collect()
+}
+
+/// Sample the 6×6 grid inside a candidate bounding box and match the code.
+fn decode_candidate(
+    img: &ImageRgb8,
+    params: &ArucoParams,
+    minx: usize,
+    miny: usize,
+    bw: f64,
+    bh: f64,
+) -> Option<MarkerDetection> {
+    let cell_w = bw / 6.0;
+    let cell_h = bh / 6.0;
+    let mut bits = [[false; 6]; 6];
+    for (row, bits_row) in bits.iter_mut().enumerate() {
+        for (col, bit) in bits_row.iter_mut().enumerate() {
+            let cx = minx as f64 + (col as f64 + 0.5) * cell_w;
+            let cy = miny as f64 + (row as f64 + 0.5) * cell_h;
+            // Average a small patch at the cell center for noise immunity.
+            let (mean, n) = img.mean_disk(cx, cy, (cell_w.min(cell_h) * 0.3).max(1.0));
+            if n == 0 {
+                return None;
+            }
+            let l = (77 * mean.r as u32 + 150 * mean.g as u32 + 29 * mean.b as u32) >> 8;
+            *bit = l as u8 >= params.black_threshold;
+        }
+    }
+    // Border must be black.
+    let border_white: usize = (0..6)
+        .flat_map(|i| [(0usize, i), (5, i), (i, 0), (i, 5)])
+        .filter(|&(r, c)| bits[r][c])
+        .count();
+    if border_white > 2 {
+        return None;
+    }
+    // Pack inner bits.
+    let mut code = 0u16;
+    for r in 0..4 {
+        for c in 0..4 {
+            if bits[r + 1][c + 1] {
+                code |= 1 << (r * 4 + c);
+            }
+        }
+    }
+    // Match against the dictionary under rotation.
+    let mut best: Option<(usize, usize, u32)> = None;
+    for (id, &dict_code) in dictionary().iter().enumerate() {
+        for (rot, &rotated) in rotations(dict_code).iter().enumerate() {
+            let d = hamming(code, rotated);
+            if best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((id, rot, d));
+            }
+        }
+    }
+    let (id, rotation, dist) = best?;
+    if dist > params.max_code_errors {
+        return None;
+    }
+    Some(MarkerDetection {
+        id,
+        center: (minx as f64 + bw / 2.0, miny as f64 + bh / 2.0),
+        size_px: (bw + bh) / 2.0,
+        rotation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::fill_rect;
+
+    #[test]
+    fn dictionary_is_deterministic_and_separated() {
+        let d1 = dictionary();
+        let d2 = dictionary();
+        assert_eq!(d1, d2);
+        for (i, &a) in d1.iter().enumerate() {
+            let ra = rotations(a);
+            for k in 1..4 {
+                assert!(hamming(ra[0], ra[k]) >= MIN_HAMMING, "code {i} self-rotation");
+            }
+            for (j, &b) in d1.iter().enumerate().skip(i + 1) {
+                for &x in &rotations(a) {
+                    for &y in &rotations(b) {
+                        assert!(hamming(x, y) >= MIN_HAMMING, "codes {i}/{j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rot90_has_period_four() {
+        for &code in dictionary() {
+            assert_eq!(rot90(rot90(rot90(rot90(code)))), code);
+        }
+    }
+
+    #[test]
+    fn rendered_marker_is_detected() {
+        for id in 0..DICT_SIZE {
+            let marker = render_marker(id, 10);
+            // Paste into a larger gray frame.
+            let mut frame = ImageRgb8::new(200, 160, Rgb8::new(120, 120, 120));
+            fill_rect(&mut frame, 40, 30, 80, 80, Rgb8::new(255, 255, 255));
+            for y in 0..marker.height() {
+                for x in 0..marker.width() {
+                    frame.put(44 + x as i64, 34 + y as i64, marker.pixel(x, y));
+                }
+            }
+            let found = detect_markers(&frame, &ArucoParams::default());
+            assert_eq!(found.len(), 1, "marker {id} not found");
+            assert_eq!(found[0].id, id);
+            assert_eq!(found[0].rotation, 0);
+            // 6 cells × 10 px: center at 44+10+30, 34+10+30.
+            assert!((found[0].center.0 - 84.0).abs() < 2.0);
+            assert!((found[0].center.1 - 74.0).abs() < 2.0);
+            assert!((found[0].size_px - 60.0).abs() < 3.0);
+        }
+    }
+
+    #[test]
+    fn rotated_marker_reports_rotation() {
+        let marker = render_marker(3, 10);
+        // Rotate the marker image 90° clockwise before pasting.
+        let mut frame = ImageRgb8::new(200, 160, Rgb8::new(255, 255, 255));
+        let n = marker.width();
+        for y in 0..n {
+            for x in 0..n {
+                let p = marker.pixel(x, y);
+                // (x,y) -> (n-1-y, x) is a 90° clockwise image rotation.
+                frame.put(40 + (n - 1 - y) as i64, 40 + x as i64, p);
+            }
+        }
+        let found = detect_markers(&frame, &ArucoParams::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, 3);
+        assert_ne!(found[0].rotation, 0);
+    }
+
+    #[test]
+    fn plain_black_square_is_rejected() {
+        let mut frame = ImageRgb8::new(200, 160, Rgb8::new(255, 255, 255));
+        fill_rect(&mut frame, 50, 40, 60, 60, Rgb8::new(0, 0, 0));
+        let found = detect_markers(&frame, &ArucoParams::default());
+        assert!(found.is_empty(), "solid square must not decode");
+    }
+
+    #[test]
+    fn no_marker_in_noise_free_background() {
+        let frame = ImageRgb8::new(100, 100, Rgb8::new(200, 200, 200));
+        assert!(detect_markers(&frame, &ArucoParams::default()).is_empty());
+    }
+}

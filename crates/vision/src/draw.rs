@@ -1,0 +1,91 @@
+//! Drawing primitives for the synthetic renderer.
+
+use crate::image::ImageRgb8;
+use sdl_color::Rgb8;
+
+/// Fill an axis-aligned rectangle (clipped to the image).
+pub fn fill_rect(img: &mut ImageRgb8, x0: i64, y0: i64, w: i64, h: i64, c: Rgb8) {
+    for y in y0..y0 + h {
+        for x in x0..x0 + w {
+            img.put(x, y, c);
+        }
+    }
+}
+
+/// Fill a disk of radius `r` at (cx, cy) (clipped to the image).
+pub fn fill_circle(img: &mut ImageRgb8, cx: f64, cy: f64, r: f64, c: Rgb8) {
+    let r2 = r * r;
+    let x0 = (cx - r).floor() as i64;
+    let x1 = (cx + r).ceil() as i64;
+    let y0 = (cy - r).floor() as i64;
+    let y1 = (cy + r).ceil() as i64;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f64 + 0.5 - cx;
+            let dy = y as f64 + 0.5 - cy;
+            if dx * dx + dy * dy <= r2 {
+                img.put(x, y, c);
+            }
+        }
+    }
+}
+
+/// Draw a circle outline of radius `r` and stroke width `stroke`.
+pub fn stroke_circle(img: &mut ImageRgb8, cx: f64, cy: f64, r: f64, stroke: f64, c: Rgb8) {
+    let outer = r + stroke / 2.0;
+    let inner = (r - stroke / 2.0).max(0.0);
+    let o2 = outer * outer;
+    let i2 = inner * inner;
+    let x0 = (cx - outer).floor() as i64;
+    let x1 = (cx + outer).ceil() as i64;
+    let y0 = (cy - outer).floor() as i64;
+    let y1 = (cy + outer).ceil() as i64;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let dx = x as f64 + 0.5 - cx;
+            let dy = y as f64 + 0.5 - cy;
+            let d2 = dx * dx + dy * dy;
+            if d2 <= o2 && d2 >= i2 {
+                img.put(x, y, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_fills_and_clips() {
+        let mut img = ImageRgb8::new(10, 10, Rgb8::default());
+        fill_rect(&mut img, 8, 8, 5, 5, Rgb8::new(9, 9, 9));
+        assert_eq!(img.pixel(9, 9), Rgb8::new(9, 9, 9));
+        assert_eq!(img.pixel(7, 7), Rgb8::default());
+    }
+
+    #[test]
+    fn circle_is_round() {
+        let mut img = ImageRgb8::new(21, 21, Rgb8::default());
+        fill_circle(&mut img, 10.5, 10.5, 5.0, Rgb8::new(255, 0, 0));
+        assert_eq!(img.pixel(10, 10), Rgb8::new(255, 0, 0));
+        // Corners of the bounding box stay background.
+        assert_eq!(img.pixel(6, 6), Rgb8::default());
+        assert_eq!(img.pixel(15, 15), Rgb8::default());
+        // Area roughly pi*r^2.
+        let filled = (0..21)
+            .flat_map(|y| (0..21).map(move |x| (x, y)))
+            .filter(|&(x, y)| img.pixel(x, y) == Rgb8::new(255, 0, 0))
+            .count();
+        let expected = std::f64::consts::PI * 25.0;
+        assert!((filled as f64 - expected).abs() < 12.0, "filled {filled}");
+    }
+
+    #[test]
+    fn stroke_leaves_interior() {
+        let mut img = ImageRgb8::new(31, 31, Rgb8::default());
+        stroke_circle(&mut img, 15.5, 15.5, 10.0, 2.0, Rgb8::new(1, 1, 1));
+        assert_eq!(img.pixel(15, 15), Rgb8::default(), "center untouched");
+        assert_eq!(img.pixel(15, 5), Rgb8::new(1, 1, 1), "ring drawn");
+    }
+}

@@ -1,0 +1,284 @@
+//! Grid alignment: recovering every well center from partial detections.
+//!
+//! "…we further align a grid to all well-sized circles within the
+//! approximate plate position, and use this grid's size and orientation to
+//! predict the center points for all wells in the image, even those
+//! originally missed by the HoughCircles algorithm." (paper §2.4)
+//!
+//! The grid is the affine model `p(row, col) = origin + col·u + row·v`.
+//! Fitting alternates nearest-node assignment with a linear least-squares
+//! update of `(origin, u, v)` — three iterations suffice at the pose jitter
+//! the rig exhibits.
+
+/// Affine 8×12 grid model in pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridModel {
+    /// Center of well A1, px.
+    pub origin: (f64, f64),
+    /// Column step vector, px.
+    pub u: (f64, f64),
+    /// Row step vector, px.
+    pub v: (f64, f64),
+}
+
+impl GridModel {
+    /// Predicted center of the well at (row, col).
+    pub fn predict(&self, row: usize, col: usize) -> (f64, f64) {
+        (
+            self.origin.0 + col as f64 * self.u.0 + row as f64 * self.v.0,
+            self.origin.1 + col as f64 * self.u.1 + row as f64 * self.v.1,
+        )
+    }
+
+    /// Invert the affine map: fractional (row, col) for a pixel point.
+    pub fn locate(&self, p: (f64, f64)) -> Option<(f64, f64)> {
+        let det = self.u.0 * self.v.1 - self.u.1 * self.v.0;
+        if det.abs() < 1e-9 {
+            return None;
+        }
+        let dx = p.0 - self.origin.0;
+        let dy = p.1 - self.origin.1;
+        let col = (dx * self.v.1 - dy * self.v.0) / det;
+        let row = (dy * self.u.0 - dx * self.u.1) / det;
+        Some((row, col))
+    }
+
+    /// The grid's mean pitch in px (for sanity checks).
+    pub fn pitch_px(&self) -> f64 {
+        let pu = (self.u.0 * self.u.0 + self.u.1 * self.u.1).sqrt();
+        let pv = (self.v.0 * self.v.0 + self.v.1 * self.v.1).sqrt();
+        (pu + pv) / 2.0
+    }
+
+    /// Grid rotation in degrees (angle of the column axis).
+    pub fn rotation_deg(&self) -> f64 {
+        self.u.1.atan2(self.u.0).to_degrees()
+    }
+}
+
+/// Result of a grid fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridFit {
+    /// The fitted model.
+    pub model: GridModel,
+    /// Points used in the final iteration (index into the input slice,
+    /// assigned row, assigned col).
+    pub assignments: Vec<(usize, usize, usize)>,
+    /// Root-mean-square residual of the final fit, px.
+    pub rms_px: f64,
+}
+
+/// Fit the grid to detected centers starting from `approx`.
+///
+/// Points landing outside the grid (fractional index off by more than half a
+/// pitch beyond the edge) are treated as spurious and dropped. Returns
+/// `None` when fewer than four usable points remain or the system is
+/// degenerate (e.g. all points collinear) — callers then fall back to the
+/// approximate model.
+pub fn fit_grid(
+    points: &[(f64, f64)],
+    rows: usize,
+    cols: usize,
+    approx: &GridModel,
+    iterations: usize,
+) -> Option<GridFit> {
+    let mut model = *approx;
+    let mut assignments: Vec<(usize, usize, usize)> = Vec::new();
+    for _ in 0..iterations.max(1) {
+        assignments.clear();
+        for (i, &p) in points.iter().enumerate() {
+            let (row_f, col_f) = model.locate(p)?;
+            let row = row_f.round();
+            let col = col_f.round();
+            if row < -0.25 || col < -0.25 || row > rows as f64 - 0.75 || col > cols as f64 - 0.75 {
+                continue; // outside the plate: spurious detection
+            }
+            // Reject points far from their nearest node (> 0.4 pitch).
+            if (row_f - row).abs() > 0.4 || (col_f - col).abs() > 0.4 {
+                continue;
+            }
+            let row = row.max(0.0) as usize;
+            let col = col.max(0.0) as usize;
+            assignments.push((i, row.min(rows - 1), col.min(cols - 1)));
+        }
+        model = solve_least_squares(points, &assignments)?;
+    }
+
+    // Final residual.
+    let mut ss = 0.0;
+    for &(i, row, col) in &assignments {
+        let (px, py) = model.predict(row, col);
+        let dx = points[i].0 - px;
+        let dy = points[i].1 - py;
+        ss += dx * dx + dy * dy;
+    }
+    let rms = if assignments.is_empty() { f64::INFINITY } else { (ss / assignments.len() as f64).sqrt() };
+    Some(GridFit { model, assignments, rms_px: rms })
+}
+
+/// Least squares for x and y separately against design [1, col, row].
+fn solve_least_squares(points: &[(f64, f64)], assignments: &[(usize, usize, usize)]) -> Option<GridModel> {
+    if assignments.len() < 4 {
+        return None;
+    }
+    // Normal equations A^T A θ = A^T b with A rows [1, col, row].
+    let n = assignments.len() as f64;
+    let (mut sc, mut sr, mut scc, mut srr, mut scr) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(_, row, col) in assignments {
+        let (c, r) = (col as f64, row as f64);
+        sc += c;
+        sr += r;
+        scc += c * c;
+        srr += r * r;
+        scr += c * r;
+    }
+    let ata = [[n, sc, sr], [sc, scc, scr], [sr, scr, srr]];
+    let mut atb_x = [0.0f64; 3];
+    let mut atb_y = [0.0f64; 3];
+    for &(i, row, col) in assignments {
+        let (c, r) = (col as f64, row as f64);
+        let (x, y) = points[i];
+        atb_x[0] += x;
+        atb_x[1] += c * x;
+        atb_x[2] += r * x;
+        atb_y[0] += y;
+        atb_y[1] += c * y;
+        atb_y[2] += r * y;
+    }
+    let tx = solve3(ata, atb_x)?;
+    let ty = solve3(ata, atb_y)?;
+    Some(GridModel { origin: (tx[0], ty[0]), u: (tx[1], ty[1]), v: (tx[2], ty[2]) })
+}
+
+/// Solve a 3×3 system by Gaussian elimination with partial pivoting.
+fn solve3(a: [[f64; 3]; 3], b: [f64; 3]) -> Option<[f64; 3]> {
+    let mut m = [[0.0f64; 4]; 3];
+    for i in 0..3 {
+        m[i][..3].copy_from_slice(&a[i]);
+        m[i][3] = b[i];
+    }
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-9 {
+            return None;
+        }
+        m.swap(col, pivot);
+        let p = m[col][col];
+        for v in m[col][col..4].iter_mut() {
+            *v /= p;
+        }
+        for i in 0..3 {
+            if i != col {
+                let f = m[i][col];
+                let pivot_row = m[col];
+                for (j, v) in m[i].iter_mut().enumerate().skip(col) {
+                    *v -= f * pivot_row[j];
+                }
+            }
+        }
+    }
+    Some([m[0][3], m[1][3], m[2][3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GridModel {
+        // 30.6 px pitch, rotated ~1°.
+        let th = 1.0f64.to_radians();
+        GridModel {
+            origin: (120.0, 80.0),
+            u: (30.6 * th.cos(), 30.6 * th.sin()),
+            v: (-30.6 * th.sin(), 30.6 * th.cos()),
+        }
+    }
+
+    fn approx() -> GridModel {
+        GridModel { origin: (116.0, 84.0), u: (30.0, 0.0), v: (0.0, 30.0) }
+    }
+
+    #[test]
+    fn predict_locate_roundtrip() {
+        let g = truth();
+        for row in 0..8 {
+            for col in 0..12 {
+                let p = g.predict(row, col);
+                let (rf, cf) = g.locate(p).unwrap();
+                assert!((rf - row as f64).abs() < 1e-9);
+                assert!((cf - col as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_model_from_partial_noisy_detections() {
+        let g = truth();
+        // Only 60 of 96 wells detected, small detection noise.
+        let mut pts = Vec::new();
+        let mut k = 0u32;
+        for row in 0..8 {
+            for col in 0..12 {
+                k += 1;
+                if k % 8 < 3 {
+                    continue;
+                }
+                let (x, y) = g.predict(row, col);
+                let nx = ((k * 37) % 11) as f64 / 10.0 - 0.5;
+                let ny = ((k * 53) % 11) as f64 / 10.0 - 0.5;
+                pts.push((x + nx, y + ny));
+            }
+        }
+        let fit = fit_grid(&pts, 8, 12, &approx(), 3).unwrap();
+        assert!(fit.rms_px < 1.0, "rms {}", fit.rms_px);
+        for row in [0, 7] {
+            for col in [0, 11] {
+                let (px, py) = fit.model.predict(row, col);
+                let (tx, ty) = g.predict(row, col);
+                assert!((px - tx).abs() < 1.2 && (py - ty).abs() < 1.2, "corner ({row},{col})");
+            }
+        }
+        assert!((fit.model.pitch_px() - 30.6).abs() < 0.3);
+        assert!((fit.model.rotation_deg() - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn spurious_points_are_rejected() {
+        let g = truth();
+        let mut pts: Vec<(f64, f64)> = (0..8)
+            .flat_map(|row| (0..12).map(move |col| (row, col)))
+            .map(|(r, c)| g.predict(r, c))
+            .collect();
+        // Junk far outside the plate.
+        pts.push((700.0, 700.0));
+        pts.push((2.0, 2.0));
+        let fit = fit_grid(&pts, 8, 12, &approx(), 3).unwrap();
+        assert_eq!(fit.assignments.len(), 96);
+        assert!(fit.rms_px < 0.2);
+    }
+
+    #[test]
+    fn too_few_points_fails() {
+        let g = truth();
+        let pts = vec![g.predict(0, 0), g.predict(0, 1), g.predict(0, 2)];
+        assert!(fit_grid(&pts, 8, 12, &approx(), 3).is_none());
+    }
+
+    #[test]
+    fn collinear_points_are_degenerate() {
+        let g = truth();
+        let pts: Vec<_> = (0..12).map(|c| g.predict(0, c)).collect();
+        // All in one row: the row axis is unobservable.
+        assert!(fit_grid(&pts, 8, 12, &approx(), 3).is_none());
+    }
+
+    #[test]
+    fn solve3_known_system() {
+        // x=1, y=2, z=3 for a simple invertible matrix.
+        let a = [[2.0, 0.0, 0.0], [0.0, 3.0, 0.0], [1.0, 0.0, 1.0]];
+        let b = [2.0, 6.0, 4.0];
+        let s = solve3(a, b).unwrap();
+        assert!((s[0] - 1.0).abs() < 1e-12 && (s[1] - 2.0).abs() < 1e-12 && (s[2] - 3.0).abs() < 1e-12);
+        assert!(solve3([[1.0, 1.0, 1.0]; 3], [1.0, 2.0, 3.0]).is_none());
+    }
+}

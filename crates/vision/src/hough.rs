@@ -1,0 +1,223 @@
+//! Circular Hough transform for well detection.
+//!
+//! "With the HoughCircles algorithm from OpenCV, we can detect circular
+//! features in the image to precisely identify the center of wells. As this
+//! method is prone to false negatives…" (paper §2.4). This implementation
+//! follows the gradient-voting variant: Sobel edges vote along their
+//! gradient direction at the candidate radii; peaks above a vote threshold
+//! become circles, with non-maximum suppression at the well pitch.
+
+use crate::image::ImageRgb8;
+
+/// A detected circle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center x, px.
+    pub cx: f64,
+    /// Center y, px.
+    pub cy: f64,
+    /// Radius used for the vote, px.
+    pub r: f64,
+    /// Accumulated votes (higher = stronger evidence).
+    pub votes: u32,
+}
+
+/// Tuning for [`hough_circles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoughParams {
+    /// Minimum candidate radius, px.
+    pub r_min: f64,
+    /// Maximum candidate radius, px.
+    pub r_max: f64,
+    /// Sobel magnitude below which a pixel is not an edge (0–255 scale).
+    pub gradient_threshold: f64,
+    /// Fraction of the theoretical maximum votes (circle circumference in
+    /// px) a peak must reach.
+    pub vote_fraction: f64,
+    /// Minimum distance between accepted centers, px.
+    pub min_center_dist: f64,
+    /// Upper bound on returned circles.
+    pub max_circles: usize,
+}
+
+impl Default for HoughParams {
+    fn default() -> Self {
+        HoughParams {
+            r_min: 9.0,
+            r_max: 14.0,
+            gradient_threshold: 40.0,
+            vote_fraction: 0.45,
+            min_center_dist: 18.0,
+            max_circles: 128,
+        }
+    }
+}
+
+/// Detect circles, strongest first.
+pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
+    let w = img.width();
+    let h = img.height();
+    let luma = img.to_luma();
+    let at = |x: usize, y: usize| luma[y * w + x] as f64;
+
+    // Accumulate votes over all radii into one plane; radius resolution is
+    // not needed because the wells share a known radius band.
+    let mut acc = vec![0u32; w * h];
+    let r_mid = (params.r_min + params.r_max) / 2.0;
+    let radii: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut r = params.r_min;
+        while r <= params.r_max + 1e-9 {
+            v.push(r);
+            r += 1.0;
+        }
+        v
+    };
+
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            // Sobel.
+            let gx = -at(x - 1, y - 1) - 2.0 * at(x - 1, y) - at(x - 1, y + 1)
+                + at(x + 1, y - 1)
+                + 2.0 * at(x + 1, y)
+                + at(x + 1, y + 1);
+            let gy = -at(x - 1, y - 1) - 2.0 * at(x, y - 1) - at(x + 1, y - 1)
+                + at(x - 1, y + 1)
+                + 2.0 * at(x, y + 1)
+                + at(x + 1, y + 1);
+            let mag = (gx * gx + gy * gy).sqrt() / 4.0;
+            if mag < params.gradient_threshold {
+                continue;
+            }
+            let ux = gx / (mag * 4.0);
+            let uy = gy / (mag * 4.0);
+            // Vote on both sides of the edge (dark–light polarity varies
+            // between liquid/wall and wall/plate transitions).
+            for &r in &radii {
+                for sign in [-1.0, 1.0] {
+                    let cx = x as f64 + sign * r * ux;
+                    let cy = y as f64 + sign * r * uy;
+                    if cx >= 0.0 && cy >= 0.0 && (cx as usize) < w && (cy as usize) < h {
+                        acc[cy as usize * w + cx as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Blur the accumulator lightly (3×3 box) so near-miss votes pool.
+    let mut pooled = vec![0u32; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut s = 0u32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    s += acc[(y + dy - 1) * w + (x + dx - 1)];
+                }
+            }
+            pooled[y * w + x] = s;
+        }
+    }
+
+    // Peak pick with NMS. The vote ceiling for a perfect circle is roughly
+    // its circumference (one vote per edge pixel per matching radius),
+    // pooled over the 3×3 window and the radius band.
+    let ceiling = 2.0 * std::f64::consts::PI * r_mid * radii.len() as f64;
+    let threshold = (params.vote_fraction * ceiling) as u32;
+    let mut peaks: Vec<(u32, usize, usize)> = Vec::new();
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let v = pooled[y * w + x];
+            if v >= threshold.max(1) {
+                peaks.push((v, x, y));
+            }
+        }
+    }
+    peaks.sort_by(|a, b| b.0.cmp(&a.0).then(a.2.cmp(&b.2)).then(a.1.cmp(&b.1)));
+
+    let mut out: Vec<Circle> = Vec::new();
+    let min_d2 = params.min_center_dist * params.min_center_dist;
+    for (votes, x, y) in peaks {
+        if out.len() >= params.max_circles {
+            break;
+        }
+        let (xf, yf) = (x as f64, y as f64);
+        if out.iter().any(|c| {
+            let dx = c.cx - xf;
+            let dy = c.cy - yf;
+            dx * dx + dy * dy < min_d2
+        }) {
+            continue;
+        }
+        out.push(Circle { cx: xf, cy: yf, r: r_mid, votes });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::{fill_circle, stroke_circle};
+    use sdl_color::Rgb8;
+
+    fn params() -> HoughParams {
+        HoughParams { r_min: 9.0, r_max: 13.0, ..HoughParams::default() }
+    }
+
+    #[test]
+    fn finds_a_single_strong_circle() {
+        let mut img = ImageRgb8::new(100, 100, Rgb8::new(200, 200, 200));
+        fill_circle(&mut img, 50.0, 50.0, 11.0, Rgb8::new(30, 30, 120));
+        let found = hough_circles(&img, &params());
+        assert_eq!(found.len(), 1, "found {found:?}");
+        assert!((found[0].cx - 50.0).abs() <= 2.0);
+        assert!((found[0].cy - 50.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn finds_a_grid_of_circles() {
+        let mut img = ImageRgb8::new(300, 200, Rgb8::new(210, 210, 210));
+        let mut expected = Vec::new();
+        for row in 0..3 {
+            for col in 0..5 {
+                let cx = 50.0 + col as f64 * 50.0;
+                let cy = 40.0 + row as f64 * 55.0;
+                stroke_circle(&mut img, cx, cy, 11.0, 2.0, Rgb8::new(40, 40, 40));
+                fill_circle(&mut img, cx, cy, 10.0, Rgb8::new(90, 60, 140));
+                expected.push((cx, cy));
+            }
+        }
+        let found = hough_circles(&img, &params());
+        assert_eq!(found.len(), expected.len(), "found {}", found.len());
+        for (cx, cy) in expected {
+            assert!(
+                found.iter().any(|c| (c.cx - cx).abs() <= 2.5 && (c.cy - cy).abs() <= 2.5),
+                "missing circle at ({cx},{cy})"
+            );
+        }
+    }
+
+    #[test]
+    fn low_contrast_circle_is_missed() {
+        // The false-negative mode the paper's grid alignment compensates for.
+        let mut img = ImageRgb8::new(100, 100, Rgb8::new(200, 200, 200));
+        fill_circle(&mut img, 50.0, 50.0, 11.0, Rgb8::new(212, 212, 212));
+        let found = hough_circles(&img, &params());
+        assert!(found.is_empty(), "near-invisible circle should be missed: {found:?}");
+    }
+
+    #[test]
+    fn blank_image_yields_nothing() {
+        let img = ImageRgb8::new(64, 64, Rgb8::new(128, 128, 128));
+        assert!(hough_circles(&img, &params()).is_empty());
+    }
+
+    #[test]
+    fn nms_respects_min_distance() {
+        let mut img = ImageRgb8::new(100, 100, Rgb8::new(220, 220, 220));
+        fill_circle(&mut img, 48.0, 50.0, 11.0, Rgb8::new(20, 20, 20));
+        let found = hough_circles(&img, &params());
+        // One physical circle must never be reported twice.
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+}

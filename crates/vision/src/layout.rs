@@ -1,0 +1,129 @@
+//! Physical geometry of the imaged scene.
+//!
+//! The camera module photographs a standard ANSI/SLAS 96-well microplate
+//! "stationed at a known distance from an ArUco marker" (paper §2.4). These
+//! constants are rig knowledge shared by the renderer and the detector —
+//! they describe the *nominal* scene; the actual frame adds pose jitter that
+//! the detector must undo.
+
+/// Geometry of a 96-well microplate, in millimeters (ANSI/SLAS 1-2004).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateLayout {
+    /// Number of well rows (A–H).
+    pub rows: usize,
+    /// Number of well columns (1–12).
+    pub cols: usize,
+    /// Center-to-center well pitch, mm.
+    pub pitch_mm: f64,
+    /// Center of well A1 from the plate's top-left corner, mm (x).
+    pub a1_x_mm: f64,
+    /// Center of well A1 from the plate's top-left corner, mm (y).
+    pub a1_y_mm: f64,
+    /// Well opening radius, mm.
+    pub well_radius_mm: f64,
+    /// Plate footprint width, mm.
+    pub width_mm: f64,
+    /// Plate footprint height, mm.
+    pub height_mm: f64,
+}
+
+impl Default for PlateLayout {
+    fn default() -> Self {
+        PlateLayout {
+            rows: 8,
+            cols: 12,
+            pitch_mm: 9.0,
+            a1_x_mm: 14.38,
+            a1_y_mm: 11.24,
+            well_radius_mm: 3.43,
+            width_mm: 127.76,
+            height_mm: 85.48,
+        }
+    }
+}
+
+impl PlateLayout {
+    /// Number of wells.
+    pub fn well_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Well center in plate-local mm coordinates.
+    pub fn well_center_mm(&self, row: usize, col: usize) -> (f64, f64) {
+        (self.a1_x_mm + col as f64 * self.pitch_mm, self.a1_y_mm + row as f64 * self.pitch_mm)
+    }
+}
+
+/// Placement of the fiducial marker relative to the plate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkerLayout {
+    /// Side length of the printed marker, mm.
+    pub size_mm: f64,
+    /// Marker top-left x relative to the plate's top-left corner, mm.
+    pub offset_x_mm: f64,
+    /// Marker top-left y relative to the plate's top-left corner, mm.
+    pub offset_y_mm: f64,
+}
+
+impl Default for MarkerLayout {
+    fn default() -> Self {
+        MarkerLayout { size_mm: 18.0, offset_x_mm: -28.0, offset_y_mm: 4.0 }
+    }
+}
+
+/// Nominal camera geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraGeometry {
+    /// Frame width, px.
+    pub width_px: usize,
+    /// Frame height, px.
+    pub height_px: usize,
+    /// Nominal magnification, px per mm.
+    pub px_per_mm: f64,
+    /// Scene point (mm, in plate-local coordinates) projected to the frame
+    /// center when the pose is unjittered.
+    pub look_at_mm: (f64, f64),
+}
+
+impl Default for CameraGeometry {
+    fn default() -> Self {
+        CameraGeometry {
+            width_px: 640,
+            height_px: 480,
+            px_per_mm: 3.4,
+            look_at_mm: (50.0, 43.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plate_is_96_wells() {
+        let p = PlateLayout::default();
+        assert_eq!(p.well_count(), 96);
+        let (x, y) = p.well_center_mm(0, 0);
+        assert_eq!((x, y), (14.38, 11.24));
+        let (x, y) = p.well_center_mm(7, 11);
+        assert!((x - (14.38 + 99.0)).abs() < 1e-9);
+        assert!((y - (11.24 + 63.0)).abs() < 1e-9);
+        // H12 stays inside the plate footprint.
+        assert!(x < p.width_mm && y < p.height_mm);
+    }
+
+    #[test]
+    fn scene_fits_in_frame() {
+        let cam = CameraGeometry::default();
+        let plate = PlateLayout::default();
+        let marker = MarkerLayout::default();
+        // Leftmost scene content (marker backing) and rightmost (plate edge)
+        // both project inside the frame at nominal pose.
+        let left_mm = marker.offset_x_mm - 4.0;
+        let right_mm = plate.width_mm + 2.0;
+        let to_px = |x_mm: f64| (x_mm - cam.look_at_mm.0) * cam.px_per_mm + cam.width_px as f64 / 2.0;
+        assert!(to_px(left_mm) > 4.0, "left edge at {}", to_px(left_mm));
+        assert!(to_px(right_mm) < cam.width_px as f64 - 4.0, "right edge at {}", to_px(right_mm));
+    }
+}

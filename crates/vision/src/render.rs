@@ -1,0 +1,325 @@
+//! Synthetic plate-scene renderer — the webcam substitute.
+//!
+//! Renders what the Logitech camera with its ring light would see: a
+//! microplate on a dark bench next to an ArUco marker on white backing,
+//! with ring-light vignetting, sensor noise and small pose jitter. The
+//! detection pipeline (§2.4) runs unchanged on these frames.
+
+use crate::aruco::cell_is_white;
+use crate::image::ImageRgb8;
+use crate::layout::{CameraGeometry, MarkerLayout, PlateLayout};
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+use sdl_color::{linear_to_srgb, LinRgb, Rgb8};
+
+/// Minimal normal sampler (Box–Muller) so we do not need an extra crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal draw.
+    pub fn sample_normal(rng: &mut impl Rng) -> f64 {
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Camera pose jitter for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Horizontal translation, px.
+    pub dx_px: f64,
+    /// Vertical translation, px.
+    pub dy_px: f64,
+    /// In-plane rotation, degrees.
+    pub rot_deg: f64,
+}
+
+impl Pose {
+    /// The unjittered pose.
+    pub const IDENTITY: Pose = Pose { dx_px: 0.0, dy_px: 0.0, rot_deg: 0.0 };
+
+    /// Draw a random small pose ("to account for potential shifting in the
+    /// camera position", §2.4).
+    pub fn jittered(rng: &mut impl Rng, max_shift_px: f64, max_rot_deg: f64) -> Pose {
+        Pose {
+            dx_px: rng.gen_range(-max_shift_px..=max_shift_px),
+            dy_px: rng.gen_range(-max_shift_px..=max_shift_px),
+            rot_deg: rng.gen_range(-max_rot_deg..=max_rot_deg),
+        }
+    }
+}
+
+/// Lighting and sensor model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lighting {
+    /// Quadratic vignette strength at the frame corner (0 = flat field).
+    pub vignette: f64,
+    /// Gaussian noise sigma in linear light (per channel).
+    pub noise_sigma: f64,
+    /// Global illumination gain.
+    pub gain: f64,
+}
+
+impl Default for Lighting {
+    fn default() -> Self {
+        Lighting { vignette: 0.08, noise_sigma: 0.006, gain: 1.0 }
+    }
+}
+
+/// Everything needed to render one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateScene {
+    /// True liquid colors by well index (row-major, A1 = 0); `None` = empty.
+    pub well_colors: Vec<Option<LinRgb>>,
+    /// Which dictionary marker is printed on the rig.
+    pub marker_id: usize,
+    /// Frame pose jitter.
+    pub pose: Pose,
+    /// Lighting model.
+    pub lighting: Lighting,
+    /// Plate geometry.
+    pub plate: PlateLayout,
+    /// Marker placement.
+    pub marker: MarkerLayout,
+    /// Camera geometry.
+    pub camera: CameraGeometry,
+}
+
+impl PlateScene {
+    /// A scene with every well empty.
+    pub fn empty_plate() -> PlateScene {
+        let plate = PlateLayout::default();
+        PlateScene {
+            well_colors: vec![None; plate.well_count()],
+            marker_id: 0,
+            pose: Pose::IDENTITY,
+            lighting: Lighting::default(),
+            plate,
+            marker: MarkerLayout::default(),
+            camera: CameraGeometry::default(),
+        }
+    }
+
+    /// Set one well's liquid color.
+    pub fn set_well(&mut self, row: usize, col: usize, color: LinRgb) {
+        let idx = row * self.plate.cols + col;
+        self.well_colors[idx] = Some(color);
+    }
+}
+
+// Scene material colors, in linear light.
+const BENCH: LinRgb = LinRgb::new(0.022, 0.023, 0.025);
+/// Reflectance of the plate body material — rig knowledge usable as a
+/// white-balance reference by the detector's flat-field correction.
+pub const PLATE_BODY_REFLECTANCE: LinRgb = LinRgb::new(0.62, 0.62, 0.64);
+const PLATE_BODY: LinRgb = PLATE_BODY_REFLECTANCE;
+const EMPTY_WELL: LinRgb = LinRgb::new(0.75, 0.75, 0.76);
+const WELL_WALL: LinRgb = LinRgb::new(0.045, 0.045, 0.048);
+const MARKER_WHITE: LinRgb = LinRgb::new(0.92, 0.92, 0.92);
+const MARKER_BLACK: LinRgb = LinRgb::new(0.012, 0.012, 0.012);
+
+/// Width of the dark rim drawn around *filled* wells, mm. Empty wells get no
+/// rim, which is what makes HoughCircles prone to false negatives on them.
+const WALL_MM: f64 = 0.7;
+
+/// Render the scene to an 8-bit frame.
+pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
+    let cam = &scene.camera;
+    let w = cam.width_px;
+    let h = cam.height_px;
+    let cx = w as f64 / 2.0 + scene.pose.dx_px;
+    let cy = h as f64 / 2.0 + scene.pose.dy_px;
+    let s = cam.px_per_mm;
+    let theta = scene.pose.rot_deg.to_radians();
+    let (sin_t, cos_t) = theta.sin_cos();
+    let corner_d2 = {
+        let dx = w as f64 / 2.0;
+        let dy = h as f64 / 2.0;
+        dx * dx + dy * dy
+    };
+
+    let mut img = ImageRgb8::new(w, h, Rgb8::default());
+    for py in 0..h {
+        for px in 0..w {
+            // Inverse map pixel -> scene mm (rotate then unscale).
+            let rx = px as f64 + 0.5 - cx;
+            let ry = py as f64 + 0.5 - cy;
+            let mm_x = (rx * cos_t + ry * sin_t) / s + cam.look_at_mm.0;
+            let mm_y = (-rx * sin_t + ry * cos_t) / s + cam.look_at_mm.1;
+            let base = material_at(scene, mm_x, mm_y);
+
+            // Ring-light vignette (quadratic falloff from frame center).
+            let d2 = rx * rx + ry * ry;
+            let gain = scene.lighting.gain * (1.0 - scene.lighting.vignette * d2 / corner_d2);
+
+            let noisy = LinRgb::new(
+                base.r * gain + scene.lighting.noise_sigma * sample_normal(rng),
+                base.g * gain + scene.lighting.noise_sigma * sample_normal(rng),
+                base.b * gain + scene.lighting.noise_sigma * sample_normal(rng),
+            )
+            .clamped();
+            img.put(
+                px as i64,
+                py as i64,
+                Rgb8::new(
+                    (linear_to_srgb(noisy.r) * 255.0).round() as u8,
+                    (linear_to_srgb(noisy.g) * 255.0).round() as u8,
+                    (linear_to_srgb(noisy.b) * 255.0).round() as u8,
+                ),
+            );
+        }
+    }
+    img
+}
+
+/// The material color at a scene point (plate-local mm coordinates).
+fn material_at(scene: &PlateScene, x: f64, y: f64) -> LinRgb {
+    // Marker backing card (one-cell quiet zone) and cells.
+    let mk = &scene.marker;
+    let cell = mk.size_mm / 6.0;
+    let bx = mk.offset_x_mm - cell;
+    let by = mk.offset_y_mm - cell;
+    let bsize = mk.size_mm + 2.0 * cell;
+    if x >= bx && x < bx + bsize && y >= by && y < by + bsize {
+        let ix = x - mk.offset_x_mm;
+        let iy = y - mk.offset_y_mm;
+        if ix >= 0.0 && ix < mk.size_mm && iy >= 0.0 && iy < mk.size_mm {
+            let col = (ix / cell) as usize;
+            let row = (iy / cell) as usize;
+            return if cell_is_white(scene.marker_id, row.min(5), col.min(5)) {
+                MARKER_WHITE
+            } else {
+                MARKER_BLACK
+            };
+        }
+        return MARKER_WHITE; // quiet zone
+    }
+
+    // Plate.
+    let p = &scene.plate;
+    if x >= 0.0 && x < p.width_mm && y >= 0.0 && y < p.height_mm {
+        // Nearest well.
+        let col_f = (x - p.a1_x_mm) / p.pitch_mm;
+        let row_f = (y - p.a1_y_mm) / p.pitch_mm;
+        let col = col_f.round().clamp(0.0, (p.cols - 1) as f64) as usize;
+        let row = row_f.round().clamp(0.0, (p.rows - 1) as f64) as usize;
+        let (wx, wy) = p.well_center_mm(row, col);
+        let dx = x - wx;
+        let dy = y - wy;
+        let d = (dx * dx + dy * dy).sqrt();
+        let idx = row * p.cols + col;
+        match scene.well_colors.get(idx).copied().flatten() {
+            Some(liquid) => {
+                if d <= p.well_radius_mm {
+                    return liquid;
+                }
+                if d <= p.well_radius_mm + WALL_MM {
+                    return WELL_WALL;
+                }
+            }
+            None => {
+                if d <= p.well_radius_mm {
+                    return EMPTY_WELL;
+                }
+            }
+        }
+        return PLATE_BODY;
+    }
+
+    BENCH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn renders_expected_frame_size() {
+        let scene = PlateScene::empty_plate();
+        let img = render(&scene, &mut rng());
+        assert_eq!(img.width(), 640);
+        assert_eq!(img.height(), 480);
+    }
+
+    #[test]
+    fn well_centers_show_liquid_color() {
+        let mut scene = PlateScene::empty_plate();
+        scene.lighting.noise_sigma = 0.0;
+        scene.lighting.vignette = 0.0;
+        // A strongly red liquid in well C4 (row 2, col 3).
+        scene.set_well(2, 3, LinRgb::new(0.5, 0.05, 0.05));
+        let img = render(&scene, &mut rng());
+        // Project the well center to pixels at identity pose.
+        let cam = &scene.camera;
+        let (mx, my) = scene.plate.well_center_mm(2, 3);
+        let px = (mx - cam.look_at_mm.0) * cam.px_per_mm + cam.width_px as f64 / 2.0;
+        let py = (my - cam.look_at_mm.1) * cam.px_per_mm + cam.height_px as f64 / 2.0;
+        let (mean, n) = img.mean_disk(px, py, 5.0);
+        assert!(n > 50);
+        assert!(mean.r > 150 && mean.g < 100, "well color {mean}");
+    }
+
+    #[test]
+    fn empty_wells_are_light() {
+        let mut scene = PlateScene::empty_plate();
+        scene.lighting.noise_sigma = 0.0;
+        let img = render(&scene, &mut rng());
+        let cam = &scene.camera;
+        let (mx, my) = scene.plate.well_center_mm(0, 0);
+        let px = (mx - cam.look_at_mm.0) * cam.px_per_mm + cam.width_px as f64 / 2.0;
+        let py = (my - cam.look_at_mm.1) * cam.px_per_mm + cam.height_px as f64 / 2.0;
+        let (mean, _) = img.mean_disk(px, py, 4.0);
+        assert!(mean.r > 180, "empty well should be light, got {mean}");
+    }
+
+    #[test]
+    fn marker_appears_black_and_white() {
+        let scene = PlateScene::empty_plate();
+        let img = render(&scene, &mut rng());
+        let found = crate::aruco::detect_markers(&img, &crate::aruco::ArucoParams::default());
+        assert_eq!(found.len(), 1, "marker must be detectable in a rendered frame");
+        assert_eq!(found[0].id, 0);
+    }
+
+    #[test]
+    fn pose_jitter_moves_the_marker() {
+        let mut scene = PlateScene::empty_plate();
+        let img1 = render(&scene, &mut rng());
+        // Pure translation: rotation would additionally swing the marker,
+        // which sits far from the frame center.
+        scene.pose = Pose { dx_px: 8.0, dy_px: -5.0, rot_deg: 0.0 };
+        let img2 = render(&scene, &mut rng());
+        let p = crate::aruco::ArucoParams::default();
+        let m1 = &crate::aruco::detect_markers(&img1, &p)[0];
+        let m2 = &crate::aruco::detect_markers(&img2, &p)[0];
+        assert!((m2.center.0 - m1.center.0 - 8.0).abs() < 2.5);
+        assert!((m2.center.1 - m1.center.1 + 5.0).abs() < 2.5);
+    }
+
+    #[test]
+    fn noise_changes_between_frames_but_seed_reproduces() {
+        let scene = PlateScene::empty_plate();
+        let a = render(&scene, &mut StdRng::seed_from_u64(1));
+        let b = render(&scene, &mut StdRng::seed_from_u64(1));
+        let c = render(&scene, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pose_jitter_is_bounded() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let p = Pose::jittered(&mut r, 6.0, 1.2);
+            assert!(p.dx_px.abs() <= 6.0 && p.dy_px.abs() <= 6.0 && p.rot_deg.abs() <= 1.2);
+        }
+    }
+}

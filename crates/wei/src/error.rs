@@ -1,0 +1,96 @@
+//! Errors surfaced by the workflow engine.
+
+use sdl_conf::{AccessError, ParseError};
+use sdl_instruments::InstrumentError;
+use std::fmt;
+
+/// Engine and configuration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeiError {
+    /// The workcell or workflow document failed to parse.
+    Parse(ParseError),
+    /// A required config field was missing or mistyped.
+    Config(AccessError),
+    /// Free-form configuration problem.
+    Invalid(String),
+    /// Workflow references a module the workcell does not have.
+    UnknownModule(String),
+    /// Workflow step names an action the module does not expose.
+    UnsupportedAction {
+        /// Module name.
+        module: String,
+        /// Action requested.
+        action: String,
+    },
+    /// A command exhausted its retries and the simulated operator budget.
+    CommandAborted {
+        /// Step name.
+        step: String,
+        /// Module name.
+        module: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Final instrument error.
+        cause: InstrumentError,
+    },
+    /// Underlying instrument failure outside the retry machinery.
+    Instrument(InstrumentError),
+}
+
+impl fmt::Display for WeiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeiError::Parse(e) => write!(f, "{e}"),
+            WeiError::Config(e) => write!(f, "{e}"),
+            WeiError::Invalid(m) => write!(f, "invalid configuration: {m}"),
+            WeiError::UnknownModule(m) => write!(f, "workflow references unknown module '{m}'"),
+            WeiError::UnsupportedAction { module, action } => {
+                write!(f, "module '{module}' does not support action '{action}'")
+            }
+            WeiError::CommandAborted { step, module, attempts, cause } => {
+                write!(f, "step '{step}' on '{module}' aborted after {attempts} attempts: {cause}")
+            }
+            WeiError::Instrument(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WeiError {}
+
+impl From<ParseError> for WeiError {
+    fn from(e: ParseError) -> Self {
+        WeiError::Parse(e)
+    }
+}
+
+impl From<AccessError> for WeiError {
+    fn from(e: AccessError) -> Self {
+        WeiError::Config(e)
+    }
+}
+
+impl From<InstrumentError> for WeiError {
+    fn from(e: InstrumentError) -> Self {
+        WeiError::Instrument(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = WeiError::UnknownModule("ot3".into());
+        assert!(e.to_string().contains("ot3"));
+        let e = WeiError::UnsupportedAction { module: "camera".into(), action: "transfer".into() };
+        assert!(e.to_string().contains("camera") && e.to_string().contains("transfer"));
+        let e = WeiError::CommandAborted {
+            step: "Mix".into(),
+            module: "ot2".into(),
+            attempts: 3,
+            cause: InstrumentError::OutOfTips,
+        };
+        assert!(e.to_string().contains("3 attempts"));
+    }
+}

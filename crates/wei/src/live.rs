@@ -1,0 +1,204 @@
+//! The live executor: module servers on real threads.
+//!
+//! On the physical platform, "commands [are] sent to computers connected to
+//! devices" — every module is its own server process. This executor
+//! reproduces that architecture: each instrument runs on its own thread
+//! behind a crossbeam channel, commands are dispatched as messages, and
+//! action durations elapse as (scaled) wall-clock time. It exists to
+//! demonstrate architectural fidelity and to drive the `live_lab` example;
+//! experiments use the virtual-time engine, which is millions of times
+//! faster.
+
+use crate::error::WeiError;
+use crate::runlog::{StepRecord, WorkflowRunLog};
+use crate::workcell::Workcell;
+use crate::workflow::{Payload, Workflow};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use sdl_desim::{RngHub, SimTime};
+use sdl_instruments::{ActionArgs, ActionData, ActionOutcome, InstrumentError, World};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct LiveCommand {
+    action: String,
+    args: ActionArgs,
+    reply: Sender<Result<ActionOutcome, InstrumentError>>,
+}
+
+/// A running fleet of module servers.
+pub struct LiveExecutor {
+    senders: BTreeMap<String, Sender<LiveCommand>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Shared world, observable from outside between commands.
+    pub world: Arc<Mutex<World>>,
+    started: Instant,
+    /// Real seconds per simulated second (e.g. 0.001 = 1000× speedup).
+    pub time_scale: f64,
+}
+
+impl LiveExecutor {
+    /// Move each instrument of `workcell` onto its own server thread.
+    pub fn start(workcell: Workcell, hub: RngHub, time_scale: f64) -> LiveExecutor {
+        let (config, world, timing, mut instruments) = workcell.into_parts();
+        let module_names = config.modules.iter().map(|m| m.name.clone()).collect::<Vec<_>>();
+        let world = Arc::new(Mutex::new(world));
+        let timing = Arc::new(timing);
+
+        let mut senders = BTreeMap::new();
+        let mut handles = Vec::new();
+        for name in module_names {
+            let Some(instrument) = instruments.remove(&name) else {
+                continue;
+            };
+            let (tx, rx) = unbounded::<LiveCommand>();
+            let world = Arc::clone(&world);
+            let timing = Arc::clone(&timing);
+            let mut rng = hub.stream(&format!("live.module.{name}"));
+            let scale = time_scale;
+            let handle = std::thread::Builder::new()
+                .name(format!("module-{name}"))
+                .spawn(move || {
+                    let mut instrument = instrument;
+                    while let Ok(cmd) = rx.recv() {
+                        let result = {
+                            let mut w = world.lock();
+                            instrument.execute(&cmd.action, &cmd.args, &mut w, &timing, &mut rng)
+                        };
+                        if let Ok(outcome) = &result {
+                            let sleep_s = outcome.duration.as_secs_f64() * scale;
+                            if sleep_s > 0.0 {
+                                std::thread::sleep(std::time::Duration::from_secs_f64(sleep_s));
+                            }
+                        }
+                        let _ = cmd.reply.send(result);
+                    }
+                })
+                .expect("spawn module server");
+            senders.insert(name, tx);
+            handles.push(handle);
+        }
+        LiveExecutor { senders, handles, world, started: Instant::now(), time_scale }
+    }
+
+    /// Send one command and wait for the module server's reply.
+    pub fn send(
+        &self,
+        module: &str,
+        action: &str,
+        args: ActionArgs,
+    ) -> Result<ActionOutcome, WeiError> {
+        let tx = self
+            .senders
+            .get(module)
+            .ok_or_else(|| WeiError::UnknownModule(module.to_string()))?;
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send(LiveCommand { action: action.to_string(), args, reply: reply_tx })
+            .map_err(|_| WeiError::Invalid(format!("module server '{module}' is down")))?;
+        reply_rx
+            .recv()
+            .map_err(|_| WeiError::Invalid(format!("module server '{module}' died mid-command")))?
+            .map_err(WeiError::Instrument)
+    }
+
+    /// Current virtual time (wall time un-scaled).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros((self.started.elapsed().as_secs_f64() / self.time_scale * 1e6) as u64)
+    }
+
+    /// Run a workflow against the live fleet.
+    pub fn run_workflow(&self, wf: &Workflow, payload: &Payload) -> Result<(WorkflowRunLog, Vec<(String, ActionData)>), WeiError> {
+        let start = self.now();
+        let mut records = Vec::new();
+        let mut data = Vec::new();
+        for step in &wf.steps {
+            let args = Workflow::resolve_args(step, payload)?;
+            let t0 = self.now();
+            let outcome = self.send(&step.module, &step.action, args)?;
+            records.push(StepRecord {
+                name: step.name.clone(),
+                module: step.module.clone(),
+                action: step.action.clone(),
+                start: t0,
+                end: self.now(),
+                attempts: 1,
+                human_intervened: false,
+            });
+            if !matches!(outcome.data, ActionData::None) {
+                data.push((step.name.clone(), outcome.data));
+            }
+        }
+        Ok((WorkflowRunLog { workflow: wf.name.clone(), start, end: self.now(), records }, data))
+    }
+
+    /// Stop all module servers and join their threads.
+    pub fn shutdown(mut self) {
+        self.senders.clear(); // closes channels; servers exit their loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workcell::{WorkcellConfig, RPL_WORKCELL_YAML};
+    use sdl_color::{DyeSet, MixKind};
+
+    fn live() -> LiveExecutor {
+        let cfg = WorkcellConfig::from_yaml(RPL_WORKCELL_YAML).unwrap();
+        let cell = Workcell::instantiate(cfg, DyeSet::cmyk(), MixKind::BeerLambert).unwrap();
+        // 100 000× faster than real time: a 34 s transfer sleeps 0.34 ms.
+        LiveExecutor::start(cell, RngHub::new(21), 1e-5)
+    }
+
+    #[test]
+    fn live_fleet_executes_commands() {
+        let exec = live();
+        let out = exec.send("sciclops", "get_plate", ActionArgs::none()).unwrap();
+        assert!(matches!(out.data, ActionData::Plate(_)));
+        assert!(exec.world.lock().plate_at("sciclops.exchange").unwrap().is_some());
+        exec.send(
+            "pf400",
+            "transfer",
+            ActionArgs::none().with("source", "sciclops.exchange").with("target", "camera.nest"),
+        )
+        .unwrap();
+        assert!(exec.world.lock().plate_at("camera.nest").unwrap().is_some());
+        exec.shutdown();
+    }
+
+    #[test]
+    fn live_workflow_produces_log_and_image() {
+        let exec = live();
+        exec.send("sciclops", "get_plate", ActionArgs::none()).unwrap();
+        exec.send(
+            "pf400",
+            "transfer",
+            ActionArgs::none().with("source", "sciclops.exchange").with("target", "camera.nest"),
+        )
+        .unwrap();
+        let wf = Workflow::from_yaml(
+            "name: snap\nmodules: [camera]\nsteps:\n  - name: Take picture\n    module: camera\n    action: take_picture\n",
+        )
+        .unwrap();
+        let (log, data) = exec.run_workflow(&wf, &Payload::none()).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert!(log.records[0].end >= log.records[0].start);
+        assert_eq!(data.len(), 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn unknown_module_is_rejected() {
+        let exec = live();
+        assert!(matches!(
+            exec.send("ghost", "boo", ActionArgs::none()),
+            Err(WeiError::UnknownModule(_))
+        ));
+        exec.shutdown();
+    }
+}

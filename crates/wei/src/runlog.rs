@@ -1,0 +1,163 @@
+//! Per-workflow run logs.
+//!
+//! "For each workflow that is run, a file is created that details the step
+//! names run, their start time, end time and total duration" (paper §2.3).
+//! [`WorkflowRunLog`] is that file's in-memory form; it renders to the same
+//! kind of text table and serializes to JSON for publication.
+
+use sdl_conf::Value;
+use sdl_desim::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// One executed step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Step name from the workflow document.
+    pub name: String,
+    /// Module that executed it.
+    pub module: String,
+    /// Action invoked.
+    pub action: String,
+    /// Step start on the virtual clock.
+    pub start: SimTime,
+    /// Step end (includes retry and recovery time).
+    pub end: SimTime,
+    /// Dispatch attempts (1 = clean first try).
+    pub attempts: u32,
+    /// Whether a simulated human had to intervene.
+    pub human_intervened: bool,
+}
+
+impl StepRecord {
+    /// Wall duration of the step.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// The log of one workflow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowRunLog {
+    /// Workflow name.
+    pub workflow: String,
+    /// Run start.
+    pub start: SimTime,
+    /// Run end.
+    pub end: SimTime,
+    /// Steps in execution order.
+    pub records: Vec<StepRecord>,
+}
+
+impl WorkflowRunLog {
+    /// Total run duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Render the text table the paper describes (one line per step).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "workflow: {}  ({} -> {}, {})", self.workflow, self.start, self.end, self.duration());
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:<10} {:<14} start={:<12} end={:<12} duration={}{}",
+                r.name,
+                r.module,
+                r.action,
+                r.start.to_string(),
+                r.end.to_string(),
+                r.duration(),
+                if r.attempts > 1 { format!("  attempts={}", r.attempts) } else { String::new() }
+            );
+        }
+        out
+    }
+
+    /// Serialize for the data portal.
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::map();
+        root.set("workflow", self.workflow.as_str());
+        root.set("start_s", self.start.as_secs_f64());
+        root.set("end_s", self.end.as_secs_f64());
+        root.set("duration_s", self.duration().as_secs_f64());
+        let mut steps = Value::seq();
+        for r in &self.records {
+            let mut s = Value::map();
+            s.set("name", r.name.as_str());
+            s.set("module", r.module.as_str());
+            s.set("action", r.action.as_str());
+            s.set("start_s", r.start.as_secs_f64());
+            s.set("end_s", r.end.as_secs_f64());
+            s.set("duration_s", r.duration().as_secs_f64());
+            s.set("attempts", r.attempts as i64);
+            s.set("human_intervened", r.human_intervened);
+            steps.push(s);
+        }
+        root.set("steps", steps);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_conf::ValueExt;
+
+    fn log() -> WorkflowRunLog {
+        WorkflowRunLog {
+            workflow: "cp_wf_mixcolor".into(),
+            start: SimTime::from_secs(100),
+            end: SimTime::from_secs(328),
+            records: vec![
+                StepRecord {
+                    name: "Transfer plate to ot2".into(),
+                    module: "pf400".into(),
+                    action: "transfer".into(),
+                    start: SimTime::from_secs(100),
+                    end: SimTime::from_secs(134),
+                    attempts: 1,
+                    human_intervened: false,
+                },
+                StepRecord {
+                    name: "Mix colors".into(),
+                    module: "ot2".into(),
+                    action: "run_protocol".into(),
+                    start: SimTime::from_secs(134),
+                    end: SimTime::from_secs(277),
+                    attempts: 2,
+                    human_intervened: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn durations() {
+        let l = log();
+        assert_eq!(l.duration(), SimDuration::from_secs(228));
+        assert_eq!(l.records[1].duration(), SimDuration::from_secs(143));
+    }
+
+    #[test]
+    fn render_contains_steps_and_attempts() {
+        let text = log().render();
+        assert!(text.contains("cp_wf_mixcolor"));
+        assert!(text.contains("Transfer plate to ot2"));
+        assert!(text.contains("attempts=2"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip_structure() {
+        let v = log().to_value();
+        assert_eq!(v.req_str("workflow").unwrap(), "cp_wf_mixcolor");
+        assert_eq!(v.req_seq("steps").unwrap().len(), 2);
+        assert_eq!(v.req_f64("steps.1.duration_s").unwrap(), 143.0);
+        assert_eq!(v.req_i64("steps.1.attempts").unwrap(), 2);
+        // Survives JSON encoding.
+        let text = sdl_conf::to_json(&v);
+        let back = sdl_conf::from_json(&text).unwrap();
+        assert_eq!(back.req_str("workflow").unwrap(), "cp_wf_mixcolor");
+    }
+}

@@ -1,0 +1,281 @@
+//! Declarative workflows: "users can specify, again using a declarative
+//! notation, workflows that perform sets of actions on modules" (§2.2).
+
+use crate::error::WeiError;
+use sdl_conf::{from_yaml, Value, ValueExt};
+use sdl_instruments::{ActionArgs, ProtocolSpec};
+use std::collections::BTreeMap;
+
+/// One step of a workflow: an action on a module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowStep {
+    /// Human-readable step name (appears in run logs).
+    pub name: String,
+    /// Target module.
+    pub module: String,
+    /// Action to invoke.
+    pub action: String,
+    /// Static string arguments; values may contain `${var}` references into
+    /// the run payload, and the special value `$payload` marks the protocol
+    /// attachment point.
+    pub args: BTreeMap<String, String>,
+}
+
+/// A named workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workflow {
+    /// Workflow name (e.g. `cp_wf_mixcolor`).
+    pub name: String,
+    /// Modules this workflow touches (declared up front for validation).
+    pub modules: Vec<String>,
+    /// Steps in execution order.
+    pub steps: Vec<WorkflowStep>,
+}
+
+/// Runtime inputs to a workflow run.
+#[derive(Debug, Clone, Default)]
+pub struct Payload {
+    /// Variables substituted into `${var}` references.
+    pub vars: BTreeMap<String, String>,
+    /// Protocol attached where a step argument says `protocol: $payload`.
+    pub protocol: Option<ProtocolSpec>,
+}
+
+impl Payload {
+    /// Empty payload.
+    pub fn none() -> Payload {
+        Payload::default()
+    }
+
+    /// Payload carrying a protocol.
+    pub fn with_protocol(protocol: ProtocolSpec) -> Payload {
+        Payload { vars: BTreeMap::new(), protocol: Some(protocol) }
+    }
+
+    /// Builder: add a variable.
+    pub fn var(mut self, key: impl Into<String>, value: impl Into<String>) -> Payload {
+        self.vars.insert(key.into(), value.into());
+        self
+    }
+}
+
+impl Workflow {
+    /// Parse a workflow document.
+    pub fn from_yaml(src: &str) -> Result<Workflow, WeiError> {
+        let doc = from_yaml(src)?;
+        Workflow::from_value(&doc)
+    }
+
+    /// Build from an already-parsed value tree.
+    pub fn from_value(doc: &Value) -> Result<Workflow, WeiError> {
+        let name = doc.req_str("name")?.to_string();
+        let modules = doc
+            .req_seq("modules")?
+            .iter()
+            .map(|m| {
+                m.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| WeiError::Invalid(format!("{name}: modules entries must be strings")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut steps = Vec::new();
+        for (i, step) in doc.req_seq("steps")?.iter().enumerate() {
+            let module = step.req_str("module")?.to_string();
+            if !modules.contains(&module) {
+                return Err(WeiError::Invalid(format!(
+                    "{name}: step {} uses module '{module}' not in the modules list",
+                    i + 1
+                )));
+            }
+            let mut args = BTreeMap::new();
+            if let Some(arg_map) = step.get("args").and_then(Value::as_map) {
+                for (k, v) in arg_map {
+                    let vs = match v {
+                        Value::Str(s) => s.clone(),
+                        Value::Int(n) => n.to_string(),
+                        Value::Float(f) => format!("{f}"),
+                        Value::Bool(b) => b.to_string(),
+                        other => {
+                            return Err(WeiError::Invalid(format!(
+                                "{name}: step {} arg '{k}' has unsupported type {}",
+                                i + 1,
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    args.insert(k.clone(), vs);
+                }
+            }
+            steps.push(WorkflowStep {
+                name: step
+                    .opt_str("name")
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("step-{}", i + 1)),
+                module,
+                action: step.req_str("action")?.to_string(),
+                args,
+            });
+        }
+        if steps.is_empty() {
+            return Err(WeiError::Invalid(format!("{name}: workflow has no steps")));
+        }
+        Ok(Workflow { name, modules, steps })
+    }
+
+    /// Retarget the workflow onto different module names ("workflows can be
+    /// retargeted to different modules and workcells that provide comparable
+    /// capabilities", §2.2). Names absent from `map` are kept.
+    pub fn retarget(&self, map: &BTreeMap<String, String>) -> Workflow {
+        let rename = |name: &String| map.get(name).cloned().unwrap_or_else(|| name.clone());
+        Workflow {
+            name: self.name.clone(),
+            modules: self.modules.iter().map(rename).collect(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| WorkflowStep {
+                    name: s.name.clone(),
+                    module: rename(&s.module),
+                    action: s.action.clone(),
+                    args: s.args.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Resolve a step's arguments against a payload: `${var}` substitution
+    /// plus protocol attachment for `protocol: $payload`.
+    pub fn resolve_args(step: &WorkflowStep, payload: &Payload) -> Result<ActionArgs, WeiError> {
+        let mut out = ActionArgs::none();
+        for (k, v) in &step.args {
+            if k == "protocol" && v == "$payload" {
+                let p = payload.protocol.clone().ok_or_else(|| {
+                    WeiError::Invalid(format!("step '{}' needs a protocol payload", step.name))
+                })?;
+                out = out.with_protocol(p);
+                continue;
+            }
+            out = out.with(k.clone(), substitute(v, &payload.vars, &step.name)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Replace `${var}` references.
+fn substitute(
+    template: &str,
+    vars: &BTreeMap<String, String>,
+    step: &str,
+) -> Result<String, WeiError> {
+    if !template.contains("${") {
+        return Ok(template.to_string());
+    }
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    while let Some(start) = rest.find("${") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let end = after
+            .find('}')
+            .ok_or_else(|| WeiError::Invalid(format!("step '{step}': unterminated ${{ in '{template}'")))?;
+        let key = &after[..end];
+        let val = vars
+            .get(key)
+            .ok_or_else(|| WeiError::Invalid(format!("step '{step}': undefined variable '{key}'")))?;
+        out.push_str(val);
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIX: &str = r#"
+name: cp_wf_mixcolor
+modules: [pf400, ot2, camera]
+steps:
+  - name: Transfer plate to ot2
+    module: pf400
+    action: transfer
+    args: {source: camera.nest, target: ot2.deck}
+  - name: Mix colors
+    module: ot2
+    action: run_protocol
+    args: {protocol: $payload}
+  - name: Return plate to camera
+    module: pf400
+    action: transfer
+    args: {source: ot2.deck, target: camera.nest}
+  - name: Take picture
+    module: camera
+    action: take_picture
+"#;
+
+    #[test]
+    fn parses_the_mixcolor_workflow() {
+        let wf = Workflow::from_yaml(MIX).unwrap();
+        assert_eq!(wf.name, "cp_wf_mixcolor");
+        assert_eq!(wf.modules, vec!["pf400", "ot2", "camera"]);
+        assert_eq!(wf.steps.len(), 4);
+        assert_eq!(wf.steps[0].args["source"], "camera.nest");
+        assert_eq!(wf.steps[3].action, "take_picture");
+    }
+
+    #[test]
+    fn rejects_undeclared_module() {
+        let bad = "name: x\nmodules: [pf400]\nsteps:\n  - module: ot2\n    action: run_protocol\n";
+        assert!(matches!(Workflow::from_yaml(bad), Err(WeiError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_empty_steps() {
+        let bad = "name: x\nmodules: [pf400]\nsteps: []\n";
+        assert!(matches!(Workflow::from_yaml(bad), Err(WeiError::Invalid(_))));
+    }
+
+    #[test]
+    fn payload_protocol_attachment() {
+        let wf = Workflow::from_yaml(MIX).unwrap();
+        let payload = Payload::with_protocol(ProtocolSpec { name: "mix".into(), dispenses: vec![] });
+        let args = Workflow::resolve_args(&wf.steps[1], &payload).unwrap();
+        assert!(args.protocol.is_some());
+        // Step without protocol arg ignores the payload.
+        let args = Workflow::resolve_args(&wf.steps[0], &payload).unwrap();
+        assert!(args.protocol.is_none());
+        // Missing payload where required is an error.
+        assert!(Workflow::resolve_args(&wf.steps[1], &Payload::none()).is_err());
+    }
+
+    #[test]
+    fn variable_substitution() {
+        let step = WorkflowStep {
+            name: "move".into(),
+            module: "pf400".into(),
+            action: "transfer".into(),
+            args: [("source".to_string(), "${from}".to_string()), ("target".to_string(), "x${to}y".to_string())]
+                .into_iter()
+                .collect(),
+        };
+        let payload = Payload::none().var("from", "a.nest").var("to", "B");
+        let args = Workflow::resolve_args(&step, &payload).unwrap();
+        assert_eq!(args.get("source"), Some("a.nest"));
+        assert_eq!(args.get("target"), Some("xBy"));
+        // Undefined variable errors.
+        let bad = Payload::none();
+        assert!(Workflow::resolve_args(&step, &bad).is_err());
+    }
+
+    #[test]
+    fn unterminated_reference_is_an_error() {
+        let step = WorkflowStep {
+            name: "s".into(),
+            module: "m".into(),
+            action: "a".into(),
+            args: [("k".to_string(), "${oops".to_string())].into_iter().collect(),
+        };
+        assert!(Workflow::resolve_args(&step, &Payload::none()).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Live mode: every module on its own server thread.
+//!
+//! On the physical platform each instrument is driven by its own computer;
+//! the engine sends commands over the network. [`LiveExecutor`] reproduces
+//! that topology with threads and channels, running 5000× faster than real
+//! time. Watch a plate get fetched, filled, mixed and imaged by message
+//! passing between module servers.
+//!
+//! ```text
+//! cargo run --release --example live_lab
+//! ```
+
+use sdl_lab::color::{DyeSet, MixKind};
+use sdl_lab::desim::RngHub;
+use sdl_lab::instruments::{ActionArgs, ActionData, ProtocolSpec, WellDispense, WellIndex};
+use sdl_lab::wei::{LiveExecutor, Payload, Workcell, WorkcellConfig, Workflow, RPL_WORKCELL_YAML};
+
+fn main() {
+    let cfg = WorkcellConfig::from_yaml(RPL_WORKCELL_YAML).expect("workcell parses");
+    let cell = Workcell::instantiate(cfg, DyeSet::cmyk(), MixKind::BeerLambert).expect("instantiates");
+    // 1 simulated second = 0.2 real milliseconds.
+    let exec = LiveExecutor::start(cell, RngHub::new(7), 0.0002);
+
+    println!("module servers up; staging a plate...");
+    exec.send("sciclops", "get_plate", ActionArgs::none()).expect("get_plate");
+    exec.send(
+        "pf400",
+        "transfer",
+        ActionArgs::none().with("source", "sciclops.exchange").with("target", "camera.nest"),
+    )
+    .expect("stage plate");
+    exec.send("barty", "fill_colors", ActionArgs::none()).expect("fill reservoirs");
+
+    // One mix-and-measure workflow, exactly as the engine would run it.
+    let wf = Workflow::from_yaml(sdl_lab::core::WF_MIXCOLOR).expect("workflow parses");
+    let protocol = ProtocolSpec {
+        name: "combine_colors.yaml".into(),
+        dispenses: vec![
+            WellDispense { well: WellIndex::new(0, 0), volumes_ul: vec![7.4, 6.2, 6.4, 25.0] },
+            WellDispense { well: WellIndex::new(0, 1), volumes_ul: vec![0.0, 0.0, 0.0, 36.0] },
+        ],
+    };
+    let payload = Payload::with_protocol(protocol)
+        .var("nest", "camera.nest")
+        .var("deck", "ot2.deck");
+    let (log, data) = exec.run_workflow(&wf, &payload).expect("workflow runs");
+
+    println!("{}", log.render());
+    for (step, d) in &data {
+        if let ActionData::Image(img) = d {
+            println!("{step}: captured a {}x{} frame", img.width(), img.height());
+            let reading = sdl_lab::vision::Detector::default().detect(img).expect("pipeline");
+            let a1 = reading.well(0, 0).expect("A1 read");
+            println!(
+                "  A1 (calibration recipe) measured {} — target {}",
+                a1.color,
+                sdl_lab::color::Rgb8::PAPER_TARGET
+            );
+        }
+    }
+    exec.shutdown();
+    println!("module servers stopped.");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run one small closed-loop color-matching experiment on the
+//! simulated RPL workcell and inspect the results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdl_lab::prelude::*;
+
+fn main() {
+    // 32 samples in batches of 4, everything else as in the paper
+    // (target RGB (120,120,120), genetic solver, Beer–Lambert chemistry).
+    let config = AppConfig {
+        sample_budget: 32,
+        batch: 4,
+        match_threshold: Some(8.0), // stop early if we get this close
+        ..AppConfig::default()
+    };
+
+    let mut app = ColorPickerApp::new(config).expect("workcell instantiates");
+    let outcome: ExperimentOutcome = app.run().expect("experiment completes");
+
+    println!("experiment:  {}", outcome.experiment_id);
+    println!("termination: {}", outcome.termination);
+    println!("samples:     {}", outcome.samples_measured);
+    println!("virtual time: {} (wall time: milliseconds)", outcome.duration);
+    println!("best score:  {:.2} at ratios {:?}", outcome.best_score, outcome.best_ratios);
+    println!();
+    println!("{}", outcome.metrics.render_table1());
+
+    // Every sample was published to the in-process ACDC portal.
+    println!("{}", outcome.portal.summary_view(&outcome.experiment_id));
+
+    // The trajectory is the raw material of the paper's Figure 4.
+    println!("best-so-far trajectory:");
+    for p in outcome.trajectory.iter().filter(|p| p.sample % 4 == 0 || p.sample == 1) {
+        println!("  sample {:>3}  t = {:>6.1} min  best = {:>6.2}", p.sample, p.elapsed_min, p.best);
+    }
+}

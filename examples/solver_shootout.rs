@@ -1,0 +1,56 @@
+//! Solver shootout — §2.5's claim in miniature.
+//!
+//! The paper implemented a Bayesian optimizer alongside the genetic solver
+//! but found it "does not yield a systematic improvement". This example
+//! races all five decision procedures (including the analytic oracle and
+//! the random floor) on identical budgets and seeds.
+//!
+//! ```text
+//! cargo run --release --example solver_shootout
+//! ```
+
+use sdl_lab::core::{run_sweep, solver_sweep, AppConfig};
+use sdl_lab::solvers::SolverKind;
+
+fn main() {
+    let base = AppConfig {
+        sample_budget: 48,
+        batch: 4,
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let solvers = SolverKind::all();
+    let seeds = [11u64, 22, 33];
+    println!(
+        "racing {} solvers x {} seeds (N={}, B={})...",
+        solvers.len(),
+        seeds.len(),
+        base.sample_budget,
+        base.batch
+    );
+    let results = run_sweep(solver_sweep(&base, &solvers, &seeds));
+
+    println!("\n{:<22} {:>10} {:>14}", "solver/seed", "best", "sample@best");
+    for (label, result) in &results {
+        let out = result.as_ref().expect("run succeeds");
+        let best_at = out
+            .trajectory
+            .iter()
+            .find(|p| p.best == out.best_score)
+            .map(|p| p.sample)
+            .unwrap_or(0);
+        println!("{label:<22} {:>10.2} {:>14}", out.best_score, best_at);
+    }
+
+    println!("\nper-solver mean best:");
+    for solver in solvers {
+        let scores: Vec<f64> = results
+            .iter()
+            .filter(|(l, _)| l.starts_with(solver.name()))
+            .map(|(_, r)| r.as_ref().unwrap().best_score)
+            .collect();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        println!("  {:<10} {:>7.2}", solver.name(), mean);
+    }
+    println!("\nexpect: analytic < genetic ≈ bayesian < random.");
+}

@@ -1,0 +1,42 @@
+//! `sdl-lab` — a Rust reproduction of *"Exploring Benchmarks for Self-Driving
+//! Labs using Color Matching"* (Ginsburg et al., SC-W/XLOOP 2023).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`desim`] — deterministic discrete-event simulation kernel;
+//! * [`color`] — color science: sRGB/XYZ/Lab, ΔE metrics, dye mixing models;
+//! * [`conf`] — declarative configuration substrate (YAML subset + JSON);
+//! * [`vision`] — synthetic plate imaging and the detection pipeline
+//!   (ArUco markers, Hough circles, grid alignment, color extraction);
+//! * [`instruments`] — simulated workcell modules: `sciclops`, `pf400`,
+//!   `ot2`, `barty`, `camera`, plus microplate labware;
+//! * [`wei`] — the workflow-execution framework (workcells, workflows,
+//!   dispatch, run logs, command accounting);
+//! * [`solvers`] — decision procedures: the paper's evolutionary solver, a
+//!   Gaussian-process Bayesian optimizer, and baselines;
+//! * [`datapub`] — the publication substrate (Globus-flow-like pipeline and
+//!   an ACDC-style searchable portal);
+//! * [`core`] — the color-picker application itself.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
+//! table and figure.
+
+pub use sdl_color as color;
+pub use sdl_conf as conf;
+pub use sdl_core as core;
+pub use sdl_datapub as datapub;
+pub use sdl_desim as desim;
+pub use sdl_instruments as instruments;
+pub use sdl_solvers as solvers;
+pub use sdl_vision as vision;
+pub use sdl_wei as wei;
+
+/// Commonly used items for writing applications against the benchmark.
+pub mod prelude {
+    pub use sdl_color::{DeltaE, Rgb8};
+    pub use sdl_core::{AppConfig, ColorPickerApp, ExperimentOutcome};
+    pub use sdl_desim::{RngHub, SimDuration, SimTime};
+    pub use sdl_solvers::SolverKind;
+}

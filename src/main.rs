@@ -1,0 +1,217 @@
+//! `sdl-lab` — command-line interface to the color-matching benchmark.
+//!
+//! ```text
+//! sdl-lab run [--samples N] [--batch B] [--solver NAME] [--seed S]
+//!             [--target R,G,B] [--config FILE] [--runlog-dir DIR]
+//!             [--export-portal FILE] [--flat-field]
+//! sdl-lab sweep --batches 1,2,4,8 [--samples N]
+//! sdl-lab portal --import FILE [--experiment ID] [--run N]
+//! sdl-lab workcell
+//! sdl-lab help
+//! ```
+
+use sdl_lab::color::Rgb8;
+use sdl_lab::core::{batch_sweep, run_sweep, AppConfig, ColorPickerApp};
+use sdl_lab::datapub::AcdcPortal;
+use sdl_lab::solvers::SolverKind;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "run" => cmd_run(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "portal" => cmd_portal(&args[1..]),
+        "workcell" => {
+            println!("{}", sdl_lab::wei::RPL_WORKCELL_YAML);
+            match sdl_lab::wei::WorkcellConfig::from_yaml(sdl_lab::wei::RPL_WORKCELL_YAML) {
+                Ok(cfg) => println!("{}", sdl_lab::wei::workcell_diagram(&cfg)),
+                Err(e) => eprintln!("diagram unavailable: {e}"),
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'sdl-lab help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "sdl-lab — self-driving-lab color-matching benchmark (simulated RPL workcell)
+
+commands:
+  run        run one closed-loop experiment and print metrics + portal summary
+  sweep      run a batch-size sweep (Figure 4 style) in parallel
+  portal     inspect an exported portal JSON-lines file
+  workcell   print the default workcell YAML
+  help       this text
+
+run options:
+  --samples N         sample budget (default 128)
+  --batch B           wells per iteration (default 1)
+  --solver NAME       genetic|bayesian|annealing|random|grid|analytic
+  --seed S            master seed (default 42)
+  --target R,G,B      target color (default 120,120,120)
+  --config FILE       load a YAML application config (other flags override)
+  --runlog-dir DIR    write per-workflow run logs (text files)
+  --export-portal F   write all published records as JSON lines
+  --export-html F     write a static HTML portal view (with plate images)
+  --flat-field        enable the detector's flat-field correction
+
+sweep options:
+  --batches LIST      comma-separated batch sizes (default 1,2,4,8,16,32,64)
+  --samples N         sample budget per experiment (default 128)
+
+portal options:
+  --import FILE       JSON-lines file written by --export-portal
+  --experiment ID     experiment to summarize (default: first found)
+  --run N             also print the detail view of run N"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn build_config(args: &[String]) -> Result<AppConfig, String> {
+    let mut config = match flag_value(args, "--config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            AppConfig::from_yaml(&text).map_err(|e| e.to_string())?
+        }
+        None => AppConfig::default(),
+    };
+    if let Some(v) = flag_value(args, "--samples") {
+        config.sample_budget = v.parse().map_err(|_| format!("bad --samples '{v}'"))?;
+    }
+    if let Some(v) = flag_value(args, "--batch") {
+        config.batch = v.parse().map_err(|_| format!("bad --batch '{v}'"))?;
+    }
+    if let Some(v) = flag_value(args, "--solver") {
+        config.solver = SolverKind::parse(v).ok_or_else(|| format!("unknown solver '{v}'"))?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        config.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+    }
+    if let Some(v) = flag_value(args, "--target") {
+        let parts: Vec<u8> = v
+            .split(',')
+            .map(|p| p.trim().parse::<u8>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad --target '{v}' (want R,G,B)"))?;
+        if parts.len() != 3 {
+            return Err(format!("bad --target '{v}' (want three components)"));
+        }
+        config.target = Rgb8::new(parts[0], parts[1], parts[2]);
+    }
+    if flag_present(args, "--flat-field") {
+        config.flat_field = true;
+    }
+    Ok(config)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let config = build_config(args)?;
+    let runlog_dir = flag_value(args, "--runlog-dir").map(PathBuf::from);
+    let export = flag_value(args, "--export-portal").map(PathBuf::from);
+    let export_html = flag_value(args, "--export-html").map(PathBuf::from);
+
+    eprintln!(
+        "running {} samples, batch {}, solver {}, seed {}...",
+        config.sample_budget, config.batch, config.solver, config.seed
+    );
+    let mut app = ColorPickerApp::new(config).map_err(|e| e.to_string())?;
+    let outcome = app.run().map_err(|e| e.to_string())?;
+
+    println!("experiment:  {}", outcome.experiment_id);
+    println!("termination: {}", outcome.termination);
+    println!("duration:    {} (virtual)", outcome.duration);
+    println!("best score:  {:.2} at {:?}", outcome.best_score, outcome.best_ratios);
+    println!();
+    println!("{}", outcome.metrics.render_table1());
+    println!("{}", outcome.portal.summary_view(&outcome.experiment_id));
+
+    if let Some(dir) = runlog_dir {
+        let n = app.engine().export_runlogs(&dir).map_err(|e| e.to_string())?;
+        println!("wrote {n} run logs to {}", dir.display());
+    }
+    if let Some(path) = export {
+        let n = outcome.portal.export_jsonl(&path).map_err(|e| e.to_string())?;
+        println!("exported {n} portal records to {}", path.display());
+    }
+    if let Some(path) = export_html {
+        outcome
+            .portal
+            .export_html(&path, &outcome.experiment_id, Some(&outcome.store))
+            .map_err(|e| e.to_string())?;
+        println!("wrote HTML portal view to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut base = build_config(args)?;
+    base.publish_images = false;
+    let batches: Vec<u32> = match flag_value(args, "--batches") {
+        Some(v) => v
+            .split(',')
+            .map(|p| p.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("bad --batches '{v}'"))?,
+        None => vec![1, 2, 4, 8, 16, 32, 64],
+    };
+    eprintln!("running {} experiments of {} samples...", batches.len(), base.sample_budget);
+    let results = run_sweep(batch_sweep(&base, &batches));
+    println!("{:<6} {:>12} {:>10} {:>8}", "batch", "duration", "best", "plates");
+    for (label, result) in results {
+        let out = result.map_err(|e| format!("{label}: {e}"))?;
+        println!(
+            "{:<6} {:>12} {:>10.2} {:>8}",
+            label,
+            out.duration.to_string(),
+            out.best_score,
+            out.plates_used
+        );
+    }
+    Ok(())
+}
+
+fn cmd_portal(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--import").ok_or("portal needs --import FILE")?;
+    let portal = AcdcPortal::new();
+    let n = portal.import_jsonl(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    eprintln!("loaded {n} records");
+    let experiment = match flag_value(args, "--experiment") {
+        Some(id) => id.to_string(),
+        None => portal
+            .find("kind", "experiment")
+            .first()
+            .and_then(|v| {
+                use sdl_lab::conf::ValueExt;
+                v.opt_str("experiment_id").map(str::to_string)
+            })
+            .ok_or("no experiment records in file")?,
+    };
+    println!("{}", portal.summary_view(&experiment));
+    if let Some(run) = flag_value(args, "--run") {
+        let run: u32 = run.parse().map_err(|_| format!("bad --run '{run}'"))?;
+        println!("{}", portal.run_detail(&experiment, run));
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Artifact-export integration: run logs, JSON-lines portal dumps and the
+//! HTML portal view, produced by a real experiment and read back.
+
+use sdl_lab::core::{AppConfig, ColorPickerApp};
+use sdl_lab::datapub::AcdcPortal;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sdl-artifacts-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn full_artifact_pipeline() {
+    let config = AppConfig {
+        sample_budget: 6,
+        batch: 3,
+        publish_images: true,
+        ..AppConfig::default()
+    };
+    let mut app = ColorPickerApp::new(config).expect("app builds");
+    let outcome = app.run().expect("run completes");
+
+    // 1. Run logs: one text file per workflow, containing its steps.
+    let logdir = tmp("logs");
+    let n = app.engine().export_runlogs(&logdir).expect("export logs");
+    assert!(n >= 4, "newplate + 2 mixcolor + trashplate, got {n}");
+    let entries: Vec<_> = std::fs::read_dir(&logdir).unwrap().collect();
+    assert_eq!(entries.len(), n);
+    let mix_log = std::fs::read_to_string(
+        std::fs::read_dir(&logdir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().contains("mixcolor"))
+            .expect("a mixcolor log exists")
+            .path(),
+    )
+    .unwrap();
+    assert!(mix_log.contains("Ot2.Run_Protocol"));
+    assert!(mix_log.contains("duration="));
+
+    // 2. JSON-lines export reloads into an equivalent portal.
+    let jsonl = tmp("portal.jsonl");
+    let exported = outcome.portal.export_jsonl(&jsonl).expect("export jsonl");
+    let fresh = AcdcPortal::new();
+    assert_eq!(fresh.import_jsonl(&jsonl).unwrap(), exported);
+    assert_eq!(fresh.samples(&outcome.experiment_id).len(), 6);
+    // Step timings ride with the first sample of each iteration.
+    let with_timing = fresh.search(|r| {
+        use sdl_lab::conf::ValueExt;
+        r.req("timing").is_ok()
+    });
+    assert_eq!(with_timing.len(), 2, "one timing block per iteration");
+
+    // 3. HTML view embeds the archived plate frames as BMP data URIs.
+    let html_path = tmp("portal.html");
+    outcome
+        .portal
+        .export_html(&html_path, &outcome.experiment_id, Some(&outcome.store))
+        .expect("export html");
+    let html = std::fs::read_to_string(&html_path).unwrap();
+    assert!(html.contains("<h1>ACDC portal"));
+    assert_eq!(html.matches("data:image/bmp;base64,").count(), 2, "one frame per run");
+    assert!(html.contains("run #1") && html.contains("run #2"));
+
+    for p in [logdir, jsonl, html_path] {
+        let _ = std::fs::remove_dir_all(&p);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproducibility: an experiment is a pure function of its configuration.
+
+use sdl_lab::core::{run_one, AppConfig};
+
+fn config(seed: u64) -> AppConfig {
+    AppConfig {
+        sample_budget: 16,
+        batch: 4,
+        seed,
+        publish_images: false,
+        ..AppConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_reproduces_everything() {
+    let a = run_one(config(1234)).expect("first run");
+    let b = run_one(config(1234)).expect("second run");
+    assert_eq!(a.best_score, b.best_score);
+    assert_eq!(a.best_ratios, b.best_ratios);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.trajectory, b.trajectory);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.counters, b.counters);
+    // Published records match sample for sample.
+    let sa = a.portal.samples(&a.experiment_id);
+    let sb = b.portal.samples(&b.experiment_id);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_one(config(1)).expect("seed 1");
+    let b = run_one(config(2)).expect("seed 2");
+    assert_ne!(a.trajectory, b.trajectory, "different seeds must explore differently");
+}
+
+#[test]
+fn seed_does_not_change_structure() {
+    // Timing jitter differs by seed, but structural accounting must not.
+    let a = run_one(config(10)).expect("seed 10");
+    let b = run_one(config(20)).expect("seed 20");
+    assert_eq!(a.samples_measured, b.samples_measured);
+    assert_eq!(a.plates_used, b.plates_used);
+    assert_eq!(a.counters.completed, b.counters.completed);
+    // Durations are close (jitter is ±2%) but not equal.
+    let ratio = a.duration.as_secs_f64() / b.duration.as_secs_f64();
+    assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,54 @@
+//! Fault injection across the whole stack: the loop keeps producing science
+//! while the reliability metrics degrade.
+
+use sdl_lab::core::{run_one, AppConfig};
+use sdl_lab::desim::{FaultPlan, FaultRates};
+
+fn faulty(reception: f64, action: f64) -> AppConfig {
+    AppConfig {
+        sample_budget: 24,
+        batch: 2,
+        faults: FaultPlan::uniform(FaultRates::new(reception, action)),
+        publish_images: false,
+        ..AppConfig::default()
+    }
+}
+
+#[test]
+fn moderate_faults_are_absorbed_by_retries() {
+    let clean = run_one(faulty(0.0, 0.0)).expect("clean run");
+    let noisy = run_one(faulty(0.05, 0.02)).expect("noisy run");
+    assert_eq!(noisy.samples_measured, 24, "science still happens");
+    assert!(noisy.counters.reception_faults + noisy.counters.action_faults > 0);
+    assert!(
+        noisy.duration > clean.duration,
+        "faults must cost time: {} vs {}",
+        noisy.duration,
+        clean.duration
+    );
+}
+
+#[test]
+fn heavy_faults_summon_humans_and_reset_ccwh() {
+    // 40% reception failures: three consecutive drops are common, so the
+    // simulated operator gets involved and the CCWH streak fragments.
+    let out = run_one(faulty(0.4, 0.0)).expect("run survives heavy faults");
+    assert_eq!(out.samples_measured, 24);
+    assert!(out.counters.human_interventions > 0, "expected interventions");
+    assert!(
+        out.metrics.ccwh < out.counters.robotic_completed,
+        "CCWH {} must be a streak, not the total {}",
+        out.metrics.ccwh,
+        out.counters.robotic_completed
+    );
+    assert!(out.metrics.twh < out.metrics.total, "TWH shrinks once humans appear");
+}
+
+#[test]
+fn fault_runs_are_reproducible() {
+    let a = run_one(faulty(0.2, 0.1)).expect("run a");
+    let b = run_one(faulty(0.2, 0.1)).expect("run b");
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.metrics.ccwh, b.metrics.ccwh);
+}

@@ -1,0 +1,23 @@
+//! Root integration: the §4 future-work experiment across crate boundaries.
+
+use sdl_lab::core::{run_multi_ot2, run_one, AppConfig};
+
+#[test]
+fn two_handlers_cut_twh_without_losing_science() {
+    let base = AppConfig { sample_budget: 24, batch: 2, publish_images: false, ..AppConfig::default() };
+    let single = run_one(base.clone()).expect("single-flow app");
+    let dual = run_multi_ot2(&base, 2).expect("dual-handler run");
+
+    assert_eq!(dual.samples_measured, 24);
+    // The paper's trade: lower TWH...
+    assert!(
+        dual.duration.as_secs_f64() < single.duration.as_secs_f64() * 0.8,
+        "dual {} vs single {}",
+        dual.duration,
+        single.duration
+    );
+    // ...for at least as many commands (CCWH numerator).
+    assert!(dual.robotic_commands >= single.counters.robotic_completed);
+    // Science quality is in the same band (same solver, shared history).
+    assert!(dual.best_score < 60.0);
+}

@@ -1,0 +1,71 @@
+//! The platform claim: the unmodified application runs on any workcell that
+//! provides the five module kinds, whatever they are named.
+
+use sdl_lab::core::{run_one, AppConfig};
+
+const RENAMED_CELL: &str = r#"
+name: elsewhere
+modules:
+  - name: hotel
+    type: plate_crane
+    config: {towers: [4], exchange: hotel.port}
+  - name: arm9
+    type: manipulator
+  - name: liq1
+    type: liquid_handler
+    config: {deck: liq1.stage, reservoir_capacity_ul: 5000, tips: 400}
+  - name: refiller
+    type: liquid_replenisher
+    config: {feeds: liq1, stock_ul: 900000}
+  - name: eye
+    type: camera
+    config: {nest: eye.mount}
+"#;
+
+#[test]
+fn renamed_modules_run_unchanged() {
+    let config = AppConfig {
+        sample_budget: 9,
+        batch: 3,
+        workcell_yaml: RENAMED_CELL.to_string(),
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let out = run_one(config).expect("foreign workcell runs the same app");
+    assert_eq!(out.samples_measured, 9);
+    assert!(out.best_score.is_finite());
+    // Metrics accounting works across names (actions, not names, bucket time).
+    assert!(!out.metrics.synthesis.is_zero());
+    assert!(!out.metrics.transfer.is_zero());
+}
+
+#[test]
+fn missing_module_kind_is_a_setup_error() {
+    let no_camera = RENAMED_CELL
+        .lines()
+        .take_while(|l| !l.contains("- name: eye"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let config = AppConfig {
+        workcell_yaml: no_camera,
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let err = sdl_lab::core::ColorPickerApp::new(config).err().expect("must fail");
+    assert!(err.to_string().contains("camera"), "{err}");
+}
+
+#[test]
+fn three_dye_problem_runs() {
+    // CMY only: different search dimensionality end to end.
+    let config = AppConfig {
+        sample_budget: 8,
+        batch: 4,
+        dyes: sdl_lab::color::DyeSet::cmy(),
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let out = run_one(config).expect("CMY run");
+    assert_eq!(out.samples_measured, 8);
+    assert_eq!(out.best_ratios.len(), 3);
+}

@@ -1,0 +1,52 @@
+//! Crash recovery: a new control host resumes an interrupted experiment
+//! from the records the portal already holds.
+
+use sdl_lab::core::{AppConfig, ColorPickerApp, TerminationReason};
+
+fn config() -> AppConfig {
+    AppConfig { sample_budget: 18, batch: 3, publish_images: false, seed: 77, ..AppConfig::default() }
+}
+
+#[test]
+fn resume_continues_where_the_crash_left_off() {
+    // Phase 1: run half the budget, then "crash" (drop the app).
+    let half = AppConfig { sample_budget: 9, ..config() };
+    let outcome = ColorPickerApp::new(half).expect("phase 1 builds").run().expect("phase 1 runs");
+    assert_eq!(outcome.samples_measured, 9);
+    let published = outcome.portal.samples(&outcome.experiment_id);
+    assert_eq!(published.len(), 9);
+    let best_before = outcome.best_score;
+
+    // Phase 2: a fresh app (same config, full budget) restores the history.
+    let mut app = ColorPickerApp::new(config()).expect("phase 2 builds");
+    app.restore_from_records(&published);
+    assert_eq!(app.history().len(), 9);
+    let resumed = app.run().expect("phase 2 runs");
+
+    // Only the remaining 9 samples were measured...
+    assert_eq!(resumed.termination, TerminationReason::BudgetExhausted);
+    assert_eq!(resumed.samples_measured, 18);
+    let new_records = resumed.portal.samples(&resumed.experiment_id);
+    assert_eq!(new_records.len(), 9, "phase 2 publishes only its own samples");
+    assert_eq!(new_records.first().unwrap().sample, 10, "numbering continues");
+    // ...and the solver kept its momentum: the final best is at least as
+    // good as before the crash.
+    assert!(
+        resumed.best_score <= best_before + 1e-9,
+        "resumed best {} vs pre-crash {}",
+        resumed.best_score,
+        best_before
+    );
+    // Trajectory covers all 18 samples (9 restored + 9 new).
+    assert_eq!(resumed.trajectory.len(), 18);
+    assert_eq!(resumed.trajectory.last().unwrap().sample, 18);
+}
+
+#[test]
+fn restore_from_empty_records_is_a_noop() {
+    let mut app = ColorPickerApp::new(config()).expect("builds");
+    app.restore_from_records(&[]);
+    assert!(app.history().is_empty());
+    let outcome = app.run().expect("runs normally");
+    assert_eq!(outcome.samples_measured, 18);
+}
