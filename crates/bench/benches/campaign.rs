@@ -1,0 +1,41 @@
+//! Campaign-runner throughput: scenarios/second on a 64-scenario campaign
+//! at 1/2/4/8 worker threads. Scenarios are independent simulated labs, so
+//! throughput should scale close to linearly until the core count is hit
+//! (the acceptance bar: ≥ 2× at 4 threads vs 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
+
+const SCENARIOS: usize = 64;
+
+fn scenarios() -> Vec<ScenarioSpec> {
+    (0..SCENARIOS)
+        .map(|i| {
+            ScenarioSpec::new(
+                format!("s{i}"),
+                AppConfig {
+                    sample_budget: 8,
+                    batch: 4,
+                    seed: 0x5eed ^ i as u64,
+                    publish_images: false,
+                    ..AppConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_runner_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_64_scenarios");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SCENARIOS as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| CampaignRunner::new().threads(t).run(scenarios()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runner_scaling);
+criterion_main!(benches);

@@ -19,9 +19,7 @@ fn bench_conversions(c: &mut Criterion) {
     let rgb = Rgb8::new(120, 120, 120);
     c.bench_function("rgb_to_lab", |b| b.iter(|| black_box(Lab::from_rgb8(black_box(rgb)))));
     let lab = Lab::from_rgb8(rgb);
-    c.bench_function("lab_to_rgb", |b| {
-        b.iter(|| black_box(lab.to_xyz().to_linear().to_srgb()))
-    });
+    c.bench_function("lab_to_rgb", |b| b.iter(|| black_box(lab.to_xyz().to_linear().to_srgb())));
 }
 
 criterion_group!(benches, bench_deltae, bench_conversions);

@@ -44,8 +44,7 @@ fn main() {
     let mut rows = Vec::new();
     for batch in [4usize, 8, 16] {
         for elite in [true, false] {
-            let finals: Vec<f64> =
-                seeds.iter().map(|&s| run_loop(elite, batch, 96, s)).collect();
+            let finals: Vec<f64> = seeds.iter().map(|&s| run_loop(elite, batch, 96, s)).collect();
             rows.push(vec![
                 format!("B={batch}"),
                 if elite { "elite replicated (paper)" } else { "elite slot mutated" }.to_string(),

@@ -1,20 +1,20 @@
 //! E7 — mixing-model ablation (§2.5 notes the problem "admits an analytic
 //! solution, given accurate models of how colors combine"): run the GA
-//! against the three forward models and compare convergence. The naive
-//! linear model makes the problem easier than the physical Beer–Lambert
-//! chemistry; Kubelka–Munk sits between.
+//! against the three forward models as one campaign and compare
+//! convergence. The naive linear model makes the problem easier than the
+//! physical Beer–Lambert chemistry; Kubelka–Munk sits between.
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin ablation_mixing [--samples 64]`
 
 use sdl_bench::{arg_or, mean, stddev, table};
 use sdl_color::MixKind;
-use sdl_core::{run_sweep, AppConfig, SweepItem};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
 
 fn main() {
     let samples: u32 = arg_or("--samples", 64);
     let seeds = [1u64, 2, 3];
     let models = [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Spectral, MixKind::Linear];
-    let mut items = Vec::new();
+    let mut scenarios = Vec::new();
     for model in models {
         for seed in seeds {
             let config = AppConfig {
@@ -25,27 +25,23 @@ fn main() {
                 publish_images: false,
                 ..AppConfig::default()
             };
-            items.push(SweepItem { label: format!("{}/{}", model.name(), seed), config });
+            scenarios.push(ScenarioSpec::new(format!("{}/{}", model.name(), seed), config));
         }
     }
-    eprintln!("running {} experiments...", items.len());
-    let results = run_sweep(items);
+    eprintln!("running {} experiments...", scenarios.len());
+    let report = CampaignRunner::new().run(scenarios);
 
     let mut rows = Vec::new();
     for model in models {
-        let finals: Vec<f64> = results
+        let outs: Vec<&sdl_core::ExperimentOutcome> = report
+            .results
             .iter()
-            .filter(|(l, _)| l.starts_with(model.name()))
-            .map(|(l, r)| r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}")).best_score)
+            .filter(|r| r.label().starts_with(model.name()))
+            .map(|r| r.expect_single())
             .collect();
-        let half: Vec<f64> = results
-            .iter()
-            .filter(|(l, _)| l.starts_with(model.name()))
-            .map(|(l, r)| {
-                let out = r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}"));
-                out.trajectory[out.trajectory.len() / 2].best
-            })
-            .collect();
+        let finals: Vec<f64> = outs.iter().map(|o| o.best_score).collect();
+        let half: Vec<f64> =
+            outs.iter().map(|o| o.trajectory[o.trajectory.len() / 2].best).collect();
         rows.push(vec![
             model.name().to_string(),
             format!("{:.2}", mean(&half)),
@@ -53,6 +49,8 @@ fn main() {
             format!("{:.2}", stddev(&finals)),
         ]);
     }
-    println!("# Mixing-model ablation — GA convergence under each forward model (B=4, N={samples})");
+    println!(
+        "# Mixing-model ablation — GA convergence under each forward model (B=4, N={samples})"
+    );
     println!("{}", table(&["model", "best@N/2", "final best", "sd"], &rows));
 }

@@ -1,14 +1,14 @@
 //! Target-reachability ablation: the paper fixes RGB (120,120,120), which is
 //! interior to the CMYK subtractive gamut. Other targets sit near or beyond
 //! the gamut boundary; the achievable floor — measured by the analytic
-//! oracle and approached by the GA — reveals that boundary. This contextual-
-//! izes the benchmark difficulty the paper's single target represents.
+//! oracle and approached by the GA — reveals that boundary. Runs as one
+//! campaign (targets × {genetic, analytic}).
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin ablation_targets [--samples 48]`
 
 use sdl_bench::{arg_or, table};
 use sdl_color::Rgb8;
-use sdl_core::{run_sweep, AppConfig, SweepItem};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
 use sdl_solvers::SolverKind;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         ("olive", Rgb8::new(128, 128, 64)),
         ("saturated red", Rgb8::new(230, 40, 40)),
     ];
-    let mut items = Vec::new();
+    let mut scenarios = Vec::new();
     for (name, t) in targets {
         for solver in [SolverKind::Genetic, SolverKind::Analytic] {
             let config = AppConfig {
@@ -31,18 +31,18 @@ fn main() {
                 publish_images: false,
                 ..AppConfig::default()
             };
-            items.push(SweepItem { label: format!("{name}|{}", solver.name()), config });
+            scenarios.push(ScenarioSpec::new(format!("{name}|{}", solver.name()), config));
         }
     }
-    eprintln!("running {} experiments...", items.len());
-    let results = run_sweep(items);
+    eprintln!("running {} experiments...", scenarios.len());
+    let report = CampaignRunner::new().run(scenarios);
 
     let find = |label: &str| -> f64 {
-        results
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(l, r)| r.as_ref().unwrap_or_else(|e| panic!("{l}: {e}")).best_score)
-            .unwrap()
+        report
+            .by_label(label)
+            .unwrap_or_else(|| panic!("missing scenario {label}"))
+            .expect_single()
+            .best_score
     };
     let mut rows = Vec::new();
     for (name, t) in targets {

@@ -18,7 +18,11 @@ fn scene(fill: usize, seed: u64) -> (PlateScene, Vec<Option<LinRgb>>) {
     for i in 0..fill {
         let row = i / 12;
         let col = i % 12;
-        let c = LinRgb::new(rng.gen_range(0.05..0.5), rng.gen_range(0.05..0.5), rng.gen_range(0.05..0.5));
+        let c = LinRgb::new(
+            rng.gen_range(0.05..0.5),
+            rng.gen_range(0.05..0.5),
+            rng.gen_range(0.05..0.5),
+        );
         scene.set_well(row, col, c);
     }
     let truth = scene.well_colors.clone();

@@ -5,18 +5,15 @@
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin fig3_portal`
 
-use sdl_core::{run_one, AppConfig};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
 
 fn main() {
     // 12 iterations of 15 samples = 180; each iteration is one portal "run".
-    let config = AppConfig {
-        sample_budget: 180,
-        batch: 15,
-        publish_images: true,
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { sample_budget: 180, batch: 15, publish_images: true, ..AppConfig::default() };
     eprintln!("running 12 runs x 15 samples...");
-    let out = run_one(config).expect("fig3 run");
+    let report = CampaignRunner::new().run(vec![ScenarioSpec::new("fig3", config)]);
+    let out = report.results[0].expect_single();
 
     println!("# Figure 3 (left): Globus Search portal summary view");
     println!("{}", out.portal.summary_view(&out.experiment_id));

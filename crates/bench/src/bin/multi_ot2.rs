@@ -2,24 +2,33 @@
 //! plates concurrently. The prediction: "an increase in CCWH, but
 //! potentially a lower TWH for the same experimental results." Flows share
 //! the budget, the solver, the pf400 and the camera; synthesis overlaps.
+//! The three scalings run as one campaign (concurrently across workers —
+//! each scenario is its own simulated lab on its own virtual clock).
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin multi_ot2
 //!         [--samples 64] [--batch 1]`
 
 use sdl_bench::{arg_or, table};
-use sdl_core::{run_multi_ot2, AppConfig};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
 
 fn main() {
     let samples: u32 = arg_or("--samples", 64);
     let batch: u32 = arg_or("--batch", 1);
-    let base = AppConfig { sample_budget: samples, batch, publish_images: false, ..AppConfig::default() };
+    let base =
+        AppConfig { sample_budget: samples, batch, publish_images: false, ..AppConfig::default() };
+
+    eprintln!("running 1-3 OT-2(s), N={samples}, B={batch}...");
+    let report = CampaignRunner::new().progress(true).run(
+        (1..=3usize)
+            .map(|n| ScenarioSpec::multi_ot2(format!("{n} OT-2"), base.clone(), n))
+            .collect(),
+    );
 
     let mut rows = Vec::new();
-    for n in 1..=3usize {
-        eprintln!("running {n} OT-2(s), N={samples}, B={batch}...");
-        let out = run_multi_ot2(&base, n).expect("multi-OT2 run");
+    for result in &report.results {
+        let out = result.expect_outcome().as_multi();
         rows.push(vec![
-            n.to_string(),
+            out.n_ot2.to_string(),
             out.duration.to_string(),
             out.time_per_color.to_string(),
             out.robotic_commands.to_string(),
@@ -32,7 +41,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["OT2s", "TWH (duration)", "time/color", "robotic cmds", "best", "per-handler", "plates"],
+            &[
+                "OT2s",
+                "TWH (duration)",
+                "time/color",
+                "robotic cmds",
+                "best",
+                "per-handler",
+                "plates"
+            ],
             &rows
         )
     );

@@ -1,28 +1,30 @@
 //! E2 — regenerate **Table 1**: the proposed SDL metrics for a B = 1 run,
-//! side by side with the paper's reported values.
+//! side by side with the paper's reported values. Runs as a one-scenario
+//! campaign through the `CampaignRunner`.
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin table1 [--samples 128]`
 
 use sdl_bench::{arg_or, table};
-use sdl_core::{run_one, AppConfig};
+use sdl_core::{AppConfig, CampaignRunner, ScenarioSpec};
 use sdl_desim::SimDuration;
 
 fn main() {
     let samples: u32 = arg_or("--samples", 128);
-    let config =
-        AppConfig { sample_budget: samples, batch: 1, publish_images: false, ..AppConfig::default() };
+    let config = AppConfig {
+        sample_budget: samples,
+        batch: 1,
+        publish_images: false,
+        ..AppConfig::default()
+    };
     eprintln!("running B=1 N={samples}...");
-    let out = run_one(config).expect("B=1 run");
+    let report = CampaignRunner::new().run(vec![ScenarioSpec::new("table1/B=1", config)]);
+    let out = report.results[0].expect_single();
     let m = &out.metrics;
 
     let hm = |d: SimDuration| d.to_string();
     let rows = vec![
         vec!["Time without humans".into(), "8h 12m".into(), hm(m.twh)],
-        vec![
-            "Completed commands without humans".into(),
-            "387".into(),
-            m.ccwh.to_string(),
-        ],
+        vec!["Completed commands without humans".into(), "387".into(), m.ccwh.to_string()],
         vec!["Synthesis time".into(), "5h 10m".into(), hm(m.synthesis)],
         vec!["Transfer time".into(), "3h 02m".into(), hm(m.transfer)],
         vec!["Total colors mixed".into(), "128".into(), m.colors_mixed.to_string()],
@@ -35,6 +37,9 @@ fn main() {
         m.synthesis_fraction() * 100.0
     );
     println!("plate/reservoir logistics (outside the paper's two buckets): {}", m.logistics);
-    println!("uploads: {} (paper: 128, one per sample)", out.flow_stats.published.max(out.samples_measured as u64));
+    println!(
+        "uploads: {} (paper: 128, one per sample)",
+        out.flow_stats.published.max(out.samples_measured as u64)
+    );
     println!("termination: {}", out.termination);
 }

@@ -21,7 +21,13 @@ pub struct Series {
 }
 
 /// Render series as a scatter plot on a character grid (x right, y up).
-pub fn ascii_plot(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+pub fn ascii_plot(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     let pts = series.iter().flat_map(|s| s.points.iter());
     let (mut x_min, mut x_max, mut y_min, mut y_max) =
         (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
@@ -55,7 +61,15 @@ pub fn ascii_plot(series: &[Series], width: usize, height: usize, x_label: &str,
         let _ = writeln!(out, "{y_tick:>8.1} |{line}");
     }
     let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(width));
-    let _ = writeln!(out, "{:>10}{:<.1}{}{:>.1}   ({})", "", x_min, " ".repeat(width.saturating_sub(12)), x_max, x_label);
+    let _ = writeln!(
+        out,
+        "{:>10}{:<.1}{}{:>.1}   ({})",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(12)),
+        x_max,
+        x_label
+    );
     for s in series {
         let _ = writeln!(out, "  {} = {}", s.glyph, s.label);
     }
@@ -167,7 +181,10 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&["col", "value"], &[vec!["x".into(), "1".into()], vec!["longer".into(), "2".into()]]);
+        let t = table(
+            &["col", "value"],
+            &[vec!["x".into(), "1".into()], vec!["longer".into(), "2".into()]],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("col"));

@@ -246,6 +246,9 @@ mod tests {
     #[test]
     fn rgb_metric_matches_figure4_units() {
         // One unit step on one channel = distance 1.
-        assert_eq!(DeltaE::RgbEuclidean.between(Rgb8::new(120, 120, 120), Rgb8::new(121, 120, 120)), 1.0);
+        assert_eq!(
+            DeltaE::RgbEuclidean.between(Rgb8::new(120, 120, 120), Rgb8::new(121, 120, 120)),
+            1.0
+        );
     }
 }

@@ -24,11 +24,8 @@ impl Dye {
         // By default derive K/S from absorbance: a dye that absorbs strongly
         // also shifts K/S strongly. The factor keeps the two models in a
         // comparable lightness range.
-        let ks = [
-            absorbance_per_ul[0] * 2.3,
-            absorbance_per_ul[1] * 2.3,
-            absorbance_per_ul[2] * 2.3,
-        ];
+        let ks =
+            [absorbance_per_ul[0] * 2.3, absorbance_per_ul[1] * 2.3, absorbance_per_ul[2] * 2.3];
         Dye { name: name.into(), absorbance_per_ul, ks_per_ul: ks }
     }
 }
@@ -115,7 +112,8 @@ mod tests {
         let y = &set.dyes[2].absorbance_per_ul;
         assert!(y[2] > y[0] && y[2] > y[1], "yellow absorbs blue most");
         let k = &set.dyes[3].absorbance_per_ul;
-        let spread = k.iter().cloned().fold(f64::MIN, f64::max) - k.iter().cloned().fold(f64::MAX, f64::min);
+        let spread =
+            k.iter().cloned().fold(f64::MIN, f64::max) - k.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread < 0.005, "black is near-neutral");
     }
 

@@ -186,7 +186,8 @@ mod tests {
 
     #[test]
     fn empty_well_is_white_in_all_models() {
-        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral] {
+        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral]
+        {
             let c = kind.model().well_color(&set(), &blank());
             assert_eq!(c.to_srgb(), Rgb8::new(255, 255, 255), "{}", kind.name());
         }
@@ -252,7 +253,8 @@ mod tests {
 
     #[test]
     fn mix_kind_roundtrip() {
-        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral] {
+        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral]
+        {
             assert_eq!(MixKind::parse(kind.name()), Some(kind));
             assert_eq!(kind.model().name(), kind.name());
         }

@@ -220,7 +220,10 @@ mod tests {
         let cyan = one(0);
         assert!(cyan.r < cyan.g && cyan.r < cyan.b, "cyan absorbs red: {cyan:?}");
         let magenta = one(1);
-        assert!(magenta.g < magenta.r && magenta.g < magenta.b, "magenta absorbs green: {magenta:?}");
+        assert!(
+            magenta.g < magenta.r && magenta.g < magenta.b,
+            "magenta absorbs green: {magenta:?}"
+        );
         let yellow = one(2);
         assert!(yellow.b < yellow.r && yellow.b < yellow.g, "yellow absorbs blue: {yellow:?}");
         let black = one(3);
@@ -276,8 +279,7 @@ mod tests {
         let t1 = to_t(&narrow);
         let t2 = to_t(&broad);
         // The spectra differ a lot...
-        let spectral_gap: f64 =
-            t1.0.iter().zip(&t2.0).map(|(a, b)| (a - b).abs()).sum();
+        let spectral_gap: f64 = t1.0.iter().zip(&t2.0).map(|(a, b)| (a - b).abs()).sum();
         assert!(spectral_gap > 0.5, "spectra too similar for the test: {spectral_gap}");
         // ...but the camera integrals nearly agree on the green channel.
         let c1 = cam.integrate(&t1);

@@ -68,9 +68,13 @@ mod tests {
 
     #[test]
     fn matrix_roundtrip() {
-        for &(r, g, b) in
-            &[(0.2, 0.5, 0.8), (1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0), (0.33, 0.33, 0.33)]
-        {
+        for &(r, g, b) in &[
+            (0.2, 0.5, 0.8),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (0.33, 0.33, 0.33),
+        ] {
             let c = LinRgb::new(r, g, b);
             let back = Xyz::from_linear(c).to_linear();
             assert!(close(back.r, r, 1e-6));

@@ -183,7 +183,8 @@ impl<'a> JsonParser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| self.err("invalid utf-8"))?;
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8"))?;
         if is_float {
             text.parse::<f64>()
                 .ok()
@@ -223,9 +224,10 @@ impl<'a> JsonParser<'a> {
                                 .src
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
                             // Surrogate pairs are not needed for our records;
                             // map lone surrogates to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));

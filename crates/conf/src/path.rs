@@ -54,27 +54,35 @@ impl ValueExt for Value {
 
     fn req_str(&self, path: &str) -> Result<&str, AccessError> {
         let v = self.req(path)?;
-        v.as_str().ok_or_else(|| AccessError::new(path, format!("expected string, got {}", v.type_name())))
+        v.as_str().ok_or_else(|| {
+            AccessError::new(path, format!("expected string, got {}", v.type_name()))
+        })
     }
 
     fn req_i64(&self, path: &str) -> Result<i64, AccessError> {
         let v = self.req(path)?;
-        v.as_i64().ok_or_else(|| AccessError::new(path, format!("expected int, got {}", v.type_name())))
+        v.as_i64()
+            .ok_or_else(|| AccessError::new(path, format!("expected int, got {}", v.type_name())))
     }
 
     fn req_f64(&self, path: &str) -> Result<f64, AccessError> {
         let v = self.req(path)?;
-        v.as_f64().ok_or_else(|| AccessError::new(path, format!("expected number, got {}", v.type_name())))
+        v.as_f64().ok_or_else(|| {
+            AccessError::new(path, format!("expected number, got {}", v.type_name()))
+        })
     }
 
     fn req_bool(&self, path: &str) -> Result<bool, AccessError> {
         let v = self.req(path)?;
-        v.as_bool().ok_or_else(|| AccessError::new(path, format!("expected bool, got {}", v.type_name())))
+        v.as_bool()
+            .ok_or_else(|| AccessError::new(path, format!("expected bool, got {}", v.type_name())))
     }
 
     fn req_seq(&self, path: &str) -> Result<&[Value], AccessError> {
         let v = self.req(path)?;
-        v.as_seq().ok_or_else(|| AccessError::new(path, format!("expected sequence, got {}", v.type_name())))
+        v.as_seq().ok_or_else(|| {
+            AccessError::new(path, format!("expected sequence, got {}", v.type_name()))
+        })
     }
 
     fn opt_str(&self, path: &str) -> Option<&str> {

@@ -42,7 +42,10 @@ pub fn from_yaml(src: &str) -> Result<Value, ParseError> {
     let v = p.parse_block(p.lines[0].indent)?;
     if p.pos < p.lines.len() {
         let l = &p.lines[p.pos];
-        return Err(ParseError::new(l.no, format!("unexpected content '{}' after document", l.text)));
+        return Err(ParseError::new(
+            l.no,
+            format!("unexpected content '{}' after document", l.text),
+        ));
     }
     Ok(v)
 }
@@ -110,10 +113,12 @@ fn strip_comment(s: &str) -> &str {
             b'\\' if in_double => escaped = true,
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
-            b'#' if !in_single && !in_double
-                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') => {
-                    return &s[..i];
-                }
+            b'#' if !in_single
+                && !in_double
+                && (i == 0 || bytes[i - 1] == b' ' || bytes[i - 1] == b'\t') =>
+            {
+                return &s[..i];
+            }
             _ => {}
         }
     }
@@ -142,7 +147,10 @@ impl Parser {
             let line = &self.lines[self.pos];
             if line.indent != indent {
                 if line.indent > indent {
-                    return Err(ParseError::new(line.no, "unexpected deeper indentation in sequence"));
+                    return Err(ParseError::new(
+                        line.no,
+                        "unexpected deeper indentation in sequence",
+                    ));
                 }
                 break;
             }
@@ -187,7 +195,10 @@ impl Parser {
             let line = &self.lines[self.pos];
             if line.indent != indent {
                 if line.indent > indent {
-                    return Err(ParseError::new(line.no, "unexpected deeper indentation in mapping"));
+                    return Err(ParseError::new(
+                        line.no,
+                        "unexpected deeper indentation in mapping",
+                    ));
                 }
                 break;
             }
@@ -196,8 +207,9 @@ impl Parser {
             }
             let no = line.no;
             let text = line.text.clone();
-            let (key, rest) = split_map_entry(&text)
-                .ok_or_else(|| ParseError::new(no, format!("expected 'key: value', got '{text}'")))?;
+            let (key, rest) = split_map_entry(&text).ok_or_else(|| {
+                ParseError::new(no, format!("expected 'key: value', got '{text}'"))
+            })?;
             if entries.iter().any(|(k, _)| *k == key) {
                 return Err(ParseError::new(no, format!("duplicate key '{key}'")));
             }
@@ -275,14 +287,17 @@ fn split_map_entry(s: &str) -> Option<(String, &str)> {
             b'"' if !in_single => in_double = !in_double,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
             b']' | b'}' if !in_single && !in_double => depth -= 1,
-            b':' if !in_single && !in_double && depth == 0
-                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
-                    let key = s[..i].trim();
-                    if key.is_empty() {
-                        return None;
-                    }
-                    return Some((key.to_string(), s[i + 1..].trim_start()));
+            b':' if !in_single
+                && !in_double
+                && depth == 0
+                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') =>
+            {
+                let key = s[..i].trim();
+                if key.is_empty() {
+                    return None;
                 }
+                return Some((key.to_string(), s[i + 1..].trim_start()));
+            }
             _ => {}
         }
     }
@@ -399,7 +414,9 @@ impl<'a> FlowParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len() && (self.src[self.pos] == b' ' || self.src[self.pos] == b'\t') {
+        while self.pos < self.src.len()
+            && (self.src[self.pos] == b' ' || self.src[self.pos] == b'\t')
+        {
             self.pos += 1;
         }
     }
@@ -529,7 +546,8 @@ impl<'a> FlowParser<'a> {
     /// Take a plain token up to a flow delimiter.
     fn take_plain(&mut self) -> String {
         let start = self.pos;
-        while self.pos < self.src.len() && !matches!(self.src[self.pos], b',' | b']' | b'}' | b':') {
+        while self.pos < self.src.len() && !matches!(self.src[self.pos], b',' | b']' | b'}' | b':')
+        {
             self.pos += 1;
         }
         String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
@@ -653,7 +671,26 @@ fn needs_quoting(s: &str) -> bool {
         return true;
     }
     let first = s.chars().next().unwrap();
-    if matches!(first, '-' | '?' | '#' | '&' | '*' | '!' | '|' | '>' | '\'' | '"' | '%' | '@' | '`' | '[' | ']' | '{' | '}' | ',') {
+    if matches!(
+        first,
+        '-' | '?'
+            | '#'
+            | '&'
+            | '*'
+            | '!'
+            | '|'
+            | '>'
+            | '\''
+            | '"'
+            | '%'
+            | '@'
+            | '`'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | ','
+    ) {
         return true;
     }
     if s.contains(": ") || s.ends_with(':') || s.contains(" #") {
@@ -713,7 +750,8 @@ options:
 
     #[test]
     fn scalar_typing() {
-        let v = from_yaml("a: 3\nb: 3.5\nc: true\nd: null\ne: ~\nf: hello\ng: -7\nh: 1e3\n").unwrap();
+        let v =
+            from_yaml("a: 3\nb: 3.5\nc: true\nd: null\ne: ~\nf: hello\ng: -7\nh: 1e3\n").unwrap();
         assert_eq!(v.get("a").unwrap(), &Value::Int(3));
         assert_eq!(v.get("b").unwrap(), &Value::Float(3.5));
         assert_eq!(v.get("c").unwrap(), &Value::Bool(true));
@@ -732,10 +770,12 @@ options:
 
     #[test]
     fn quoted_strings_and_escapes() {
-        let v = from_yaml(r#"a: "x: y # not a comment"
+        let v = from_yaml(
+            r#"a: "x: y # not a comment"
 b: 'single ''quoted'''
 c: "line\nbreak"
-"#)
+"#,
+        )
         .unwrap();
         assert_eq!(v.get("a").unwrap().as_str(), Some("x: y # not a comment"));
         assert_eq!(v.get("b").unwrap().as_str(), Some("single 'quoted'"));
@@ -744,7 +784,8 @@ c: "line\nbreak"
 
     #[test]
     fn flow_collections() {
-        let v = from_yaml("volumes: [1.5, 2, 3.25]\nwell: {row: A, col: 1}\nempty: []\nnone: {}\n").unwrap();
+        let v = from_yaml("volumes: [1.5, 2, 3.25]\nwell: {row: A, col: 1}\nempty: []\nnone: {}\n")
+            .unwrap();
         let vols = v.get("volumes").unwrap().as_seq().unwrap();
         assert_eq!(vols.len(), 3);
         assert_eq!(vols[1], Value::Int(2));

@@ -14,7 +14,9 @@ use crate::termination::TerminationReason;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use sdl_color::Rgb8;
-use sdl_datapub::{AcdcPortal, BlobStore, ExperimentRecord, FlowJob, FlowStats, PublishFlow, SampleRecord};
+use sdl_datapub::{
+    AcdcPortal, BlobStore, ExperimentRecord, FlowJob, FlowStats, PublishFlow, SampleRecord,
+};
 use sdl_desim::{RngHub, SimDuration, SimTime};
 use sdl_instruments::{ActionData, ModuleKind, WellIndex};
 use sdl_solvers::{ColorSolver, Observation};
@@ -172,11 +174,9 @@ impl ColorPickerApp {
 
         // Discover one module of each required kind.
         let need = |kind: ModuleKind| -> Result<&sdl_wei::ModuleConfig, AppError> {
-            cell_cfg
-                .modules
-                .iter()
-                .find(|m| m.kind == kind)
-                .ok_or_else(|| AppError::Setup(format!("workcell lacks a {} module", kind.type_name())))
+            cell_cfg.modules.iter().find(|m| m.kind == kind).ok_or_else(|| {
+                AppError::Setup(format!("workcell lacks a {} module", kind.type_name()))
+            })
         };
         let crane = need(ModuleKind::PlateCrane)?;
         let arm = need(ModuleKind::Manipulator)?;
@@ -226,7 +226,9 @@ impl ColorPickerApp {
 
         let cell = Workcell::instantiate(cell_cfg, config.dyes.clone(), config.mix)?;
         let engine = Engine::new(cell, hub).with_faults(config.faults.clone());
-        for wf in [&workflows.newplate, &workflows.mixcolor, &workflows.trashplate, &workflows.replenish] {
+        for wf in
+            [&workflows.newplate, &workflows.mixcolor, &workflows.trashplate, &workflows.replenish]
+        {
             engine.validate(wf)?;
         }
 
@@ -332,10 +334,7 @@ impl ColorPickerApp {
                 .world
                 .bank(&self.bank_name)
                 .expect("bank validated at startup");
-            let low = bank
-                .reservoirs
-                .iter()
-                .any(|r| r.volume_ul < self.config.refill_watermark_ul);
+            let low = bank.reservoirs.iter().any(|r| r.volume_ul < self.config.refill_watermark_ul);
             low || !bank.can_supply(demand)
         };
         if needs {
@@ -358,9 +357,9 @@ impl ColorPickerApp {
     /// node of Figure 2).
     fn hold_compute(&mut self) {
         use rand::Rng;
-        let jitter = 0.2;
-        let secs = self.config.compute_seconds
-            * (1.0 + self.compute_rng.gen_range(-jitter..=jitter));
+        let jitter = 0.2f64;
+        let secs =
+            self.config.compute_seconds * (1.0 + self.compute_rng.gen_range(-jitter..=jitter));
         self.clock.wait(SimDuration::from_secs_f64(secs.max(0.0)));
     }
 
@@ -397,10 +396,7 @@ impl ColorPickerApp {
 
         // Final trashplate (Figure 2: runs again to finalize) if a plate is
         // still staged.
-        if matches!(
-            self.engine.workcell.world.plate_at(&self.nest_slot),
-            Ok(Some(_))
-        ) {
+        if matches!(self.engine.workcell.world.plate_at(&self.nest_slot), Ok(Some(_))) {
             self.trash_plate()?;
         }
 
@@ -411,9 +407,8 @@ impl ColorPickerApp {
 
         let end = self.clock.now();
         let best = sdl_solvers::best_observation(&self.history);
-        let (best_score, best_ratios) = best
-            .map(|o| (o.score, o.ratios.clone()))
-            .unwrap_or((f64::INFINITY, Vec::new()));
+        let (best_score, best_ratios) =
+            best.map(|o| (o.score, o.ratios.clone())).unwrap_or((f64::INFINITY, Vec::new()));
         let metrics = SdlMetrics::compute(
             &self.engine.history,
             &self.engine.counters,
@@ -479,12 +474,8 @@ impl ColorPickerApp {
             let wells = &wells[..b];
 
             // Solver proposes (Figure 2: Solver.Run_Iteration).
-            let ratios = self.solver.propose(
-                self.config.target,
-                &self.history,
-                b,
-                &mut self.solver_rng,
-            );
+            let ratios =
+                self.solver.propose(self.config.target, &self.history, b, &mut self.solver_rng);
             debug_assert_eq!(ratios.len(), b);
             let protocol = build_protocol(&ratios, wells, &self.config.dyes)?;
 
@@ -496,7 +487,8 @@ impl ColorPickerApp {
             self.iteration += 1;
             let payload = self.base_payload().var("iteration", self.iteration.to_string());
             let payload = Payload { protocol: Some(protocol), ..payload };
-            let out = self.engine.run_workflow(&mut self.clock, &self.workflows.mixcolor, &payload)?;
+            let out =
+                self.engine.run_workflow(&mut self.clock, &self.workflows.mixcolor, &payload)?;
 
             // Compute: image processing + next-proposal time.
             self.hold_compute();
@@ -512,11 +504,8 @@ impl ColorPickerApp {
             let reading = self.detector.detect(&image)?;
 
             // Grade each new well and publish.
-            let image_bytes = if self.config.publish_images {
-                Some(Bytes::from(image.to_bmp()))
-            } else {
-                None
-            };
+            let image_bytes =
+                if self.config.publish_images { Some(Bytes::from(image.to_bmp())) } else { None };
             let iteration_log = out.log.to_value();
             for (i, (ratio, well)) in ratios.iter().zip(wells).enumerate() {
                 let measured: Rgb8 = reading
@@ -524,15 +513,10 @@ impl ColorPickerApp {
                     .map(|w| w.color)
                     .ok_or_else(|| AppError::Setup(format!("no reading for well {well}")))?;
                 let score = self.config.metric.between(measured, self.config.target);
-                self.history.push(Observation {
-                    ratios: ratio.clone(),
-                    measured,
-                    score,
-                });
+                self.history.push(Observation { ratios: ratio.clone(), measured, score });
                 self.samples_done += 1;
-                let best = sdl_solvers::best_observation(&self.history)
-                    .map(|o| o.score)
-                    .unwrap_or(score);
+                let best =
+                    sdl_solvers::best_observation(&self.history).map(|o| o.score).unwrap_or(score);
                 self.trajectory.push(TrajectoryPoint {
                     sample: self.samples_done,
                     elapsed_min: self.clock.now().as_minutes(),

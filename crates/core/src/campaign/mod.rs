@@ -1,45 +1,50 @@
-//! Experiment sweeps: the driver behind Figure 4 and the solver-comparison
-//! study. Each configuration runs its own independent simulated lab; sweeps
-//! parallelize across crossbeam scoped threads (one virtual 8-hour run per
-//! core).
+//! The campaign engine: every way of running experiments — single runs,
+//! batch sweeps, solver comparisons, fault studies, multi-OT2 scaling —
+//! goes through one parallel, deterministic runner.
+//!
+//! * [`ScenarioSpec`] — one fully specified experiment: target color ×
+//!   solver × seed × batch × sample budget × workcell × fault profile;
+//! * [`CampaignRunner`] — executes a `Vec<ScenarioSpec>` across a
+//!   configurable OS-thread pool. Each scenario derives all randomness
+//!   from its own spec, so a campaign's results are **bit-identical
+//!   regardless of worker-thread count**;
+//! * [`CampaignReport`] — per-scenario outcomes plus aggregate views,
+//!   streamed into an [`sdl_datapub::AcdcPortal`] as scenarios finish;
+//! * [`CampaignConfig`] — a declarative scenario matrix
+//!   (`solvers × seeds × batches × targets × …`) loaded via `sdl-conf`.
+//!
+//! The legacy sweep helpers ([`run_sweep`], [`batch_sweep`],
+//! [`solver_sweep`], [`run_one`]) are thin veneers over the runner.
+
+mod report;
+mod runner;
+mod spec;
+
+pub use report::{CampaignReport, ScenarioOutcome, ScenarioResult};
+pub use runner::CampaignRunner;
+pub use spec::{CampaignConfig, RunMode, ScenarioSpec};
 
 use crate::app::{AppError, ColorPickerApp, ExperimentOutcome};
 use crate::config::AppConfig;
 use sdl_solvers::SolverKind;
 
-/// Run one experiment to completion.
+/// Run one experiment to completion on the current thread.
 pub fn run_one(config: AppConfig) -> Result<ExperimentOutcome, AppError> {
     ColorPickerApp::new(config)?.run()
 }
 
-/// A labelled configuration inside a sweep.
-#[derive(Debug, Clone)]
-pub struct SweepItem {
-    /// Label for reports ("B=1", "genetic/seed 3"…).
-    pub label: String,
-    /// The configuration to run.
-    pub config: AppConfig,
-}
+/// A labelled configuration inside a sweep (alias kept for the pre-campaign
+/// API; a sweep item *is* a scenario).
+pub type SweepItem = ScenarioSpec;
 
-/// Run many experiments in parallel; results come back in input order.
-pub fn run_sweep(items: Vec<SweepItem>) -> Vec<(String, Result<ExperimentOutcome, AppError>)> {
-    let mut slots: Vec<Option<(String, Result<ExperimentOutcome, AppError>)>> =
-        (0..items.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| (item.label.clone(), run_one(item.config)))));
-        }
-        for (i, h) in handles {
-            slots[i] = Some(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("sweep scope");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+/// Run many experiments in parallel through the campaign engine; results
+/// come back in input order.
+pub fn run_sweep(items: Vec<ScenarioSpec>) -> Vec<(String, Result<ExperimentOutcome, AppError>)> {
+    CampaignRunner::new().run(items).into_label_outcomes()
 }
 
 /// The Figure-4 batch sweep: N samples at each batch size, same solver.
-pub fn batch_sweep(base: &AppConfig, batches: &[u32]) -> Vec<SweepItem> {
+pub fn batch_sweep(base: &AppConfig, batches: &[u32]) -> Vec<ScenarioSpec> {
     batches
         .iter()
         .map(|&b| {
@@ -48,20 +53,20 @@ pub fn batch_sweep(base: &AppConfig, batches: &[u32]) -> Vec<SweepItem> {
             // Per-experiment seed, as in the paper (each experiment's first
             // samples are independently random).
             config.seed = base.seed.wrapping_add(b as u64).wrapping_mul(0x9e37_79b9);
-            SweepItem { label: format!("B={b}"), config }
+            ScenarioSpec::new(format!("B={b}"), config)
         })
         .collect()
 }
 
 /// Solver-comparison sweep: same budget, several seeds per solver.
-pub fn solver_sweep(base: &AppConfig, solvers: &[SolverKind], seeds: &[u64]) -> Vec<SweepItem> {
+pub fn solver_sweep(base: &AppConfig, solvers: &[SolverKind], seeds: &[u64]) -> Vec<ScenarioSpec> {
     let mut items = Vec::new();
     for &solver in solvers {
         for &seed in seeds {
             let mut config = base.clone();
             config.solver = solver;
             config.seed = seed;
-            items.push(SweepItem { label: format!("{}/seed{}", solver.name(), seed), config });
+            items.push(ScenarioSpec::new(format!("{}/seed{}", solver.name(), seed), config));
         }
     }
     items
@@ -72,12 +77,7 @@ mod tests {
     use super::*;
 
     fn small_config() -> AppConfig {
-        AppConfig {
-            sample_budget: 6,
-            batch: 3,
-            publish_images: false,
-            ..AppConfig::default()
-        }
+        AppConfig { sample_budget: 6, batch: 3, publish_images: false, ..AppConfig::default() }
     }
 
     #[test]

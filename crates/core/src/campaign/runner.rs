@@ -1,0 +1,265 @@
+//! The parallel campaign executor.
+
+use crate::app::ColorPickerApp;
+use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
+use crate::campaign::spec::{RunMode, ScenarioSpec};
+use crate::multi::run_multi_ot2;
+use sdl_conf::Value;
+use sdl_datapub::AcdcPortal;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Executes scenario lists across an OS-thread pool.
+///
+/// Every scenario is an isolated simulated lab whose randomness derives
+/// entirely from its own spec (`config.seed`), so the report is a pure
+/// function of the scenario list: **bit-identical regardless of the number
+/// of worker threads** and of completion order. Scenario summaries stream
+/// into the runner's [`AcdcPortal`] in input order as prefixes complete.
+pub struct CampaignRunner {
+    threads: usize,
+    portal: Arc<AcdcPortal>,
+    progress: bool,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        CampaignRunner::new()
+    }
+}
+
+impl CampaignRunner {
+    /// A runner with one worker per available core.
+    pub fn new() -> CampaignRunner {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        CampaignRunner { threads, portal: Arc::new(AcdcPortal::new()), progress: false }
+    }
+
+    /// Builder: use exactly `n` worker threads.
+    pub fn threads(mut self, n: usize) -> CampaignRunner {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Builder: print one progress line per completed scenario to stderr.
+    pub fn progress(mut self, on: bool) -> CampaignRunner {
+        self.progress = on;
+        self
+    }
+
+    /// Builder: stream scenario summaries into an existing portal instead
+    /// of a fresh one.
+    pub fn with_portal(mut self, portal: Arc<AcdcPortal>) -> CampaignRunner {
+        self.portal = portal;
+        self
+    }
+
+    /// The portal scenario summaries stream into.
+    pub fn portal(&self) -> &Arc<AcdcPortal> {
+        &self.portal
+    }
+
+    /// The number of worker threads `run` will use.
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every scenario, returning per-scenario results in input
+    /// order.
+    pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> CampaignReport {
+        let n = scenarios.len();
+        if n == 0 {
+            return CampaignReport {
+                results: Vec::new(),
+                portal: Arc::clone(&self.portal),
+                threads: self.threads,
+            };
+        }
+        let workers = self.threads.min(n);
+        let scenarios = Arc::new(scenarios);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioResult)>();
+
+        let mut slots: Vec<Option<ScenarioResult>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let scenarios = Arc::clone(&scenarios);
+                let next = &next;
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= scenarios.len() {
+                        break;
+                    }
+                    let spec = scenarios[i].clone();
+                    let outcome = execute(&spec);
+                    let result = ScenarioResult { spec, index: i, outcome };
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Collect on this thread, publishing completed prefixes in input
+            // order so the portal stream is deterministic too.
+            let mut pending: BTreeMap<usize, ScenarioResult> = BTreeMap::new();
+            let mut next_publish = 0usize;
+            let mut done = 0usize;
+            while done < n {
+                let (i, result) = rx.recv().expect("campaign worker channel closed early");
+                done += 1;
+                if self.progress {
+                    eprintln!(
+                        "[{done}/{n}] {} {}",
+                        result.spec.label,
+                        match &result.outcome {
+                            Ok(o) => format!("best {:.2} in {}", o.best_score(), o.duration()),
+                            Err(e) => format!("FAILED: {e}"),
+                        }
+                    );
+                }
+                pending.insert(i, result);
+                while let Some(result) = pending.remove(&next_publish) {
+                    self.publish_scenario(&result);
+                    slots[next_publish] = Some(result);
+                    next_publish += 1;
+                }
+            }
+        });
+
+        let results: Vec<ScenarioResult> =
+            slots.into_iter().map(|s| s.expect("every scenario slot filled")).collect();
+        self.publish_campaign_record(&results);
+        CampaignReport { results, portal: Arc::clone(&self.portal), threads: self.threads }
+    }
+
+    /// Stream one scenario's summary record into the portal.
+    fn publish_scenario(&self, result: &ScenarioResult) {
+        let mut v = Value::map();
+        v.set("kind", "campaign_scenario");
+        v.set("label", result.spec.label.as_str());
+        v.set("index", result.index as i64);
+        v.set("experiment_id", result.spec.config.experiment_id().as_str());
+        v.set("solver", result.spec.config.solver.name());
+        v.set("batch", result.spec.config.batch as i64);
+        v.set("seed", result.spec.config.seed as i64);
+        v.set("samples", result.spec.config.sample_budget as i64);
+        if let RunMode::MultiOt2(n) = result.spec.mode {
+            v.set("n_ot2", n as i64);
+        }
+        match &result.outcome {
+            Ok(o) => {
+                v.set("best_score", o.best_score());
+                v.set("duration_s", o.duration().as_secs_f64());
+                v.set("samples_measured", o.samples_measured() as i64);
+                v.set("plates_used", o.plates_used() as i64);
+                v.set("robotic_commands", o.robotic_commands() as i64);
+                if let ScenarioOutcome::Single(out) = o {
+                    v.set("twh_s", out.metrics.twh.as_secs_f64());
+                    v.set("ccwh", out.metrics.ccwh as i64);
+                    v.set("termination", out.termination.to_string().as_str());
+                }
+            }
+            Err(e) => {
+                v.set("error", e.to_string().as_str());
+            }
+        }
+        self.portal.ingest(v);
+    }
+
+    /// One closing record describing the whole campaign.
+    fn publish_campaign_record(&self, results: &[ScenarioResult]) {
+        let mut v = Value::map();
+        v.set("kind", "campaign");
+        v.set("scenarios", results.len() as i64);
+        v.set("failed", results.iter().filter(|r| r.outcome.is_err()).count() as i64);
+        let best = results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(ScenarioOutcome::best_score)
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            v.set("best_score", best);
+        }
+        self.portal.ingest(v);
+    }
+}
+
+/// Run one scenario to completion (workers call this; also the single-run
+/// fast path).
+fn execute(spec: &ScenarioSpec) -> Result<ScenarioOutcome, crate::app::AppError> {
+    match spec.mode {
+        RunMode::Single => ColorPickerApp::new(spec.config.clone())?
+            .run()
+            .map(|o| ScenarioOutcome::Single(Box::new(o))),
+        RunMode::MultiOt2(n) => run_multi_ot2(&spec.config, n).map(ScenarioOutcome::MultiOt2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppConfig;
+    use sdl_conf::ValueExt;
+
+    fn spec(label: &str, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::new(
+            label,
+            AppConfig {
+                sample_budget: 4,
+                batch: 2,
+                seed,
+                publish_images: false,
+                ..AppConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let report =
+            CampaignRunner::new().threads(4).run(vec![spec("a", 1), spec("b", 2), spec("c", 3)]);
+        assert_eq!(report.len(), 3);
+        let labels: Vec<&str> = report.results.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+        for r in &report.results {
+            assert_eq!(r.expect_outcome().samples_measured(), 4, "{}", r.label());
+        }
+    }
+
+    #[test]
+    fn portal_receives_stream_in_order() {
+        let report = CampaignRunner::new().threads(8).run(vec![
+            spec("s0", 1),
+            spec("s1", 2),
+            spec("s2", 3),
+            spec("s3", 4),
+        ]);
+        let records = report.portal.find("kind", "campaign_scenario");
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.opt_i64("index"), Some(i as i64), "stream out of order");
+        }
+        assert_eq!(report.portal.find("kind", "campaign").len(), 1);
+    }
+
+    #[test]
+    fn multi_ot2_scenarios_execute() {
+        let base =
+            AppConfig { sample_budget: 6, batch: 2, publish_images: false, ..AppConfig::default() };
+        let report =
+            CampaignRunner::new().threads(2).run(vec![ScenarioSpec::multi_ot2("m2", base, 2)]);
+        let out = report.results[0].expect_outcome();
+        assert_eq!(out.samples_measured(), 6);
+        assert_eq!(out.as_multi().n_ot2, 2);
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let report = CampaignRunner::new().run(Vec::new());
+        assert!(report.is_empty());
+        assert_eq!(report.fingerprint(), "");
+    }
+}

@@ -1,0 +1,414 @@
+//! Scenario specifications and the declarative campaign matrix.
+
+use crate::config::{AppConfig, ConfigError};
+use sdl_color::{MixKind, Rgb8};
+use sdl_conf::{from_yaml, Value, ValueExt};
+use sdl_desim::{FaultPlan, FaultRates, RngHub};
+use sdl_solvers::SolverKind;
+
+/// How a scenario exercises the workcell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The single closed-loop application (paper Figure 2).
+    Single,
+    /// The §4 future-work configuration: `n` OT-2s sharing one budget.
+    MultiOt2(usize),
+}
+
+impl RunMode {
+    /// Decode from the `n_ot2` config field. A *present* key always selects
+    /// the multi-OT2 flow engine (even for one handler, which is a valid
+    /// configuration of that engine); the single-loop app is encoded by the
+    /// key's absence, so every mode round-trips.
+    fn from_i64(n: i64) -> Result<RunMode, ConfigError> {
+        if n >= 1 {
+            Ok(RunMode::MultiOt2(n as usize))
+        } else {
+            Err(ConfigError(format!("n_ot2 must be >= 1, got {n}")))
+        }
+    }
+}
+
+/// One fully specified experiment inside a campaign: target color × solver
+/// × seed × batch × sample budget × workcell configuration × fault profile.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Label used in reports and portal records.
+    pub label: String,
+    /// The full application configuration (workcell, faults, dyes included).
+    pub config: AppConfig,
+    /// Execution mode.
+    pub mode: RunMode,
+}
+
+impl ScenarioSpec {
+    /// A single-loop scenario.
+    pub fn new(label: impl Into<String>, config: AppConfig) -> ScenarioSpec {
+        ScenarioSpec { label: label.into(), config, mode: RunMode::Single }
+    }
+
+    /// A multi-OT2 scenario with `n` liquid handlers.
+    pub fn multi_ot2(label: impl Into<String>, config: AppConfig, n: usize) -> ScenarioSpec {
+        assert!(n >= 1, "multi_ot2 needs at least one handler");
+        ScenarioSpec { label: label.into(), config, mode: RunMode::MultiOt2(n) }
+    }
+
+    /// Builder: replace the execution mode.
+    pub fn with_mode(mut self, mode: RunMode) -> ScenarioSpec {
+        self.mode = mode;
+        self
+    }
+
+    /// Encode as an `sdl-conf` value tree (the inverse of
+    /// [`Self::from_value`]): `n_ot2` is present exactly when the scenario
+    /// uses the multi-OT2 engine, so `MultiOt2(1)` and `Single` stay
+    /// distinct through the round trip.
+    pub fn to_value(&self) -> Value {
+        let mut v = self.config.to_value();
+        v.set("label", self.label.as_str());
+        if let RunMode::MultiOt2(n) = self.mode {
+            v.set("n_ot2", n as i64);
+        }
+        v
+    }
+
+    /// Decode a scenario from its `sdl-conf` form.
+    pub fn from_value(v: &Value) -> Result<ScenarioSpec, ConfigError> {
+        let config = AppConfig::from_value(v)?;
+        let mode = match v.opt_i64("n_ot2") {
+            Some(n) => RunMode::from_i64(n)?,
+            None => RunMode::Single,
+        };
+        let label =
+            v.opt_str("label").map(str::to_string).unwrap_or_else(|| config.experiment_id());
+        Ok(ScenarioSpec { label, config, mode })
+    }
+
+    /// Parse one scenario from a YAML document.
+    pub fn from_yaml(src: &str) -> Result<ScenarioSpec, ConfigError> {
+        let doc = from_yaml(src).map_err(|e| ConfigError(e.to_string()))?;
+        ScenarioSpec::from_value(&doc)
+    }
+}
+
+/// A declarative scenario matrix: every combination of the listed axes
+/// becomes one [`ScenarioSpec`]. Axes left unspecified use the base
+/// configuration's value, so a config that lists nothing describes exactly
+/// one scenario.
+///
+/// ```yaml
+/// name: solver-study
+/// samples: 64
+/// seed: 42            # master seed
+/// solvers: [genetic, bayesian]
+/// seeds: 8            # 8 per-scenario seeds derived from the master seed
+/// batches: [1, 4]
+/// targets: [[120, 120, 120], [200, 200, 200]]
+/// fault_rates: [0.0, 0.05]
+/// threads: 8
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign name (used in labels and the portal campaign record).
+    pub name: String,
+    /// Base configuration each scenario starts from.
+    pub base: AppConfig,
+    /// Solver axis.
+    pub solvers: Vec<SolverKind>,
+    /// Seed axis (explicit values, or derived from the master seed).
+    pub seeds: Vec<u64>,
+    /// Batch-size axis.
+    pub batches: Vec<u32>,
+    /// Target-color axis.
+    pub targets: Vec<Rgb8>,
+    /// Mixing-model axis.
+    pub mix_models: Vec<MixKind>,
+    /// Uniform command-fault-rate axis (reception rate; action = half).
+    pub fault_rates: Vec<f64>,
+    /// OT-2-count axis (1 = the single-loop app).
+    pub n_ot2: Vec<usize>,
+    /// Worker threads (None = one per core).
+    pub threads: Option<usize>,
+}
+
+impl CampaignConfig {
+    /// A single-axis campaign around `base` (everything fixed).
+    pub fn single(name: impl Into<String>, base: AppConfig) -> CampaignConfig {
+        CampaignConfig {
+            name: name.into(),
+            base,
+            solvers: Vec::new(),
+            seeds: Vec::new(),
+            batches: Vec::new(),
+            targets: Vec::new(),
+            mix_models: Vec::new(),
+            fault_rates: Vec::new(),
+            n_ot2: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Parse a campaign document.
+    pub fn from_yaml(src: &str) -> Result<CampaignConfig, ConfigError> {
+        let doc = from_yaml(src).map_err(|e| ConfigError(e.to_string()))?;
+        CampaignConfig::from_value(&doc)
+    }
+
+    /// Decode from an `sdl-conf` value tree.
+    pub fn from_value(doc: &Value) -> Result<CampaignConfig, ConfigError> {
+        let base = AppConfig::from_value(doc)?;
+        let mut cfg =
+            CampaignConfig::single(doc.opt_str("name").unwrap_or("campaign").to_string(), base);
+
+        // Axis keys must be sequences when present; a scalar is a user
+        // mistake that must not silently drop the whole axis.
+        let axis = |key: &'static str| -> Result<Option<&[Value]>, ConfigError> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => Ok(Some(v.as_seq().ok_or_else(|| {
+                    ConfigError(format!("{key} must be a list, got {}", v.type_name()))
+                })?)),
+            }
+        };
+
+        if let Some(seq) = axis("solvers")? {
+            for s in seq {
+                let name = s
+                    .as_str()
+                    .ok_or_else(|| ConfigError("solvers entries must be names".into()))?;
+                cfg.solvers.push(SolverKind::parse(name).ok_or_else(|| {
+                    ConfigError(format!(
+                        "unknown solver '{name}' (valid: {})",
+                        SolverKind::valid_names()
+                    ))
+                })?);
+            }
+        }
+        match doc.get("seeds") {
+            Some(Value::Int(count)) => {
+                // A bare count derives per-scenario seed streams from the
+                // master seed, so the whole campaign remains a pure function
+                // of the document.
+                if *count <= 0 {
+                    return Err(ConfigError("seeds count must be positive".into()));
+                }
+                let hub = RngHub::new(cfg.base.seed);
+                cfg.seeds = (0..*count as u64)
+                    .map(|i| hub.child("campaign.seed", i).master_seed())
+                    .collect();
+            }
+            Some(Value::Seq(seq)) => {
+                for s in seq {
+                    let v = s.as_i64().filter(|v| *v >= 0).ok_or_else(|| {
+                        ConfigError("seeds entries must be non-negative integers".into())
+                    })?;
+                    cfg.seeds.push(v as u64);
+                }
+            }
+            Some(other) => {
+                return Err(ConfigError(format!(
+                    "seeds must be a count or a list, got {}",
+                    other.type_name()
+                )))
+            }
+            None => {}
+        }
+        if let Some(seq) = axis("batches")? {
+            for b in seq {
+                let v = b.as_i64().filter(|v| *v > 0).ok_or_else(|| {
+                    ConfigError("batches entries must be positive integers".into())
+                })?;
+                cfg.batches.push(v as u32);
+            }
+        }
+        if let Some(seq) = axis("targets")? {
+            for t in seq {
+                cfg.targets.push(crate::config::parse_rgb_triple(t, "targets entry")?);
+            }
+        }
+        if let Some(seq) = axis("mix_models")? {
+            for m in seq {
+                let name = m
+                    .as_str()
+                    .ok_or_else(|| ConfigError("mix_models entries must be names".into()))?;
+                cfg.mix_models.push(
+                    MixKind::parse(name)
+                        .ok_or_else(|| ConfigError(format!("unknown mix model '{name}'")))?,
+                );
+            }
+        }
+        if let Some(seq) = axis("fault_rates")? {
+            for r in seq {
+                let v = r
+                    .as_f64()
+                    .filter(|v| (0.0..=1.0).contains(v))
+                    .ok_or_else(|| ConfigError("fault_rates entries must be in [0, 1]".into()))?;
+                cfg.fault_rates.push(v);
+            }
+        }
+        if let Some(seq) = axis("n_ot2")? {
+            for n in seq {
+                let v = n
+                    .as_i64()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| ConfigError("n_ot2 entries must be >= 1".into()))?;
+                cfg.n_ot2.push(v as usize);
+            }
+        }
+        if let Some(t) = doc.opt_i64("threads") {
+            if t < 1 {
+                return Err(ConfigError("threads must be positive".into()));
+            }
+            cfg.threads = Some(t as usize);
+        }
+        Ok(cfg)
+    }
+
+    /// Expand the matrix into concrete scenarios (row-major over the axes in
+    /// declaration order: solver, batch, target, mix model, fault rate,
+    /// OT-2 count, seed).
+    pub fn scenarios(&self) -> Vec<ScenarioSpec> {
+        // An unspecified axis contributes exactly the base value.
+        let solvers =
+            if self.solvers.is_empty() { vec![self.base.solver] } else { self.solvers.clone() };
+        let batches =
+            if self.batches.is_empty() { vec![self.base.batch] } else { self.batches.clone() };
+        let targets =
+            if self.targets.is_empty() { vec![self.base.target] } else { self.targets.clone() };
+        let mixes =
+            if self.mix_models.is_empty() { vec![self.base.mix] } else { self.mix_models.clone() };
+        let faults: Vec<Option<f64>> = if self.fault_rates.is_empty() {
+            vec![None]
+        } else {
+            self.fault_rates.iter().copied().map(Some).collect()
+        };
+        let handlers = if self.n_ot2.is_empty() { vec![1usize] } else { self.n_ot2.clone() };
+        let seeds = if self.seeds.is_empty() { vec![self.base.seed] } else { self.seeds.clone() };
+
+        let mut out = Vec::new();
+        for &solver in &solvers {
+            for &batch in &batches {
+                for &target in &targets {
+                    for &mix in &mixes {
+                        for &fault in &faults {
+                            for &n in &handlers {
+                                for &seed in &seeds {
+                                    let mut config = self.base.clone();
+                                    config.solver = solver;
+                                    config.batch = batch;
+                                    config.target = target;
+                                    config.mix = mix;
+                                    config.seed = seed;
+                                    if let Some(rate) = fault {
+                                        config.faults =
+                                            FaultPlan::uniform(FaultRates::new(rate, rate / 2.0));
+                                    }
+                                    let mut label = format!("{}/b{}", solver.name(), batch);
+                                    if targets.len() > 1 {
+                                        label.push_str(&format!("/t{target}"));
+                                    }
+                                    if mixes.len() > 1 {
+                                        label.push_str(&format!("/{}", mix.name()));
+                                    }
+                                    if let Some(rate) = fault {
+                                        label.push_str(&format!("/f{rate}"));
+                                    }
+                                    if handlers.len() > 1 || n > 1 {
+                                        label.push_str(&format!("/ot2x{n}"));
+                                    }
+                                    label.push_str(&format!("/s{seed}"));
+                                    let mode =
+                                        if n == 1 { RunMode::Single } else { RunMode::MultiOt2(n) };
+                                    out.push(ScenarioSpec { label, config, mode });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_roundtrips_through_conf() {
+        let mut config = AppConfig { sample_budget: 32, batch: 8, seed: 9, ..AppConfig::default() };
+        config.solver = SolverKind::Bayesian;
+        config.faults = FaultPlan::uniform(FaultRates::new(0.1, 0.05));
+        let spec = ScenarioSpec::multi_ot2("dual", config, 2);
+        let back = ScenarioSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back.label, "dual");
+        assert_eq!(back.mode, RunMode::MultiOt2(2));
+        assert_eq!(back.config.sample_budget, 32);
+        assert_eq!(back.config.solver, SolverKind::Bayesian);
+        assert_eq!(back.config.faults.rates_for("ot2"), FaultRates::new(0.1, 0.05));
+    }
+
+    #[test]
+    fn single_handler_multi_mode_roundtrips() {
+        // MultiOt2(1) is a real configuration of the flow engine (not the
+        // single-loop app) and must survive the conf round trip.
+        let spec = ScenarioSpec::multi_ot2("solo", AppConfig::default(), 1);
+        let back = ScenarioSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back.mode, RunMode::MultiOt2(1));
+    }
+
+    #[test]
+    fn scalar_axis_values_are_rejected() {
+        for doc in [
+            "n_ot2: 2\n",
+            "batches: 4\n",
+            "solvers: genetic\n",
+            "fault_rates: 0.1\n",
+            "targets: 3\n",
+        ] {
+            assert!(CampaignConfig::from_yaml(doc).is_err(), "accepted scalar axis: {doc}");
+        }
+    }
+
+    #[test]
+    fn matrix_expands_the_product() {
+        let cfg = CampaignConfig::from_yaml(
+            "name: m\nsamples: 8\nsolvers: [genetic, random]\nseeds: [1, 2, 3]\nbatches: [1, 4]\n",
+        )
+        .unwrap();
+        let scenarios = cfg.scenarios();
+        assert_eq!(scenarios.len(), 2 * 3 * 2);
+        assert!(scenarios.iter().all(|s| s.config.sample_budget == 8));
+        // Labels are unique.
+        let labels: std::collections::HashSet<&str> =
+            scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels.len(), scenarios.len());
+    }
+
+    #[test]
+    fn seed_count_derives_from_master_seed() {
+        let a = CampaignConfig::from_yaml("seed: 5\nseeds: 4\n").unwrap();
+        let b = CampaignConfig::from_yaml("seed: 5\nseeds: 4\n").unwrap();
+        let c = CampaignConfig::from_yaml("seed: 6\nseeds: 4\n").unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_ne!(a.seeds, c.seeds);
+        assert_eq!(a.seeds.len(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_is_one_scenario() {
+        let cfg = CampaignConfig::from_yaml("samples: 16\n").unwrap();
+        assert_eq!(cfg.scenarios().len(), 1);
+        assert_eq!(cfg.scenarios()[0].mode, RunMode::Single);
+    }
+
+    #[test]
+    fn bad_axis_entries_are_rejected() {
+        assert!(CampaignConfig::from_yaml("solvers: [quantum]\n").is_err());
+        assert!(CampaignConfig::from_yaml("fault_rates: [2.0]\n").is_err());
+        assert!(CampaignConfig::from_yaml("targets: [[1, 2]]\n").is_err());
+        assert!(CampaignConfig::from_yaml("seeds: 0\n").is_err());
+        assert!(CampaignConfig::from_yaml("n_ot2: [0]\n").is_err());
+    }
+}

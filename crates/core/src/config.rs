@@ -2,7 +2,7 @@
 
 use sdl_color::{DeltaE, DyeSet, MixKind, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
-use sdl_desim::FaultPlan;
+use sdl_desim::{FaultPlan, FaultRates};
 use sdl_solvers::SolverKind;
 use sdl_wei::RPL_WORKCELL_YAML;
 use std::fmt;
@@ -98,6 +98,21 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Parse an `[r, g, b]` triple of 0-255 integers (shared by the `target`
+/// field and the campaign `targets` axis).
+pub(crate) fn parse_rgb_triple(v: &Value, what: &str) -> Result<Rgb8, ConfigError> {
+    let t =
+        v.as_seq().ok_or_else(|| ConfigError(format!("{what} must be a [r, g, b] sequence")))?;
+    if t.len() != 3 {
+        return Err(ConfigError(format!("{what} must have 3 components")));
+    }
+    let ch: Vec<i64> = t.iter().filter_map(Value::as_i64).collect();
+    if ch.len() != 3 || ch.iter().any(|c| !(0..=255).contains(c)) {
+        return Err(ConfigError(format!("{what} components must be 0-255 integers")));
+    }
+    Ok(Rgb8::new(ch[0] as u8, ch[1] as u8, ch[2] as u8))
+}
+
 impl AppConfig {
     /// Parse an application config document; unspecified fields keep their
     /// defaults.
@@ -114,6 +129,12 @@ impl AppConfig {
     /// ```
     pub fn from_yaml(src: &str) -> Result<AppConfig, ConfigError> {
         let doc = from_yaml(src).map_err(|e| ConfigError(e.to_string()))?;
+        AppConfig::from_value(&doc)
+    }
+
+    /// Build from an already-parsed `sdl-conf` value tree; unspecified
+    /// fields keep their defaults.
+    pub fn from_value(doc: &Value) -> Result<AppConfig, ConfigError> {
         let mut cfg = AppConfig::default();
         if let Some(v) = doc.opt_str("experiment") {
             cfg.experiment_name = v.to_string();
@@ -121,15 +142,8 @@ impl AppConfig {
         if let Some(v) = doc.opt_str("date") {
             cfg.date = v.to_string();
         }
-        if let Ok(t) = doc.req_seq("target") {
-            if t.len() != 3 {
-                return Err(ConfigError("target must have 3 components".into()));
-            }
-            let ch: Vec<i64> = t.iter().filter_map(Value::as_i64).collect();
-            if ch.len() != 3 || ch.iter().any(|c| !(0..=255).contains(c)) {
-                return Err(ConfigError("target components must be 0-255 integers".into()));
-            }
-            cfg.target = Rgb8::new(ch[0] as u8, ch[1] as u8, ch[2] as u8);
+        if let Some(t) = doc.get("target") {
+            cfg.target = parse_rgb_triple(t, "target")?;
         }
         if let Some(v) = doc.opt_i64("samples") {
             if v <= 0 {
@@ -144,14 +158,20 @@ impl AppConfig {
             cfg.batch = v as u32;
         }
         if let Some(v) = doc.opt_str("solver") {
-            cfg.solver =
-                SolverKind::parse(v).ok_or_else(|| ConfigError(format!("unknown solver '{v}'")))?;
+            cfg.solver = SolverKind::parse(v).ok_or_else(|| {
+                ConfigError(format!(
+                    "unknown solver '{v}' (valid solvers: {})",
+                    SolverKind::valid_names()
+                ))
+            })?;
         }
         if let Some(v) = doc.opt_str("metric") {
-            cfg.metric = DeltaE::parse(v).ok_or_else(|| ConfigError(format!("unknown metric '{v}'")))?;
+            cfg.metric =
+                DeltaE::parse(v).ok_or_else(|| ConfigError(format!("unknown metric '{v}'")))?;
         }
         if let Some(v) = doc.opt_str("mix_model") {
-            cfg.mix = MixKind::parse(v).ok_or_else(|| ConfigError(format!("unknown mix model '{v}'")))?;
+            cfg.mix =
+                MixKind::parse(v).ok_or_else(|| ConfigError(format!("unknown mix model '{v}'")))?;
         }
         if let Some(v) = doc.opt_i64("seed") {
             cfg.seed = v as u64;
@@ -171,7 +191,68 @@ impl AppConfig {
         if let Some(v) = doc.opt_bool("flat_field") {
             cfg.flat_field = v;
         }
+        if let Some(v) = doc.opt_str("dyes") {
+            cfg.dyes = match v {
+                "cmyk" => DyeSet::cmyk(),
+                "cmy" => DyeSet::cmy(),
+                other => return Err(ConfigError(format!("unknown dye set '{other}'"))),
+            };
+        }
+        if let Some(v) = doc.opt_str("workcell_yaml") {
+            cfg.workcell_yaml = v.to_string();
+        }
+        let reception = doc.opt_f64("fault_reception").unwrap_or(0.0);
+        let action = doc.opt_f64("fault_action").unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&reception) || !(0.0..=1.0).contains(&action) {
+            return Err(ConfigError("fault rates must be in [0, 1]".into()));
+        }
+        if reception > 0.0 || action > 0.0 {
+            cfg.faults = FaultPlan::uniform(FaultRates::new(reception, action));
+        }
         Ok(cfg)
+    }
+
+    /// Encode as an `sdl-conf` value tree (the inverse of
+    /// [`AppConfig::from_value`] for everything the declarative form
+    /// covers; per-module fault overrides and custom dye chemistry have no
+    /// config syntax and round-trip as their uniform/named equivalents).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::map();
+        v.set("experiment", self.experiment_name.as_str());
+        v.set("date", self.date.as_str());
+        let mut target = Value::seq();
+        for c in self.target.channels() {
+            target.push(c as i64);
+        }
+        v.set("target", target);
+        v.set("samples", self.sample_budget as i64);
+        v.set("batch", self.batch as i64);
+        v.set("solver", self.solver.name());
+        v.set("metric", self.metric.name());
+        v.set("mix_model", self.mix.name());
+        v.set("seed", self.seed as i64);
+        if let Some(t) = self.match_threshold {
+            v.set("match_threshold", t);
+        }
+        v.set("refill_watermark_ul", self.refill_watermark_ul);
+        v.set("publish_images", self.publish_images);
+        v.set("compute_seconds", self.compute_seconds);
+        v.set("flat_field", self.flat_field);
+        match self.dyes.len() {
+            3 => v.set("dyes", "cmy"),
+            _ => v.set("dyes", "cmyk"),
+        };
+        if self.workcell_yaml != RPL_WORKCELL_YAML {
+            v.set("workcell_yaml", self.workcell_yaml.as_str());
+        }
+        let rates = self.faults.rates_for("");
+        if rates.reception > 0.0 {
+            v.set("fault_reception", rates.reception);
+        }
+        if rates.action > 0.0 {
+            v.set("fault_action", rates.action);
+        }
+        v
     }
 
     /// Experiment identifier derived from the configuration.

@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 mod app;
+mod campaign;
 mod config;
-mod experiment;
 mod metrics;
 mod multi;
 mod protocol;
@@ -33,8 +33,11 @@ pub use app::{
     AppError, ColorPickerApp, ExperimentOutcome, TrajectoryPoint, WF_MIXCOLOR, WF_NEWPLATE,
     WF_REPLENISH, WF_TRASHPLATE,
 };
+pub use campaign::{
+    batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignReport, CampaignRunner,
+    RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, SweepItem,
+};
 pub use config::{AppConfig, ConfigError};
-pub use experiment::{batch_sweep, run_one, run_sweep, solver_sweep, SweepItem};
 pub use metrics::SdlMetrics;
 pub use multi::{multi_ot2_workcell_yaml, run_multi_ot2, MultiOt2Outcome};
 pub use protocol::{build_protocol, ProtocolError};

@@ -74,7 +74,11 @@ impl SdlMetrics {
             logistics,
             total,
             colors_mixed,
-            time_per_color: if colors_mixed > 0 { total / colors_mixed as u64 } else { SimDuration::ZERO },
+            time_per_color: if colors_mixed > 0 {
+                total / colors_mixed as u64
+            } else {
+                SimDuration::ZERO
+            },
             robotic_commands: counters.robotic_completed,
             total_commands: counters.completed,
             human_interventions: counters.human_interventions,
@@ -181,7 +185,9 @@ mod tests {
             4,
         );
         let t = m.render_table1();
-        for needle in ["TWH", "CCWH", "Synthesis", "Transfer", "Total colors mixed", "Time per color"] {
+        for needle in
+            ["TWH", "CCWH", "Synthesis", "Transfer", "Total colors mixed", "Time per color"]
+        {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
     }

@@ -179,7 +179,8 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
                     }
                     // Trash the exhausted plate, then fetch a fresh one.
                     if have_plate {
-                        let args = ActionArgs::none().with("source", deck.clone()).with("target", "trash");
+                        let args =
+                            ActionArgs::none().with("source", deck.clone()).with("target", "trash");
                         if command!("pf400", "transfer", args).is_none() {
                             break 'outer;
                         }
@@ -304,7 +305,10 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
                         match cmd.data {
                             ActionData::Image(img) => img,
                             _ => {
-                                shared.lock().error.get_or_insert("camera returned no image".into());
+                                shared
+                                    .lock()
+                                    .error
+                                    .get_or_insert("camera returned no image".into());
                                 ctx.release(cam);
                                 break 'outer;
                             }
@@ -353,7 +357,8 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
     if let Some(err) = shared.error {
         return Err(AppError::Setup(err));
     }
-    let best = sdl_solvers::best_observation(&shared.history).map(|o| o.score).unwrap_or(f64::INFINITY);
+    let best =
+        sdl_solvers::best_observation(&shared.history).map(|o| o.score).unwrap_or(f64::INFINITY);
     let duration = outcome.end - SimTime::ZERO;
     Ok(MultiOt2Outcome {
         n_ot2,

@@ -84,9 +84,6 @@ mod tests {
         let dyes = DyeSet::cmyk();
         let ratios = vec![vec![0.1; 3]];
         let wells = vec![WellIndex::new(0, 0)];
-        assert!(matches!(
-            build_protocol(&ratios, &wells, &dyes),
-            Err(ProtocolError::BadRecipe(_))
-        ));
+        assert!(matches!(build_protocol(&ratios, &wells, &dyes), Err(ProtocolError::BadRecipe(_))));
     }
 }

@@ -67,8 +67,7 @@ impl PublishFlow {
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Msg::Job(job) => {
-                            let outcome =
-                                run_flow(*job, &worker_portal, &worker_store);
+                            let outcome = run_flow(*job, &worker_portal, &worker_store);
                             let mut s = worker_stats.lock();
                             match outcome {
                                 Ok(with_blob) => {

@@ -31,7 +31,8 @@ pub fn render_html(portal: &AcdcPortal, experiment_id: &str, store: Option<&Blob
     let samples = portal.samples(experiment_id);
     let meta = portal
         .search(|r| {
-            r.opt_str("kind") == Some("experiment") && r.opt_str("experiment_id") == Some(experiment_id)
+            r.opt_str("kind") == Some("experiment")
+                && r.opt_str("experiment_id") == Some(experiment_id)
         })
         .into_iter()
         .next();
@@ -177,7 +178,7 @@ mod tests {
             portal.ingest(
                 SampleRecord {
                     experiment_id: "e1".into(),
-                    run: (i + 1) / 2,
+                    run: i.div_ceil(2),
                     sample: i,
                     well: format!("A{i}"),
                     ratios: vec![0.2; 4],

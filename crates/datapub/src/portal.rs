@@ -95,7 +95,8 @@ impl AcdcPortal {
                 m.opt_i64("batch").unwrap_or(0),
             );
             if let Some(t) = m.req("target").ok().and_then(Value::as_seq) {
-                let t: Vec<String> = t.iter().filter_map(Value::as_i64).map(|v| v.to_string()).collect();
+                let t: Vec<String> =
+                    t.iter().filter_map(Value::as_i64).map(|v| v.to_string()).collect();
                 let _ = writeln!(out, "target color: RGB=({})", t.join(","));
             }
         }
@@ -109,7 +110,8 @@ impl AcdcPortal {
         for run in runs {
             let in_run: Vec<&SampleRecord> = samples.iter().filter(|s| s.run == run).collect();
             let run_best = in_run.iter().map(|s| s.score).fold(f64::INFINITY, f64::min);
-            let _ = writeln!(out, "  run #{run:<3} {:>3} samples   best {run_best:>7.2}", in_run.len());
+            let _ =
+                writeln!(out, "  run #{run:<3} {:>3} samples   best {run_best:>7.2}", in_run.len());
         }
         out
     }

@@ -48,7 +48,10 @@ impl SampleRecord {
         v.set("well", self.well.as_str());
         v.set("ratios", Value::Seq(self.ratios.iter().map(|r| Value::Float(*r)).collect()));
         v.set("volumes_ul", Value::Seq(self.volumes_ul.iter().map(|r| Value::Float(*r)).collect()));
-        v.set("measured", Value::Seq(self.measured.iter().map(|c| Value::Int(*c as i64)).collect()));
+        v.set(
+            "measured",
+            Value::Seq(self.measured.iter().map(|c| Value::Int(*c as i64)).collect()),
+        );
         v.set("target", Value::Seq(self.target.iter().map(|c| Value::Int(*c as i64)).collect()));
         v.set("score", self.score);
         v.set("best_so_far", self.best_so_far);

@@ -75,9 +75,7 @@ impl ProcCtx {
 
     /// Let `dur` of virtual time pass.
     pub fn hold(&mut self, dur: SimDuration) {
-        self.tx
-            .send(Request::Hold { proc: self.id, dur })
-            .expect("coordinator alive");
+        self.tx.send(Request::Hold { proc: self.id, dur }).expect("coordinator alive");
         self.now = self.wake_rx.recv().expect("coordinator alive");
     }
 
@@ -85,17 +83,13 @@ impl ProcCtx {
     /// granted in request order. Pair with [`ProcCtx::release`]; units still
     /// held when the process ends are returned automatically.
     pub fn acquire(&mut self, res: ResourceId) {
-        self.tx
-            .send(Request::Acquire { proc: self.id, res })
-            .expect("coordinator alive");
+        self.tx.send(Request::Acquire { proc: self.id, res }).expect("coordinator alive");
         self.now = self.wake_rx.recv().expect("coordinator alive");
     }
 
     /// Return one unit of `res`.
     pub fn release(&mut self, res: ResourceId) {
-        self.tx
-            .send(Request::Release { proc: self.id, res })
-            .expect("coordinator alive");
+        self.tx.send(Request::Release { proc: self.id, res }).expect("coordinator alive");
     }
 
     /// Run `body` while holding `res`.
@@ -107,7 +101,11 @@ impl ProcCtx {
     }
 
     /// Start a sibling process at the current virtual instant.
-    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(&mut ProcCtx) + Send + 'static) {
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut ProcCtx) + Send + 'static,
+    ) {
         self.tx
             .send(Request::Spawn { name: name.into(), f: Box::new(f) })
             .expect("coordinator alive");
@@ -207,7 +205,11 @@ impl Simulation {
     }
 
     /// Declare a root process started at t = 0.
-    pub fn process(&mut self, name: impl Into<String>, f: impl FnOnce(&mut ProcCtx) + Send + 'static) {
+    pub fn process(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut ProcCtx) + Send + 'static,
+    ) {
         self.roots.push((name.into(), Box::new(f)));
     }
 
@@ -242,7 +244,12 @@ impl Coordinator {
             resources: sim
                 .resources
                 .into_iter()
-                .map(|(name, capacity)| ResourceState { name, capacity, in_use: 0, waiters: VecDeque::new() })
+                .map(|(name, capacity)| ResourceState {
+                    name,
+                    capacity,
+                    in_use: 0,
+                    waiters: VecDeque::new(),
+                })
                 .collect(),
             wakes: EventQueue::new(),
             now: SimTime::ZERO,
@@ -280,7 +287,9 @@ impl Coordinator {
                 }
                 impl Drop for FinishGuard {
                     fn drop(&mut self) {
-                        let _ = self.tx.send(Request::Finished { proc: self.id, panicked: !self.clean });
+                        let _ = self
+                            .tx
+                            .send(Request::Finished { proc: self.id, panicked: !self.clean });
                     }
                 }
                 let mut guard = FinishGuard { tx: ctx.tx.clone(), id: ctx.id, clean: false };
@@ -293,7 +302,13 @@ impl Coordinator {
                 guard.clean = true;
             })
             .expect("spawn simulation process thread");
-        self.procs.push(ProcSlot { name, wake_tx, join: Some(join), alive: true, held: Vec::new() });
+        self.procs.push(ProcSlot {
+            name,
+            wake_tx,
+            join: Some(join),
+            alive: true,
+            held: Vec::new(),
+        });
         self.alive += 1;
         self.wakes.push(self.now, id);
         self.record(id, TraceKind::ProcStart, String::new());
@@ -570,7 +585,10 @@ mod tests {
             .filter(|e| matches!(e.kind, TraceKind::User(_)))
             .map(|e| (e.at, e.detail.clone()))
             .collect();
-        assert_eq!(user, vec![(SimTime::ZERO, "one".into()), (SimTime::from_secs(2), "two".into())]);
+        assert_eq!(
+            user,
+            vec![(SimTime::ZERO, "one".into()), (SimTime::from_secs(2), "two".into())]
+        );
     }
 
     #[test]

@@ -66,11 +66,7 @@ impl FaultPlan {
 
     /// Rates in effect for `module`.
     pub fn rates_for(&self, module: &str) -> FaultRates {
-        self.per_module
-            .get(module)
-            .copied()
-            .or(self.default)
-            .unwrap_or(FaultRates::NONE)
+        self.per_module.get(module).copied().or(self.default).unwrap_or(FaultRates::NONE)
     }
 
     /// Draw the fate of one command dispatched to `module`.
@@ -88,10 +84,7 @@ impl FaultPlan {
     /// True if the plan can never produce a fault.
     pub fn is_null(&self) -> bool {
         self.default.is_none_or(|r| r.reception == 0.0 && r.action == 0.0)
-            && self
-                .per_module
-                .values()
-                .all(|r| r.reception == 0.0 && r.action == 0.0)
+            && self.per_module.values().all(|r| r.reception == 0.0 && r.action == 0.0)
     }
 }
 
@@ -122,7 +115,8 @@ mod tests {
 
     #[test]
     fn per_module_override_wins() {
-        let plan = FaultPlan::uniform(FaultRates::NONE).with_module("ot2", FaultRates::new(0.0, 1.0));
+        let plan =
+            FaultPlan::uniform(FaultRates::NONE).with_module("ot2", FaultRates::new(0.0, 1.0));
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(plan.draw("pf400", &mut rng), None);
         assert_eq!(plan.draw("ot2", &mut rng), Some(FaultKind::ActionFailed));

@@ -52,16 +52,16 @@ impl RngHub {
 
     /// A numbered sub-stream, e.g. one per iteration or per module instance.
     pub fn substream(&self, name: &str, index: u64) -> StdRng {
-        let mixed = splitmix64(self.master_seed ^ fnv1a(name.as_bytes())).wrapping_add(
-            splitmix64(index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd6e8_feb8_6659_fd93),
-        );
+        let mixed = splitmix64(self.master_seed ^ fnv1a(name.as_bytes())).wrapping_add(splitmix64(
+            index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd6e8_feb8_6659_fd93,
+        ));
         StdRng::seed_from_u64(splitmix64(mixed))
     }
 
     /// Derive a child hub (e.g. one per experiment in a sweep).
     pub fn child(&self, name: &str, index: u64) -> RngHub {
-        let mixed =
-            splitmix64(self.master_seed ^ fnv1a(name.as_bytes())) ^ splitmix64(index ^ 0xa076_1d64_78bd_642f);
+        let mixed = splitmix64(self.master_seed ^ fnv1a(name.as_bytes()))
+            ^ splitmix64(index ^ 0xa076_1d64_78bd_642f);
         RngHub::new(splitmix64(mixed))
     }
 }
@@ -74,8 +74,10 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let hub = RngHub::new(42);
-        let a: Vec<u32> = hub.stream("ot2.jitter").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = hub.stream("ot2.jitter").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> =
+            hub.stream("ot2.jitter").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> =
+            hub.stream("ot2.jitter").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 

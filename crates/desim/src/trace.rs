@@ -103,9 +103,7 @@ impl Trace {
 
     /// User events of a given class.
     pub fn user_events<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events
-            .iter()
-            .filter(move |e| matches!(&e.kind, TraceKind::User(k) if k == class))
+        self.events.iter().filter(move |e| matches!(&e.kind, TraceKind::User(k) if k == class))
     }
 
     /// Render the whole trace, one event per line.
@@ -124,7 +122,12 @@ mod tests {
     use super::*;
 
     fn ev(at_s: u64, process: &str, kind: TraceKind, detail: &str) -> TraceEvent {
-        TraceEvent { at: SimTime::from_secs(at_s), process: process.into(), kind, detail: detail.into() }
+        TraceEvent {
+            at: SimTime::from_secs(at_s),
+            process: process.into(),
+            kind,
+            detail: detail.into(),
+        }
     }
 
     #[test]

@@ -160,7 +160,9 @@ mod tests {
         // Deplete two reservoirs.
         world.bank_mut("ot2").unwrap().reservoirs[0].volume_ul = 1000.0;
         world.bank_mut("ot2").unwrap().reservoirs[3].volume_ul = 500.0;
-        let out = barty.execute("fill_colors", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        let out = barty
+            .execute("fill_colors", &ActionArgs::none(), &mut world, &timing, &mut rng)
+            .unwrap();
         let bank = world.bank("ot2").unwrap();
         assert!(bank.reservoirs.iter().all(|r| r.volume_ul == r.capacity_ul));
         assert_eq!(barty.stock_ul()[0], 2_000_000.0 - 3000.0);

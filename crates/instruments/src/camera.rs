@@ -97,9 +97,11 @@ impl Instrument for CameraSim {
         }
         match action {
             "take_picture" => {
-                let plate_id = world
-                    .plate_at(&self.nest_slot)?
-                    .ok_or_else(|| InstrumentError::World(crate::world::WorldError::SlotEmpty(self.nest_slot.clone())))?;
+                let plate_id = world.plate_at(&self.nest_slot)?.ok_or_else(|| {
+                    InstrumentError::World(crate::world::WorldError::SlotEmpty(
+                        self.nest_slot.clone(),
+                    ))
+                })?;
 
                 let mut scene = PlateScene::empty_plate();
                 scene.marker_id = self.marker_id;
@@ -140,7 +142,12 @@ mod tests {
     fn setup() -> (CameraSim, World, TimingModel, StdRng) {
         let mut world = World::new(DyeSet::cmyk(), MixKind::BeerLambert);
         world.add_slot("camera.nest");
-        (CameraSim::new("camera", "camera.nest"), world, TimingModel::default(), StdRng::seed_from_u64(7))
+        (
+            CameraSim::new("camera", "camera.nest"),
+            world,
+            TimingModel::default(),
+            StdRng::seed_from_u64(7),
+        )
     }
 
     #[test]
@@ -156,29 +163,24 @@ mod tests {
         let (mut cam, mut world, timing, mut rng) = setup();
         let id = world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
         // Strong black sample in A1.
-        world.plate_mut(id).unwrap().dispense(WellIndex::new(0, 0), &[0.0, 0.0, 0.0, 35.0]).unwrap();
-        let out = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        world
+            .plate_mut(id)
+            .unwrap()
+            .dispense(WellIndex::new(0, 0), &[0.0, 0.0, 0.0, 35.0])
+            .unwrap();
+        let out = cam
+            .execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng)
+            .unwrap();
         assert_eq!(cam.frames_captured(), 1);
-        let ActionData::Image(frame) = out.data else {
-            panic!("expected an image")
-        };
+        let ActionData::Image(frame) = out.data else { panic!("expected an image") };
         // Run the real detection pipeline on the simulated frame.
         let reading = Detector::default().detect(&frame).unwrap();
         // 35 µL of black stock is calibrated to read near the paper's
         // mid-gray target; the camera should measure within ~15 RGB units of
         // the Beer–Lambert prediction.
-        let truth = world
-            .well_color(id, WellIndex::new(0, 0))
-            .unwrap()
-            .unwrap()
-            .to_srgb();
+        let truth = world.well_color(id, WellIndex::new(0, 0)).unwrap().unwrap().to_srgb();
         let a1 = reading.well(0, 0).unwrap();
-        assert!(
-            a1.color.distance(truth) < 15.0,
-            "A1 measured {} vs truth {}",
-            a1.color,
-            truth
-        );
+        assert!(a1.color.distance(truth) < 15.0, "A1 measured {} vs truth {}", a1.color, truth);
         let b1 = reading.well(1, 0).unwrap();
         assert!(b1.color.r > 170, "empty well should stay light: {}", b1.color);
         assert!(b1.color.r as i32 - a1.color.r as i32 > 50, "sample clearly darker than empty");
@@ -188,8 +190,12 @@ mod tests {
     fn frames_differ_between_captures() {
         let (mut cam, mut world, timing, mut rng) = setup();
         world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
-        let a = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
-        let b = cam.execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+        let a = cam
+            .execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng)
+            .unwrap();
+        let b = cam
+            .execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng)
+            .unwrap();
         assert_ne!(a.data, b.data, "noise and pose jitter vary per frame");
     }
 }

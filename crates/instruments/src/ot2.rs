@@ -27,7 +27,12 @@ pub struct Ot2 {
 
 impl Ot2 {
     /// A handler with a full tip supply.
-    pub fn new(name: impl Into<String>, deck_slot: impl Into<String>, bank: impl Into<String>, tips: u32) -> Ot2 {
+    pub fn new(
+        name: impl Into<String>,
+        deck_slot: impl Into<String>,
+        bank: impl Into<String>,
+        tips: u32,
+    ) -> Ot2 {
         Ot2 {
             name: name.into(),
             state: ModuleState::Idle,
@@ -103,17 +108,18 @@ impl Instrument for Ot2 {
         }
         match action {
             "run_protocol" => {
-                let protocol = args
-                    .protocol
-                    .as_ref()
-                    .ok_or_else(|| InstrumentError::BadArgs("run_protocol needs a protocol payload".into()))?;
+                let protocol = args.protocol.as_ref().ok_or_else(|| {
+                    InstrumentError::BadArgs("run_protocol needs a protocol payload".into())
+                })?;
                 let n_dyes = world.dyes.len();
 
                 // Validate everything before mutating anything: plate present,
                 // arity, tips, reservoir volumes, then the wells themselves.
-                let plate_id = world
-                    .plate_at(&self.deck_slot)?
-                    .ok_or_else(|| InstrumentError::World(crate::world::WorldError::SlotEmpty(self.deck_slot.clone())))?;
+                let plate_id = world.plate_at(&self.deck_slot)?.ok_or_else(|| {
+                    InstrumentError::World(crate::world::WorldError::SlotEmpty(
+                        self.deck_slot.clone(),
+                    ))
+                })?;
                 for d in &protocol.dispenses {
                     if d.volumes_ul.len() != n_dyes {
                         return Err(InstrumentError::BadArgs(format!(
@@ -123,7 +129,10 @@ impl Instrument for Ot2 {
                         )));
                     }
                     if d.volumes_ul.iter().any(|v| !v.is_finite() || *v < 0.0) {
-                        return Err(InstrumentError::BadArgs(format!("invalid volume for {}", d.well)));
+                        return Err(InstrumentError::BadArgs(format!(
+                            "invalid volume for {}",
+                            d.well
+                        )));
                     }
                 }
                 let tips_needed = protocol.dyes_used(n_dyes) as u32;
@@ -135,7 +144,9 @@ impl Instrument for Ot2 {
                     let bank = world.bank(&self.bank)?;
                     for (res, need) in bank.reservoirs.iter().zip(&demand) {
                         if res.volume_ul + 1e-9 < *need {
-                            return Err(InstrumentError::InsufficientReservoir { dye: res.dye.clone() });
+                            return Err(InstrumentError::InsufficientReservoir {
+                                dye: res.dye.clone(),
+                            });
                         }
                     }
                 }
@@ -150,9 +161,9 @@ impl Instrument for Ot2 {
                         }
                         let total: f64 = d.volumes_ul.iter().sum();
                         if total > plate.well_capacity_ul {
-                            return Err(InstrumentError::Labware(crate::labware::LabwareError::Overflow(
-                                d.well.to_string(),
-                            )));
+                            return Err(InstrumentError::Labware(
+                                crate::labware::LabwareError::Overflow(d.well.to_string()),
+                            ));
                         }
                     }
                 }
@@ -202,7 +213,12 @@ mod tests {
         world.add_slot("ot2.deck");
         world.add_bank("ot2", ReservoirBank::full(&dyes, 4000.0));
         world.spawn_plate("ot2.deck", Microplate::standard96()).unwrap();
-        (Ot2::new("ot2", "ot2.deck", "ot2", 960), world, TimingModel::default(), StdRng::seed_from_u64(3))
+        (
+            Ot2::new("ot2", "ot2.deck", "ot2", 960),
+            world,
+            TimingModel::default(),
+            StdRng::seed_from_u64(3),
+        )
     }
 
     fn protocol(wells: &[(usize, usize)], volumes: &[f64]) -> ActionArgs {
@@ -210,7 +226,10 @@ mod tests {
             name: "mix_colors".into(),
             dispenses: wells
                 .iter()
-                .map(|&(r, c)| WellDispense { well: WellIndex::new(r, c), volumes_ul: volumes.to_vec() })
+                .map(|&(r, c)| WellDispense {
+                    well: WellIndex::new(r, c),
+                    volumes_ul: volumes.to_vec(),
+                })
                 .collect(),
         })
     }
@@ -239,12 +258,24 @@ mod tests {
     fn duration_scales_with_batch() {
         let (mut ot2, mut world, timing, mut rng) = setup();
         let d1 = ot2
-            .execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
+            .execute(
+                "run_protocol",
+                &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]),
+                &mut world,
+                &timing,
+                &mut rng,
+            )
             .unwrap()
             .duration;
         let wells: Vec<(usize, usize)> = (0..8).map(|c| (1usize, c)).collect();
         let d8 = ot2
-            .execute("run_protocol", &protocol(&wells, &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
+            .execute(
+                "run_protocol",
+                &protocol(&wells, &[1.0, 1.0, 1.0, 1.0]),
+                &mut world,
+                &timing,
+                &mut rng,
+            )
             .unwrap()
             .duration;
         let expect_ratio = timing.ot2_protocol_mean_s(8) / timing.ot2_protocol_mean_s(1);
@@ -310,8 +341,14 @@ mod tests {
     #[test]
     fn reused_well_fails_before_any_mutation() {
         let (mut ot2, mut world, timing, mut rng) = setup();
-        ot2.execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]), &mut world, &timing, &mut rng)
-            .unwrap();
+        ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 0)], &[1.0, 1.0, 1.0, 1.0]),
+            &mut world,
+            &timing,
+            &mut rng,
+        )
+        .unwrap();
         let before = world.bank("ot2").unwrap().reservoirs[0].volume_ul;
         let err = ot2.execute(
             "run_protocol",
@@ -329,8 +366,13 @@ mod tests {
     #[test]
     fn wrong_arity_rejected() {
         let (mut ot2, mut world, timing, mut rng) = setup();
-        let err =
-            ot2.execute("run_protocol", &protocol(&[(0, 0)], &[1.0, 1.0]), &mut world, &timing, &mut rng);
+        let err = ot2.execute(
+            "run_protocol",
+            &protocol(&[(0, 0)], &[1.0, 1.0]),
+            &mut world,
+            &timing,
+            &mut rng,
+        );
         assert!(matches!(err, Err(InstrumentError::BadArgs(_))));
     }
 }

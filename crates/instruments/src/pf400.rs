@@ -22,7 +22,12 @@ pub struct Pf400 {
 impl Pf400 {
     /// A new arm, parked at no particular nest.
     pub fn new(name: impl Into<String>) -> Pf400 {
-        Pf400 { name: name.into(), state: ModuleState::Idle, position: None, transfers_completed: 0 }
+        Pf400 {
+            name: name.into(),
+            state: ModuleState::Idle,
+            position: None,
+            transfers_completed: 0,
+        }
     }
 
     /// Where the arm last placed a plate.
@@ -114,12 +119,19 @@ mod tests {
     #[test]
     fn transfer_moves_plate_and_tracks_position() {
         let (mut arm, mut world, timing, mut rng) = setup();
-        arm.execute("transfer", &args("sciclops.exchange", "camera.nest"), &mut world, &timing, &mut rng)
-            .unwrap();
+        arm.execute(
+            "transfer",
+            &args("sciclops.exchange", "camera.nest"),
+            &mut world,
+            &timing,
+            &mut rng,
+        )
+        .unwrap();
         assert!(world.plate_at("camera.nest").unwrap().is_some());
         assert_eq!(arm.position(), Some("camera.nest"));
         assert_eq!(arm.transfers_completed(), 1);
-        arm.execute("transfer", &args("camera.nest", "ot2.deck"), &mut world, &timing, &mut rng).unwrap();
+        arm.execute("transfer", &args("camera.nest", "ot2.deck"), &mut world, &timing, &mut rng)
+            .unwrap();
         assert_eq!(arm.transfers_completed(), 2);
     }
 
@@ -127,7 +139,13 @@ mod tests {
     fn transfer_validates_slots() {
         let (mut arm, mut world, timing, mut rng) = setup();
         assert!(matches!(
-            arm.execute("transfer", &args("camera.nest", "ot2.deck"), &mut world, &timing, &mut rng),
+            arm.execute(
+                "transfer",
+                &args("camera.nest", "ot2.deck"),
+                &mut world,
+                &timing,
+                &mut rng
+            ),
             Err(InstrumentError::World(_))
         ));
         assert!(matches!(
@@ -145,7 +163,13 @@ mod tests {
     fn duration_close_to_calibrated_mean() {
         let (mut arm, mut world, timing, mut rng) = setup();
         let out = arm
-            .execute("transfer", &args("sciclops.exchange", "ot2.deck"), &mut world, &timing, &mut rng)
+            .execute(
+                "transfer",
+                &args("sciclops.exchange", "ot2.deck"),
+                &mut world,
+                &timing,
+                &mut rng,
+            )
             .unwrap();
         let secs = out.duration.as_secs_f64();
         assert!((secs - 34.0).abs() < 1.0, "transfer took {secs}");

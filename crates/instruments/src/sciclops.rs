@@ -25,7 +25,11 @@ pub struct SciClops {
 
 impl SciClops {
     /// A crane with the given tower inventory.
-    pub fn new(name: impl Into<String>, towers: Vec<u32>, exchange_slot: impl Into<String>) -> SciClops {
+    pub fn new(
+        name: impl Into<String>,
+        towers: Vec<u32>,
+        exchange_slot: impl Into<String>,
+    ) -> SciClops {
         SciClops {
             name: name.into(),
             state: ModuleState::Idle,
@@ -84,11 +88,8 @@ impl Instrument for SciClops {
         }
         match action {
             "get_plate" => {
-                let tower = self
-                    .towers
-                    .iter_mut()
-                    .find(|t| **t > 0)
-                    .ok_or(InstrumentError::OutOfPlates)?;
+                let tower =
+                    self.towers.iter_mut().find(|t| **t > 0).ok_or(InstrumentError::OutOfPlates)?;
                 // Reserve the plate only after the destination is validated.
                 let id = world.spawn_plate(&self.exchange_slot, self.plate_template.clone())?;
                 *tower -= 1;
@@ -124,7 +125,9 @@ mod tests {
         let (mut crane, mut world, timing, mut rng) = setup();
         assert_eq!(crane.plates_remaining(), 3);
         for i in 0..3 {
-            let out = crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng).unwrap();
+            let out = crane
+                .execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng)
+                .unwrap();
             assert!(matches!(out.data, ActionData::Plate(_)), "fetch {i}");
             assert!(out.duration.as_secs_f64() > 25.0);
             // Clear the nest for the next fetch.
@@ -157,7 +160,9 @@ mod tests {
         );
         crane.reset();
         assert_eq!(crane.state(), ModuleState::Idle);
-        assert!(crane.execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng).is_ok());
+        assert!(crane
+            .execute("get_plate", &ActionArgs::none(), &mut world, &timing, &mut rng)
+            .is_ok());
     }
 
     #[test]

@@ -93,7 +93,9 @@ impl TimingModel {
     /// Expected duration of one full B-well mix iteration (two transfers, a
     /// protocol, a capture).
     pub fn iteration_mean_s(&self, batch: usize) -> f64 {
-        2.0 * self.pf400_transfer.mean_s + self.ot2_protocol_mean_s(batch) + self.camera_capture.mean_s
+        2.0 * self.pf400_transfer.mean_s
+            + self.ot2_protocol_mean_s(batch)
+            + self.camera_capture.mean_s
     }
 }
 

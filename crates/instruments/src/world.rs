@@ -170,9 +170,7 @@ impl World {
         if to == "trash" {
             return self.retire_plate(from);
         }
-        let id = self
-            .plate_at(from)?
-            .ok_or_else(|| WorldError::SlotEmpty(from.into()))?;
+        let id = self.plate_at(from)?.ok_or_else(|| WorldError::SlotEmpty(from.into()))?;
         {
             let dest = self.slots.get(to).ok_or_else(|| WorldError::NoSuchSlot(to.into()))?;
             if dest.is_some() {
@@ -187,9 +185,7 @@ impl World {
     /// Remove a plate from the workcell (trash). The plate record is kept in
     /// a retired list for post-hoc analysis.
     pub fn retire_plate(&mut self, slot: &str) -> Result<PlateId, WorldError> {
-        let id = self
-            .plate_at(slot)?
-            .ok_or_else(|| WorldError::SlotEmpty(slot.into()))?;
+        let id = self.plate_at(slot)?.ok_or_else(|| WorldError::SlotEmpty(slot.into()))?;
         self.slots.insert(slot.into(), None);
         self.retired.push(id);
         Ok(id)
@@ -263,14 +259,20 @@ mod tests {
     #[test]
     fn movement_errors() {
         let mut w = world();
-        assert_eq!(w.move_plate("camera.nest", "ot2.deck"), Err(WorldError::SlotEmpty("camera.nest".into())));
+        assert_eq!(
+            w.move_plate("camera.nest", "ot2.deck"),
+            Err(WorldError::SlotEmpty("camera.nest".into()))
+        );
         w.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
         w.spawn_plate("ot2.deck", Microplate::standard96()).unwrap();
         assert_eq!(
             w.move_plate("camera.nest", "ot2.deck"),
             Err(WorldError::SlotOccupied("ot2.deck".into()))
         );
-        assert_eq!(w.move_plate("nowhere", "ot2.deck"), Err(WorldError::NoSuchSlot("nowhere".into())));
+        assert_eq!(
+            w.move_plate("nowhere", "ot2.deck"),
+            Err(WorldError::NoSuchSlot("nowhere".into()))
+        );
         assert_eq!(
             w.spawn_plate("camera.nest", Microplate::standard96()),
             Err(WorldError::SlotOccupied("camera.nest".into()))

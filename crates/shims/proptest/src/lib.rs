@@ -1,0 +1,580 @@
+//! Minimal in-repo stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`, `boxed`,
+//! `prop_recursive`; ranges, tuples, [`Just`] and `&str` regexes as
+//! strategies; [`collection::vec`]; [`string::string_regex`]; `any::<T>()`;
+//! and the [`proptest!`]/[`prop_assert!`]/[`prop_oneof!`] macros.
+//!
+//! Semantics: each test body runs for a fixed number of deterministic
+//! random cases (default 32, override with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`). Failures panic
+//! with the case's inputs via the normal assert machinery; there is no
+//! shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The RNG strategies draw from.
+pub type SampleRng = StdRng;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Construct the deterministic case RNG (used by the `proptest!` macro so
+/// expansion sites do not need `rand` in scope).
+pub fn new_rng(seed: u64) -> SampleRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed derived from the test's full name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { sample: Rc::new(move |rng| self.sample(rng)) }
+    }
+
+    /// Recursive structures: `recurse` receives the strategy for the level
+    /// below and returns the branch-node strategy. `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            strat = one_of(vec![base.clone(), recurse(strat).boxed()]);
+        }
+        strat
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SampleRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A cloneable type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut SampleRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { sample: Rc::clone(&self.sample) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` engine).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "one_of: no options");
+    BoxedStrategy {
+        sample: Rc::new(move |rng| {
+            let i = rng.gen_range(0..options.len());
+            options[i].sample(rng)
+        }),
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SampleRng) -> String {
+        string::compile(self).expect("invalid inline regex strategy").sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy { sample: Rc::new(|rng| rng.gen::<$t>()) }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> BoxedStrategy<f64> {
+        BoxedStrategy {
+            sample: Rc::new(|rng| {
+                // Mostly moderate magnitudes, occasionally extreme.
+                let mag: f64 = rng.gen_range(-1e9..1e9);
+                if rng.gen_bool(0.05) {
+                    mag * 1e200
+                } else {
+                    mag
+                }
+            }),
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary() -> BoxedStrategy<String> {
+        BoxedStrategy {
+            sample: Rc::new(|rng| {
+                let len = rng.gen_range(0..32usize);
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.85) {
+                            // Printable ASCII plus whitespace controls.
+                            char::from(rng.gen_range(0x20u8..0x7f))
+                        } else if rng.gen_bool(0.5) {
+                            ['\n', '\t', '\r', '"', '\\', '\u{0}'][rng.gen_range(0..6usize)]
+                        } else {
+                            char::from_u32(rng.gen_range(0xa0u32..0x2_00d7)).unwrap_or('□')
+                        }
+                    })
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, SampleRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// A vector of values drawn from `element`, with a length in `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy {
+            sample: Rc::new(move |rng: &mut SampleRng| {
+                let n = rng.gen_range(size.lo..size.hi);
+                (0..n).map(|_| element.sample(rng)).collect()
+            }),
+        }
+    }
+}
+
+/// String strategies (mini regex subset).
+pub mod string {
+    use super::{BoxedStrategy, SampleRng};
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// Error from [`string_regex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "bad regex strategy: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Parse the supported regex subset: literals, `[...]` classes with
+    /// ranges and `\n`/`\t`/`\\` escapes, and `{m}`/`{m,n}` quantifiers.
+    pub(super) fn compile(pattern: &str) -> Result<Compiled, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut items: Vec<char> = Vec::new();
+                    for item in chars.by_ref() {
+                        if item == ']' {
+                            break;
+                        }
+                        items.push(item);
+                    }
+                    let mut i = 0;
+                    while i < items.len() {
+                        let ch = match items[i] {
+                            '\\' if i + 1 < items.len() => {
+                                i += 1;
+                                match items[i] {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    'r' => '\r',
+                                    other => other,
+                                }
+                            }
+                            other => other,
+                        };
+                        // Range `a-z` when a `-` sits between two chars.
+                        if i + 2 < items.len() && items[i + 1] == '-' && items[i + 2] != ']' {
+                            let hi = items[i + 2];
+                            if (ch as u32) > (hi as u32) {
+                                return Err(Error(format!("bad range {ch}-{hi}")));
+                            }
+                            for code in (ch as u32)..=(hi as u32) {
+                                if let Some(c) = char::from_u32(code) {
+                                    set.push(c);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(ch);
+                            i += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    set
+                }
+                '\\' => {
+                    let esc = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    vec![match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }]
+                }
+                '{' | '}' | ']' => return Err(Error(format!("unexpected '{c}'"))),
+                other => vec![other],
+            };
+            // Optional quantifier.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                let parts: Vec<&str> = spec.split(',').collect();
+                let parse = |s: &str| {
+                    s.trim().parse::<usize>().map_err(|_| Error(format!("bad bound '{s}'")))
+                };
+                match parts.as_slice() {
+                    [n] => {
+                        let n = parse(n)?;
+                        (n, n)
+                    }
+                    [lo, hi] => (parse(lo)?, parse(hi)?),
+                    _ => return Err(Error(format!("bad quantifier '{{{spec}}}'"))),
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error("quantifier min > max".into()));
+            }
+            atoms.push(Atom { chars: set, min, max });
+        }
+        Ok(Compiled { atoms })
+    }
+
+    /// A compiled pattern.
+    #[derive(Debug, Clone)]
+    pub struct Compiled {
+        atoms: Vec<Atom>,
+    }
+
+    impl Compiled {
+        pub(super) fn sample(&self, rng: &mut SampleRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Strings matching the given (subset) regex.
+    pub fn string_regex(pattern: &str) -> Result<BoxedStrategy<String>, Error> {
+        let compiled = compile(pattern)?;
+        Ok(BoxedStrategy { sample: Rc::new(move |rng: &mut SampleRng| compiled.sample(rng)) })
+    }
+}
+
+/// The commonly imported names.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property; panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::new_rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)));
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample() {
+        let mut rng = crate::SampleRng::seed_from_u64(1);
+        let s = (0..10i64, 0.0..1.0f64).prop_map(|(a, b)| (a, b));
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = crate::SampleRng::seed_from_u64(2);
+        let s = crate::string::string_regex("[a-c]{2,4}").unwrap();
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+        let lead = crate::string::string_regex("[a-b_][0-9]{0,2}").unwrap();
+        for _ in 0..50 {
+            let v = lead.sample(&mut rng);
+            assert!(v.starts_with(['a', 'b', '_']));
+        }
+    }
+
+    #[test]
+    fn vec_and_oneof() {
+        let mut rng = crate::SampleRng::seed_from_u64(3);
+        let s = crate::collection::vec(prop_oneof![Just(1), Just(2)], 0..5);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn the_macro_works(x in 0u32..100, label in "[a-z]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert!(!label.is_empty() && label.len() <= 3, "bad label {label}");
+        }
+    }
+}

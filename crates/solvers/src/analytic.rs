@@ -140,12 +140,8 @@ mod tests {
         let props = oracle.propose(Rgb8::PAPER_TARGET, &[], 8, &mut rng);
         assert_eq!(props.len(), 8);
         for p in &props[1..] {
-            let d: f64 = p
-                .iter()
-                .zip(&props[0])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let d: f64 =
+                p.iter().zip(&props[0]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             assert!(d <= 0.05, "jitter too large: {d}");
         }
     }

@@ -180,7 +180,8 @@ mod tests {
             let batch = s.propose(Rgb8::PAPER_TARGET, &history, 4, &mut rng);
             for p in batch {
                 let score: f64 =
-                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                        * 100.0;
                 history.push(obs(p, score));
             }
         }

@@ -50,10 +50,8 @@ impl BayesSolver {
         for i in 0..self.local_candidates {
             // Shrinking shells around the incumbent.
             let radius = 0.02 + 0.2 * (i as f64 / self.local_candidates.max(1) as f64);
-            let mut p: Vec<f64> = incumbent
-                .iter()
-                .map(|x| x + rng.gen_range(-radius..=radius))
-                .collect();
+            let mut p: Vec<f64> =
+                incumbent.iter().map(|x| x + rng.gen_range(-radius..=radius)).collect();
             sanitize(&mut p);
             pool.push(p);
         }
@@ -162,8 +160,12 @@ mod tests {
         assert_eq!(props.len(), 6);
         for i in 0..props.len() {
             for j in i + 1..props.len() {
-                assert!(dist(&props[i], &props[j]) >= s.batch_min_dist * 0.99,
-                    "batch points too close: {:?} vs {:?}", props[i], props[j]);
+                assert!(
+                    dist(&props[i], &props[j]) >= s.batch_min_dist * 0.99,
+                    "batch points too close: {:?} vs {:?}",
+                    props[i],
+                    props[j]
+                );
             }
         }
     }
@@ -178,7 +180,8 @@ mod tests {
             let batch = s.propose(Rgb8::PAPER_TARGET, &history, 4, &mut rng);
             for p in batch {
                 let score: f64 =
-                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                        * 100.0;
                 history.push(obs(p, score));
             }
         }

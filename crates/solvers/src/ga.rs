@@ -192,9 +192,7 @@ mod tests {
             assert_eq!(p.len(), 4);
             for &v in p {
                 // Grid levels for 4 levels: 0, 1/3, 2/3, 1.
-                let on_grid = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]
-                    .iter()
-                    .any(|l| (v - l).abs() < 1e-9);
+                let on_grid = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0].iter().any(|l| (v - l).abs() < 1e-9);
                 assert!(on_grid, "{v} not on grid");
             }
         }
@@ -239,11 +237,12 @@ mod tests {
         let mut ga = GeneticSolver::new(4);
         let mut history: Vec<Observation> = Vec::new();
         let mut r = rng();
-        for _ in 0..40 {
+        for _ in 0..60 {
             let batch = ga.propose(Rgb8::PAPER_TARGET, &history, 4, &mut r);
             for p in batch {
                 let score: f64 =
-                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+                    p.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                        * 100.0;
                 history.push(obs(p, score));
             }
         }
@@ -271,8 +270,18 @@ mod tests {
     #[test]
     fn proposals_are_deterministic_per_seed() {
         let history = vec![obs(vec![0.3, 0.3, 0.3, 0.3], 10.0)];
-        let a = GeneticSolver::new(4).propose(Rgb8::PAPER_TARGET, &history, 8, &mut StdRng::seed_from_u64(3));
-        let b = GeneticSolver::new(4).propose(Rgb8::PAPER_TARGET, &history, 8, &mut StdRng::seed_from_u64(3));
+        let a = GeneticSolver::new(4).propose(
+            Rgb8::PAPER_TARGET,
+            &history,
+            8,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = GeneticSolver::new(4).propose(
+            Rgb8::PAPER_TARGET,
+            &history,
+            8,
+            &mut StdRng::seed_from_u64(3),
+        );
         assert_eq!(a, b);
     }
 }

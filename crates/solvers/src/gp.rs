@@ -143,7 +143,9 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
-        * (0.254_829_592 + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -183,7 +185,8 @@ mod tests {
     #[test]
     fn ei_prefers_promising_regions() {
         let (xs, ys) = toy_data();
-        let gp = Gp::fit(&xs, &ys, RbfKernel { noise_variance: 1e-4, ..RbfKernel::default() }).unwrap();
+        let gp =
+            Gp::fit(&xs, &ys, RbfKernel { noise_variance: 1e-4, ..RbfKernel::default() }).unwrap();
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         // EI near the optimum (0.3) should beat EI at the far edge (1.0).
         let ei_opt = gp.expected_improvement(&[0.3], best);
@@ -221,9 +224,8 @@ mod tests {
 
     #[test]
     fn multidimensional_inputs() {
-        let xs: Vec<Vec<f64>> = (0..16)
-            .map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 3.0])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 3.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
         let gp = Gp::fit_auto(&xs, &ys).unwrap();
         let (mu, _) = gp.predict(&[0.5, 0.5]);

@@ -116,8 +116,10 @@ mod tests {
         let mut a = GridSolver::new(3);
         let mut b = GridSolver::new(3);
         let mut r = rng();
-        let pa: Vec<_> = (0..5).flat_map(|_| a.propose(Rgb8::PAPER_TARGET, &[], 4, &mut r)).collect();
-        let pb: Vec<_> = (0..5).flat_map(|_| b.propose(Rgb8::PAPER_TARGET, &[], 4, &mut r)).collect();
+        let pa: Vec<_> =
+            (0..5).flat_map(|_| a.propose(Rgb8::PAPER_TARGET, &[], 4, &mut r)).collect();
+        let pb: Vec<_> =
+            (0..5).flat_map(|_| b.propose(Rgb8::PAPER_TARGET, &[], 4, &mut r)).collect();
         assert_eq!(pa, pb);
         // Consecutive calls continue the walk rather than restarting.
         assert_ne!(pa[0..4], pa[4..8]);

@@ -192,9 +192,8 @@ mod tests {
 
     #[test]
     fn spd_solve_recovers_solution() {
-        let a = Matrix::from_fn(3, 3, |r, c| {
-            [[6.0, 2.0, 1.0], [2.0, 5.0, 2.0], [1.0, 2.0, 4.0]][r][c]
-        });
+        let a =
+            Matrix::from_fn(3, 3, |r, c| [[6.0, 2.0, 1.0], [2.0, 5.0, 2.0], [1.0, 2.0, 4.0]][r][c]);
         let x_true = vec![1.0, -2.0, 3.0];
         let b = a.matvec(&x_true);
         let x = a.solve_spd(&b).unwrap();

@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn four_dimensional_sphere() {
         let target = [0.18, 0.16, 0.16, 0.62];
-        let mut f =
-            |x: &[f64]| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+        let mut f = |x: &[f64]| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
         let (x, fx) = minimize(&mut f, &[0.5; 4], 0.25, 600);
         assert!(fx < 1e-5, "f = {fx} at {x:?}");
     }

@@ -55,7 +55,8 @@ mod tests {
     #[test]
     fn history_is_ignored() {
         let mut s = RandomSolver::new(2);
-        let h = vec![Observation { ratios: vec![0.5, 0.5], measured: Rgb8::new(1, 2, 3), score: 1.0 }];
+        let h =
+            vec![Observation { ratios: vec![0.5, 0.5], measured: Rgb8::new(1, 2, 3), score: 1.0 }];
         let a = s.propose(Rgb8::PAPER_TARGET, &h, 3, &mut StdRng::seed_from_u64(2));
         let b = s.propose(Rgb8::PAPER_TARGET, &[], 3, &mut StdRng::seed_from_u64(2));
         assert_eq!(a, b);

@@ -50,12 +50,7 @@ pub fn latin_hypercube(dims: usize, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64
     for _ in 0..dims {
         let mut cells: Vec<usize> = (0..n).collect();
         cells.shuffle(rng);
-        columns.push(
-            cells
-                .into_iter()
-                .map(|c| (c as f64 + rng.gen::<f64>()) / n as f64)
-                .collect(),
-        );
+        columns.push(cells.into_iter().map(|c| (c as f64 + rng.gen::<f64>()) / n as f64).collect());
     }
     (0..n).map(|i| columns.iter().map(|col| col[i]).collect()).collect()
 }

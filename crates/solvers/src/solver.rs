@@ -69,9 +69,10 @@ impl SolverKind {
         }
     }
 
-    /// Parse the name produced by [`SolverKind::name`].
+    /// Parse the name produced by [`SolverKind::name`] (or a common alias),
+    /// case-insensitively.
     pub fn parse(s: &str) -> Option<SolverKind> {
-        match s {
+        match s.trim().to_ascii_lowercase().as_str() {
             "genetic" | "ga" | "evolutionary" => Some(SolverKind::Genetic),
             "bayesian" | "bayes" | "gp" => Some(SolverKind::Bayesian),
             "random" => Some(SolverKind::Random),
@@ -80,6 +81,12 @@ impl SolverKind {
             "annealing" | "sa" => Some(SolverKind::Annealing),
             _ => None,
         }
+    }
+
+    /// The canonical names [`SolverKind::parse`] accepts, for error
+    /// messages ("genetic, bayesian, random, grid, analytic, annealing").
+    pub fn valid_names() -> String {
+        SolverKind::all().map(SolverKind::name).join(", ")
     }
 
     /// Instantiate a solver for a `dims`-dye problem.
@@ -136,6 +143,22 @@ mod tests {
         assert_eq!(SolverKind::parse("ga"), Some(SolverKind::Genetic));
         assert_eq!(SolverKind::parse("gp"), Some(SolverKind::Bayesian));
         assert_eq!(SolverKind::parse("quantum"), None);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(SolverKind::parse("Genetic"), Some(SolverKind::Genetic));
+        assert_eq!(SolverKind::parse("BAYESIAN"), Some(SolverKind::Bayesian));
+        assert_eq!(SolverKind::parse(" Annealing "), Some(SolverKind::Annealing));
+        assert_eq!(SolverKind::parse("GA"), Some(SolverKind::Genetic));
+    }
+
+    #[test]
+    fn valid_names_lists_all_kinds() {
+        let names = SolverKind::valid_names();
+        for k in SolverKind::all() {
+            assert!(names.contains(k.name()), "{} missing from '{names}'", k.name());
+        }
     }
 
     #[test]

@@ -177,12 +177,8 @@ pub fn detect_markers(img: &ImageRgb8, params: &ArucoParams) -> Vec<MarkerDetect
                 maxx = maxx.max(x);
                 miny = miny.min(y);
                 maxy = maxy.max(y);
-                let neighbors = [
-                    (x.wrapping_sub(1), y),
-                    (x + 1, y),
-                    (x, y.wrapping_sub(1)),
-                    (x, y + 1),
-                ];
+                let neighbors =
+                    [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)];
                 for (nx, ny) in neighbors {
                     if nx < w && ny < h && !visited[ny * w + nx] && is_black(nx, ny) {
                         visited[ny * w + nx] = true;

@@ -112,12 +112,16 @@ pub fn fit_grid(
         let dy = points[i].1 - py;
         ss += dx * dx + dy * dy;
     }
-    let rms = if assignments.is_empty() { f64::INFINITY } else { (ss / assignments.len() as f64).sqrt() };
+    let rms =
+        if assignments.is_empty() { f64::INFINITY } else { (ss / assignments.len() as f64).sqrt() };
     Some(GridFit { model, assignments, rms_px: rms })
 }
 
 /// Least squares for x and y separately against design [1, col, row].
-fn solve_least_squares(points: &[(f64, f64)], assignments: &[(usize, usize, usize)]) -> Option<GridModel> {
+fn solve_least_squares(
+    points: &[(f64, f64)],
+    assignments: &[(usize, usize, usize)],
+) -> Option<GridModel> {
     if assignments.len() < 4 {
         return None;
     }
@@ -278,7 +282,9 @@ mod tests {
         let a = [[2.0, 0.0, 0.0], [0.0, 3.0, 0.0], [1.0, 0.0, 1.0]];
         let b = [2.0, 6.0, 4.0];
         let s = solve3(a, b).unwrap();
-        assert!((s[0] - 1.0).abs() < 1e-12 && (s[1] - 2.0).abs() < 1e-12 && (s[2] - 3.0).abs() < 1e-12);
+        assert!(
+            (s[0] - 1.0).abs() < 1e-12 && (s[1] - 2.0).abs() < 1e-12 && (s[2] - 3.0).abs() < 1e-12
+        );
         assert!(solve3([[1.0, 1.0, 1.0]; 3], [1.0, 2.0, 3.0]).is_none());
     }
 }

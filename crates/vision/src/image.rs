@@ -154,20 +154,20 @@ impl ImageRgb8 {
         out.extend_from_slice(&(file_size as u32).to_le_bytes());
         out.extend_from_slice(&[0; 4]); // reserved
         out.extend_from_slice(&54u32.to_le_bytes()); // pixel data offset
-        // BITMAPINFOHEADER
+                                                     // BITMAPINFOHEADER
         out.extend_from_slice(&40u32.to_le_bytes());
         out.extend_from_slice(&(w as i32).to_le_bytes());
         out.extend_from_slice(&(h as i32).to_le_bytes());
         out.extend_from_slice(&1u16.to_le_bytes()); // planes
         out.extend_from_slice(&24u16.to_le_bytes()); // bpp
         out.extend_from_slice(&[0; 24]); // no compression, default fields
-        // Pixel rows, bottom-up, BGR order.
+                                         // Pixel rows, bottom-up, BGR order.
         for y in (0..h).rev() {
             for x in 0..w {
                 let p = self.pixel(x, y);
                 out.extend_from_slice(&[p.b, p.g, p.r]);
             }
-            out.extend(std::iter::repeat(0u8).take(pad));
+            out.extend(std::iter::repeat_n(0u8, pad));
         }
         out
     }
@@ -195,7 +195,9 @@ impl ImageRgb8 {
             if start == pos {
                 return Err("truncated PPM header".into());
             }
-            fields.push(std::str::from_utf8(&bytes[start..pos]).map_err(|_| "bad header")?.to_string());
+            fields.push(
+                std::str::from_utf8(&bytes[start..pos]).map_err(|_| "bad header")?.to_string(),
+            );
         }
         if fields[0] != "P6" {
             return Err(format!("unsupported PPM magic '{}'", fields[0]));

@@ -87,12 +87,7 @@ pub struct CameraGeometry {
 
 impl Default for CameraGeometry {
     fn default() -> Self {
-        CameraGeometry {
-            width_px: 640,
-            height_px: 480,
-            px_per_mm: 3.4,
-            look_at_mm: (50.0, 43.0),
-        }
+        CameraGeometry { width_px: 640, height_px: 480, px_per_mm: 3.4, look_at_mm: (50.0, 43.0) }
     }
 }
 
@@ -122,7 +117,8 @@ mod tests {
         // both project inside the frame at nominal pose.
         let left_mm = marker.offset_x_mm - 4.0;
         let right_mm = plate.width_mm + 2.0;
-        let to_px = |x_mm: f64| (x_mm - cam.look_at_mm.0) * cam.px_per_mm + cam.width_px as f64 / 2.0;
+        let to_px =
+            |x_mm: f64| (x_mm - cam.look_at_mm.0) * cam.px_per_mm + cam.width_px as f64 / 2.0;
         assert!(to_px(left_mm) > 4.0, "left edge at {}", to_px(left_mm));
         assert!(to_px(right_mm) < cam.width_px as f64 - 4.0, "right edge at {}", to_px(right_mm));
     }

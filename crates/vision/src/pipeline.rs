@@ -135,8 +135,10 @@ impl Detector {
         let px_per_mm = marker.size_px / p.marker.size_mm;
 
         // Marker center in plate-local mm.
-        let marker_center_mm =
-            (p.marker.offset_x_mm + p.marker.size_mm / 2.0, p.marker.offset_y_mm + p.marker.size_mm / 2.0);
+        let marker_center_mm = (
+            p.marker.offset_x_mm + p.marker.size_mm / 2.0,
+            p.marker.offset_y_mm + p.marker.size_mm / 2.0,
+        );
         let plate_origin_px = (
             marker.center.0 - marker_center_mm.0 * px_per_mm,
             marker.center.1 - marker_center_mm.1 * px_per_mm,
@@ -167,7 +169,10 @@ impl Detector {
         let in_plate = |c: &Circle| {
             let x_mm = (c.cx - plate_origin_px.0) / px_per_mm;
             let y_mm = (c.cy - plate_origin_px.1) / px_per_mm;
-            x_mm > -margin && y_mm > -margin && x_mm < p.plate.width_mm + margin && y_mm < p.plate.height_mm + margin
+            x_mm > -margin
+                && y_mm > -margin
+                && x_mm < p.plate.width_mm + margin
+                && y_mm < p.plate.height_mm + margin
         };
         let centers: Vec<(f64, f64)> =
             circles.iter().filter(|c| in_plate(c)).map(|c| (c.cx, c.cy)).collect();
@@ -176,7 +181,8 @@ impl Detector {
         let (model, rms, fitted) = if p.grid_alignment {
             match fit_grid(&centers, p.plate.rows, p.plate.cols, &approx, 3) {
                 Some(fit) => {
-                    let pitch_ok = (fit.model.pitch_px() / (p.plate.pitch_mm * px_per_mm) - 1.0).abs() < 0.12;
+                    let pitch_ok =
+                        (fit.model.pitch_px() / (p.plate.pitch_mm * px_per_mm) - 1.0).abs() < 0.12;
                     if !pitch_ok {
                         return Err(VisionError::ImplausibleGrid);
                     }
@@ -198,10 +204,8 @@ impl Detector {
             for row in 0..p.plate.rows {
                 for col in 0..p.plate.cols {
                     let (ax, ay) = model.predict(row, col);
-                    let (bx, by) = (
-                        ax + (model.u.0 + model.v.0) / 2.0,
-                        ay + (model.u.1 + model.v.1) / 2.0,
-                    );
+                    let (bx, by) =
+                        (ax + (model.u.0 + model.v.0) / 2.0, ay + (model.u.1 + model.v.1) / 2.0);
                     let (c, n) = img.mean_disk(bx, by, well_r_px * 0.25);
                     if n > 0 {
                         patches.push(c.to_linear());
@@ -243,7 +247,13 @@ impl Detector {
                 if !by_hough {
                     recovered += 1;
                 }
-                wells.push(WellReading { row, col, color, center_px: (cx, cy), found_by_hough: by_hough });
+                wells.push(WellReading {
+                    row,
+                    col,
+                    color,
+                    center_px: (cx, cy),
+                    found_by_hough: by_hough,
+                });
             }
         }
 

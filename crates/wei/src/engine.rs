@@ -238,7 +238,8 @@ impl Engine {
         if self.workcell.instrument(module).is_none() {
             return Err(WeiError::UnknownModule(module.to_string()));
         }
-        let robotic = self.workcell.instrument(module).map(|i| i.kind().is_robotic()).unwrap_or(false);
+        let robotic =
+            self.workcell.instrument(module).map(|i| i.kind().is_robotic()).unwrap_or(false);
         if !self.module_rngs.contains_key(module) {
             let stream = self.hub.stream(&format!("wei.module.{module}"));
             self.module_rngs.insert(module.to_string(), stream);
@@ -274,7 +275,8 @@ impl Engine {
             self.counters.attempts += 1;
 
             // Fault draw (humans supervise their attempt, so no fault then).
-            let fault = if human { None } else { self.fault_plan.draw(module, &mut self.fault_rng) };
+            let fault =
+                if human { None } else { self.fault_plan.draw(module, &mut self.fault_rng) };
             match fault {
                 Some(FaultKind::ReceptionDropped) => {
                     self.counters.reception_faults += 1;
@@ -306,7 +308,12 @@ impl Engine {
                         self.counters.robotic_completed += 1;
                         self.reliability.robotic_ok();
                     }
-                    return Ok(CommandResult { busy, attempts, human_intervened: human, data: outcome.data });
+                    return Ok(CommandResult {
+                        busy,
+                        attempts,
+                        human_intervened: human,
+                        data: outcome.data,
+                    });
                 }
                 Err(e) => {
                     // Logical errors (empty towers, reused wells…) will not

@@ -26,7 +26,9 @@ mod runlog;
 mod workcell;
 mod workflow;
 
-pub use engine::{Clock, CommandResult, Counters, Engine, Reliability, RetryPolicy, RunOutput, SeqClock};
+pub use engine::{
+    Clock, CommandResult, Counters, Engine, Reliability, RetryPolicy, RunOutput, SeqClock,
+};
 pub use error::WeiError;
 pub use live::LiveExecutor;
 pub use runlog::{StepRecord, WorkflowRunLog};

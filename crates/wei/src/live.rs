@@ -90,10 +90,8 @@ impl LiveExecutor {
         action: &str,
         args: ActionArgs,
     ) -> Result<ActionOutcome, WeiError> {
-        let tx = self
-            .senders
-            .get(module)
-            .ok_or_else(|| WeiError::UnknownModule(module.to_string()))?;
+        let tx =
+            self.senders.get(module).ok_or_else(|| WeiError::UnknownModule(module.to_string()))?;
         let (reply_tx, reply_rx) = unbounded();
         tx.send(LiveCommand { action: action.to_string(), args, reply: reply_tx })
             .map_err(|_| WeiError::Invalid(format!("module server '{module}' is down")))?;
@@ -109,7 +107,11 @@ impl LiveExecutor {
     }
 
     /// Run a workflow against the live fleet.
-    pub fn run_workflow(&self, wf: &Workflow, payload: &Payload) -> Result<(WorkflowRunLog, Vec<(String, ActionData)>), WeiError> {
+    pub fn run_workflow(
+        &self,
+        wf: &Workflow,
+        payload: &Payload,
+    ) -> Result<(WorkflowRunLog, Vec<(String, ActionData)>), WeiError> {
         let start = self.now();
         let mut records = Vec::new();
         let mut data = Vec::new();

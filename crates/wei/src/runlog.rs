@@ -57,7 +57,14 @@ impl WorkflowRunLog {
     /// Render the text table the paper describes (one line per step).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "workflow: {}  ({} -> {}, {})", self.workflow, self.start, self.end, self.duration());
+        let _ = writeln!(
+            out,
+            "workflow: {}  ({} -> {}, {})",
+            self.workflow,
+            self.start,
+            self.end,
+            self.duration()
+        );
         for r in &self.records {
             let _ = writeln!(
                 out,

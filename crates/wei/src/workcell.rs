@@ -9,7 +9,8 @@ use crate::error::WeiError;
 use sdl_color::{DyeSet, MixKind};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_instruments::{
-    Barty, CameraSim, Instrument, ModuleKind, Ot2, Pf400, ReservoirBank, SciClops, TimingModel, World,
+    Barty, CameraSim, Instrument, ModuleKind, Ot2, Pf400, ReservoirBank, SciClops, TimingModel,
+    World,
 };
 use std::collections::BTreeMap;
 
@@ -79,7 +80,11 @@ pub struct Workcell {
 impl Workcell {
     /// Instantiate every module of `config` with the given dye set and
     /// mixing model.
-    pub fn instantiate(config: WorkcellConfig, dyes: DyeSet, mix: MixKind) -> Result<Workcell, WeiError> {
+    pub fn instantiate(
+        config: WorkcellConfig,
+        dyes: DyeSet,
+        mix: MixKind,
+    ) -> Result<Workcell, WeiError> {
         let mut world = World::new(dyes.clone(), mix);
         world.add_slot("trash");
         let mut instruments: BTreeMap<String, Box<dyn Instrument>> = BTreeMap::new();
@@ -97,14 +102,18 @@ impl Workcell {
                             .iter()
                             .map(|v| {
                                 v.as_i64().map(|n| n.max(0) as u32).ok_or_else(|| {
-                                    WeiError::Invalid(format!("{}: towers must be integers", m.name))
+                                    WeiError::Invalid(format!(
+                                        "{}: towers must be integers",
+                                        m.name
+                                    ))
                                 })
                             })
                             .collect::<Result<_, _>>()?,
                         None => vec![10, 10, 10, 10],
                     };
                     world.add_slot(exchange.clone());
-                    instruments.insert(m.name.clone(), Box::new(SciClops::new(&m.name, towers, exchange)));
+                    instruments
+                        .insert(m.name.clone(), Box::new(SciClops::new(&m.name, towers, exchange)));
                 }
                 ModuleKind::Manipulator => {
                     instruments.insert(m.name.clone(), Box::new(Pf400::new(&m.name)));
@@ -118,16 +127,23 @@ impl Workcell {
                     let tips = c.opt_i64("tips").unwrap_or(960).max(0) as u32;
                     world.add_slot(deck.clone());
                     world.add_bank(m.name.clone(), ReservoirBank::full(&dyes, capacity));
-                    instruments.insert(m.name.clone(), Box::new(Ot2::new(&m.name, deck, m.name.clone(), tips)));
+                    instruments.insert(
+                        m.name.clone(),
+                        Box::new(Ot2::new(&m.name, deck, m.name.clone(), tips)),
+                    );
                 }
                 ModuleKind::LiquidReplenisher => {
                     let feeds = c
                         .opt_str("feeds")
-                        .ok_or_else(|| WeiError::Invalid(format!("{}: needs 'feeds: <ot2 name>'", m.name)))?
+                        .ok_or_else(|| {
+                            WeiError::Invalid(format!("{}: needs 'feeds: <ot2 name>'", m.name))
+                        })?
                         .to_string();
                     let stock = c.opt_f64("stock_ul").unwrap_or(2_000_000.0);
-                    instruments
-                        .insert(m.name.clone(), Box::new(Barty::new(&m.name, feeds, vec![stock; dyes.len()])));
+                    instruments.insert(
+                        m.name.clone(),
+                        Box::new(Barty::new(&m.name, feeds, vec![stock; dyes.len()])),
+                    );
                 }
                 ModuleKind::Camera => {
                     let nest = c
@@ -230,13 +246,15 @@ pub fn workcell_diagram(config: &WorkcellConfig) -> String {
             .modules
             .iter()
             .find(|m| {
-                m.kind == ModuleKind::LiquidReplenisher
-                    && m.config.opt_str("feeds") == Some(*h)
+                m.kind == ModuleKind::LiquidReplenisher && m.config.opt_str("feeds") == Some(*h)
             })
             .map(|m| m.name.as_str());
         match feeder {
             Some(b) => {
-                let _ = writeln!(out, "      |-- [{h}] deck + reservoirs <~~ pumps ~~ [{b}] stock vessels");
+                let _ = writeln!(
+                    out,
+                    "      |-- [{h}] deck + reservoirs <~~ pumps ~~ [{b}] stock vessels"
+                );
             }
             None => {
                 let _ = writeln!(out, "      |-- [{h}] deck + reservoirs");

@@ -73,9 +73,9 @@ impl Workflow {
             .req_seq("modules")?
             .iter()
             .map(|m| {
-                m.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| WeiError::Invalid(format!("{name}: modules entries must be strings")))
+                m.as_str().map(str::to_string).ok_or_else(|| {
+                    WeiError::Invalid(format!("{name}: modules entries must be strings"))
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut steps = Vec::new();
@@ -175,13 +175,13 @@ fn substitute(
     while let Some(start) = rest.find("${") {
         out.push_str(&rest[..start]);
         let after = &rest[start + 2..];
-        let end = after
-            .find('}')
-            .ok_or_else(|| WeiError::Invalid(format!("step '{step}': unterminated ${{ in '{template}'")))?;
+        let end = after.find('}').ok_or_else(|| {
+            WeiError::Invalid(format!("step '{step}': unterminated ${{ in '{template}'"))
+        })?;
         let key = &after[..end];
-        let val = vars
-            .get(key)
-            .ok_or_else(|| WeiError::Invalid(format!("step '{step}': undefined variable '{key}'")))?;
+        let val = vars.get(key).ok_or_else(|| {
+            WeiError::Invalid(format!("step '{step}': undefined variable '{key}'"))
+        })?;
         out.push_str(val);
         rest = &after[end + 1..];
     }
@@ -239,7 +239,8 @@ steps:
     #[test]
     fn payload_protocol_attachment() {
         let wf = Workflow::from_yaml(MIX).unwrap();
-        let payload = Payload::with_protocol(ProtocolSpec { name: "mix".into(), dispenses: vec![] });
+        let payload =
+            Payload::with_protocol(ProtocolSpec { name: "mix".into(), dispenses: vec![] });
         let args = Workflow::resolve_args(&wf.steps[1], &payload).unwrap();
         assert!(args.protocol.is_some());
         // Step without protocol arg ignores the payload.
@@ -255,9 +256,12 @@ steps:
             name: "move".into(),
             module: "pf400".into(),
             action: "transfer".into(),
-            args: [("source".to_string(), "${from}".to_string()), ("target".to_string(), "x${to}y".to_string())]
-                .into_iter()
-                .collect(),
+            args: [
+                ("source".to_string(), "${from}".to_string()),
+                ("target".to_string(), "x${to}y".to_string()),
+            ]
+            .into_iter()
+            .collect(),
         };
         let payload = Payload::none().var("from", "a.nest").var("to", "B");
         let args = Workflow::resolve_args(&step, &payload).unwrap();

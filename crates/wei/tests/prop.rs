@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use sdl_color::{DyeSet, MixKind};
 use sdl_desim::{FaultPlan, FaultRates, RngHub, SimTime};
-use sdl_wei::{Clock, Engine, Payload, SeqClock, Workcell, WorkcellConfig, Workflow, RPL_WORKCELL_YAML};
+use sdl_wei::{
+    Clock, Engine, Payload, SeqClock, Workcell, WorkcellConfig, Workflow, RPL_WORKCELL_YAML,
+};
 
 fn engine(seed: u64, plan: FaultPlan) -> Engine {
     let cfg = WorkcellConfig::from_yaml(RPL_WORKCELL_YAML).unwrap();

@@ -1,33 +1,32 @@
-//! Batch-size sweep — a scaled-down Figure 4.
+//! Batch-size sweep — a scaled-down Figure 4 on the campaign engine.
 //!
 //! Runs the color picker at several batch sizes in parallel (one simulated
-//! lab per thread) and prints the time/quality trade-off the paper reports:
-//! "experiments with smaller batch sizes achieve lower scores, but take
-//! longer to run."
+//! lab per worker thread) and prints the time/quality trade-off the paper
+//! reports: "experiments with smaller batch sizes achieve lower scores,
+//! but take longer to run."
 //!
 //! ```text
 //! cargo run --release --example batch_sweep
 //! ```
 
-use sdl_lab::core::{batch_sweep, run_sweep, AppConfig};
+use sdl_lab::core::{batch_sweep, AppConfig, CampaignRunner};
 
 fn main() {
-    let base = AppConfig {
-        sample_budget: 64,
-        publish_images: false,
-        ..AppConfig::default()
-    };
+    let base = AppConfig { sample_budget: 64, publish_images: false, ..AppConfig::default() };
     let batches = [1u32, 4, 16, 64];
     println!("running {} experiments of {} samples each...", batches.len(), base.sample_budget);
 
-    let results = run_sweep(batch_sweep(&base, &batches));
+    let report = CampaignRunner::new().run(batch_sweep(&base, &batches));
 
-    println!("\n{:<6} {:>12} {:>12} {:>10} {:>8}", "batch", "duration", "min/color", "best", "plates");
-    for (label, result) in results {
-        let out = result.expect("sweep member succeeds");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>10} {:>8}",
+        "batch", "duration", "min/color", "best", "plates"
+    );
+    for result in &report.results {
+        let out = result.expect_single();
         println!(
             "{:<6} {:>12} {:>12.2} {:>10.2} {:>8}",
-            label,
+            result.label(),
             out.duration.to_string(),
             out.duration.as_minutes() / out.samples_measured as f64,
             out.best_score,

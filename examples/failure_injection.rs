@@ -14,7 +14,10 @@ use sdl_lab::core::{run_one, AppConfig};
 use sdl_lab::desim::{FaultPlan, FaultRates};
 
 fn main() {
-    println!("{:<28} {:>6} {:>12} {:>8} {:>8} {:>12}", "scenario", "CCWH", "TWH", "faults", "humans", "duration");
+    println!(
+        "{:<28} {:>6} {:>12} {:>8} {:>8} {:>12}",
+        "scenario", "CCWH", "TWH", "faults", "humans", "duration"
+    );
     for (label, plan) in [
         ("healthy lab", FaultPlan::none()),
         (

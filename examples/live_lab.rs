@@ -17,7 +17,8 @@ use sdl_lab::wei::{LiveExecutor, Payload, Workcell, WorkcellConfig, Workflow, RP
 
 fn main() {
     let cfg = WorkcellConfig::from_yaml(RPL_WORKCELL_YAML).expect("workcell parses");
-    let cell = Workcell::instantiate(cfg, DyeSet::cmyk(), MixKind::BeerLambert).expect("instantiates");
+    let cell =
+        Workcell::instantiate(cfg, DyeSet::cmyk(), MixKind::BeerLambert).expect("instantiates");
     // 1 simulated second = 0.2 real milliseconds.
     let exec = LiveExecutor::start(cell, RngHub::new(7), 0.0002);
 
@@ -40,9 +41,8 @@ fn main() {
             WellDispense { well: WellIndex::new(0, 1), volumes_ul: vec![0.0, 0.0, 0.0, 36.0] },
         ],
     };
-    let payload = Payload::with_protocol(protocol)
-        .var("nest", "camera.nest")
-        .var("deck", "ot2.deck");
+    let payload =
+        Payload::with_protocol(protocol).var("nest", "camera.nest").var("deck", "ot2.deck");
     let (log, data) = exec.run_workflow(&wf, &payload).expect("workflow runs");
 
     println!("{}", log.render());

@@ -34,6 +34,9 @@ fn main() {
     // The trajectory is the raw material of the paper's Figure 4.
     println!("best-so-far trajectory:");
     for p in outcome.trajectory.iter().filter(|p| p.sample % 4 == 0 || p.sample == 1) {
-        println!("  sample {:>3}  t = {:>6.1} min  best = {:>6.2}", p.sample, p.elapsed_min, p.best);
+        println!(
+            "  sample {:>3}  t = {:>6.1} min  best = {:>6.2}",
+            p.sample, p.elapsed_min, p.best
+        );
     }
 }

@@ -1,24 +1,20 @@
-//! Solver shootout — §2.5's claim in miniature.
+//! Solver shootout — §2.5's claim in miniature, as one campaign.
 //!
 //! The paper implemented a Bayesian optimizer alongside the genetic solver
 //! but found it "does not yield a systematic improvement". This example
-//! races all five decision procedures (including the analytic oracle and
+//! races all six decision procedures (including the analytic oracle and
 //! the random floor) on identical budgets and seeds.
 //!
 //! ```text
 //! cargo run --release --example solver_shootout
 //! ```
 
-use sdl_lab::core::{run_sweep, solver_sweep, AppConfig};
+use sdl_lab::core::{solver_sweep, AppConfig, CampaignRunner};
 use sdl_lab::solvers::SolverKind;
 
 fn main() {
-    let base = AppConfig {
-        sample_budget: 48,
-        batch: 4,
-        publish_images: false,
-        ..AppConfig::default()
-    };
+    let base =
+        AppConfig { sample_budget: 48, batch: 4, publish_images: false, ..AppConfig::default() };
     let solvers = SolverKind::all();
     let seeds = [11u64, 22, 33];
     println!(
@@ -28,27 +24,19 @@ fn main() {
         base.sample_budget,
         base.batch
     );
-    let results = run_sweep(solver_sweep(&base, &solvers, &seeds));
+    let report = CampaignRunner::new().run(solver_sweep(&base, &solvers, &seeds));
 
     println!("\n{:<22} {:>10} {:>14}", "solver/seed", "best", "sample@best");
-    for (label, result) in &results {
-        let out = result.as_ref().expect("run succeeds");
-        let best_at = out
-            .trajectory
-            .iter()
-            .find(|p| p.best == out.best_score)
-            .map(|p| p.sample)
-            .unwrap_or(0);
-        println!("{label:<22} {:>10.2} {:>14}", out.best_score, best_at);
+    for result in &report.results {
+        let out = result.expect_single();
+        let best_at =
+            out.trajectory.iter().find(|p| p.best == out.best_score).map(|p| p.sample).unwrap_or(0);
+        println!("{:<22} {:>10.2} {:>14}", result.label(), out.best_score, best_at);
     }
 
     println!("\nper-solver mean best:");
     for solver in solvers {
-        let scores: Vec<f64> = results
-            .iter()
-            .filter(|(l, _)| l.starts_with(solver.name()))
-            .map(|(_, r)| r.as_ref().unwrap().best_score)
-            .collect();
+        let scores = report.best_scores_with_prefix(solver.name());
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         println!("  {:<10} {:>7.2}", solver.name(), mean);
     }

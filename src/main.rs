@@ -4,14 +4,15 @@
 //! sdl-lab run [--samples N] [--batch B] [--solver NAME] [--seed S]
 //!             [--target R,G,B] [--config FILE] [--runlog-dir DIR]
 //!             [--export-portal FILE] [--flat-field]
-//! sdl-lab sweep --batches 1,2,4,8 [--samples N]
+//! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
+//! sdl-lab campaign --config FILE [--threads T] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab workcell
 //! sdl-lab help
 //! ```
 
 use sdl_lab::color::Rgb8;
-use sdl_lab::core::{batch_sweep, run_sweep, AppConfig, ColorPickerApp};
+use sdl_lab::core::{batch_sweep, AppConfig, CampaignConfig, CampaignRunner, ColorPickerApp};
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
 use std::path::PathBuf;
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
     let result = match command {
         "run" => cmd_run(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "portal" => cmd_portal(&args[1..]),
         "workcell" => {
             println!("{}", sdl_lab::wei::RPL_WORKCELL_YAML);
@@ -53,7 +55,8 @@ fn print_help() {
 
 commands:
   run        run one closed-loop experiment and print metrics + portal summary
-  sweep      run a batch-size sweep (Figure 4 style) in parallel
+  sweep      run a batch-size sweep (Figure 4 style) through the campaign engine
+  campaign   run a declarative scenario matrix (solvers x seeds x batches x ...)
   portal     inspect an exported portal JSON-lines file
   workcell   print the default workcell YAML
   help       this text
@@ -73,6 +76,14 @@ run options:
 sweep options:
   --batches LIST      comma-separated batch sizes (default 1,2,4,8,16,32,64)
   --samples N         sample budget per experiment (default 128)
+  --threads T         worker threads (default: one per core)
+
+campaign options:
+  --config FILE       scenario-matrix YAML (solvers/seeds/batches/targets/
+                      mix_models/fault_rates/n_ot2 axes over a base config)
+  --threads T         worker threads (overrides the config's 'threads')
+  --export-portal F   write every streamed scenario record as JSON lines
+  --fingerprint       print the campaign's determinism fingerprint
 
 portal options:
   --import FILE       JSON-lines file written by --export-portal
@@ -104,7 +115,9 @@ fn build_config(args: &[String]) -> Result<AppConfig, String> {
         config.batch = v.parse().map_err(|_| format!("bad --batch '{v}'"))?;
     }
     if let Some(v) = flag_value(args, "--solver") {
-        config.solver = SolverKind::parse(v).ok_or_else(|| format!("unknown solver '{v}'"))?;
+        config.solver = SolverKind::parse(v).ok_or_else(|| {
+            format!("unknown solver '{v}' (valid solvers: {})", SolverKind::valid_names())
+        })?;
     }
     if let Some(v) = flag_value(args, "--seed") {
         config.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
@@ -165,6 +178,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn runner_for(args: &[String]) -> Result<CampaignRunner, String> {
+    let mut runner = CampaignRunner::new();
+    if let Some(v) = flag_value(args, "--threads") {
+        let t: usize = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+        runner = runner.threads(t);
+    }
+    Ok(runner)
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut base = build_config(args)?;
     base.publish_images = false;
@@ -177,17 +199,55 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         None => vec![1, 2, 4, 8, 16, 32, 64],
     };
     eprintln!("running {} experiments of {} samples...", batches.len(), base.sample_budget);
-    let results = run_sweep(batch_sweep(&base, &batches));
+    let report = runner_for(args)?.run(batch_sweep(&base, &batches));
     println!("{:<6} {:>12} {:>10} {:>8}", "batch", "duration", "best", "plates");
-    for (label, result) in results {
-        let out = result.map_err(|e| format!("{label}: {e}"))?;
+    for result in &report.results {
+        let out = result.outcome.as_ref().map_err(|e| format!("{}: {e}", result.label()))?;
         println!(
             "{:<6} {:>12} {:>10.2} {:>8}",
-            label,
-            out.duration.to_string(),
-            out.best_score,
-            out.plates_used
+            result.label(),
+            out.duration().to_string(),
+            out.best_score(),
+            out.plates_used()
         );
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--config").ok_or("campaign needs --config FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let config = CampaignConfig::from_yaml(&text).map_err(|e| e.to_string())?;
+    let scenarios = config.scenarios();
+    if scenarios.is_empty() {
+        return Err("campaign expands to zero scenarios".into());
+    }
+    let mut runner = runner_for(args)?.progress(true);
+    if flag_value(args, "--threads").is_none() {
+        if let Some(t) = config.threads {
+            runner = runner.threads(t);
+        }
+    }
+    eprintln!(
+        "campaign '{}': {} scenarios on {} threads...",
+        config.name,
+        scenarios.len(),
+        runner.worker_threads()
+    );
+    let report = runner.run(scenarios);
+    println!("# campaign '{}'", config.name);
+    println!("{}", report.summary_table());
+    let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
+    if flag_present(args, "--fingerprint") {
+        println!("fingerprint:\n{}", report.fingerprint());
+    }
+    if let Some(path) = flag_value(args, "--export-portal") {
+        let n =
+            report.portal.export_jsonl(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        println!("exported {n} portal records to {path}");
+    }
+    if failed > 0 {
+        return Err(format!("{failed} scenario(s) failed"));
     }
     Ok(())
 }

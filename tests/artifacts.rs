@@ -10,12 +10,8 @@ fn tmp(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn full_artifact_pipeline() {
-    let config = AppConfig {
-        sample_budget: 6,
-        batch: 3,
-        publish_images: true,
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { sample_budget: 6, batch: 3, publish_images: true, ..AppConfig::default() };
     let mut app = ColorPickerApp::new(config).expect("app builds");
     let outcome = app.run().expect("run completes");
 

@@ -3,13 +3,7 @@
 use sdl_lab::core::{run_one, AppConfig};
 
 fn config(seed: u64) -> AppConfig {
-    AppConfig {
-        sample_budget: 16,
-        batch: 4,
-        seed,
-        publish_images: false,
-        ..AppConfig::default()
-    }
+    AppConfig { sample_budget: 16, batch: 4, seed, publish_images: false, ..AppConfig::default() }
 }
 
 #[test]

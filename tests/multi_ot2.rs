@@ -4,7 +4,8 @@ use sdl_lab::core::{run_multi_ot2, run_one, AppConfig};
 
 #[test]
 fn two_handlers_cut_twh_without_losing_science() {
-    let base = AppConfig { sample_budget: 24, batch: 2, publish_images: false, ..AppConfig::default() };
+    let base =
+        AppConfig { sample_budget: 24, batch: 2, publish_images: false, ..AppConfig::default() };
     let single = run_one(base.clone()).expect("single-flow app");
     let dual = run_multi_ot2(&base, 2).expect("dual-handler run");
 

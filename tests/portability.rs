@@ -46,11 +46,8 @@ fn missing_module_kind_is_a_setup_error() {
         .take_while(|l| !l.contains("- name: eye"))
         .collect::<Vec<_>>()
         .join("\n");
-    let config = AppConfig {
-        workcell_yaml: no_camera,
-        publish_images: false,
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { workcell_yaml: no_camera, publish_images: false, ..AppConfig::default() };
     let err = sdl_lab::core::ColorPickerApp::new(config).err().expect("must fail");
     assert!(err.to_string().contains("camera"), "{err}");
 }

@@ -4,7 +4,13 @@
 use sdl_lab::core::{AppConfig, ColorPickerApp, TerminationReason};
 
 fn config() -> AppConfig {
-    AppConfig { sample_budget: 18, batch: 3, publish_images: false, seed: 77, ..AppConfig::default() }
+    AppConfig {
+        sample_budget: 18,
+        batch: 3,
+        publish_images: false,
+        seed: 77,
+        ..AppConfig::default()
+    }
 }
 
 #[test]

@@ -10,7 +10,8 @@ use sdl_lab::solvers::SolverKind;
 
 #[test]
 fn informed_solvers_beat_random_at_paper_scale() {
-    let base = AppConfig { sample_budget: 64, batch: 4, publish_images: false, ..AppConfig::default() };
+    let base =
+        AppConfig { sample_budget: 64, batch: 4, publish_images: false, ..AppConfig::default() };
     let seeds = [5u64, 9];
     let results = run_sweep(solver_sweep(
         &base,

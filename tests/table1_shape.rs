@@ -6,7 +6,8 @@ use sdl_lab::core::{run_one, AppConfig};
 
 #[test]
 fn b1_run_reproduces_table1_bands() {
-    let config = AppConfig { sample_budget: 128, batch: 1, publish_images: false, ..AppConfig::default() };
+    let config =
+        AppConfig { sample_budget: 128, batch: 1, publish_images: false, ..AppConfig::default() };
     let out = run_one(config).expect("B=1 run completes");
     let m = &out.metrics;
 
@@ -33,9 +34,7 @@ fn b1_run_reproduces_table1_bands() {
 
     // The pf400 picks and places "precisely twice per time period": 2 moves
     // per iteration plus plate logistics.
-    let transfers = out
-        .counters
-        .robotic_completed;
+    let transfers = out.counters.robotic_completed;
     assert!(transfers >= 128 * 3, "robotic commands {transfers}");
 
     // 128 data uploads (one per sample) plus the experiment record.
