@@ -5,7 +5,7 @@ use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
 use crate::multi::run_multi_ot2;
 use sdl_conf::Value;
-use sdl_datapub::AcdcPortal;
+use sdl_datapub::{AcdcPortal, BlobStore};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -20,7 +20,9 @@ use std::sync::{mpsc, Arc};
 pub struct CampaignRunner {
     threads: usize,
     portal: Arc<AcdcPortal>,
+    store: Arc<BlobStore>,
     progress: bool,
+    publish_records: bool,
 }
 
 impl Default for CampaignRunner {
@@ -33,7 +35,13 @@ impl CampaignRunner {
     /// A runner with one worker per available core.
     pub fn new() -> CampaignRunner {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        CampaignRunner { threads, portal: Arc::new(AcdcPortal::new()), progress: false }
+        CampaignRunner {
+            threads,
+            portal: Arc::new(AcdcPortal::new()),
+            store: Arc::new(BlobStore::in_memory()),
+            progress: false,
+            publish_records: false,
+        }
     }
 
     /// Builder: use exactly `n` worker threads.
@@ -58,6 +66,28 @@ impl CampaignRunner {
     /// The portal scenario summaries stream into.
     pub fn portal(&self) -> &Arc<AcdcPortal> {
         &self.portal
+    }
+
+    /// Builder: collect published plate images into an existing blob store
+    /// (e.g. one a portal server is concurrently serving `/blobs/` from).
+    pub fn with_store(mut self, store: Arc<BlobStore>) -> CampaignRunner {
+        self.store = store;
+        self
+    }
+
+    /// Builder: also stream each scenario's *full* record set (experiment
+    /// metadata and per-sample records) into the campaign portal, not just
+    /// the scenario summary. This is what a live portal server wants: the
+    /// Figure-3 summary and run-detail views become available per
+    /// experiment as each scenario completes.
+    pub fn publish_records(mut self, on: bool) -> CampaignRunner {
+        self.publish_records = on;
+        self
+    }
+
+    /// The blob store scenario plate images merge into.
+    pub fn store(&self) -> &Arc<BlobStore> {
+        &self.store
     }
 
     /// The number of worker threads `run` will use.
@@ -135,8 +165,15 @@ impl CampaignRunner {
         CampaignReport { results, portal: Arc::clone(&self.portal), threads: self.threads }
     }
 
-    /// Stream one scenario's summary record into the portal.
+    /// Stream one scenario's summary record into the portal, and its plate
+    /// images into the shared blob store.
     fn publish_scenario(&self, result: &ScenarioResult) {
+        if let Ok(ScenarioOutcome::Single(out)) = &result.outcome {
+            out.store.merge_into(&self.store);
+            if self.publish_records {
+                self.portal.merge_from(&out.portal);
+            }
+        }
         let mut v = Value::map();
         v.set("kind", "campaign_scenario");
         v.set("label", result.spec.label.as_str());
@@ -243,6 +280,40 @@ mod tests {
             assert_eq!(r.opt_i64("index"), Some(i as i64), "stream out of order");
         }
         assert_eq!(report.portal.find("kind", "campaign").len(), 1);
+    }
+
+    #[test]
+    fn full_records_and_blobs_stream_into_shared_sinks() {
+        let portal = Arc::new(AcdcPortal::new());
+        let store = Arc::new(BlobStore::in_memory());
+        let mut with_images = spec("imaged", 7);
+        with_images.config.publish_images = true;
+        let report = CampaignRunner::new()
+            .threads(2)
+            .with_portal(Arc::clone(&portal))
+            .with_store(Arc::clone(&store))
+            .publish_records(true)
+            .run(vec![with_images, spec("plain", 8)]);
+        assert_eq!(report.len(), 2);
+        // Full per-sample records from both scenarios landed in the shared
+        // portal alongside the scenario summaries.
+        assert_eq!(portal.find("kind", "experiment").len(), 2);
+        assert_eq!(portal.find("kind", "sample").len(), 8);
+        assert_eq!(portal.find("kind", "campaign_scenario").len(), 2);
+        // The imaged scenario's plate frames were merged into the shared
+        // blob store under their original references.
+        assert!(!store.is_empty(), "publish_images scenario produced no blobs");
+        let sample_with_image = portal
+            .search(|r| r.opt_str("kind") == Some("sample") && r.opt_str("image_ref").is_some());
+        let r = sample_with_image[0].opt_str("image_ref").unwrap();
+        assert!(store.get(&sdl_datapub::BlobRef(r.to_string())).is_some());
+    }
+
+    #[test]
+    fn summaries_only_without_publish_records() {
+        let report = CampaignRunner::new().threads(2).run(vec![spec("s", 9)]);
+        assert_eq!(report.portal.find("kind", "sample").len(), 0);
+        assert_eq!(report.portal.find("kind", "campaign_scenario").len(), 1);
     }
 
     #[test]

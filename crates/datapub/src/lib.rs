@@ -22,7 +22,7 @@ mod record;
 mod store;
 
 pub use flow::{publish_sync, FlowJob, FlowStats, PublishFlow};
-pub use html::{base64, render_html};
-pub use portal::AcdcPortal;
+pub use html::{base64, render_html, render_run_html, render_summary_html, url_encode};
+pub use portal::{field_matches, AcdcPortal};
 pub use record::{ExperimentRecord, SampleRecord};
 pub use store::{BlobRef, BlobStore};

@@ -12,6 +12,29 @@ use sdl_conf::{from_json, to_json, Value, ValueExt};
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// True when the value at `path` inside `record` matches `raw`.
+///
+/// `raw` is matched as a string first; when it parses as a number it is
+/// also compared against integer and float fields with typed equality, so
+/// `find("run", "12")`, `find("score", "2.5")` and `find("run", "12.0")`
+/// all behave the way a query-string filter should.
+pub fn field_matches(record: &Value, path: &str, raw: &str) -> bool {
+    if record.opt_str(path) == Some(raw) {
+        return true;
+    }
+    if let Ok(n) = raw.parse::<i64>() {
+        if record.opt_i64(path) == Some(n) {
+            return true;
+        }
+    }
+    if let Ok(x) = raw.parse::<f64>() {
+        if record.opt_f64(path) == Some(x) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Thread-safe searchable record index.
 #[derive(Debug, Default)]
 pub struct AcdcPortal {
@@ -39,22 +62,52 @@ impl AcdcPortal {
         self.records.read().is_empty()
     }
 
-    /// All records matching a string-equality filter on a dotted path.
+    /// All records whose value at a dotted path matches `value` (string
+    /// equality, or typed i64/f64 equality when `value` parses as a
+    /// number — see [`field_matches`]).
     pub fn find(&self, path: &str, value: &str) -> Vec<Value> {
-        self.records
-            .read()
-            .iter()
-            .filter(|r| {
-                r.opt_str(path) == Some(value)
-                    || r.opt_i64(path).map(|v| v.to_string()).as_deref() == Some(value)
-            })
-            .cloned()
-            .collect()
+        self.records.read().iter().filter(|r| field_matches(r, path, value)).cloned().collect()
     }
 
     /// Records matching an arbitrary predicate.
     pub fn search(&self, pred: impl Fn(&Value) -> bool) -> Vec<Value> {
         self.records.read().iter().filter(|r| pred(r)).cloned().collect()
+    }
+
+    /// Records matching a predicate, windowed by `offset`/`limit` after
+    /// filtering (the portal's paging primitive).
+    pub fn search_page(
+        &self,
+        pred: impl Fn(&Value) -> bool,
+        offset: usize,
+        limit: usize,
+    ) -> (Vec<Value>, usize) {
+        let records = self.records.read();
+        let mut total = 0usize;
+        let mut page = Vec::new();
+        for r in records.iter().filter(|r| pred(r)) {
+            if total >= offset && page.len() < limit {
+                page.push(r.clone());
+            }
+            total += 1;
+        }
+        (page, total)
+    }
+
+    /// Append every record of `other`, preserving its publication order.
+    pub fn merge_from(&self, other: &AcdcPortal) {
+        let incoming = other.search(|_| true);
+        self.records.write().extend(incoming);
+    }
+
+    /// Experiment ids with a metadata record, in publication order.
+    pub fn experiments(&self) -> Vec<String> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.opt_str("kind") == Some("experiment"))
+            .filter_map(|r| r.opt_str("experiment_id").map(str::to_string))
+            .collect()
     }
 
     /// Sample records of one experiment, in publication order.
@@ -243,6 +296,40 @@ mod tests {
     }
 
     #[test]
+    fn find_matches_numbers_with_typed_comparison() {
+        let portal = seed_portal();
+        // Integer fields match integer-shaped strings and float-shaped
+        // strings with the same value.
+        assert_eq!(portal.find("run", "12").len(), 15);
+        assert_eq!(portal.find("run", "12.0").len(), 15);
+        // Float fields match numerically: sample 1 scored 30.0 - 0.1 = 29.9,
+        // which as a string is "29.9" but was stored as a Float.
+        assert_eq!(portal.find("score", "29.9").len(), 1);
+        assert!(portal.find("score", "29.90").len() == 1, "float equality must be typed");
+        // Whole floats match integer-shaped queries.
+        let p = AcdcPortal::new();
+        let mut v = Value::map();
+        v.set("x", 5.0);
+        p.ingest(v);
+        assert_eq!(p.find("x", "5").len(), 1);
+        // Non-numeric strings never match numeric fields.
+        assert_eq!(portal.find("run", "twelve").len(), 0);
+    }
+
+    #[test]
+    fn search_page_windows_after_filtering() {
+        let portal = seed_portal();
+        let is_sample = |r: &Value| r.opt_str("kind") == Some("sample");
+        let (page, total) = portal.search_page(is_sample, 0, 10);
+        assert_eq!((page.len(), total), (10, 180));
+        let (page, total) = portal.search_page(is_sample, 175, 10);
+        assert_eq!((page.len(), total), (5, 180));
+        assert_eq!(page[0].opt_i64("sample"), Some(176));
+        let (page, _) = portal.search_page(is_sample, 500, 10);
+        assert!(page.is_empty());
+    }
+
+    #[test]
     fn search_with_predicate() {
         let portal = seed_portal();
         let good = portal.search(|r| r.opt_f64("score").map(|s| s < 15.0).unwrap_or(false));
@@ -281,5 +368,35 @@ mod tests {
         assert_eq!(m, 181);
         assert_eq!(fresh.samples("exp-1").len(), 180);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_order_and_fields() {
+        let portal = seed_portal();
+        let path =
+            std::env::temp_dir().join(format!("sdl-portal-fidelity-{}.jsonl", std::process::id()));
+        portal.export_jsonl(&path).unwrap();
+        let reloaded = AcdcPortal::new();
+        reloaded.import_jsonl(&path).unwrap();
+        let before = portal.search(|_| true);
+        let after = reloaded.search(|_| true);
+        assert_eq!(before.len(), after.len());
+        // Records come back in the exact order they were published, with
+        // every field (including nested sequences and floats) intact.
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(to_json(b), to_json(a), "record {i} changed across the round-trip");
+        }
+        // Typed views survive too: the same samples parse identically.
+        let b = portal.samples("exp-1");
+        let a = reloaded.samples("exp-1");
+        assert_eq!(b, a);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn experiments_lists_metadata_records() {
+        let portal = seed_portal();
+        assert_eq!(portal.experiments(), vec!["exp-1".to_string()]);
+        assert!(AcdcPortal::new().experiments().is_empty());
     }
 }

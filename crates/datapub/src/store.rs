@@ -40,6 +40,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 pub struct BlobStore {
     blobs: Mutex<HashMap<BlobRef, Bytes>>,
     spill_dir: Option<PathBuf>,
+    spill_ready: std::sync::atomic::AtomicBool,
 }
 
 impl BlobStore {
@@ -48,9 +49,53 @@ impl BlobStore {
         BlobStore::default()
     }
 
-    /// Store that also writes each blob to `dir` (created on demand).
+    /// Store that also writes each blob to `dir`. The directory (and any
+    /// missing parents) is created on the first write, so a store may be
+    /// configured with a path that does not exist yet.
     pub fn with_spill_dir(dir: impl Into<PathBuf>) -> BlobStore {
-        BlobStore { blobs: Mutex::new(HashMap::new()), spill_dir: Some(dir.into()) }
+        BlobStore {
+            blobs: Mutex::new(HashMap::new()),
+            spill_dir: Some(dir.into()),
+            spill_ready: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Reopen a spill directory: load every previously spilled blob back
+    /// into memory, then continue spilling new blobs to the same place.
+    /// Files whose content no longer matches their name are skipped.
+    pub fn open_spill_dir(dir: impl Into<PathBuf>) -> std::io::Result<BlobStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = BlobStore::with_spill_dir(&dir);
+        store.spill_ready.store(true, std::sync::atomic::Ordering::Release);
+        let mut blobs = store.blobs.lock();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.starts_with("blob_") || !name.ends_with(".bin") {
+                continue;
+            }
+            let data = Bytes::from(std::fs::read(&path)?);
+            let r = BlobRef::from_hash(fnv64(&data));
+            if r.0.replace(':', "_") + ".bin" == name {
+                blobs.insert(r, data);
+            }
+        }
+        drop(blobs);
+        Ok(store)
+    }
+
+    fn spill(&self, r: &BlobRef, data: &Bytes) {
+        use std::sync::atomic::Ordering;
+        let Some(dir) = &self.spill_dir else { return };
+        if !self.spill_ready.load(Ordering::Acquire) {
+            // First write: make sure the directory exists before anything
+            // lands in it. `create_dir_all` is idempotent under races.
+            let _ = std::fs::create_dir_all(dir);
+            self.spill_ready.store(true, Ordering::Release);
+        }
+        let name = r.0.replace(':', "_");
+        let _ = std::fs::write(dir.join(format!("{name}.bin")), data);
     }
 
     /// Store a blob, returning its reference (idempotent).
@@ -60,11 +105,7 @@ impl BlobStore {
         if blobs.contains_key(&r) {
             return r;
         }
-        if let Some(dir) = &self.spill_dir {
-            let _ = std::fs::create_dir_all(dir);
-            let name = r.0.replace(':', "_");
-            let _ = std::fs::write(dir.join(format!("{name}.bin")), &data);
-        }
+        self.spill(&r, &data);
         blobs.insert(r.clone(), data);
         r
     }
@@ -72,6 +113,24 @@ impl BlobStore {
     /// Fetch a blob.
     pub fn get(&self, r: &BlobRef) -> Option<Bytes> {
         self.blobs.lock().get(r).cloned()
+    }
+
+    /// References of every blob held, in unspecified order.
+    pub fn refs(&self) -> Vec<BlobRef> {
+        self.blobs.lock().keys().cloned().collect()
+    }
+
+    /// Snapshot of every (reference, bytes) pair, in unspecified order.
+    pub fn entries(&self) -> Vec<(BlobRef, Bytes)> {
+        self.blobs.lock().iter().map(|(r, b)| (r.clone(), b.clone())).collect()
+    }
+
+    /// Copy every blob into `dst` (references are content hashes, so they
+    /// are identical in both stores afterwards).
+    pub fn merge_into(&self, dst: &BlobStore) {
+        for (_, data) in self.entries() {
+            dst.put(data);
+        }
     }
 
     /// Number of distinct blobs held.
@@ -131,6 +190,60 @@ mod tests {
         let expect = dir.join(format!("{}.bin", r.0.replace(':', "_")));
         assert_eq!(std::fs::read(expect).unwrap(), b"spilled");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_dir_is_created_on_first_write() {
+        let dir = std::env::temp_dir()
+            .join(format!("sdl-blob-missing-{}", std::process::id()))
+            .join("deeper")
+            .join("still");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = BlobStore::with_spill_dir(&dir);
+        assert!(!dir.exists(), "directory must not be created before the first write");
+        let r = store.put(Bytes::from_static(b"first write creates the dir"));
+        let expect = dir.join(format!("{}.bin", r.0.replace(':', "_")));
+        assert_eq!(std::fs::read(expect).unwrap(), b"first write creates the dir");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_roundtrip_reloads_blobs() {
+        let dir = std::env::temp_dir().join(format!("sdl-blob-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, b) = {
+            let store = BlobStore::with_spill_dir(&dir);
+            (store.put(Bytes::from_static(b"plate A")), store.put(Bytes::from_static(b"plate B")))
+        };
+        // A fresh store opened on the same directory sees both blobs under
+        // their original references.
+        let reopened = BlobStore::open_spill_dir(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(&a).unwrap(), Bytes::from_static(b"plate A"));
+        assert_eq!(reopened.get(&b).unwrap(), Bytes::from_static(b"plate B"));
+        // Corrupted files are skipped rather than served under a bad ref.
+        std::fs::write(dir.join(format!("{}.bin", a.0.replace(':', "_"))), b"tampered").unwrap();
+        let reopened = BlobStore::open_spill_dir(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.get(&a).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_into_copies_blobs() {
+        let src = BlobStore::in_memory();
+        let dst = BlobStore::in_memory();
+        let a = src.put(Bytes::from_static(b"one"));
+        let b = src.put(Bytes::from_static(b"two"));
+        dst.put(Bytes::from_static(b"two")); // overlap dedupes
+        src.merge_into(&dst);
+        assert_eq!(dst.len(), 2);
+        assert_eq!(dst.get(&a).unwrap(), Bytes::from_static(b"one"));
+        assert_eq!(dst.get(&b).unwrap(), Bytes::from_static(b"two"));
+        let mut refs = dst.refs();
+        refs.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(refs.len(), 2);
+        assert_eq!(dst.entries().len(), 2);
     }
 
     #[test]

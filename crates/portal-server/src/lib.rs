@@ -1,0 +1,36 @@
+//! `sdl-portal-server` — the HTTP serving layer for the ACDC portal.
+//!
+//! The paper publishes every run to the ACDC data portal so people and
+//! tools outside the lab process can watch campaigns as they execute
+//! (§2.3, Figure 3). This crate is that front door: a thread-pooled
+//! HTTP/1.1 server over [`std::net::TcpListener`] exposing a live
+//! [`AcdcPortal`](sdl_datapub::AcdcPortal) and
+//! [`BlobStore`](sdl_datapub::BlobStore):
+//!
+//! | endpoint | serves |
+//! |---|---|
+//! | `GET /records` | JSON-lines stream; dotted-path query filters, `limit`/`offset` paging |
+//! | `GET /summary` | the Figure-3 experiment summary (HTML) |
+//! | `GET /runs/<run>` | the Figure-3 run detail table (HTML) |
+//! | `GET /blobs/<ref>` | raw plate images from the blob store |
+//! | `GET /healthz` | liveness + portal size (JSON) |
+//! | `GET /metrics` | Prometheus text: request counts, latency histogram, portal gauges |
+//!
+//! Built only on `std` — no external HTTP dependency — so the offline
+//! build stays self-contained. The portal and store are shared `Arc`s:
+//! a campaign runner can keep publishing records while the server is
+//! answering requests, which is what `sdl-lab serve --campaign` does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod http;
+mod metrics;
+mod pool;
+mod server;
+
+pub use http::{percent_decode, Request, Response};
+pub use metrics::{route_label, ServerMetrics};
+pub use pool::ThreadPool;
+pub use server::{spawn, PortalServer, ServerConfig, ServerHandle};

@@ -1,0 +1,100 @@
+//! A fixed-size worker pool for connection handling.
+//!
+//! Jobs are boxed closures fanned out over a shared channel; dropping the
+//! pool closes the channel and joins every worker, so shutdown is a normal
+//! destructor rather than a special protocol.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed set of worker threads consuming a shared job queue.
+#[derive(Debug)]
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (clamped to at least one).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("portal-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    })
+                    .expect("spawn portal worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job; runs on the first free worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Send only fails when every worker has exited, which cannot
+            // happen while the pool is alive; drop the job in that case.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_before_drop_returns() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4);
+            assert_eq!(pool.size(), 4);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+    }
+}

@@ -1,0 +1,455 @@
+//! Routing and the accept/serve loop.
+
+use crate::http::{self, ParseError, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::pool::ThreadPool;
+use sdl_conf::{to_json, Value};
+use sdl_datapub::{
+    field_matches, render_run_html, render_summary_html, AcdcPortal, BlobRef, BlobStore,
+};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Records returned by `/records` when no `limit` is given.
+const DEFAULT_PAGE: usize = 1000;
+/// Hard ceiling on one `/records` page.
+const MAX_PAGE: usize = 100_000;
+
+/// How the server binds and sizes itself.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections. The model is
+    /// thread-per-connection: a keep-alive connection occupies its worker
+    /// until the peer closes or goes idle (~10 s), so size this at or
+    /// above the number of concurrent clients you expect.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), threads: 8 }
+    }
+}
+
+/// The portal front-end: routes requests against a live [`AcdcPortal`] and
+/// [`BlobStore`]. Routing is a pure function of the shared state, so the
+/// same instance is driven concurrently by every pool worker.
+#[derive(Debug)]
+pub struct PortalServer {
+    portal: Arc<AcdcPortal>,
+    store: Arc<BlobStore>,
+    metrics: Arc<ServerMetrics>,
+    started: Instant,
+}
+
+impl PortalServer {
+    /// A server over a portal and blob store (both may keep growing while
+    /// the server runs — live campaign streaming relies on that).
+    pub fn new(portal: Arc<AcdcPortal>, store: Arc<BlobStore>) -> PortalServer {
+        PortalServer {
+            portal,
+            store,
+            metrics: Arc::new(ServerMetrics::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The portal being served.
+    pub fn portal(&self) -> &Arc<AcdcPortal> {
+        &self.portal
+    }
+
+    /// The blob store being served.
+    pub fn store(&self) -> &Arc<BlobStore> {
+        &self.store
+    }
+
+    /// Request metrics (shared with `/metrics`).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// Route one request to its response. Only GET/HEAD reach this point.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/" => self.index(),
+            "/healthz" => self.healthz(),
+            "/records" => self.records(req),
+            "/summary" => self.summary(req),
+            "/metrics" => self.prometheus(),
+            path if path.starts_with("/runs/") => self.run_detail(req, &path["/runs/".len()..]),
+            path if path.starts_with("/blobs/") => self.blob(&path["/blobs/".len()..]),
+            _ => Response::error(404, "not found"),
+        }
+    }
+
+    fn index(&self) -> Response {
+        let mut body = String::from(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>sdl-portal</title></head>\
+             <body><h1>ACDC portal server</h1><ul>\
+             <li><a href=\"/records\">/records</a> — JSON-lines record stream \
+             (dotted-path filters, <code>limit</code>/<code>offset</code>)</li>\
+             <li><a href=\"/summary\">/summary</a> — experiment summary (Figure 3, left)</li>\
+             <li>/runs/&lt;run&gt; — run detail (Figure 3, right)</li>\
+             <li>/blobs/&lt;ref&gt; — raw plate images</li>\
+             <li><a href=\"/healthz\">/healthz</a> — liveness</li>\
+             <li><a href=\"/metrics\">/metrics</a> — Prometheus metrics</li></ul>",
+        );
+        let experiments = self.portal.experiments();
+        if !experiments.is_empty() {
+            body.push_str("<h2>experiments</h2><ul>");
+            for id in experiments {
+                // Percent-encode the id inside the URL; entity-escape it
+                // (quotes included) in the link text.
+                let text = id
+                    .replace('&', "&amp;")
+                    .replace('<', "&lt;")
+                    .replace('>', "&gt;")
+                    .replace('"', "&quot;");
+                body.push_str(&format!(
+                    "<li><a href=\"/summary?experiment={}\">{text}</a></li>",
+                    sdl_datapub::url_encode(&id)
+                ));
+            }
+            body.push_str("</ul>");
+        }
+        body.push_str("</body></html>");
+        Response::html(body)
+    }
+
+    fn healthz(&self) -> Response {
+        let mut v = Value::map();
+        v.set("status", "ok");
+        v.set("records", self.portal.len() as i64);
+        v.set("blobs", self.store.len() as i64);
+        v.set("uptime_s", self.started.elapsed().as_secs_f64());
+        Response::json(to_json(&v))
+    }
+
+    fn records(&self, req: &Request) -> Response {
+        let mut limit = DEFAULT_PAGE;
+        let mut offset = 0usize;
+        let mut filters: Vec<(&str, &str)> = Vec::new();
+        for (key, value) in &req.query {
+            match key.as_str() {
+                "limit" => match value.parse::<usize>() {
+                    Ok(n) => limit = n.min(MAX_PAGE),
+                    Err(_) => return Response::error(400, &format!("bad limit '{value}'")),
+                },
+                "offset" => match value.parse::<usize>() {
+                    Ok(n) => offset = n,
+                    Err(_) => return Response::error(400, &format!("bad offset '{value}'")),
+                },
+                _ => filters.push((key, value)),
+            }
+        }
+        let (page, total) = self.portal.search_page(
+            |r| filters.iter().all(|(path, value)| field_matches(r, path, value)),
+            offset,
+            limit,
+        );
+        let mut body = String::new();
+        for r in &page {
+            body.push_str(&to_json(r));
+            body.push('\n');
+        }
+        Response::new(200, "application/x-ndjson", body)
+            .with_header("X-Total-Count", total)
+            .with_header("X-Offset", offset)
+    }
+
+    /// The experiment named in the query, or the portal's first one.
+    fn experiment_for(&self, req: &Request) -> Option<String> {
+        match req.query_param("experiment") {
+            Some(id) => Some(id.to_string()),
+            None => self.portal.experiments().into_iter().next(),
+        }
+    }
+
+    fn summary(&self, req: &Request) -> Response {
+        let Some(id) = self.experiment_for(req) else {
+            return Response::error(404, "no experiment records in the portal");
+        };
+        Response::html(render_summary_html(&self.portal, &id))
+    }
+
+    fn run_detail(&self, req: &Request, run: &str) -> Response {
+        let Ok(run) = run.parse::<u32>() else {
+            return Response::error(400, &format!("bad run number '{run}'"));
+        };
+        let Some(id) = self.experiment_for(req) else {
+            return Response::error(404, "no experiment records in the portal");
+        };
+        Response::html(render_run_html(&self.portal, &id, run))
+    }
+
+    fn blob(&self, raw: &str) -> Response {
+        // Accept `blob:<hex>`, the filesystem-safe `blob_<hex>`, and bare
+        // `<hex>` forms.
+        let normalized = if let Some(hex) = raw.strip_prefix("blob:") {
+            format!("blob:{hex}")
+        } else if let Some(hex) = raw.strip_prefix("blob_") {
+            format!("blob:{hex}")
+        } else {
+            format!("blob:{raw}")
+        };
+        match self.store.get(&BlobRef(normalized)) {
+            Some(bytes) => {
+                let content_type =
+                    if bytes.starts_with(b"BM") { "image/bmp" } else { "application/octet-stream" };
+                Response::new(200, content_type, bytes.to_vec())
+            }
+            None => Response::error(404, &format!("no blob '{raw}'")),
+        }
+    }
+
+    fn prometheus(&self) -> Response {
+        let text = self.metrics.render_prometheus(
+            self.portal.len(),
+            self.store.len(),
+            self.store.total_bytes(),
+            self.started.elapsed(),
+        );
+        Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text)
+    }
+}
+
+/// A running server: bound address plus shutdown control. Dropping the
+/// handle shuts the server down and joins every thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    server: Arc<PortalServer>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (real port even when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port` for this server.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// The shared server state (portal, store, metrics).
+    pub fn server(&self) -> &Arc<PortalServer> {
+        &self.server
+    }
+
+    /// Stop accepting, drain in-flight requests, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block the calling thread until the accept loop exits (i.e. another
+    /// thread calls no one — this is for foreground `serve` use where the
+    /// process lives as long as the server).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform, so aim at the loopback equivalent instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind and start serving on background threads.
+pub fn spawn(server: PortalServer, config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let server = Arc::new(server);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = config.threads;
+
+    let accept_server = Arc::clone(&server);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread =
+        std::thread::Builder::new().name("portal-accept".to_string()).spawn(move || {
+            let pool = ThreadPool::new(threads);
+            for conn in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                accept_server.metrics.record_connection();
+                let server = Arc::clone(&accept_server);
+                pool.execute(move || handle_connection(&server, stream));
+            }
+            // Dropping the pool joins every worker, so `shutdown` returns
+            // only after in-flight requests finish.
+        })?;
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), server })
+}
+
+/// Serve one connection: keep-alive loop of request → route → response.
+fn handle_connection(server: &PortalServer, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Idle keep-alive connections are reaped so workers cannot be held
+    // hostage forever by a silent peer.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(ParseError::Io(_)) => break,
+            Err(e) => {
+                let status = if matches!(e, ParseError::TooLarge) { 431 } else { 400 };
+                let resp = Response::error(status, &e.to_string());
+                server.metrics.record_request("bad", status, Duration::ZERO, resp.body.len());
+                let _ = http::write_response(&mut writer, &resp, false, true);
+                break;
+            }
+        };
+
+        let started = Instant::now();
+        let head_only = req.method == "HEAD";
+        let resp = if !head_only && req.method != "GET" {
+            Response::error(405, &format!("method {} not allowed", req.method))
+                .with_header("Allow", "GET, HEAD")
+        } else if req.header("content-length").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0) > 0
+        {
+            Response::error(400, "request bodies are not supported")
+        } else {
+            server.handle(&req)
+        };
+        // Any refused request (bad method, body present, oversized) closes
+        // the connection: unread body bytes would desync the keep-alive
+        // stream and be misparsed as the next request line.
+        let close = req.wants_close() || matches!(resp.status, 400 | 405 | 431);
+        let sent = if head_only { 0 } else { resp.body.len() };
+        server.metrics.record_request(&req.path, resp.status, started.elapsed(), sent);
+        if http::write_response(&mut writer, &resp, head_only, close).is_err() || close {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(server: &PortalServer, target: &str) -> Response {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let req = http::read_request(&mut BufReader::new(raw.as_bytes())).unwrap().unwrap();
+        server.handle(&req)
+    }
+
+    fn test_server() -> PortalServer {
+        let portal = Arc::new(AcdcPortal::new());
+        let mut v = Value::map();
+        v.set("kind", "experiment");
+        v.set("experiment_id", "e1");
+        v.set("name", "ColorPickerRPL");
+        portal.ingest(v);
+        for i in 0..5i64 {
+            let mut v = Value::map();
+            v.set("kind", "note");
+            v.set("i", i);
+            portal.ingest(v);
+        }
+        let store = Arc::new(BlobStore::in_memory());
+        store.put(bytes::Bytes::from_static(b"BMbitmapdata"));
+        PortalServer::new(portal, store)
+    }
+
+    #[test]
+    fn index_escapes_hostile_experiment_ids() {
+        let portal = Arc::new(AcdcPortal::new());
+        let mut v = Value::map();
+        v.set("kind", "experiment");
+        v.set("experiment_id", "a&b\"<x>");
+        portal.ingest(v);
+        let server = PortalServer::new(portal, Arc::new(BlobStore::in_memory()));
+        let body = String::from_utf8(get(&server, "/").body).unwrap();
+        // The href percent-encodes the id; the link text entity-escapes it.
+        assert!(body.contains("href=\"/summary?experiment=a%26b%22%3Cx%3E\""), "{body}");
+        assert!(body.contains(">a&amp;b&quot;&lt;x&gt;</a>"), "{body}");
+        assert!(!body.contains("experiment=a&b"), "raw & must not split the query");
+    }
+
+    #[test]
+    fn routes_resolve() {
+        let server = test_server();
+        assert_eq!(get(&server, "/").status, 200);
+        assert_eq!(get(&server, "/healthz").status, 200);
+        assert_eq!(get(&server, "/records").status, 200);
+        assert_eq!(get(&server, "/summary").status, 200);
+        assert_eq!(get(&server, "/runs/1").status, 200);
+        assert_eq!(get(&server, "/metrics").status, 200);
+        assert_eq!(get(&server, "/nope").status, 404);
+        assert_eq!(get(&server, "/runs/xyz").status, 400);
+        assert_eq!(get(&server, "/records?limit=zzz").status, 400);
+        assert_eq!(get(&server, "/blobs/missing").status, 404);
+    }
+
+    #[test]
+    fn records_filters_and_paginates() {
+        let server = test_server();
+        let all = get(&server, "/records");
+        assert_eq!(String::from_utf8(all.body).unwrap().lines().count(), 6);
+        let notes = get(&server, "/records?kind=note");
+        assert_eq!(String::from_utf8(notes.body).unwrap().lines().count(), 5);
+        let page = get(&server, "/records?kind=note&limit=2&offset=4");
+        let body = String::from_utf8(page.body).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"i\": 4") || body.contains("\"i\":4"), "{body}");
+        assert!(page.headers.iter().any(|(k, v)| k == "X-Total-Count" && v == "5"));
+        let one = get(&server, "/records?i=3");
+        assert_eq!(String::from_utf8(one.body).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn blob_content_type_sniffs_bmp() {
+        let server = test_server();
+        let r = server.store().refs().pop().unwrap();
+        let resp = get(&server, &format!("/blobs/{}", r.0));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "image/bmp");
+        assert_eq!(resp.body, b"BMbitmapdata");
+        // Filesystem-safe and bare-hex forms resolve to the same blob.
+        let alt = get(&server, &format!("/blobs/{}", r.0.replace(':', "_")));
+        assert_eq!(alt.status, 200);
+        let bare = get(&server, &format!("/blobs/{}", r.0.strip_prefix("blob:").unwrap()));
+        assert_eq!(bare.status, 200);
+    }
+}

@@ -276,7 +276,7 @@ pub mod collection {
     use std::ops::Range;
     use std::rc::Rc;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](vec()).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

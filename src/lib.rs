@@ -17,6 +17,8 @@
 //!   Gaussian-process Bayesian optimizer, and baselines;
 //! * [`datapub`] — the publication substrate (Globus-flow-like pipeline and
 //!   an ACDC-style searchable portal);
+//! * [`portal_server`] — the HTTP serving layer over the portal
+//!   (`sdl-lab serve`);
 //! * [`core`] — the color-picker application itself.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
@@ -29,6 +31,7 @@ pub use sdl_core as core;
 pub use sdl_datapub as datapub;
 pub use sdl_desim as desim;
 pub use sdl_instruments as instruments;
+pub use sdl_portal_server as portal_server;
 pub use sdl_solvers as solvers;
 pub use sdl_vision as vision;
 pub use sdl_wei as wei;

@@ -7,6 +7,8 @@
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
 //! sdl-lab campaign --config FILE [--threads T] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
+//! sdl-lab serve (--import FILE | --campaign FILE) [--addr HOST:PORT]
+//!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
 //! sdl-lab workcell
 //! sdl-lab help
 //! ```
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "portal" => cmd_portal(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "workcell" => {
             println!("{}", sdl_lab::wei::RPL_WORKCELL_YAML);
             match sdl_lab::wei::WorkcellConfig::from_yaml(sdl_lab::wei::RPL_WORKCELL_YAML) {
@@ -58,6 +61,7 @@ commands:
   sweep      run a batch-size sweep (Figure 4 style) through the campaign engine
   campaign   run a declarative scenario matrix (solvers x seeds x batches x ...)
   portal     inspect an exported portal JSON-lines file
+  serve      serve the ACDC portal over HTTP (saved export or live campaign)
   workcell   print the default workcell YAML
   help       this text
 
@@ -71,6 +75,8 @@ run options:
   --runlog-dir DIR    write per-workflow run logs (text files)
   --export-portal F   write all published records as JSON lines
   --export-html F     write a static HTML portal view (with plate images)
+  --blob-dir DIR      spill plate-image blobs to DIR (servable later via
+                      'serve --blob-dir DIR')
   --flat-field        enable the detector's flat-field correction
 
 sweep options:
@@ -88,7 +94,33 @@ campaign options:
 portal options:
   --import FILE       JSON-lines file written by --export-portal
   --experiment ID     experiment to summarize (default: first found)
-  --run N             also print the detail view of run N"
+  --run N             also print the detail view of run N
+
+serve options (one of --import / --campaign is required):
+  --import FILE       serve a saved JSON-lines portal export
+  --campaign FILE     run a campaign (scenario-matrix YAML) on background
+                      workers; records stream into the live server as
+                      scenario prefixes complete
+  --addr HOST:PORT    bind address (default 127.0.0.1:8323; port 0 = ephemeral)
+  --threads N         HTTP worker threads (default 8; thread-per-connection,
+                      so use >= the number of concurrent clients)
+  --campaign-threads T campaign worker threads (default: one per core)
+  --blob-dir DIR      blob spill directory; with --import, previously
+                      spilled plate images are reloaded and served
+
+serve endpoints:
+  /records            JSON lines; dotted-path filters + limit/offset, e.g.
+                      /records?kind=sample&run=12&limit=50&offset=0
+  /summary            experiment summary HTML   (?experiment=ID)
+  /runs/<run>         run detail HTML           (?experiment=ID)
+  /blobs/<ref>        raw plate images
+  /healthz            liveness JSON
+  /metrics            Prometheus text
+
+example:
+  sdl-lab run --samples 64 --export-portal out.jsonl
+  sdl-lab serve --import out.jsonl --addr 127.0.0.1:8323
+  curl http://127.0.0.1:8323/records?kind=sample&limit=5"
     );
 }
 
@@ -175,6 +207,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("wrote HTML portal view to {}", path.display());
     }
+    if let Some(dir) = flag_value(args, "--blob-dir") {
+        let spill = sdl_lab::datapub::BlobStore::with_spill_dir(dir);
+        outcome.store.merge_into(&spill);
+        println!("spilled {} plate-image blobs to {dir}", spill.len());
+    }
     Ok(())
 }
 
@@ -248,6 +285,100 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     if failed > 0 {
         return Err(format!("{failed} scenario(s) failed"));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use sdl_lab::datapub::{AcdcPortal, BlobStore};
+    use sdl_lab::portal_server::{spawn, PortalServer, ServerConfig};
+    use std::sync::Arc;
+
+    let import = flag_value(args, "--import");
+    let campaign = flag_value(args, "--campaign");
+    if import.is_some() == campaign.is_some() {
+        return Err("serve needs exactly one of --import FILE or --campaign FILE".into());
+    }
+
+    let portal = Arc::new(AcdcPortal::new());
+    let store: Arc<BlobStore> = match flag_value(args, "--blob-dir") {
+        Some(dir) => Arc::new(BlobStore::open_spill_dir(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => Arc::new(BlobStore::in_memory()),
+    };
+
+    if let Some(path) = import {
+        let n =
+            portal.import_jsonl(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("loaded {n} records from {path}");
+    }
+
+    // In campaign mode the runner publishes into the same portal and blob
+    // store the server reads, on a background thread: scenario records
+    // appear at the endpoints while the campaign is still executing.
+    let mut campaign_worker = None;
+    if let Some(path) = campaign {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let config = CampaignConfig::from_yaml(&text).map_err(|e| e.to_string())?;
+        let scenarios = config.scenarios();
+        if scenarios.is_empty() {
+            return Err("campaign expands to zero scenarios".into());
+        }
+        let mut runner = CampaignRunner::new()
+            .with_portal(Arc::clone(&portal))
+            .with_store(Arc::clone(&store))
+            .publish_records(true)
+            .progress(true);
+        match flag_value(args, "--campaign-threads") {
+            Some(v) => {
+                let t: usize = v.parse().map_err(|_| format!("bad --campaign-threads '{v}'"))?;
+                runner = runner.threads(t);
+            }
+            None => {
+                if let Some(t) = config.threads {
+                    runner = runner.threads(t);
+                }
+            }
+        }
+        eprintln!(
+            "campaign '{}': {} scenarios on {} threads (streaming into the live portal)...",
+            config.name,
+            scenarios.len(),
+            runner.worker_threads()
+        );
+        campaign_worker = Some(std::thread::spawn(move || {
+            let report = runner.run(scenarios);
+            let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
+            eprintln!(
+                "campaign finished: {} scenarios, {failed} failed; portal holds {} records",
+                report.len(),
+                report.portal.len()
+            );
+        }));
+    }
+
+    let mut config = ServerConfig { addr: "127.0.0.1:8323".into(), ..ServerConfig::default() };
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(v) = flag_value(args, "--threads") {
+        config.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+    }
+
+    let handle =
+        spawn(PortalServer::new(portal, store), &config).map_err(|e| format!("bind: {e}"))?;
+    // The bound address goes to stdout (and is flushed) so scripts and the
+    // CI smoke test can pick up an ephemeral port.
+    println!("serving on {}", handle.url());
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    eprintln!(
+        "endpoints: /records /summary /runs/<run> /blobs/<ref> /healthz /metrics (Ctrl-C to stop)"
+    );
+    handle.join();
+    if let Some(worker) = campaign_worker {
+        let _ = worker.join();
     }
     Ok(())
 }
