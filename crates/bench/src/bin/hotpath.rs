@@ -1,0 +1,214 @@
+//! `hotpath` — the tracked perf trajectory of the optimize→mix→image→detect
+//! inner loop.
+//!
+//! Measures, before vs. after the allocation-lean/incremental rework (the
+//! "before" paths are kept runnable in-tree for exactly this purpose):
+//!
+//! 1. `BayesSolver::propose` latency at history n = 20 / 80 / 160 —
+//!    from-scratch `fit_auto` + per-candidate EI vs. incremental
+//!    `Gp::extend` + batched EI;
+//! 2. per-sample simulated-measurement latency — fresh-allocation
+//!    render + detect vs. reused frame buffer + detector scratch;
+//! 3. full-campaign throughput with the Bayesian solver.
+//!
+//! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
+//! there; `--out` to override) so successive PRs accumulate a perf
+//! trajectory. `--smoke` runs a fast CI-sized variant; `--check <file>`
+//! validates an existing output file and exits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdl_bench::{arg_or, median};
+use sdl_color::Rgb8;
+use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
+use sdl_core::{AppConfig, ColorPickerApp};
+use sdl_solvers::{BayesSolver, ColorSolver, Observation, SolverKind};
+use sdl_vision::{render, render_into, Detector, DetectorScratch, ImageRgb8, PlateScene};
+use std::time::Instant;
+
+/// A synthetic observation of the 4-dye objective used for propose timing.
+fn synth_obs(rng: &mut StdRng) -> Observation {
+    let hidden = [0.18, 0.16, 0.16, 0.62];
+    let ratios: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+    let score =
+        ratios.iter().zip(&hidden).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt() * 100.0;
+    Observation { ratios, measured: Rgb8::new(0, 0, 0), score }
+}
+
+/// Median propose latency (µs) at a history of exactly `n` points, in the
+/// campaign loop's steady state: the surrogate cache is warm from the
+/// previous iteration (history `n - batch`), so the timed call pays one
+/// batch of incremental extends plus the EI scoring pass — never a cold
+/// refit, and never a history larger than the labeled `n`.
+fn time_propose(incremental: bool, n: usize, batch: usize, reps: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut solver = BayesSolver::new(4);
+        solver.incremental = incremental;
+        // Keep the full history in the fit window so the bench scales with n.
+        solver.max_fit_points = 4096;
+        let mut history: Vec<Observation> = (0..n - batch).map(|_| synth_obs(&mut rng)).collect();
+        // Warm call (untimed): builds the incremental cache at n - batch.
+        let _ = solver.propose(Rgb8::PAPER_TARGET, &history, batch, &mut rng);
+        for _ in 0..batch {
+            history.push(synth_obs(&mut rng));
+        }
+        let t = Instant::now();
+        let props = solver.propose(Rgb8::PAPER_TARGET, &history, batch, &mut rng);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(props.len(), batch);
+        assert_eq!(history.len(), n);
+    }
+    median(&samples)
+}
+
+/// Median per-frame measurement latency (µs): render a 96-well plate scene
+/// and run the full detection pipeline, with or without buffer reuse.
+fn time_measure(reuse: bool, reps: usize) -> f64 {
+    let mut scene = PlateScene::empty_plate();
+    for i in 0..96 {
+        scene.set_well(i / 12, i % 12, sdl_color::LinRgb::new(0.2, 0.25, 0.3));
+    }
+    let detector = Detector::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut buf = ImageRgb8::new(scene.camera.width_px, scene.camera.height_px, Rgb8::default());
+    let mut scratch = DetectorScratch::default();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let reading = if reuse {
+            render_into(&scene, &mut rng, &mut buf);
+            detector.detect_with(&buf, &mut scratch)
+        } else {
+            let img = render(&scene, &mut rng);
+            detector.detect(&img)
+        };
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(reading.is_ok());
+    }
+    median(&samples)
+}
+
+/// One full campaign's wall time (s) for `budget` samples with the
+/// Bayesian solver, optimized or pre-optimization solver path.
+fn run_campaign(incremental: bool, budget: u32) -> (f64, u32) {
+    let config = AppConfig {
+        solver: SolverKind::Bayesian,
+        sample_budget: budget,
+        batch: 4,
+        seed: 11,
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let mut app = ColorPickerApp::new(config).expect("app construction");
+    if !incremental {
+        let mut reference = BayesSolver::new(4);
+        reference.incremental = false;
+        app.replace_solver(Box::new(reference));
+    }
+    let t = Instant::now();
+    let out = app.run().expect("campaign run");
+    (t.elapsed().as_secs_f64(), out.samples_measured)
+}
+
+/// Median campaign wall times (s) as `(before, after, samples)`. The
+/// variants run interleaved (before/after per rep) so slow clock drift on
+/// a busy or thermally throttling host biases neither side, and the
+/// medians keep the reported factor stable.
+fn time_campaign(budget: u32, reps: usize) -> (f64, f64, u32) {
+    let mut before = Vec::with_capacity(reps);
+    let mut after = Vec::with_capacity(reps);
+    let mut samples = 0;
+    for _ in 0..reps {
+        let (t, n) = run_campaign(false, budget);
+        before.push(t);
+        samples = n;
+        let (t, _) = run_campaign(true, budget);
+        after.push(t);
+    }
+    (median(&before), median(&after), samples)
+}
+
+/// Validate a previously written report; panics (non-zero exit) on
+/// missing/malformed files so CI can gate on it.
+fn check(path: &str) {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: cannot read BENCH_hotpath output: {e}"));
+    let doc = from_json(&src).unwrap_or_else(|e| panic!("{path}: malformed JSON: {e}"));
+    assert_eq!(doc.opt_str("schema"), Some("sdl-hotpath/1"), "{path}: wrong schema tag");
+    let propose = doc.get("propose").and_then(Value::as_seq).expect("propose section");
+    assert!(!propose.is_empty(), "{path}: empty propose section");
+    for row in propose {
+        for key in ["n", "before_us", "after_us", "speedup"] {
+            assert!(row.get(key).is_some(), "{path}: propose row missing '{key}'");
+        }
+    }
+    for section in ["measure", "campaign"] {
+        let s = doc.get(section).unwrap_or_else(|| panic!("{path}: missing '{section}'"));
+        assert!(s.get("speedup").and_then(Value::as_f64).is_some(), "{section}.speedup");
+    }
+    println!("{path}: OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        check(args.get(i + 1).map(String::as_str).unwrap_or("BENCH_hotpath.json"));
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = arg_or("--out".to_string().as_str(), "BENCH_hotpath.json".to_string());
+
+    let (propose_reps, measure_reps, budget, campaign_reps) =
+        if smoke { (3, 2, 16, 1) } else { (15, 8, 160, 3) };
+    let batch = 4;
+
+    let mut doc = Value::map();
+    doc.set("schema", "sdl-hotpath/1");
+    doc.set("mode", if smoke { "smoke" } else { "full" });
+
+    let mut propose = Value::seq();
+    for n in [20usize, 80, 160] {
+        let before = time_propose(false, n, batch, propose_reps);
+        let after = time_propose(true, n, batch, propose_reps);
+        let mut row = Value::map();
+        row.set("n", n as i64);
+        row.set("batch", batch as i64);
+        row.set("before_us", before);
+        row.set("after_us", after);
+        row.set("speedup", before / after);
+        eprintln!("propose n={n}: {before:.0}µs -> {after:.0}µs ({:.1}x)", before / after);
+        propose.push(row);
+    }
+    doc.set("propose", propose);
+
+    let m_before = time_measure(false, measure_reps);
+    let m_after = time_measure(true, measure_reps);
+    let mut measure = Value::map();
+    measure.set("wells", 96i64);
+    measure.set("before_us", m_before);
+    measure.set("after_us", m_after);
+    measure.set("per_sample_after_us", m_after / batch as f64);
+    measure.set("speedup", m_before / m_after);
+    eprintln!("measure: {m_before:.0}µs -> {m_after:.0}µs per frame ({:.2}x)", m_before / m_after);
+    doc.set("measure", measure);
+
+    let (c_before, c_after, samples) = time_campaign(budget, campaign_reps);
+    let mut campaign = Value::map();
+    campaign.set("samples", samples as i64);
+    campaign.set("batch", batch as i64);
+    campaign.set("before_s", c_before);
+    campaign.set("after_s", c_after);
+    campaign.set("before_samples_per_s", samples as f64 / c_before);
+    campaign.set("after_samples_per_s", samples as f64 / c_after);
+    campaign.set("speedup", c_before / c_after);
+    eprintln!(
+        "campaign ({samples} samples): {c_before:.2}s -> {c_after:.2}s ({:.2}x)",
+        c_before / c_after
+    );
+    doc.set("campaign", campaign);
+
+    std::fs::write(&out_path, to_json_pretty(&doc) + "\n").expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -40,10 +40,11 @@ mod xyz;
 pub use deltae::{cie76, cie94, ciede2000, DeltaE};
 pub use dye::{Dye, DyeSet};
 pub use lab::Lab;
-pub use mix::{BeerLambert, KubelkaMunk, LinearMix, MixKind, MixModel};
+pub use mix::{BeerLambert, KubelkaMunk, LinearMix, MixEngine, MixKind, MixModel};
 pub use recipe::{Recipe, RecipeError};
 pub use rgb::{linear_to_srgb, srgb_to_linear, LinRgb, Rgb8};
 pub use spectrum::{
-    band_center, spectral_cmyk, CameraResponse, SpectralDye, SpectralMix, Spectrum, BANDS,
+    band_center, spectral_cmyk, CameraResponse, PreparedSpectral, SpectralDye, SpectralMix,
+    Spectrum, BANDS,
 };
 pub use xyz::{Xyz, D65};

@@ -171,6 +171,58 @@ impl MixKind {
     }
 }
 
+/// A mixing model compiled for repeated evaluation: the enum dispatch
+/// replaces the `Box<dyn MixModel>` the old hot path re-allocated per well,
+/// and the spectral variant carries its precomputed matrices
+/// ([`crate::spectrum::PreparedSpectral`]). Colors are bit-identical to the
+/// boxed models; `Clone + Debug` so world state stays freely copyable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixEngine {
+    /// Beer–Lambert absorbance.
+    BeerLambert(BeerLambert),
+    /// Kubelka–Munk two-flux.
+    KubelkaMunk(KubelkaMunk),
+    /// Naive linear blending.
+    Linear(LinearMix),
+    /// Compiled 16-band spectral model (boxed: it carries ~1 KB of
+    /// precomputed tables).
+    Spectral(Box<crate::spectrum::PreparedSpectral>),
+}
+
+impl MixEngine {
+    /// Compile `kind` for repeated per-well evaluation.
+    pub fn new(kind: MixKind) -> MixEngine {
+        match kind {
+            MixKind::BeerLambert => MixEngine::BeerLambert(BeerLambert::default()),
+            MixKind::KubelkaMunk => MixEngine::KubelkaMunk(KubelkaMunk),
+            MixKind::Linear => MixEngine::Linear(LinearMix),
+            MixKind::Spectral => {
+                MixEngine::Spectral(Box::new(crate::spectrum::PreparedSpectral::cmyk()))
+            }
+        }
+    }
+
+    /// Which model kind this engine runs.
+    pub fn kind(&self) -> MixKind {
+        match self {
+            MixEngine::BeerLambert(_) => MixKind::BeerLambert,
+            MixEngine::KubelkaMunk(_) => MixKind::KubelkaMunk,
+            MixEngine::Linear(_) => MixKind::Linear,
+            MixEngine::Spectral(_) => MixKind::Spectral,
+        }
+    }
+
+    /// The color of a well prepared with `recipe`, in linear RGB.
+    pub fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        match self {
+            MixEngine::BeerLambert(m) => m.well_color(set, recipe),
+            MixEngine::KubelkaMunk(m) => m.well_color(set, recipe),
+            MixEngine::Linear(m) => m.well_color(set, recipe),
+            MixEngine::Spectral(m) => m.well_color(set, recipe),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +301,30 @@ mod tests {
         let a = BeerLambert::default().well_color(&set(), &recipe).to_srgb();
         let b = LinearMix.well_color(&set(), &recipe).to_srgb();
         assert!(a.distance(b) > 20.0, "models too similar: {a} vs {b}");
+    }
+
+    #[test]
+    fn engine_matches_boxed_models_bitwise() {
+        for kind in [MixKind::BeerLambert, MixKind::KubelkaMunk, MixKind::Linear, MixKind::Spectral]
+        {
+            let boxed = kind.model();
+            let engine = MixEngine::new(kind);
+            assert_eq!(engine.kind(), kind);
+            for i in 0..40 {
+                let v = vec![
+                    (i % 4) as f64 * 9.0,
+                    ((i / 4) % 4) as f64 * 9.0,
+                    ((i / 16) % 4) as f64 * 9.0,
+                    (i % 7) as f64 * 5.0,
+                ];
+                let recipe = Recipe::new(v.clone()).unwrap();
+                let a = boxed.well_color(&set(), &recipe);
+                let b = engine.well_color(&set(), &recipe);
+                assert_eq!(a.r.to_bits(), b.r.to_bits(), "{} {v:?}", kind.name());
+                assert_eq!(a.g.to_bits(), b.g.to_bits(), "{} {v:?}", kind.name());
+                assert_eq!(a.b.to_bits(), b.b.to_bits(), "{} {v:?}", kind.name());
+            }
+        }
     }
 
     #[test]

@@ -187,6 +187,98 @@ impl MixModel for SpectralMix {
     }
 }
 
+/// [`SpectralMix`] compiled to fixed matrices: the dye spectra become one
+/// `BANDS × dyes` absorbance matrix and the camera response × illuminant
+/// products (plus their per-channel normalizers) are precomputed, so a well
+/// color is two small matvecs and 16 `powf`s instead of walking the dye
+/// structs. Every accumulation runs in the same order as the uncompiled
+/// model, so the colors are bit-identical — the simulated measurements do
+/// not change when the hot path switches to this form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedSpectral {
+    n_dyes: usize,
+    /// Absorbance per µL: row-major `BANDS × n_dyes`.
+    absorb: Vec<f64>,
+    /// Response × illuminant weights per channel.
+    weights: [[f64; BANDS]; 3],
+    /// Per-channel normalizers (`Σ weights`), kept as the identical f64 the
+    /// uncompiled integrator recomputes each call.
+    den: [f64; 3],
+}
+
+impl PreparedSpectral {
+    /// Compile a spectral model.
+    pub fn new(mix: &SpectralMix) -> PreparedSpectral {
+        let n_dyes = mix.dyes.len();
+        let mut absorb = vec![0.0; BANDS * n_dyes];
+        for (d, dye) in mix.dyes.iter().enumerate() {
+            for (band, &a) in dye.absorbance_per_ul.0.iter().enumerate() {
+                absorb[band * n_dyes + d] = a;
+            }
+        }
+        let mut weights = [[0.0; BANDS]; 3];
+        let mut den = [0.0; 3];
+        for (ch, resp) in
+            [&mix.camera.red, &mix.camera.green, &mix.camera.blue].into_iter().enumerate()
+        {
+            for (i, (&r, &ill)) in resp.0.iter().zip(&mix.camera.illuminant.0).enumerate() {
+                let w = r * ill;
+                weights[ch][i] = w;
+                den[ch] += w;
+            }
+        }
+        PreparedSpectral { n_dyes, absorb, weights, den }
+    }
+
+    /// The default spectral CMYK setup, compiled.
+    pub fn cmyk() -> PreparedSpectral {
+        PreparedSpectral::new(&SpectralMix::cmyk())
+    }
+
+    /// Number of dyes the model was compiled for.
+    pub fn n_dyes(&self) -> usize {
+        self.n_dyes
+    }
+
+    /// The well color for `volumes_ul` (one entry per dye).
+    pub fn color_of(&self, volumes_ul: &[f64]) -> LinRgb {
+        debug_assert_eq!(volumes_ul.len(), self.n_dyes);
+        // Absorbance and transmittance per band; dye contributions
+        // accumulate in dye order exactly like SpectralMix::transmittance.
+        let mut t = [0.0; BANDS];
+        for (band, out) in t.iter_mut().enumerate() {
+            let row = &self.absorb[band * self.n_dyes..(band + 1) * self.n_dyes];
+            let mut a = 0.0;
+            for (&eps, &v) in row.iter().zip(volumes_ul) {
+                a += v * eps;
+            }
+            *out = 10f64.powf(-a);
+        }
+        // Camera integration, band order as CameraResponse::integrate.
+        let mut rgb = [0.0; 3];
+        for ((out, weights), &den) in rgb.iter_mut().zip(&self.weights).zip(&self.den) {
+            let mut num = 0.0;
+            for (w, ti) in weights.iter().zip(&t) {
+                num += w * ti;
+            }
+            *out = if den > 0.0 { num / den } else { 0.0 };
+        }
+        LinRgb::new(rgb[0], rgb[1], rgb[2])
+    }
+}
+
+impl MixModel for PreparedSpectral {
+    fn well_color(&self, set: &DyeSet, recipe: &Recipe) -> LinRgb {
+        debug_assert_eq!(recipe.arity(), set.len());
+        debug_assert_eq!(self.n_dyes, set.len(), "compiled dye count must match the dye set");
+        self.color_of(recipe.volumes_ul())
+    }
+
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +377,28 @@ mod tests {
         let c1 = cam.integrate(&t1);
         let c2 = cam.integrate(&t2);
         assert!((c1.g - c2.g).abs() < 0.06, "green reads {:.3} vs {:.3}", c1.g, c2.g);
+    }
+
+    #[test]
+    fn prepared_model_is_bit_identical_to_uncompiled() {
+        let m = SpectralMix::cmyk();
+        let p = PreparedSpectral::new(&m);
+        assert_eq!(p.n_dyes(), 4);
+        // A deterministic sweep over the recipe space, including corners.
+        for i in 0..200 {
+            let v = [
+                (i % 5) as f64 * 8.75,
+                ((i / 5) % 5) as f64 * 8.75,
+                ((i / 25) % 5) as f64 * 8.75,
+                ((i / 125) % 5) as f64 * 8.75,
+            ];
+            let recipe = Recipe::new(v.to_vec()).unwrap();
+            let a = m.well_color(&set(), &recipe);
+            let b = p.well_color(&set(), &recipe);
+            assert_eq!(a.r.to_bits(), b.r.to_bits(), "recipe {v:?}");
+            assert_eq!(a.g.to_bits(), b.g.to_bits(), "recipe {v:?}");
+            assert_eq!(a.b.to_bits(), b.b.to_bits(), "recipe {v:?}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use sdl_datapub::{
 use sdl_desim::{RngHub, SimDuration, SimTime};
 use sdl_instruments::{ActionData, ModuleKind, WellIndex};
 use sdl_solvers::{ColorSolver, Observation};
-use sdl_vision::{Detector, VisionError};
+use sdl_vision::{Detector, DetectorScratch, VisionError};
 use sdl_wei::{
     Clock, Counters, Engine, Payload, SeqClock, WeiError, Workcell, WorkcellConfig, Workflow,
 };
@@ -114,6 +114,9 @@ pub struct ExperimentOutcome {
     pub counters: Counters,
     /// Plates consumed.
     pub plates_used: u32,
+    /// Times the solver's surrogate fit degenerated and it silently fell
+    /// back to random proposals (0 for solvers without a surrogate).
+    pub solver_fallbacks: u64,
     /// The data portal holding every published record.
     pub portal: Arc<AcdcPortal>,
     /// The image blob store.
@@ -305,6 +308,13 @@ impl ColorPickerApp {
         &self.engine
     }
 
+    /// Swap in a custom decision procedure before [`ColorPickerApp::run`]
+    /// (the solver RNG stream is unchanged). Used by the equivalence tests
+    /// and the `hotpath` bench to pin a solver variant.
+    pub fn replace_solver(&mut self, solver: Box<dyn ColorSolver>) {
+        self.solver = solver;
+    }
+
     fn base_payload(&self) -> Payload {
         let mut p = Payload::none();
         for (k, v) in &self.vars {
@@ -365,6 +375,16 @@ impl ColorPickerApp {
 
     /// Execute the full experiment.
     pub fn run(&mut self) -> Result<ExperimentOutcome, AppError> {
+        self.run_with(&mut DetectorScratch::default())
+    }
+
+    /// Execute the full experiment over caller-owned detector scratch
+    /// buffers, so campaign workers reuse one arena across scenarios
+    /// instead of reallocating the vision working set per run.
+    pub fn run_with(
+        &mut self,
+        scratch: &mut DetectorScratch,
+    ) -> Result<ExperimentOutcome, AppError> {
         let start: SimTime = self.clock.now();
 
         // Announce the experiment on the portal.
@@ -385,7 +405,7 @@ impl ColorPickerApp {
             });
         }
 
-        let termination = match self.main_loop() {
+        let termination = match self.main_loop(scratch) {
             Ok(t) => t,
             Err(AppError::Wei(WeiError::CommandAborted {
                 cause: sdl_instruments::InstrumentError::OutOfPlates,
@@ -429,13 +449,14 @@ impl ColorPickerApp {
             metrics,
             counters: self.engine.counters,
             plates_used: self.plates_used,
+            solver_fallbacks: self.solver.degenerate_fallbacks(),
             portal: Arc::clone(&self.portal),
             store: Arc::clone(&self.store),
             flow_stats,
         })
     }
 
-    fn main_loop(&mut self) -> Result<TerminationReason, AppError> {
+    fn main_loop(&mut self, scratch: &mut DetectorScratch) -> Result<TerminationReason, AppError> {
         self.fetch_new_plate()?;
         loop {
             // Loop check: enough wells in budget? (Figure 2)
@@ -493,15 +514,18 @@ impl ColorPickerApp {
             // Compute: image processing + next-proposal time.
             self.hold_compute();
 
+            // The frame rides out of the workflow as a shared handle — no
+            // pixel copy — and is dropped at the end of this iteration,
+            // which lets the camera recycle its buffer for the next batch.
             let image = out
                 .data
                 .iter()
                 .find_map(|(_, d)| match d {
-                    ActionData::Image(img) => Some(img.clone()),
+                    ActionData::Image(img) => Some(Arc::clone(img)),
                     _ => None,
                 })
                 .ok_or_else(|| AppError::Setup("camera step returned no image".into()))?;
-            let reading = self.detector.detect(&image)?;
+            let reading = self.detector.detect_with(&image, scratch)?;
 
             // Grade each new well and publish.
             let image_bytes =

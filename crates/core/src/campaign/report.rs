@@ -58,6 +58,14 @@ impl ScenarioOutcome {
         }
     }
 
+    /// Degenerate-surrogate fallbacks the scenario's solver recorded.
+    pub fn solver_fallbacks(&self) -> u64 {
+        match self {
+            ScenarioOutcome::Single(o) => o.solver_fallbacks,
+            ScenarioOutcome::MultiOt2(o) => o.solver_fallbacks,
+        }
+    }
+
     /// The ΔE trajectory (empty for multi-OT2 runs, which share one
     /// unordered history across handlers).
     pub fn trajectory(&self) -> &[TrajectoryPoint] {
@@ -159,6 +167,16 @@ impl CampaignReport {
     /// The result with exactly this label.
     pub fn by_label(&self, label: &str) -> Option<&ScenarioResult> {
         self.results.iter().find(|r| r.spec.label == label)
+    }
+
+    /// Total degenerate-surrogate fallbacks across all completed scenarios
+    /// — nonzero means some proposals silently degraded to random search.
+    pub fn solver_fallbacks(&self) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(ScenarioOutcome::solver_fallbacks)
+            .sum()
     }
 
     /// Decompose into `(label, outcome)` pairs in input order, adapting the

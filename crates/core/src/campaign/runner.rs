@@ -6,6 +6,7 @@ use crate::campaign::spec::{RunMode, ScenarioSpec};
 use crate::multi::run_multi_ot2;
 use sdl_conf::Value;
 use sdl_datapub::{AcdcPortal, BlobStore};
+use sdl_vision::DetectorScratch;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -117,16 +118,22 @@ impl CampaignRunner {
                 let scenarios = Arc::clone(&scenarios);
                 let next = &next;
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= scenarios.len() {
-                        break;
-                    }
-                    let spec = scenarios[i].clone();
-                    let outcome = execute(&spec);
-                    let result = ScenarioResult { spec, index: i, outcome };
-                    if tx.send((i, result)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // One scratch arena per worker thread: detector buffers
+                    // (several MB) are reused across every scenario this
+                    // worker executes instead of reallocated per run.
+                    let mut scratch = DetectorScratch::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= scenarios.len() {
+                            break;
+                        }
+                        let spec = scenarios[i].clone();
+                        let outcome = execute(&spec, &mut scratch);
+                        let result = ScenarioResult { spec, index: i, outcome };
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -193,6 +200,7 @@ impl CampaignRunner {
                 v.set("samples_measured", o.samples_measured() as i64);
                 v.set("plates_used", o.plates_used() as i64);
                 v.set("robotic_commands", o.robotic_commands() as i64);
+                v.set("solver_fallbacks", o.solver_fallbacks() as i64);
                 if let ScenarioOutcome::Single(out) = o {
                     v.set("twh_s", out.metrics.twh.as_secs_f64());
                     v.set("ccwh", out.metrics.ccwh as i64);
@@ -225,11 +233,14 @@ impl CampaignRunner {
 }
 
 /// Run one scenario to completion (workers call this; also the single-run
-/// fast path).
-fn execute(spec: &ScenarioSpec) -> Result<ScenarioOutcome, crate::app::AppError> {
+/// fast path). `scratch` is the worker's reusable detector arena.
+fn execute(
+    spec: &ScenarioSpec,
+    scratch: &mut DetectorScratch,
+) -> Result<ScenarioOutcome, crate::app::AppError> {
     match spec.mode {
         RunMode::Single => ColorPickerApp::new(spec.config.clone())?
-            .run()
+            .run_with(scratch)
             .map(|o| ScenarioOutcome::Single(Box::new(o))),
         RunMode::MultiOt2(n) => run_multi_ot2(&spec.config, n).map(ScenarioOutcome::MultiOt2),
     }

@@ -18,7 +18,7 @@ use sdl_color::Rgb8;
 use sdl_desim::{RngHub, SimDuration, SimTime, Simulation};
 use sdl_instruments::{ActionArgs, ActionData, WellIndex};
 use sdl_solvers::{ColorSolver, Observation};
-use sdl_vision::Detector;
+use sdl_vision::{Detector, DetectorScratch};
 use sdl_wei::{Engine, Workcell, WorkcellConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -45,6 +45,8 @@ pub struct MultiOt2Outcome {
     pub plates_used: u32,
     /// Mean time per color.
     pub time_per_color: SimDuration,
+    /// Degenerate-surrogate fallbacks recorded by the shared solver.
+    pub solver_fallbacks: u64,
 }
 
 /// Build a workcell document with `n` liquid handlers (each with its own
@@ -126,6 +128,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
             let barty = format!("barty_{flow}");
             let deck = format!("{ot2}.deck");
             let detector = Detector::default();
+            let mut scratch = DetectorScratch::default();
 
             // Dispatch one command while holding the module's resource.
             // Returns the data; records any engine error in `shared`.
@@ -330,7 +333,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
 
                 // Compute: detection + grading.
                 ctx.hold(SimDuration::from_secs_f64(compute_s));
-                let reading = match detector.detect(&image) {
+                let reading = match detector.detect_with(&image, &mut scratch) {
                     Ok(r) => r,
                     Err(e) => {
                         shared.lock().error.get_or_insert(e.to_string());
@@ -360,6 +363,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
     let best =
         sdl_solvers::best_observation(&shared.history).map(|o| o.score).unwrap_or(f64::INFINITY);
     let duration = outcome.end - SimTime::ZERO;
+    let solver_fallbacks = shared.solver.degenerate_fallbacks();
     Ok(MultiOt2Outcome {
         n_ot2,
         samples_measured: shared.samples_done,
@@ -374,6 +378,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
         } else {
             SimDuration::ZERO
         },
+        solver_fallbacks,
     })
 }
 

@@ -13,7 +13,8 @@ use crate::module::{
 use crate::timing::TimingModel;
 use crate::world::World;
 use rand::rngs::StdRng;
-use sdl_vision::{render, Lighting, PlateScene, Pose};
+use sdl_vision::{render_into, ImageRgb8, Lighting, PlateScene, Pose};
+use std::sync::Arc;
 
 /// Camera simulator.
 #[derive(Debug, Clone)]
@@ -31,6 +32,11 @@ pub struct CameraSim {
     /// Which fiducial is printed next to the mount.
     pub marker_id: usize,
     frames_captured: u64,
+    /// The last frame handed out. Once every downstream consumer has
+    /// dropped its handle (the normal cadence: one frame processed per
+    /// batch), the pixel buffer is reclaimed and re-rendered in place, so
+    /// steady-state capture allocates nothing.
+    last_frame: Option<Arc<ImageRgb8>>,
 }
 
 impl CameraSim {
@@ -45,6 +51,7 @@ impl CameraSim {
             max_rot_deg: 1.0,
             marker_id: 0,
             frames_captured: 0,
+            last_frame: None,
         }
     }
 
@@ -119,7 +126,19 @@ impl Instrument for CameraSim {
                         }
                     }
                 }
-                let frame = render(&scene, rng);
+                // Reclaim the previous frame's buffer when we hold the last
+                // handle; otherwise render into a fresh one.
+                let mut buf = match self.last_frame.take().map(Arc::try_unwrap) {
+                    Some(Ok(img)) => img,
+                    _ => ImageRgb8::new(
+                        scene.camera.width_px,
+                        scene.camera.height_px,
+                        Default::default(),
+                    ),
+                };
+                render_into(&scene, rng, &mut buf);
+                let frame = Arc::new(buf);
+                self.last_frame = Some(Arc::clone(&frame));
                 self.frames_captured += 1;
                 Ok(ActionOutcome {
                     duration: timing.camera_capture.sample(rng),
@@ -184,6 +203,30 @@ mod tests {
         let b1 = reading.well(1, 0).unwrap();
         assert!(b1.color.r > 170, "empty well should stay light: {}", b1.color);
         assert!(b1.color.r as i32 - a1.color.r as i32 > 50, "sample clearly darker than empty");
+    }
+
+    #[test]
+    fn recycled_frame_buffer_captures_identically() {
+        // Holding every frame (no buffer reuse possible) and dropping each
+        // frame (buffer recycled in place) must produce the same pixels.
+        let capture_all = |hold: bool| -> Vec<Vec<u8>> {
+            let (mut cam, mut world, timing, mut rng) = setup();
+            world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
+            let mut held = Vec::new();
+            let mut bytes = Vec::new();
+            for _ in 0..3 {
+                let out = cam
+                    .execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng)
+                    .unwrap();
+                let ActionData::Image(frame) = out.data else { panic!("expected an image") };
+                bytes.push(frame.bytes().to_vec());
+                if hold {
+                    held.push(frame);
+                }
+            }
+            bytes
+        };
+        assert_eq!(capture_all(true), capture_all(false));
     }
 
     #[test]

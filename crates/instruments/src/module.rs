@@ -10,6 +10,7 @@ use sdl_desim::SimDuration;
 use sdl_vision::ImageRgb8;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Module lifecycle state, mirroring WEI's module status model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,8 +163,10 @@ impl ActionArgs {
 pub enum ActionData {
     /// Nothing beyond success.
     None,
-    /// A camera frame.
-    Image(ImageRgb8),
+    /// A camera frame. Shared, so the camera can recycle the pixel buffer
+    /// for the next capture once every consumer has dropped its handle, and
+    /// so passing frames through workflow outcomes never copies megapixels.
+    Image(Arc<ImageRgb8>),
     /// A created plate id.
     Plate(crate::world::PlateId),
 }

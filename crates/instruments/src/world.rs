@@ -7,7 +7,7 @@
 //! looks at whatever plate sits in its nest.
 
 use crate::labware::{Microplate, WellIndex};
-use sdl_color::{DyeSet, LinRgb, MixKind, Recipe};
+use sdl_color::{DyeSet, LinRgb, MixEngine, MixKind, Recipe};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -108,8 +108,11 @@ impl std::error::Error for WorldError {}
 pub struct World {
     /// The dye stocks in play (physical truth for color formation).
     pub dyes: DyeSet,
-    /// Forward mixing model used to compute true well colors.
-    pub mix: MixKind,
+    /// The mixing model, compiled once at construction — the measurement
+    /// hot path evaluates ~96 wells per frame and must not rebuild (or
+    /// box) the model per well. Private so the kind and the compiled form
+    /// cannot desync; read via [`World::mix`].
+    engine: MixEngine,
     plates: BTreeMap<PlateId, Microplate>,
     slots: BTreeMap<String, Option<PlateId>>,
     banks: BTreeMap<String, ReservoirBank>,
@@ -122,13 +125,18 @@ impl World {
     pub fn new(dyes: DyeSet, mix: MixKind) -> World {
         World {
             dyes,
-            mix,
+            engine: MixEngine::new(mix),
             plates: BTreeMap::new(),
             slots: BTreeMap::new(),
             banks: BTreeMap::new(),
             next_plate: 1,
             retired: Vec::new(),
         }
+    }
+
+    /// The forward mixing model in effect.
+    pub fn mix(&self) -> MixKind {
+        self.engine.kind()
     }
 
     /// Declare a plate slot (location a plate can occupy).
@@ -225,7 +233,7 @@ impl World {
             return Ok(None);
         }
         let recipe = Recipe::new(well.volumes_ul.clone()).expect("stored volumes are valid");
-        Ok(Some(self.mix.model().well_color(&self.dyes, &recipe)))
+        Ok(Some(self.engine.well_color(&self.dyes, &recipe)))
     }
 }
 

@@ -4,8 +4,14 @@
 //! based on scikit-learn … [that] leverages a surrogate probabilistic model,
 //! commonly Gaussian Processes" (§2.5). This is that surrogate, implemented
 //! from scratch on the crate's own Cholesky.
+//!
+//! The model supports two fitting regimes with bit-identical posteriors:
+//! a one-shot [`Gp::fit`], and an incremental [`Gp::extend`] that appends
+//! one observation in O(n²) by growing the Cholesky factor one row at a
+//! time (the factor rows already computed never change when the matrix
+//! gains a row, so the grown factor equals the refactored one bit for bit).
 
-use crate::linalg::{mean, std_dev, Matrix, NotPositiveDefinite};
+use crate::linalg::{mean, std_dev, CholeskyFactor, NotPositiveDefinite};
 
 /// RBF (squared-exponential) kernel hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +30,9 @@ impl Default for RbfKernel {
     }
 }
 
+/// The lengthscale grid swept by [`Gp::fit_auto`] (ML-II model selection).
+pub const FIT_AUTO_LENGTHSCALES: [f64; 4] = [0.1, 0.18, 0.3, 0.5];
+
 impl RbfKernel {
     /// k(a, b).
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
@@ -36,13 +45,41 @@ impl RbfKernel {
 #[derive(Debug, Clone)]
 pub struct Gp {
     kernel: RbfKernel,
-    x: Vec<Vec<f64>>,
+    dims: usize,
+    n: usize,
+    /// Training inputs, flat row-major (`n × dims`).
+    x: Vec<f64>,
+    /// Raw (unstandardized) targets.
+    y: Vec<f64>,
+    /// Standardized targets (recomputed whenever `y` changes).
+    ys: Vec<f64>,
     alpha: Vec<f64>,
-    chol: Matrix,
+    chol: CholeskyFactor,
     y_mean: f64,
     y_scale: f64,
     log_marginal: f64,
 }
+
+/// Reusable buffers for [`Gp::ei_batch`]; keeping them across proposals
+/// removes every per-candidate allocation from the scoring loop.
+#[derive(Debug, Clone, Default)]
+pub struct EiScratch {
+    /// Transposed candidate block (`dims × block`).
+    qt: Vec<f64>,
+    /// Squared distances for the current kernel row.
+    d2: Vec<f64>,
+    /// Cross-covariance block (`n × block`), solved in place.
+    ks: Vec<f64>,
+    /// Standardized posterior means per candidate.
+    mu: Vec<f64>,
+    /// Residual `Σ vᵢ²` per candidate.
+    sumsq: Vec<f64>,
+}
+
+/// Candidates processed per [`Gp::ei_batch`] block: big enough to vectorize
+/// and amortize the factor traversal, small enough that the solve block
+/// (`n × EI_BLOCK` f64s) stays cache-resident at n = 160.
+const EI_BLOCK: usize = 64;
 
 impl Gp {
     /// Fit to inputs `x` (unit box) and targets `y`. Targets are
@@ -51,36 +88,51 @@ impl Gp {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "GP needs at least one observation");
         let n = x.len();
-        let y_mean = mean(y);
-        let y_scale = {
-            let s = std_dev(y);
-            if s > 1e-12 {
-                s
-            } else {
-                1.0
+        let dims = x[0].len();
+
+        let mut flat = Vec::with_capacity(n * dims);
+        for xi in x {
+            assert_eq!(xi.len(), dims, "ragged input rows");
+            flat.extend_from_slice(xi);
+        }
+
+        // Packed lower triangle of K, factored row by row (identical
+        // arithmetic to factoring the full matrix in one pass).
+        let mut chol = CholeskyFactor::with_capacity(n);
+        let mut k_row = Vec::with_capacity(n);
+        for i in 0..n {
+            k_row.clear();
+            for j in 0..=i {
+                let mut v = kernel.eval(&x[i], &x[j]);
+                if i == j {
+                    v += kernel.noise_variance;
+                }
+                k_row.push(v);
             }
+            chol.extend_row(&k_row)?;
+        }
+
+        let mut gp = Gp {
+            kernel,
+            dims,
+            n,
+            x: flat,
+            y: y.to_vec(),
+            ys: Vec::new(),
+            alpha: Vec::new(),
+            chol,
+            y_mean: 0.0,
+            y_scale: 1.0,
+            log_marginal: 0.0,
         };
-        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
-
-        let k = Matrix::from_fn(n, n, |r, c| {
-            kernel.eval(&x[r], &x[c]) + if r == c { kernel.noise_variance } else { 0.0 }
-        });
-        let chol = k.cholesky()?;
-        let alpha = chol.solve_lower_transpose(&chol.solve_lower(&ys));
-
-        // log p(y|X) = -1/2 yᵀα - 1/2 log|K| - n/2 log 2π  (standardized y)
-        let fit_term: f64 = -0.5 * ys.iter().zip(&alpha).map(|(a, b)| a * b).sum::<f64>();
-        let log_marginal = fit_term
-            - 0.5 * chol.log_det_from_cholesky()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
-
-        Ok(Gp { kernel, x: x.to_vec(), alpha, chol, y_mean, y_scale, log_marginal })
+        gp.refresh_posterior();
+        Ok(gp)
     }
 
     /// Fit with a small ML-II grid search over the lengthscale.
     pub fn fit_auto(x: &[Vec<f64>], y: &[f64]) -> Result<Gp, NotPositiveDefinite> {
         let mut best: Option<Gp> = None;
-        for &l in &[0.1, 0.18, 0.3, 0.5] {
+        for &l in &FIT_AUTO_LENGTHSCALES {
             let k = RbfKernel { lengthscale: l, ..RbfKernel::default() };
             if let Ok(gp) = Gp::fit(x, y, k) {
                 if best.as_ref().is_none_or(|b| gp.log_marginal > b.log_marginal) {
@@ -91,11 +143,116 @@ impl Gp {
         best.ok_or(NotPositiveDefinite)
     }
 
+    /// Append one observation in O(n²): the Cholesky factor gains one row
+    /// (the already-factored rows are unchanged by construction) and the
+    /// cached `alpha` / standardization / evidence are refreshed. The
+    /// resulting model is bit-identical to a from-scratch [`Gp::fit`] on
+    /// the extended data. On failure the model is left unchanged.
+    pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> Result<(), NotPositiveDefinite> {
+        assert_eq!(x_new.len(), self.dims);
+        let n = self.n;
+        let mut k_row = Vec::with_capacity(n + 1);
+        for j in 0..n {
+            k_row.push(self.kernel.eval(self.point(j), x_new));
+        }
+        k_row.push(self.kernel.eval(x_new, x_new) + self.kernel.noise_variance);
+        self.chol.extend_row(&k_row)?;
+        self.x.extend_from_slice(x_new);
+        self.y.push(y_new);
+        self.n = n + 1;
+        self.refresh_posterior();
+        Ok(())
+    }
+
+    /// Append several observations with one posterior refresh at the end —
+    /// the campaign loop extends by a whole batch before predicting, and
+    /// the intermediate posteriors would be thrown away. The final model is
+    /// bit-identical to appending the points one [`Gp::extend`] at a time.
+    /// On failure the points before the failing one stay committed (with a
+    /// consistent posterior) and the error is returned.
+    pub fn extend_many<'a, I>(&mut self, points: I) -> Result<(), NotPositiveDefinite>
+    where
+        I: IntoIterator<Item = (&'a [f64], f64)>,
+    {
+        let mut k_row = Vec::new();
+        let mut result = Ok(());
+        for (x_new, y_new) in points {
+            assert_eq!(x_new.len(), self.dims);
+            let n = self.n;
+            k_row.clear();
+            k_row.reserve(n + 1);
+            for j in 0..n {
+                k_row.push(self.kernel.eval(self.point(j), x_new));
+            }
+            k_row.push(self.kernel.eval(x_new, x_new) + self.kernel.noise_variance);
+            if let Err(e) = self.chol.extend_row(&k_row) {
+                result = Err(e);
+                break;
+            }
+            self.x.extend_from_slice(x_new);
+            self.y.push(y_new);
+            self.n = n + 1;
+        }
+        self.refresh_posterior();
+        result
+    }
+
+    /// Recompute standardization, `alpha` and the evidence from the current
+    /// factor and targets (O(n²)). Shared by `fit` and `extend` so both
+    /// paths run literally the same arithmetic.
+    fn refresh_posterior(&mut self) {
+        let n = self.n;
+        self.y_mean = mean(&self.y);
+        self.y_scale = {
+            let s = std_dev(&self.y);
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        };
+        self.ys.clear();
+        self.ys.extend(self.y.iter().map(|v| (v - self.y_mean) / self.y_scale));
+
+        self.alpha.resize(n, 0.0);
+        let mut tmp = vec![0.0; n];
+        self.chol.solve_lower_into(&self.ys, &mut tmp);
+        self.chol.solve_lower_transpose_into(&tmp, &mut self.alpha);
+
+        // log p(y|X) = -1/2 yᵀα - 1/2 log|K| - n/2 log 2π  (standardized y)
+        let fit_term: f64 = -0.5 * self.ys.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+        self.log_marginal = fit_term
+            - 0.5 * self.chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    }
+
+    /// Training input `i` as a slice.
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.x[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> RbfKernel {
+        self.kernel
+    }
+
+    /// Raw targets seen so far (fit order).
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Training input `i` (fit order).
+    pub fn input(&self, i: usize) -> &[f64] {
+        self.point(i)
+    }
+
     /// Posterior mean and variance at `q` (de-standardized).
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
-        let ks: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, q)).collect();
+        let ks: Vec<f64> = (0..self.n).map(|i| self.kernel.eval(self.point(i), q)).collect();
         let mu_std: f64 = ks.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
-        let v = self.chol.solve_lower(&ks);
+        let mut v = vec![0.0; self.n];
+        self.chol.solve_lower_into(&ks, &mut v);
         let var_std = (self.kernel.eval(q, q) + self.kernel.noise_variance
             - v.iter().map(|x| x * x).sum::<f64>())
         .max(1e-12);
@@ -110,28 +267,121 @@ impl Gp {
     /// Expected improvement at `q` for minimization against `best_y`.
     pub fn expected_improvement(&self, q: &[f64], best_y: f64) -> f64 {
         let (mu, var) = self.predict(q);
-        let sigma = var.sqrt();
-        if sigma < 1e-12 {
-            return (best_y - mu).max(0.0);
+        ei_from_posterior(mu, var, best_y)
+    }
+
+    /// Expected improvement for `m` candidates packed row-major in `pts`
+    /// (`m × dims`), written to `out`. Scores candidates in blocks over
+    /// reusable scratch buffers — no per-candidate allocation — while
+    /// running every per-candidate reduction in the same order as
+    /// [`Gp::expected_improvement`], so each score is bit-identical to the
+    /// one-at-a-time path.
+    pub fn ei_batch(
+        &self,
+        pts: &[f64],
+        m: usize,
+        best_y: f64,
+        s: &mut EiScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(pts.len(), m * self.dims);
+        out.clear();
+        let n = self.n;
+        let dims = self.dims;
+        // k(q, q) is signal · exp(-0 / 2ℓ²) = signal exactly.
+        let kqq_plus_noise = self.kernel.signal_variance + self.kernel.noise_variance;
+        let two_l2 = 2.0 * self.kernel.lengthscale * self.kernel.lengthscale;
+
+        let mut done = 0;
+        while done < m {
+            let b = EI_BLOCK.min(m - done);
+            let block = &pts[done * dims..(done + b) * dims];
+
+            // Transpose the block to dim-major so the distance loops run
+            // contiguously across candidates.
+            s.qt.clear();
+            s.qt.resize(dims * b, 0.0);
+            for (c, q) in block.chunks_exact(dims).enumerate() {
+                for (d, &v) in q.iter().enumerate() {
+                    s.qt[d * b + c] = v;
+                }
+            }
+
+            // Cross-covariances: ks[j][c] = k(x_j, q_c).
+            s.ks.clear();
+            s.ks.resize(n * b, 0.0);
+            s.d2.resize(b, 0.0);
+            for j in 0..n {
+                let xj = self.point(j);
+                s.d2[..b].fill(0.0);
+                for (d, &xd) in xj.iter().enumerate() {
+                    let qd = &s.qt[d * b..(d + 1) * b];
+                    for (acc, &q) in s.d2[..b].iter_mut().zip(qd) {
+                        let diff = xd - q;
+                        *acc += diff * diff;
+                    }
+                }
+                let row = &mut s.ks[j * b..(j + 1) * b];
+                for (k, &d2) in row.iter_mut().zip(&s.d2[..b]) {
+                    *k = self.kernel.signal_variance * (-d2 / two_l2).exp();
+                }
+            }
+
+            // Posterior means: mu_std[c] = Σ_j ks[j][c] · alpha[j].
+            s.mu.clear();
+            s.mu.resize(b, 0.0);
+            for (j, &a) in self.alpha.iter().enumerate() {
+                let row = &s.ks[j * b..(j + 1) * b];
+                for (acc, &k) in s.mu.iter_mut().zip(row) {
+                    *acc += k * a;
+                }
+            }
+
+            // v = L⁻¹ ks (in place), then Σ v² per candidate.
+            self.chol.solve_lower_multi_in_place(&mut s.ks[..n * b], b);
+            s.sumsq.clear();
+            s.sumsq.resize(b, 0.0);
+            for j in 0..n {
+                let row = &s.ks[j * b..(j + 1) * b];
+                for (acc, &v) in s.sumsq.iter_mut().zip(row) {
+                    *acc += v * v;
+                }
+            }
+
+            for c in 0..b {
+                let var_std = (kqq_plus_noise - s.sumsq[c]).max(1e-12);
+                let mu = s.mu[c] * self.y_scale + self.y_mean;
+                let var = var_std * self.y_scale * self.y_scale;
+                out.push(ei_from_posterior(mu, var, best_y));
+            }
+            done += b;
         }
-        let z = (best_y - mu) / sigma;
-        let (pdf, cdf) = normal_pdf_cdf(z);
-        ((best_y - mu) * cdf + sigma * pdf).max(0.0)
     }
 
     /// Number of training points.
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.n
     }
 
     /// True when the model holds no data (never constructible via `fit`).
     pub fn is_empty(&self) -> bool {
-        self.x.is_empty()
+        self.n == 0
     }
 }
 
+/// Expected improvement (minimization) from a posterior mean/variance.
+fn ei_from_posterior(mu: f64, var: f64, best_y: f64) -> f64 {
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return (best_y - mu).max(0.0);
+    }
+    let z = (best_y - mu) / sigma;
+    let (pdf, cdf) = normal_pdf_cdf(z);
+    ((best_y - mu) * cdf + sigma * pdf).max(0.0)
+}
+
 /// Standard normal pdf and cdf (Abramowitz–Stegun erf approximation).
-fn normal_pdf_cdf(z: f64) -> (f64, f64) {
+pub(crate) fn normal_pdf_cdf(z: f64) -> (f64, f64) {
     let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
     let cdf = 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
     (pdf, cdf)
@@ -230,5 +480,65 @@ mod tests {
         let gp = Gp::fit_auto(&xs, &ys).unwrap();
         let (mu, _) = gp.predict(&[0.5, 0.5]);
         assert!((mu - 1.5).abs() < 0.2, "predicted {mu}");
+    }
+
+    #[test]
+    fn extend_matches_fit_bit_for_bit() {
+        let (xs, ys) = toy_data();
+        // Start from the first 3 points and extend with the rest.
+        let mut inc = Gp::fit(&xs[..3], &ys[..3], RbfKernel::default()).unwrap();
+        for (x, &y) in xs[3..].iter().zip(&ys[3..]) {
+            inc.extend(x, y).unwrap();
+        }
+        let full = Gp::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        assert_eq!(inc.len(), full.len());
+        assert_eq!(
+            inc.log_marginal_likelihood().to_bits(),
+            full.log_marginal_likelihood().to_bits()
+        );
+        for q in [[0.05], [0.31], [0.77], [1.4]] {
+            let (m1, v1) = inc.predict(&q);
+            let (m2, v2) = full.predict(&q);
+            assert_eq!(m1.to_bits(), m2.to_bits());
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
+    fn failed_extend_leaves_model_usable() {
+        let (xs, ys) = toy_data();
+        let mut gp = Gp::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        let before = gp.predict(&[0.4]);
+        assert_eq!(gp.extend(&[f64::NAN], 1.0), Err(NotPositiveDefinite));
+        assert_eq!(gp.len(), 9);
+        assert_eq!(gp.predict(&[0.4]), before);
+        // And it can still grow afterwards.
+        gp.extend(&[1.5], 1.44).unwrap();
+        assert_eq!(gp.len(), 10);
+    }
+
+    #[test]
+    fn ei_batch_matches_scalar_path() {
+        let xs: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![(i % 8) as f64 / 7.0, (i / 8) as f64 / 4.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.4).powi(2) + (x[1] - 0.6).powi(2)).collect();
+        let gp = Gp::fit_auto(&xs, &ys).unwrap();
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        // More candidates than one block, in a deterministic lattice.
+        let m = 150;
+        let pts: Vec<f64> =
+            (0..m).flat_map(|i| [(i % 15) as f64 / 14.0, (i / 15) as f64 / 9.0]).collect();
+        let mut out = Vec::new();
+        gp.ei_batch(&pts, m, best, &mut EiScratch::default(), &mut out);
+        assert_eq!(out.len(), m);
+        for (c, &batch_ei) in out.iter().enumerate() {
+            let q = &pts[c * 2..c * 2 + 2];
+            let scalar_ei = gp.expected_improvement(q, best);
+            assert_eq!(
+                batch_ei.to_bits(),
+                scalar_ei.to_bits(),
+                "candidate {c}: {batch_ei} vs {scalar_ei}"
+            );
+        }
     }
 }

@@ -27,6 +27,7 @@ mod gridsearch;
 pub mod linalg;
 mod neldermead;
 mod random;
+mod reference;
 mod sampling;
 mod solver;
 
@@ -34,10 +35,11 @@ pub use analytic::AnalyticSolver;
 pub use anneal::AnnealingSolver;
 pub use bayes::BayesSolver;
 pub use ga::GeneticSolver;
-pub use gp::{Gp, RbfKernel};
+pub use gp::{EiScratch, Gp, RbfKernel, FIT_AUTO_LENGTHSCALES};
 pub use gridsearch::GridSolver;
-pub use linalg::Matrix;
+pub use linalg::{CholeskyFactor, Matrix};
 pub use neldermead::minimize as nelder_mead;
 pub use random::RandomSolver;
+pub use reference::RefGp;
 pub use sampling::{grid_sample, latin_hypercube, uniform_grid};
 pub use solver::{best_observation, sanitize, ColorSolver, Observation, SolverKind};

@@ -60,13 +60,19 @@ impl Matrix {
 
     /// Matrix–vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (no allocation).
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
         for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        out
     }
 
     /// Cholesky factorization: returns lower-triangular `L` with
@@ -96,9 +102,16 @@ impl Matrix {
 
     /// Solve `L y = b` for lower-triangular `L` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.solve_lower_into(b, &mut y);
+        y
+    }
+
+    /// Forward substitution into a caller-provided buffer (no allocation).
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut [f64]) {
         let n = self.rows;
         assert_eq!(b.len(), n);
-        let mut y = vec![0.0; n];
+        assert_eq!(y.len(), n);
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -106,7 +119,6 @@ impl Matrix {
             }
             y[i] = sum / self[(i, i)];
         }
-        y
     }
 
     /// Solve `Lᵀ x = y` for lower-triangular `L` (back substitution on the
@@ -134,6 +146,202 @@ impl Matrix {
     /// Log-determinant from a Cholesky factor (`self` must be the factor L).
     pub fn log_det_from_cholesky(&self) -> f64 {
         (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// A lower-triangular Cholesky factor in packed row storage (row `i` holds
+/// `i + 1` entries), built either in one shot or row by row.
+///
+/// This is the GP hot-path representation: appending an observation is an
+/// O(n²) [`CholeskyFactor::extend_row`] instead of an O(n³) refactorization,
+/// and the packed layout halves the memory traffic of the triangular solves.
+/// All recurrences run in the same order as [`Matrix::cholesky`] /
+/// [`Matrix::solve_lower`], so results are bit-identical to the dense path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CholeskyFactor {
+    n: usize,
+    /// Packed rows: row `i` starts at `i * (i + 1) / 2`.
+    data: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// An empty factor (no rows yet).
+    pub fn new() -> CholeskyFactor {
+        CholeskyFactor::default()
+    }
+
+    /// An empty factor with room for `n` rows without reallocation.
+    pub fn with_capacity(n: usize) -> CholeskyFactor {
+        CholeskyFactor { n: 0, data: Vec::with_capacity(n * (n + 1) / 2) }
+    }
+
+    /// Number of rows factored so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no rows have been factored.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row `i` of the factor (`i + 1` entries).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * (i + 1) / 2;
+        &self.data[start..start + i + 1]
+    }
+
+    /// Diagonal entry `L[i][i]`.
+    #[inline]
+    pub fn diag(&self, i: usize) -> f64 {
+        self.data[i * (i + 1) / 2 + i]
+    }
+
+    /// Append one row: `k_row` holds the new symmetric matrix row
+    /// `[K[n][0], …, K[n][n]]` (covariances against the existing rows plus
+    /// the new diagonal). Runs the same recurrence a from-scratch
+    /// factorization would run for this row, in the same order, so the grown
+    /// factor is bit-identical to refactoring the full matrix. On failure
+    /// the factor is left unchanged.
+    pub fn extend_row(&mut self, k_row: &[f64]) -> Result<(), NotPositiveDefinite> {
+        let n = self.n;
+        assert_eq!(k_row.len(), n + 1);
+        let start = self.data.len();
+        // New off-diagonal entries by forward substitution against the
+        // existing rows; identical arithmetic to Matrix::cholesky's
+        // `sum -= l[(i, k)] * l[(j, k)]` inner loop.
+        for (j, &kj) in k_row[..n].iter().enumerate() {
+            let row_j = j * (j + 1) / 2;
+            let mut sum = kj;
+            for k in 0..j {
+                sum -= self.data[start + k] * self.data[row_j + k];
+            }
+            self.data.push(sum / self.data[row_j + j]);
+        }
+        let mut sum = k_row[n];
+        for k in 0..n {
+            let v = self.data[start + k];
+            sum -= v * v;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            self.data.truncate(start);
+            return Err(NotPositiveDefinite);
+        }
+        self.data.push(sum.sqrt());
+        self.n = n + 1;
+        Ok(())
+    }
+
+    /// Replace this factor with the lower triangle of a dense square
+    /// matrix (a factor produced by [`Matrix::cholesky`]).
+    pub fn copy_from_lower(&mut self, m: &Matrix) {
+        assert_eq!(m.rows(), m.cols());
+        let n = m.rows();
+        self.data.clear();
+        self.data.reserve(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in 0..=i {
+                self.data.push(m[(i, j)]);
+            }
+        }
+        self.n = n;
+    }
+
+    /// Factor a full SPD matrix given as packed lower-triangular rows
+    /// (`k[i * (i + 1) / 2 + j] = K[i][j]` for `j <= i`).
+    pub fn from_packed_spd(k: &[f64], n: usize) -> Result<CholeskyFactor, NotPositiveDefinite> {
+        assert_eq!(k.len(), n * (n + 1) / 2);
+        let mut f = CholeskyFactor::with_capacity(n);
+        for i in 0..n {
+            let start = i * (i + 1) / 2;
+            f.extend_row(&k[start..start + i + 1])?;
+        }
+        Ok(f)
+    }
+
+    /// Forward substitution `L y = b` into `y` (no allocation).
+    pub fn solve_lower_into(&self, b: &[f64], y: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(y.len(), n);
+        for i in 0..n {
+            let row = self.row(i);
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum / row[i];
+        }
+    }
+
+    /// Back substitution `Lᵀ x = y` into `x` (no allocation).
+    pub fn solve_lower_transpose_into(&self, y: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(y.len(), n);
+        assert_eq!(x.len(), n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.row(k)[i] * xk;
+            }
+            x[i] = sum / self.diag(i);
+        }
+    }
+
+    /// Forward substitution over `cols` right-hand sides at once, in place.
+    /// `b` is row-major `n × cols` (row `i` contiguous) and is overwritten
+    /// with the solution. Each column sees exactly the single-RHS operation
+    /// order — initialize with `b[i]`, subtract `L[i][k]·y[k]` for
+    /// ascending `k`, divide by the diagonal — so every column is
+    /// bit-identical to [`CholeskyFactor::solve_lower_into`]. Columns are
+    /// processed in
+    /// register-width tiles with the `k` loop innermost, which keeps each
+    /// tile's accumulators out of memory and lets the compiler vectorize
+    /// across right-hand sides (no reduction reassociation involved).
+    pub fn solve_lower_multi_in_place(&self, b: &mut [f64], cols: usize) {
+        const TILE: usize = 64;
+        let n = self.n;
+        assert_eq!(b.len(), n * cols);
+        let mut c0 = 0;
+        while c0 < cols {
+            let w = TILE.min(cols - c0);
+            if w == TILE {
+                let mut acc = [0.0f64; TILE];
+                for i in 0..n {
+                    let row = self.row(i);
+                    acc.copy_from_slice(&b[i * cols + c0..i * cols + c0 + TILE]);
+                    for (k, &l_ik) in row[..i].iter().enumerate() {
+                        let yk = &b[k * cols + c0..k * cols + c0 + TILE];
+                        for (a, &y) in acc.iter_mut().zip(yk) {
+                            *a -= l_ik * y;
+                        }
+                    }
+                    let d = row[i];
+                    for a in acc.iter_mut() {
+                        *a /= d;
+                    }
+                    b[i * cols + c0..i * cols + c0 + TILE].copy_from_slice(&acc);
+                }
+            } else {
+                for i in 0..n {
+                    let row = self.row(i);
+                    for c in c0..c0 + w {
+                        let mut a = b[i * cols + c];
+                        for (k, &l_ik) in row[..i].iter().enumerate() {
+                            a -= l_ik * b[k * cols + c];
+                        }
+                        b[i * cols + c] = a / row[i];
+                    }
+                }
+            }
+            c0 += w;
+        }
+    }
+
+    /// Log-determinant of the factored matrix (`2 Σ ln L[i][i]`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.n).map(|i| self.diag(i).ln()).sum::<f64>() * 2.0
     }
 }
 
@@ -221,6 +429,96 @@ mod tests {
         let a = Matrix::from_fn(2, 2, |r, c| [[4.0, 0.0], [0.0, 9.0]][r][c]);
         let l = a.cholesky().unwrap();
         assert!((l.log_det_from_cholesky() - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_factor_matches_dense_cholesky() {
+        let a =
+            Matrix::from_fn(3, 3, |r, c| [[6.0, 2.0, 1.0], [2.0, 5.0, 2.0], [1.0, 2.0, 4.0]][r][c]);
+        let dense = a.cholesky().unwrap();
+        // Row-by-row growth reproduces the dense factor bit for bit.
+        let mut packed = CholeskyFactor::new();
+        for i in 0..3 {
+            let row: Vec<f64> = (0..=i).map(|j| a[(i, j)]).collect();
+            packed.extend_row(&row).unwrap();
+        }
+        assert_eq!(packed.len(), 3);
+        for i in 0..3 {
+            for j in 0..=i {
+                assert_eq!(packed.row(i)[j].to_bits(), dense[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(packed.log_det().to_bits(), dense.log_det_from_cholesky().to_bits());
+        // copy_from_lower and from_packed_spd agree with the grown factor.
+        let mut copied = CholeskyFactor::new();
+        copied.copy_from_lower(&dense);
+        assert_eq!(copied, packed);
+        let flat: Vec<f64> =
+            (0..3).flat_map(|i| (0..=i).map(move |j| (i, j))).map(|(i, j)| a[(i, j)]).collect();
+        assert_eq!(CholeskyFactor::from_packed_spd(&flat, 3).unwrap(), packed);
+        // Solves agree with the dense path.
+        let b = vec![1.0, -2.0, 0.5];
+        let dense_y = dense.solve_lower(&b);
+        let mut y = vec![0.0; 3];
+        packed.solve_lower_into(&b, &mut y);
+        assert_eq!(y, dense_y);
+        let mut x = vec![0.0; 3];
+        packed.solve_lower_transpose_into(&y, &mut x);
+        assert_eq!(x, dense.solve_lower_transpose(&dense_y));
+    }
+
+    #[test]
+    fn failed_extend_row_leaves_factor_intact() {
+        let mut f = CholeskyFactor::with_capacity(2);
+        f.extend_row(&[4.0]).unwrap();
+        assert_eq!(f.extend_row(&[2.0, f64::NAN]), Err(NotPositiveDefinite));
+        assert_eq!(f.extend_row(&[2.0, -3.0]), Err(NotPositiveDefinite));
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+        // Still extendable with a valid row.
+        f.extend_row(&[2.0, 3.0]).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!((f.diag(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_rhs_solve_matches_single_rhs_per_column() {
+        // 40×40 SPD system, 70 right-hand sides (one full 64-wide tile
+        // plus a 6-column remainder, so both branches are exercised).
+        let n = 40;
+        let cols = 70;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            let d = (r as f64 - c as f64) * 0.17;
+            (-d * d).exp() + if r == c { 0.5 } else { 0.0 }
+        });
+        let dense = a.cholesky().unwrap();
+        let mut packed = CholeskyFactor::new();
+        packed.copy_from_lower(&dense);
+        let b: Vec<f64> = (0..n * cols).map(|i| ((i % 23) as f64 - 11.0) * 0.3).collect();
+        let mut multi = b.clone();
+        packed.solve_lower_multi_in_place(&mut multi, cols);
+        for c in 0..cols {
+            let col: Vec<f64> = (0..n).map(|i| b[i * cols + c]).collect();
+            let mut single = vec![0.0; n];
+            packed.solve_lower_into(&col, &mut single);
+            for i in 0..n {
+                assert_eq!(multi[i * cols + c].to_bits(), single[i].to_bits(), "row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_solve_into_match_allocating_versions() {
+        let a =
+            Matrix::from_fn(3, 3, |r, c| [[6.0, 2.0, 1.0], [2.0, 5.0, 2.0], [1.0, 2.0, 4.0]][r][c]);
+        let x = vec![1.0, -2.0, 3.0];
+        let mut out = vec![0.0; 3];
+        a.matvec_into(&x, &mut out);
+        assert_eq!(out, a.matvec(&x));
+        let l = a.cholesky().unwrap();
+        let mut y = vec![0.0; 3];
+        l.solve_lower_into(&x, &mut y);
+        assert_eq!(y, l.solve_lower(&x));
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub trait ColorSolver: Send {
         batch: usize,
         rng: &mut StdRng,
     ) -> Vec<Vec<f64>>;
+
+    /// How many times this solver's surrogate fit degenerated and it fell
+    /// back to random proposals. Zero for solvers without a surrogate;
+    /// surfaced per scenario in campaign reports so silent model failures
+    /// are visible.
+    fn degenerate_fallbacks(&self) -> u64 {
+        0
+    }
 }
 
 /// Best observation (lowest score) in a history.

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdl_color::Rgb8;
-use sdl_solvers::{best_observation, uniform_grid, Gp, Matrix, Observation, RbfKernel, SolverKind};
+use sdl_solvers::{
+    best_observation, uniform_grid, BayesSolver, ColorSolver, Gp, Matrix, Observation, RbfKernel,
+    SolverKind,
+};
 
 fn arb_history() -> impl Strategy<Value = Vec<Observation>> {
     proptest::collection::vec(
@@ -120,6 +123,62 @@ proptest! {
         // EI is non-negative for any incumbent.
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         prop_assert!(gp.expected_improvement(&q, best) >= 0.0);
+    }
+
+    /// Incremental `Gp::extend` matches a from-scratch `Gp::fit` — mean,
+    /// variance and EI — to 1e-9 across random histories (the arithmetic is
+    /// ordered to be bit-identical; the tolerance guards the property, the
+    /// campaign fingerprint test guards the bits).
+    #[test]
+    fn gp_extend_matches_refit(
+        points in proptest::collection::vec(
+            (proptest::collection::vec(0.0..=1.0f64, 3), -50.0..150.0f64), 3..20),
+        split in 1usize..18,
+        queries in proptest::collection::vec(proptest::collection::vec(-0.2..=1.2f64, 3), 1..4),
+    ) {
+        let split = split.min(points.len() - 1).max(1);
+        let xs: Vec<Vec<f64>> = points.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+        let kernel = RbfKernel::default();
+        let mut inc = Gp::fit(&xs[..split], &ys[..split], kernel).unwrap();
+        for (x, &y) in xs[split..].iter().zip(&ys[split..]) {
+            inc.extend(x, y).unwrap();
+        }
+        let full = Gp::fit(&xs, &ys, kernel).unwrap();
+        prop_assert_eq!(inc.len(), full.len());
+        prop_assert!(
+            (inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-9
+        );
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        for q in &queries {
+            let (m1, v1) = inc.predict(q);
+            let (m2, v2) = full.predict(q);
+            prop_assert!((m1 - m2).abs() < 1e-9, "mean {} vs {}", m1, m2);
+            prop_assert!((v1 - v2).abs() < 1e-9, "var {} vs {}", v1, v2);
+            let e1 = inc.expected_improvement(q, best);
+            let e2 = full.expected_improvement(q, best);
+            prop_assert!((e1 - e2).abs() < 1e-9, "ei {} vs {}", e1, e2);
+        }
+    }
+
+    /// The Bayes solver's incremental hot path proposes bit-identically to
+    /// the from-scratch reference path on arbitrary histories, with the
+    /// same RNG consumption.
+    #[test]
+    fn bayes_paths_propose_identically(
+        history in arb_history(),
+        batch in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let mut fast = BayesSolver::new(4);
+        let mut slow = BayesSolver::new(4);
+        slow.incremental = false;
+        let mut rng_fast = StdRng::seed_from_u64(seed);
+        let mut rng_slow = StdRng::seed_from_u64(seed);
+        let a = fast.propose(Rgb8::PAPER_TARGET, &history, batch, &mut rng_fast);
+        let b = slow.propose(Rgb8::PAPER_TARGET, &history, batch, &mut rng_slow);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(rng_fast, rng_slow);
     }
 
     /// Uniform grids are complete lattices: size and uniqueness.

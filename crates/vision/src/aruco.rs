@@ -145,17 +145,37 @@ impl Default for ArucoParams {
     }
 }
 
+/// Reusable component-labelling buffers for [`detect_markers_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ArucoScratch {
+    visited: Vec<bool>,
+    queue: Vec<(usize, usize)>,
+}
+
 /// Find markers in the frame. Returns detections sorted by component size
 /// (largest first).
 pub fn detect_markers(img: &ImageRgb8, params: &ArucoParams) -> Vec<MarkerDetection> {
+    detect_markers_with(img, params, &img.to_luma(), &mut ArucoScratch::default())
+}
+
+/// [`detect_markers`] over a precomputed luma plane and caller-owned
+/// scratch buffers; results are identical to a fresh-allocation run.
+pub fn detect_markers_with(
+    img: &ImageRgb8,
+    params: &ArucoParams,
+    luma: &[u8],
+    scratch: &mut ArucoScratch,
+) -> Vec<MarkerDetection> {
     let w = img.width();
     let h = img.height();
-    let luma = img.to_luma();
+    assert_eq!(luma.len(), w * h, "luma plane must match the frame");
     let is_black = |x: usize, y: usize| luma[y * w + x] < params.black_threshold;
 
-    let mut visited = vec![false; w * h];
+    let visited = &mut scratch.visited;
+    visited.clear();
+    visited.resize(w * h, false);
+    let queue = &mut scratch.queue;
     let mut detections = Vec::new();
-    let mut queue = Vec::new();
 
     for sy in 0..h {
         for sx in 0..w {

@@ -53,26 +53,51 @@ impl Default for HoughParams {
     }
 }
 
+/// Reusable vote planes for [`hough_circles_with`]; the two full-frame
+/// accumulators dominate the detector's per-frame allocations, so the
+/// measurement loop keeps one of these per worker.
+#[derive(Debug, Clone, Default)]
+pub struct HoughScratch {
+    acc: Vec<u32>,
+    pooled: Vec<u32>,
+    peaks: Vec<(u32, usize, usize)>,
+    radii: Vec<f64>,
+}
+
 /// Detect circles, strongest first.
 pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
+    hough_circles_with(img, params, &img.to_luma(), &mut HoughScratch::default())
+}
+
+/// [`hough_circles`] over a precomputed luma plane and caller-owned scratch
+/// buffers. The buffers are fully re-zeroed, so results are identical to a
+/// fresh-allocation run.
+pub fn hough_circles_with(
+    img: &ImageRgb8,
+    params: &HoughParams,
+    luma: &[u8],
+    scratch: &mut HoughScratch,
+) -> Vec<Circle> {
     let w = img.width();
     let h = img.height();
-    let luma = img.to_luma();
+    assert_eq!(luma.len(), w * h, "luma plane must match the frame");
     let at = |x: usize, y: usize| luma[y * w + x] as f64;
 
     // Accumulate votes over all radii into one plane; radius resolution is
     // not needed because the wells share a known radius band.
-    let mut acc = vec![0u32; w * h];
+    let acc = &mut scratch.acc;
+    acc.clear();
+    acc.resize(w * h, 0);
     let r_mid = (params.r_min + params.r_max) / 2.0;
-    let radii: Vec<f64> = {
-        let mut v = Vec::new();
+    let radii = &mut scratch.radii;
+    radii.clear();
+    {
         let mut r = params.r_min;
         while r <= params.r_max + 1e-9 {
-            v.push(r);
+            radii.push(r);
             r += 1.0;
         }
-        v
-    };
+    }
 
     for y in 1..h - 1 {
         for x in 1..w - 1 {
@@ -93,7 +118,7 @@ pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
             let uy = gy / (mag * 4.0);
             // Vote on both sides of the edge (dark–light polarity varies
             // between liquid/wall and wall/plate transitions).
-            for &r in &radii {
+            for &r in radii.iter() {
                 for sign in [-1.0, 1.0] {
                     let cx = x as f64 + sign * r * ux;
                     let cy = y as f64 + sign * r * uy;
@@ -106,7 +131,9 @@ pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
     }
 
     // Blur the accumulator lightly (3×3 box) so near-miss votes pool.
-    let mut pooled = vec![0u32; w * h];
+    let pooled = &mut scratch.pooled;
+    pooled.clear();
+    pooled.resize(w * h, 0);
     for y in 1..h - 1 {
         for x in 1..w - 1 {
             let mut s = 0u32;
@@ -124,7 +151,8 @@ pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
     // pooled over the 3×3 window and the radius band.
     let ceiling = 2.0 * std::f64::consts::PI * r_mid * radii.len() as f64;
     let threshold = (params.vote_fraction * ceiling) as u32;
-    let mut peaks: Vec<(u32, usize, usize)> = Vec::new();
+    let peaks = &mut scratch.peaks;
+    peaks.clear();
     for y in 1..h - 1 {
         for x in 1..w - 1 {
             let v = pooled[y * w + x];
@@ -137,7 +165,7 @@ pub fn hough_circles(img: &ImageRgb8, params: &HoughParams) -> Vec<Circle> {
 
     let mut out: Vec<Circle> = Vec::new();
     let min_d2 = params.min_center_dist * params.min_center_dist;
-    for (votes, x, y) in peaks {
+    for &(votes, x, y) in peaks.iter() {
         if out.len() >= params.max_circles {
             break;
         }

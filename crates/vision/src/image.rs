@@ -26,6 +26,20 @@ impl ImageRgb8 {
         ImageRgb8 { width, height, data }
     }
 
+    /// Reshape in place to `width` × `height` filled with `fill`, reusing
+    /// the existing pixel buffer — the renderer's per-frame allocation
+    /// becomes a no-op once the buffer has reached frame size.
+    pub fn reset(&mut self, width: usize, height: usize, fill: Rgb8) {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.reserve(width * height * 3);
+        for _ in 0..width * height {
+            self.data.extend_from_slice(&[fill.r, fill.g, fill.b]);
+        }
+    }
+
     /// Image width in pixels.
     pub fn width(&self) -> usize {
         self.width
@@ -86,12 +100,19 @@ impl ImageRgb8 {
     /// Full grayscale plane.
     pub fn to_luma(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.width * self.height);
+        self.luma_into(&mut out);
+        out
+    }
+
+    /// Full grayscale plane into a reusable buffer (cleared first).
+    pub fn luma_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.width * self.height);
         for y in 0..self.height {
             for x in 0..self.width {
                 out.push(self.luma(x, y));
             }
         }
-        out
     }
 
     /// Mean color over a disk of radius `r` centered at (cx, cy); returns

@@ -30,10 +30,14 @@ mod layout;
 mod pipeline;
 mod render;
 
-pub use aruco::{detect_markers, ArucoParams, MarkerDetection, DICT_SIZE};
+pub use aruco::{
+    detect_markers, detect_markers_with, ArucoParams, ArucoScratch, MarkerDetection, DICT_SIZE,
+};
 pub use grid::{fit_grid, GridFit, GridModel};
-pub use hough::{hough_circles, Circle, HoughParams};
+pub use hough::{hough_circles, hough_circles_with, Circle, HoughParams, HoughScratch};
 pub use image::ImageRgb8;
 pub use layout::{CameraGeometry, MarkerLayout, PlateLayout};
-pub use pipeline::{Detector, DetectorParams, PlateReading, VisionError, WellReading};
-pub use render::{render, Lighting, PlateScene, Pose, PLATE_BODY_REFLECTANCE};
+pub use pipeline::{
+    Detector, DetectorParams, DetectorScratch, PlateReading, VisionError, WellReading,
+};
+pub use render::{render, render_into, Lighting, PlateScene, Pose, PLATE_BODY_REFLECTANCE};

@@ -2,9 +2,9 @@
 //! ArUco marker → approximate plate bounds → HoughCircles → grid alignment
 //! → per-well color extraction.
 
-use crate::aruco::{detect_markers, ArucoParams, MarkerDetection};
+use crate::aruco::{detect_markers_with, ArucoParams, ArucoScratch, MarkerDetection};
 use crate::grid::{fit_grid, GridModel};
-use crate::hough::{hough_circles, Circle, HoughParams};
+use crate::hough::{hough_circles_with, Circle, HoughParams, HoughScratch};
 use crate::image::ImageRgb8;
 use crate::layout::{MarkerLayout, PlateLayout};
 use sdl_color::Rgb8;
@@ -112,6 +112,20 @@ impl Default for DetectorParams {
     }
 }
 
+/// Reusable working memory for [`Detector::detect_with`]: the shared luma
+/// plane (computed once per frame instead of once per stage), the Hough
+/// vote planes and the ArUco labelling buffers — several megabytes that the
+/// measurement loop would otherwise reallocate per frame. One instance per
+/// campaign worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorScratch {
+    luma: Vec<u8>,
+    hough: HoughScratch,
+    aruco: ArucoScratch,
+    centers: Vec<(f64, f64)>,
+    patches: Vec<sdl_color::LinRgb>,
+}
+
 /// The §2.4 pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct Detector {
@@ -127,10 +141,22 @@ impl Detector {
 
     /// Process one frame into per-well readings.
     pub fn detect(&self, img: &ImageRgb8) -> Result<PlateReading, VisionError> {
+        self.detect_with(img, &mut DetectorScratch::default())
+    }
+
+    /// [`Detector::detect`] over reusable scratch buffers. Readings are
+    /// identical to the allocating path; only the allocation traffic
+    /// differs.
+    pub fn detect_with(
+        &self,
+        img: &ImageRgb8,
+        scratch: &mut DetectorScratch,
+    ) -> Result<PlateReading, VisionError> {
         let p = &self.params;
+        img.luma_into(&mut scratch.luma);
 
         // 1. Fiducial: gives scale and the approximate plate origin.
-        let markers = detect_markers(img, &p.aruco);
+        let markers = detect_markers_with(img, &p.aruco, &scratch.luma, &mut scratch.aruco);
         let marker = markers.into_iter().next().ok_or(VisionError::MarkerNotFound)?;
         let px_per_mm = marker.size_px / p.marker.size_mm;
 
@@ -164,7 +190,7 @@ impl Detector {
             max_circles: p.plate.well_count() + 16,
             ..p.hough.clone()
         };
-        let circles = hough_circles(img, &hough);
+        let circles = hough_circles_with(img, &hough, &scratch.luma, &mut scratch.hough);
         let margin = p.plate.pitch_mm * px_per_mm;
         let in_plate = |c: &Circle| {
             let x_mm = (c.cx - plate_origin_px.0) / px_per_mm;
@@ -174,12 +200,13 @@ impl Detector {
                 && x_mm < p.plate.width_mm + margin
                 && y_mm < p.plate.height_mm + margin
         };
-        let centers: Vec<(f64, f64)> =
-            circles.iter().filter(|c| in_plate(c)).map(|c| (c.cx, c.cy)).collect();
+        scratch.centers.clear();
+        scratch.centers.extend(circles.iter().filter(|c| in_plate(c)).map(|c| (c.cx, c.cy)));
+        let centers: &[(f64, f64)] = &scratch.centers;
 
         // 4. Grid alignment (the false-negative correction).
         let (model, rms, fitted) = if p.grid_alignment {
-            match fit_grid(&centers, p.plate.rows, p.plate.cols, &approx, 3) {
+            match fit_grid(centers, p.plate.rows, p.plate.cols, &approx, 3) {
                 Some(fit) => {
                     let pitch_ok =
                         (fit.model.pitch_px() / (p.plate.pitch_mm * px_per_mm) - 1.0).abs() < 0.12;
@@ -200,7 +227,9 @@ impl Detector {
         let sample_r = well_r_px * p.sample_fraction;
         let body = if p.flat_field {
             // Plate body patches at the diagonal midpoints between wells.
-            let mut patches = Vec::with_capacity(p.plate.well_count());
+            let patches = &mut scratch.patches;
+            patches.clear();
+            patches.reserve(p.plate.well_count());
             for row in 0..p.plate.rows {
                 for col in 0..p.plate.cols {
                     let (ax, ay) = model.predict(row, col);
@@ -216,7 +245,7 @@ impl Detector {
             }
             // Correct against the known plate-body reflectance (the rig's
             // built-in white reference), not just the plate-wide mean.
-            Some((patches, crate::render::PLATE_BODY_REFLECTANCE))
+            Some((&scratch.patches, crate::render::PLATE_BODY_REFLECTANCE))
         } else {
             None
         };
@@ -329,6 +358,20 @@ mod tests {
         // Reading a known well still returns its color despite the shift.
         let w = reading.well(0, 0).unwrap();
         assert!(w.color.r > w.color.g + 30, "A1 under jitter: {}", w.color);
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_detection() {
+        let det = Detector::new(DetectorParams { flat_field: true, ..DetectorParams::default() });
+        let mut scratch = DetectorScratch::default();
+        for seed in [31u64, 32, 33] {
+            let mut scene = scene_with_samples(30);
+            scene.pose = Pose { dx_px: 2.0, dy_px: -1.0, rot_deg: 0.4 };
+            let img = render(&scene, &mut StdRng::seed_from_u64(seed));
+            let fresh = det.detect(&img).unwrap();
+            let reused = det.detect_with(&img, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 
     #[test]

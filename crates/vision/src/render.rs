@@ -126,9 +126,22 @@ const WALL_MM: f64 = 0.7;
 
 /// Render the scene to an 8-bit frame.
 pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
+    let mut img = ImageRgb8::new(scene.camera.width_px, scene.camera.height_px, Rgb8::default());
+    render_into(scene, rng, &mut img);
+    img
+}
+
+/// Render the scene into an existing frame buffer (resized as needed),
+/// avoiding the per-frame megabyte allocation of [`render`]. Every pixel is
+/// overwritten and the RNG is consumed identically, so the frame is
+/// bit-identical to a freshly allocated render.
+pub fn render_into(scene: &PlateScene, rng: &mut impl Rng, img: &mut ImageRgb8) {
     let cam = &scene.camera;
     let w = cam.width_px;
     let h = cam.height_px;
+    if img.width() != w || img.height() != h {
+        img.reset(w, h, Rgb8::default());
+    }
     let cx = w as f64 / 2.0 + scene.pose.dx_px;
     let cy = h as f64 / 2.0 + scene.pose.dy_px;
     let s = cam.px_per_mm;
@@ -140,7 +153,6 @@ pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
         dx * dx + dy * dy
     };
 
-    let mut img = ImageRgb8::new(w, h, Rgb8::default());
     for py in 0..h {
         for px in 0..w {
             // Inverse map pixel -> scene mm (rotate then unscale).
@@ -171,7 +183,6 @@ pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
             );
         }
     }
-    img
 }
 
 /// The material color at a scene point (plate-local mm coordinates).
@@ -312,6 +323,19 @@ mod tests {
         let c = render(&scene, &mut StdRng::seed_from_u64(2));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn render_into_recycled_buffer_is_bit_identical() {
+        let scene = PlateScene::empty_plate();
+        let fresh = render(&scene, &mut StdRng::seed_from_u64(5));
+        // A stale buffer of the wrong shape and garbage contents.
+        let mut buf = ImageRgb8::new(3, 2, Rgb8::new(9, 9, 9));
+        render_into(&scene, &mut StdRng::seed_from_u64(5), &mut buf);
+        assert_eq!(buf, fresh);
+        // Re-render into the now right-sized buffer: still identical.
+        render_into(&scene, &mut StdRng::seed_from_u64(5), &mut buf);
+        assert_eq!(buf, fresh);
     }
 
     #[test]

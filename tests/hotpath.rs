@@ -1,0 +1,62 @@
+//! The inner-loop optimizations must be invisible in the results: campaign
+//! reports are bit-identical to the pre-optimization code path and to
+//! themselves at any worker-thread count.
+
+use sdl_lab::core::{AppConfig, CampaignReport, CampaignRunner, ColorPickerApp, ScenarioSpec};
+use sdl_lab::solvers::{BayesSolver, SolverKind};
+
+fn bayes_config(seed: u64) -> AppConfig {
+    AppConfig {
+        solver: SolverKind::Bayesian,
+        sample_budget: 24,
+        batch: 4,
+        seed,
+        publish_images: false,
+        ..AppConfig::default()
+    }
+}
+
+fn scenarios() -> Vec<ScenarioSpec> {
+    (0..6).map(|i| ScenarioSpec::new(format!("bo-{i}"), bayes_config(100 + i))).collect()
+}
+
+fn run_at(threads: usize) -> CampaignReport {
+    CampaignRunner::new().threads(threads).run(scenarios())
+}
+
+#[test]
+fn campaign_reports_are_bit_identical_across_thread_counts() {
+    let one = run_at(1);
+    let two = run_at(2);
+    let eight = run_at(8);
+    assert!(!one.fingerprint().is_empty());
+    assert_eq!(one.fingerprint(), two.fingerprint());
+    assert_eq!(one.fingerprint(), eight.fingerprint());
+    assert_eq!(one.solver_fallbacks(), 0, "healthy campaigns never fall back");
+}
+
+#[test]
+fn optimized_loop_matches_pre_optimization_path_bitwise() {
+    // The incremental surrogate + batched EI + buffer-reuse hot path must
+    // reproduce the from-scratch refit path sample for sample, bit for bit.
+    let optimized = ColorPickerApp::new(bayes_config(7)).unwrap().run().unwrap();
+
+    let mut baseline_app = ColorPickerApp::new(bayes_config(7)).unwrap();
+    let mut reference = BayesSolver::new(4);
+    reference.incremental = false;
+    baseline_app.replace_solver(Box::new(reference));
+    let baseline = baseline_app.run().unwrap();
+
+    assert_eq!(optimized.best_score.to_bits(), baseline.best_score.to_bits());
+    assert_eq!(optimized.best_ratios, baseline.best_ratios);
+    assert_eq!(optimized.samples_measured, baseline.samples_measured);
+    assert_eq!(optimized.duration, baseline.duration);
+    assert_eq!(optimized.trajectory.len(), baseline.trajectory.len());
+    for (a, b) in optimized.trajectory.iter().zip(&baseline.trajectory) {
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "sample {}", a.sample);
+        assert_eq!(a.best.to_bits(), b.best.to_bits(), "sample {}", a.sample);
+    }
+    assert_eq!(optimized.solver_fallbacks, 0);
+    assert_eq!(baseline.solver_fallbacks, 0);
+}
