@@ -1,5 +1,5 @@
 //! Workflow-engine benchmarks: YAML parsing, validation, dispatch, and the
-//! synchronous-vs-background publication ablation (DESIGN.md item 5).
+//! synchronous-vs-background publication ablation (see bin `ablation_mixing`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sdl_color::{DyeSet, MixKind};

@@ -1,6 +1,6 @@
 //! Gaussian-process benchmarks: O(n³) fit scaling and acquisition
-//! evaluation — the cost profile behind the Bayesian solver (ablation item
-//! 4 in DESIGN.md).
+//! evaluation — the cost profile behind the Bayesian solver (ablation
+//! study).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;

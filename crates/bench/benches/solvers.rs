@@ -1,5 +1,5 @@
 //! Solver proposal throughput with a realistic 64-observation history,
-//! including the GA batch-strategy ablation (DESIGN.md item 3).
+//! including the GA batch-strategy ablation (see bin `ablation_ga`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;

@@ -1,4 +1,4 @@
-//! GA batch-strategy ablation (DESIGN.md item 3): the paper's scheme
+//! GA batch-strategy ablation: the paper’s scheme
 //! re-measures the elite every generation — under sensor noise that both
 //! burns budget and *denoises* the incumbent. This harness isolates the
 //! effect on the solver loop (Beer–Lambert objective + Gaussian sensor

@@ -9,7 +9,10 @@
 //!    `Gp::extend` + batched EI;
 //! 2. per-sample simulated-measurement latency — fresh-allocation
 //!    render + detect vs. reused frame buffer + detector scratch;
-//! 3. full-campaign throughput with the Bayesian solver.
+//! 3. backend-dispatch overhead — one ask/tell batch through `SimBackend`
+//!    directly vs. `RemoteBackend` over loopback HTTP (the `/v1/batch`
+//!    wire path);
+//! 4. full-campaign throughput with the Bayesian solver.
 //!
 //! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
 //! there; `--out` to override) so successive PRs accumulate a perf
@@ -21,7 +24,7 @@ use rand::{Rng, SeedableRng};
 use sdl_bench::{arg_or, median};
 use sdl_color::Rgb8;
 use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
-use sdl_core::{AppConfig, ColorPickerApp};
+use sdl_core::{AppConfig, ColorPickerApp, Experiment, LabBackend, RemoteBackend, SimBackend};
 use sdl_solvers::{BayesSolver, ColorSolver, Observation, SolverKind};
 use sdl_vision::{render, render_into, Detector, DetectorScratch, ImageRgb8, PlateScene};
 use std::time::Instant;
@@ -130,6 +133,49 @@ fn time_campaign(budget: u32, reps: usize) -> (f64, f64, u32) {
     (median(&before), median(&after), samples)
 }
 
+/// Median per-batch `LabBackend::submit_batch` latency (µs) through an
+/// ask/tell session: `remote` drives an in-process loopback worker over
+/// HTTP, `None` calls `SimBackend` directly. Same config and seed either
+/// way, so the difference is pure dispatch overhead (wire codecs + HTTP +
+/// scheduling), not lab work.
+fn time_backend_dispatch(remote: Option<&str>, batches: u32, batch: u32) -> f64 {
+    let config = AppConfig {
+        solver: SolverKind::Random,
+        sample_budget: batches * batch,
+        batch,
+        seed: 13,
+        publish_images: false,
+        ..AppConfig::default()
+    };
+    let mut session = Experiment::new(config.clone()).expect("session");
+    let mut backend: Box<dyn LabBackend> = match remote {
+        Some(addr) => Box::new(RemoteBackend::new(addr, config.clone())),
+        None => Box::new(SimBackend::new(&config).expect("sim backend")),
+    };
+    let caps = backend.open().expect("backend opens");
+    let mut samples = Vec::with_capacity(batches as usize);
+    while let Some(b) = session.ask(&caps) {
+        let t = Instant::now();
+        let result = backend.submit_batch(&b).expect("batch executes");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        session.tell(&b, result).expect("tell");
+    }
+    backend.close(session.samples_measured()).expect("backend closes");
+    median(&samples)
+}
+
+/// Spawn a loopback lab worker (the `sdl-lab serve` stack, in-process).
+fn loopback_worker() -> sdl_portal_server::ServerHandle {
+    use std::sync::Arc;
+    let server = sdl_portal_server::PortalServer::new(
+        Arc::new(sdl_datapub::AcdcPortal::new()),
+        Arc::new(sdl_datapub::BlobStore::in_memory()),
+    )
+    .with_lab(Arc::new(sdl_portal_server::LabHost::new()));
+    sdl_portal_server::spawn(server, &sdl_portal_server::ServerConfig::default())
+        .expect("bind loopback worker")
+}
+
 /// Validate a previously written report; panics (non-zero exit) on
 /// missing/malformed files so CI can gate on it.
 fn check(path: &str) {
@@ -147,6 +193,14 @@ fn check(path: &str) {
     for section in ["measure", "campaign"] {
         let s = doc.get(section).unwrap_or_else(|| panic!("{path}: missing '{section}'"));
         assert!(s.get("speedup").and_then(Value::as_f64).is_some(), "{section}.speedup");
+    }
+    let dispatch =
+        doc.get("backend_dispatch").and_then(Value::as_seq).expect("backend_dispatch section");
+    assert!(!dispatch.is_empty(), "{path}: empty backend_dispatch section");
+    for row in dispatch {
+        for key in ["batch", "sim_us", "remote_us", "overhead_us"] {
+            assert!(row.get(key).is_some(), "{path}: backend_dispatch row missing '{key}'");
+        }
     }
     println!("{path}: OK");
 }
@@ -193,6 +247,33 @@ fn main() {
     measure.set("speedup", m_before / m_after);
     eprintln!("measure: {m_before:.0}µs -> {m_after:.0}µs per frame ({:.2}x)", m_before / m_after);
     doc.set("measure", measure);
+
+    // Backend-dispatch overhead: the same ask/tell session driving the
+    // same simulated lab, directly vs over loopback HTTP (PR 4's seam).
+    let worker = loopback_worker();
+    let worker_addr = worker.addr().to_string();
+    let dispatch_batches = if smoke { 4 } else { 16 };
+    let mut dispatch = Value::seq();
+    for batch in [1u32, 4] {
+        let sim_us = time_backend_dispatch(None, dispatch_batches, batch);
+        let remote_us = time_backend_dispatch(Some(&worker_addr), dispatch_batches, batch);
+        let mut row = Value::map();
+        row.set("batch", batch as i64);
+        row.set("batches", dispatch_batches as i64);
+        row.set("sim_us", sim_us);
+        row.set("remote_us", remote_us);
+        row.set("overhead_us", remote_us - sim_us);
+        row.set("overhead_frac", (remote_us - sim_us) / sim_us);
+        eprintln!(
+            "backend dispatch b={batch}: sim {sim_us:.0}µs -> remote {remote_us:.0}µs \
+             (+{:.0}µs, {:.1}%)",
+            remote_us - sim_us,
+            100.0 * (remote_us - sim_us) / sim_us
+        );
+        dispatch.push(row);
+    }
+    worker.shutdown();
+    doc.set("backend_dispatch", dispatch);
 
     let (c_before, c_after, samples) = time_campaign(budget, campaign_reps);
     let mut campaign = Value::map();

@@ -1,7 +1,7 @@
 //! `sdl-bench` — shared helpers for the table/figure regeneration binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md §5 for the experiment index); this library holds
+//! paper (see README.md for the experiment index); this library holds
 //! the ASCII plotting, CSV and comparison-table utilities they share.
 
 #![forbid(unsafe_code)]

@@ -238,15 +238,25 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.src[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    if c == '\n' {
-                        self.line += 1;
+                    // Consume a maximal run of ordinary bytes in one go,
+                    // validating UTF-8 once per run. (Validating the whole
+                    // remaining input per character made long strings —
+                    // e.g. megabyte hex-encoded plate frames — quadratic.)
+                    // `"` and `\` are ASCII, so scanning raw bytes for them
+                    // never splits a multi-byte scalar.
+                    let start = self.pos;
+                    while let Some(&b) = self.src.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        if b == b'\n' {
+                            self.line += 1;
+                        }
+                        self.pos += 1;
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }
@@ -345,6 +355,33 @@ mod tests {
         let s = "quote \" backslash \\ newline \n tab \t unicode ☃";
         let v = Value::Str(s.to_string());
         assert_eq!(from_json(&to_json(&v)).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn multibyte_runs_and_mixed_escapes_roundtrip() {
+        // Multi-byte scalars adjacent to escapes exercise the run-based
+        // string fast path at its boundaries.
+        let s = "☃☃\"héllo\\☃\nénd☃";
+        let v = Value::Str(s.to_string());
+        assert_eq!(from_json(&to_json(&v)).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn megabyte_strings_parse_in_linear_time() {
+        // Regression: per-character UTF-8 validation of the remaining input
+        // made this quadratic (~50 s for the 1.8 MB hex-encoded plate
+        // frames the remote backend ships). Linear parsing does a few MB in
+        // well under a second even in debug builds.
+        let hex: String = "a0f3".repeat(500_000);
+        let json = format!("{{\"image_hex\": \"{hex}\"}}");
+        let started = std::time::Instant::now();
+        let v = from_json(&json).unwrap();
+        assert_eq!(v.get("image_hex").and_then(Value::as_str).map(str::len), Some(2_000_000));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "2 MB string took {:?} — string parsing has gone super-linear",
+            started.elapsed()
+        );
     }
 
     #[test]

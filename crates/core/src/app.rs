@@ -6,25 +6,23 @@
 //! (`cp_wf_trashplate`), top up reservoirs (`cp_wf_replenish`), and stop on
 //! the termination criteria — all against the simulated workcell on a
 //! virtual clock.
+//!
+//! Since the ask/tell redesign, [`ColorPickerApp`] is a thin compatibility
+//! wrapper: the decision/data half lives in [`Experiment`](crate::Experiment)
+//! and the robotic half in [`SimBackend`](crate::SimBackend); `run()` just
+//! drives one on the other.
 
+use crate::backend::SimBackend;
 use crate::config::AppConfig;
+use crate::experiment::Experiment;
 use crate::metrics::SdlMetrics;
-use crate::protocol::{build_protocol, ProtocolError};
+use crate::protocol::ProtocolError;
 use crate::termination::TerminationReason;
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use sdl_color::Rgb8;
-use sdl_datapub::{
-    AcdcPortal, BlobStore, ExperimentRecord, FlowJob, FlowStats, PublishFlow, SampleRecord,
-};
-use sdl_desim::{RngHub, SimDuration, SimTime};
-use sdl_instruments::{ActionData, ModuleKind, WellIndex};
+use sdl_datapub::{AcdcPortal, BlobStore, FlowStats, SampleRecord};
+use sdl_desim::SimDuration;
 use sdl_solvers::{ColorSolver, Observation};
-use sdl_vision::{Detector, DetectorScratch, VisionError};
-use sdl_wei::{
-    Clock, Counters, Engine, Payload, SeqClock, WeiError, Workcell, WorkcellConfig, Workflow,
-};
-use std::collections::BTreeMap;
+use sdl_vision::{DetectorScratch, VisionError};
+use sdl_wei::{Counters, Engine, WeiError};
 use std::fmt;
 use std::sync::Arc;
 
@@ -48,6 +46,8 @@ pub enum AppError {
     Protocol(ProtocolError),
     /// Configuration problem discovered at startup.
     Setup(String),
+    /// Failure talking to a remote lab backend.
+    Backend(String),
 }
 
 impl fmt::Display for AppError {
@@ -57,6 +57,7 @@ impl fmt::Display for AppError {
             AppError::Vision(e) => write!(f, "{e}"),
             AppError::Protocol(e) => write!(f, "{e}"),
             AppError::Setup(m) => write!(f, "setup error: {m}"),
+            AppError::Backend(m) => write!(f, "backend error: {m}"),
         }
     }
 }
@@ -137,245 +138,57 @@ impl fmt::Debug for ExperimentOutcome {
     }
 }
 
-struct AppWorkflows {
-    newplate: Workflow,
-    mixcolor: Workflow,
-    trashplate: Workflow,
-    replenish: Workflow,
-}
-
-/// The application.
+/// The application: an [`Experiment`] session permanently bound to a
+/// [`SimBackend`].
 pub struct ColorPickerApp {
-    /// Active configuration.
+    /// The configuration this app was built from (a snapshot: the session
+    /// and backend hold their own copies, so mutating this field after
+    /// [`ColorPickerApp::new`] does not affect the run).
     pub config: AppConfig,
-    engine: Engine,
-    clock: SeqClock,
-    solver: Box<dyn ColorSolver>,
-    solver_rng: StdRng,
-    compute_rng: StdRng,
-    detector: Detector,
-    workflows: AppWorkflows,
-    vars: BTreeMap<String, String>,
-    nest_slot: String,
-    bank_name: String,
-    history: Vec<Observation>,
-    trajectory: Vec<TrajectoryPoint>,
-    samples_done: u32,
-    iteration: u32,
-    plates_used: u32,
-    portal: Arc<AcdcPortal>,
-    store: Arc<BlobStore>,
-    flow: Option<PublishFlow>,
+    session: Experiment,
+    backend: SimBackend,
 }
 
 impl ColorPickerApp {
-    /// Build the application: instantiate the workcell, resolve module
-    /// names, retarget the canonical workflows, start the publication flow.
+    /// Build the application: instantiate the simulated workcell and start
+    /// the experiment session on it.
     pub fn new(config: AppConfig) -> Result<ColorPickerApp, AppError> {
-        let hub = RngHub::new(config.seed);
-        let cell_cfg = WorkcellConfig::from_yaml(&config.workcell_yaml)?;
-
-        // Discover one module of each required kind.
-        let need = |kind: ModuleKind| -> Result<&sdl_wei::ModuleConfig, AppError> {
-            cell_cfg.modules.iter().find(|m| m.kind == kind).ok_or_else(|| {
-                AppError::Setup(format!("workcell lacks a {} module", kind.type_name()))
-            })
-        };
-        let crane = need(ModuleKind::PlateCrane)?;
-        let arm = need(ModuleKind::Manipulator)?;
-        let handler = need(ModuleKind::LiquidHandler)?;
-        let replenisher = need(ModuleKind::LiquidReplenisher)?;
-        let camera = need(ModuleKind::Camera)?;
-
-        use sdl_conf::ValueExt as _;
-        let exchange = crane
-            .config
-            .opt_str("exchange")
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("{}.exchange", crane.name));
-        let deck = handler
-            .config
-            .opt_str("deck")
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("{}.deck", handler.name));
-        let nest = camera
-            .config
-            .opt_str("nest")
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("{}.nest", camera.name));
-
-        let mut vars = BTreeMap::new();
-        vars.insert("exchange".to_string(), exchange);
-        vars.insert("deck".to_string(), deck);
-        vars.insert("nest".to_string(), nest.clone());
-
-        // Retarget canonical workflows onto the discovered module names.
-        let mut rename = BTreeMap::new();
-        rename.insert("sciclops".to_string(), crane.name.clone());
-        rename.insert("pf400".to_string(), arm.name.clone());
-        rename.insert("ot2".to_string(), handler.name.clone());
-        rename.insert("barty".to_string(), replenisher.name.clone());
-        rename.insert("camera".to_string(), camera.name.clone());
-        let load = |src: &str| -> Result<Workflow, AppError> {
-            Ok(Workflow::from_yaml(src)?.retarget(&rename))
-        };
-        let workflows = AppWorkflows {
-            newplate: load(WF_NEWPLATE)?,
-            mixcolor: load(WF_MIXCOLOR)?,
-            trashplate: load(WF_TRASHPLATE)?,
-            replenish: load(WF_REPLENISH)?,
-        };
-        let bank_name = handler.name.clone();
-
-        let cell = Workcell::instantiate(cell_cfg, config.dyes.clone(), config.mix)?;
-        let engine = Engine::new(cell, hub).with_faults(config.faults.clone());
-        for wf in
-            [&workflows.newplate, &workflows.mixcolor, &workflows.trashplate, &workflows.replenish]
-        {
-            engine.validate(wf)?;
-        }
-
-        let portal = Arc::new(AcdcPortal::new());
-        let store = Arc::new(BlobStore::in_memory());
-        let flow = PublishFlow::start(Arc::clone(&portal), Arc::clone(&store));
-
-        let detector = Detector::new(sdl_vision::DetectorParams {
-            flat_field: config.flat_field,
-            ..sdl_vision::DetectorParams::default()
-        });
-        Ok(ColorPickerApp {
-            solver: config.solver.build(config.dyes.len()),
-            solver_rng: hub.stream("app.solver"),
-            compute_rng: hub.stream("app.compute"),
-            detector,
-            workflows,
-            vars,
-            nest_slot: nest,
-            bank_name,
-            history: Vec::new(),
-            trajectory: Vec::new(),
-            samples_done: 0,
-            iteration: 0,
-            plates_used: 0,
-            portal,
-            store,
-            flow: Some(flow),
-            engine,
-            clock: SeqClock::new(),
-            config,
-        })
+        let backend = SimBackend::new(&config)?;
+        let session = Experiment::new(config.clone())?;
+        Ok(ColorPickerApp { config, session, backend })
     }
 
     /// The measurement history accumulated so far.
     pub fn history(&self) -> &[Observation] {
-        &self.history
+        self.session.history()
     }
 
-    /// Resume an interrupted experiment from previously published records.
-    ///
-    /// Restores the measurement history (ratios, measured colors, scores)
-    /// and the sample/iteration counters from `records`, so a crashed
-    /// control host can continue where it stopped: the solver sees the full
-    /// history and the budget accounting picks up at the right sample. The
-    /// physical plate is gone after a crash, so the loop starts on a fresh
-    /// plate; elapsed time restarts at the recovery (TWH semantics: the
-    /// crash was an intervention).
-    pub fn restore_from_records(&mut self, records: &[sdl_datapub::SampleRecord]) {
-        let mut records: Vec<&sdl_datapub::SampleRecord> = records.iter().collect();
-        records.sort_by_key(|r| r.sample);
-        for r in &records {
-            self.history.push(Observation {
-                ratios: r.ratios.clone(),
-                measured: Rgb8::new(r.measured[0], r.measured[1], r.measured[2]),
-                score: r.score,
-            });
-        }
-        self.samples_done = records.last().map(|r| r.sample).unwrap_or(0);
-        self.iteration = records.last().map(|r| r.run).unwrap_or(0);
-        self.trajectory = records
-            .iter()
-            .map(|r| TrajectoryPoint {
-                sample: r.sample,
-                elapsed_min: r.elapsed_s / 60.0,
-                score: r.score,
-                best: r.best_so_far,
-            })
-            .collect();
+    /// Resume an interrupted experiment from previously published records
+    /// (see [`Experiment::restore_from_records`]).
+    pub fn restore_from_records(&mut self, records: &[SampleRecord]) {
+        self.session.restore_from_records(records);
     }
 
     /// The engine (for inspection in tests and benches).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.backend.engine()
+    }
+
+    /// The underlying experiment session.
+    pub fn session(&self) -> &Experiment {
+        &self.session
     }
 
     /// Swap in a custom decision procedure before [`ColorPickerApp::run`]
     /// (the solver RNG stream is unchanged). Used by the equivalence tests
     /// and the `hotpath` bench to pin a solver variant.
     pub fn replace_solver(&mut self, solver: Box<dyn ColorSolver>) {
-        self.solver = solver;
-    }
-
-    fn base_payload(&self) -> Payload {
-        let mut p = Payload::none();
-        for (k, v) in &self.vars {
-            p = p.var(k.clone(), v.clone());
-        }
-        p
-    }
-
-    fn fetch_new_plate(&mut self) -> Result<(), WeiError> {
-        let payload = self.base_payload();
-        self.engine.run_workflow(&mut self.clock, &self.workflows.newplate, &payload)?;
-        self.plates_used += 1;
-        Ok(())
-    }
-
-    fn trash_plate(&mut self) -> Result<(), WeiError> {
-        let payload = self.base_payload();
-        self.engine.run_workflow(&mut self.clock, &self.workflows.trashplate, &payload)?;
-        Ok(())
-    }
-
-    fn replenish_if_needed(&mut self, demand: &[f64]) -> Result<(), WeiError> {
-        let needs = {
-            let bank = self
-                .engine
-                .workcell
-                .world
-                .bank(&self.bank_name)
-                .expect("bank validated at startup");
-            let low = bank.reservoirs.iter().any(|r| r.volume_ul < self.config.refill_watermark_ul);
-            low || !bank.can_supply(demand)
-        };
-        if needs {
-            let payload = self.base_payload();
-            self.engine.run_workflow(&mut self.clock, &self.workflows.replenish, &payload)?;
-        }
-        Ok(())
-    }
-
-    /// Free wells on the plate currently staged at the camera nest.
-    fn staged_plate_free_wells(&self, n: usize) -> Vec<WellIndex> {
-        let world = &self.engine.workcell.world;
-        match world.plate_at(&self.nest_slot) {
-            Ok(Some(id)) => world.plate(id).map(|p| p.next_free(n)).unwrap_or_default(),
-            _ => Vec::new(),
-        }
-    }
-
-    /// Simulated compute step (solver + image processing on the "Compute"
-    /// node of Figure 2).
-    fn hold_compute(&mut self) {
-        use rand::Rng;
-        let jitter = 0.2f64;
-        let secs =
-            self.config.compute_seconds * (1.0 + self.compute_rng.gen_range(-jitter..=jitter));
-        self.clock.wait(SimDuration::from_secs_f64(secs.max(0.0)));
+        self.session.replace_solver(solver);
     }
 
     /// Execute the full experiment.
     pub fn run(&mut self) -> Result<ExperimentOutcome, AppError> {
-        self.run_with(&mut DetectorScratch::default())
+        self.session.run_on(&mut self.backend)
     }
 
     /// Execute the full experiment over caller-owned detector scratch
@@ -385,206 +198,10 @@ impl ColorPickerApp {
         &mut self,
         scratch: &mut DetectorScratch,
     ) -> Result<ExperimentOutcome, AppError> {
-        let start: SimTime = self.clock.now();
-
-        // Announce the experiment on the portal.
-        let experiment_id = self.config.experiment_id();
-        if let Some(flow) = &self.flow {
-            flow.publish(FlowJob {
-                record: ExperimentRecord {
-                    experiment_id: experiment_id.clone(),
-                    name: self.config.experiment_name.clone(),
-                    date: self.config.date.clone(),
-                    target: self.config.target.channels(),
-                    solver: self.config.solver.name().to_string(),
-                    batch: self.config.batch,
-                    sample_budget: self.config.sample_budget,
-                }
-                .to_value(),
-                image: None,
-            });
-        }
-
-        let termination = match self.main_loop(scratch) {
-            Ok(t) => t,
-            Err(AppError::Wei(WeiError::CommandAborted {
-                cause: sdl_instruments::InstrumentError::OutOfPlates,
-                ..
-            })) => TerminationReason::OutOfPlates,
-            Err(e) => return Err(e),
-        };
-
-        // Final trashplate (Figure 2: runs again to finalize) if a plate is
-        // still staged.
-        if matches!(self.engine.workcell.world.plate_at(&self.nest_slot), Ok(Some(_))) {
-            self.trash_plate()?;
-        }
-
-        let flow_stats = match self.flow.take() {
-            Some(flow) => flow.close(),
-            None => FlowStats::default(),
-        };
-
-        let end = self.clock.now();
-        let best = sdl_solvers::best_observation(&self.history);
-        let (best_score, best_ratios) =
-            best.map(|o| (o.score, o.ratios.clone())).unwrap_or((f64::INFINITY, Vec::new()));
-        let metrics = SdlMetrics::compute(
-            &self.engine.history,
-            &self.engine.counters,
-            &self.engine.reliability,
-            start,
-            end,
-            self.samples_done,
-        );
-
-        Ok(ExperimentOutcome {
-            experiment_id,
-            termination,
-            best_score,
-            best_ratios,
-            samples_measured: self.samples_done,
-            duration: end - start,
-            trajectory: self.trajectory.clone(),
-            metrics,
-            counters: self.engine.counters,
-            plates_used: self.plates_used,
-            solver_fallbacks: self.solver.degenerate_fallbacks(),
-            portal: Arc::clone(&self.portal),
-            store: Arc::clone(&self.store),
-            flow_stats,
-        })
-    }
-
-    fn main_loop(&mut self, scratch: &mut DetectorScratch) -> Result<TerminationReason, AppError> {
-        self.fetch_new_plate()?;
-        loop {
-            // Loop check: enough wells in budget? (Figure 2)
-            let remaining = self.config.sample_budget - self.samples_done;
-            if remaining == 0 {
-                return Ok(TerminationReason::BudgetExhausted);
-            }
-
-            // Check: plate full? Batches are never split across plates: a
-            // plate without room for a full batch is swapped (the remainder
-            // of its wells is wasted), which is how the paper's 12 × 15
-            // portal structure arises on 96-well plates.
-            let want = remaining.min(self.config.batch) as usize;
-            let mut wells = self.staged_plate_free_wells(want);
-            if wells.len() < want {
-                let capacity = self
-                    .engine
-                    .workcell
-                    .world
-                    .plate_at(&self.nest_slot)
-                    .ok()
-                    .flatten()
-                    .and_then(|id| self.engine.workcell.world.plate(id).ok())
-                    .map(|p| p.well_count())
-                    .unwrap_or(0);
-                if wells.len() < want.min(capacity.max(1)) {
-                    self.trash_plate()?;
-                    self.fetch_new_plate()?;
-                    wells = self.staged_plate_free_wells(want);
-                }
-            }
-            let b = wells.len().min(want);
-            if b == 0 {
-                return Err(AppError::Setup("fresh plate has no usable wells".into()));
-            }
-            let wells = &wells[..b];
-
-            // Solver proposes (Figure 2: Solver.Run_Iteration).
-            let ratios =
-                self.solver.propose(self.config.target, &self.history, b, &mut self.solver_rng);
-            debug_assert_eq!(ratios.len(), b);
-            let protocol = build_protocol(&ratios, wells, &self.config.dyes)?;
-
-            // Check: refill color?
-            let demand = protocol.demand_ul(self.config.dyes.len());
-            self.replenish_if_needed(&demand)?;
-
-            // Robotic half of the iteration.
-            self.iteration += 1;
-            let payload = self.base_payload().var("iteration", self.iteration.to_string());
-            let payload = Payload { protocol: Some(protocol), ..payload };
-            let out =
-                self.engine.run_workflow(&mut self.clock, &self.workflows.mixcolor, &payload)?;
-
-            // Compute: image processing + next-proposal time.
-            self.hold_compute();
-
-            // The frame rides out of the workflow as a shared handle — no
-            // pixel copy — and is dropped at the end of this iteration,
-            // which lets the camera recycle its buffer for the next batch.
-            let image = out
-                .data
-                .iter()
-                .find_map(|(_, d)| match d {
-                    ActionData::Image(img) => Some(Arc::clone(img)),
-                    _ => None,
-                })
-                .ok_or_else(|| AppError::Setup("camera step returned no image".into()))?;
-            let reading = self.detector.detect_with(&image, scratch)?;
-
-            // Grade each new well and publish.
-            let image_bytes =
-                if self.config.publish_images { Some(Bytes::from(image.to_bmp())) } else { None };
-            let iteration_log = out.log.to_value();
-            for (i, (ratio, well)) in ratios.iter().zip(wells).enumerate() {
-                let measured: Rgb8 = reading
-                    .well(well.row, well.col)
-                    .map(|w| w.color)
-                    .ok_or_else(|| AppError::Setup(format!("no reading for well {well}")))?;
-                let score = self.config.metric.between(measured, self.config.target);
-                self.history.push(Observation { ratios: ratio.clone(), measured, score });
-                self.samples_done += 1;
-                let best =
-                    sdl_solvers::best_observation(&self.history).map(|o| o.score).unwrap_or(score);
-                self.trajectory.push(TrajectoryPoint {
-                    sample: self.samples_done,
-                    elapsed_min: self.clock.now().as_minutes(),
-                    score,
-                    best,
-                });
-                if let Some(flow) = &self.flow {
-                    let volumes = sdl_color::Recipe::from_ratios(ratio, &self.config.dyes)
-                        .map(|r| r.volumes_ul().to_vec())
-                        .unwrap_or_default();
-                    let mut record = SampleRecord {
-                        experiment_id: self.config.experiment_id(),
-                        run: self.iteration,
-                        sample: self.samples_done,
-                        well: well.to_string(),
-                        ratios: ratio.clone(),
-                        volumes_ul: volumes,
-                        measured: measured.channels(),
-                        target: self.config.target.channels(),
-                        score,
-                        best_so_far: best,
-                        elapsed_s: self.clock.now().as_secs_f64(),
-                        image_ref: None,
-                    }
-                    .to_value();
-                    // "The data created includes … the timing of each step"
-                    // (§2.3): the iteration's workflow log rides with its
-                    // first sample.
-                    if i == 0 {
-                        record.set("timing", iteration_log.clone());
-                    }
-                    flow.publish(FlowJob { record, image: image_bytes.clone() });
-                }
-            }
-
-            // Check: target matched?
-            if let Some(threshold) = self.config.match_threshold {
-                let best = sdl_solvers::best_observation(&self.history).map(|o| o.score);
-                if let Some(best) = best {
-                    if best <= threshold {
-                        return Ok(TerminationReason::TargetMatched { score: best });
-                    }
-                }
-            }
-        }
+        use crate::backend::LabBackend as _;
+        self.backend.swap_scratch(scratch);
+        let result = self.session.run_on(&mut self.backend);
+        self.backend.swap_scratch(scratch);
+        result
     }
 }

@@ -1,0 +1,265 @@
+//! Farming batches out to a worker process over HTTP.
+//!
+//! [`RemoteBackend`] speaks the `POST /v1/*` batch-execution protocol that
+//! `sdl-lab serve` hosts (see `sdl-portal-server`): `open` creates a
+//! simulated-lab session on the worker from this scenario's configuration,
+//! `submit_batch` round-trips one batch of proposals for one batch of
+//! measurements, and `close` tears the session down and collects the final
+//! telemetry. All payloads go through [`crate::backend::wire`], so a
+//! campaign executed remotely is bit-identical to the same campaign
+//! executed in-process.
+//!
+//! The embedded HTTP client is deliberately tiny (std-only, keep-alive,
+//! `Content-Length`-framed — the dialect the portal server speaks).
+
+use crate::app::AppError;
+use crate::backend::{wire, BackendCaps, BackendClose, Batch, BatchResult, LabBackend};
+use crate::config::AppConfig;
+use sdl_conf::{from_json, to_json, Value, ValueExt};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A lab backend executing on a remote `sdl-lab serve` worker.
+pub struct RemoteBackend {
+    addr: String,
+    config: AppConfig,
+    conn: Option<Conn>,
+    session: Option<String>,
+    caps: Option<BackendCaps>,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Whether a failed POST is safe to resend: `Unsent` means the worker
+/// provably never read the request.
+enum PostError {
+    Unsent(AppError),
+    Fatal(AppError),
+}
+
+impl RemoteBackend {
+    /// A backend talking to `addr` (`host:port`, optionally prefixed with
+    /// `http://`). The configuration is shipped to the worker at open.
+    pub fn new(addr: impl AsRef<str>, config: AppConfig) -> RemoteBackend {
+        let addr =
+            addr.as_ref().trim().trim_start_matches("http://").trim_end_matches('/').to_string();
+        RemoteBackend { addr, config, conn: None, session: None, caps: None }
+    }
+
+    /// The worker address this backend talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&mut self) -> Result<&mut Conn, AppError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| AppError::Backend(format!("connect {}: {e}", self.addr)))?;
+            stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(120)))
+                .map_err(|e| AppError::Backend(e.to_string()))?;
+            let reader =
+                BufReader::new(stream.try_clone().map_err(|e| AppError::Backend(e.to_string()))?);
+            self.conn = Some(Conn { reader, writer: stream });
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// POST `body` to `path`, parse the JSON response.
+    ///
+    /// The worker reaps idle keep-alive connections, so a request that
+    /// provably never reached it — the write failed, or the connection
+    /// closed before a single response byte — is retried once on a fresh
+    /// connection. Anything after the first response byte is never
+    /// retried. (Resending is additionally safe on the worker side: the
+    /// lab host replays a duplicate run number's cached response instead
+    /// of executing the batch twice.)
+    fn post(&mut self, path: &str, body: &Value) -> Result<Value, AppError> {
+        let payload = to_json(body);
+        for attempt in 0..2 {
+            match self.try_post(path, &payload) {
+                Ok(v) => return Ok(v),
+                Err(PostError::Unsent(_)) if attempt == 0 => {
+                    self.conn = None; // reconnect and resend
+                }
+                Err(PostError::Unsent(e)) | Err(PostError::Fatal(e)) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("second attempt either succeeds or errors")
+    }
+
+    fn try_post(&mut self, path: &str, payload: &str) -> Result<Value, PostError> {
+        let addr = self.addr.clone();
+        let err = |e: std::io::Error| AppError::Backend(format!("{addr}{path}: {e}"));
+        let conn = self.connect().map_err(PostError::Unsent)?;
+        write!(
+            conn.writer,
+            "POST {path} HTTP/1.1\r\nHost: lab\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .map_err(|e| PostError::Unsent(err(e)))?;
+        conn.writer.flush().map_err(|e| PostError::Unsent(err(e)))?;
+
+        // Status line. A clean close (or reset) before the first byte means
+        // the worker reaped the idle connection without seeing the request.
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(0) => {
+                return Err(PostError::Unsent(AppError::Backend(format!(
+                    "{addr}{path}: connection closed before request was read"
+                ))))
+            }
+            Ok(_) => {}
+            Err(e)
+                if line.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::UnexpectedEof
+                    ) =>
+            {
+                return Err(PostError::Unsent(err(e)))
+            }
+            Err(e) => return Err(PostError::Fatal(err(e))),
+        }
+        let status: u16 =
+            line.split_ascii_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                PostError::Fatal(AppError::Backend(format!("{addr}{path}: bad status line")))
+            })?;
+        // Headers: only Content-Length matters.
+        let mut length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            conn.reader.read_line(&mut header).map_err(|e| PostError::Fatal(err(e)))?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    length = value.trim().parse().ok();
+                }
+            }
+        }
+        let length = length.ok_or_else(|| {
+            PostError::Fatal(AppError::Backend(format!("{addr}{path}: missing content-length")))
+        })?;
+        let mut body = vec![0u8; length];
+        conn.reader.read_exact(&mut body).map_err(|e| PostError::Fatal(err(e)))?;
+        let text = String::from_utf8_lossy(&body);
+        if status >= 400 {
+            return Err(PostError::Fatal(AppError::Backend(format!(
+                "{addr}{path}: HTTP {status}: {}",
+                text.trim()
+            ))));
+        }
+        from_json(&text).map_err(|e| {
+            PostError::Fatal(AppError::Backend(format!("{addr}{path}: bad response JSON: {e}")))
+        })
+    }
+
+    fn session_path(&self, route: &str) -> Result<String, AppError> {
+        let session =
+            self.session.as_ref().ok_or_else(|| AppError::Backend("backend not opened".into()))?;
+        Ok(format!("/v1/{route}?session={session}"))
+    }
+}
+
+impl LabBackend for RemoteBackend {
+    fn kind(&self) -> &'static str {
+        "remote"
+    }
+
+    fn open(&mut self) -> Result<BackendCaps, AppError> {
+        if let Some(caps) = self.caps {
+            return Ok(caps);
+        }
+        // The worker instantiates a simulated lab from the scenario config.
+        // The solver never runs worker-side, so a custom registered solver
+        // name (which the worker process may not know) is sent as its
+        // built-in fallback kind.
+        let mut config = self.config.to_value();
+        config.set("solver", self.config.solver.name());
+        let response = self.post("/v1/experiments", &config)?;
+        let session = response
+            .opt_str("session")
+            .ok_or_else(|| AppError::Backend("worker returned no session id".into()))?
+            .to_string();
+        let caps = wire::caps_from_value(&response)
+            .map_err(|e| AppError::Backend(format!("bad capabilities: {e}")))?;
+        self.session = Some(session);
+        self.caps = Some(caps);
+        // The worker registers the session even when the very first plate
+        // fetch ran the crane dry, tunneling the abort as a structured
+        // error: surface it as the same termination criterion the
+        // in-process backend raises (the session stays open for `close`).
+        if response.opt_str("error_kind") == Some("out_of_plates") {
+            return Err(out_of_plates_error());
+        }
+        Ok(caps)
+    }
+
+    fn capabilities(&self) -> Option<BackendCaps> {
+        self.caps
+    }
+
+    fn submit_batch(&mut self, batch: &Batch) -> Result<BatchResult, AppError> {
+        let path = self.session_path("batch")?;
+        let response = self.post(&path, &wire::batch_to_value(batch))?;
+        if let Some(kind) = response.opt_str("error_kind") {
+            // Lab-side aborts tunnel through as structured errors so the
+            // session can map them onto termination criteria.
+            if kind == "out_of_plates" {
+                return Err(out_of_plates_error());
+            }
+        }
+        wire::result_from_value(&response)
+            .map_err(|e| AppError::Backend(format!("bad batch result: {e}")))
+    }
+
+    fn close(&mut self, samples_measured: u32) -> Result<BackendClose, AppError> {
+        let path = self.session_path("close")?;
+        let mut body = Value::map();
+        body.set("samples", samples_measured as i64);
+        let response = self.post(&path, &body)?;
+        self.session = None;
+        wire::close_from_value(&response)
+            .map_err(|e| AppError::Backend(format!("bad close result: {e}")))
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        // Best-effort teardown of an abandoned session so the worker does
+        // not accumulate leaked labs.
+        if self.session.is_some() {
+            if let Ok(path) = self.session_path("close") {
+                let mut body = Value::map();
+                body.set("samples", 0i64);
+                let _ = self.post(&path, &body);
+            }
+        }
+    }
+}
+
+/// The wire equivalent of the sciclops running dry: reconstructed so
+/// `Experiment::run_on` maps it onto `TerminationReason::OutOfPlates`
+/// exactly as it does for the in-process backend.
+fn out_of_plates_error() -> AppError {
+    AppError::Wei(sdl_wei::WeiError::CommandAborted {
+        step: "get_plate".into(),
+        module: "sciclops".into(),
+        attempts: 1,
+        cause: sdl_instruments::InstrumentError::OutOfPlates,
+    })
+}

@@ -1,0 +1,249 @@
+//! Re-driving solvers from recorded runs, at zero simulation cost.
+//!
+//! A [`ReplayBackend`] answers `submit_batch` straight from recorded
+//! [`SampleRecord`]s: no workcell, no rendering, no detection. Re-running
+//! the *same configuration and seed* that produced the records reproduces
+//! the recorded trajectory exactly (the solver proposes the identical
+//! points and gets the identical measurements back) — which makes replay
+//! the cheap substrate for offline solver studies and regression checks
+//! over archived portal exports.
+//!
+//! The backend verifies, bit for bit, that the session's proposals match
+//! the recorded ones and fails loudly on divergence — silently grading the
+//! wrong proposals would corrupt a study.
+
+use crate::app::AppError;
+use crate::backend::{BackendCaps, BackendClose, Batch, BatchResult, LabBackend, WellMeasurement};
+use crate::metrics::SdlMetrics;
+use sdl_color::Rgb8;
+use sdl_datapub::{AcdcPortal, SampleRecord};
+use sdl_desim::SimTime;
+use sdl_instruments::{Microplate, WellIndex};
+use sdl_wei::{Counters, Reliability};
+use std::path::Path;
+
+/// A recorded run served back one batch at a time.
+pub struct ReplayBackend {
+    records: Vec<SampleRecord>,
+    cursor: usize,
+    plate_capacity: u32,
+    last_elapsed: SimTime,
+    plates_used: u32,
+}
+
+impl ReplayBackend {
+    /// Replay these records (sorted by sample number internally).
+    pub fn from_records(records: impl IntoIterator<Item = SampleRecord>) -> ReplayBackend {
+        let mut records: Vec<SampleRecord> = records.into_iter().collect();
+        records.sort_by_key(|r| r.sample);
+        ReplayBackend {
+            records,
+            cursor: 0,
+            // Recorded runs came off standard 96-well plates; override with
+            // `with_plate_capacity` when replaying exotic labware.
+            plate_capacity: Microplate::standard96().well_count() as u32,
+            last_elapsed: SimTime::ZERO,
+            plates_used: 0,
+        }
+    }
+
+    /// Replay one experiment's samples from a live portal.
+    pub fn from_portal(portal: &AcdcPortal, experiment_id: &str) -> ReplayBackend {
+        ReplayBackend::from_records(portal.samples(experiment_id))
+    }
+
+    /// Replay from a JSON-lines portal export (the `--export-portal`
+    /// format). `experiment` selects one experiment's records; when `None`
+    /// (or not found) the export's first announced experiment is used.
+    pub fn from_jsonl(
+        path: impl AsRef<Path>,
+        experiment: Option<&str>,
+    ) -> Result<ReplayBackend, AppError> {
+        let path = path.as_ref();
+        let portal = AcdcPortal::new();
+        portal
+            .import_jsonl(path)
+            .map_err(|e| AppError::Setup(format!("{}: {e}", path.display())))?;
+        let known = portal.experiments();
+        let id = experiment
+            .filter(|id| known.iter().any(|k| k == id))
+            .map(str::to_string)
+            .or_else(|| known.into_iter().next())
+            .ok_or_else(|| {
+                AppError::Setup(format!("{}: no experiment records to replay", path.display()))
+            })?;
+        let backend = ReplayBackend::from_portal(&portal, &id);
+        if backend.is_empty() {
+            return Err(AppError::Setup(format!(
+                "{}: experiment '{id}' has no sample records",
+                path.display()
+            )));
+        }
+        Ok(backend)
+    }
+
+    /// Override the plate capacity the recorded lab used.
+    pub fn with_plate_capacity(mut self, wells: u32) -> ReplayBackend {
+        self.plate_capacity = wells.max(1);
+        self
+    }
+
+    /// Recorded samples available.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            plate_capacity: self.plate_capacity,
+            dye_channels: self.records.first().map(|r| r.ratios.len()).unwrap_or(0) as u32,
+            provides_images: false,
+            real_telemetry: false,
+        }
+    }
+}
+
+impl LabBackend for ReplayBackend {
+    fn kind(&self) -> &'static str {
+        "replay"
+    }
+
+    fn open(&mut self) -> Result<BackendCaps, AppError> {
+        Ok(self.caps())
+    }
+
+    fn capabilities(&self) -> Option<BackendCaps> {
+        Some(self.caps())
+    }
+
+    fn submit_batch(&mut self, batch: &Batch) -> Result<BatchResult, AppError> {
+        let b = batch.ratios.len();
+        if self.cursor + b > self.records.len() {
+            return Err(AppError::Setup(format!(
+                "replay source exhausted: {} recorded samples, session asked for {} more after {}",
+                self.records.len(),
+                b,
+                self.cursor
+            )));
+        }
+        let slice = &self.records[self.cursor..self.cursor + b];
+        let mut measurements = Vec::with_capacity(b);
+        let mut new_plate = self.cursor == 0;
+        for (proposed, record) in batch.ratios.iter().zip(slice) {
+            // Bit-exact proposal check: replay only reproduces the recorded
+            // trajectory when the session re-derives the recorded decisions.
+            let matches = proposed.len() == record.ratios.len()
+                && proposed.iter().zip(&record.ratios).all(|(a, b)| a.to_bits() == b.to_bits());
+            if !matches {
+                return Err(AppError::Setup(format!(
+                    "replay diverged at sample {}: the solver proposed {proposed:?} but the \
+                     record holds {:?} — replay needs the original config and seed",
+                    record.sample, record.ratios
+                )));
+            }
+            let well = WellIndex::parse(&record.well).ok_or_else(|| {
+                AppError::Setup(format!("record {}: bad well '{}'", record.sample, record.well))
+            })?;
+            if well == WellIndex::new(0, 0) && record.sample > 1 {
+                new_plate = true;
+            }
+            measurements.push(WellMeasurement {
+                well,
+                color: Rgb8::new(record.measured[0], record.measured[1], record.measured[2]),
+            });
+        }
+        if new_plate {
+            self.plates_used += 1;
+        }
+        self.cursor += b;
+        // Recorded elapsed seconds are exact integer-microsecond times
+        // formatted with shortest-round-trip floats, so this recovers the
+        // original clock reading bit for bit.
+        let elapsed_s = slice.last().map(|r| r.elapsed_s).unwrap_or(0.0);
+        let elapsed = SimTime::from_micros((elapsed_s * 1e6).round() as u64);
+        self.last_elapsed = elapsed;
+        Ok(BatchResult { measurements, elapsed, timing: None, image: None })
+    }
+
+    fn close(&mut self, samples_measured: u32) -> Result<BackendClose, AppError> {
+        // Replay has no lab: telemetry is the zeroed placeholder shape
+        // (`real_telemetry: false` advertises exactly that), with the
+        // clock span ending at the last recorded measurement.
+        let metrics = SdlMetrics::compute(
+            &[],
+            &Counters::default(),
+            &Reliability::default(),
+            SimTime::ZERO,
+            self.last_elapsed,
+            samples_measured,
+        );
+        Ok(BackendClose {
+            duration: self.last_elapsed - SimTime::ZERO,
+            metrics,
+            counters: Counters::default(),
+            plates_used: self.plates_used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sample: u32, ratios: Vec<f64>, well: &str, rgb: [u8; 3]) -> SampleRecord {
+        SampleRecord {
+            experiment_id: "e".into(),
+            run: sample.div_ceil(2),
+            sample,
+            well: well.into(),
+            ratios,
+            volumes_ul: Vec::new(),
+            measured: rgb,
+            target: [120, 120, 120],
+            score: 1.0,
+            best_so_far: 1.0,
+            elapsed_s: sample as f64 * 60.0,
+            image_ref: None,
+        }
+    }
+
+    #[test]
+    fn serves_recorded_measurements_in_order() {
+        let mut backend = ReplayBackend::from_records(vec![
+            record(2, vec![0.25, 0.5], "A2", [9, 9, 9]),
+            record(1, vec![0.5, 0.5], "A1", [1, 2, 3]),
+        ]);
+        let caps = backend.open().unwrap();
+        assert_eq!(caps.plate_capacity, 96);
+        assert_eq!(caps.dye_channels, 2);
+        let batch = Batch { run: 1, ratios: vec![vec![0.5, 0.5], vec![0.25, 0.5]] };
+        let result = backend.submit_batch(&batch).unwrap();
+        assert_eq!(result.measurements[0].color, Rgb8::new(1, 2, 3));
+        assert_eq!(result.measurements[1].well, WellIndex::new(0, 1));
+        assert_eq!(result.elapsed, SimTime::from_micros(120_000_000));
+    }
+
+    #[test]
+    fn divergent_proposals_fail_loudly() {
+        let mut backend =
+            ReplayBackend::from_records(vec![record(1, vec![0.5, 0.5], "A1", [1, 2, 3])]);
+        backend.open().unwrap();
+        let err =
+            backend.submit_batch(&Batch { run: 1, ratios: vec![vec![0.5, 0.6]] }).unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut backend = ReplayBackend::from_records(vec![record(1, vec![0.5], "A1", [0, 0, 0])]);
+        backend.open().unwrap();
+        backend.submit_batch(&Batch { run: 1, ratios: vec![vec![0.5]] }).unwrap();
+        let err = backend.submit_batch(&Batch { run: 2, ratios: vec![vec![0.5]] }).unwrap_err();
+        assert!(err.to_string().contains("exhausted"), "{err}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Wire codecs for the `POST /v1/*` batch-execution protocol.
+//!
+//! Both ends of [`RemoteBackend`](crate::RemoteBackend) — the client in
+//! this crate and the host inside `sdl-portal-server` — encode through
+//! these functions, so the protocol has exactly one definition. Everything
+//! that must survive the trip bit-exactly does: ratios ride as JSON floats
+//! (shortest-round-trip formatting), colors as integers, times as integer
+//! microseconds, plate frames as hex.
+
+use crate::backend::{BackendCaps, BackendClose, Batch, BatchResult, WellMeasurement};
+use crate::config::ConfigError;
+use crate::metrics::SdlMetrics;
+use bytes::Bytes;
+use sdl_color::Rgb8;
+use sdl_conf::{Value, ValueExt};
+use sdl_desim::{SimDuration, SimTime};
+use sdl_instruments::WellIndex;
+use sdl_wei::Counters;
+
+fn bad(what: impl Into<String>) -> ConfigError {
+    ConfigError(what.into())
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, ConfigError> {
+    v.opt_i64(key)
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| bad(format!("missing or negative '{key}'")))
+}
+
+/// Encode capabilities (rides in the `/v1/experiments` response).
+pub fn caps_to_value(caps: &BackendCaps) -> Value {
+    let mut v = Value::map();
+    v.set("plate_capacity", caps.plate_capacity as i64);
+    v.set("dye_channels", caps.dye_channels as i64);
+    v.set("provides_images", caps.provides_images);
+    v.set("real_telemetry", caps.real_telemetry);
+    v
+}
+
+/// Decode capabilities.
+pub fn caps_from_value(v: &Value) -> Result<BackendCaps, ConfigError> {
+    Ok(BackendCaps {
+        plate_capacity: need_u64(v, "plate_capacity")? as u32,
+        dye_channels: need_u64(v, "dye_channels")? as u32,
+        provides_images: v.opt_bool("provides_images").unwrap_or(false),
+        real_telemetry: v.opt_bool("real_telemetry").unwrap_or(false),
+    })
+}
+
+/// Encode one batch (the `/v1/batch` request body).
+pub fn batch_to_value(batch: &Batch) -> Value {
+    let mut ratios = Value::seq();
+    for point in &batch.ratios {
+        let mut row = Value::seq();
+        for r in point {
+            row.push(*r);
+        }
+        ratios.push(row);
+    }
+    let mut v = Value::map();
+    v.set("run", batch.run as i64);
+    v.set("ratios", ratios);
+    v
+}
+
+/// Decode one batch.
+pub fn batch_from_value(v: &Value) -> Result<Batch, ConfigError> {
+    let run = need_u64(v, "run")? as u32;
+    let rows =
+        v.get("ratios").and_then(Value::as_seq).ok_or_else(|| bad("missing 'ratios' sequence"))?;
+    let mut ratios = Vec::with_capacity(rows.len());
+    for row in rows {
+        let point = row.as_seq().ok_or_else(|| bad("ratios rows must be sequences"))?;
+        let mut out = Vec::with_capacity(point.len());
+        for r in point {
+            out.push(r.as_f64().ok_or_else(|| bad("ratios entries must be numbers"))?);
+        }
+        ratios.push(out);
+    }
+    Ok(Batch { run, ratios })
+}
+
+/// Encode a batch result (the `/v1/batch` response body).
+pub fn result_to_value(result: &BatchResult) -> Value {
+    let mut measurements = Value::seq();
+    for m in &result.measurements {
+        let mut row = Value::map();
+        row.set("well", m.well.to_string().as_str());
+        let mut rgb = Value::seq();
+        for c in m.color.channels() {
+            rgb.push(c as i64);
+        }
+        row.set("rgb", rgb);
+        measurements.push(row);
+    }
+    let mut v = Value::map();
+    v.set("measurements", measurements);
+    v.set("elapsed_us", result.elapsed.as_micros() as i64);
+    if let Some(timing) = &result.timing {
+        v.set("timing", timing.clone());
+    }
+    if let Some(image) = &result.image {
+        v.set("image_hex", hex_encode(image).as_str());
+    }
+    v
+}
+
+/// Decode a batch result.
+pub fn result_from_value(v: &Value) -> Result<BatchResult, ConfigError> {
+    let rows = v
+        .get("measurements")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| bad("missing 'measurements' sequence"))?;
+    let mut measurements = Vec::with_capacity(rows.len());
+    for row in rows {
+        let well = row
+            .opt_str("well")
+            .and_then(WellIndex::parse)
+            .ok_or_else(|| bad("measurement rows need a parsable 'well'"))?;
+        let rgb = row.get("rgb").and_then(Value::as_seq).ok_or_else(|| bad("missing 'rgb'"))?;
+        let ch: Vec<i64> = rgb.iter().filter_map(Value::as_i64).collect();
+        if ch.len() != 3 || ch.iter().any(|c| !(0..=255).contains(c)) {
+            return Err(bad("rgb must be three 0-255 integers"));
+        }
+        measurements.push(WellMeasurement {
+            well,
+            color: Rgb8::new(ch[0] as u8, ch[1] as u8, ch[2] as u8),
+        });
+    }
+    let image = match v.opt_str("image_hex") {
+        Some(hex) => Some(Bytes::from(hex_decode(hex)?)),
+        None => None,
+    };
+    Ok(BatchResult {
+        measurements,
+        elapsed: SimTime::from_micros(need_u64(v, "elapsed_us")?),
+        timing: v.get("timing").cloned(),
+        image,
+    })
+}
+
+/// Encode the final accounting (the `/v1/close` response body).
+pub fn close_to_value(close: &BackendClose) -> Value {
+    let mut counters = Value::map();
+    counters.set("attempts", close.counters.attempts as i64);
+    counters.set("completed", close.counters.completed as i64);
+    counters.set("robotic_completed", close.counters.robotic_completed as i64);
+    counters.set("reception_faults", close.counters.reception_faults as i64);
+    counters.set("action_faults", close.counters.action_faults as i64);
+    counters.set("human_interventions", close.counters.human_interventions as i64);
+
+    let m = &close.metrics;
+    let mut metrics = Value::map();
+    metrics.set("twh_us", m.twh.as_micros() as i64);
+    metrics.set("ccwh", m.ccwh as i64);
+    metrics.set("synthesis_us", m.synthesis.as_micros() as i64);
+    metrics.set("transfer_us", m.transfer.as_micros() as i64);
+    metrics.set("logistics_us", m.logistics.as_micros() as i64);
+    metrics.set("total_us", m.total.as_micros() as i64);
+    metrics.set("colors_mixed", m.colors_mixed as i64);
+    metrics.set("time_per_color_us", m.time_per_color.as_micros() as i64);
+    metrics.set("robotic_commands", m.robotic_commands as i64);
+    metrics.set("total_commands", m.total_commands as i64);
+    metrics.set("human_interventions", m.human_interventions as i64);
+
+    let mut v = Value::map();
+    v.set("duration_us", close.duration.as_micros() as i64);
+    v.set("plates_used", close.plates_used as i64);
+    v.set("counters", counters);
+    v.set("metrics", metrics);
+    v
+}
+
+/// Decode the final accounting.
+pub fn close_from_value(v: &Value) -> Result<BackendClose, ConfigError> {
+    let c = v.get("counters").ok_or_else(|| bad("missing 'counters'"))?;
+    let counters = Counters {
+        attempts: need_u64(c, "attempts")?,
+        completed: need_u64(c, "completed")?,
+        robotic_completed: need_u64(c, "robotic_completed")?,
+        reception_faults: need_u64(c, "reception_faults")?,
+        action_faults: need_u64(c, "action_faults")?,
+        human_interventions: need_u64(c, "human_interventions")?,
+    };
+    let m = v.get("metrics").ok_or_else(|| bad("missing 'metrics'"))?;
+    let dur = |key: &str| -> Result<SimDuration, ConfigError> {
+        Ok(SimDuration::from_micros(need_u64(m, key)?))
+    };
+    let metrics = SdlMetrics {
+        twh: dur("twh_us")?,
+        ccwh: need_u64(m, "ccwh")?,
+        synthesis: dur("synthesis_us")?,
+        transfer: dur("transfer_us")?,
+        logistics: dur("logistics_us")?,
+        total: dur("total_us")?,
+        colors_mixed: need_u64(m, "colors_mixed")? as u32,
+        time_per_color: dur("time_per_color_us")?,
+        robotic_commands: need_u64(m, "robotic_commands")?,
+        total_commands: need_u64(m, "total_commands")?,
+        human_interventions: need_u64(m, "human_interventions")?,
+    };
+    Ok(BackendClose {
+        duration: SimDuration::from_micros(need_u64(v, "duration_us")?),
+        metrics,
+        counters,
+        plates_used: need_u64(v, "plates_used")? as u32,
+    })
+}
+
+/// Lower-hex encode bytes (plate frames on the wire).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decode [`hex_encode`] output.
+pub fn hex_decode(hex: &str) -> Result<Vec<u8>, ConfigError> {
+    let hex = hex.trim();
+    if !hex.len().is_multiple_of(2) {
+        return Err(bad("hex payload has odd length"));
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or_else(|| bad("bad hex digit"))?;
+        let lo = (pair[1] as char).to_digit(16).ok_or_else(|| bad("bad hex digit"))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdl_conf::{from_json, to_json};
+    use sdl_wei::Reliability;
+
+    #[test]
+    fn batch_roundtrips_bit_exactly_through_json() {
+        let batch = Batch {
+            run: 7,
+            ratios: vec![
+                vec![0.123_456_789_012_345_68, 1.0 / 3.0, 0.0, 1.0],
+                vec![f64::MIN_POSITIVE, 0.9999999999999999, 2e-308, 0.5],
+            ],
+        };
+        let json = to_json(&batch_to_value(&batch));
+        let back = batch_from_value(&from_json(&json).unwrap()).unwrap();
+        assert_eq!(back.run, 7);
+        for (a, b) in batch.ratios.iter().flatten().zip(back.ratios.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} drifted to {b}");
+        }
+    }
+
+    #[test]
+    fn result_roundtrips_through_json() {
+        let result = BatchResult {
+            measurements: vec![
+                WellMeasurement { well: WellIndex::new(0, 0), color: Rgb8::new(1, 2, 3) },
+                WellMeasurement { well: WellIndex::new(7, 11), color: Rgb8::new(255, 0, 128) },
+            ],
+            elapsed: SimTime::from_micros(123_456_789),
+            timing: Some({
+                let mut t = Value::map();
+                t.set("workflow", "cp_wf_mixcolor");
+                t
+            }),
+            image: Some(Bytes::from_static(b"BM\x00\x01\xfe\xff")),
+        };
+        let json = to_json(&result_to_value(&result));
+        let back = result_from_value(&from_json(&json).unwrap()).unwrap();
+        assert_eq!(back.measurements, result.measurements);
+        assert_eq!(back.elapsed, result.elapsed);
+        assert_eq!(back.timing.unwrap().opt_str("workflow"), Some("cp_wf_mixcolor"));
+        assert_eq!(back.image.unwrap().as_ref(), b"BM\x00\x01\xfe\xff");
+    }
+
+    #[test]
+    fn close_roundtrips_through_json() {
+        let counters = Counters {
+            attempts: 10,
+            completed: 9,
+            robotic_completed: 7,
+            reception_faults: 1,
+            action_faults: 0,
+            human_interventions: 2,
+        };
+        let metrics = SdlMetrics::compute(
+            &[],
+            &counters,
+            &Reliability::default(),
+            SimTime::ZERO,
+            SimTime::from_micros(5_000_000),
+            3,
+        );
+        let close = BackendClose {
+            duration: SimDuration::from_micros(5_000_000),
+            metrics: metrics.clone(),
+            counters,
+            plates_used: 2,
+        };
+        let json = to_json(&close_to_value(&close));
+        let back = close_from_value(&from_json(&json).unwrap()).unwrap();
+        assert_eq!(back.duration, close.duration);
+        assert_eq!(back.counters, counters);
+        assert_eq!(back.metrics, metrics);
+        assert_eq!(back.plates_used, 2);
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+}

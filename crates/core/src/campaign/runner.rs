@@ -1,8 +1,9 @@
 //! The parallel campaign executor.
 
-use crate::app::ColorPickerApp;
+use crate::backend::BackendSpec;
 use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
+use crate::experiment::Experiment;
 use crate::multi::run_multi_ot2;
 use sdl_conf::Value;
 use sdl_datapub::{AcdcPortal, BlobStore};
@@ -186,7 +187,8 @@ impl CampaignRunner {
         v.set("label", result.spec.label.as_str());
         v.set("index", result.index as i64);
         v.set("experiment_id", result.spec.config.experiment_id().as_str());
-        v.set("solver", result.spec.config.solver.name());
+        v.set("solver", result.spec.config.solver_label());
+        v.set("backend", result.spec.backend.to_string().as_str());
         v.set("batch", result.spec.config.batch as i64);
         v.set("seed", result.spec.config.seed as i64);
         v.set("samples", result.spec.config.sample_budget as i64);
@@ -233,16 +235,31 @@ impl CampaignRunner {
 }
 
 /// Run one scenario to completion (workers call this; also the single-run
-/// fast path). `scratch` is the worker's reusable detector arena.
+/// fast path): an [`Experiment`] session driven on the scenario's
+/// configured lab backend. `scratch` is the worker's reusable detector
+/// arena, loaned to backends with a detection pipeline.
 fn execute(
     spec: &ScenarioSpec,
     scratch: &mut DetectorScratch,
 ) -> Result<ScenarioOutcome, crate::app::AppError> {
     match spec.mode {
-        RunMode::Single => ColorPickerApp::new(spec.config.clone())?
-            .run_with(scratch)
-            .map(|o| ScenarioOutcome::Single(Box::new(o))),
-        RunMode::MultiOt2(n) => run_multi_ot2(&spec.config, n).map(ScenarioOutcome::MultiOt2),
+        RunMode::Single => {
+            let mut session = Experiment::new(spec.config.clone())?;
+            let mut backend = spec.backend.build(&spec.config)?;
+            backend.swap_scratch(scratch);
+            let outcome = session.run_on(backend.as_mut());
+            backend.swap_scratch(scratch);
+            outcome.map(|o| ScenarioOutcome::Single(Box::new(o)))
+        }
+        RunMode::MultiOt2(n) => {
+            if spec.backend != BackendSpec::Sim {
+                return Err(crate::app::AppError::Setup(format!(
+                    "multi-OT2 scenarios only run on the sim backend (got '{}')",
+                    spec.backend
+                )));
+            }
+            run_multi_ot2(&spec.config, n).map(ScenarioOutcome::MultiOt2)
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! Scenario specifications and the declarative campaign matrix.
 
+use crate::backend::BackendSpec;
 use crate::config::{AppConfig, ConfigError};
 use sdl_color::{MixKind, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
@@ -39,23 +40,42 @@ pub struct ScenarioSpec {
     pub config: AppConfig,
     /// Execution mode.
     pub mode: RunMode,
+    /// Which lab executor runs the scenario (`sim`, `remote:<url>`,
+    /// `replay:<path>`).
+    pub backend: BackendSpec,
 }
 
 impl ScenarioSpec {
     /// A single-loop scenario.
     pub fn new(label: impl Into<String>, config: AppConfig) -> ScenarioSpec {
-        ScenarioSpec { label: label.into(), config, mode: RunMode::Single }
+        ScenarioSpec {
+            label: label.into(),
+            config,
+            mode: RunMode::Single,
+            backend: BackendSpec::Sim,
+        }
     }
 
     /// A multi-OT2 scenario with `n` liquid handlers.
     pub fn multi_ot2(label: impl Into<String>, config: AppConfig, n: usize) -> ScenarioSpec {
         assert!(n >= 1, "multi_ot2 needs at least one handler");
-        ScenarioSpec { label: label.into(), config, mode: RunMode::MultiOt2(n) }
+        ScenarioSpec {
+            label: label.into(),
+            config,
+            mode: RunMode::MultiOt2(n),
+            backend: BackendSpec::Sim,
+        }
     }
 
     /// Builder: replace the execution mode.
     pub fn with_mode(mut self, mode: RunMode) -> ScenarioSpec {
         self.mode = mode;
+        self
+    }
+
+    /// Builder: replace the lab executor.
+    pub fn with_backend(mut self, backend: BackendSpec) -> ScenarioSpec {
+        self.backend = backend;
         self
     }
 
@@ -69,6 +89,9 @@ impl ScenarioSpec {
         if let RunMode::MultiOt2(n) = self.mode {
             v.set("n_ot2", n as i64);
         }
+        if self.backend != BackendSpec::Sim {
+            v.set("backend", self.backend.to_string().as_str());
+        }
         v
     }
 
@@ -79,9 +102,13 @@ impl ScenarioSpec {
             Some(n) => RunMode::from_i64(n)?,
             None => RunMode::Single,
         };
+        let backend = match v.opt_str("backend") {
+            Some(s) => BackendSpec::parse(s)?,
+            None => BackendSpec::Sim,
+        };
         let label =
             v.opt_str("label").map(str::to_string).unwrap_or_else(|| config.experiment_id());
-        Ok(ScenarioSpec { label, config, mode })
+        Ok(ScenarioSpec { label, config, mode, backend })
     }
 
     /// Parse one scenario from a YAML document.
@@ -127,6 +154,9 @@ pub struct CampaignConfig {
     pub fault_rates: Vec<f64>,
     /// OT-2-count axis (1 = the single-loop app).
     pub n_ot2: Vec<usize>,
+    /// Lab executor every scenario runs on (`sim`, `remote:<url>`,
+    /// `replay:<path>`).
+    pub backend: BackendSpec,
     /// Worker threads (None = one per core).
     pub threads: Option<usize>,
 }
@@ -144,6 +174,7 @@ impl CampaignConfig {
             mix_models: Vec::new(),
             fault_rates: Vec::new(),
             n_ot2: Vec::new(),
+            backend: BackendSpec::Sim,
             threads: None,
         }
     }
@@ -255,6 +286,9 @@ impl CampaignConfig {
                 cfg.n_ot2.push(v as usize);
             }
         }
+        if let Some(b) = doc.opt_str("backend") {
+            cfg.backend = BackendSpec::parse(b)?;
+        }
         if let Some(t) = doc.opt_i64("threads") {
             if t < 1 {
                 return Err(ConfigError("threads must be positive".into()));
@@ -319,7 +353,12 @@ impl CampaignConfig {
                                     label.push_str(&format!("/s{seed}"));
                                     let mode =
                                         if n == 1 { RunMode::Single } else { RunMode::MultiOt2(n) };
-                                    out.push(ScenarioSpec { label, config, mode });
+                                    out.push(ScenarioSpec {
+                                        label,
+                                        config,
+                                        mode,
+                                        backend: self.backend.clone(),
+                                    });
                                 }
                             }
                         }
@@ -347,6 +386,30 @@ mod tests {
         assert_eq!(back.config.sample_budget, 32);
         assert_eq!(back.config.solver, SolverKind::Bayesian);
         assert_eq!(back.config.faults.rates_for("ot2"), FaultRates::new(0.1, 0.05));
+    }
+
+    #[test]
+    fn backend_axis_roundtrips_through_conf() {
+        let spec = ScenarioSpec::new("rem", AppConfig::default())
+            .with_backend(BackendSpec::Remote("127.0.0.1:9".into()));
+        let back = ScenarioSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back.backend, BackendSpec::Remote("127.0.0.1:9".into()));
+        // The default backend stays implicit in the encoded form.
+        let plain = ScenarioSpec::new("sim", AppConfig::default());
+        assert!(plain.to_value().opt_str("backend").is_none());
+        assert_eq!(ScenarioSpec::from_value(&plain.to_value()).unwrap().backend, BackendSpec::Sim);
+    }
+
+    #[test]
+    fn campaign_backend_field_applies_to_every_scenario() {
+        let cfg = CampaignConfig::from_yaml(
+            "samples: 8\nbackend: 'remote:127.0.0.1:9'\nbatches: [1, 2]\n",
+        )
+        .unwrap();
+        let scenarios = cfg.scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert!(scenarios.iter().all(|s| s.backend == BackendSpec::Remote("127.0.0.1:9".into())));
+        assert!(CampaignConfig::from_yaml("backend: quantum\n").is_err());
     }
 
     #[test]

@@ -20,8 +20,13 @@ pub struct AppConfig {
     pub sample_budget: u32,
     /// Batch size B (wells per mix iteration). Paper: 1–64.
     pub batch: u32,
-    /// Decision procedure.
+    /// Decision procedure (one of the built-in kinds).
     pub solver: SolverKind,
+    /// A custom solver registered in the process-wide
+    /// [`sdl_solvers::SolverRegistry`]; when set it overrides `solver`.
+    /// Lets configs name downstream decision procedures without this crate
+    /// (or the `SolverKind` enum) knowing about them.
+    pub custom_solver: Option<String>,
     /// Grading metric (Figure 4 uses RGB Euclidean distance).
     pub metric: DeltaE,
     /// Forward mixing model of the simulated chemistry.
@@ -56,6 +61,7 @@ impl Default for AppConfig {
             sample_budget: 128,
             batch: 1,
             solver: SolverKind::Genetic,
+            custom_solver: None,
             metric: DeltaE::RgbEuclidean,
             mix: MixKind::BeerLambert,
             dyes: DyeSet::cmyk(),
@@ -78,7 +84,7 @@ impl fmt::Debug for AppConfig {
             .field("target", &self.target)
             .field("sample_budget", &self.sample_budget)
             .field("batch", &self.batch)
-            .field("solver", &self.solver.name())
+            .field("solver", &self.solver_label())
             .field("metric", &self.metric.name())
             .field("mix", &self.mix.name())
             .field("seed", &self.seed)
@@ -158,12 +164,18 @@ impl AppConfig {
             cfg.batch = v as u32;
         }
         if let Some(v) = doc.opt_str("solver") {
-            cfg.solver = SolverKind::parse(v).ok_or_else(|| {
-                ConfigError(format!(
-                    "unknown solver '{v}' (valid solvers: {})",
-                    SolverKind::valid_names()
-                ))
-            })?;
+            match SolverKind::parse(v) {
+                Some(kind) => cfg.solver = kind,
+                None if sdl_solvers::solver_registered(v) => {
+                    cfg.custom_solver = Some(v.to_string());
+                }
+                None => {
+                    return Err(ConfigError(format!(
+                        "unknown solver '{v}' (registered solvers: {})",
+                        sdl_solvers::registered_names()
+                    )))
+                }
+            }
         }
         if let Some(v) = doc.opt_str("metric") {
             cfg.metric =
@@ -227,7 +239,7 @@ impl AppConfig {
         v.set("target", target);
         v.set("samples", self.sample_budget as i64);
         v.set("batch", self.batch as i64);
-        v.set("solver", self.solver.name());
+        v.set("solver", self.solver_label());
         v.set("metric", self.metric.name());
         v.set("mix_model", self.mix.name());
         v.set("seed", self.seed as i64);
@@ -261,9 +273,33 @@ impl AppConfig {
             "{}-b{}-{}-seed{}",
             self.experiment_name.to_lowercase().replace(' ', "-"),
             self.batch,
-            self.solver.name(),
+            self.solver_label(),
             self.seed
         )
+    }
+
+    /// The configured solver's name: the custom registered name when set,
+    /// otherwise the built-in kind's canonical name.
+    pub fn solver_label(&self) -> &str {
+        self.custom_solver.as_deref().unwrap_or_else(|| self.solver.name())
+    }
+
+    /// Instantiate the configured decision procedure for a `dims`-dye
+    /// problem, resolving custom names through the process-wide
+    /// [`sdl_solvers::SolverRegistry`].
+    pub fn build_solver(
+        &self,
+        dims: usize,
+    ) -> Result<Box<dyn sdl_solvers::ColorSolver>, ConfigError> {
+        match &self.custom_solver {
+            Some(name) => sdl_solvers::build_registered(name, dims).ok_or_else(|| {
+                ConfigError(format!(
+                    "solver '{name}' is not registered (registered solvers: {})",
+                    sdl_solvers::registered_names()
+                ))
+            }),
+            None => Ok(self.solver.build(dims)),
+        }
     }
 }
 
@@ -312,5 +348,24 @@ mod tests {
     fn experiment_id_is_descriptive() {
         let c = AppConfig::default();
         assert_eq!(c.experiment_id(), "colorpickerrpl-b1-genetic-seed42");
+    }
+
+    #[test]
+    fn registered_custom_solvers_resolve_in_configs() {
+        sdl_solvers::register_solver("config-test-solver", |dims| {
+            Box::new(sdl_solvers::RandomSolver::new(dims))
+        });
+        let c = AppConfig::from_yaml("solver: config-test-solver\n").unwrap();
+        assert_eq!(c.custom_solver.as_deref(), Some("config-test-solver"));
+        assert_eq!(c.solver_label(), "config-test-solver");
+        assert!(c.experiment_id().contains("config-test-solver"));
+        assert_eq!(c.build_solver(4).unwrap().name(), "random");
+        // The custom name survives the conf round trip.
+        let back = AppConfig::from_value(&c.to_value()).unwrap();
+        assert_eq!(back.custom_solver.as_deref(), Some("config-test-solver"));
+        // Unknown names list the registered set.
+        let err = AppConfig::from_yaml("solver: nonexistent\n").unwrap_err();
+        assert!(err.to_string().contains("config-test-solver"), "{err}");
+        assert!(err.to_string().contains("genetic"), "{err}");
     }
 }

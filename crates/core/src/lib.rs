@@ -1,11 +1,15 @@
 //! `sdl-core` — the color-picker application (the paper's primary
 //! contribution, Figure 2).
 //!
-//! [`ColorPickerApp`] closes the loop: an optimization solver proposes dye
-//! ratios, the WEI engine drives the simulated workcell through the four
-//! `cp_wf_*` workflows, the camera's frames run through the §2.4 detection
-//! pipeline, scores feed back to the solver, and every sample is published
-//! to the ACDC-style portal — all on a virtual clock calibrated to Table 1.
+//! [`Experiment`] is the ask/tell session at the heart of the crate: it
+//! proposes dye-ratio batches and grades the measurements that come back,
+//! while a pluggable [`LabBackend`] executes them — [`SimBackend`] (the
+//! simulated workcell driven through the four `cp_wf_*` workflows with the
+//! §2.4 detection pipeline, on a virtual clock calibrated to Table 1),
+//! [`RemoteBackend`] (a worker process over HTTP), or [`ReplayBackend`]
+//! (recorded runs re-driven offline). [`ColorPickerApp`] is the
+//! closed-loop compatibility wrapper: one `run()` drives an `Experiment`
+//! on a `SimBackend`, publishing every sample to the ACDC-style portal.
 //!
 //! # Quickstart
 //!
@@ -22,8 +26,10 @@
 #![warn(missing_docs)]
 
 mod app;
+mod backend;
 mod campaign;
 mod config;
+mod experiment;
 mod metrics;
 mod multi;
 mod protocol;
@@ -33,11 +39,16 @@ pub use app::{
     AppError, ColorPickerApp, ExperimentOutcome, TrajectoryPoint, WF_MIXCOLOR, WF_NEWPLATE,
     WF_REPLENISH, WF_TRASHPLATE,
 };
+pub use backend::{
+    wire, BackendCaps, BackendClose, BackendSpec, Batch, BatchResult, LabBackend, RemoteBackend,
+    ReplayBackend, SimBackend, WellMeasurement,
+};
 pub use campaign::{
     batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignReport, CampaignRunner,
     RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, SweepItem,
 };
 pub use config::{AppConfig, ConfigError};
+pub use experiment::Experiment;
 pub use metrics::SdlMetrics;
 pub use multi::{multi_ot2_workcell_yaml, run_multi_ot2, MultiOt2Outcome};
 pub use protocol::{build_protocol, ProtocolError};

@@ -90,7 +90,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
 
     let shared = Arc::new(Mutex::new(Shared {
         engine,
-        solver: base.solver.build(base.dyes.len()),
+        solver: base.build_solver(base.dyes.len()).map_err(|e| AppError::Setup(e.to_string()))?,
         solver_rng: hub.stream("app.solver"),
         history: Vec::new(),
         remaining: base.sample_budget,

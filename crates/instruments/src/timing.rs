@@ -1,7 +1,7 @@
 //! The workcell timing model.
 //!
 //! Action durations are calibrated so a B = 1, N = 128 color-picker run
-//! reproduces Table 1 of the paper (see DESIGN.md §6):
+//! reproduces Table 1 of the paper (see DESIGN.md, `sdl-instruments`):
 //!
 //! * per-iteration ≈ 228 s (paper: one data upload every 3 m 48 s);
 //! * OT-2 protocol = fixed + per-well so that synthesis time ≈ 5 h 10 m;

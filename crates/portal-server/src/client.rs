@@ -54,6 +54,18 @@ impl HttpClient {
         self.read_response()
     }
 
+    /// Issue one JSON POST over the persistent connection.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: portal\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -98,4 +110,9 @@ impl HttpClient {
 /// One-shot GET over a fresh connection.
 pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
     HttpClient::connect(addr)?.get(path)
+}
+
+/// One-shot JSON POST over a fresh connection.
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: &str) -> io::Result<HttpResponse> {
+    HttpClient::connect(addr)?.post(path, body)
 }

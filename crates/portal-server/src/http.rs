@@ -1,9 +1,10 @@
 //! A deliberately small HTTP/1.1 implementation over `std::io`.
 //!
-//! Supports exactly what the portal front-end needs: GET/HEAD requests,
-//! percent-decoded paths and query strings, keep-alive connections, and
-//! `Content-Length`-framed responses. No chunked encoding, no TLS, no
-//! request bodies.
+//! Supports exactly what the portal front-end and the batch-execution API
+//! need: GET/HEAD/POST requests, percent-decoded paths and query strings,
+//! `Content-Length`-framed request bodies (bounded), keep-alive
+//! connections, and `Content-Length`-framed responses. No chunked
+//! encoding, no TLS.
 
 use std::io::{self, BufRead, Write};
 
@@ -11,6 +12,9 @@ use std::io::{self, BufRead, Write};
 const MAX_LINE: usize = 8 * 1024;
 /// Upper bound on the number of headers per request.
 const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body (plate frames ride hex-encoded, so give
+/// them room).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
 
 /// One parsed HTTP request head.
 #[derive(Debug, Clone)]
@@ -23,6 +27,8 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Header pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length`-framed; empty for GET/HEAD).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -40,6 +46,11 @@ impl Request {
     /// exchange.
     pub fn wants_close(&self) -> bool {
         self.header("connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8.
+    pub fn body_text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
     }
 }
 
@@ -171,11 +182,31 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, ParseE
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    // Read a Content-Length-framed body so keep-alive framing stays in
+    // sync even on routes that ignore it. An unparsable length is a hard
+    // error — treating it as 0 would leave body bytes in the stream to be
+    // misread as the next request line.
+    let mut body = Vec::new();
+    let length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| ParseError::Malformed("bad content-length"))?
+        }
+        None => 0,
+    };
+    if length > 0 {
+        if length > MAX_BODY {
+            return Err(ParseError::TooLarge);
+        }
+        body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(ParseError::Io)?;
+    }
+
     Ok(Some(Request {
         method: method.to_ascii_uppercase(),
         path: percent_decode(raw_path),
         query: parse_query(raw_query),
         headers,
+        body,
     }))
 }
 

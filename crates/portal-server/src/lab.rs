@@ -1,0 +1,343 @@
+//! The batch-execution API: simulated labs hosted behind `POST /v1/*`.
+//!
+//! A [`LabHost`] turns this server into a lab *worker*: a remote
+//! `Experiment` session (see `sdl_core::RemoteBackend`) creates a
+//! [`sdl_core::SimBackend`] here from a shipped scenario configuration,
+//! submits batches against it, and closes it for final telemetry. All
+//! payloads are encoded by `sdl_core::wire`, the single protocol
+//! definition shared with the client.
+//!
+//! Routes (all JSON bodies):
+//!
+//! * `POST /v1/experiments` — body: an application config document; opens a
+//!   lab session, responds `{session, plate_capacity, dye_channels, …}`.
+//! * `POST /v1/batch?session=ID` — body: `{run, ratios}`; executes one
+//!   batch, responds `{measurements, elapsed_us, timing?, image_hex?}`.
+//! * `POST /v1/close?session=ID` — body: `{samples}`; disposes the plate,
+//!   responds the final telemetry, deletes the session.
+//! * `GET  /v1/sessions` — live session ids (diagnostics).
+//!
+//! Batch submission is **idempotent per run number**: the host caches each
+//! session's last response, and resubmitting the same `run` replays the
+//! cache instead of re-executing the lab. That makes the client's
+//! resend-on-lost-connection safe even when the worker read a request but
+//! failed before the response got out. Sessions abandoned by a crashed
+//! client are evicted after [`SESSION_TTL`] of inactivity.
+
+use crate::http::{Request, Response};
+use parking_lot::Mutex;
+use sdl_conf::{from_json, to_json, Value, ValueExt};
+use sdl_core::{wire, AppConfig, AppError, LabBackend, SimBackend};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Idle time after which an abandoned lab session is evicted (a driving
+/// process that crashed without posting `/v1/close` must not leak a
+/// simulated workcell in the worker forever).
+pub const SESSION_TTL: Duration = Duration::from_secs(30 * 60);
+
+/// One hosted lab: the simulated backend plus idempotency bookkeeping.
+struct LabSession {
+    backend: SimBackend,
+    /// The last executed batch's `(run, response)` — replayed verbatim if
+    /// the client resends the same run after a lost response.
+    last_batch: Option<(u32, Value)>,
+    last_used: Instant,
+}
+
+/// Closed-session responses kept for lost-response replay.
+const CLOSED_CACHE: usize = 64;
+
+/// Hosts simulated-lab sessions for remote experiment drivers.
+#[derive(Default)]
+pub struct LabHost {
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<LabSession>>>>,
+    /// Final responses of recently closed sessions, so a client that lost
+    /// the `/v1/close` response can resend and still collect its telemetry
+    /// (bounded FIFO of [`CLOSED_CACHE`] entries).
+    closed: Mutex<Vec<(String, Value)>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for LabHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabHost").field("sessions", &self.len()).finish()
+    }
+}
+
+impl LabHost {
+    /// An empty host (no sessions).
+    pub fn new() -> LabHost {
+        LabHost::default()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no lab sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Route one `/v1/*` request.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.evict_idle();
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/experiments") => self.create(req),
+            ("POST", "/v1/batch") => self.batch(req),
+            ("POST", "/v1/close") => self.close(req),
+            ("GET", "/v1/sessions") => self.list(),
+            ("GET" | "HEAD", _) => Response::error(405, "batch-execution routes want POST")
+                .with_header("Allow", "POST"),
+            _ => Response::error(404, "unknown /v1 route"),
+        }
+    }
+
+    fn create(&self, req: &Request) -> Response {
+        let doc = match from_json(&req.body_text()) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, &format!("bad config JSON: {e}")),
+        };
+        let config = match AppConfig::from_value(&doc) {
+            Ok(config) => config,
+            Err(e) => return Response::error(400, &format!("bad config: {e}")),
+        };
+        let mut backend = match SimBackend::new(&config) {
+            Ok(backend) => backend,
+            Err(e) => return Response::error(400, &format!("cannot build lab: {e}")),
+        };
+        // An out-of-plates failure at open is a *termination criterion*,
+        // not a setup error: register the session anyway (so the client
+        // can `/v1/close` it for telemetry, mirroring the in-process flow)
+        // and tunnel the structured error alongside the capabilities.
+        let (caps, open_error) = match backend.open() {
+            Ok(caps) => (caps, None),
+            Err(e) if is_out_of_plates(&e) => {
+                let caps = backend.capabilities().expect("sim capabilities are static");
+                (caps, Some(e))
+            }
+            Err(e) => return lab_error(e),
+        };
+        let id = format!("lab-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let session = LabSession { backend, last_batch: None, last_used: Instant::now() };
+        self.sessions.lock().insert(id.clone(), Arc::new(Mutex::new(session)));
+        let mut v = wire::caps_to_value(&caps);
+        v.set("session", id.as_str());
+        if let Some(e) = open_error {
+            v.set("error_kind", "out_of_plates");
+            v.set("error", e.to_string().as_str());
+        }
+        Response::json(to_json(&v))
+    }
+
+    /// Drop sessions idle past [`SESSION_TTL`] (a busy session — one whose
+    /// lock is held by an in-flight request — is by definition not idle).
+    fn evict_idle(&self) {
+        self.sessions.lock().retain(|_, s| match s.try_lock() {
+            Some(state) => state.last_used.elapsed() < SESSION_TTL,
+            None => true,
+        });
+    }
+
+    fn session(&self, req: &Request) -> Result<Arc<Mutex<LabSession>>, Response> {
+        let Some(id) = req.query_param("session") else {
+            return Err(Response::error(400, "missing ?session=ID"));
+        };
+        self.sessions
+            .lock()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Response::error(404, &format!("no lab session '{id}'")))
+    }
+
+    fn batch(&self, req: &Request) -> Response {
+        let session = match self.session(req) {
+            Ok(session) => session,
+            Err(resp) => return resp,
+        };
+        let batch = match from_json(&req.body_text())
+            .map_err(|e| e.to_string())
+            .and_then(|doc| wire::batch_from_value(&doc).map_err(|e| e.to_string()))
+        {
+            Ok(batch) => batch,
+            Err(e) => return Response::error(400, &format!("bad batch: {e}")),
+        };
+        // Sessions are driven by one client at a time; the per-session lock
+        // serializes stray concurrent submissions without blocking other
+        // sessions.
+        let mut state = session.lock();
+        state.last_used = Instant::now();
+        // Idempotent resend: a client that lost the response re-posts the
+        // same run; replay the cached response instead of mixing the batch
+        // a second time.
+        if let Some((run, cached)) = &state.last_batch {
+            if *run == batch.run {
+                return Response::json(to_json(cached));
+            }
+        }
+        let result = state.backend.submit_batch(&batch);
+        match result {
+            Ok(result) => {
+                let v = wire::result_to_value(&result);
+                let body = to_json(&v);
+                state.last_batch = Some((batch.run, v));
+                Response::json(body)
+            }
+            Err(e) => lab_error(e),
+        }
+    }
+
+    fn close(&self, req: &Request) -> Response {
+        let Some(id) = req.query_param("session").map(str::to_string) else {
+            return Response::error(400, "missing ?session=ID");
+        };
+        let Some(session) = self.sessions.lock().remove(&id) else {
+            // Lost-response replay: the session may already be closed —
+            // resending `/v1/close` must return the telemetry, not a 404.
+            let closed = self.closed.lock();
+            return match closed.iter().find(|(cid, _)| *cid == id) {
+                Some((_, cached)) => Response::json(to_json(cached)),
+                None => Response::error(404, &format!("no lab session '{id}'")),
+            };
+        };
+        let samples = from_json(&req.body_text())
+            .ok()
+            .and_then(|doc| doc.opt_i64("samples"))
+            .unwrap_or(0)
+            .max(0) as u32;
+        let result = session.lock().backend.close(samples);
+        match result {
+            Ok(close) => {
+                let v = wire::close_to_value(&close);
+                let body = to_json(&v);
+                let mut closed = self.closed.lock();
+                if closed.len() >= CLOSED_CACHE {
+                    closed.remove(0);
+                }
+                closed.push((id, v));
+                Response::json(body)
+            }
+            Err(e) => lab_error(e),
+        }
+    }
+
+    fn list(&self) -> Response {
+        let mut ids = Value::seq();
+        for id in self.sessions.lock().keys() {
+            ids.push(id.as_str());
+        }
+        let mut v = Value::map();
+        v.set("sessions", ids);
+        Response::json(to_json(&v))
+    }
+}
+
+/// Is this the sciclops running dry — a termination criterion rather than
+/// a failure?
+fn is_out_of_plates(e: &AppError) -> bool {
+    matches!(
+        e,
+        AppError::Wei(sdl_wei::WeiError::CommandAborted {
+            cause: sdl_instruments::InstrumentError::OutOfPlates,
+            ..
+        })
+    )
+}
+
+/// Encode a lab-side failure. Out-of-plates is a *structured* error (a
+/// termination criterion client-side), everything else a plain 500.
+fn lab_error(e: AppError) -> Response {
+    if is_out_of_plates(&e) {
+        let mut v = Value::map();
+        v.set("error_kind", "out_of_plates");
+        v.set("error", e.to_string().as_str());
+        return Response::json(to_json(&v));
+    }
+    Response::error(500, &format!("lab error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_request;
+    use std::io::BufReader;
+
+    fn post(host: &LabHost, target: &str, body: &str) -> Response {
+        let raw = format!("POST {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap().unwrap();
+        host.handle(&req)
+    }
+
+    fn json(resp: &Response) -> Value {
+        from_json(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_session_lifecycle() {
+        let host = LabHost::new();
+        let created = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(created.status, 200, "{}", String::from_utf8_lossy(&created.body));
+        let v = json(&created);
+        let session = v.opt_str("session").unwrap().to_string();
+        assert_eq!(v.opt_i64("plate_capacity"), Some(96));
+        assert_eq!(host.len(), 1);
+
+        let batch = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        );
+        assert_eq!(batch.status, 200, "{}", String::from_utf8_lossy(&batch.body));
+        let result = json(&batch);
+        assert_eq!(result.get("measurements").unwrap().as_seq().unwrap().len(), 2);
+        assert!(result.opt_i64("elapsed_us").unwrap() > 0);
+
+        let closed = post(&host, &format!("/v1/close?session={session}"), r#"{"samples": 2}"#);
+        assert_eq!(closed.status, 200);
+        let telemetry = json(&closed);
+        assert!(telemetry.opt_i64("duration_us").unwrap() > 0);
+        assert_eq!(telemetry.opt_i64("plates_used"), Some(1));
+        assert!(host.is_empty(), "close deletes the session");
+    }
+
+    #[test]
+    fn duplicate_run_replays_cached_response_without_reexecuting() {
+        let host = LabHost::new();
+        let created = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        let session = json(&created).opt_str("session").unwrap().to_string();
+        let body = r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#;
+        let first = post(&host, &format!("/v1/batch?session={session}"), body);
+        assert_eq!(first.status, 200);
+        // A resend of the same run (lost-response recovery) must not mix a
+        // second batch: identical response, identical lab clock.
+        let second = post(&host, &format!("/v1/batch?session={session}"), body);
+        assert_eq!(second.status, 200);
+        assert_eq!(first.body, second.body, "duplicate run must replay, not re-execute");
+        let e1 = json(&first).opt_i64("elapsed_us").unwrap();
+        let e2 = json(&second).opt_i64("elapsed_us").unwrap();
+        assert_eq!(e1, e2);
+        // The next run executes normally and advances the clock.
+        let third = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 2, "ratios": [[0.1, 0.2, 0.3, 0.4], [0.2, 0.2, 0.2, 0.2]]}"#,
+        );
+        assert_eq!(third.status, 200);
+        assert!(json(&third).opt_i64("elapsed_us").unwrap() > e1);
+    }
+
+    #[test]
+    fn errors_are_4xx() {
+        let host = LabHost::new();
+        assert_eq!(post(&host, "/v1/experiments", "not json").status, 400);
+        assert_eq!(post(&host, "/v1/experiments", r#"{"samples": -3}"#).status, 400);
+        assert_eq!(post(&host, "/v1/batch", "{}").status, 400);
+        assert_eq!(post(&host, "/v1/batch?session=nope", r#"{"run":1,"ratios":[]}"#).status, 404);
+        assert_eq!(post(&host, "/v1/close?session=nope", "{}").status, 404);
+        assert_eq!(post(&host, "/v1/nothing", "{}").status, 404);
+    }
+}

@@ -15,6 +15,7 @@
 //! | `GET /blobs/<ref>` | raw plate images from the blob store |
 //! | `GET /healthz` | liveness + portal size (JSON) |
 //! | `GET /metrics` | Prometheus text: request counts, latency histogram, portal gauges |
+//! | `POST /v1/experiments` · `/v1/batch` · `/v1/close` | the batch-execution API: remote experiment sessions drive hosted simulated labs (see [`LabHost`]) |
 //!
 //! Built only on `std` — no external HTTP dependency — so the offline
 //! build stays self-contained. The portal and store are shared `Arc`s:
@@ -26,11 +27,13 @@
 
 pub mod client;
 mod http;
+mod lab;
 mod metrics;
 mod pool;
 mod server;
 
 pub use http::{percent_decode, Request, Response};
+pub use lab::LabHost;
 pub use metrics::{route_label, ServerMetrics};
 pub use pool::ThreadPool;
 pub use server::{spawn, PortalServer, ServerConfig, ServerHandle};

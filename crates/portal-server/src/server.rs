@@ -1,6 +1,7 @@
 //! Routing and the accept/serve loop.
 
 use crate::http::{self, ParseError, Request, Response};
+use crate::lab::LabHost;
 use crate::metrics::ServerMetrics;
 use crate::pool::ThreadPool;
 use sdl_conf::{to_json, Value};
@@ -45,6 +46,7 @@ pub struct PortalServer {
     portal: Arc<AcdcPortal>,
     store: Arc<BlobStore>,
     metrics: Arc<ServerMetrics>,
+    lab: Option<Arc<LabHost>>,
     started: Instant,
 }
 
@@ -56,8 +58,21 @@ impl PortalServer {
             portal,
             store,
             metrics: Arc::new(ServerMetrics::new()),
+            lab: None,
             started: Instant::now(),
         }
+    }
+
+    /// Builder: also host the `POST /v1/*` batch-execution API, making
+    /// this server a lab worker for remote experiment sessions.
+    pub fn with_lab(mut self, lab: Arc<LabHost>) -> PortalServer {
+        self.lab = Some(lab);
+        self
+    }
+
+    /// The hosted lab sessions, when batch execution is enabled.
+    pub fn lab(&self) -> Option<&Arc<LabHost>> {
+        self.lab.as_ref()
     }
 
     /// The portal being served.
@@ -75,8 +90,20 @@ impl PortalServer {
         &self.metrics
     }
 
-    /// Route one request to its response. Only GET/HEAD reach this point.
+    /// Route one request to its response.
     pub fn handle(&self, req: &Request) -> Response {
+        // The batch-execution API owns the /v1/ namespace (and is the only
+        // place POST is meaningful).
+        if req.path.starts_with("/v1/") {
+            return match &self.lab {
+                Some(lab) => lab.handle(req),
+                None => Response::error(404, "batch execution is not enabled on this server"),
+            };
+        }
+        if req.method != "GET" && req.method != "HEAD" {
+            return Response::error(405, &format!("method {} not allowed", req.method))
+                .with_header("Allow", "GET, HEAD");
+        }
         match req.path.as_str() {
             "/" => self.index(),
             "/healthz" => self.healthz(),
@@ -343,19 +370,12 @@ fn handle_connection(server: &PortalServer, stream: TcpStream) {
 
         let started = Instant::now();
         let head_only = req.method == "HEAD";
-        let resp = if !head_only && req.method != "GET" {
-            Response::error(405, &format!("method {} not allowed", req.method))
-                .with_header("Allow", "GET, HEAD")
-        } else if req.header("content-length").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0) > 0
-        {
-            Response::error(400, "request bodies are not supported")
-        } else {
-            server.handle(&req)
-        };
-        // Any refused request (bad method, body present, oversized) closes
-        // the connection: unread body bytes would desync the keep-alive
-        // stream and be misparsed as the next request line.
-        let close = req.wants_close() || matches!(resp.status, 400 | 405 | 431);
+        let resp = server.handle(&req);
+        // Bodies within bounds are fully read by read_request, so even 4xx
+        // responses keep the connection in sync; only oversized/garbage
+        // requests close, and those are handled in the parse-error branch
+        // above.
+        let close = req.wants_close();
         let sent = if head_only { 0 } else { resp.body.len() };
         server.metrics.record_request(&req.path, resp.status, started.elapsed(), sent);
         if http::write_response(&mut writer, &resp, head_only, close).is_err() || close {

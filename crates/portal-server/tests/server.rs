@@ -59,6 +59,47 @@ fn live_server() -> (sdl_portal_server::ServerHandle, String) {
 }
 
 #[test]
+fn batch_execution_api_over_real_sockets() {
+    // A worker-mode server: the lab host behind POST /v1/*, driven with
+    // the crate's own keep-alive client (request bodies over the wire).
+    let server = PortalServer::new(Arc::new(AcdcPortal::new()), Arc::new(BlobStore::in_memory()))
+        .with_lab(Arc::new(sdl_portal_server::LabHost::new()));
+    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads: 4 }).unwrap();
+    let addr = handle.addr();
+
+    let mut c = HttpClient::connect(addr).unwrap();
+    let created = c
+        .post("/v1/experiments", r#"{"samples": 4, "batch": 2, "publish_images": false}"#)
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.text());
+    let v = from_json(&created.text()).unwrap();
+    let session = v.opt_str("session").unwrap().to_string();
+    assert_eq!(v.opt_i64("plate_capacity"), Some(96));
+
+    let batch = c
+        .post(
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        )
+        .unwrap();
+    assert_eq!(batch.status, 200, "{}", batch.text());
+    let result = from_json(&batch.text()).unwrap();
+    assert_eq!(result.get("measurements").and_then(|m| m.as_seq()).map(<[_]>::len), Some(2));
+
+    // One-shot POST helper over a fresh connection.
+    let closed =
+        client::post(addr, &format!("/v1/close?session={session}"), r#"{"samples": 2}"#).unwrap();
+    assert_eq!(closed.status, 200, "{}", closed.text());
+    assert!(from_json(&closed.text()).unwrap().opt_i64("duration_us").unwrap() > 0);
+
+    // Sessions list is empty again; GET on a POST-only route is a 405.
+    let sessions = c.get("/v1/sessions").unwrap();
+    assert!(sessions.text().contains("[]"), "{}", sessions.text());
+    assert_eq!(c.get("/v1/batch").unwrap().status, 405);
+    handle.shutdown();
+}
+
+#[test]
 fn all_endpoints_answer_over_real_sockets() {
     let (handle, blob) = live_server();
     let addr = handle.addr();
@@ -188,20 +229,24 @@ fn protocol_errors_are_4xx() {
 
     // Unknown path.
     assert_eq!(client::get(addr, "/definitely-not-a-route").unwrap().status, 404);
-    // Unsupported method, with a body and a pipelined follow-up. The 405
-    // must close the connection: the unread body would otherwise desync
-    // the keep-alive stream and be misparsed as the next request line.
+    // Unsupported method, with a body and a pipelined follow-up. The body
+    // is fully consumed (request bodies are first-class since the batch
+    // API), so the 405 must NOT desync the keep-alive stream: the
+    // pipelined GET is parsed cleanly and answered next.
     {
         use std::io::{Read, Write};
         let mut s = std::net::TcpStream::connect(addr).unwrap();
-        s.write_all(b"DELETE /records HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n")
-            .unwrap();
+        s.write_all(
+            b"DELETE /records HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello\
+              GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
         let mut raw = Vec::new();
-        s.read_to_end(&mut raw).unwrap(); // server closes → clean EOF
+        s.read_to_end(&mut raw).unwrap(); // close on the 2nd request → EOF
         let text = String::from_utf8_lossy(&raw);
         assert!(text.starts_with("HTTP/1.1 405"), "{text}");
-        assert!(text.contains("Connection: close"), "{text}");
-        assert_eq!(text.matches("HTTP/1.1").count(), 1, "pipelined GET must not be answered");
+        assert_eq!(text.matches("HTTP/1.1").count(), 2, "pipelined GET must be answered");
+        assert!(text.contains("HTTP/1.1 200"), "{text}");
     }
     // Garbage on the wire.
     {

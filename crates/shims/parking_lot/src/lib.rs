@@ -36,6 +36,16 @@ impl<T: ?Sized> Mutex<T> {
         self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Acquire the lock only if it is free right now (`parking_lot`'s
+    /// `Option` shape, recovering poisoned locks like [`Mutex::lock`]).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive access).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)

@@ -34,7 +34,7 @@ pub struct GeneticSolver {
     /// Re-measure the elite each generation, as the paper specifies ("the
     /// most accurate element of the previous population is propagated into
     /// the new generation"). Disabling it spends that sample on an extra
-    /// mutation instead (ablation item 3 in DESIGN.md).
+    /// mutation instead (the GA batch-strategy ablation; see `sdl-bench`’s `ablation_ga`).
     pub elite_replication: bool,
     generation: u64,
 }

@@ -28,6 +28,7 @@ pub mod linalg;
 mod neldermead;
 mod random;
 mod reference;
+mod registry;
 mod sampling;
 mod solver;
 
@@ -41,5 +42,14 @@ pub use linalg::{CholeskyFactor, Matrix};
 pub use neldermead::minimize as nelder_mead;
 pub use random::RandomSolver;
 pub use reference::RefGp;
+pub use registry::{
+    build_registered, register_solver, registered_names, solver_registered, SolverFactory,
+    SolverRegistry,
+};
 pub use sampling::{grid_sample, latin_hypercube, uniform_grid};
 pub use solver::{best_observation, sanitize, ColorSolver, Observation, SolverKind};
+
+// The RNG type appearing in [`ColorSolver::propose`], re-exported so
+// downstream crates can implement the trait (and register the result in a
+// [`SolverRegistry`]) without depending on `rand` directly.
+pub use rand::rngs::StdRng;

@@ -1,0 +1,171 @@
+//! Open solver registration: names → solver factories.
+//!
+//! [`SolverKind`] stays the closed set of built-in algorithms, but the
+//! paper's modularity claim (§2.5) asks for more: downstream crates must be
+//! able to plug in a new decision procedure without editing this crate. A
+//! [`SolverRegistry`] maps names to factories; the process-wide
+//! [`global`] registry starts with the six built-ins pre-registered, and
+//! [`register_solver`] adds custom ones. Config and CLI error paths list
+//! registered names via [`registered_names`], so a custom solver shows up
+//! in `--solver` listings the moment it is registered.
+//!
+//! ```
+//! use sdl_solvers::{register_solver, build_registered, RandomSolver};
+//!
+//! register_solver("my-search", |dims| Box::new(RandomSolver::new(dims)));
+//! let solver = build_registered("my-search", 4).expect("registered above");
+//! assert_eq!(solver.name(), "random");
+//! ```
+
+use crate::solver::{ColorSolver, SolverKind};
+use std::sync::{OnceLock, RwLock};
+
+/// A factory producing a solver for a `dims`-dye problem.
+pub type SolverFactory = Box<dyn Fn(usize) -> Box<dyn ColorSolver> + Send + Sync>;
+
+/// A name → factory table. Lookups are case-insensitive; listing order is
+/// registration order (built-ins first).
+#[derive(Default)]
+pub struct SolverRegistry {
+    entries: Vec<(String, SolverFactory)>,
+}
+
+impl SolverRegistry {
+    /// An empty registry (no names resolve).
+    pub fn empty() -> SolverRegistry {
+        SolverRegistry { entries: Vec::new() }
+    }
+
+    /// A registry with the six [`SolverKind`] built-ins pre-registered
+    /// under their canonical names.
+    pub fn with_builtins() -> SolverRegistry {
+        let mut reg = SolverRegistry::empty();
+        for kind in SolverKind::all() {
+            reg.register(kind.name(), move |dims| kind.build(dims));
+        }
+        reg
+    }
+
+    /// Register (or replace) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(usize) -> Box<dyn ColorSolver> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(&name)) {
+            slot.1 = Box::new(factory);
+        } else {
+            self.entries.push((name, Box::new(factory)));
+        }
+    }
+
+    /// Is `name` registered? Accepts the built-ins' aliases ("ga", "gp", …)
+    /// exactly as [`SolverKind::parse`] does.
+    pub fn contains(&self, name: &str) -> bool {
+        self.resolve(name).is_some()
+    }
+
+    /// Build the solver registered under `name` for a `dims`-dye problem.
+    pub fn build(&self, name: &str, dims: usize) -> Option<Box<dyn ColorSolver>> {
+        self.resolve(name).map(|f| f(dims))
+    }
+
+    /// Registered names in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Comma-separated name listing for error messages.
+    pub fn names_list(&self) -> String {
+        self.names().join(", ")
+    }
+
+    fn resolve(&self, name: &str) -> Option<&SolverFactory> {
+        let canonical = SolverKind::parse(name).map(SolverKind::name);
+        let wanted = canonical.unwrap_or(name.trim());
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(wanted)).map(|(_, f)| f)
+    }
+}
+
+fn global_lock() -> &'static RwLock<SolverRegistry> {
+    static GLOBAL: OnceLock<RwLock<SolverRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(SolverRegistry::with_builtins()))
+}
+
+/// Run `f` against the process-wide registry (read lock).
+pub fn global<R>(f: impl FnOnce(&SolverRegistry) -> R) -> R {
+    f(&global_lock().read().expect("solver registry poisoned"))
+}
+
+/// Register a custom solver in the process-wide registry.
+pub fn register_solver(
+    name: impl Into<String>,
+    factory: impl Fn(usize) -> Box<dyn ColorSolver> + Send + Sync + 'static,
+) {
+    global_lock().write().expect("solver registry poisoned").register(name, factory);
+}
+
+/// Build a solver by registered name from the process-wide registry.
+pub fn build_registered(name: &str, dims: usize) -> Option<Box<dyn ColorSolver>> {
+    global(|reg| reg.build(name, dims))
+}
+
+/// Is `name` registered in the process-wide registry?
+pub fn solver_registered(name: &str) -> bool {
+    global(|reg| reg.contains(name))
+}
+
+/// Comma-separated listing of every registered solver name — what config
+/// and CLI error paths print.
+pub fn registered_names() -> String {
+    global(SolverRegistry::names_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomSolver;
+
+    #[test]
+    fn builtins_are_preregistered() {
+        let reg = SolverRegistry::with_builtins();
+        for kind in SolverKind::all() {
+            assert!(reg.contains(kind.name()), "{} missing", kind.name());
+            let s = reg.build(kind.name(), 4).unwrap();
+            assert_eq!(s.name(), kind.name());
+        }
+        assert_eq!(reg.names().len(), SolverKind::all().len());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_alias_aware() {
+        let reg = SolverRegistry::with_builtins();
+        assert!(reg.contains("GENETIC"));
+        assert!(reg.contains("ga"));
+        assert!(reg.contains("gp"));
+        assert!(!reg.contains("quantum"));
+    }
+
+    #[test]
+    fn custom_registration_and_replacement() {
+        let mut reg = SolverRegistry::with_builtins();
+        reg.register("my-search", |dims| Box::new(RandomSolver::new(dims)));
+        assert!(reg.contains("my-search"));
+        assert!(reg.contains("MY-SEARCH"));
+        assert!(reg.names_list().contains("my-search"));
+        // Replacement keeps one entry.
+        let before = reg.names().len();
+        reg.register("My-Search", |dims| Box::new(RandomSolver::new(dims)));
+        assert_eq!(reg.names().len(), before);
+    }
+
+    #[test]
+    fn global_registry_accepts_custom_solvers() {
+        register_solver("registry-test-solver", |dims| Box::new(RandomSolver::new(dims)));
+        assert!(solver_registered("registry-test-solver"));
+        assert!(build_registered("registry-test-solver", 3).is_some());
+        assert!(registered_names().contains("registry-test-solver"));
+        assert!(registered_names().contains("genetic"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Two-process lab execution: serve a simulated lab with `sdl-lab serve`
+//! and drive it from this (second) process over HTTP.
+//!
+//! ```text
+//! cargo build --release
+//! cargo run --release --example remote_backend
+//! ```
+//!
+//! The example spawns the real `sdl-lab` binary in worker mode (an empty
+//! portal whose `POST /v1/*` routes host simulated labs), then runs the
+//! same experiment twice — once on the in-process `SimBackend`, once on a
+//! `RemoteBackend` speaking to the worker — and shows the results are
+//! bit-identical. Point `SDL_LAB_WORKER` at an already-running
+//! `sdl-lab serve` address to skip the spawn and drive that instead.
+
+use sdl_lab::prelude::*;
+use std::io::BufRead as _;
+use std::process::{Child, Command, Stdio};
+
+/// The spawned worker, killed on drop.
+struct Worker {
+    child: Option<Child>,
+    addr: String,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Find a worker: `$SDL_LAB_WORKER`, or spawn the sibling `sdl-lab` binary
+/// in worker mode on an ephemeral port.
+fn worker() -> Result<Worker, String> {
+    if let Ok(addr) = std::env::var("SDL_LAB_WORKER") {
+        return Ok(Worker { child: None, addr });
+    }
+    // target/release/examples/remote_backend → target/release/sdl-lab
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.parent()?.join("sdl-lab")))
+        .filter(|p| p.exists())
+        .ok_or(
+            "sdl-lab binary not found next to this example — run `cargo build --release` \
+                first, or set SDL_LAB_WORKER=host:port",
+        )?;
+    let mut child = Command::new(bin)
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn sdl-lab serve: {e}"))?;
+    // The worker prints `serving on http://ADDR` once bound.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut banner)
+        .map_err(|e| format!("read serve banner: {e}"))?;
+    let addr = banner
+        .trim()
+        .strip_prefix("serving on http://")
+        .ok_or_else(|| format!("unexpected banner: {banner:?}"))?
+        .to_string();
+    Ok(Worker { child: Some(child), addr })
+}
+
+fn main() -> Result<(), String> {
+    let worker = worker()?;
+    println!("lab worker at {}", worker.addr);
+
+    let config = AppConfig {
+        sample_budget: 16,
+        batch: 4,
+        solver: SolverKind::Genetic,
+        publish_images: false,
+        ..AppConfig::default()
+    };
+
+    // Local execution: session + in-process simulated workcell.
+    let mut local_session = Experiment::new(config.clone()).map_err(|e| e.to_string())?;
+    let mut local_lab = SimBackend::new(&config).map_err(|e| e.to_string())?;
+    let local = local_session.run_on(&mut local_lab).map_err(|e| e.to_string())?;
+
+    // Remote execution: same session logic, batches farmed out over HTTP.
+    let mut remote_session = Experiment::new(config.clone()).map_err(|e| e.to_string())?;
+    let mut remote_lab = RemoteBackend::new(&worker.addr, config);
+    let remote = remote_session.run_on(&mut remote_lab).map_err(|e| e.to_string())?;
+
+    println!(
+        "local  ({}): best {:.3} in {}",
+        local.samples_measured, local.best_score, local.duration
+    );
+    println!(
+        "remote ({}): best {:.3} in {}",
+        remote.samples_measured, remote.best_score, remote.duration
+    );
+    assert_eq!(
+        local.best_score.to_bits(),
+        remote.best_score.to_bits(),
+        "remote execution must be bit-identical"
+    );
+    assert_eq!(local.duration, remote.duration);
+    assert_eq!(local.metrics, remote.metrics, "full Table-1 telemetry survives the wire");
+    println!("bit-identical across process boundaries ✓");
+    Ok(())
+}

@@ -14,16 +14,19 @@
 //! * [`wei`] — the workflow-execution framework (workcells, workflows,
 //!   dispatch, run logs, command accounting);
 //! * [`solvers`] — decision procedures: the paper's evolutionary solver, a
-//!   Gaussian-process Bayesian optimizer, and baselines;
+//!   Gaussian-process Bayesian optimizer, baselines, and the open
+//!   [`SolverRegistry`](solvers::SolverRegistry) for downstream additions;
 //! * [`datapub`] — the publication substrate (Globus-flow-like pipeline and
 //!   an ACDC-style searchable portal);
 //! * [`portal_server`] — the HTTP serving layer over the portal
-//!   (`sdl-lab serve`);
-//! * [`core`] — the color-picker application itself.
+//!   (`sdl-lab serve`), including the `POST /v1/*` batch-execution API
+//!   that turns any served portal into a lab worker;
+//! * [`core`] — the ask/tell [`Experiment`](core::Experiment) session, the
+//!   pluggable [`LabBackend`](core::LabBackend) executors (sim · remote
+//!   HTTP · replay), the campaign engine, and the color-picker application.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system
-//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
-//! table and figure.
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory (crate by crate, including the backend layer).
 
 pub use sdl_color as color;
 pub use sdl_conf as conf;
@@ -39,7 +42,11 @@ pub use sdl_wei as wei;
 /// Commonly used items for writing applications against the benchmark.
 pub mod prelude {
     pub use sdl_color::{DeltaE, Rgb8};
-    pub use sdl_core::{AppConfig, ColorPickerApp, ExperimentOutcome};
+    pub use sdl_core::{
+        AppConfig, BackendCaps, BackendSpec, Batch, BatchResult, CampaignConfig, CampaignRunner,
+        ColorPickerApp, Experiment, ExperimentOutcome, LabBackend, RemoteBackend, ReplayBackend,
+        ScenarioSpec, SimBackend,
+    };
     pub use sdl_desim::{RngHub, SimDuration, SimTime};
-    pub use sdl_solvers::SolverKind;
+    pub use sdl_solvers::{register_solver, ColorSolver, SolverKind, SolverRegistry};
 }

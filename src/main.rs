@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! sdl-lab run [--samples N] [--batch B] [--solver NAME] [--seed S]
+//!             [--backend sim|remote:<url>|replay:<path>]
 //!             [--target R,G,B] [--config FILE] [--runlog-dir DIR]
 //!             [--export-portal FILE] [--flat-field]
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
 //! sdl-lab campaign --config FILE [--threads T] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
-//! sdl-lab serve (--import FILE | --campaign FILE) [--addr HOST:PORT]
+//! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
 //! sdl-lab workcell
 //! sdl-lab help
 //! ```
 
 use sdl_lab::color::Rgb8;
-use sdl_lab::core::{batch_sweep, AppConfig, CampaignConfig, CampaignRunner, ColorPickerApp};
+use sdl_lab::core::{
+    batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignRunner, ColorPickerApp, Experiment,
+};
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
 use std::path::PathBuf;
@@ -68,7 +71,11 @@ commands:
 run options:
   --samples N         sample budget (default 128)
   --batch B           wells per iteration (default 1)
-  --solver NAME       genetic|bayesian|annealing|random|grid|analytic
+  --solver NAME       any registered solver (built-ins:
+                      genetic|bayesian|annealing|random|grid|analytic)
+  --backend SPEC      lab executor: sim (default), remote:<url> (a
+                      'sdl-lab serve' worker), or replay:<path> (re-drive a
+                      recorded portal export offline)
   --seed S            master seed (default 42)
   --target R,G,B      target color (default 120,120,120)
   --config FILE       load a YAML application config (other flags override)
@@ -96,7 +103,7 @@ portal options:
   --experiment ID     experiment to summarize (default: first found)
   --run N             also print the detail view of run N
 
-serve options (one of --import / --campaign is required):
+serve options (no flags = empty portal in lab-worker mode):
   --import FILE       serve a saved JSON-lines portal export
   --campaign FILE     run a campaign (scenario-matrix YAML) on background
                       workers; records stream into the live server as
@@ -116,11 +123,20 @@ serve endpoints:
   /blobs/<ref>        raw plate images
   /healthz            liveness JSON
   /metrics            Prometheus text
+  /v1/experiments, /v1/batch, /v1/close   POST: the batch-execution API
+                      (drive this server as a lab worker from another
+                      process via 'run --backend remote:<addr>')
 
 example:
   sdl-lab run --samples 64 --export-portal out.jsonl
   sdl-lab serve --import out.jsonl --addr 127.0.0.1:8323
-  curl http://127.0.0.1:8323/records?kind=sample&limit=5"
+  curl http://127.0.0.1:8323/records?kind=sample&limit=5
+
+remote-worker example:
+  sdl-lab serve --addr 127.0.0.1:8323 &          # lab worker
+  sdl-lab run --samples 16 --backend remote:127.0.0.1:8323
+  sdl-lab run --samples 16 --export-portal rec.jsonl
+  sdl-lab run --samples 16 --backend replay:rec.jsonl   # offline re-drive"
     );
 }
 
@@ -147,9 +163,18 @@ fn build_config(args: &[String]) -> Result<AppConfig, String> {
         config.batch = v.parse().map_err(|_| format!("bad --batch '{v}'"))?;
     }
     if let Some(v) = flag_value(args, "--solver") {
-        config.solver = SolverKind::parse(v).ok_or_else(|| {
-            format!("unknown solver '{v}' (valid solvers: {})", SolverKind::valid_names())
-        })?;
+        match SolverKind::parse(v) {
+            Some(kind) => config.solver = kind,
+            None if sdl_lab::solvers::solver_registered(v) => {
+                config.custom_solver = Some(v.to_string());
+            }
+            None => {
+                return Err(format!(
+                    "unknown solver '{v}' (registered solvers: {})",
+                    sdl_lab::solvers::registered_names()
+                ))
+            }
+        }
     }
     if let Some(v) = flag_value(args, "--seed") {
         config.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
@@ -173,16 +198,39 @@ fn build_config(args: &[String]) -> Result<AppConfig, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let config = build_config(args)?;
+    let backend = match flag_value(args, "--backend") {
+        Some(v) => BackendSpec::parse(v).map_err(|e| e.to_string())?,
+        None => BackendSpec::Sim,
+    };
     let runlog_dir = flag_value(args, "--runlog-dir").map(PathBuf::from);
+    if runlog_dir.is_some() && backend != BackendSpec::Sim {
+        return Err("--runlog-dir needs the sim backend (run logs live lab-side)".into());
+    }
     let export = flag_value(args, "--export-portal").map(PathBuf::from);
     let export_html = flag_value(args, "--export-html").map(PathBuf::from);
 
     eprintln!(
-        "running {} samples, batch {}, solver {}, seed {}...",
-        config.sample_budget, config.batch, config.solver, config.seed
+        "running {} samples, batch {}, solver {}, seed {}, backend {backend}...",
+        config.sample_budget,
+        config.batch,
+        config.solver_label(),
+        config.seed
     );
-    let mut app = ColorPickerApp::new(config).map_err(|e| e.to_string())?;
-    let outcome = app.run().map_err(|e| e.to_string())?;
+    // The sim path keeps the full application (engine access for run logs);
+    // other executors drive a bare ask/tell session on the chosen backend.
+    let (outcome, app) = match backend {
+        BackendSpec::Sim => {
+            let mut app = ColorPickerApp::new(config).map_err(|e| e.to_string())?;
+            let outcome = app.run().map_err(|e| e.to_string())?;
+            (outcome, Some(app))
+        }
+        spec => {
+            let mut session = Experiment::new(config.clone()).map_err(|e| e.to_string())?;
+            let mut lab = spec.build(&config).map_err(|e| e.to_string())?;
+            let outcome = session.run_on(lab.as_mut()).map_err(|e| e.to_string())?;
+            (outcome, None)
+        }
+    };
 
     println!("experiment:  {}", outcome.experiment_id);
     println!("termination: {}", outcome.termination);
@@ -192,7 +240,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("{}", outcome.metrics.render_table1());
     println!("{}", outcome.portal.summary_view(&outcome.experiment_id));
 
-    if let Some(dir) = runlog_dir {
+    if let (Some(dir), Some(app)) = (runlog_dir, &app) {
         let n = app.engine().export_runlogs(&dir).map_err(|e| e.to_string())?;
         println!("wrote {n} run logs to {}", dir.display());
     }
@@ -291,13 +339,18 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use sdl_lab::datapub::{AcdcPortal, BlobStore};
-    use sdl_lab::portal_server::{spawn, PortalServer, ServerConfig};
+    use sdl_lab::portal_server::{spawn, LabHost, PortalServer, ServerConfig};
     use std::sync::Arc;
 
     let import = flag_value(args, "--import");
     let campaign = flag_value(args, "--campaign");
-    if import.is_some() == campaign.is_some() {
-        return Err("serve needs exactly one of --import FILE or --campaign FILE".into());
+    if import.is_some() && campaign.is_some() {
+        return Err("serve takes at most one of --import FILE or --campaign FILE".into());
+    }
+    if import.is_none() && campaign.is_none() {
+        eprintln!(
+            "serving an empty portal (worker mode: drive it via 'sdl-lab run --backend remote:<addr>')"
+        );
     }
 
     let portal = Arc::new(AcdcPortal::new());
@@ -364,8 +417,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
     }
 
-    let handle =
-        spawn(PortalServer::new(portal, store), &config).map_err(|e| format!("bind: {e}"))?;
+    // Every served portal also hosts the batch-execution API, so any
+    // `sdl-lab serve` process doubles as a lab worker for remote sessions.
+    let server = PortalServer::new(portal, store).with_lab(Arc::new(LabHost::new()));
+    let handle = spawn(server, &config).map_err(|e| format!("bind: {e}"))?;
     // The bound address goes to stdout (and is flushed) so scripts and the
     // CI smoke test can pick up an ephemeral port.
     println!("serving on {}", handle.url());

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use sdl_lab::color::{DeltaE, MixKind, Rgb8};
 use sdl_lab::conf::ValueExt;
-use sdl_lab::core::{AppConfig, CampaignConfig, CampaignRunner, RunMode, ScenarioSpec};
+use sdl_lab::core::{
+    AppConfig, BackendSpec, CampaignConfig, CampaignRunner, RunMode, ScenarioSpec,
+};
 use sdl_lab::desim::{FaultPlan, FaultRates};
 use sdl_lab::solvers::SolverKind;
 
@@ -151,12 +153,17 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             any::<bool>(),
             0.1..600.0f64,
             proptest::collection::vec(1.0..80.0f64, 0..2),
+            prop_oneof![
+                Just(BackendSpec::Sim),
+                "[a-z0-9.:-]{1,20}".prop_map(BackendSpec::Remote),
+                "[a-z0-9._/-]{1,20}".prop_map(BackendSpec::Replay),
+            ],
         ),
     )
         .prop_map(
             |(
                 (label, solver, metric, mix, seed, samples, batch, (r, g, b)),
-                (f_rec, f_act, n_ot2, publish, flat, compute, threshold),
+                (f_rec, f_act, n_ot2, publish, flat, compute, threshold, backend),
             )| {
                 let mut config = AppConfig {
                     sample_budget: samples,
@@ -175,11 +182,12 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 if f_rec > 0.0 || f_act > 0.0 {
                     config.faults = FaultPlan::uniform(FaultRates::new(f_rec, f_act));
                 }
-                if n_ot2 > 1 {
+                let spec = if n_ot2 > 1 {
                     ScenarioSpec::multi_ot2(label, config, n_ot2)
                 } else {
                     ScenarioSpec::new(label, config)
-                }
+                };
+                spec.with_backend(backend)
             },
         )
 }
@@ -204,6 +212,8 @@ proptest! {
 fn assert_specs_match(a: &ScenarioSpec, b: &ScenarioSpec) {
     assert_eq!(a.label, b.label);
     assert_eq!(a.mode, b.mode);
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(a.config.custom_solver, b.config.custom_solver);
     let (ca, cb) = (&a.config, &b.config);
     assert_eq!(ca.experiment_name, cb.experiment_name);
     assert_eq!(ca.target, cb.target);

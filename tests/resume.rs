@@ -1,7 +1,11 @@
 //! Crash recovery: a new control host resumes an interrupted experiment
 //! from the records the portal already holds.
 
-use sdl_lab::core::{AppConfig, ColorPickerApp, TerminationReason};
+use proptest::prelude::*;
+use sdl_lab::core::{
+    AppConfig, ColorPickerApp, Experiment, ReplayBackend, SimBackend, TerminationReason,
+};
+use sdl_lab::solvers::SolverKind;
 
 fn config() -> AppConfig {
     AppConfig {
@@ -49,10 +53,165 @@ fn resume_continues_where_the_crash_left_off() {
 }
 
 #[test]
+fn restoring_more_records_than_the_budget_terminates_immediately() {
+    // A resumed host may run with a smaller budget than the recorded run;
+    // the session must terminate (not underflow the remaining-budget math).
+    let big = AppConfig { sample_budget: 9, ..config() };
+    let recorded = ColorPickerApp::new(big).unwrap().run().unwrap();
+    let records = recorded.portal.samples(&recorded.experiment_id);
+
+    let small = AppConfig { sample_budget: 4, ..config() };
+    let mut session = Experiment::new(small.clone()).unwrap();
+    session.restore_from_records(&records);
+    let mut lab = SimBackend::new(&small).unwrap();
+    let outcome = session.run_on(&mut lab).unwrap();
+    assert_eq!(outcome.termination, TerminationReason::BudgetExhausted);
+    assert_eq!(outcome.samples_measured, 9, "restored history is kept, nothing new measured");
+}
+
+#[test]
 fn restore_from_empty_records_is_a_noop() {
     let mut app = ColorPickerApp::new(config()).expect("builds");
     app.restore_from_records(&[]);
     assert!(app.history().is_empty());
     let outcome = app.run().expect("runs normally");
     assert_eq!(outcome.samples_measured, 18);
+}
+
+/// A decision procedure that is a *pure function of the history* — the
+/// class of solver for which crash recovery is exact. Registered through
+/// the open `SolverRegistry`, so this test also exercises the
+/// custom-solver path end to end (config → registry → session).
+#[derive(Debug, Clone, Copy)]
+struct HistorySweepSolver {
+    dims: usize,
+}
+
+impl sdl_lab::solvers::ColorSolver for HistorySweepSolver {
+    fn name(&self) -> &'static str {
+        "history-sweep"
+    }
+
+    fn propose(
+        &mut self,
+        _target: sdl_lab::color::Rgb8,
+        history: &[sdl_lab::solvers::Observation],
+        batch: usize,
+        _rng: &mut sdl_lab::solvers::StdRng,
+    ) -> Vec<Vec<f64>> {
+        (0..batch)
+            .map(|i| {
+                let n = (history.len() + i) as f64;
+                (0..self.dims).map(|d| (0.37 * (n + 1.0) + 0.13 * d as f64).fract()).collect()
+            })
+            .collect()
+    }
+}
+
+fn register_sweep_solver() {
+    sdl_lab::solvers::register_solver("history-sweep", |dims| {
+        Box::new(HistorySweepSolver { dims })
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The exact restoration contract — the one `ReplayBackend` relies on:
+    /// restoring the first `k` records of a recorded run and re-driving the
+    /// remainder reproduces the uninterrupted outcome bit for bit, for any
+    /// solver whose decisions are a pure function of the history. The cut
+    /// lands on a batch boundary, as a crash between publish and plate swap
+    /// does.
+    #[test]
+    fn restore_plus_replay_equals_uninterrupted(
+        samples in 4u32..16,
+        batch in 1u32..5,
+        seed in 0u64..1_000,
+        cut_batches in 0u32..8,
+    ) {
+        register_sweep_solver();
+        let cfg = AppConfig {
+            custom_solver: Some("history-sweep".into()),
+            sample_budget: samples,
+            batch,
+            seed,
+            publish_images: false,
+            ..AppConfig::default()
+        };
+        let mut full_session = Experiment::new(cfg.clone()).unwrap();
+        let mut lab = SimBackend::new(&cfg).unwrap();
+        let full = full_session.run_on(&mut lab).unwrap();
+        let records = full.portal.samples(&full.experiment_id);
+        prop_assert_eq!(records.len() as u32, samples);
+
+        let k = ((cut_batches * batch).min(samples.saturating_sub(1))) as usize;
+        let k = k - k % batch as usize;
+
+        let mut resumed = Experiment::new(cfg).unwrap();
+        resumed.restore_from_records(&records[..k]);
+        let mut replay = ReplayBackend::from_records(records[k..].to_vec());
+        let outcome = resumed.run_on(&mut replay).unwrap();
+
+        prop_assert_eq!(outcome.samples_measured, full.samples_measured);
+        prop_assert_eq!(outcome.best_score.to_bits(), full.best_score.to_bits());
+        prop_assert_eq!(&outcome.best_ratios, &full.best_ratios);
+        prop_assert_eq!(outcome.trajectory.len(), full.trajectory.len());
+        for (a, b) in full.trajectory.iter().zip(&outcome.trajectory) {
+            prop_assert_eq!(a.sample, b.sample);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(a.best.to_bits(), b.best.to_bits());
+        }
+    }
+
+    /// Stochastic solvers cannot reproduce the pre-crash proposal stream
+    /// (their RNG state is not in the records), but restoration must keep
+    /// the structural contract: numbering continues, the budget accounting
+    /// is exact, and the restored history keeps the solver's momentum
+    /// (best-so-far never regresses past the pre-crash best).
+    #[test]
+    fn restore_keeps_structure_for_stochastic_solvers(
+        solver in prop_oneof![
+            Just(SolverKind::Genetic),
+            Just(SolverKind::Random),
+            Just(SolverKind::Annealing),
+        ],
+        samples in 4u32..14,
+        batch in 1u32..4,
+        seed in 0u64..1_000,
+        cut in 1u32..10,
+    ) {
+        let cut = cut.min(samples - 1);
+        let cfg = AppConfig {
+            solver,
+            sample_budget: samples,
+            batch,
+            seed,
+            publish_images: false,
+            ..AppConfig::default()
+        };
+        let phase1 = ColorPickerApp::new(AppConfig { sample_budget: cut, ..cfg.clone() })
+            .unwrap()
+            .run()
+            .unwrap();
+        let records = phase1.portal.samples(&phase1.experiment_id);
+
+        let mut app = ColorPickerApp::new(cfg).unwrap();
+        app.restore_from_records(&records);
+        prop_assert_eq!(app.history().len() as u32, cut);
+        let resumed = app.run().unwrap();
+
+        prop_assert_eq!(resumed.termination, TerminationReason::BudgetExhausted);
+        prop_assert_eq!(resumed.samples_measured, samples);
+        prop_assert_eq!(resumed.trajectory.len() as u32, samples);
+        prop_assert!(resumed.best_score <= phase1.best_score + 1e-12);
+        // Phase 2 publishes only its own samples, numbered after the cut.
+        let new_records = resumed.portal.samples(&resumed.experiment_id);
+        prop_assert_eq!(new_records.len() as u32, samples - cut);
+        prop_assert_eq!(new_records.first().map(|r| r.sample), Some(cut + 1));
+        // Best-so-far is monotone over the stitched trajectory.
+        for w in resumed.trajectory.windows(2) {
+            prop_assert!(w[1].best <= w[0].best + 1e-12);
+        }
+    }
 }
