@@ -60,6 +60,7 @@ fn sample_record(i: u32) -> FlowJob {
             score: 1.4,
             best_so_far: 1.4,
             elapsed_s: 228.0,
+            batch_wall_s: None,
             image_ref: None,
         }
         .to_value(),

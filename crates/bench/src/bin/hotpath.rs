@@ -1,18 +1,25 @@
 //! `hotpath` — the tracked perf trajectory of the optimize→mix→image→detect
 //! inner loop.
 //!
-//! Measures, before vs. after the allocation-lean/incremental rework (the
-//! "before" paths are kept runnable in-tree for exactly this purpose):
+//! Measures, before vs. after the tracked optimization PRs (the "before"
+//! paths — `RefGp`, `render_reference` — are kept runnable in-tree for
+//! exactly this purpose):
 //!
 //! 1. `BayesSolver::propose` latency at history n = 20 / 80 / 160 —
 //!    from-scratch `fit_auto` + per-candidate EI vs. incremental
 //!    `Gp::extend` + batched EI;
-//! 2. per-sample simulated-measurement latency — fresh-allocation
-//!    render + detect vs. reused frame buffer + detector scratch;
-//! 3. backend-dispatch overhead — one ask/tell batch through `SimBackend`
+//! 2. render-only latency per camera fidelity profile — the frozen
+//!    sequential reference renderer vs. the counter-based tiled path at
+//!    `fast` (640×480) and `lowres` (320×240);
+//! 3. per-sample simulated-measurement latency — the historical
+//!    fresh-allocation reference render + detect vs. the counter-based
+//!    render with reused frame buffer + detector scratch;
+//! 4. backend-dispatch overhead — one ask/tell batch through `SimBackend`
 //!    directly vs. `RemoteBackend` over loopback HTTP (the `/v1/batch`
 //!    wire path);
-//! 4. full-campaign throughput with the Bayesian solver.
+//! 5. full-campaign throughput with the Bayesian solver: the pre-perf-PR
+//!    configuration (full fidelity, from-scratch solver) vs. today's
+//!    default path.
 //!
 //! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
 //! there; `--out` to override) so successive PRs accumulate a perf
@@ -26,7 +33,10 @@ use sdl_color::Rgb8;
 use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
 use sdl_core::{AppConfig, ColorPickerApp, Experiment, LabBackend, RemoteBackend, SimBackend};
 use sdl_solvers::{BayesSolver, ColorSolver, Observation, SolverKind};
-use sdl_vision::{render, render_into, Detector, DetectorScratch, ImageRgb8, PlateScene};
+use sdl_vision::{
+    render_into, render_reference, render_reference_into, render_tiled, CameraGeometry, Detector,
+    DetectorScratch, Fidelity, ImageRgb8, PlateScene,
+};
 use std::time::Instant;
 
 /// A synthetic observation of the 4-dye objective used for propose timing.
@@ -66,12 +76,53 @@ fn time_propose(incremental: bool, n: usize, batch: usize, reps: usize) -> f64 {
     median(&samples)
 }
 
-/// Median per-frame measurement latency (µs): render a 96-well plate scene
-/// and run the full detection pipeline, with or without buffer reuse.
-fn time_measure(reuse: bool, reps: usize) -> f64 {
+/// A 96-well scene for the render/measure timings.
+fn bench_scene() -> PlateScene {
     let mut scene = PlateScene::empty_plate();
     for i in 0..96 {
         scene.set_well(i / 12, i % 12, sdl_color::LinRgb::new(0.2, 0.25, 0.3));
+    }
+    scene
+}
+
+/// Median latency (µs) of the frozen reference renderer at full
+/// resolution — the shared "before" arm of every `render` row.
+fn time_render_reference(reps: usize) -> f64 {
+    let scene = bench_scene();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut buf = ImageRgb8::new(1, 1, Rgb8::default());
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        render_reference_into(&scene, &mut rng, &mut buf);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(&samples)
+}
+
+/// Median render-only latency (µs) for one fidelity profile through the
+/// counter-based tiled path.
+fn time_render_fast(profile: Fidelity, reps: usize) -> f64 {
+    let mut scene = bench_scene();
+    scene.camera = CameraGeometry::for_fidelity(profile);
+    let mut buf = ImageRgb8::new(1, 1, Rgb8::default());
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let t = Instant::now();
+        render_tiled(&scene, rep as u64, &mut buf, 32, 1);
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(&samples)
+}
+
+/// Median per-frame measurement latency (µs): render a 96-well plate scene
+/// and run the full detection pipeline. `optimized` is today's default
+/// path (counter-based render, reused buffers); the baseline is the
+/// historical one (reference render, fresh allocations).
+fn time_measure(optimized: bool, reps: usize) -> f64 {
+    let mut scene = bench_scene();
+    if !optimized {
+        scene.camera = CameraGeometry::for_fidelity(Fidelity::Full);
     }
     let detector = Detector::default();
     let mut rng = StdRng::seed_from_u64(7);
@@ -80,11 +131,11 @@ fn time_measure(reuse: bool, reps: usize) -> f64 {
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
-        let reading = if reuse {
+        let reading = if optimized {
             render_into(&scene, &mut rng, &mut buf);
             detector.detect_with(&buf, &mut scratch)
         } else {
-            let img = render(&scene, &mut rng);
+            let img = render_reference(&scene, &mut rng);
             detector.detect(&img)
         };
         samples.push(t.elapsed().as_secs_f64() * 1e6);
@@ -94,18 +145,21 @@ fn time_measure(reuse: bool, reps: usize) -> f64 {
 }
 
 /// One full campaign's wall time (s) for `budget` samples with the
-/// Bayesian solver, optimized or pre-optimization solver path.
-fn run_campaign(incremental: bool, budget: u32) -> (f64, u32) {
+/// Bayesian solver: `optimized` is today's default path; the baseline is
+/// the pre-perf-PR configuration (full-fidelity reference render and the
+/// from-scratch solver).
+fn run_campaign(optimized: bool, budget: u32) -> (f64, u32) {
     let config = AppConfig {
         solver: SolverKind::Bayesian,
         sample_budget: budget,
         batch: 4,
         seed: 11,
         publish_images: false,
+        fidelity: if optimized { Fidelity::Fast } else { Fidelity::Full },
         ..AppConfig::default()
     };
     let mut app = ColorPickerApp::new(config).expect("app construction");
-    if !incremental {
+    if !optimized {
         let mut reference = BayesSolver::new(4);
         reference.incremental = false;
         app.replace_solver(Box::new(reference));
@@ -190,6 +244,13 @@ fn check(path: &str) {
             assert!(row.get(key).is_some(), "{path}: propose row missing '{key}'");
         }
     }
+    let render = doc.get("render").and_then(Value::as_seq).expect("render section");
+    assert!(!render.is_empty(), "{path}: empty render section");
+    for row in render {
+        for key in ["profile", "reference_us", "fast_us", "speedup"] {
+            assert!(row.get(key).is_some(), "{path}: render row missing '{key}'");
+        }
+    }
     for section in ["measure", "campaign"] {
         let s = doc.get(section).unwrap_or_else(|| panic!("{path}: missing '{section}'"));
         assert!(s.get("speedup").and_then(Value::as_f64).is_some(), "{section}.speedup");
@@ -236,6 +297,29 @@ fn main() {
         propose.push(row);
     }
     doc.set("propose", propose);
+
+    // Render-only latency per fidelity profile, vs one shared measurement
+    // of the frozen reference.
+    let mut render = Value::seq();
+    let ref_us = time_render_reference(measure_reps);
+    for profile in [Fidelity::Fast, Fidelity::Lowres] {
+        let fast_us = time_render_fast(profile, measure_reps);
+        let geom = CameraGeometry::for_fidelity(profile);
+        let mut row = Value::map();
+        row.set("profile", profile.name());
+        row.set("width", geom.width_px as i64);
+        row.set("height", geom.height_px as i64);
+        row.set("reference_us", ref_us);
+        row.set("fast_us", fast_us);
+        row.set("speedup", ref_us / fast_us);
+        eprintln!(
+            "render {}: reference {ref_us:.0}µs -> {fast_us:.0}µs ({:.1}x)",
+            profile.name(),
+            ref_us / fast_us
+        );
+        render.push(row);
+    }
+    doc.set("render", render);
 
     let m_before = time_measure(false, measure_reps);
     let m_after = time_measure(true, measure_reps);

@@ -54,6 +54,7 @@ fn seed_portal(records: usize) -> (Arc<AcdcPortal>, Arc<BlobStore>, String) {
                 score: 30.0 - (i % 280) as f64 / 10.0,
                 best_so_far: 2.5,
                 elapsed_s: i as f64 * 228.0,
+                batch_wall_s: None,
                 image_ref: Some(blob.0.clone()),
             }
             .to_value(),

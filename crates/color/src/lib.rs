@@ -32,6 +32,7 @@ mod deltae;
 mod dye;
 mod lab;
 mod mix;
+mod quant;
 mod recipe;
 mod rgb;
 mod spectrum;
@@ -41,6 +42,7 @@ pub use deltae::{cie76, cie94, ciede2000, DeltaE};
 pub use dye::{Dye, DyeSet};
 pub use lab::Lab;
 pub use mix::{BeerLambert, KubelkaMunk, LinearMix, MixEngine, MixKind, MixModel};
+pub use quant::SrgbQuantizer;
 pub use recipe::{Recipe, RecipeError};
 pub use rgb::{linear_to_srgb, srgb_to_linear, LinRgb, Rgb8};
 pub use spectrum::{

@@ -82,6 +82,12 @@ pub struct BatchResult {
     pub measurements: Vec<WellMeasurement>,
     /// Experiment time when the batch finished measuring.
     pub elapsed: SimTime,
+    /// Wall-clock duration of this batch on the lab's clock — plate
+    /// logistics, robot work, imaging and the compute hold attributable to
+    /// the iteration. Recorded onto every published sample
+    /// (`batch_wall_s`) so replayed runs can reconstruct real per-batch
+    /// durations offline.
+    pub batch_wall: SimDuration,
     /// The iteration's workflow timing log (§2.3: "the timing of each
     /// step"), when the backend records one.
     pub timing: Option<Value>,

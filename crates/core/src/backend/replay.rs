@@ -11,20 +11,33 @@
 //! The backend verifies, bit for bit, that the session's proposals match
 //! the recorded ones and fails loudly on divergence — silently grading the
 //! wrong proposals would corrupt a study.
+//!
+//! Telemetry: records carry each batch's lab-clock wall duration
+//! (`batch_wall_s`), and portal-sourced replays additionally recover the
+//! per-batch workflow timing logs, so `close()` reconstructs real Table-1
+//! metrics — synthesis/transfer durations, CCWH, TWH — instead of zeroed
+//! placeholders. The reconstruction is batch-scoped: plate logistics
+//! between batches (`newplate`/`trashplate`/`replenish` workflows) were
+//! never published per sample, so those buckets are lower bounds, and
+//! fault-injection counters (absent from the records) stay zero.
 
 use crate::app::AppError;
 use crate::backend::{BackendCaps, BackendClose, Batch, BatchResult, LabBackend, WellMeasurement};
 use crate::metrics::SdlMetrics;
 use sdl_color::Rgb8;
+use sdl_conf::ValueExt as _;
 use sdl_datapub::{AcdcPortal, SampleRecord};
-use sdl_desim::SimTime;
+use sdl_desim::{SimDuration, SimTime};
 use sdl_instruments::{Microplate, WellIndex};
-use sdl_wei::{Counters, Reliability};
+use sdl_wei::{Counters, Reliability, WorkflowRunLog};
 use std::path::Path;
 
 /// A recorded run served back one batch at a time.
 pub struct ReplayBackend {
     records: Vec<SampleRecord>,
+    /// Per-batch workflow logs recovered from the portal's raw records
+    /// (empty for bare [`SampleRecord`] replays).
+    timing_logs: Vec<WorkflowRunLog>,
     cursor: usize,
     plate_capacity: u32,
     last_elapsed: SimTime,
@@ -38,6 +51,7 @@ impl ReplayBackend {
         records.sort_by_key(|r| r.sample);
         ReplayBackend {
             records,
+            timing_logs: Vec::new(),
             cursor: 0,
             // Recorded runs came off standard 96-well plates; override with
             // `with_plate_capacity` when replaying exotic labware.
@@ -47,9 +61,27 @@ impl ReplayBackend {
         }
     }
 
-    /// Replay one experiment's samples from a live portal.
+    /// Replay one experiment's samples from a live portal. The raw records
+    /// are also mined for the per-batch `timing` workflow logs (they ride
+    /// on each batch's first sample), which unlocks real reconstructed
+    /// telemetry at [`LabBackend::close`].
     pub fn from_portal(portal: &AcdcPortal, experiment_id: &str) -> ReplayBackend {
-        ReplayBackend::from_records(portal.samples(experiment_id))
+        let mut backend = ReplayBackend::from_records(portal.samples(experiment_id));
+        let mut logs: Vec<(u32, WorkflowRunLog)> = portal
+            .search(|r| {
+                r.opt_str("kind") == Some("sample")
+                    && r.opt_str("experiment_id") == Some(experiment_id)
+            })
+            .iter()
+            .filter_map(|r| {
+                let run = r.opt_i64("run")? as u32;
+                let log = WorkflowRunLog::from_value(r.get("timing")?)?;
+                Some((run, log))
+            })
+            .collect();
+        logs.sort_by_key(|(run, _)| *run);
+        backend.timing_logs = logs.into_iter().map(|(_, log)| log).collect();
+        backend
     }
 
     /// Replay from a JSON-lines portal export (the `--export-portal`
@@ -98,14 +130,54 @@ impl ReplayBackend {
         self.records.is_empty()
     }
 
+    /// Did the records carry enough telemetry (a timing log per batch) to
+    /// reconstruct real metrics at close?
+    fn telemetry_reconstructable(&self) -> bool {
+        if self.records.is_empty() {
+            return false;
+        }
+        let runs: std::collections::BTreeSet<u32> = self.records.iter().map(|r| r.run).collect();
+        self.timing_logs.len() == runs.len()
+    }
+
     fn caps(&self) -> BackendCaps {
         BackendCaps {
             plate_capacity: self.plate_capacity,
             dye_channels: self.records.first().map(|r| r.ratios.len()).unwrap_or(0) as u32,
             provides_images: false,
-            real_telemetry: false,
+            real_telemetry: self.telemetry_reconstructable(),
         }
     }
+}
+
+/// Rebuild engine-style counters and reliability bookkeeping from recorded
+/// workflow logs. `completed`/`robotic_completed`, CCWH streaks and
+/// intervention counts reconstruct exactly (the camera's `take_picture`
+/// is the only non-robotic action); `attempts` is a lower bound (per-step
+/// attempt counters reset when a human steps in) and injected-fault tallies
+/// are unrecorded, so they stay zero.
+fn reconstruct_accounting(logs: &[WorkflowRunLog]) -> (Counters, Reliability) {
+    let mut counters = Counters::default();
+    let mut reliability = Reliability::default();
+    for log in logs {
+        for step in &log.records {
+            let robotic = step.action != "take_picture";
+            if step.human_intervened {
+                counters.human_interventions += 1;
+                // The engine logs the intervention before the step's final
+                // successful attempt; the step end is the closest recorded
+                // timestamp.
+                reliability.human(step.end);
+            }
+            counters.attempts += step.attempts as u64;
+            counters.completed += 1;
+            if robotic {
+                counters.robotic_completed += 1;
+                reliability.robotic_ok();
+            }
+        }
+    }
+    (counters, reliability)
 }
 
 impl LabBackend for ReplayBackend {
@@ -167,17 +239,35 @@ impl LabBackend for ReplayBackend {
         let elapsed_s = slice.last().map(|r| r.elapsed_s).unwrap_or(0.0);
         let elapsed = SimTime::from_micros((elapsed_s * 1e6).round() as u64);
         self.last_elapsed = elapsed;
-        Ok(BatchResult { measurements, elapsed, timing: None, image: None })
+        // The recorded batch wall (every sample of a batch carries the same
+        // value; zero for pre-telemetry archives) — exact for the same
+        // shortest-round-trip reason as `elapsed`.
+        let batch_wall = slice
+            .iter()
+            .find_map(|r| r.batch_wall_s)
+            .map(|s| SimDuration::from_micros((s * 1e6).round() as u64))
+            .unwrap_or(SimDuration::ZERO);
+        Ok(BatchResult { measurements, elapsed, batch_wall, timing: None, image: None })
     }
 
     fn close(&mut self, samples_measured: u32) -> Result<BackendClose, AppError> {
-        // Replay has no lab: telemetry is the zeroed placeholder shape
-        // (`real_telemetry: false` advertises exactly that), with the
-        // clock span ending at the last recorded measurement.
+        // Reconstruct telemetry from the recorded workflow logs when the
+        // archive carried one per batch (`real_telemetry` in the caps
+        // advertises exactly this); older archives fall back to the zeroed
+        // placeholder shape. Either way the clock span ends at the last
+        // recorded measurement.
+        // All-or-nothing: partially recovered logs (mixed-version archive)
+        // must not leak into the metrics next to zeroed counters.
+        let (history, counters, reliability) = if self.telemetry_reconstructable() {
+            let (counters, reliability) = reconstruct_accounting(&self.timing_logs);
+            (self.timing_logs.as_slice(), counters, reliability)
+        } else {
+            (&[][..], Counters::default(), Reliability::default())
+        };
         let metrics = SdlMetrics::compute(
-            &[],
-            &Counters::default(),
-            &Reliability::default(),
+            history,
+            &counters,
+            &reliability,
             SimTime::ZERO,
             self.last_elapsed,
             samples_measured,
@@ -185,7 +275,7 @@ impl LabBackend for ReplayBackend {
         Ok(BackendClose {
             duration: self.last_elapsed - SimTime::ZERO,
             metrics,
-            counters: Counters::default(),
+            counters,
             plates_used: self.plates_used,
         })
     }
@@ -208,6 +298,7 @@ mod tests {
             score: 1.0,
             best_so_far: 1.0,
             elapsed_s: sample as f64 * 60.0,
+            batch_wall_s: None,
             image_ref: None,
         }
     }

@@ -51,7 +51,11 @@ impl SimBackend {
     pub fn new(config: &AppConfig) -> Result<SimBackend, AppError> {
         let config = config.clone();
         let hub = RngHub::new(config.seed);
-        let cell_cfg = WorkcellConfig::from_yaml(&config.workcell_yaml)?;
+        let mut cell_cfg = WorkcellConfig::from_yaml(&config.workcell_yaml)?;
+        // The config's camera-fidelity axis reaches the camera simulator
+        // through its module config; an explicit per-camera `fidelity` in
+        // the workcell document wins.
+        cell_cfg.default_camera_fidelity(config.fidelity.name());
 
         // Discover one module of each required kind.
         let need = |kind: ModuleKind| -> Result<&sdl_wei::ModuleConfig, AppError> {
@@ -234,6 +238,7 @@ impl LabBackend for SimBackend {
 
     fn submit_batch(&mut self, batch: &Batch) -> Result<BatchResult, AppError> {
         let b = batch.ratios.len();
+        let batch_start = self.clock.now();
 
         // Plate lifecycle: batches are never split across plates — a plate
         // without room for a full batch is swapped (the remainder of its
@@ -306,9 +311,11 @@ impl LabBackend for SimBackend {
         let image_bytes =
             if self.config.publish_images { Some(Bytes::from(image.to_bmp())) } else { None };
 
+        let elapsed = self.clock.now();
         Ok(BatchResult {
             measurements,
-            elapsed: self.clock.now(),
+            elapsed,
+            batch_wall: elapsed - batch_start,
             timing: Some(out.log.to_value()),
             image: image_bytes,
         })

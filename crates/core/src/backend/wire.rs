@@ -97,6 +97,7 @@ pub fn result_to_value(result: &BatchResult) -> Value {
     let mut v = Value::map();
     v.set("measurements", measurements);
     v.set("elapsed_us", result.elapsed.as_micros() as i64);
+    v.set("batch_wall_us", result.batch_wall.as_micros() as i64);
     if let Some(timing) = &result.timing {
         v.set("timing", timing.clone());
     }
@@ -135,6 +136,11 @@ pub fn result_from_value(v: &Value) -> Result<BatchResult, ConfigError> {
     Ok(BatchResult {
         measurements,
         elapsed: SimTime::from_micros(need_u64(v, "elapsed_us")?),
+        // Absent on pre-telemetry workers: a zero wall is the recorded
+        // "unknown" value, matching the old zeroed-telemetry behavior.
+        batch_wall: SimDuration::from_micros(
+            v.opt_i64("batch_wall_us").map(|us| us.max(0) as u64).unwrap_or(0),
+        ),
         timing: v.get("timing").cloned(),
         image,
     })
@@ -265,6 +271,7 @@ mod tests {
                 WellMeasurement { well: WellIndex::new(7, 11), color: Rgb8::new(255, 0, 128) },
             ],
             elapsed: SimTime::from_micros(123_456_789),
+            batch_wall: sdl_desim::SimDuration::from_micros(7_654_321),
             timing: Some({
                 let mut t = Value::map();
                 t.set("workflow", "cp_wf_mixcolor");
@@ -276,8 +283,13 @@ mod tests {
         let back = result_from_value(&from_json(&json).unwrap()).unwrap();
         assert_eq!(back.measurements, result.measurements);
         assert_eq!(back.elapsed, result.elapsed);
+        assert_eq!(back.batch_wall, result.batch_wall);
         assert_eq!(back.timing.unwrap().opt_str("workflow"), Some("cp_wf_mixcolor"));
         assert_eq!(back.image.unwrap().as_ref(), b"BM\x00\x01\xfe\xff");
+        // Pre-telemetry workers omit the wall; decode falls back to zero.
+        let mut v = result_to_value(&result);
+        v.set("batch_wall_us", Value::Null);
+        assert_eq!(result_from_value(&v).unwrap().batch_wall, sdl_desim::SimDuration::ZERO);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use sdl_color::{MixKind, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_desim::{FaultPlan, FaultRates, RngHub};
 use sdl_solvers::SolverKind;
+use sdl_vision::Fidelity;
 
 /// How a scenario exercises the workcell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +151,9 @@ pub struct CampaignConfig {
     pub targets: Vec<Rgb8>,
     /// Mixing-model axis.
     pub mix_models: Vec<MixKind>,
+    /// Camera-fidelity axis (`full` / `fast` / `lowres`), the
+    /// resolution/render-path sweep.
+    pub fidelities: Vec<Fidelity>,
     /// Uniform command-fault-rate axis (reception rate; action = half).
     pub fault_rates: Vec<f64>,
     /// OT-2-count axis (1 = the single-loop app).
@@ -172,6 +176,7 @@ impl CampaignConfig {
             batches: Vec::new(),
             targets: Vec::new(),
             mix_models: Vec::new(),
+            fidelities: Vec::new(),
             fault_rates: Vec::new(),
             n_ot2: Vec::new(),
             backend: BackendSpec::Sim,
@@ -268,6 +273,19 @@ impl CampaignConfig {
                 );
             }
         }
+        if let Some(seq) = axis("fidelities")? {
+            for f in seq {
+                let name = f
+                    .as_str()
+                    .ok_or_else(|| ConfigError("fidelities entries must be names".into()))?;
+                cfg.fidelities.push(Fidelity::parse(name).ok_or_else(|| {
+                    ConfigError(format!(
+                        "unknown fidelity '{name}' (valid: {})",
+                        Fidelity::valid_names()
+                    ))
+                })?);
+            }
+        }
         if let Some(seq) = axis("fault_rates")? {
             for r in seq {
                 let v = r
@@ -299,8 +317,8 @@ impl CampaignConfig {
     }
 
     /// Expand the matrix into concrete scenarios (row-major over the axes in
-    /// declaration order: solver, batch, target, mix model, fault rate,
-    /// OT-2 count, seed).
+    /// declaration order: solver, batch, target, mix model, fidelity,
+    /// fault rate, OT-2 count, seed).
     pub fn scenarios(&self) -> Vec<ScenarioSpec> {
         // An unspecified axis contributes exactly the base value.
         let solvers =
@@ -311,6 +329,11 @@ impl CampaignConfig {
             if self.targets.is_empty() { vec![self.base.target] } else { self.targets.clone() };
         let mixes =
             if self.mix_models.is_empty() { vec![self.base.mix] } else { self.mix_models.clone() };
+        let fidelities = if self.fidelities.is_empty() {
+            vec![self.base.fidelity]
+        } else {
+            self.fidelities.clone()
+        };
         let faults: Vec<Option<f64>> = if self.fault_rates.is_empty() {
             vec![None]
         } else {
@@ -324,41 +347,52 @@ impl CampaignConfig {
             for &batch in &batches {
                 for &target in &targets {
                     for &mix in &mixes {
-                        for &fault in &faults {
-                            for &n in &handlers {
-                                for &seed in &seeds {
-                                    let mut config = self.base.clone();
-                                    config.solver = solver;
-                                    config.batch = batch;
-                                    config.target = target;
-                                    config.mix = mix;
-                                    config.seed = seed;
-                                    if let Some(rate) = fault {
-                                        config.faults =
-                                            FaultPlan::uniform(FaultRates::new(rate, rate / 2.0));
+                        for &fidelity in &fidelities {
+                            for &fault in &faults {
+                                for &n in &handlers {
+                                    for &seed in &seeds {
+                                        let mut config = self.base.clone();
+                                        config.solver = solver;
+                                        config.batch = batch;
+                                        config.target = target;
+                                        config.mix = mix;
+                                        config.fidelity = fidelity;
+                                        config.seed = seed;
+                                        if let Some(rate) = fault {
+                                            config.faults = FaultPlan::uniform(FaultRates::new(
+                                                rate,
+                                                rate / 2.0,
+                                            ));
+                                        }
+                                        let mut label = format!("{}/b{}", solver.name(), batch);
+                                        if targets.len() > 1 {
+                                            label.push_str(&format!("/t{target}"));
+                                        }
+                                        if mixes.len() > 1 {
+                                            label.push_str(&format!("/{}", mix.name()));
+                                        }
+                                        if fidelities.len() > 1 {
+                                            label.push_str(&format!("/{fidelity}"));
+                                        }
+                                        if let Some(rate) = fault {
+                                            label.push_str(&format!("/f{rate}"));
+                                        }
+                                        if handlers.len() > 1 || n > 1 {
+                                            label.push_str(&format!("/ot2x{n}"));
+                                        }
+                                        label.push_str(&format!("/s{seed}"));
+                                        let mode = if n == 1 {
+                                            RunMode::Single
+                                        } else {
+                                            RunMode::MultiOt2(n)
+                                        };
+                                        out.push(ScenarioSpec {
+                                            label,
+                                            config,
+                                            mode,
+                                            backend: self.backend.clone(),
+                                        });
                                     }
-                                    let mut label = format!("{}/b{}", solver.name(), batch);
-                                    if targets.len() > 1 {
-                                        label.push_str(&format!("/t{target}"));
-                                    }
-                                    if mixes.len() > 1 {
-                                        label.push_str(&format!("/{}", mix.name()));
-                                    }
-                                    if let Some(rate) = fault {
-                                        label.push_str(&format!("/f{rate}"));
-                                    }
-                                    if handlers.len() > 1 || n > 1 {
-                                        label.push_str(&format!("/ot2x{n}"));
-                                    }
-                                    label.push_str(&format!("/s{seed}"));
-                                    let mode =
-                                        if n == 1 { RunMode::Single } else { RunMode::MultiOt2(n) };
-                                    out.push(ScenarioSpec {
-                                        label,
-                                        config,
-                                        mode,
-                                        backend: self.backend.clone(),
-                                    });
                                 }
                             }
                         }
@@ -432,6 +466,30 @@ mod tests {
         ] {
             assert!(CampaignConfig::from_yaml(doc).is_err(), "accepted scalar axis: {doc}");
         }
+    }
+
+    #[test]
+    fn fidelity_axis_expands_and_roundtrips() {
+        let cfg = CampaignConfig::from_yaml(
+            "name: fid\nsamples: 8\nfidelities: [full, fast, lowres]\nseeds: [1, 2]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.fidelities, vec![Fidelity::Full, Fidelity::Fast, Fidelity::Lowres]);
+        let scenarios = cfg.scenarios();
+        assert_eq!(scenarios.len(), 6);
+        for f in Fidelity::ALL {
+            assert_eq!(scenarios.iter().filter(|s| s.config.fidelity == f).count(), 2);
+            assert!(scenarios.iter().any(|s| s.label.contains(f.name())), "label axis tag");
+        }
+        // Scenario specs carry the profile through the conf round trip.
+        let back = ScenarioSpec::from_value(&scenarios[0].to_value()).unwrap();
+        assert_eq!(back.config.fidelity, scenarios[0].config.fidelity);
+        // Bad names are rejected, scalars too.
+        assert!(CampaignConfig::from_yaml("fidelities: [hd]\n").is_err());
+        assert!(CampaignConfig::from_yaml("fidelities: fast\n").is_err());
+        // The base `fidelity:` key seeds an unlisted axis.
+        let cfg = CampaignConfig::from_yaml("fidelity: lowres\nbatches: [1, 2]\n").unwrap();
+        assert!(cfg.scenarios().iter().all(|s| s.config.fidelity == Fidelity::Lowres));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use sdl_color::{DeltaE, DyeSet, MixKind, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_desim::{FaultPlan, FaultRates};
 use sdl_solvers::SolverKind;
+use sdl_vision::Fidelity;
 use sdl_wei::RPL_WORKCELL_YAML;
 use std::fmt;
 
@@ -50,6 +51,11 @@ pub struct AppConfig {
     pub faults: FaultPlan,
     /// Enable the detector's flat-field correction (off on the paper's rig).
     pub flat_field: bool,
+    /// Camera fidelity profile for simulated measurement (`full` = frozen
+    /// reference renderer, `fast` = counter-based default, `lowres` =
+    /// counter-based at half resolution). Cameras whose workcell document
+    /// pins an explicit `fidelity` keep it.
+    pub fidelity: Fidelity,
 }
 
 impl Default for AppConfig {
@@ -73,6 +79,7 @@ impl Default for AppConfig {
             compute_seconds: 2.0,
             faults: FaultPlan::none(),
             flat_field: false,
+            fidelity: Fidelity::default(),
         }
     }
 }
@@ -203,6 +210,11 @@ impl AppConfig {
         if let Some(v) = doc.opt_bool("flat_field") {
             cfg.flat_field = v;
         }
+        if let Some(v) = doc.opt_str("fidelity") {
+            cfg.fidelity = Fidelity::parse(v).ok_or_else(|| {
+                ConfigError(format!("unknown fidelity '{v}' (valid: {})", Fidelity::valid_names()))
+            })?;
+        }
         if let Some(v) = doc.opt_str("dyes") {
             cfg.dyes = match v {
                 "cmyk" => DyeSet::cmyk(),
@@ -250,6 +262,7 @@ impl AppConfig {
         v.set("publish_images", self.publish_images);
         v.set("compute_seconds", self.compute_seconds);
         v.set("flat_field", self.flat_field);
+        v.set("fidelity", self.fidelity.name());
         match self.dyes.len() {
             3 => v.set("dyes", "cmy"),
             _ => v.set("dyes", "cmyk"),

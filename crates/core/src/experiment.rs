@@ -251,6 +251,7 @@ impl Experiment {
                     score,
                     best_so_far: best,
                     elapsed_s: result.elapsed.as_secs_f64(),
+                    batch_wall_s: Some(result.batch_wall.as_secs_f64()),
                     image_ref: None,
                 }
                 .to_value();

@@ -84,7 +84,8 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
     assert!(n_ot2 >= 1);
     let hub = RngHub::new(base.seed);
     let yaml = multi_ot2_workcell_yaml(n_ot2);
-    let cell_cfg = WorkcellConfig::from_yaml(&yaml)?;
+    let mut cell_cfg = WorkcellConfig::from_yaml(&yaml)?;
+    cell_cfg.default_camera_fidelity(base.fidelity.name());
     let cell = Workcell::instantiate(cell_cfg, base.dyes.clone(), base.mix)?;
     let engine = Engine::new(cell, hub).with_faults(base.faults.clone());
 

@@ -299,6 +299,7 @@ mod tests {
                     score: 30.0 / i as f64,
                     best_so_far: 30.0 / i as f64,
                     elapsed_s: i as f64 * 228.0,
+                    batch_wall_s: None,
                     image_ref: Some(blob.0.clone()),
                 }
                 .to_value(),
@@ -355,6 +356,7 @@ mod tests {
                     score: 30.0 / i as f64,
                     best_so_far: 30.0 / i as f64,
                     elapsed_s: i as f64 * 228.0,
+                    batch_wall_s: None,
                     image_ref: Some("blob:0011aabb".into()),
                 }
                 .to_value(),

@@ -270,6 +270,7 @@ mod tests {
                         score: 30.0 - sample as f64 / 10.0,
                         best_so_far: 30.0 - sample as f64 / 10.0,
                         elapsed_s: sample as f64 * 228.0,
+                        batch_wall_s: None,
                         image_ref: None,
                     }
                     .to_value(),

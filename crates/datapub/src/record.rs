@@ -33,6 +33,11 @@ pub struct SampleRecord {
     pub best_so_far: f64,
     /// Elapsed experiment time at measurement, seconds.
     pub elapsed_s: f64,
+    /// Wall-clock duration of the batch that produced this sample, on the
+    /// lab's clock (`None` on records published before this telemetry
+    /// existed). Lets replayed runs reconstruct real per-batch durations
+    /// instead of zeroed placeholders.
+    pub batch_wall_s: Option<f64>,
     /// Blob reference of the plate image this sample was read from.
     pub image_ref: Option<String>,
 }
@@ -56,6 +61,9 @@ impl SampleRecord {
         v.set("score", self.score);
         v.set("best_so_far", self.best_so_far);
         v.set("elapsed_s", self.elapsed_s);
+        if let Some(wall) = self.batch_wall_s {
+            v.set("batch_wall_s", wall);
+        }
         match &self.image_ref {
             Some(r) => v.set("image_ref", r.as_str()),
             None => v.set("image_ref", Value::Null),
@@ -94,6 +102,7 @@ impl SampleRecord {
             score: v.opt_f64("score")?,
             best_so_far: v.opt_f64("best_so_far")?,
             elapsed_s: v.opt_f64("elapsed_s")?,
+            batch_wall_s: v.opt_f64("batch_wall_s"),
             image_ref: v.opt_str("image_ref").map(str::to_string),
         })
     }
@@ -152,6 +161,7 @@ mod tests {
             score: 2.45,
             best_so_far: 2.45,
             elapsed_s: 28_375.5,
+            batch_wall_s: None,
             image_ref: Some("blob:ab12cd".into()),
         }
     }

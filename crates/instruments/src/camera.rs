@@ -13,7 +13,7 @@ use crate::module::{
 use crate::timing::TimingModel;
 use crate::world::World;
 use rand::rngs::StdRng;
-use sdl_vision::{render_into, ImageRgb8, Lighting, PlateScene, Pose};
+use sdl_vision::{render_into, CameraGeometry, ImageRgb8, Lighting, PlateScene, Pose};
 use std::sync::Arc;
 
 /// Camera simulator.
@@ -25,6 +25,9 @@ pub struct CameraSim {
     nest_slot: String,
     /// Lighting model for rendered frames.
     pub lighting: Lighting,
+    /// Geometry (resolution, magnification) and fidelity profile of the
+    /// frames this camera captures.
+    pub camera: CameraGeometry,
     /// Maximum per-frame translation jitter, px.
     pub max_shift_px: f64,
     /// Maximum per-frame rotation jitter, degrees.
@@ -47,6 +50,7 @@ impl CameraSim {
             state: ModuleState::Idle,
             nest_slot: nest_slot.into(),
             lighting: Lighting::default(),
+            camera: CameraGeometry::default(),
             max_shift_px: 5.0,
             max_rot_deg: 1.0,
             marker_id: 0,
@@ -113,6 +117,7 @@ impl Instrument for CameraSim {
                 let mut scene = PlateScene::empty_plate();
                 scene.marker_id = self.marker_id;
                 scene.lighting = self.lighting.clone();
+                scene.camera = self.camera.clone();
                 scene.pose = Pose::jittered(rng, self.max_shift_px, self.max_rot_deg);
 
                 let plate = world.plate(plate_id)?.clone();

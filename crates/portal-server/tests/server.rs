@@ -42,6 +42,7 @@ fn seeded() -> (Arc<AcdcPortal>, Arc<BlobStore>, String) {
                     score: 30.0 - sample as f64 / 10.0,
                     best_so_far: 30.0 - sample as f64 / 10.0,
                     elapsed_s: sample as f64 * 228.0,
+                    batch_wall_s: None,
                     image_ref: Some(blob.0.clone()),
                 }
                 .to_value(),

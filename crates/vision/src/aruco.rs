@@ -149,7 +149,7 @@ impl Default for ArucoParams {
 #[derive(Debug, Clone, Default)]
 pub struct ArucoScratch {
     visited: Vec<bool>,
-    queue: Vec<(usize, usize)>,
+    spans: Vec<(usize, usize, usize)>,
 }
 
 /// Find markers in the frame. Returns detections sorted by component size
@@ -174,7 +174,7 @@ pub fn detect_markers_with(
     let visited = &mut scratch.visited;
     visited.clear();
     visited.resize(w * h, false);
-    let queue = &mut scratch.queue;
+    let spans = &mut scratch.spans;
     let mut detections = Vec::new();
 
     for sy in 0..h {
@@ -182,27 +182,58 @@ pub fn detect_markers_with(
             if visited[sy * w + sx] || !is_black(sx, sy) {
                 continue;
             }
-            // BFS over the black component.
-            queue.clear();
-            queue.push((sx, sy));
-            visited[sy * w + sx] = true;
+            // Scanline flood fill over the black component: claim maximal
+            // horizontal runs and enqueue one span per run instead of one
+            // queue entry per pixel (the dark bench is one huge component,
+            // so this is the detector's scan cost). The component — and
+            // hence area and bounding box — is identical to a per-pixel
+            // BFS; only the traversal order differs, which nothing
+            // downstream observes.
+            spans.clear();
             let (mut minx, mut maxx, mut miny, mut maxy) = (sx, sx, sy, sy);
             let mut area = 0usize;
+            let claim_span = |x: usize, y: usize, visited: &mut Vec<bool>| {
+                let row = y * w;
+                let mut xl = x;
+                while xl > 0 && !visited[row + xl - 1] && is_black(xl - 1, y) {
+                    xl -= 1;
+                }
+                let mut xr = x;
+                while xr + 1 < w && !visited[row + xr + 1] && is_black(xr + 1, y) {
+                    xr += 1;
+                }
+                for v in &mut visited[row + xl..=row + xr] {
+                    *v = true;
+                }
+                (xl, xr)
+            };
+            let (xl, xr) = claim_span(sx, sy, visited);
+            area += xr - xl + 1;
+            minx = minx.min(xl);
+            maxx = maxx.max(xr);
+            spans.push((xl, xr, sy));
             let mut qi = 0;
-            while qi < queue.len() {
-                let (x, y) = queue[qi];
+            while qi < spans.len() {
+                let (xl, xr, y) = spans[qi];
                 qi += 1;
-                area += 1;
-                minx = minx.min(x);
-                maxx = maxx.max(x);
-                miny = miny.min(y);
-                maxy = maxy.max(y);
-                let neighbors =
-                    [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)];
-                for (nx, ny) in neighbors {
-                    if nx < w && ny < h && !visited[ny * w + nx] && is_black(nx, ny) {
-                        visited[ny * w + nx] = true;
-                        queue.push((nx, ny));
+                for ny in [y.wrapping_sub(1), y + 1] {
+                    if ny >= h {
+                        continue;
+                    }
+                    let mut x = xl;
+                    while x <= xr {
+                        if !visited[ny * w + x] && is_black(x, ny) {
+                            let (nl, nr) = claim_span(x, ny, visited);
+                            area += nr - nl + 1;
+                            minx = minx.min(nl);
+                            maxx = maxx.max(nr);
+                            miny = miny.min(ny);
+                            maxy = maxy.max(ny);
+                            spans.push((nl, nr, ny));
+                            x = nr + 1;
+                        } else {
+                            x += 1;
+                        }
                     }
                 }
             }

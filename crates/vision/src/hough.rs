@@ -59,6 +59,7 @@ impl Default for HoughParams {
 #[derive(Debug, Clone, Default)]
 pub struct HoughScratch {
     acc: Vec<u32>,
+    hsum: Vec<u32>,
     pooled: Vec<u32>,
     peaks: Vec<(u32, usize, usize)>,
     radii: Vec<f64>,
@@ -81,7 +82,6 @@ pub fn hough_circles_with(
     let w = img.width();
     let h = img.height();
     assert_eq!(luma.len(), w * h, "luma plane must match the frame");
-    let at = |x: usize, y: usize| luma[y * w + x] as f64;
 
     // Accumulate votes over all radii into one plane; radius resolution is
     // not needed because the wells share a known radius band.
@@ -99,23 +99,53 @@ pub fn hough_circles_with(
         }
     }
 
+    // The Sobel taps are small integers (exact in f64), so the historical
+    // float filter can run in integer registers as long as the threshold
+    // decision stays the *exact* float predicate `sqrt(gx²+gy²)/4 < t`.
+    // Precompute the smallest squared magnitude that passes it; the hot
+    // loop then compares integers and only touches floats on real edges.
+    let s_cut = {
+        let passes = |s: i32| (s as f64).sqrt() / 4.0 >= params.gradient_threshold;
+        const S_MAX: i32 = 2 * 1020 * 1020; // both gradients saturated
+        if passes(0) {
+            0
+        } else if !passes(S_MAX) {
+            S_MAX + 1 // nothing can pass
+        } else {
+            let (mut lo, mut hi) = (0i32, S_MAX); // lo fails, hi passes
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if passes(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        }
+    };
+
     for y in 1..h - 1 {
+        let above = &luma[(y - 1) * w..y * w];
+        let row = &luma[y * w..(y + 1) * w];
+        let below = &luma[(y + 1) * w..(y + 2) * w];
         for x in 1..w - 1 {
-            // Sobel.
-            let gx = -at(x - 1, y - 1) - 2.0 * at(x - 1, y) - at(x - 1, y + 1)
-                + at(x + 1, y - 1)
-                + 2.0 * at(x + 1, y)
-                + at(x + 1, y + 1);
-            let gy = -at(x - 1, y - 1) - 2.0 * at(x, y - 1) - at(x + 1, y - 1)
-                + at(x - 1, y + 1)
-                + 2.0 * at(x, y + 1)
-                + at(x + 1, y + 1);
-            let mag = (gx * gx + gy * gy).sqrt() / 4.0;
-            if mag < params.gradient_threshold {
+            // Sobel, in integer registers (bit-identical to the f64 taps).
+            let (a, b, c) = (above[x - 1] as i32, above[x] as i32, above[x + 1] as i32);
+            let (d, e) = (row[x - 1] as i32, row[x + 1] as i32);
+            let (f, g, k) = (below[x - 1] as i32, below[x] as i32, below[x + 1] as i32);
+            let gx = c + 2 * e + k - a - 2 * d - f;
+            let gy = f + 2 * g + k - a - 2 * b - c;
+            let s = gx * gx + gy * gy;
+            if s < s_cut {
                 continue;
             }
-            let ux = gx / (mag * 4.0);
-            let uy = gy / (mag * 4.0);
+            // `mag * 4.0` of the float formulation is exactly `sqrt(s)`
+            // (the /4 and *4 only move the exponent), so the vote geometry
+            // below is unchanged bit for bit.
+            let sqrt_s = (s as f64).sqrt();
+            let ux = gx as f64 / sqrt_s;
+            let uy = gy as f64 / sqrt_s;
             // Vote on both sides of the edge (dark–light polarity varies
             // between liquid/wall and wall/plate transitions).
             for &r in radii.iter() {
@@ -131,18 +161,28 @@ pub fn hough_circles_with(
     }
 
     // Blur the accumulator lightly (3×3 box) so near-miss votes pool.
+    // Separable two-pass form: horizontal run sums, then vertical — u32
+    // adds are exact in any association, so the pooled plane is identical
+    // to the direct 9-tap window.
+    let hsum = &mut scratch.hsum;
+    hsum.clear();
+    hsum.resize(w * h, 0);
+    for y in 0..h {
+        let row = &acc[y * w..(y + 1) * w];
+        let out = &mut hsum[y * w..(y + 1) * w];
+        for x in 1..w - 1 {
+            out[x] = row[x - 1] + row[x] + row[x + 1];
+        }
+    }
     let pooled = &mut scratch.pooled;
     pooled.clear();
     pooled.resize(w * h, 0);
     for y in 1..h - 1 {
+        let (above, row, below) =
+            (&hsum[(y - 1) * w..y * w], &hsum[y * w..(y + 1) * w], &hsum[(y + 1) * w..(y + 2) * w]);
+        let out = &mut pooled[y * w..(y + 1) * w];
         for x in 1..w - 1 {
-            let mut s = 0u32;
-            for dy in 0..3 {
-                for dx in 0..3 {
-                    s += acc[(y + dy - 1) * w + (x + dx - 1)];
-                }
-            }
-            pooled[y * w + x] = s;
+            out[x] = above[x] + row[x] + below[x];
         }
     }
 

@@ -55,6 +55,12 @@ impl ImageRgb8 {
         &self.data
     }
 
+    /// Mutable raw interleaved RGB bytes (the renderer's tile workers
+    /// write row slices of this directly).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     #[inline]
     fn offset(&self, x: usize, y: usize) -> usize {
         (y * self.width + x) * 3
@@ -104,15 +110,17 @@ impl ImageRgb8 {
         out
     }
 
-    /// Full grayscale plane into a reusable buffer (cleared first).
+    /// Full grayscale plane into a reusable buffer (cleared first). One
+    /// vectorizable pass over the interleaved bytes — same weights as
+    /// [`ImageRgb8::luma`], bit for bit.
     pub fn luma_into(&self, out: &mut Vec<u8>) {
         out.clear();
         out.reserve(self.width * self.height);
-        for y in 0..self.height {
-            for x in 0..self.width {
-                out.push(self.luma(x, y));
-            }
-        }
+        out.extend(
+            self.data
+                .chunks_exact(3)
+                .map(|p| ((77 * p[0] as u32 + 150 * p[1] as u32 + 29 * p[2] as u32) >> 8) as u8),
+        );
     }
 
     /// Mean color over a disk of radius `r` centered at (cx, cy); returns

@@ -71,6 +71,58 @@ impl Default for MarkerLayout {
     }
 }
 
+/// Camera fidelity profile: the single axis DriveNetBench-style sweeps
+/// tune to trade simulated-measurement cost against image fidelity.
+///
+/// * [`Fidelity::Full`] — the frozen pre-optimization renderer (sequential
+///   RNG, libm transfer curve) at native resolution: bit-identical to the
+///   historical measurement path, and the slowest.
+/// * [`Fidelity::Fast`] — the counter-based noise field at native
+///   resolution (the default): statistically equivalent frames, order- and
+///   tile-independent, several times cheaper.
+/// * [`Fidelity::Lowres`] — the counter-based path at half resolution
+///   (320×240): cheapest; detector accuracy degrades gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Frozen reference renderer, native resolution.
+    Full,
+    /// Counter-based renderer, native resolution.
+    #[default]
+    Fast,
+    /// Counter-based renderer, half resolution.
+    Lowres,
+}
+
+impl Fidelity {
+    /// Every profile, in decreasing fidelity order.
+    pub const ALL: [Fidelity; 3] = [Fidelity::Full, Fidelity::Fast, Fidelity::Lowres];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Full => "full",
+            Fidelity::Fast => "fast",
+            Fidelity::Lowres => "lowres",
+        }
+    }
+
+    /// Parse a profile name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Fidelity> {
+        Fidelity::ALL.into_iter().find(|f| f.name().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// The valid names, for error messages.
+    pub fn valid_names() -> String {
+        Fidelity::ALL.map(Fidelity::name).join(", ")
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Nominal camera geometry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CameraGeometry {
@@ -83,11 +135,40 @@ pub struct CameraGeometry {
     /// Scene point (mm, in plate-local coordinates) projected to the frame
     /// center when the pose is unjittered.
     pub look_at_mm: (f64, f64),
+    /// Which render path (and resolution class) produces this camera's
+    /// frames.
+    pub fidelity: Fidelity,
 }
 
 impl Default for CameraGeometry {
     fn default() -> Self {
-        CameraGeometry { width_px: 640, height_px: 480, px_per_mm: 3.4, look_at_mm: (50.0, 43.0) }
+        CameraGeometry {
+            width_px: 640,
+            height_px: 480,
+            px_per_mm: 3.4,
+            look_at_mm: (50.0, 43.0),
+            fidelity: Fidelity::Fast,
+        }
+    }
+}
+
+impl CameraGeometry {
+    /// The geometry a fidelity profile implies: `full` and `fast` image at
+    /// the native 640×480, `lowres` halves both resolution and
+    /// magnification (the same scene footprint on a quarter of the
+    /// pixels).
+    pub fn for_fidelity(fidelity: Fidelity) -> CameraGeometry {
+        let base = CameraGeometry::default();
+        match fidelity {
+            Fidelity::Full | Fidelity::Fast => CameraGeometry { fidelity, ..base },
+            Fidelity::Lowres => CameraGeometry {
+                width_px: base.width_px / 2,
+                height_px: base.height_px / 2,
+                px_per_mm: base.px_per_mm / 2.0,
+                fidelity,
+                ..base
+            },
+        }
     }
 }
 
@@ -106,6 +187,27 @@ mod tests {
         assert!((y - (11.24 + 63.0)).abs() < 1e-9);
         // H12 stays inside the plate footprint.
         assert!(x < p.width_mm && y < p.height_mm);
+    }
+
+    #[test]
+    fn fidelity_parses_and_maps_to_geometry() {
+        assert_eq!(Fidelity::parse("full"), Some(Fidelity::Full));
+        assert_eq!(Fidelity::parse(" FAST "), Some(Fidelity::Fast));
+        assert_eq!(Fidelity::parse("LowRes"), Some(Fidelity::Lowres));
+        assert_eq!(Fidelity::parse("hd"), None);
+        assert_eq!(Fidelity::default(), Fidelity::Fast);
+        for f in Fidelity::ALL {
+            assert_eq!(Fidelity::parse(f.name()), Some(f));
+            assert!(Fidelity::valid_names().contains(f.name()));
+        }
+        let full = CameraGeometry::for_fidelity(Fidelity::Full);
+        assert_eq!((full.width_px, full.height_px), (640, 480));
+        assert_eq!(full.fidelity, Fidelity::Full);
+        let low = CameraGeometry::for_fidelity(Fidelity::Lowres);
+        assert_eq!((low.width_px, low.height_px), (320, 240));
+        assert_eq!(low.px_per_mm, 1.7);
+        // Same field of view: the scene footprint in mm is unchanged.
+        assert_eq!(low.width_px as f64 / low.px_per_mm, full.width_px as f64 / full.px_per_mm);
     }
 
     #[test]

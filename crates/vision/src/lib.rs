@@ -23,11 +23,13 @@
 
 pub mod aruco;
 pub mod draw;
+mod fastmath;
 mod grid;
 mod hough;
 mod image;
 mod layout;
 mod pipeline;
+mod reference;
 mod render;
 
 pub use aruco::{
@@ -36,8 +38,11 @@ pub use aruco::{
 pub use grid::{fit_grid, GridFit, GridModel};
 pub use hough::{hough_circles, hough_circles_with, Circle, HoughParams, HoughScratch};
 pub use image::ImageRgb8;
-pub use layout::{CameraGeometry, MarkerLayout, PlateLayout};
+pub use layout::{CameraGeometry, Fidelity, MarkerLayout, PlateLayout};
 pub use pipeline::{
     Detector, DetectorParams, DetectorScratch, PlateReading, VisionError, WellReading,
 };
-pub use render::{render, render_into, Lighting, PlateScene, Pose, PLATE_BODY_REFLECTANCE};
+pub use reference::{render_reference, render_reference_into};
+pub use render::{
+    render, render_into, render_tiled, Lighting, PlateScene, Pose, PLATE_BODY_REFLECTANCE,
+};

@@ -4,26 +4,34 @@
 //! microplate on a dark bench next to an ArUco marker on white backing,
 //! with ring-light vignetting, sensor noise and small pose jitter. The
 //! detection pipeline (§2.4) runs unchanged on these frames.
+//!
+//! # Two render paths
+//!
+//! The default path ([`Fidelity::Fast`] / [`Fidelity::Lowres`]) derives
+//! each pixel's Gaussian noise from `(frame_seed, pixel, channel)` through
+//! a counter-based splitmix hash ([`rand::counter`]) instead of one
+//! sequential RNG stream. Rendering is therefore embarrassingly parallel:
+//! [`render_tiled`] splits the frame into row tiles and produces
+//! bit-identical bytes at any tile size and thread count. The per-pixel
+//! costs of the old path are gone too — both Box–Muller variates of each
+//! uniform pair are consumed, the sRGB encode goes through the
+//! [`SrgbQuantizer`] cutpoint table instead of `powf`, and marker/well
+//! geometry is hoisted into a per-scene [`SceneIndex`] so the inner loop
+//! stops re-testing rectangles.
+//!
+//! The frozen pre-optimization path ([`Fidelity::Full`]) lives in
+//! [`crate::reference`] and remains bit-identical to the historical
+//! renderer; [`render`] dispatches on [`CameraGeometry::fidelity`].
 
 use crate::aruco::cell_is_white;
+use crate::fastmath::{fast_ln, fast_sincos_2pi};
 use crate::image::ImageRgb8;
-use crate::layout::{CameraGeometry, MarkerLayout, PlateLayout};
+use crate::layout::{CameraGeometry, Fidelity, MarkerLayout, PlateLayout};
+use crate::reference::render_reference_into;
+use rand::counter::{hash, unit_f64, unit_f64_open0};
 use rand::Rng;
-use rand_distr_normal::sample_normal;
-use sdl_color::{linear_to_srgb, LinRgb, Rgb8};
-
-/// Minimal normal sampler (Box–Muller) so we do not need an extra crate.
-mod rand_distr_normal {
-    use rand::Rng;
-
-    /// One standard-normal draw.
-    pub fn sample_normal(rng: &mut impl Rng) -> f64 {
-        // Box–Muller; u1 in (0,1] to avoid ln(0).
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    }
-}
+use sdl_color::{LinRgb, Rgb8, SrgbQuantizer};
+use std::sync::OnceLock;
 
 /// Camera pose jitter for one frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,21 +118,51 @@ impl PlateScene {
 }
 
 // Scene material colors, in linear light.
-const BENCH: LinRgb = LinRgb::new(0.022, 0.023, 0.025);
+pub(crate) const BENCH: LinRgb = LinRgb::new(0.022, 0.023, 0.025);
 /// Reflectance of the plate body material — rig knowledge usable as a
 /// white-balance reference by the detector's flat-field correction.
 pub const PLATE_BODY_REFLECTANCE: LinRgb = LinRgb::new(0.62, 0.62, 0.64);
-const PLATE_BODY: LinRgb = PLATE_BODY_REFLECTANCE;
-const EMPTY_WELL: LinRgb = LinRgb::new(0.75, 0.75, 0.76);
-const WELL_WALL: LinRgb = LinRgb::new(0.045, 0.045, 0.048);
-const MARKER_WHITE: LinRgb = LinRgb::new(0.92, 0.92, 0.92);
-const MARKER_BLACK: LinRgb = LinRgb::new(0.012, 0.012, 0.012);
+pub(crate) const PLATE_BODY: LinRgb = PLATE_BODY_REFLECTANCE;
+pub(crate) const EMPTY_WELL: LinRgb = LinRgb::new(0.75, 0.75, 0.76);
+pub(crate) const WELL_WALL: LinRgb = LinRgb::new(0.045, 0.045, 0.048);
+pub(crate) const MARKER_WHITE: LinRgb = LinRgb::new(0.92, 0.92, 0.92);
+pub(crate) const MARKER_BLACK: LinRgb = LinRgb::new(0.012, 0.012, 0.012);
 
 /// Width of the dark rim drawn around *filled* wells, mm. Empty wells get no
 /// rim, which is what makes HoughCircles prone to false negatives on them.
-const WALL_MM: f64 = 0.7;
+pub(crate) const WALL_MM: f64 = 0.7;
+
+/// Default row-tile height for the counter-based path: tall enough to
+/// amortize dispatch, short enough to load-balance across a worker pool.
+const DEFAULT_TILE_ROWS: usize = 32;
+
+/// The process-wide sRGB cutpoint table (built once, ~16 µs).
+fn quantizer() -> &'static SrgbQuantizer {
+    static Q: OnceLock<SrgbQuantizer> = OnceLock::new();
+    Q.get_or_init(SrgbQuantizer::new)
+}
+
+/// Worker threads the default render entry points use for tiling: the
+/// `SDL_RENDER_THREADS` environment variable, else 1. Campaign workers
+/// already saturate the cores with whole scenarios, so intra-frame
+/// parallelism is opt-in; frames are bit-identical at any setting.
+fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("SDL_RENDER_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
 
 /// Render the scene to an 8-bit frame.
+///
+/// Dispatches on [`CameraGeometry::fidelity`]: `full` runs the frozen
+/// sequential reference path (consuming `rng` exactly as the historical
+/// renderer did); `fast`/`lowres` draw one `frame_seed` word from `rng`
+/// and evaluate the counter-based noise field.
 pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
     let mut img = ImageRgb8::new(scene.camera.width_px, scene.camera.height_px, Rgb8::default());
     render_into(scene, rng, &mut img);
@@ -136,115 +174,289 @@ pub fn render(scene: &PlateScene, rng: &mut impl Rng) -> ImageRgb8 {
 /// overwritten and the RNG is consumed identically, so the frame is
 /// bit-identical to a freshly allocated render.
 pub fn render_into(scene: &PlateScene, rng: &mut impl Rng, img: &mut ImageRgb8) {
-    let cam = &scene.camera;
-    let w = cam.width_px;
-    let h = cam.height_px;
+    match scene.camera.fidelity {
+        Fidelity::Full => render_reference_into(scene, rng, img),
+        Fidelity::Fast | Fidelity::Lowres => {
+            let frame_seed = rng.next_u64();
+            render_tiled(scene, frame_seed, img, DEFAULT_TILE_ROWS, configured_threads());
+        }
+    }
+}
+
+/// The counter-based render path with explicit tiling: split the frame
+/// into `tile_rows`-row tiles and render them across `threads` workers.
+///
+/// The output is a pure function of `(scene, frame_seed)` — **bit-identical
+/// for every `tile_rows` ≥ 1 and `threads` ≥ 1** — because each pixel's
+/// noise comes from the order-independent counter field, not from a shared
+/// sequential stream. This is the property the tile/order-independence
+/// suite pins.
+pub fn render_tiled(
+    scene: &PlateScene,
+    frame_seed: u64,
+    img: &mut ImageRgb8,
+    tile_rows: usize,
+    threads: usize,
+) {
+    let w = scene.camera.width_px;
+    let h = scene.camera.height_px;
     if img.width() != w || img.height() != h {
         img.reset(w, h, Rgb8::default());
     }
+    let tile_rows = tile_rows.max(1);
+    let index = SceneIndex::new(scene);
+    let quant = quantizer();
+
+    let tile_bytes = tile_rows * w * 3;
+    if threads <= 1 || h <= tile_rows {
+        for (t, tile) in img.bytes_mut().chunks_mut(tile_bytes).enumerate() {
+            render_rows(scene, &index, quant, frame_seed, t * tile_rows, tile);
+        }
+        return;
+    }
+
+    // Deal tiles round-robin onto the workers: consecutive tiles land on
+    // different threads, which load-balances the (slightly) cheaper bench
+    // rows at the frame edges.
+    let mut buckets: Vec<Vec<(usize, &mut [u8])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (t, tile) in img.bytes_mut().chunks_mut(tile_bytes).enumerate() {
+        buckets[t % threads].push((t, tile));
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            let index = &index;
+            scope.spawn(move || {
+                for (t, tile) in bucket {
+                    render_rows(scene, index, quant, frame_seed, t * tile_rows, tile);
+                }
+            });
+        }
+    });
+}
+
+/// Render rows `[row0, row0 + rows)` of the frame into `out` (the tile's
+/// interleaved RGB bytes; its length determines the row count).
+fn render_rows(
+    scene: &PlateScene,
+    index: &SceneIndex,
+    quant: &SrgbQuantizer,
+    frame_seed: u64,
+    row0: usize,
+    out: &mut [u8],
+) {
+    let cam = &scene.camera;
+    let w = cam.width_px;
+    let h = cam.height_px;
+    debug_assert_eq!(out.len() % (w * 3), 0);
+
     let cx = w as f64 / 2.0 + scene.pose.dx_px;
     let cy = h as f64 / 2.0 + scene.pose.dy_px;
-    let s = cam.px_per_mm;
+    let inv_s = 1.0 / cam.px_per_mm;
     let theta = scene.pose.rot_deg.to_radians();
     let (sin_t, cos_t) = theta.sin_cos();
+    // Walking one pixel right moves the scene point by a fixed mm step.
+    let step_x = cos_t * inv_s;
+    let step_y = -sin_t * inv_s;
     let corner_d2 = {
         let dx = w as f64 / 2.0;
         let dy = h as f64 / 2.0;
         dx * dx + dy * dy
     };
+    let sigma = scene.lighting.noise_sigma;
+    // Vignette gain as a row-constant minus a pure rx² term.
+    let vig_b = scene.lighting.gain * scene.lighting.vignette / corner_d2;
 
-    for py in 0..h {
-        for px in 0..w {
-            // Inverse map pixel -> scene mm (rotate then unscale).
-            let rx = px as f64 + 0.5 - cx;
-            let ry = py as f64 + 0.5 - cy;
-            let mm_x = (rx * cos_t + ry * sin_t) / s + cam.look_at_mm.0;
-            let mm_y = (-rx * sin_t + ry * cos_t) / s + cam.look_at_mm.1;
-            let base = material_at(scene, mm_x, mm_y);
+    // Noise indexing: channel `c` of pixel `(px, py)` consumes standard
+    // normal `3·px + c` of row `py`; Box–Muller pair `j` of a row yields
+    // normals `2j` and `2j + 1` (both variates used), and rows advance the
+    // global pair counter by a fixed stride. Rows are never split across
+    // tiles, so every tile can evaluate its rows' pairs independently.
+    let pairs_per_row = (3 * w).div_ceil(2);
+    let chunks_per_row = pairs_per_row.div_ceil(NOISE_CHUNK);
+    let mut z = vec![0.0f64; chunks_per_row * NOISE_CHUNK * 2];
 
-            // Ring-light vignette (quadratic falloff from frame center).
-            let d2 = rx * rx + ry * ry;
-            let gain = scene.lighting.gain * (1.0 - scene.lighting.vignette * d2 / corner_d2);
-
-            let noisy = LinRgb::new(
-                base.r * gain + scene.lighting.noise_sigma * sample_normal(rng),
-                base.g * gain + scene.lighting.noise_sigma * sample_normal(rng),
-                base.b * gain + scene.lighting.noise_sigma * sample_normal(rng),
-            )
-            .clamped();
-            img.put(
-                px as i64,
-                py as i64,
-                Rgb8::new(
-                    (linear_to_srgb(noisy.r) * 255.0).round() as u8,
-                    (linear_to_srgb(noisy.g) * 255.0).round() as u8,
-                    (linear_to_srgb(noisy.b) * 255.0).round() as u8,
-                ),
+    for (r, row_bytes) in out.chunks_exact_mut(w * 3).enumerate() {
+        let py = row0 + r;
+        let row_base = py as u64 * pairs_per_row as u64;
+        for (ci, chunk) in z.chunks_exact_mut(NOISE_CHUNK * 2).enumerate() {
+            noise_chunk(
+                frame_seed,
+                row_base + (ci * NOISE_CHUNK) as u64,
+                chunk.try_into().expect("chunk size"),
             );
+        }
+
+        let ry = py as f64 + 0.5 - cy;
+        let rx0 = 0.5 - cx;
+        let mut mm_x = (rx0 * cos_t + ry * sin_t) * inv_s + cam.look_at_mm.0;
+        let mut mm_y = (-rx0 * sin_t + ry * cos_t) * inv_s + cam.look_at_mm.1;
+        let gain_row = scene.lighting.gain - vig_b * ry * ry;
+        let mut rx = rx0;
+
+        for (px, out_px) in row_bytes.chunks_exact_mut(3).enumerate() {
+            let base = index.material(mm_x, mm_y);
+            let gain = gain_row - vig_b * rx * rx;
+            mm_x += step_x;
+            mm_y += step_y;
+            rx += 1.0;
+            let n = 3 * px;
+            out_px[0] = quant.encode_channel((base.r * gain + sigma * z[n]).clamp(0.0, 1.0));
+            out_px[1] = quant.encode_channel((base.g * gain + sigma * z[n + 1]).clamp(0.0, 1.0));
+            out_px[2] = quant.encode_channel((base.b * gain + sigma * z[n + 2]).clamp(0.0, 1.0));
         }
     }
 }
 
-/// The material color at a scene point (plate-local mm coordinates).
-fn material_at(scene: &PlateScene, x: f64, y: f64) -> LinRgb {
-    // Marker backing card (one-cell quiet zone) and cells.
-    let mk = &scene.marker;
-    let cell = mk.size_mm / 6.0;
-    let bx = mk.offset_x_mm - cell;
-    let by = mk.offset_y_mm - cell;
-    let bsize = mk.size_mm + 2.0 * cell;
-    if x >= bx && x < bx + bsize && y >= by && y < by + bsize {
-        let ix = x - mk.offset_x_mm;
-        let iy = y - mk.offset_y_mm;
-        if ix >= 0.0 && ix < mk.size_mm && iy >= 0.0 && iy < mk.size_mm {
-            let col = (ix / cell) as usize;
-            let row = (iy / cell) as usize;
-            return if cell_is_white(scene.marker_id, row.min(5), col.min(5)) {
-                MARKER_WHITE
-            } else {
-                MARKER_BLACK
-            };
+/// Box–Muller pairs per generation chunk: large enough that the uniform,
+/// log/sqrt and phase passes each auto-vectorize over plain arrays.
+const NOISE_CHUNK: usize = 64;
+
+/// Evaluate counter-stream Box–Muller pairs `j0 .. j0 + NOISE_CHUNK`,
+/// writing both variates of pair `k` to `z[2k]` / `z[2k + 1]`. Three
+/// branch-free array passes (uniforms, radius, phase) so the compiler can
+/// keep the divide/sqrt/polynomial work in SIMD lanes.
+#[inline]
+fn noise_chunk(frame_seed: u64, j0: u64, z: &mut [f64; 2 * NOISE_CHUNK]) {
+    let mut u1 = [0.0f64; NOISE_CHUNK];
+    let mut u2 = [0.0f64; NOISE_CHUNK];
+    for (k, (u1, u2)) in u1.iter_mut().zip(&mut u2).enumerate() {
+        let j = j0 + k as u64;
+        *u1 = unit_f64_open0(hash(frame_seed, 2 * j));
+        *u2 = unit_f64(hash(frame_seed, 2 * j + 1));
+    }
+    let mut radius = [0.0f64; NOISE_CHUNK];
+    for (r, u1) in radius.iter_mut().zip(&u1) {
+        *r = (-2.0 * fast_ln(*u1)).sqrt();
+    }
+    for (k, (u2, r)) in u2.iter().zip(&radius).enumerate() {
+        let (s, c) = fast_sincos_2pi(*u2);
+        z[2 * k] = r * c;
+        z[2 * k + 1] = r * s;
+    }
+}
+
+/// Per-scene geometry hoisted out of the pixel loop: marker cells resolved
+/// into a flat color grid, wells into squared-radius material spans. Built
+/// once per frame; `material` then runs without rectangle re-tests,
+/// divisions or square roots.
+struct SceneIndex {
+    // Marker backing card (quiet zone included): an 8×8 color grid.
+    mk_x: f64,
+    mk_y: f64,
+    mk_size: f64,
+    mk_inv_cell: f64,
+    mk_grid: [LinRgb; 64],
+    // Plate bounds and well grid.
+    plate_w: f64,
+    plate_h: f64,
+    a1_x: f64,
+    a1_y: f64,
+    inv_pitch: f64,
+    max_col: f64,
+    max_row: f64,
+    cols: usize,
+    wells: Vec<WellSpan>,
+}
+
+/// One well's precomputed material data.
+#[derive(Clone, Copy)]
+struct WellSpan {
+    cx: f64,
+    cy: f64,
+    /// Squared liquid/empty-well radius.
+    r2_inner: f64,
+    /// Squared outer wall radius (== `r2_inner` for empty wells, which
+    /// draw no rim).
+    r2_wall: f64,
+    inner: LinRgb,
+}
+
+impl SceneIndex {
+    fn new(scene: &PlateScene) -> SceneIndex {
+        let mk = &scene.marker;
+        let cell = mk.size_mm / 6.0;
+        let mut mk_grid = [MARKER_WHITE; 64];
+        for row in 0..6 {
+            for col in 0..6 {
+                mk_grid[(row + 1) * 8 + (col + 1)] = if cell_is_white(scene.marker_id, row, col) {
+                    MARKER_WHITE
+                } else {
+                    MARKER_BLACK
+                };
+            }
         }
-        return MARKER_WHITE; // quiet zone
+
+        let p = &scene.plate;
+        let r2_inner = p.well_radius_mm * p.well_radius_mm;
+        let r_wall = p.well_radius_mm + WALL_MM;
+        let mut wells = Vec::with_capacity(p.well_count());
+        for row in 0..p.rows {
+            for col in 0..p.cols {
+                let (cx, cy) = p.well_center_mm(row, col);
+                let (inner, r2_wall) =
+                    match scene.well_colors.get(row * p.cols + col).copied().flatten() {
+                        Some(liquid) => (liquid, r_wall * r_wall),
+                        None => (EMPTY_WELL, r2_inner),
+                    };
+                wells.push(WellSpan { cx, cy, r2_inner, r2_wall, inner });
+            }
+        }
+
+        SceneIndex {
+            mk_x: mk.offset_x_mm - cell,
+            mk_y: mk.offset_y_mm - cell,
+            mk_size: mk.size_mm + 2.0 * cell,
+            mk_inv_cell: 1.0 / cell,
+            mk_grid,
+            plate_w: p.width_mm,
+            plate_h: p.height_mm,
+            a1_x: p.a1_x_mm,
+            a1_y: p.a1_y_mm,
+            inv_pitch: 1.0 / p.pitch_mm,
+            max_col: (p.cols - 1) as f64,
+            max_row: (p.rows - 1) as f64,
+            cols: p.cols,
+            wells,
+        }
     }
 
-    // Plate.
-    let p = &scene.plate;
-    if x >= 0.0 && x < p.width_mm && y >= 0.0 && y < p.height_mm {
-        // Nearest well.
-        let col_f = (x - p.a1_x_mm) / p.pitch_mm;
-        let row_f = (y - p.a1_y_mm) / p.pitch_mm;
-        let col = col_f.round().clamp(0.0, (p.cols - 1) as f64) as usize;
-        let row = row_f.round().clamp(0.0, (p.rows - 1) as f64) as usize;
-        let (wx, wy) = p.well_center_mm(row, col);
-        let dx = x - wx;
-        let dy = y - wy;
-        let d = (dx * dx + dy * dy).sqrt();
-        let idx = row * p.cols + col;
-        match scene.well_colors.get(idx).copied().flatten() {
-            Some(liquid) => {
-                if d <= p.well_radius_mm {
-                    return liquid;
-                }
-                if d <= p.well_radius_mm + WALL_MM {
-                    return WELL_WALL;
-                }
-            }
-            None => {
-                if d <= p.well_radius_mm {
-                    return EMPTY_WELL;
-                }
-            }
+    /// The material color at a scene point (plate-local mm coordinates).
+    #[inline]
+    fn material(&self, x: f64, y: f64) -> LinRgb {
+        // Marker backing card (cells and quiet zone share the grid).
+        let ux = x - self.mk_x;
+        let uy = y - self.mk_y;
+        if ux >= 0.0 && ux < self.mk_size && uy >= 0.0 && uy < self.mk_size {
+            let gx = ((ux * self.mk_inv_cell) as usize).min(7);
+            let gy = ((uy * self.mk_inv_cell) as usize).min(7);
+            return self.mk_grid[gy * 8 + gx];
         }
-        return PLATE_BODY;
-    }
 
-    BENCH
+        // Plate: nearest well by grid rounding, then squared-distance spans.
+        if x >= 0.0 && x < self.plate_w && y >= 0.0 && y < self.plate_h {
+            let col = ((x - self.a1_x) * self.inv_pitch).round().clamp(0.0, self.max_col) as usize;
+            let row = ((y - self.a1_y) * self.inv_pitch).round().clamp(0.0, self.max_row) as usize;
+            let well = &self.wells[row * self.cols + col];
+            let dx = x - well.cx;
+            let dy = y - well.cy;
+            let d2 = dx * dx + dy * dy;
+            if d2 <= well.r2_inner {
+                return well.inner;
+            }
+            if d2 <= well.r2_wall {
+                return WELL_WALL;
+            }
+            return PLATE_BODY;
+        }
+
+        BENCH
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::render_reference;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -345,5 +557,56 @@ mod tests {
             let p = Pose::jittered(&mut r, 6.0, 1.2);
             assert!(p.dx_px.abs() <= 6.0 && p.dy_px.abs() <= 6.0 && p.rot_deg.abs() <= 1.2);
         }
+    }
+
+    #[test]
+    fn full_fidelity_dispatches_to_the_reference_path() {
+        let mut scene = PlateScene::empty_plate();
+        scene.camera = CameraGeometry::for_fidelity(Fidelity::Full);
+        let via_dispatch = render(&scene, &mut StdRng::seed_from_u64(9));
+        let direct = render_reference(&scene, &mut StdRng::seed_from_u64(9));
+        assert_eq!(via_dispatch, direct);
+        // And the fast path differs (statistically equivalent, not equal).
+        scene.camera.fidelity = Fidelity::Fast;
+        assert_ne!(render(&scene, &mut StdRng::seed_from_u64(9)), direct);
+    }
+
+    #[test]
+    fn lowres_profile_renders_quarter_frames_the_detector_still_reads() {
+        let mut scene = PlateScene::empty_plate();
+        scene.camera = CameraGeometry::for_fidelity(Fidelity::Lowres);
+        scene.set_well(2, 3, LinRgb::new(0.5, 0.05, 0.05));
+        let img = render(&scene, &mut rng());
+        assert_eq!((img.width(), img.height()), (320, 240));
+        let reading = crate::pipeline::Detector::default().detect(&img).unwrap();
+        let well = reading.well(2, 3).unwrap();
+        assert!(well.color.r > well.color.g + 40, "C4 at lowres: {}", well.color);
+    }
+
+    #[test]
+    fn scene_index_matches_reference_materials_off_boundaries() {
+        // Sample the scene densely at points away from exact span edges:
+        // the hoisted index must agree with the frozen per-pixel geometry.
+        let mut scene = PlateScene::empty_plate();
+        scene.set_well(0, 0, LinRgb::new(0.3, 0.1, 0.1));
+        scene.set_well(7, 11, LinRgb::new(0.1, 0.3, 0.1));
+        scene.lighting.noise_sigma = 0.0;
+        let idx = SceneIndex::new(&scene);
+        let mut checked = 0usize;
+        for iy in 0..600 {
+            for ix in 0..900 {
+                let x = ix as f64 * 0.171 - 40.0;
+                let y = iy as f64 * 0.163 - 10.0;
+                let got = idx.material(x, y);
+                let want = crate::reference::material_at(&scene, x, y);
+                if got != want {
+                    // Tolerate float-boundary flips only within a hair of a
+                    // geometric edge.
+                    panic!("material mismatch at ({x}, {y}): {got:?} vs {want:?}");
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 500_000);
     }
 }

@@ -4,10 +4,46 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdl_color::{LinRgb, Rgb8};
-use sdl_vision::{fit_grid, render, Detector, GridModel, ImageRgb8, PlateScene, Pose};
+use sdl_vision::{
+    fit_grid, render, render_tiled, Detector, GridModel, ImageRgb8, PlateScene, Pose,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The counter-based render is a pure function of (scene, frame seed):
+    /// bit-identical at every tile size and thread count, for arbitrary
+    /// scenes, poses and odd/even frame widths.
+    #[test]
+    fn counter_render_is_tile_and_thread_independent(
+        frame_seed in any::<u64>(),
+        width in 37usize..96,
+        height in 23usize..64,
+        dx in -4.0..4.0f64,
+        dy in -4.0..4.0f64,
+        rot in -1.2..1.2f64,
+        fills in proptest::collection::vec((0usize..96, 0.0..0.6f64), 0..6),
+    ) {
+        let mut scene = PlateScene::empty_plate();
+        scene.camera.width_px = width;
+        scene.camera.height_px = height;
+        scene.pose = Pose { dx_px: dx, dy_px: dy, rot_deg: rot };
+        for (idx, shade) in fills {
+            scene.set_well(idx / 12, idx % 12, LinRgb::new(shade, 0.1, 0.4 - shade / 2.0));
+        }
+        let mut baseline = ImageRgb8::new(1, 1, Rgb8::default());
+        render_tiled(&scene, frame_seed, &mut baseline, 1, 1);
+        for tile_rows in [7usize, 64] {
+            for threads in [1usize, 2, 8] {
+                let mut img = ImageRgb8::new(3, 5, Rgb8::new(9, 9, 9));
+                render_tiled(&scene, frame_seed, &mut img, tile_rows, threads);
+                prop_assert_eq!(
+                    &img, &baseline,
+                    "tile_rows={} threads={} diverged", tile_rows, threads
+                );
+            }
+        }
+    }
 
     /// PPM round-trips any image contents.
     #[test]

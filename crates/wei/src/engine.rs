@@ -111,13 +111,17 @@ pub struct Reliability {
 }
 
 impl Reliability {
-    fn human(&mut self, at: SimTime) {
+    /// Record a human intervention at `at` (finalizes the current robotic
+    /// streak). Public so recorded runs can rebuild reliability accounting
+    /// offline with the engine's exact bookkeeping.
+    pub fn human(&mut self, at: SimTime) {
         self.human_times.push(at);
         self.max_robotic_streak = self.max_robotic_streak.max(self.robotic_streak);
         self.robotic_streak = 0;
     }
 
-    fn robotic_ok(&mut self) {
+    /// Record one completed robotic command.
+    pub fn robotic_ok(&mut self) {
         self.robotic_streak += 1;
         self.max_robotic_streak = self.max_robotic_streak.max(self.robotic_streak);
     }

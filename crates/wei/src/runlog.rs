@@ -5,7 +5,7 @@
 //! [`WorkflowRunLog`] is that file's in-memory form; it renders to the same
 //! kind of text table and serializes to JSON for publication.
 
-use sdl_conf::Value;
+use sdl_conf::{Value, ValueExt};
 use sdl_desim::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
@@ -104,6 +104,36 @@ impl WorkflowRunLog {
         root.set("steps", steps);
         root
     }
+
+    /// Parse a log back from its [`WorkflowRunLog::to_value`] form (`None`
+    /// on a malformed tree). Published timestamps are exact
+    /// integer-microsecond clock readings formatted with
+    /// shortest-round-trip floats, so the reconstruction recovers the
+    /// original log bit for bit — this is how replayed runs rebuild real
+    /// Table-1 telemetry from archived records.
+    pub fn from_value(v: &Value) -> Option<WorkflowRunLog> {
+        let time = |v: &Value, key: &str| -> Option<SimTime> {
+            Some(SimTime::from_micros((v.opt_f64(key)? * 1e6).round() as u64))
+        };
+        let mut records = Vec::new();
+        for s in v.get("steps")?.as_seq()? {
+            records.push(StepRecord {
+                name: s.opt_str("name")?.to_string(),
+                module: s.opt_str("module")?.to_string(),
+                action: s.opt_str("action")?.to_string(),
+                start: time(s, "start_s")?,
+                end: time(s, "end_s")?,
+                attempts: s.opt_i64("attempts")? as u32,
+                human_intervened: s.opt_bool("human_intervened")?,
+            });
+        }
+        Some(WorkflowRunLog {
+            workflow: v.opt_str("workflow")?.to_string(),
+            start: time(v, "start_s")?,
+            end: time(v, "end_s")?,
+            records,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +183,14 @@ mod tests {
         assert!(text.contains("Transfer plate to ot2"));
         assert!(text.contains("attempts=2"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn value_roundtrip_is_exact() {
+        let l = log();
+        let back = WorkflowRunLog::from_value(&l.to_value()).expect("parses");
+        assert_eq!(back, l);
+        assert_eq!(WorkflowRunLog::from_value(&Value::map()), None);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::error::WeiError;
 use sdl_color::{DyeSet, MixKind};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_instruments::{
-    Barty, CameraSim, Instrument, ModuleKind, Ot2, Pf400, ReservoirBank, SciClops, TimingModel,
-    World,
+    Barty, CameraGeometry, CameraSim, Fidelity, Instrument, ModuleKind, Ot2, Pf400, ReservoirBank,
+    SciClops, TimingModel, World,
 };
 use std::collections::BTreeMap;
 
@@ -63,6 +63,20 @@ impl WorkcellConfig {
     /// Names of modules of a given kind.
     pub fn modules_of(&self, kind: ModuleKind) -> Vec<&str> {
         self.modules.iter().filter(|m| m.kind == kind).map(|m| m.name.as_str()).collect()
+    }
+
+    /// Default every camera module that does not specify its own
+    /// `fidelity` to the given profile name. This is how an application
+    /// config's camera-fidelity axis reaches the instantiated workcell: an
+    /// explicit per-camera setting in the workcell document stays
+    /// authoritative.
+    pub fn default_camera_fidelity(&mut self, fidelity: &str) {
+        use sdl_conf::ValueExt as _;
+        for m in &mut self.modules {
+            if m.kind == ModuleKind::Camera && m.config.opt_str("fidelity").is_none() {
+                m.config.set("fidelity", fidelity);
+            }
+        }
     }
 }
 
@@ -152,6 +166,16 @@ impl Workcell {
                         .unwrap_or_else(|| format!("{}.nest", m.name));
                     world.add_slot(nest.clone());
                     let mut cam = CameraSim::new(&m.name, nest);
+                    if let Some(v) = c.opt_str("fidelity") {
+                        let profile = Fidelity::parse(v).ok_or_else(|| {
+                            WeiError::Invalid(format!(
+                                "{}: unknown camera fidelity '{v}' (valid: {})",
+                                m.name,
+                                Fidelity::valid_names()
+                            ))
+                        })?;
+                        cam.camera = CameraGeometry::for_fidelity(profile);
+                    }
                     if let Some(v) = c.opt_f64("noise_sigma") {
                         cam.lighting.noise_sigma = v;
                     }

@@ -3,6 +3,7 @@
 //! ```text
 //! sdl-lab run [--samples N] [--batch B] [--solver NAME] [--seed S]
 //!             [--backend sim|remote:<url>|replay:<path>]
+//!             [--fidelity full|fast|lowres]
 //!             [--target R,G,B] [--config FILE] [--runlog-dir DIR]
 //!             [--export-portal FILE] [--flat-field]
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
@@ -20,6 +21,7 @@ use sdl_lab::core::{
 };
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
+use sdl_lab::vision::Fidelity;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -85,6 +87,9 @@ run options:
   --blob-dir DIR      spill plate-image blobs to DIR (servable later via
                       'serve --blob-dir DIR')
   --flat-field        enable the detector's flat-field correction
+  --fidelity NAME     camera fidelity profile: full (frozen reference
+                      renderer), fast (counter-based, default), lowres
+                      (counter-based at 320x240)
 
 sweep options:
   --batches LIST      comma-separated batch sizes (default 1,2,4,8,16,32,64)
@@ -93,7 +98,8 @@ sweep options:
 
 campaign options:
   --config FILE       scenario-matrix YAML (solvers/seeds/batches/targets/
-                      mix_models/fault_rates/n_ot2 axes over a base config)
+                      mix_models/fidelities/fault_rates/n_ot2 axes over a
+                      base config)
   --threads T         worker threads (overrides the config's 'threads')
   --export-portal F   write every streamed scenario record as JSON lines
   --fingerprint       print the campaign's determinism fingerprint
@@ -192,6 +198,11 @@ fn build_config(args: &[String]) -> Result<AppConfig, String> {
     }
     if flag_present(args, "--flat-field") {
         config.flat_field = true;
+    }
+    if let Some(v) = flag_value(args, "--fidelity") {
+        config.fidelity = Fidelity::parse(v).ok_or_else(|| {
+            format!("unknown fidelity '{v}' (valid: {})", Fidelity::valid_names())
+        })?;
     }
     Ok(config)
 }

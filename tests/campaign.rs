@@ -9,6 +9,7 @@ use sdl_lab::core::{
 };
 use sdl_lab::desim::{FaultPlan, FaultRates};
 use sdl_lab::solvers::SolverKind;
+use sdl_lab::vision::Fidelity;
 
 /// A 16-scenario mixed campaign: four solvers x seeds, two batch sizes, a
 /// faulty scenario and two multi-OT2 scenarios.
@@ -159,11 +160,13 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 "[a-z0-9._/-]{1,20}".prop_map(BackendSpec::Replay),
             ],
         ),
+        prop_oneof![Just(Fidelity::Full), Just(Fidelity::Fast), Just(Fidelity::Lowres)],
     )
         .prop_map(
             |(
                 (label, solver, metric, mix, seed, samples, batch, (r, g, b)),
                 (f_rec, f_act, n_ot2, publish, flat, compute, threshold, backend),
+                fidelity,
             )| {
                 let mut config = AppConfig {
                     sample_budget: samples,
@@ -177,6 +180,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     flat_field: flat,
                     compute_seconds: compute,
                     match_threshold: threshold.first().copied(),
+                    fidelity,
                     ..AppConfig::default()
                 };
                 if f_rec > 0.0 || f_act > 0.0 {
@@ -226,6 +230,7 @@ fn assert_specs_match(a: &ScenarioSpec, b: &ScenarioSpec) {
     assert_eq!(ca.match_threshold, cb.match_threshold);
     assert_eq!(ca.publish_images, cb.publish_images);
     assert_eq!(ca.flat_field, cb.flat_field);
+    assert_eq!(ca.fidelity, cb.fidelity);
     assert_eq!(ca.compute_seconds, cb.compute_seconds);
     assert_eq!(ca.dyes.len(), cb.dyes.len());
     assert_eq!(ca.workcell_yaml, cb.workcell_yaml);

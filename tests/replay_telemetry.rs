@@ -1,0 +1,119 @@
+//! Replayed runs reconstruct real telemetry from the recorded archive.
+//!
+//! Every published sample carries its batch's lab-clock wall duration
+//! (`batch_wall_s`), and each batch's workflow timing log rides on the
+//! batch's first sample — so a portal-sourced `ReplayBackend` no longer
+//! reports zeroed placeholder metrics: synthesis time reconstructs
+//! exactly, robotic-command accounting and CCWH rebuild from the step
+//! records, and `real_telemetry` in the capabilities advertises it.
+
+use sdl_lab::core::{AppConfig, Experiment, LabBackend, ReplayBackend, SimBackend};
+use sdl_lab::desim::SimDuration;
+use sdl_lab::solvers::SolverKind;
+
+fn config() -> AppConfig {
+    AppConfig {
+        solver: SolverKind::Random,
+        sample_budget: 6,
+        batch: 2,
+        seed: 99,
+        publish_images: false,
+        ..AppConfig::default()
+    }
+}
+
+#[test]
+fn portal_replay_reconstructs_real_telemetry() {
+    // Record a small simulated run.
+    let mut session = Experiment::new(config()).unwrap();
+    let mut sim = SimBackend::new(&config()).unwrap();
+    let outcome = session.run_on(&mut sim).unwrap();
+    let portal = outcome.portal;
+
+    // Every sample carries a positive batch wall; the batch's samples
+    // agree on it.
+    let records = portal.samples(&config().experiment_id());
+    assert_eq!(records.len(), 6);
+    for r in &records {
+        let wall = r.batch_wall_s.expect("sim runs record batch walls");
+        assert!(wall > 0.0, "sample {}: wall {wall}", r.sample);
+    }
+    for pair in records.chunks(2) {
+        assert_eq!(pair[0].batch_wall_s, pair[1].batch_wall_s, "batch-mates share one wall");
+    }
+
+    // Re-drive the same config+seed through the replay backend.
+    let mut replay = ReplayBackend::from_portal(&portal, &config().experiment_id());
+    let caps = replay.open().unwrap();
+    assert!(caps.real_telemetry, "portal replay should advertise reconstructed telemetry");
+
+    let mut session = Experiment::new(config()).unwrap();
+    while let Some(batch) = session.ask(&caps) {
+        let result = replay.submit_batch(&batch).unwrap();
+        assert!(result.batch_wall > SimDuration::ZERO, "run {}: zero batch wall", batch.run);
+        session.tell(&batch, result).unwrap();
+    }
+    let close = replay.close(session.samples_measured()).unwrap();
+
+    // Synthesis time happens only inside the recorded mixcolor workflows,
+    // so it reconstructs exactly; transfer is batch-scoped (plate
+    // logistics between batches were never published) so it is a positive
+    // lower bound.
+    assert_eq!(close.metrics.synthesis, outcome.metrics.synthesis);
+    assert!(close.metrics.transfer > SimDuration::ZERO);
+    assert!(close.metrics.transfer <= outcome.metrics.transfer);
+    assert!(close.metrics.robotic_commands > 0);
+    assert_eq!(close.metrics.human_interventions, 0);
+    // The replay clock ends at the last recorded measurement, inside the
+    // simulated run's full span.
+    assert!(close.duration > SimDuration::ZERO);
+    assert!(close.duration <= outcome.duration);
+    assert_eq!(close.metrics.twh, close.metrics.total, "faultless run: TWH spans the whole run");
+}
+
+#[test]
+fn partially_recovered_logs_fall_back_to_the_zeroed_shape() {
+    // A mixed-version archive where one batch lost its timing log must
+    // not produce half-reconstructed telemetry: metrics and counters
+    // both fall back to the zeroed placeholders, and the caps say so.
+    use sdl_lab::datapub::AcdcPortal;
+    let mut session = Experiment::new(config()).unwrap();
+    let mut sim = SimBackend::new(&config()).unwrap();
+    let outcome = session.run_on(&mut sim).unwrap();
+
+    let stripped = AcdcPortal::new();
+    let mut dropped = false;
+    for mut v in outcome.portal.search(|_| true) {
+        if !dropped && v.get("timing").is_some() {
+            v.set("timing", sdl_lab::conf::Value::Null);
+            dropped = true;
+        }
+        stripped.ingest(v);
+    }
+    assert!(dropped, "the run should have recorded at least one timing log");
+
+    let mut replay = ReplayBackend::from_portal(&stripped, &config().experiment_id());
+    let caps = replay.open().unwrap();
+    assert!(!caps.real_telemetry);
+    let close = replay.close(6).unwrap();
+    assert_eq!(close.metrics.synthesis, SimDuration::ZERO);
+    assert_eq!(close.metrics.robotic_commands, 0);
+    assert_eq!(close.counters.completed, 0);
+}
+
+#[test]
+fn bare_record_replay_still_reports_placeholder_telemetry() {
+    // Without the portal's raw records (no timing logs), replay falls back
+    // to the historical zeroed shape and says so.
+    let mut session = Experiment::new(config()).unwrap();
+    let mut sim = SimBackend::new(&config()).unwrap();
+    let outcome = session.run_on(&mut sim).unwrap();
+    let records = outcome.portal.samples(&config().experiment_id());
+
+    let mut replay = ReplayBackend::from_records(records);
+    let caps = replay.open().unwrap();
+    assert!(!caps.real_telemetry);
+    let close = replay.close(6).unwrap();
+    assert_eq!(close.metrics.synthesis, SimDuration::ZERO);
+    assert_eq!(close.metrics.robotic_commands, 0);
+}
