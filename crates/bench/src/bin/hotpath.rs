@@ -19,7 +19,10 @@
 //!    wire path);
 //! 5. full-campaign throughput with the Bayesian solver: the pre-perf-PR
 //!    configuration (full fidelity, from-scratch solver) vs. today's
-//!    default path.
+//!    default path;
+//! 6. distributed-scheduler throughput — one scenario matrix fanned over
+//!    1/2/4 loopback workers via `CampaignScheduler` (samples/s plus
+//!    scaling vs. a single worker; flat on a one-core host by design).
 //!
 //! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
 //! there; `--out` to override) so successive PRs accumulate a perf
@@ -31,7 +34,10 @@ use rand::{Rng, SeedableRng};
 use sdl_bench::{arg_or, median};
 use sdl_color::Rgb8;
 use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
-use sdl_core::{AppConfig, ColorPickerApp, Experiment, LabBackend, RemoteBackend, SimBackend};
+use sdl_core::{
+    AppConfig, CampaignScheduler, ColorPickerApp, Experiment, LabBackend, RemoteBackend,
+    ScenarioSpec, SimBackend,
+};
 use sdl_solvers::{BayesSolver, ColorSolver, Observation, SolverKind};
 use sdl_vision::{
     render_into, render_reference, render_reference_into, render_tiled, CameraGeometry, Detector,
@@ -230,6 +236,24 @@ fn loopback_worker() -> sdl_portal_server::ServerHandle {
         .expect("bind loopback worker")
 }
 
+/// The scenario matrix the distributed-scheduler throughput rows fan out.
+fn scheduler_scenarios(count: usize, samples: u32) -> Vec<ScenarioSpec> {
+    (0..count)
+        .map(|i| {
+            let config = AppConfig {
+                solver: SolverKind::Random,
+                sample_budget: samples,
+                batch: 4,
+                seed: 900 + i as u64,
+                publish_images: false,
+                fidelity: Fidelity::Fast,
+                ..AppConfig::default()
+            };
+            ScenarioSpec::new(format!("sched{i}"), config)
+        })
+        .collect()
+}
+
 /// Validate a previously written report; panics (non-zero exit) on
 /// missing/malformed files so CI can gate on it.
 fn check(path: &str) {
@@ -262,6 +286,17 @@ fn check(path: &str) {
         for key in ["batch", "sim_us", "remote_us", "overhead_us"] {
             assert!(row.get(key).is_some(), "{path}: backend_dispatch row missing '{key}'");
         }
+    }
+    let scheduler = doc.get("scheduler").and_then(Value::as_seq).expect("scheduler section");
+    assert!(!scheduler.is_empty(), "{path}: empty scheduler section");
+    for row in scheduler {
+        for key in ["workers", "scenarios", "samples", "wall_s", "samples_per_s", "speedup_vs_1"] {
+            assert!(row.get(key).is_some(), "{path}: scheduler row missing '{key}'");
+        }
+        assert!(
+            row.get("samples_per_s").and_then(Value::as_f64).is_some_and(|v| v > 0.0),
+            "{path}: scheduler throughput must be positive"
+        );
     }
     println!("{path}: OK");
 }
@@ -358,6 +393,47 @@ fn main() {
     }
     worker.shutdown();
     doc.set("backend_dispatch", dispatch);
+
+    // Distributed-scheduler throughput: the same scenario matrix fanned
+    // over 1/2/4 loopback workers. On a single-core host the scaling is
+    // flat (everything shares one CPU) — the rows are still written so
+    // `--check` can gate their shape, and multi-core hosts show the curve.
+    let (sched_count, sched_budget) = if smoke { (4usize, 8u32) } else { (8, 32) };
+    let mut scheduler = Value::seq();
+    let mut base_sps = 0.0f64;
+    let mut base_fp = String::new();
+    for workers in [1usize, 2, 4] {
+        let handles: Vec<sdl_portal_server::ServerHandle> =
+            (0..workers).map(|_| loopback_worker()).collect();
+        let urls: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+        let (report, sched) =
+            CampaignScheduler::new(urls).run(scheduler_scenarios(sched_count, sched_budget));
+        for h in handles {
+            h.shutdown();
+        }
+        let fp = report.fingerprint();
+        if workers == 1 {
+            base_sps = sched.samples_per_sec();
+            base_fp = fp.clone();
+        }
+        assert_eq!(base_fp, fp, "scheduler fingerprint drifted at {workers} workers");
+        let mut row = Value::map();
+        row.set("workers", workers as i64);
+        row.set("scenarios", sched_count as i64);
+        row.set("samples", sched.samples as i64);
+        row.set("wall_s", sched.wall.as_secs_f64());
+        row.set("samples_per_s", sched.samples_per_sec());
+        row.set("speedup_vs_1", sched.samples_per_sec() / base_sps);
+        row.set("steals", sched.total_steals() as i64);
+        eprintln!(
+            "scheduler w={workers}: {:.1} samples/s over {:.2}s ({:.2}x vs 1 worker)",
+            sched.samples_per_sec(),
+            sched.wall.as_secs_f64(),
+            sched.samples_per_sec() / base_sps
+        );
+        scheduler.push(row);
+    }
+    doc.set("scheduler", scheduler);
 
     let (c_before, c_after, samples) = time_campaign(budget, campaign_reps);
     let mut campaign = Value::map();

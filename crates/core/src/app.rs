@@ -48,6 +48,19 @@ pub enum AppError {
     Setup(String),
     /// Failure talking to a remote lab backend.
     Backend(String),
+    /// Transport-level failure reaching a remote worker (unreachable,
+    /// connection lost, timed out): the work itself never completed, so a
+    /// scheduler may safely retry it on another worker.
+    Transport(String),
+}
+
+impl AppError {
+    /// True for transport-level remote failures — the class of error the
+    /// campaign scheduler treats as *worker death* (retry elsewhere) rather
+    /// than scenario failure.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, AppError::Transport(_))
+    }
 }
 
 impl fmt::Display for AppError {
@@ -58,6 +71,7 @@ impl fmt::Display for AppError {
             AppError::Protocol(e) => write!(f, "{e}"),
             AppError::Setup(m) => write!(f, "setup error: {m}"),
             AppError::Backend(m) => write!(f, "backend error: {m}"),
+            AppError::Transport(m) => write!(f, "worker unreachable: {m}"),
         }
     }
 }

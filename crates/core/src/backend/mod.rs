@@ -11,11 +11,13 @@
 
 mod remote;
 mod replay;
+mod retry;
 mod sim;
 pub mod wire;
 
-pub use remote::RemoteBackend;
+pub use remote::{RemoteBackend, RemoteStats};
 pub use replay::ReplayBackend;
+pub use retry::RetryPolicy;
 pub use sim::SimBackend;
 
 use crate::app::AppError;

@@ -13,17 +13,20 @@
 //! `Content-Length`-framed — the dialect the portal server speaks).
 
 use crate::app::AppError;
+use crate::backend::RetryPolicy;
 use crate::backend::{wire, BackendCaps, BackendClose, Batch, BatchResult, LabBackend};
 use crate::config::AppConfig;
 use sdl_conf::{from_json, to_json, Value, ValueExt};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A lab backend executing on a remote `sdl-lab serve` worker.
 pub struct RemoteBackend {
     addr: String,
     config: AppConfig,
+    retry: RetryPolicy,
+    stats: RemoteStats,
     conn: Option<Conn>,
     session: Option<String>,
     caps: Option<BackendCaps>,
@@ -32,6 +35,21 @@ pub struct RemoteBackend {
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+}
+
+/// Wire-level accounting for one [`RemoteBackend`]: how many requests went
+/// out and how much retrying it took to get them answered. The campaign
+/// scheduler folds these into its per-worker [`SchedulerReport`] counters.
+///
+/// [`SchedulerReport`]: crate::SchedulerReport
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Requests answered (each counted once, however many resends it took).
+    pub posts: u64,
+    /// Requests resent on a fresh connection after a provably-unread send.
+    pub resends: u64,
+    /// TCP connect attempts that failed and were retried in-budget.
+    pub reconnects: u64,
 }
 
 /// Whether a failed POST is safe to resend: `Unsent` means the worker
@@ -47,7 +65,22 @@ impl RemoteBackend {
     pub fn new(addr: impl AsRef<str>, config: AppConfig) -> RemoteBackend {
         let addr =
             addr.as_ref().trim().trim_start_matches("http://").trim_end_matches('/').to_string();
-        RemoteBackend { addr, config, conn: None, session: None, caps: None }
+        RemoteBackend {
+            addr,
+            config,
+            retry: RetryPolicy::default(),
+            stats: RemoteStats::default(),
+            conn: None,
+            session: None,
+            caps: None,
+        }
+    }
+
+    /// Replace the default [`RetryPolicy`] (connect/read timeouts and the
+    /// retry budget for both connecting and resending unread requests).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RemoteBackend {
+        self.retry = retry;
+        self
     }
 
     /// The worker address this backend talks to.
@@ -55,37 +88,84 @@ impl RemoteBackend {
         &self.addr
     }
 
+    /// Wire-level request/retry accounting so far.
+    pub fn stats(&self) -> RemoteStats {
+        self.stats
+    }
+
+    /// Establish (or reuse) the keep-alive connection. Connect failures are
+    /// retried within the policy budget with exponential backoff; an
+    /// exhausted budget is a *transport* error — the worker never saw any
+    /// request, so a scheduler may safely hand the work elsewhere.
     fn connect(&mut self) -> Result<&mut Conn, AppError> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)
-                .map_err(|e| AppError::Backend(format!("connect {}: {e}", self.addr)))?;
+            let stream = self.connect_stream()?;
             stream.set_nodelay(true).ok();
             stream
-                .set_read_timeout(Some(Duration::from_secs(120)))
-                .map_err(|e| AppError::Backend(e.to_string()))?;
+                .set_read_timeout(Some(self.retry.read_timeout))
+                .map_err(|e| AppError::Transport(e.to_string()))?;
             let reader =
-                BufReader::new(stream.try_clone().map_err(|e| AppError::Backend(e.to_string()))?);
+                BufReader::new(stream.try_clone().map_err(|e| AppError::Transport(e.to_string()))?);
             self.conn = Some(Conn { reader, writer: stream });
         }
         Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn connect_stream(&mut self) -> Result<TcpStream, AppError> {
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..self.retry.attempts() {
+            std::thread::sleep(self.retry.backoff(attempt));
+            if attempt > 0 {
+                self.stats.reconnects += 1;
+            }
+            // Resolve per attempt: a worker restarting behind a DNS name may
+            // come back on a different address.
+            let addrs = match self.addr.to_socket_addrs() {
+                Ok(addrs) => addrs,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            for addr in addrs {
+                match TcpStream::connect_timeout(&addr, self.retry.connect_timeout) {
+                    Ok(stream) => return Ok(stream),
+                    Err(e) => last = Some(e),
+                }
+            }
+        }
+        let cause = last.map(|e| e.to_string()).unwrap_or_else(|| "no addresses resolved".into());
+        Err(AppError::Transport(format!(
+            "connect {}: {cause} (after {} attempts)",
+            self.addr,
+            self.retry.attempts()
+        )))
     }
 
     /// POST `body` to `path`, parse the JSON response.
     ///
     /// The worker reaps idle keep-alive connections, so a request that
     /// provably never reached it — the write failed, or the connection
-    /// closed before a single response byte — is retried once on a fresh
-    /// connection. Anything after the first response byte is never
-    /// retried. (Resending is additionally safe on the worker side: the
-    /// lab host replays a duplicate run number's cached response instead
-    /// of executing the batch twice.)
+    /// closed before a single response byte — is resent on a fresh
+    /// connection, up to the policy's retry budget with exponential
+    /// backoff. Anything after the first response byte is never retried.
+    /// (Resending is additionally safe on the worker side: the lab host
+    /// replays a duplicate run number's cached response instead of
+    /// executing the batch twice.)
     fn post(&mut self, path: &str, body: &Value) -> Result<Value, AppError> {
         let payload = to_json(body);
-        for attempt in 0..2 {
+        let mut retry = 0u32;
+        loop {
             match self.try_post(path, &payload) {
-                Ok(v) => return Ok(v),
-                Err(PostError::Unsent(_)) if attempt == 0 => {
+                Ok(v) => {
+                    self.stats.posts += 1;
+                    return Ok(v);
+                }
+                Err(PostError::Unsent(_)) if retry < self.retry.retries => {
+                    retry += 1;
+                    self.stats.resends += 1;
                     self.conn = None; // reconnect and resend
+                    std::thread::sleep(self.retry.backoff(retry));
                 }
                 Err(PostError::Unsent(e)) | Err(PostError::Fatal(e)) => {
                     self.conn = None;
@@ -93,12 +173,14 @@ impl RemoteBackend {
                 }
             }
         }
-        unreachable!("second attempt either succeeds or errors")
     }
 
     fn try_post(&mut self, path: &str, payload: &str) -> Result<Value, PostError> {
         let addr = self.addr.clone();
-        let err = |e: std::io::Error| AppError::Backend(format!("{addr}{path}: {e}"));
+        // Socket-level failures are transport errors: whether the request
+        // completed is unknowable from here, but idempotent replay on the
+        // worker makes a re-drive safe.
+        let err = |e: std::io::Error| AppError::Transport(format!("{addr}{path}: {e}"));
         let conn = self.connect().map_err(PostError::Unsent)?;
         write!(
             conn.writer,
@@ -114,7 +196,7 @@ impl RemoteBackend {
         let mut line = String::new();
         match conn.reader.read_line(&mut line) {
             Ok(0) => {
-                return Err(PostError::Unsent(AppError::Backend(format!(
+                return Err(PostError::Unsent(AppError::Transport(format!(
                     "{addr}{path}: connection closed before request was read"
                 ))))
             }
@@ -241,8 +323,11 @@ impl LabBackend for RemoteBackend {
 impl Drop for RemoteBackend {
     fn drop(&mut self) {
         // Best-effort teardown of an abandoned session so the worker does
-        // not accumulate leaked labs.
+        // not accumulate leaked labs. Never burn the retry budget on it —
+        // if the worker is gone, its sessions died with it anyway.
         if self.session.is_some() {
+            self.retry.retries = 0;
+            self.retry.connect_timeout = self.retry.connect_timeout.min(Duration::from_secs(1));
             if let Ok(path) = self.session_path("close") {
                 let mut body = Value::map();
                 body.set("samples", 0i64);

@@ -8,6 +8,9 @@
 //!   configurable OS-thread pool. Each scenario derives all randomness
 //!   from its own spec, so a campaign's results are **bit-identical
 //!   regardless of worker-thread count**;
+//! * [`CampaignScheduler`] — the distributed flavor: the same scenario
+//!   list sharded across a pool of `sdl-lab serve` workers with work
+//!   stealing, retry-on-worker-death and the same bit-identical merge;
 //! * [`CampaignReport`] — per-scenario outcomes plus aggregate views,
 //!   streamed into an [`sdl_datapub::AcdcPortal`] as scenarios finish;
 //! * [`CampaignConfig`] — a declarative scenario matrix
@@ -16,12 +19,16 @@
 //! The legacy sweep helpers ([`run_sweep`], [`batch_sweep`],
 //! [`solver_sweep`], [`run_one`]) are thin veneers over the runner.
 
+mod publish;
+mod queue;
 mod report;
 mod runner;
+mod scheduler;
 mod spec;
 
 pub use report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 pub use runner::CampaignRunner;
+pub use scheduler::{CampaignScheduler, SchedulerReport, WorkerStats};
 pub use spec::{CampaignConfig, RunMode, ScenarioSpec};
 
 use crate::app::{AppError, ColorPickerApp, ExperimentOutcome};

@@ -1,0 +1,166 @@
+//! The work-stealing shard queue behind the distributed campaign scheduler.
+//!
+//! Scenario *indices* (positions in the campaign's input order) are grouped
+//! into contiguous shards and dealt round-robin onto per-worker deques.
+//! A worker drains its own deque from the front; when empty it takes from
+//! the shared retry queue (work bounced off a dead worker), and only then
+//! steals from the *back* of a peer's deque — so steals grab the work the
+//! victim would have reached last, keeping each worker's stream of
+//! scenarios as contiguous (and cache/solver-warm) as possible.
+//!
+//! The queue tracks only *who runs what next*; results never pass through
+//! it, so no ordering here can affect the campaign's merged output. The
+//! merge layer slots results by index, which is why the distributed
+//! fingerprint is bit-identical to the single-process one for any deal,
+//! steal or retry interleaving.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a worker came by a scenario index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Claim {
+    /// From the worker's own shard deque.
+    Own(usize),
+    /// From the shared retry queue (bounced off a dead worker).
+    Retry(usize),
+    /// Stolen from the back of another worker's deque.
+    Stolen(usize),
+}
+
+impl Claim {
+    /// The claimed scenario index.
+    pub(crate) fn index(&self) -> usize {
+        match *self {
+            Claim::Own(i) | Claim::Retry(i) | Claim::Stolen(i) => i,
+        }
+    }
+}
+
+/// Sharded scenario indices with work stealing and a retry lane.
+pub(crate) struct ShardQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    retry: Mutex<VecDeque<usize>>,
+    /// Indices not yet *completed* (claimed-but-in-flight still counts):
+    /// drivers keep serving until this hits zero, so work requeued by a
+    /// dying worker can never be stranded.
+    outstanding: AtomicUsize,
+}
+
+impl ShardQueue {
+    /// Deal `indices` into contiguous shards of `shard_size`, round-robin
+    /// across `workers` deques.
+    pub(crate) fn deal(indices: &[usize], workers: usize, shard_size: usize) -> ShardQueue {
+        let workers = workers.max(1);
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (k, shard) in indices.chunks(shard_size.max(1)).enumerate() {
+            deques[k % workers].lock().extend(shard.iter().copied());
+        }
+        ShardQueue {
+            deques,
+            retry: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(indices.len()),
+        }
+    }
+
+    /// Claim the next index for worker `me`: own front → retry queue →
+    /// steal from a peer's back (peers scanned round-robin from `me + 1`).
+    pub(crate) fn claim(&self, me: usize) -> Option<Claim> {
+        if let Some(i) = self.deques[me].lock().pop_front() {
+            return Some(Claim::Own(i));
+        }
+        if let Some(i) = self.retry.lock().pop_front() {
+            return Some(Claim::Retry(i));
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            if let Some(i) = self.deques[(me + off) % n].lock().pop_back() {
+                return Some(Claim::Stolen(i));
+            }
+        }
+        None
+    }
+
+    /// Claim from anywhere (the local fallback executor's view: retry lane
+    /// first, then any deque's back).
+    pub(crate) fn claim_any(&self) -> Option<usize> {
+        if let Some(i) = self.retry.lock().pop_front() {
+            return Some(i);
+        }
+        for d in &self.deques {
+            if let Some(i) = d.lock().pop_back() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Put an index back after a failed attempt on a dead worker.
+    pub(crate) fn requeue(&self, index: usize) {
+        self.retry.lock().push_back(index);
+    }
+
+    /// Record one index as finished (a final result was produced).
+    pub(crate) fn complete_one(&self) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Indices still without a final result.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deals_contiguous_shards_round_robin() {
+        let q = ShardQueue::deal(&[0, 1, 2, 3, 4, 5, 6], 2, 2);
+        // Shards [0,1] [2,3] [4,5] [6] → worker 0: 0,1,4,5; worker 1: 2,3,6.
+        let contents = |w: usize| -> Vec<usize> { q.deques[w].lock().iter().copied().collect() };
+        assert_eq!(contents(0), vec![0, 1, 4, 5]);
+        assert_eq!(contents(1), vec![2, 3, 6]);
+        assert_eq!(q.outstanding(), 7);
+    }
+
+    #[test]
+    fn claim_prefers_own_then_retry_then_steal() {
+        let q = ShardQueue::deal(&[0, 1, 2, 3], 2, 1);
+        // Worker 0 owns 0,2; worker 1 owns 1,3.
+        assert_eq!(q.claim(0), Some(Claim::Own(0)));
+        q.requeue(7);
+        assert_eq!(q.claim(0), Some(Claim::Own(2)));
+        assert_eq!(q.claim(0), Some(Claim::Retry(7)));
+        // Own deque and retry lane empty: steal from worker 1's *back*.
+        assert_eq!(q.claim(0), Some(Claim::Stolen(3)));
+        assert_eq!(q.claim(1), Some(Claim::Own(1)));
+        assert_eq!(q.claim(1), None);
+    }
+
+    #[test]
+    fn claim_any_drains_everything() {
+        let q = ShardQueue::deal(&[0, 1, 2], 3, 1);
+        q.requeue(9);
+        let mut got = Vec::new();
+        while let Some(i) = q.claim_any() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 9]);
+    }
+
+    #[test]
+    fn outstanding_tracks_completions_not_claims() {
+        let q = ShardQueue::deal(&[0, 1], 1, 1);
+        assert_eq!(q.outstanding(), 2);
+        let _ = q.claim(0);
+        assert_eq!(q.outstanding(), 2, "claiming is not completing");
+        q.complete_one();
+        q.complete_one();
+        assert_eq!(q.outstanding(), 0);
+    }
+}

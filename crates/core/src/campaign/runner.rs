@@ -1,11 +1,11 @@
 //! The parallel campaign executor.
 
 use crate::backend::BackendSpec;
+use crate::campaign::publish::{publish_campaign_record, publish_scenario};
 use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
 use crate::experiment::Experiment;
 use crate::multi::run_multi_ot2;
-use sdl_conf::Value;
 use sdl_datapub::{AcdcPortal, BlobStore};
 use sdl_vision::DetectorScratch;
 use std::collections::BTreeMap;
@@ -160,7 +160,7 @@ impl CampaignRunner {
                 }
                 pending.insert(i, result);
                 while let Some(result) = pending.remove(&next_publish) {
-                    self.publish_scenario(&result);
+                    publish_scenario(&self.portal, &self.store, self.publish_records, &result);
                     slots[next_publish] = Some(result);
                     next_publish += 1;
                 }
@@ -169,68 +169,8 @@ impl CampaignRunner {
 
         let results: Vec<ScenarioResult> =
             slots.into_iter().map(|s| s.expect("every scenario slot filled")).collect();
-        self.publish_campaign_record(&results);
+        publish_campaign_record(&self.portal, &results);
         CampaignReport { results, portal: Arc::clone(&self.portal), threads: self.threads }
-    }
-
-    /// Stream one scenario's summary record into the portal, and its plate
-    /// images into the shared blob store.
-    fn publish_scenario(&self, result: &ScenarioResult) {
-        if let Ok(ScenarioOutcome::Single(out)) = &result.outcome {
-            out.store.merge_into(&self.store);
-            if self.publish_records {
-                self.portal.merge_from(&out.portal);
-            }
-        }
-        let mut v = Value::map();
-        v.set("kind", "campaign_scenario");
-        v.set("label", result.spec.label.as_str());
-        v.set("index", result.index as i64);
-        v.set("experiment_id", result.spec.config.experiment_id().as_str());
-        v.set("solver", result.spec.config.solver_label());
-        v.set("backend", result.spec.backend.to_string().as_str());
-        v.set("batch", result.spec.config.batch as i64);
-        v.set("seed", result.spec.config.seed as i64);
-        v.set("samples", result.spec.config.sample_budget as i64);
-        if let RunMode::MultiOt2(n) = result.spec.mode {
-            v.set("n_ot2", n as i64);
-        }
-        match &result.outcome {
-            Ok(o) => {
-                v.set("best_score", o.best_score());
-                v.set("duration_s", o.duration().as_secs_f64());
-                v.set("samples_measured", o.samples_measured() as i64);
-                v.set("plates_used", o.plates_used() as i64);
-                v.set("robotic_commands", o.robotic_commands() as i64);
-                v.set("solver_fallbacks", o.solver_fallbacks() as i64);
-                if let ScenarioOutcome::Single(out) = o {
-                    v.set("twh_s", out.metrics.twh.as_secs_f64());
-                    v.set("ccwh", out.metrics.ccwh as i64);
-                    v.set("termination", out.termination.to_string().as_str());
-                }
-            }
-            Err(e) => {
-                v.set("error", e.to_string().as_str());
-            }
-        }
-        self.portal.ingest(v);
-    }
-
-    /// One closing record describing the whole campaign.
-    fn publish_campaign_record(&self, results: &[ScenarioResult]) {
-        let mut v = Value::map();
-        v.set("kind", "campaign");
-        v.set("scenarios", results.len() as i64);
-        v.set("failed", results.iter().filter(|r| r.outcome.is_err()).count() as i64);
-        let best = results
-            .iter()
-            .filter_map(|r| r.outcome.as_ref().ok())
-            .map(ScenarioOutcome::best_score)
-            .fold(f64::INFINITY, f64::min);
-        if best.is_finite() {
-            v.set("best_score", best);
-        }
-        self.portal.ingest(v);
     }
 }
 
@@ -238,7 +178,7 @@ impl CampaignRunner {
 /// fast path): an [`Experiment`] session driven on the scenario's
 /// configured lab backend. `scratch` is the worker's reusable detector
 /// arena, loaned to backends with a detection pipeline.
-fn execute(
+pub(crate) fn execute(
     spec: &ScenarioSpec,
     scratch: &mut DetectorScratch,
 ) -> Result<ScenarioOutcome, crate::app::AppError> {

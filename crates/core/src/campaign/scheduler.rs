@@ -1,0 +1,589 @@
+//! The distributed campaign scheduler: one campaign fanned across a pool
+//! of `remote:<url>` workers.
+//!
+//! # Lifecycle
+//!
+//! **Shard** — the scenario matrix is split into contiguous index shards
+//! dealt round-robin onto per-worker deques ([`ShardQueue`]). **Steal** —
+//! a worker that drains its own deque takes from the shared retry lane,
+//! then steals from the back of the busiest-looking peer, so fast workers
+//! finish slow workers' shards instead of idling. **Retry** — a transport
+//! failure ([`AppError::Transport`]) means the worker died, not the
+//! scenario: the driver evicts the worker, requeues the index, and starts
+//! probing `/healthz` for readmission. **Merge** — results slot into a
+//! fixed per-index table and publish in input order, so the merged
+//! [`CampaignReport`] (and its fingerprint) is bit-identical to the
+//! single-process run at any worker count, shard size, steal or failure
+//! interleaving.
+//!
+//! # Determinism
+//!
+//! Every scenario derives all randomness from its own spec: the solver
+//! runs *driver-side* inside [`Experiment`], and the worker hosts only the
+//! deterministic simulated lab. A scenario re-driven from scratch on a
+//! different worker therefore reproduces the exact same batches and
+//! measurements, and a failed attempt's partially published records live
+//! in a per-session portal that is discarded with the dead session —
+//! nothing leaks into the campaign portal except final results, in input
+//! order.
+//!
+//! # Liveness
+//!
+//! Killed workers degrade throughput, never correctness: their queued and
+//! in-flight work re-enters the retry lane, healthy workers absorb it, and
+//! if the *entire* pool is dead the driver process itself executes the
+//! remainder in-process (the sim backend is the same code the workers
+//! run). The campaign therefore always terminates with a full result set.
+
+use crate::app::AppError;
+use crate::backend::{BackendSpec, RemoteBackend, RetryPolicy};
+use crate::campaign::publish::{publish_campaign_record, publish_scenario};
+use crate::campaign::queue::{Claim, ShardQueue};
+use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
+use crate::campaign::runner::execute;
+use crate::campaign::spec::{RunMode, ScenarioSpec};
+use crate::experiment::Experiment;
+use sdl_conf::Value;
+use sdl_datapub::{AcdcPortal, BlobStore};
+use sdl_vision::DetectorScratch;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How long an idle driver sleeps between queue polls.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Per-worker dispatch accounting for one scheduled campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's address.
+    pub url: String,
+    /// Scenarios this worker completed (final results).
+    pub completed: u64,
+    /// Completed scenarios claimed from another worker's deque.
+    pub stolen: u64,
+    /// Scenario attempts bounced off this worker by a transport failure
+    /// (each one was requeued and re-driven elsewhere).
+    pub retries: u64,
+    /// Times the worker was evicted from the healthy pool.
+    pub evictions: u64,
+    /// Times a health probe readmitted it.
+    pub readmissions: u64,
+    /// HTTP requests this worker answered.
+    pub wire_posts: u64,
+    /// Requests resent after a provably-unread send (reaped keep-alive).
+    pub wire_resends: u64,
+    /// In-budget TCP reconnect attempts.
+    pub wire_reconnects: u64,
+    /// Time spent driving scenarios on this worker.
+    pub busy: Duration,
+}
+
+/// What the scheduler did to finish a campaign: per-worker utilization,
+/// steal/retry/eviction counters, and the local fallback's share.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerReport {
+    /// Per-worker accounting, in pool order.
+    pub workers: Vec<WorkerStats>,
+    /// Shard size the matrix was dealt with.
+    pub shard_size: usize,
+    /// Scenarios executed in the driver process because they cannot ship
+    /// over `/v1` (multi-OT2, replay, explicitly-remote backends).
+    pub local: u64,
+    /// Shippable scenarios executed in the driver process because the
+    /// whole pool was dead at the time.
+    pub fallback: u64,
+    /// Wall-clock duration of the scheduled run.
+    pub wall: Duration,
+    /// Samples measured across all scenarios (throughput numerator).
+    pub samples: u64,
+}
+
+impl SchedulerReport {
+    /// Scenario attempts bounced off dead workers, pool-wide.
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Completed scenarios that were stolen, pool-wide.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Worker evictions, pool-wide.
+    pub fn total_evictions(&self) -> u64 {
+        self.workers.iter().map(|w| w.evictions).sum()
+    }
+
+    /// Measured samples per wall-clock second.
+    pub fn samples_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.samples as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Encode for portal records and the CLI (`kind: campaign_scheduler`).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::map();
+        v.set("kind", "campaign_scheduler");
+        v.set("pool", self.workers.len() as i64);
+        v.set("shard_size", self.shard_size as i64);
+        v.set("local", self.local as i64);
+        v.set("fallback", self.fallback as i64);
+        v.set("wall_s", self.wall.as_secs_f64());
+        v.set("samples", self.samples as i64);
+        v.set("samples_per_s", self.samples_per_sec());
+        v.set("retries", self.total_retries() as i64);
+        v.set("steals", self.total_steals() as i64);
+        v.set("evictions", self.total_evictions() as i64);
+        let mut workers = Value::seq();
+        for w in &self.workers {
+            let mut e = Value::map();
+            e.set("url", w.url.as_str());
+            e.set("completed", w.completed as i64);
+            e.set("stolen", w.stolen as i64);
+            e.set("retries", w.retries as i64);
+            e.set("evictions", w.evictions as i64);
+            e.set("readmissions", w.readmissions as i64);
+            e.set("posts", w.wire_posts as i64);
+            e.set("resends", w.wire_resends as i64);
+            e.set("reconnects", w.wire_reconnects as i64);
+            e.set("busy_s", w.busy.as_secs_f64());
+            workers.push(e);
+        }
+        v.set("workers", workers);
+        v
+    }
+
+    /// One human line per worker, for `--progress` style output.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "worker {}: {} done ({} stolen), {} retries, {} evictions, busy {:.2}s",
+                    w.url,
+                    w.completed,
+                    w.stolen,
+                    w.retries,
+                    w.evictions,
+                    w.busy.as_secs_f64()
+                )
+            })
+            .collect();
+        out.push(format!(
+            "driver: {} local, {} fallback; {:.1} samples/s over {:.2}s",
+            self.local,
+            self.fallback,
+            self.samples_per_sec(),
+            self.wall.as_secs_f64()
+        ));
+        out
+    }
+}
+
+/// Fans a campaign across a pool of `sdl-lab serve` workers with work
+/// stealing, retry-on-worker-death and a deterministic merge (see the
+/// module docs for the full lifecycle).
+pub struct CampaignScheduler {
+    workers: Vec<String>,
+    shard: Option<usize>,
+    retry: RetryPolicy,
+    probe_budget: u32,
+    portal: Arc<AcdcPortal>,
+    store: Arc<BlobStore>,
+    progress: bool,
+    publish_records: bool,
+}
+
+impl CampaignScheduler {
+    /// A scheduler over this worker pool (`host:port` or `http://host:port`
+    /// addresses). The pool may be empty: everything then runs in-process.
+    pub fn new(workers: Vec<String>) -> CampaignScheduler {
+        CampaignScheduler {
+            workers: workers
+                .into_iter()
+                .map(|w| w.trim().trim_start_matches("http://").trim_end_matches('/').to_string())
+                .collect(),
+            shard: None,
+            retry: RetryPolicy::failover(),
+            probe_budget: 5,
+            portal: Arc::new(AcdcPortal::new()),
+            store: Arc::new(BlobStore::in_memory()),
+            progress: false,
+            publish_records: false,
+        }
+    }
+
+    /// Builder: shard size (scenarios per deal unit). Default: enough
+    /// shards for ~4 steals per worker.
+    pub fn shard_size(mut self, n: usize) -> CampaignScheduler {
+        self.shard = Some(n.max(1));
+        self
+    }
+
+    /// Builder: replace the failover [`RetryPolicy`] used for worker
+    /// connections and health probes.
+    pub fn retry(mut self, retry: RetryPolicy) -> CampaignScheduler {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: consecutive failed health probes before a dead worker's
+    /// driver gives up on readmission entirely.
+    pub fn probe_budget(mut self, probes: u32) -> CampaignScheduler {
+        self.probe_budget = probes;
+        self
+    }
+
+    /// Builder: print one progress line per completed scenario to stderr.
+    pub fn progress(mut self, on: bool) -> CampaignScheduler {
+        self.progress = on;
+        self
+    }
+
+    /// Builder: stream scenario summaries into an existing portal.
+    pub fn with_portal(mut self, portal: Arc<AcdcPortal>) -> CampaignScheduler {
+        self.portal = portal;
+        self
+    }
+
+    /// Builder: collect plate images into an existing blob store.
+    pub fn with_store(mut self, store: Arc<BlobStore>) -> CampaignScheduler {
+        self.store = store;
+        self
+    }
+
+    /// Builder: also stream each scenario's full record set into the
+    /// campaign portal (see [`CampaignRunner::publish_records`]).
+    ///
+    /// [`CampaignRunner::publish_records`]: crate::CampaignRunner::publish_records
+    pub fn publish_records(mut self, on: bool) -> CampaignScheduler {
+        self.publish_records = on;
+        self
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// Execute every scenario across the pool. Results come back in input
+    /// order; the report's fingerprint is bit-identical to
+    /// [`CampaignRunner`](crate::CampaignRunner) on the same scenarios.
+    pub fn run(&self, scenarios: Vec<ScenarioSpec>) -> (CampaignReport, SchedulerReport) {
+        let n = scenarios.len();
+        let started = Instant::now();
+        let mut sched = SchedulerReport {
+            workers: self
+                .workers
+                .iter()
+                .map(|url| WorkerStats { url: url.clone(), ..WorkerStats::default() })
+                .collect(),
+            ..SchedulerReport::default()
+        };
+        if n == 0 {
+            sched.shard_size = self.shard.unwrap_or(1);
+            return (
+                CampaignReport {
+                    results: Vec::new(),
+                    portal: Arc::clone(&self.portal),
+                    threads: self.workers.len().max(1),
+                },
+                sched,
+            );
+        }
+
+        // Partition: scenarios shippable over /v1 (single-loop on the sim
+        // backend — the worker instantiates the lab from the config) vs
+        // everything that must run in the driver process.
+        let shippable: Vec<usize> = (0..n)
+            .filter(|&i| {
+                scenarios[i].mode == RunMode::Single && scenarios[i].backend == BackendSpec::Sim
+            })
+            .collect();
+        let local: Vec<usize> = (0..n)
+            .filter(|&i| {
+                !(scenarios[i].mode == RunMode::Single && scenarios[i].backend == BackendSpec::Sim)
+            })
+            .collect();
+
+        let pool = self.workers.len();
+        let shard_size = self.shard.unwrap_or_else(|| {
+            if pool == 0 {
+                1
+            } else {
+                (shippable.len() / (pool * 4)).max(1)
+            }
+        });
+        sched.shard_size = shard_size;
+
+        // With no pool, every scenario is driver-local.
+        let (queued, extra_local): (&[usize], &[usize]) =
+            if pool == 0 { (&[], &shippable) } else { (&shippable, &[]) };
+        let queue = ShardQueue::deal(queued, pool.max(1), shard_size);
+
+        let scenarios = Arc::new(scenarios);
+        // Drivers currently holding a live worker; the in-process fallback
+        // only engages when this reaches zero.
+        let healthy = AtomicUsize::new(pool);
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioResult)>();
+        let stats: Vec<parking_lot::Mutex<WorkerStats>> =
+            sched.workers.drain(..).map(parking_lot::Mutex::new).collect();
+
+        let mut slots: Vec<Option<ScenarioResult>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            // One driver thread per remote worker.
+            for (w, url) in self.workers.iter().enumerate() {
+                let scenarios = Arc::clone(&scenarios);
+                let tx = tx.clone();
+                let (queue, healthy, stats) = (&queue, &healthy, &stats[w]);
+                let (retry, probe_budget) = (self.retry, self.probe_budget);
+                scope.spawn(move || {
+                    drive_worker(
+                        w,
+                        url,
+                        &scenarios,
+                        queue,
+                        healthy,
+                        stats,
+                        &tx,
+                        retry,
+                        probe_budget,
+                    );
+                });
+            }
+
+            // The driver process's own executor: runs unshippable scenarios,
+            // then stands by as the last-resort fallback for a dead pool.
+            {
+                let scenarios = Arc::clone(&scenarios);
+                let tx = tx.clone();
+                let (queue, healthy) = (&queue, &healthy);
+                let local = [local, extra_local.to_vec()].concat();
+                scope.spawn(move || {
+                    let mut scratch = DetectorScratch::default();
+                    for &i in &local {
+                        let spec = scenarios[i].clone();
+                        let outcome = execute(&spec, &mut scratch);
+                        if tx.send((i, ScenarioResult { spec, index: i, outcome })).is_err() {
+                            return;
+                        }
+                    }
+                    // Fallback: only claim shippable work while no driver
+                    // holds a healthy worker (otherwise stay out of the
+                    // pool's way — throughput scaling is theirs to prove).
+                    loop {
+                        if queue.outstanding() == 0 {
+                            return;
+                        }
+                        if healthy.load(Ordering::Acquire) > 0 {
+                            std::thread::sleep(IDLE_POLL);
+                            continue;
+                        }
+                        let Some(i) = queue.claim_any() else {
+                            std::thread::sleep(IDLE_POLL);
+                            continue;
+                        };
+                        let spec = scenarios[i].clone();
+                        let outcome = execute(&spec, &mut scratch);
+                        queue.complete_one();
+                        if tx.send((i, ScenarioResult { spec, index: i, outcome })).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            // Deterministic merge: collect results, publish completed
+            // prefixes in input order (same protocol as CampaignRunner).
+            let mut pending: BTreeMap<usize, ScenarioResult> = BTreeMap::new();
+            let mut next_publish = 0usize;
+            let mut done = 0usize;
+            while done < n {
+                let (i, result) = rx.recv().expect("scheduler worker channel closed early");
+                done += 1;
+                if self.progress {
+                    eprintln!(
+                        "[{done}/{n}] {} {}",
+                        result.spec.label,
+                        match &result.outcome {
+                            Ok(o) => format!("best {:.2} in {}", o.best_score(), o.duration()),
+                            Err(e) => format!("FAILED: {e}"),
+                        }
+                    );
+                }
+                pending.insert(i, result);
+                while let Some(result) = pending.remove(&next_publish) {
+                    publish_scenario(&self.portal, &self.store, self.publish_records, &result);
+                    slots[next_publish] = Some(result);
+                    next_publish += 1;
+                }
+            }
+        });
+
+        let results: Vec<ScenarioResult> =
+            slots.into_iter().map(|s| s.expect("every scenario slot filled")).collect();
+        publish_campaign_record(&self.portal, &results);
+
+        sched.workers = stats.into_iter().map(|m| m.into_inner()).collect();
+        let remote_done: u64 = sched.workers.iter().map(|w| w.completed).sum();
+        sched.local = local_unshippable_count(&results);
+        sched.fallback = (n as u64).saturating_sub(remote_done + sched.local);
+        sched.wall = started.elapsed();
+        sched.samples = results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|o| o.samples_measured() as u64)
+            .sum();
+        self.portal.ingest(sched.to_value());
+
+        let report =
+            CampaignReport { results, portal: Arc::clone(&self.portal), threads: pool.max(1) };
+        (report, sched)
+    }
+}
+
+/// Scenarios that could never have shipped (the driver-local share that is
+/// not fallback work).
+fn local_unshippable_count(results: &[ScenarioResult]) -> u64 {
+    results
+        .iter()
+        .filter(|r| !(r.spec.mode == RunMode::Single && r.spec.backend == BackendSpec::Sim))
+        .count() as u64
+}
+
+/// One remote worker's driver loop: claim → drive remotely → merge or
+/// requeue; on transport failure, evict and probe for readmission.
+#[allow(clippy::too_many_arguments)]
+fn drive_worker(
+    me: usize,
+    url: &str,
+    scenarios: &[ScenarioSpec],
+    queue: &ShardQueue,
+    healthy: &AtomicUsize,
+    stats: &parking_lot::Mutex<WorkerStats>,
+    tx: &mpsc::Sender<(usize, ScenarioResult)>,
+    retry: RetryPolicy,
+    probe_budget: u32,
+) {
+    let mut is_healthy = true;
+    let mut probe_failures = 0u32;
+    loop {
+        if queue.outstanding() == 0 {
+            break;
+        }
+        if !is_healthy {
+            if probe(url, retry.connect_timeout) {
+                is_healthy = true;
+                probe_failures = 0;
+                healthy.fetch_add(1, Ordering::AcqRel);
+                stats.lock().readmissions += 1;
+            } else {
+                probe_failures += 1;
+                if probe_failures > probe_budget {
+                    break; // permanently dead; the pool (or fallback) owns the rest
+                }
+                std::thread::sleep(retry.backoff(probe_failures));
+                continue;
+            }
+        }
+        let Some(claim) = queue.claim(me) else {
+            std::thread::sleep(IDLE_POLL);
+            continue;
+        };
+        let index = claim.index();
+        let spec = scenarios[index].clone();
+        let started = Instant::now();
+        let (outcome, wire) = drive_one(url, &spec, retry);
+        let busy = started.elapsed();
+        {
+            let mut s = stats.lock();
+            s.busy += busy;
+            s.wire_posts += wire.posts;
+            s.wire_resends += wire.resends;
+            s.wire_reconnects += wire.reconnects;
+        }
+        match outcome {
+            Err(e) if e.is_transport() => {
+                // Worker death, not scenario failure: the attempt's session
+                // (and its partial records) died with the worker; requeue
+                // for a clean re-drive elsewhere and start probing.
+                queue.requeue(index);
+                is_healthy = false;
+                healthy.fetch_sub(1, Ordering::AcqRel);
+                let mut s = stats.lock();
+                s.retries += 1;
+                s.evictions += 1;
+            }
+            outcome => {
+                {
+                    let mut s = stats.lock();
+                    s.completed += 1;
+                    if matches!(claim, Claim::Stolen(_)) {
+                        s.stolen += 1;
+                    }
+                }
+                queue.complete_one();
+                let outcome = outcome.map(|o| ScenarioOutcome::Single(Box::new(o)));
+                if tx.send((index, ScenarioResult { spec, index, outcome })).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    if is_healthy {
+        healthy.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Drive one shippable scenario on `url`, returning the outcome plus the
+/// backend's wire-level retry accounting.
+fn drive_one(
+    url: &str,
+    spec: &ScenarioSpec,
+    retry: RetryPolicy,
+) -> (Result<crate::app::ExperimentOutcome, AppError>, crate::backend::RemoteStats) {
+    let mut backend = RemoteBackend::new(url, spec.config.clone()).with_retry(retry);
+    let outcome = match Experiment::new(spec.config.clone()) {
+        Ok(mut session) => session.run_on(&mut backend),
+        Err(e) => Err(e),
+    };
+    (outcome, backend.stats())
+}
+
+/// One cheap liveness probe: `GET /healthz` with a short connect timeout.
+fn probe(url: &str, timeout: Duration) -> bool {
+    let Ok(addrs) = url.to_socket_addrs() else { return false };
+    for addr in addrs {
+        let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else { continue };
+        stream.set_read_timeout(Some(timeout)).ok();
+        let mut stream = stream;
+        if write!(stream, "GET /healthz HTTP/1.1\r\nHost: lab\r\nConnection: close\r\n\r\n")
+            .is_err()
+        {
+            continue;
+        }
+        let mut line = String::new();
+        if BufReader::new(stream).read_line(&mut line).is_err() {
+            continue;
+        }
+        let ok = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .is_some_and(|status| status < 500);
+        if ok {
+            return true;
+        }
+    }
+    false
+}

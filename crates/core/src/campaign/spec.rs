@@ -163,6 +163,12 @@ pub struct CampaignConfig {
     pub backend: BackendSpec,
     /// Worker threads (None = one per core).
     pub threads: Option<usize>,
+    /// Remote worker pool (`host:port` addresses). Non-empty selects the
+    /// distributed [`CampaignScheduler`](crate::CampaignScheduler) instead
+    /// of the thread-pool runner.
+    pub workers: Vec<String>,
+    /// Scheduler shard size (scenarios per deal unit; None = automatic).
+    pub shard: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -181,6 +187,8 @@ impl CampaignConfig {
             n_ot2: Vec::new(),
             backend: BackendSpec::Sim,
             threads: None,
+            workers: Vec::new(),
+            shard: None,
         }
     }
 
@@ -312,6 +320,22 @@ impl CampaignConfig {
                 return Err(ConfigError("threads must be positive".into()));
             }
             cfg.threads = Some(t as usize);
+        }
+        if let Some(seq) = axis("workers")? {
+            for w in seq {
+                let addr = w
+                    .as_str()
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .ok_or_else(|| ConfigError("workers entries must be addresses".into()))?;
+                cfg.workers.push(addr.to_string());
+            }
+        }
+        if let Some(s) = doc.opt_i64("shard") {
+            if s < 1 {
+                return Err(ConfigError("shard must be positive".into()));
+            }
+            cfg.shard = Some(s as usize);
         }
         Ok(cfg)
     }

@@ -41,11 +41,12 @@ pub use app::{
 };
 pub use backend::{
     wire, BackendCaps, BackendClose, BackendSpec, Batch, BatchResult, LabBackend, RemoteBackend,
-    ReplayBackend, SimBackend, WellMeasurement,
+    RemoteStats, ReplayBackend, RetryPolicy, SimBackend, WellMeasurement,
 };
 pub use campaign::{
     batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignReport, CampaignRunner,
-    RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, SweepItem,
+    CampaignScheduler, RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, SchedulerReport,
+    SweepItem, WorkerStats,
 };
 pub use config::{AppConfig, ConfigError};
 pub use experiment::Experiment;

@@ -50,6 +50,61 @@ struct LabSession {
 /// Closed-session responses kept for lost-response replay.
 const CLOSED_CACHE: usize = 64;
 
+/// Lock-free dispatch counters for the batch-execution API, rendered next
+/// to the route metrics at `GET /metrics` (`sdl_lab_*`). These are what a
+/// campaign scheduler's per-worker view looks like from the worker's side:
+/// in-flight batches, replayed (client-retried) runs, session churn.
+#[derive(Debug, Default)]
+pub struct LabMetrics {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_evicted: AtomicU64,
+    batches_executed: AtomicU64,
+    /// Duplicate-run resubmissions answered from the idempotency cache —
+    /// each one is a scheduler/client retry observed on this worker.
+    batch_replays: AtomicU64,
+    /// Batches currently executing (gauge).
+    batches_inflight: AtomicU64,
+}
+
+impl LabMetrics {
+    /// Batches currently executing.
+    pub fn inflight(&self) -> u64 {
+        self.batches_inflight.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate-run replays served (observed client retries).
+    pub fn replays(&self) -> u64 {
+        self.batch_replays.load(Ordering::Relaxed)
+    }
+
+    /// Batches executed (idempotent replays excluded).
+    pub fn executed(&self) -> u64 {
+        self.batches_executed.load(Ordering::Relaxed)
+    }
+
+    /// Sessions evicted after [`SESSION_TTL`] of inactivity.
+    pub fn evicted(&self) -> u64 {
+        self.sessions_evicted.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements the in-flight gauge even when a handler early-returns.
+struct InflightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(gauge: &'a AtomicU64) -> InflightGuard<'a> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Hosts simulated-lab sessions for remote experiment drivers.
 #[derive(Default)]
 pub struct LabHost {
@@ -59,6 +114,7 @@ pub struct LabHost {
     /// (bounded FIFO of [`CLOSED_CACHE`] entries).
     closed: Mutex<Vec<(String, Value)>>,
     next_id: AtomicU64,
+    metrics: LabMetrics,
 }
 
 impl std::fmt::Debug for LabHost {
@@ -81,6 +137,68 @@ impl LabHost {
     /// True when no lab sessions are open.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The host's dispatch counters.
+    pub fn metrics(&self) -> &LabMetrics {
+        &self.metrics
+    }
+
+    /// Render the batch-execution metrics in the Prometheus text format
+    /// (appended to the portal route metrics at `GET /metrics`).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let p = "sdl_lab";
+        let m = &self.metrics;
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {p}_{name} {help}");
+            let _ = writeln!(out, "# TYPE {p}_{name} gauge");
+            let _ = writeln!(out, "{p}_{name} {v}");
+        };
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {p}_{name} {help}");
+            let _ = writeln!(out, "# TYPE {p}_{name} counter");
+            let _ = writeln!(out, "{p}_{name} {v}");
+        };
+        gauge(&mut out, "sessions_open", "Live lab sessions.", self.len() as u64);
+        gauge(
+            &mut out,
+            "batches_inflight",
+            "Batches currently executing.",
+            m.batches_inflight.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sessions_opened_total",
+            "Lab sessions created.",
+            m.sessions_opened.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sessions_closed_total",
+            "Lab sessions closed by the client.",
+            m.sessions_closed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sessions_evicted_total",
+            "Abandoned sessions evicted after the idle TTL.",
+            m.sessions_evicted.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "batches_executed_total",
+            "Batches mixed and measured.",
+            m.batches_executed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "batch_replays_total",
+            "Duplicate-run resubmissions answered from the idempotency cache (client retries).",
+            m.batch_replays.load(Ordering::Relaxed),
+        );
+        out
     }
 
     /// Route one `/v1/*` request.
@@ -125,6 +243,7 @@ impl LabHost {
         let id = format!("lab-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
         let session = LabSession { backend, last_batch: None, last_used: Instant::now() };
         self.sessions.lock().insert(id.clone(), Arc::new(Mutex::new(session)));
+        self.metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
         let mut v = wire::caps_to_value(&caps);
         v.set("session", id.as_str());
         if let Some(e) = open_error {
@@ -137,10 +256,20 @@ impl LabHost {
     /// Drop sessions idle past [`SESSION_TTL`] (a busy session — one whose
     /// lock is held by an in-flight request — is by definition not idle).
     fn evict_idle(&self) {
+        let mut evicted = 0u64;
         self.sessions.lock().retain(|_, s| match s.try_lock() {
-            Some(state) => state.last_used.elapsed() < SESSION_TTL,
+            Some(state) => {
+                let keep = state.last_used.elapsed() < SESSION_TTL;
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            }
             None => true,
         });
+        if evicted > 0 {
+            self.metrics.sessions_evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     fn session(&self, req: &Request) -> Result<Arc<Mutex<LabSession>>, Response> {
@@ -169,6 +298,7 @@ impl LabHost {
         // Sessions are driven by one client at a time; the per-session lock
         // serializes stray concurrent submissions without blocking other
         // sessions.
+        let _inflight = InflightGuard::enter(&self.metrics.batches_inflight);
         let mut state = session.lock();
         state.last_used = Instant::now();
         // Idempotent resend: a client that lost the response re-posts the
@@ -176,12 +306,14 @@ impl LabHost {
         // a second time.
         if let Some((run, cached)) = &state.last_batch {
             if *run == batch.run {
+                self.metrics.batch_replays.fetch_add(1, Ordering::Relaxed);
                 return Response::json(to_json(cached));
             }
         }
         let result = state.backend.submit_batch(&batch);
         match result {
             Ok(result) => {
+                self.metrics.batches_executed.fetch_add(1, Ordering::Relaxed);
                 let v = wire::result_to_value(&result);
                 let body = to_json(&v);
                 state.last_batch = Some((batch.run, v));
@@ -212,6 +344,7 @@ impl LabHost {
         let result = session.lock().backend.close(samples);
         match result {
             Ok(close) => {
+                self.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
                 let v = wire::close_to_value(&close);
                 let body = to_json(&v);
                 let mut closed = self.closed.lock();
@@ -328,6 +461,28 @@ mod tests {
         );
         assert_eq!(third.status, 200);
         assert!(json(&third).opt_i64("elapsed_us").unwrap() > e1);
+    }
+
+    #[test]
+    fn dispatch_metrics_count_sessions_batches_and_replays() {
+        let host = LabHost::new();
+        let created = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        let session = json(&created).opt_str("session").unwrap().to_string();
+        let body = r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#;
+        post(&host, &format!("/v1/batch?session={session}"), body);
+        post(&host, &format!("/v1/batch?session={session}"), body); // idempotent replay
+        post(&host, &format!("/v1/close?session={session}"), r#"{"samples": 2}"#);
+        assert_eq!(host.metrics().executed(), 1, "replay must not count as execution");
+        assert_eq!(host.metrics().replays(), 1);
+        assert_eq!(host.metrics().inflight(), 0, "gauge returns to zero");
+        assert_eq!(host.metrics().evicted(), 0);
+        let text = host.render_prometheus();
+        assert!(text.contains("sdl_lab_sessions_open 0"));
+        assert!(text.contains("sdl_lab_sessions_opened_total 1"));
+        assert!(text.contains("sdl_lab_sessions_closed_total 1"));
+        assert!(text.contains("sdl_lab_batches_executed_total 1"));
+        assert!(text.contains("sdl_lab_batch_replays_total 1"));
+        assert!(text.contains("sdl_lab_batches_inflight 0"));
     }
 
     #[test]

@@ -237,12 +237,16 @@ impl PortalServer {
     }
 
     fn prometheus(&self) -> Response {
-        let text = self.metrics.render_prometheus(
+        let mut text = self.metrics.render_prometheus(
             self.portal.len(),
             self.store.len(),
             self.store.total_bytes(),
             self.started.elapsed(),
         );
+        // Worker mode: the batch-execution dispatch metrics ride along.
+        if let Some(lab) = &self.lab {
+            text.push_str(&lab.render_prometheus());
+        }
         Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text)
     }
 }

@@ -1,0 +1,118 @@
+//! Distributed campaign over a worker pool, with graceful degradation:
+//! fan one campaign across several `sdl-lab serve` processes, kill one
+//! mid-flight, and show the merged result is still bit-identical to the
+//! single-process run.
+//!
+//! ```text
+//! cargo build --release
+//! cargo run --release --example worker_pool
+//! ```
+//!
+//! The scheduler shards the scenario matrix across the pool with work
+//! stealing; when a worker dies its queued and in-flight scenarios re-enter
+//! the shared retry lane and the survivors absorb them. Killed workers
+//! degrade throughput, never correctness.
+
+use sdl_lab::prelude::*;
+use std::io::BufRead as _;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// One spawned `sdl-lab serve` worker, killed on drop.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    fn spawn(bin: &std::path::Path) -> Result<Worker, String> {
+        let mut child = Command::new(bin)
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn sdl-lab serve: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut banner = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut banner)
+            .map_err(|e| format!("read serve banner: {e}"))?;
+        let addr = banner
+            .trim()
+            .strip_prefix("serving on http://")
+            .ok_or_else(|| format!("unexpected banner: {banner:?}"))?
+            .to_string();
+        Ok(Worker { child, addr })
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn scenarios() -> Vec<ScenarioSpec> {
+    let config =
+        AppConfig { sample_budget: 12, batch: 4, publish_images: false, ..AppConfig::default() };
+    [SolverKind::Genetic, SolverKind::Random, SolverKind::Bayesian]
+        .into_iter()
+        .flat_map(|solver| {
+            let config = config.clone();
+            (0..3).map(move |i| {
+                let mut c = config.clone();
+                c.solver = solver;
+                c.seed = 40 + i;
+                ScenarioSpec::new(format!("{}/s{}", solver.name(), c.seed), c)
+            })
+        })
+        .collect()
+}
+
+fn main() -> Result<(), String> {
+    // target/release/examples/worker_pool → target/release/sdl-lab
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.parent()?.join("sdl-lab")))
+        .filter(|p| p.exists())
+        .ok_or("sdl-lab binary not found next to this example — run `cargo build --release`")?;
+
+    // The single-process golden run every distributed merge must match.
+    let golden = CampaignRunner::new().run(scenarios());
+    println!("golden: {} scenarios, single process", golden.len());
+
+    let mut workers = (0..3).map(|_| Worker::spawn(&bin)).collect::<Result<Vec<_>, _>>()?;
+    let urls: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+    println!("worker pool: {}", urls.join(", "));
+
+    // Fail over quickly so the kill below is absorbed without long stalls.
+    let scheduler =
+        CampaignScheduler::new(urls).shard_size(1).retry(RetryPolicy::failover()).probe_budget(2);
+
+    // Kill one worker shortly after the campaign starts fanning out.
+    let doomed = workers.remove(2);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        println!("killing worker {} mid-campaign", doomed.addr);
+        drop(doomed);
+    });
+
+    let (report, sched) = scheduler.run(scenarios());
+    killer.join().expect("killer thread");
+
+    for line in sched.summary_lines() {
+        println!("{line}");
+    }
+    assert_eq!(
+        golden.fingerprint(),
+        report.fingerprint(),
+        "distributed merge must be bit-identical to the single-process run"
+    );
+    println!(
+        "bit-identical merge across {} scenarios despite {} eviction(s) ✓",
+        report.len(),
+        sched.total_evictions()
+    );
+    Ok(())
+}

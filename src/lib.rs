@@ -44,8 +44,8 @@ pub mod prelude {
     pub use sdl_color::{DeltaE, Rgb8};
     pub use sdl_core::{
         AppConfig, BackendCaps, BackendSpec, Batch, BatchResult, CampaignConfig, CampaignRunner,
-        ColorPickerApp, Experiment, ExperimentOutcome, LabBackend, RemoteBackend, ReplayBackend,
-        ScenarioSpec, SimBackend,
+        CampaignScheduler, ColorPickerApp, Experiment, ExperimentOutcome, LabBackend,
+        RemoteBackend, ReplayBackend, RetryPolicy, ScenarioSpec, SimBackend,
     };
     pub use sdl_desim::{RngHub, SimDuration, SimTime};
     pub use sdl_solvers::{register_solver, ColorSolver, SolverKind, SolverRegistry};

@@ -7,7 +7,8 @@
 //!             [--target R,G,B] [--config FILE] [--runlog-dir DIR]
 //!             [--export-portal FILE] [--flat-field]
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
-//! sdl-lab campaign --config FILE [--threads T] [--export-portal FILE]
+//! sdl-lab campaign --config FILE [--threads T] [--workers url1,url2,...]
+//!                  [--shard N] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
@@ -17,7 +18,8 @@
 
 use sdl_lab::color::Rgb8;
 use sdl_lab::core::{
-    batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignRunner, ColorPickerApp, Experiment,
+    batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignRunner, CampaignScheduler,
+    ColorPickerApp, Experiment,
 };
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
@@ -101,6 +103,11 @@ campaign options:
                       mix_models/fidelities/fault_rates/n_ot2 axes over a
                       base config)
   --threads T         worker threads (overrides the config's 'threads')
+  --workers LIST      comma-separated worker addresses (host:port); fans the
+                      campaign across remote 'sdl-lab serve' workers with
+                      work stealing (overrides the config's 'workers:')
+  --shard N           scheduler shard size, scenarios per deal unit
+                      (overrides the config's 'shard:'; default automatic)
   --export-portal F   write every streamed scenario record as JSON lines
   --fingerprint       print the campaign's determinism fingerprint
 
@@ -142,7 +149,12 @@ remote-worker example:
   sdl-lab serve --addr 127.0.0.1:8323 &          # lab worker
   sdl-lab run --samples 16 --backend remote:127.0.0.1:8323
   sdl-lab run --samples 16 --export-portal rec.jsonl
-  sdl-lab run --samples 16 --backend replay:rec.jsonl   # offline re-drive"
+  sdl-lab run --samples 16 --backend replay:rec.jsonl   # offline re-drive
+
+worker-pool example (distributed campaign, bit-identical to single-process):
+  sdl-lab serve --addr 127.0.0.1:8331 &          # worker 1
+  sdl-lab serve --addr 127.0.0.1:8332 &          # worker 2
+  sdl-lab campaign --config c.yaml --workers 127.0.0.1:8331,127.0.0.1:8332"
     );
 }
 
@@ -318,19 +330,53 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if scenarios.is_empty() {
         return Err("campaign expands to zero scenarios".into());
     }
-    let mut runner = runner_for(args)?.progress(true);
-    if flag_value(args, "--threads").is_none() {
-        if let Some(t) = config.threads {
-            runner = runner.threads(t);
+
+    // A worker pool (from --workers or the config's `workers:` key) selects
+    // the distributed scheduler; otherwise the thread-pool runner.
+    let workers: Vec<String> = match flag_value(args, "--workers") {
+        Some(list) => {
+            list.split(',').map(str::trim).filter(|w| !w.is_empty()).map(str::to_string).collect()
         }
-    }
-    eprintln!(
-        "campaign '{}': {} scenarios on {} threads...",
-        config.name,
-        scenarios.len(),
-        runner.worker_threads()
-    );
-    let report = runner.run(scenarios);
+        None => config.workers.clone(),
+    };
+    let report = if workers.is_empty() {
+        let mut runner = runner_for(args)?.progress(true);
+        if flag_value(args, "--threads").is_none() {
+            if let Some(t) = config.threads {
+                runner = runner.threads(t);
+            }
+        }
+        eprintln!(
+            "campaign '{}': {} scenarios on {} threads...",
+            config.name,
+            scenarios.len(),
+            runner.worker_threads()
+        );
+        runner.run(scenarios)
+    } else {
+        let mut scheduler = CampaignScheduler::new(workers).progress(true);
+        let shard = match flag_value(args, "--shard") {
+            Some(v) => {
+                let s: usize = v.parse().map_err(|_| format!("bad --shard '{v}'"))?;
+                Some(s.max(1))
+            }
+            None => config.shard,
+        };
+        if let Some(s) = shard {
+            scheduler = scheduler.shard_size(s);
+        }
+        eprintln!(
+            "campaign '{}': {} scenarios across {} workers...",
+            config.name,
+            scenarios.len(),
+            scheduler.pool().len()
+        );
+        let (report, sched) = scheduler.run(scenarios);
+        for line in sched.summary_lines() {
+            eprintln!("{line}");
+        }
+        report
+    };
     println!("# campaign '{}'", config.name);
     println!("{}", report.summary_table());
     let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
