@@ -22,7 +22,10 @@
 //!    default path;
 //! 6. distributed-scheduler throughput — one scenario matrix fanned over
 //!    1/2/4 loopback workers via `CampaignScheduler` (samples/s plus
-//!    scaling vs. a single worker; flat on a one-core host by design).
+//!    scaling vs. a single worker; flat on a one-core host by design);
+//! 7. campaign event-log append overhead — mean durable-append latency
+//!    times the events a batch emits, as a fraction of the batch's lab
+//!    wall time (`--check` gates it below 2%).
 //!
 //! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
 //! there; `--out` to override) so successive PRs accumulate a perf
@@ -35,8 +38,8 @@ use sdl_bench::{arg_or, median};
 use sdl_color::Rgb8;
 use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
 use sdl_core::{
-    AppConfig, CampaignScheduler, ColorPickerApp, Experiment, LabBackend, RemoteBackend,
-    ScenarioSpec, SimBackend,
+    AppConfig, CampaignEvent, CampaignScheduler, ColorPickerApp, EventLog, Experiment, LabBackend,
+    RemoteBackend, ScenarioSpec, SimBackend,
 };
 use sdl_solvers::{BayesSolver, ColorSolver, Observation, SolverKind};
 use sdl_vision::{
@@ -224,6 +227,37 @@ fn time_backend_dispatch(remote: Option<&str>, batches: u32, batch: u32) -> f64 
     median(&samples)
 }
 
+/// Mean append latency (µs) of a durable, file-backed [`EventLog`] over
+/// `n` appends of the hot-loop event (`sample_published`). The mean —
+/// not the median — so the periodic fsync batches are amortized in, the
+/// way a campaign actually pays them.
+fn time_event_append(n: usize) -> f64 {
+    let path =
+        std::env::temp_dir().join(format!("sdl-hotpath-events-{}.jsonl", std::process::id()));
+    let log = EventLog::create(&path).expect("create bench event log");
+    let event = CampaignEvent::SamplePublished {
+        index: 3,
+        attempt: 0,
+        run: 7,
+        sample: 42,
+        well: "D11".to_string(),
+        ratios: vec![0.18, 0.16, 0.16, 0.62],
+        measured: [120, 121, 119],
+        score: 17.25,
+        best: 12.5,
+        elapsed_us: 123_456,
+        batch_wall_us: 15_000,
+    };
+    let t = Instant::now();
+    for _ in 0..n {
+        log.append(&event);
+    }
+    let mean = t.elapsed().as_secs_f64() * 1e6 / n as f64;
+    drop(log);
+    let _ = std::fs::remove_file(&path);
+    mean
+}
+
 /// Spawn a loopback lab worker (the `sdl-lab serve` stack, in-process).
 fn loopback_worker() -> sdl_portal_server::ServerHandle {
     use std::sync::Arc;
@@ -287,6 +321,16 @@ fn check(path: &str) {
             assert!(row.get(key).is_some(), "{path}: backend_dispatch row missing '{key}'");
         }
     }
+    let event_log = doc.get("event_log").unwrap_or_else(|| panic!("{path}: missing 'event_log'"));
+    for key in ["appends", "append_us_mean", "events_per_batch", "batch_wall_us", "overhead_frac"] {
+        assert!(event_log.get(key).is_some(), "{path}: event_log missing '{key}'");
+    }
+    let overhead = event_log.get("overhead_frac").and_then(Value::as_f64).expect("overhead_frac");
+    assert!(
+        overhead < 0.02,
+        "{path}: event-log append overhead is {:.2}% of batch wall time (budget: 2%)",
+        100.0 * overhead
+    );
     let scheduler = doc.get("scheduler").and_then(Value::as_seq).expect("scheduler section");
     assert!(!scheduler.is_empty(), "{path}: empty scheduler section");
     for row in scheduler {
@@ -373,9 +417,13 @@ fn main() {
     let worker_addr = worker.addr().to_string();
     let dispatch_batches = if smoke { 4 } else { 16 };
     let mut dispatch = Value::seq();
+    let mut sim_b4_us = 0.0f64;
     for batch in [1u32, 4] {
         let sim_us = time_backend_dispatch(None, dispatch_batches, batch);
         let remote_us = time_backend_dispatch(Some(&worker_addr), dispatch_batches, batch);
+        if batch == 4 {
+            sim_b4_us = sim_us;
+        }
         let mut row = Value::map();
         row.set("batch", batch as i64);
         row.set("batches", dispatch_batches as i64);
@@ -393,6 +441,27 @@ fn main() {
     }
     worker.shutdown();
     doc.set("backend_dispatch", dispatch);
+
+    // Event-log overhead: the observability tentpole appends ~(batch + 2)
+    // events per executed batch (one asked, one told, one per sample), so
+    // overhead_frac is the share of a batch's lab wall time spent logging.
+    // --check gates this below 2%.
+    let appends = if smoke { 512usize } else { 4096 };
+    let append_us = time_event_append(appends);
+    let events_per_batch = batch + 2;
+    let overhead = append_us * events_per_batch as f64 / sim_b4_us;
+    let mut event_log = Value::map();
+    event_log.set("appends", appends as i64);
+    event_log.set("append_us_mean", append_us);
+    event_log.set("events_per_batch", events_per_batch as i64);
+    event_log.set("batch_wall_us", sim_b4_us);
+    event_log.set("overhead_frac", overhead);
+    eprintln!(
+        "event log: {append_us:.2}µs/append, {events_per_batch}/batch over {sim_b4_us:.0}µs \
+         ({:.3}% of batch wall)",
+        100.0 * overhead
+    );
+    doc.set("event_log", event_log);
 
     // Distributed-scheduler throughput: the same scenario matrix fanned
     // over 1/2/4 loopback workers. On a single-core host the scaling is

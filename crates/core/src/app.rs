@@ -52,6 +52,11 @@ pub enum AppError {
     /// connection lost, timed out): the work itself never completed, so a
     /// scheduler may safely retry it on another worker.
     Transport(String),
+    /// An error restored verbatim from a campaign event log during resume.
+    /// The original variant is gone — only its rendered message survives in
+    /// the log — so this displays the stored text unchanged, keeping
+    /// resumed fingerprints bit-identical to the interrupted run's.
+    Restored(String),
 }
 
 impl AppError {
@@ -72,6 +77,7 @@ impl fmt::Display for AppError {
             AppError::Setup(m) => write!(f, "setup error: {m}"),
             AppError::Backend(m) => write!(f, "backend error: {m}"),
             AppError::Transport(m) => write!(f, "worker unreachable: {m}"),
+            AppError::Restored(m) => write!(f, "{m}"),
         }
     }
 }

@@ -19,16 +19,25 @@
 //! The legacy sweep helpers ([`run_sweep`], [`batch_sweep`],
 //! [`solver_sweep`], [`run_one`]) are thin veneers over the runner.
 
+mod events;
+mod progress;
 mod publish;
 mod queue;
 mod report;
+mod resume;
 mod runner;
 mod scheduler;
 mod spec;
 
+pub use events::{
+    CampaignEvent, EventLog, EventRecord, EventScope, MultiTelemetry, RecoveryReport,
+    ScenarioSummary, SingleTelemetry,
+};
+pub use progress::{ProgressModel, WorkerProgress};
 pub use report::{CampaignReport, ScenarioOutcome, ScenarioResult};
+pub use resume::ResumeStats;
 pub use runner::CampaignRunner;
-pub use scheduler::{CampaignScheduler, SchedulerReport, WorkerStats};
+pub use scheduler::{CampaignScheduler, PhaseTimings, SchedulerReport, WorkerStats};
 pub use spec::{CampaignConfig, RunMode, ScenarioSpec};
 
 use crate::app::{AppError, ColorPickerApp, ExperimentOutcome};

@@ -1,0 +1,453 @@
+//! A pure fold over the campaign event stream into dashboard state.
+//!
+//! [`ProgressModel`] consumes [`CampaignEvent`]s in sequence order and
+//! maintains everything the `sdl-lab watch` terminal dashboard and the
+//! portal's `sdl_lab_campaign_*` gauges display: scenario progress,
+//! per-worker counters and queue depths, the best-score sparkline.
+//! Rendering is plain text (no ANSI) so the same output is unit-testable
+//! and pasteable into docs; the CLI adds cursor control around it.
+
+use crate::campaign::events::CampaignEvent;
+use sdl_conf::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Best-score samples kept for the sparkline.
+const SPARK_KEEP: usize = 512;
+
+/// Per-worker view folded from claim/steal/eviction events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerProgress {
+    /// Scenarios this worker finished.
+    pub done: u64,
+    /// Scenarios currently executing.
+    pub running: u64,
+    /// Claims that were steals from a peer.
+    pub steals: u64,
+    /// Times a peer stole from this worker's queue.
+    pub stolen_from: u64,
+    /// Retry claims (work bounced off a dead worker).
+    pub retries: u64,
+    /// Evictions after transport failures.
+    pub evictions: u64,
+    /// Readmissions after a successful health probe.
+    pub readmissions: u64,
+    /// Scenarios still queued for this worker at its last claim.
+    pub queue_depth: u64,
+    /// Sequence number of the last event mentioning this worker.
+    pub last_seq: u64,
+}
+
+/// Dashboard state folded from the event stream.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressModel {
+    /// Campaign name from `campaign_opened`.
+    pub campaign: String,
+    /// `runner` or `scheduler`.
+    pub executor: String,
+    /// Total scenarios.
+    pub total: usize,
+    /// Scenarios finished successfully.
+    pub done: usize,
+    /// Scenarios failed.
+    pub failed: usize,
+    /// Labels of scenarios currently running, by index.
+    pub running: BTreeMap<usize, String>,
+    /// Samples published so far.
+    pub samples: u64,
+    /// Best (lowest) score seen so far.
+    pub best: Option<f64>,
+    /// Recent best-so-far scores, one per published sample (bounded).
+    pub best_history: Vec<f64>,
+    /// Per-worker counters.
+    pub workers: BTreeMap<String, WorkerProgress>,
+    /// Highest event sequence number applied.
+    pub seq: u64,
+    /// Scenarios restored from the log by a resume.
+    pub replayed: usize,
+    /// True once `campaign_closed` was applied.
+    pub closed: bool,
+    /// The scheduler report payload of `campaign_closed`, when present.
+    pub scheduler: Option<Value>,
+}
+
+impl ProgressModel {
+    /// An empty model.
+    pub fn new() -> ProgressModel {
+        ProgressModel::default()
+    }
+
+    /// Fold one event (with its sequence number) into the model.
+    pub fn apply(&mut self, seq: u64, event: &CampaignEvent) {
+        self.seq = self.seq.max(seq);
+        fn touch<'a>(
+            workers: &'a mut BTreeMap<String, WorkerProgress>,
+            seq: u64,
+            name: &str,
+        ) -> &'a mut WorkerProgress {
+            let w = workers.entry(name.to_string()).or_default();
+            w.last_seq = w.last_seq.max(seq);
+            w
+        }
+        match event {
+            CampaignEvent::CampaignOpened { campaign, executor, workers, specs } => {
+                self.campaign = campaign.clone();
+                self.executor = executor.clone();
+                self.total = specs.len();
+                for w in workers {
+                    touch(&mut self.workers, seq, w);
+                }
+            }
+            CampaignEvent::ScenarioClaimed { worker, claim, queue_depth, .. } => {
+                let w = touch(&mut self.workers, seq, worker);
+                w.queue_depth = *queue_depth as u64;
+                match claim.as_str() {
+                    "stolen" => w.steals += 1,
+                    "retry" => w.retries += 1,
+                    _ => {}
+                }
+            }
+            CampaignEvent::ScenarioStarted { index, label, worker, .. } => {
+                self.running.insert(*index, label.clone());
+                touch(&mut self.workers, seq, worker).running += 1;
+            }
+            CampaignEvent::BatchAsked { .. } | CampaignEvent::BatchTold { .. } => {}
+            CampaignEvent::SamplePublished { best, .. } => {
+                self.samples += 1;
+                self.best = Some(self.best.map_or(*best, |b| b.min(*best)));
+                if self.best_history.len() == SPARK_KEEP {
+                    self.best_history.remove(0);
+                }
+                self.best_history.push(*best);
+            }
+            CampaignEvent::ScenarioFinished { index, worker, summary, .. } => {
+                self.running.remove(index);
+                self.done += 1;
+                self.best =
+                    Some(self.best.map_or(summary.best_score, |b| b.min(summary.best_score)));
+                let w = touch(&mut self.workers, seq, worker);
+                w.done += 1;
+                w.running = w.running.saturating_sub(1);
+            }
+            CampaignEvent::ScenarioFailed { index, worker, .. } => {
+                self.running.remove(index);
+                self.failed += 1;
+                let w = touch(&mut self.workers, seq, worker);
+                w.running = w.running.saturating_sub(1);
+            }
+            CampaignEvent::WorkerEvicted { worker, .. } => {
+                let w = touch(&mut self.workers, seq, worker);
+                w.evictions += 1;
+                w.running = w.running.saturating_sub(1);
+            }
+            CampaignEvent::WorkerReadmitted { worker } => {
+                touch(&mut self.workers, seq, worker).readmissions += 1;
+            }
+            CampaignEvent::WorkerStolenFrom { victim, thief, .. } => {
+                touch(&mut self.workers, seq, victim).stolen_from += 1;
+                touch(&mut self.workers, seq, thief);
+            }
+            CampaignEvent::CampaignResumed { replayed, .. } => {
+                self.replayed = *replayed;
+            }
+            CampaignEvent::CampaignClosed { scenarios, failed, scheduler, .. } => {
+                self.total = self.total.max(*scenarios);
+                self.failed = *failed;
+                self.done = scenarios - failed;
+                self.running.clear();
+                self.closed = true;
+                self.scheduler = scheduler.clone();
+            }
+        }
+    }
+
+    /// Event-log lag of the slowest worker: how far behind the head the
+    /// least recently heard-from worker is (0 with no workers).
+    pub fn slowest_worker_lag(&self) -> u64 {
+        self.workers.values().map(|w| self.seq.saturating_sub(w.last_seq)).max().unwrap_or(0)
+    }
+
+    /// Render the dashboard as plain text, `width` columns wide.
+    /// `samples_per_sec` is measured by the caller (the model has no
+    /// clock).
+    pub fn render(&self, width: usize, samples_per_sec: Option<f64>) -> String {
+        let width = width.clamp(40, 200);
+        let mut out = String::new();
+        let name = if self.campaign.is_empty() { "(waiting for events)" } else { &self.campaign };
+        let state = if self.closed { "closed" } else { "live" };
+        let _ = writeln!(
+            out,
+            "campaign {name}  [{state}]  executor={}  seq={}",
+            if self.executor.is_empty() { "?" } else { &self.executor },
+            self.seq
+        );
+
+        let finished = self.done + self.failed;
+        let _ = writeln!(
+            out,
+            "{} {}/{} scenarios  ({} failed, {} running{})",
+            bar(finished, self.total, width.saturating_sub(30).max(10)),
+            finished,
+            self.total,
+            self.failed,
+            self.running.len(),
+            if self.replayed > 0 { format!(", {} replayed", self.replayed) } else { String::new() }
+        );
+
+        let best = self.best.map_or("-".to_string(), |b| format!("{b:.2}"));
+        let rate = samples_per_sec.map_or("-".to_string(), |r| format!("{r:.1}/s"));
+        let _ = writeln!(
+            out,
+            "samples {}  best {}  rate {}  {}",
+            self.samples,
+            best,
+            rate,
+            sparkline(&self.best_history, 32)
+        );
+
+        for (index, label) in self.running.iter().take(8) {
+            let _ = writeln!(out, "  running #{index} {label}");
+        }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "workers:");
+            for (name, w) in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} q={} steal={} stolen={} retry={} evict={} readmit={} lag={}",
+                    trim_to(name, 24),
+                    w.queue_depth,
+                    w.steals,
+                    w.stolen_from,
+                    w.retries,
+                    w.evictions,
+                    w.readmissions,
+                    self.seq.saturating_sub(w.last_seq),
+                );
+            }
+        }
+        if self.closed {
+            if let Some(sched) = &self.scheduler {
+                for line in scheduler_summary(sched) {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A `[#####.....]` progress bar `cells` wide.
+fn bar(done: usize, total: usize, cells: usize) -> String {
+    let cells = cells.max(4);
+    let filled = if total == 0 { 0 } else { (done * cells + total / 2) / total.max(1) };
+    let filled = filled.min(cells);
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(cells - filled))
+}
+
+/// Downsample `values` to `cells` columns of unicode block heights.
+fn sparkline(values: &[f64], cells: usize) -> String {
+    const BLOCKS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (max - min).max(1e-12);
+    let cells = cells.min(values.len()).max(1);
+    let mut out = String::with_capacity(cells * 3);
+    for c in 0..cells {
+        // Mean of the slice of values this column covers.
+        let lo = c * values.len() / cells;
+        let hi = ((c + 1) * values.len() / cells).max(lo + 1);
+        let slice: Vec<f64> =
+            values[lo..hi.min(values.len())].iter().copied().filter(|v| v.is_finite()).collect();
+        if slice.is_empty() {
+            out.push(BLOCKS[0]);
+            continue;
+        }
+        let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+        let t = ((mean - min) / span).clamp(0.0, 1.0);
+        out.push(BLOCKS[((t * 7.0).round() as usize).min(7)]);
+    }
+    out
+}
+
+fn trim_to(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("…{}", &s[s.len() - (n - 1)..])
+    }
+}
+
+/// Human lines for the `campaign_closed` scheduler payload.
+fn scheduler_summary(v: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    let get = |k: &str| v.get(k).and_then(Value::as_i64).unwrap_or(0);
+    out.push(format!(
+        "scheduler: workers={} shard={} local={} fallback={}",
+        v.get("workers").and_then(Value::as_seq).map_or(0, <[Value]>::len),
+        get("shard_size"),
+        get("local"),
+        get("fallback"),
+    ));
+    if let Some(phases) = v.get("phases") {
+        let ph = |k: &str| phases.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        out.push(format!(
+            "phases: deal={:.3}s steal={:.3}s retry={:.3}s merge={:.3}s",
+            ph("deal_s"),
+            ph("steal_s"),
+            ph("retry_s"),
+            ph("merge_s"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::events::{ScenarioSummary, SingleTelemetry};
+    use crate::termination::TerminationReason;
+    use sdl_desim::SimDuration;
+
+    fn summary(best: f64) -> ScenarioSummary {
+        ScenarioSummary {
+            best_score: best,
+            duration: SimDuration::from_micros(100),
+            samples: 2,
+            plates: 1,
+            robotic_commands: 10,
+            solver_fallbacks: 0,
+            single: Some(SingleTelemetry {
+                termination: TerminationReason::BudgetExhausted,
+                twh: SimDuration::from_micros(100),
+                ccwh: 1,
+            }),
+            multi: None,
+        }
+    }
+
+    #[test]
+    fn model_tracks_progress_and_workers() {
+        let mut m = ProgressModel::new();
+        let mut seq = 0u64;
+        let mut push = |m: &mut ProgressModel, e: CampaignEvent| {
+            seq += 1;
+            m.apply(seq, &e);
+        };
+        push(
+            &mut m,
+            CampaignEvent::CampaignOpened {
+                campaign: "demo".into(),
+                executor: "scheduler".into(),
+                workers: vec!["w:1".into(), "w:2".into()],
+                specs: vec![Value::map(), Value::map()],
+            },
+        );
+        assert_eq!(m.total, 2);
+        push(
+            &mut m,
+            CampaignEvent::ScenarioClaimed {
+                index: 0,
+                worker: "w:1".into(),
+                claim: "stolen".into(),
+                queue_depth: 1,
+            },
+        );
+        push(
+            &mut m,
+            CampaignEvent::ScenarioStarted {
+                index: 0,
+                label: "a".into(),
+                attempt: 0,
+                worker: "w:1".into(),
+            },
+        );
+        push(
+            &mut m,
+            CampaignEvent::SamplePublished {
+                index: 0,
+                attempt: 0,
+                run: 1,
+                sample: 1,
+                well: "A1".into(),
+                ratios: vec![1.0],
+                measured: [1, 2, 3],
+                score: 9.0,
+                best: 9.0,
+                elapsed_us: 1,
+                batch_wall_us: 1,
+            },
+        );
+        assert_eq!(m.samples, 1);
+        assert_eq!(m.best, Some(9.0));
+        assert_eq!(m.running.len(), 1);
+        assert_eq!(m.workers["w:1"].steals, 1);
+        push(
+            &mut m,
+            CampaignEvent::ScenarioFinished {
+                index: 0,
+                label: "a".into(),
+                attempt: 0,
+                worker: "w:1".into(),
+                summary: summary(3.0),
+            },
+        );
+        assert_eq!(m.done, 1);
+        assert_eq!(m.best, Some(3.0));
+        assert!(m.running.is_empty());
+        push(&mut m, CampaignEvent::WorkerEvicted { worker: "w:2".into(), requeued: 1 });
+        assert_eq!(m.workers["w:2"].evictions, 1);
+        // w:1 was last heard from at the finish (seq 5); head is now 6.
+        assert_eq!(m.slowest_worker_lag(), 1);
+        push(
+            &mut m,
+            CampaignEvent::CampaignClosed {
+                scenarios: 2,
+                failed: 1,
+                best_score: Some(3.0),
+                scheduler: None,
+            },
+        );
+        assert!(m.closed);
+        assert_eq!(m.done, 1);
+        assert_eq!(m.failed, 1);
+
+        let text = m.render(80, Some(12.5));
+        assert!(text.contains("campaign demo"), "{text}");
+        assert!(text.contains("2/2 scenarios"), "{text}");
+        assert!(text.contains("12.5/s"), "{text}");
+        assert!(text.contains("w:1"), "{text}");
+    }
+
+    #[test]
+    fn render_survives_empty_model_and_tiny_width() {
+        let m = ProgressModel::new();
+        let text = m.render(0, None);
+        assert!(text.contains("waiting for events"));
+    }
+
+    #[test]
+    fn bar_and_sparkline_are_bounded() {
+        assert_eq!(bar(0, 0, 10), format!("[{}]", ".".repeat(10)));
+        assert_eq!(bar(5, 5, 10), format!("[{}]", "#".repeat(10)));
+        assert!(bar(3, 10, 10).starts_with("[###"));
+        assert_eq!(sparkline(&[], 8), "");
+        let s = sparkline(&[5.0, 4.0, 3.0, 2.0, 1.0], 5);
+        assert_eq!(s.chars().count(), 5);
+        let up: Vec<char> = s.chars().collect();
+        assert!(up.first() >= up.last(), "descending best must not rise: {s}");
+        // Constant series stays flat rather than dividing by zero.
+        let flat = sparkline(&[2.0; 9], 3);
+        assert_eq!(flat.chars().count(), 3);
+    }
+}

@@ -25,15 +25,16 @@ pub(crate) enum Claim {
     Own(usize),
     /// From the shared retry queue (bounced off a dead worker).
     Retry(usize),
-    /// Stolen from the back of another worker's deque.
-    Stolen(usize),
+    /// Stolen from the back of another worker's deque; `victim` is the
+    /// worker slot the shard was dealt to.
+    Stolen { index: usize, victim: usize },
 }
 
 impl Claim {
     /// The claimed scenario index.
     pub(crate) fn index(&self) -> usize {
         match *self {
-            Claim::Own(i) | Claim::Retry(i) | Claim::Stolen(i) => i,
+            Claim::Own(i) | Claim::Retry(i) | Claim::Stolen { index: i, .. } => i,
         }
     }
 }
@@ -76,11 +77,18 @@ impl ShardQueue {
         }
         let n = self.deques.len();
         for off in 1..n {
-            if let Some(i) = self.deques[(me + off) % n].lock().pop_back() {
-                return Some(Claim::Stolen(i));
+            let victim = (me + off) % n;
+            if let Some(i) = self.deques[victim].lock().pop_back() {
+                return Some(Claim::Stolen { index: i, victim });
             }
         }
         None
+    }
+
+    /// Scenarios still sitting in worker `me`'s own deque (the event log's
+    /// `queue_depth` gauge; steals and retries drain elsewhere).
+    pub(crate) fn depth(&self, me: usize) -> usize {
+        self.deques[me].lock().len()
     }
 
     /// Claim from anywhere (the local fallback executor's view: retry lane
@@ -124,6 +132,7 @@ mod tests {
         let contents = |w: usize| -> Vec<usize> { q.deques[w].lock().iter().copied().collect() };
         assert_eq!(contents(0), vec![0, 1, 4, 5]);
         assert_eq!(contents(1), vec![2, 3, 6]);
+        assert_eq!((q.depth(0), q.depth(1)), (4, 3));
         assert_eq!(q.outstanding(), 7);
     }
 
@@ -136,7 +145,7 @@ mod tests {
         assert_eq!(q.claim(0), Some(Claim::Own(2)));
         assert_eq!(q.claim(0), Some(Claim::Retry(7)));
         // Own deque and retry lane empty: steal from worker 1's *back*.
-        assert_eq!(q.claim(0), Some(Claim::Stolen(3)));
+        assert_eq!(q.claim(0), Some(Claim::Stolen { index: 3, victim: 1 }));
         assert_eq!(q.claim(1), Some(Claim::Own(1)));
         assert_eq!(q.claim(1), None);
     }

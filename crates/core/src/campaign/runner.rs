@@ -1,6 +1,7 @@
 //! The parallel campaign executor.
 
 use crate::backend::BackendSpec;
+use crate::campaign::events::{CampaignEvent, EventLog, EventScope, ScenarioSummary};
 use crate::campaign::publish::{publish_campaign_record, publish_scenario};
 use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
@@ -20,11 +21,13 @@ use std::sync::{mpsc, Arc};
 /// of worker threads** and of completion order. Scenario summaries stream
 /// into the runner's [`AcdcPortal`] in input order as prefixes complete.
 pub struct CampaignRunner {
-    threads: usize,
-    portal: Arc<AcdcPortal>,
-    store: Arc<BlobStore>,
-    progress: bool,
-    publish_records: bool,
+    pub(crate) threads: usize,
+    pub(crate) portal: Arc<AcdcPortal>,
+    pub(crate) store: Arc<BlobStore>,
+    pub(crate) progress: bool,
+    pub(crate) publish_records: bool,
+    pub(crate) events: Option<Arc<EventLog>>,
+    pub(crate) name: String,
 }
 
 impl Default for CampaignRunner {
@@ -43,7 +46,22 @@ impl CampaignRunner {
             store: Arc::new(BlobStore::in_memory()),
             progress: false,
             publish_records: false,
+            events: None,
+            name: "campaign".to_string(),
         }
+    }
+
+    /// Builder: append every lifecycle event to `log` (the campaign's
+    /// append-only source of truth; see [`EventLog`]).
+    pub fn with_events(mut self, log: Arc<EventLog>) -> CampaignRunner {
+        self.events = Some(log);
+        self
+    }
+
+    /// Builder: the campaign name recorded in the `campaign_opened` event.
+    pub fn name(mut self, name: impl Into<String>) -> CampaignRunner {
+        self.name = name.into();
+        self
     }
 
     /// Builder: use exactly `n` worker threads.
@@ -113,24 +131,68 @@ impl CampaignRunner {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, ScenarioResult)>();
 
+        if let Some(log) = &self.events {
+            log.append(&CampaignEvent::CampaignOpened {
+                campaign: self.name.clone(),
+                executor: "runner".to_string(),
+                workers: Vec::new(),
+                specs: scenarios.iter().map(|s| s.to_value()).collect(),
+            });
+        }
+
         let mut slots: Vec<Option<ScenarioResult>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let scenarios = Arc::clone(&scenarios);
                 let next = &next;
                 let tx = tx.clone();
+                let events = self.events.as_ref();
                 scope.spawn(move || {
                     // One scratch arena per worker thread: detector buffers
                     // (several MB) are reused across every scenario this
                     // worker executes instead of reallocated per run.
                     let mut scratch = DetectorScratch::default();
+                    let me = format!("local-{w}");
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= scenarios.len() {
                             break;
                         }
                         let spec = scenarios[i].clone();
-                        let outcome = execute(&spec, &mut scratch);
+                        if let Some(log) = events {
+                            log.append(&CampaignEvent::ScenarioClaimed {
+                                index: i,
+                                worker: me.clone(),
+                                claim: "own".to_string(),
+                                queue_depth: scenarios.len() - (i + 1),
+                            });
+                            log.append(&CampaignEvent::ScenarioStarted {
+                                index: i,
+                                label: spec.label.clone(),
+                                attempt: 0,
+                                worker: me.clone(),
+                            });
+                        }
+                        let ev = events.map(|log| EventScope::new(Arc::clone(log), i, 0));
+                        let outcome = execute(&spec, &mut scratch, ev);
+                        if let Some(log) = events {
+                            log.append(&match &outcome {
+                                Ok(o) => CampaignEvent::ScenarioFinished {
+                                    index: i,
+                                    label: spec.label.clone(),
+                                    attempt: 0,
+                                    worker: me.clone(),
+                                    summary: ScenarioSummary::of(o),
+                                },
+                                Err(e) => CampaignEvent::ScenarioFailed {
+                                    index: i,
+                                    label: spec.label.clone(),
+                                    attempt: 0,
+                                    worker: me.clone(),
+                                    error: e.to_string(),
+                                },
+                            });
+                        }
                         let result = ScenarioResult { spec, index: i, outcome };
                         if tx.send((i, result)).is_err() {
                             break;
@@ -170,21 +232,44 @@ impl CampaignRunner {
         let results: Vec<ScenarioResult> =
             slots.into_iter().map(|s| s.expect("every scenario slot filled")).collect();
         publish_campaign_record(&self.portal, &results);
+        if let Some(log) = &self.events {
+            log.append(&CampaignEvent::CampaignClosed {
+                scenarios: n,
+                failed: results.iter().filter(|r| r.outcome.is_err()).count(),
+                best_score: best_of(&results),
+                scheduler: None,
+            });
+        }
         CampaignReport { results, portal: Arc::clone(&self.portal), threads: self.threads }
     }
+}
+
+/// Best (lowest) score across successful scenarios, if any.
+pub(crate) fn best_of(results: &[ScenarioResult]) -> Option<f64> {
+    results
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().ok())
+        .map(|o| o.best_score())
+        .fold(None, |a, s| Some(a.map_or(s, |a: f64| a.min(s))))
 }
 
 /// Run one scenario to completion (workers call this; also the single-run
 /// fast path): an [`Experiment`] session driven on the scenario's
 /// configured lab backend. `scratch` is the worker's reusable detector
-/// arena, loaned to backends with a detection pipeline.
+/// arena, loaned to backends with a detection pipeline. With `events`, the
+/// session appends batch/sample events as it goes (multi-OT2 scenarios log
+/// only their lifecycle; their summary carries the close telemetry).
 pub(crate) fn execute(
     spec: &ScenarioSpec,
     scratch: &mut DetectorScratch,
+    events: Option<EventScope>,
 ) -> Result<ScenarioOutcome, crate::app::AppError> {
     match spec.mode {
         RunMode::Single => {
             let mut session = Experiment::new(spec.config.clone())?;
+            if let Some(scope) = events {
+                session.attach_events(scope);
+            }
             let mut backend = spec.backend.build(&spec.config)?;
             backend.swap_scratch(scratch);
             let outcome = session.run_on(backend.as_mut());
@@ -300,5 +385,56 @@ mod tests {
         let report = CampaignRunner::new().run(Vec::new());
         assert!(report.is_empty());
         assert_eq!(report.fingerprint(), "");
+    }
+
+    #[test]
+    fn event_log_captures_the_full_lifecycle() {
+        let log = Arc::new(EventLog::in_memory());
+        let report = CampaignRunner::new()
+            .threads(2)
+            .name("lifecycle")
+            .with_events(Arc::clone(&log))
+            .run(vec![spec("a", 1), spec("b", 2)]);
+        assert_eq!(report.len(), 2);
+
+        let (lines, head, closed) = log.lines_from(1, usize::MAX);
+        assert_eq!(lines.len() as u64, head);
+        assert!(closed, "campaign_closed must mark the log closed");
+        let events: Vec<CampaignEvent> = lines
+            .iter()
+            .map(|(_, l)| crate::campaign::EventRecord::from_line(l).unwrap().event)
+            .collect();
+        assert!(
+            matches!(&events[0], CampaignEvent::CampaignOpened { campaign, specs, .. }
+                if campaign == "lifecycle" && specs.len() == 2),
+            "first event must be campaign_opened"
+        );
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::CampaignClosed { scenarios: 2, failed: 0, .. })
+        ));
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+        assert_eq!(count("scenario_claimed"), 2);
+        assert_eq!(count("scenario_started"), 2);
+        assert_eq!(count("scenario_finished"), 2);
+        // 4 samples per scenario in batches of 2 → 2 asks, 2 tells each.
+        assert_eq!(count("batch_asked"), 4);
+        assert_eq!(count("batch_told"), 4);
+        assert_eq!(count("sample_published"), 8);
+        // Every batch is asked before it is told, per scenario.
+        for idx in 0..2usize {
+            let mut asked = 0u32;
+            for e in &events {
+                match e {
+                    CampaignEvent::BatchAsked { index, run, .. } if *index == idx => {
+                        asked = *run;
+                    }
+                    CampaignEvent::BatchTold { index, run, .. } if *index == idx => {
+                        assert!(*run <= asked, "told run {run} before it was asked");
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 }

@@ -37,10 +37,11 @@
 
 use crate::app::AppError;
 use crate::backend::{BackendSpec, RemoteBackend, RetryPolicy};
+use crate::campaign::events::{CampaignEvent, EventLog, EventScope, ScenarioSummary};
 use crate::campaign::publish::{publish_campaign_record, publish_scenario};
 use crate::campaign::queue::{Claim, ShardQueue};
 use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
-use crate::campaign::runner::execute;
+use crate::campaign::runner::{best_of, execute};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
 use crate::experiment::Experiment;
 use sdl_conf::Value;
@@ -49,7 +50,7 @@ use sdl_vision::DetectorScratch;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -80,6 +81,23 @@ pub struct WorkerStats {
     pub wire_reconnects: u64,
     /// Time spent driving scenarios on this worker.
     pub busy: Duration,
+    /// Share of `busy` spent on scenarios stolen from a peer's deque.
+    pub steal_busy: Duration,
+    /// Share of `busy` wasted on attempts that died with the worker.
+    pub retry_busy: Duration,
+}
+
+/// Wall-clock time the scheduler spent in each phase of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Partitioning the matrix and dealing shards onto worker deques.
+    pub deal: Duration,
+    /// Pool-wide time driving scenarios claimed by stealing.
+    pub steal: Duration,
+    /// Pool-wide time wasted on attempts that bounced off dead workers.
+    pub retry: Duration,
+    /// Publishing merged results into the campaign portal, input order.
+    pub merge: Duration,
 }
 
 /// What the scheduler did to finish a campaign: per-worker utilization,
@@ -100,6 +118,8 @@ pub struct SchedulerReport {
     pub wall: Duration,
     /// Samples measured across all scenarios (throughput numerator).
     pub samples: u64,
+    /// Per-phase wall-clock breakdown (deal/steal/retry/merge).
+    pub phases: PhaseTimings,
 }
 
 impl SchedulerReport {
@@ -142,6 +162,12 @@ impl SchedulerReport {
         v.set("retries", self.total_retries() as i64);
         v.set("steals", self.total_steals() as i64);
         v.set("evictions", self.total_evictions() as i64);
+        let mut phases = Value::map();
+        phases.set("deal_s", self.phases.deal.as_secs_f64());
+        phases.set("steal_s", self.phases.steal.as_secs_f64());
+        phases.set("retry_s", self.phases.retry.as_secs_f64());
+        phases.set("merge_s", self.phases.merge.as_secs_f64());
+        v.set("phases", phases);
         let mut workers = Value::seq();
         for w in &self.workers {
             let mut e = Value::map();
@@ -185,6 +211,13 @@ impl SchedulerReport {
             self.samples_per_sec(),
             self.wall.as_secs_f64()
         ));
+        out.push(format!(
+            "phases: deal {:.3}s, steal {:.3}s, retry {:.3}s, merge {:.3}s",
+            self.phases.deal.as_secs_f64(),
+            self.phases.steal.as_secs_f64(),
+            self.phases.retry.as_secs_f64(),
+            self.phases.merge.as_secs_f64()
+        ));
         out
     }
 }
@@ -201,6 +234,8 @@ pub struct CampaignScheduler {
     store: Arc<BlobStore>,
     progress: bool,
     publish_records: bool,
+    events: Option<Arc<EventLog>>,
+    name: String,
 }
 
 impl CampaignScheduler {
@@ -219,7 +254,21 @@ impl CampaignScheduler {
             store: Arc::new(BlobStore::in_memory()),
             progress: false,
             publish_records: false,
+            events: None,
+            name: "campaign".to_string(),
         }
+    }
+
+    /// Builder: append every lifecycle event to `log` (see [`EventLog`]).
+    pub fn with_events(mut self, log: Arc<EventLog>) -> CampaignScheduler {
+        self.events = Some(log);
+        self
+    }
+
+    /// Builder: the campaign name recorded in the `campaign_opened` event.
+    pub fn name(mut self, name: impl Into<String>) -> CampaignScheduler {
+        self.name = name.into();
+        self
     }
 
     /// Builder: shard size (scenarios per deal unit). Default: enough
@@ -301,9 +350,19 @@ impl CampaignScheduler {
             );
         }
 
+        if let Some(log) = &self.events {
+            log.append(&CampaignEvent::CampaignOpened {
+                campaign: self.name.clone(),
+                executor: "scheduler".to_string(),
+                workers: self.workers.clone(),
+                specs: scenarios.iter().map(|s| s.to_value()).collect(),
+            });
+        }
+
         // Partition: scenarios shippable over /v1 (single-loop on the sim
         // backend — the worker instantiates the lab from the config) vs
         // everything that must run in the driver process.
+        let deal_started = Instant::now();
         let shippable: Vec<usize> = (0..n)
             .filter(|&i| {
                 scenarios[i].mode == RunMode::Single && scenarios[i].backend == BackendSpec::Sim
@@ -329,8 +388,14 @@ impl CampaignScheduler {
         let (queued, extra_local): (&[usize], &[usize]) =
             if pool == 0 { (&[], &shippable) } else { (&shippable, &[]) };
         let queue = ShardQueue::deal(queued, pool.max(1), shard_size);
+        sched.phases.deal = deal_started.elapsed();
 
         let scenarios = Arc::new(scenarios);
+        // Per-scenario execution attempt counter: every start (first try,
+        // retry after eviction, local fallback) gets a distinct attempt
+        // number in the event log, so resume can tell partial attempts from
+        // the one that finished.
+        let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
         // Drivers currently holding a live worker; the in-process fallback
         // only engages when this reaches zero.
         let healthy = AtomicUsize::new(pool);
@@ -339,6 +404,7 @@ impl CampaignScheduler {
             sched.workers.drain(..).map(parking_lot::Mutex::new).collect();
 
         let mut slots: Vec<Option<ScenarioResult>> = (0..n).map(|_| None).collect();
+        let mut merge_spent = Duration::ZERO;
         std::thread::scope(|scope| {
             // One driver thread per remote worker.
             for (w, url) in self.workers.iter().enumerate() {
@@ -346,6 +412,8 @@ impl CampaignScheduler {
                 let tx = tx.clone();
                 let (queue, healthy, stats) = (&queue, &healthy, &stats[w]);
                 let (retry, probe_budget) = (self.retry, self.probe_budget);
+                let (events, attempts, pool_urls) =
+                    (self.events.as_ref(), &attempts[..], &self.workers[..]);
                 scope.spawn(move || {
                     drive_worker(
                         w,
@@ -357,6 +425,9 @@ impl CampaignScheduler {
                         &tx,
                         retry,
                         probe_budget,
+                        events,
+                        attempts,
+                        pool_urls,
                     );
                 });
             }
@@ -367,13 +438,38 @@ impl CampaignScheduler {
                 let scenarios = Arc::clone(&scenarios);
                 let tx = tx.clone();
                 let (queue, healthy) = (&queue, &healthy);
+                let (events, attempts) = (self.events.as_ref(), &attempts[..]);
                 let local = [local, extra_local.to_vec()].concat();
                 scope.spawn(move || {
                     let mut scratch = DetectorScratch::default();
-                    for &i in &local {
-                        let spec = scenarios[i].clone();
-                        let outcome = execute(&spec, &mut scratch);
-                        if tx.send((i, ScenarioResult { spec, index: i, outcome })).is_err() {
+                    let run_local =
+                        |i: usize, claim: &str, depth: usize, scratch: &mut DetectorScratch| {
+                            let spec = scenarios[i].clone();
+                            let attempt = attempts[i].fetch_add(1, Ordering::Relaxed);
+                            if let Some(log) = events {
+                                log.append(&CampaignEvent::ScenarioClaimed {
+                                    index: i,
+                                    worker: "driver".to_string(),
+                                    claim: claim.to_string(),
+                                    queue_depth: depth,
+                                });
+                                log.append(&CampaignEvent::ScenarioStarted {
+                                    index: i,
+                                    label: spec.label.clone(),
+                                    attempt,
+                                    worker: "driver".to_string(),
+                                });
+                            }
+                            let ev = events.map(|log| EventScope::new(Arc::clone(log), i, attempt));
+                            let outcome = execute(&spec, scratch, ev);
+                            if let Some(log) = events {
+                                log.append(&finish_event(i, &spec, attempt, "driver", &outcome));
+                            }
+                            ScenarioResult { spec, index: i, outcome }
+                        };
+                    for (pos, &i) in local.iter().enumerate() {
+                        let result = run_local(i, "local", local.len() - (pos + 1), &mut scratch);
+                        if tx.send((i, result)).is_err() {
                             return;
                         }
                     }
@@ -392,10 +488,10 @@ impl CampaignScheduler {
                             std::thread::sleep(IDLE_POLL);
                             continue;
                         };
-                        let spec = scenarios[i].clone();
-                        let outcome = execute(&spec, &mut scratch);
+                        let depth = queue.outstanding().saturating_sub(1);
+                        let result = run_local(i, "fallback", depth, &mut scratch);
                         queue.complete_one();
-                        if tx.send((i, ScenarioResult { spec, index: i, outcome })).is_err() {
+                        if tx.send((i, result)).is_err() {
                             return;
                         }
                     }
@@ -422,17 +518,21 @@ impl CampaignScheduler {
                     );
                 }
                 pending.insert(i, result);
+                let merge_started = Instant::now();
                 while let Some(result) = pending.remove(&next_publish) {
                     publish_scenario(&self.portal, &self.store, self.publish_records, &result);
                     slots[next_publish] = Some(result);
                     next_publish += 1;
                 }
+                merge_spent += merge_started.elapsed();
             }
         });
 
         let results: Vec<ScenarioResult> =
             slots.into_iter().map(|s| s.expect("every scenario slot filled")).collect();
+        let merge_started = Instant::now();
         publish_campaign_record(&self.portal, &results);
+        merge_spent += merge_started.elapsed();
 
         sched.workers = stats.into_iter().map(|m| m.into_inner()).collect();
         let remote_done: u64 = sched.workers.iter().map(|w| w.completed).sum();
@@ -444,7 +544,18 @@ impl CampaignScheduler {
             .filter_map(|r| r.outcome.as_ref().ok())
             .map(|o| o.samples_measured() as u64)
             .sum();
+        sched.phases.merge = merge_spent;
+        sched.phases.steal = sched.workers.iter().map(|w| w.steal_busy).sum();
+        sched.phases.retry = sched.workers.iter().map(|w| w.retry_busy).sum();
         self.portal.ingest(sched.to_value());
+        if let Some(log) = &self.events {
+            log.append(&CampaignEvent::CampaignClosed {
+                scenarios: n,
+                failed: results.iter().filter(|r| r.outcome.is_err()).count(),
+                best_score: best_of(&results),
+                scheduler: Some(sched.to_value()),
+            });
+        }
 
         let report =
             CampaignReport { results, portal: Arc::clone(&self.portal), threads: pool.max(1) };
@@ -461,6 +572,32 @@ fn local_unshippable_count(results: &[ScenarioResult]) -> u64 {
         .count() as u64
 }
 
+/// The terminal per-scenario event for one execution attempt.
+fn finish_event(
+    index: usize,
+    spec: &ScenarioSpec,
+    attempt: u32,
+    worker: &str,
+    outcome: &Result<ScenarioOutcome, AppError>,
+) -> CampaignEvent {
+    match outcome {
+        Ok(o) => CampaignEvent::ScenarioFinished {
+            index,
+            label: spec.label.clone(),
+            attempt,
+            worker: worker.to_string(),
+            summary: ScenarioSummary::of(o),
+        },
+        Err(e) => CampaignEvent::ScenarioFailed {
+            index,
+            label: spec.label.clone(),
+            attempt,
+            worker: worker.to_string(),
+            error: e.to_string(),
+        },
+    }
+}
+
 /// One remote worker's driver loop: claim → drive remotely → merge or
 /// requeue; on transport failure, evict and probe for readmission.
 #[allow(clippy::too_many_arguments)]
@@ -474,6 +611,9 @@ fn drive_worker(
     tx: &mpsc::Sender<(usize, ScenarioResult)>,
     retry: RetryPolicy,
     probe_budget: u32,
+    events: Option<&Arc<EventLog>>,
+    attempts: &[AtomicU32],
+    pool: &[String],
 ) {
     let mut is_healthy = true;
     let mut probe_failures = 0u32;
@@ -487,6 +627,9 @@ fn drive_worker(
                 probe_failures = 0;
                 healthy.fetch_add(1, Ordering::AcqRel);
                 stats.lock().readmissions += 1;
+                if let Some(log) = events {
+                    log.append(&CampaignEvent::WorkerReadmitted { worker: url.to_string() });
+                }
             } else {
                 probe_failures += 1;
                 if probe_failures > probe_budget {
@@ -502,12 +645,44 @@ fn drive_worker(
         };
         let index = claim.index();
         let spec = scenarios[index].clone();
+        let attempt = attempts[index].fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = events {
+            let kind = match claim {
+                Claim::Own(_) => "own",
+                Claim::Retry(_) => "retry",
+                Claim::Stolen { .. } => "stolen",
+            };
+            log.append(&CampaignEvent::ScenarioClaimed {
+                index,
+                worker: url.to_string(),
+                claim: kind.to_string(),
+                queue_depth: queue.depth(me),
+            });
+            if let Claim::Stolen { victim, .. } = claim {
+                log.append(&CampaignEvent::WorkerStolenFrom {
+                    victim: pool[victim].clone(),
+                    thief: url.to_string(),
+                    index,
+                });
+            }
+            log.append(&CampaignEvent::ScenarioStarted {
+                index,
+                label: spec.label.clone(),
+                attempt,
+                worker: url.to_string(),
+            });
+        }
+        let ev = events.map(|log| EventScope::new(Arc::clone(log), index, attempt));
         let started = Instant::now();
-        let (outcome, wire) = drive_one(url, &spec, retry);
+        let (outcome, wire) = drive_one(url, &spec, retry, ev);
         let busy = started.elapsed();
+        let stolen = matches!(claim, Claim::Stolen { .. });
         {
             let mut s = stats.lock();
             s.busy += busy;
+            if stolen {
+                s.steal_busy += busy;
+            }
             s.wire_posts += wire.posts;
             s.wire_resends += wire.resends;
             s.wire_reconnects += wire.reconnects;
@@ -520,20 +695,32 @@ fn drive_worker(
                 queue.requeue(index);
                 is_healthy = false;
                 healthy.fetch_sub(1, Ordering::AcqRel);
-                let mut s = stats.lock();
-                s.retries += 1;
-                s.evictions += 1;
+                {
+                    let mut s = stats.lock();
+                    s.retries += 1;
+                    s.evictions += 1;
+                    s.retry_busy += busy;
+                }
+                if let Some(log) = events {
+                    log.append(&CampaignEvent::WorkerEvicted {
+                        worker: url.to_string(),
+                        requeued: index,
+                    });
+                }
             }
             outcome => {
                 {
                     let mut s = stats.lock();
                     s.completed += 1;
-                    if matches!(claim, Claim::Stolen(_)) {
+                    if stolen {
                         s.stolen += 1;
                     }
                 }
                 queue.complete_one();
                 let outcome = outcome.map(|o| ScenarioOutcome::Single(Box::new(o)));
+                if let Some(log) = events {
+                    log.append(&finish_event(index, &spec, attempt, url, &outcome));
+                }
                 if tx.send((index, ScenarioResult { spec, index, outcome })).is_err() {
                     break;
                 }
@@ -546,15 +733,22 @@ fn drive_worker(
 }
 
 /// Drive one shippable scenario on `url`, returning the outcome plus the
-/// backend's wire-level retry accounting.
+/// backend's wire-level retry accounting. With `events`, the driver-side
+/// session appends batch/sample events as the remote lab executes.
 fn drive_one(
     url: &str,
     spec: &ScenarioSpec,
     retry: RetryPolicy,
+    events: Option<EventScope>,
 ) -> (Result<crate::app::ExperimentOutcome, AppError>, crate::backend::RemoteStats) {
     let mut backend = RemoteBackend::new(url, spec.config.clone()).with_retry(retry);
     let outcome = match Experiment::new(spec.config.clone()) {
-        Ok(mut session) => session.run_on(&mut backend),
+        Ok(mut session) => {
+            if let Some(scope) = events {
+                session.attach_events(scope);
+            }
+            session.run_on(&mut backend)
+        }
         Err(e) => Err(e),
     };
     (outcome, backend.stats())

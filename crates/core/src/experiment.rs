@@ -27,6 +27,7 @@
 
 use crate::app::{AppError, ExperimentOutcome, TrajectoryPoint};
 use crate::backend::{BackendCaps, BackendClose, Batch, BatchResult, LabBackend};
+use crate::campaign::{CampaignEvent, EventScope};
 use crate::config::AppConfig;
 use crate::termination::TerminationReason;
 use bytes::Bytes;
@@ -53,6 +54,7 @@ pub struct Experiment {
     flow: Option<PublishFlow>,
     announced: bool,
     termination: Option<TerminationReason>,
+    events: Option<EventScope>,
 }
 
 impl Experiment {
@@ -77,6 +79,7 @@ impl Experiment {
             flow: Some(flow),
             announced: false,
             termination: None,
+            events: None,
             config,
         })
     }
@@ -123,6 +126,14 @@ impl Experiment {
     /// [`ask`]: Experiment::ask
     pub fn replace_solver(&mut self, solver: Box<dyn ColorSolver>) {
         self.solver = solver;
+    }
+
+    /// Attach a campaign event-log scope: every subsequent ask/tell appends
+    /// `batch_asked` / `batch_told` / `sample_published` events *before*
+    /// the session acts on the data. Campaign executors attach this; a bare
+    /// session stays silent.
+    pub fn attach_events(&mut self, scope: EventScope) {
+        self.events = Some(scope);
     }
 
     /// Resume an interrupted experiment from previously published records.
@@ -203,10 +214,20 @@ impl Experiment {
         let b = remaining.min(self.config.batch).min(caps.plate_capacity.max(1)) as usize;
 
         // Solver proposes (Figure 2: Solver.Run_Iteration).
+        let proposed_at = self.events.as_ref().map(|_| std::time::Instant::now());
         let ratios =
             self.solver.propose(self.config.target, &self.history, b, &mut self.solver_rng);
         debug_assert_eq!(ratios.len(), b);
         self.runs += 1;
+        if let (Some(scope), Some(t)) = (&self.events, proposed_at) {
+            scope.emit(&CampaignEvent::BatchAsked {
+                index: scope.index,
+                attempt: scope.attempt,
+                run: self.runs,
+                size: b,
+                propose_us: t.elapsed().as_micros() as u64,
+            });
+        }
         Some(Batch { run: self.runs, ratios })
     }
 
@@ -220,6 +241,16 @@ impl Experiment {
                 result.measurements.len(),
                 batch.ratios.len()
             )));
+        }
+        if let Some(scope) = &self.events {
+            scope.emit(&CampaignEvent::BatchTold {
+                index: scope.index,
+                attempt: scope.attempt,
+                run: batch.run,
+                size: batch.ratios.len(),
+                elapsed_us: result.elapsed.as_micros(),
+                batch_wall_us: result.batch_wall.as_micros(),
+            });
         }
         let image_bytes: Option<Bytes> = result.image;
         for (i, (ratio, m)) in batch.ratios.iter().zip(&result.measurements).enumerate() {
@@ -235,6 +266,21 @@ impl Experiment {
                 score,
                 best,
             });
+            if let Some(scope) = &self.events {
+                scope.emit(&CampaignEvent::SamplePublished {
+                    index: scope.index,
+                    attempt: scope.attempt,
+                    run: batch.run,
+                    sample: self.samples_done,
+                    well: m.well.to_string(),
+                    ratios: ratio.clone(),
+                    measured: measured.channels(),
+                    score,
+                    best,
+                    elapsed_us: result.elapsed.as_micros(),
+                    batch_wall_us: result.batch_wall.as_micros(),
+                });
+            }
             if let Some(flow) = &self.flow {
                 let volumes = sdl_color::Recipe::from_ratios(ratio, &self.config.dyes)
                     .map(|r| r.volumes_ul().to_vec())

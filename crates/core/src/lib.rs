@@ -44,9 +44,11 @@ pub use backend::{
     RemoteStats, ReplayBackend, RetryPolicy, SimBackend, WellMeasurement,
 };
 pub use campaign::{
-    batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignReport, CampaignRunner,
-    CampaignScheduler, RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, SchedulerReport,
-    SweepItem, WorkerStats,
+    batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignEvent, CampaignReport,
+    CampaignRunner, CampaignScheduler, EventLog, EventRecord, EventScope, MultiTelemetry,
+    PhaseTimings, ProgressModel, RecoveryReport, ResumeStats, RunMode, ScenarioOutcome,
+    ScenarioResult, ScenarioSpec, ScenarioSummary, SchedulerReport, SingleTelemetry, SweepItem,
+    WorkerProgress, WorkerStats,
 };
 pub use config::{AppConfig, ConfigError};
 pub use experiment::Experiment;

@@ -10,6 +10,8 @@
 //! | endpoint | serves |
 //! |---|---|
 //! | `GET /records` | JSON-lines stream; dotted-path query filters, `limit`/`offset` paging |
+//! | `GET /events` | campaign event log as JSON lines; `from`/`limit` paging, `timeout_ms` long-poll |
+//! | `GET /events/stream` | the same log as a server-sent-events stream |
 //! | `GET /summary` | the Figure-3 experiment summary (HTML) |
 //! | `GET /runs/<run>` | the Figure-3 run detail table (HTML) |
 //! | `GET /blobs/<ref>` | raw plate images from the blob store |

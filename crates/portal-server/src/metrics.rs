@@ -10,8 +10,8 @@ const BUCKETS: [f64; 12] =
     [0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0];
 
 /// Routes tracked individually (everything else lands in `other`).
-const ROUTES: [&str; 8] =
-    ["/", "/healthz", "/records", "/summary", "/runs", "/blobs", "/metrics", "other"];
+const ROUTES: [&str; 9] =
+    ["/", "/healthz", "/records", "/events", "/summary", "/runs", "/blobs", "/metrics", "other"];
 
 /// Lock-free request metrics shared by all worker threads.
 #[derive(Debug, Default)]
@@ -155,6 +155,8 @@ mod tests {
         assert_eq!(route_label("/"), "/");
         assert_eq!(route_label("/healthz"), "/healthz");
         assert_eq!(route_label("/records"), "/records");
+        assert_eq!(route_label("/events"), "/events");
+        assert_eq!(route_label("/events/stream"), "/events");
         assert_eq!(route_label("/runs/3"), "/runs");
         assert_eq!(route_label("/blobs/blob:abc"), "/blobs");
         assert_eq!(route_label("/nope"), "other");

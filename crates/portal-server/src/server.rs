@@ -5,13 +5,14 @@ use crate::lab::LabHost;
 use crate::metrics::ServerMetrics;
 use crate::pool::ThreadPool;
 use sdl_conf::{to_json, Value};
+use sdl_core::{EventLog, EventRecord, ProgressModel};
 use sdl_datapub::{
     field_matches, render_run_html, render_summary_html, AcdcPortal, BlobRef, BlobStore,
 };
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -19,6 +20,17 @@ use std::time::{Duration, Instant};
 const DEFAULT_PAGE: usize = 1000;
 /// Hard ceiling on one `/records` page.
 const MAX_PAGE: usize = 100_000;
+/// Events returned by `/events` when no `limit` is given.
+const DEFAULT_EVENT_PAGE: usize = 1000;
+/// Hard ceiling on one `/events` page.
+const MAX_EVENT_PAGE: usize = 100_000;
+/// Ceiling on a `/events` long-poll timeout. Kept well under the 30 s
+/// read timeout of [`crate::client::get`] so a patient poll still
+/// returns a well-formed (possibly empty) response instead of a client
+/// error.
+const MAX_POLL: Duration = Duration::from_secs(25);
+/// How often the SSE writer wakes to check for shutdown while idle.
+const SSE_SLICE: Duration = Duration::from_millis(250);
 
 /// How the server binds and sizes itself.
 #[derive(Debug, Clone)]
@@ -47,6 +59,14 @@ pub struct PortalServer {
     store: Arc<BlobStore>,
     metrics: Arc<ServerMetrics>,
     lab: Option<Arc<LabHost>>,
+    events: Option<Arc<EventLog>>,
+    /// Incremental `/metrics` fold of the event log: (next seq to read,
+    /// progress so far). Folding from a cursor keeps scrapes O(new
+    /// events) instead of O(log length).
+    watch: Mutex<(u64, ProgressModel)>,
+    /// Set by [`ServerHandle`] teardown so streaming responses
+    /// (`/events/stream`) let go of their pool worker promptly.
+    closing: AtomicBool,
     started: Instant,
 }
 
@@ -59,6 +79,9 @@ impl PortalServer {
             store,
             metrics: Arc::new(ServerMetrics::new()),
             lab: None,
+            events: None,
+            watch: Mutex::new((1, ProgressModel::default())),
+            closing: AtomicBool::new(false),
             started: Instant::now(),
         }
     }
@@ -70,9 +93,22 @@ impl PortalServer {
         self
     }
 
+    /// Builder: expose a campaign event log at `GET /events` (long-poll)
+    /// and `GET /events/stream` (server-sent events), and fold it into
+    /// the `sdl_lab_campaign_*` gauges on `/metrics`.
+    pub fn with_events(mut self, events: Arc<EventLog>) -> PortalServer {
+        self.events = Some(events);
+        self
+    }
+
     /// The hosted lab sessions, when batch execution is enabled.
     pub fn lab(&self) -> Option<&Arc<LabHost>> {
         self.lab.as_ref()
+    }
+
+    /// The campaign event log being streamed, when one is attached.
+    pub fn events(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
     }
 
     /// The portal being served.
@@ -108,6 +144,7 @@ impl PortalServer {
             "/" => self.index(),
             "/healthz" => self.healthz(),
             "/records" => self.records(req),
+            "/events" => self.events_page(req),
             "/summary" => self.summary(req),
             "/metrics" => self.prometheus(),
             path if path.starts_with("/runs/") => self.run_detail(req, &path["/runs/".len()..]),
@@ -122,6 +159,9 @@ impl PortalServer {
              <body><h1>ACDC portal server</h1><ul>\
              <li><a href=\"/records\">/records</a> — JSON-lines record stream \
              (dotted-path filters, <code>limit</code>/<code>offset</code>)</li>\
+             <li><a href=\"/events\">/events</a> — campaign event log \
+             (<code>from</code>/<code>limit</code>/<code>timeout_ms</code> long-poll; \
+             <code>/events/stream</code> for server-sent events)</li>\
              <li><a href=\"/summary\">/summary</a> — experiment summary (Figure 3, left)</li>\
              <li>/runs/&lt;run&gt; — run detail (Figure 3, right)</li>\
              <li>/blobs/&lt;ref&gt; — raw plate images</li>\
@@ -191,6 +231,56 @@ impl PortalServer {
             .with_header("X-Offset", offset)
     }
 
+    /// `GET /events?from=<seq>&limit=<n>&timeout_ms=<t>` — the campaign
+    /// event log as JSON lines, starting at sequence `from` (1-based,
+    /// default 1). With `timeout_ms` the request long-polls: it blocks
+    /// until the log grows past `from - 1`, closes, or the (capped)
+    /// timeout lapses, then returns whatever is there — possibly an
+    /// empty body. Response headers carry the cursor so clients never
+    /// parse lines just to find their place: `X-Next-Seq` (pass as the
+    /// next `from`), `X-Event-Head` (current log length), and
+    /// `X-Log-Closed` (`true` once `campaign_closed` landed).
+    fn events_page(&self, req: &Request) -> Response {
+        let Some(log) = &self.events else {
+            return Response::error(404, "no campaign event log is attached to this server");
+        };
+        let mut from = 1u64;
+        let mut limit = DEFAULT_EVENT_PAGE;
+        let mut timeout = Duration::ZERO;
+        for (key, value) in &req.query {
+            match key.as_str() {
+                "from" => match value.parse::<u64>() {
+                    Ok(n) => from = n.max(1),
+                    Err(_) => return Response::error(400, &format!("bad from '{value}'")),
+                },
+                "limit" => match value.parse::<usize>() {
+                    Ok(n) => limit = n.min(MAX_EVENT_PAGE),
+                    Err(_) => return Response::error(400, &format!("bad limit '{value}'")),
+                },
+                "timeout_ms" => match value.parse::<u64>() {
+                    Ok(ms) => timeout = Duration::from_millis(ms).min(MAX_POLL),
+                    Err(_) => return Response::error(400, &format!("bad timeout_ms '{value}'")),
+                },
+                other => return Response::error(400, &format!("unknown parameter '{other}'")),
+            }
+        }
+        let (lines, head, closed) = if timeout.is_zero() {
+            log.lines_from(from, limit)
+        } else {
+            log.wait_from(from, limit, timeout)
+        };
+        let next = lines.last().map(|(seq, _)| seq + 1).unwrap_or(from);
+        let mut body = String::new();
+        for (_, line) in &lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        Response::new(200, "application/x-ndjson", body)
+            .with_header("X-Next-Seq", next)
+            .with_header("X-Event-Head", head)
+            .with_header("X-Log-Closed", closed)
+    }
+
     /// The experiment named in the query, or the portal's first one.
     fn experiment_for(&self, req: &Request) -> Option<String> {
         match req.query_param("experiment") {
@@ -247,7 +337,74 @@ impl PortalServer {
         if let Some(lab) = &self.lab {
             text.push_str(&lab.render_prometheus());
         }
+        if let Some(gauges) = self.campaign_gauges() {
+            text.push_str(&gauges);
+        }
         Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text)
+    }
+
+    /// Fold any new event-log lines into the cached [`ProgressModel`] and
+    /// render the `sdl_lab_campaign_*` gauge block.
+    fn campaign_gauges(&self) -> Option<String> {
+        let log = self.events.as_ref()?;
+        let mut watch = self.watch.lock().unwrap();
+        loop {
+            let (lines, _, _) = log.lines_from(watch.0, DEFAULT_EVENT_PAGE);
+            if lines.is_empty() {
+                break;
+            }
+            for (seq, line) in &lines {
+                // Lines come straight from the append path, so a parse
+                // failure is a bug — but a torn recovery suffix must not
+                // take /metrics down with it.
+                if let Ok(rec) = EventRecord::from_line(line) {
+                    watch.1.apply(rec.seq, &rec.event);
+                }
+                watch.0 = seq + 1;
+            }
+        }
+        let p = watch.1.clone();
+        drop(watch);
+
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let label =
+            format!("campaign=\"{}\"", p.campaign.replace('\\', "\\\\").replace('"', "\\\""));
+        let _ = writeln!(out, "# HELP sdl_lab_campaign_scenarios_total Scenarios in the campaign.");
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_scenarios_total gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_scenarios_total{{{label}}} {}", p.total);
+        let _ = writeln!(
+            out,
+            "# HELP sdl_lab_campaign_scenarios_done Scenarios finished (ok or failed)."
+        );
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_scenarios_done gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_scenarios_done{{{label}}} {}", p.done + p.failed);
+        let _ = writeln!(out, "# HELP sdl_lab_campaign_scenarios_failed Scenarios that failed.");
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_scenarios_failed gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_scenarios_failed{{{label}}} {}", p.failed);
+        let _ = writeln!(out, "# HELP sdl_lab_campaign_samples_published Samples graded so far.");
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_samples_published gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_samples_published{{{label}}} {}", p.samples);
+        let _ =
+            writeln!(out, "# HELP sdl_lab_campaign_event_seq Highest event-log sequence folded.");
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_event_seq gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_event_seq{{{label}}} {}", p.seq);
+        let _ = writeln!(
+            out,
+            "# HELP sdl_lab_campaign_worker_lag Event-seq lag of the slowest worker."
+        );
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_worker_lag gauge");
+        let _ = writeln!(out, "sdl_lab_campaign_worker_lag{{{label}}} {}", p.slowest_worker_lag());
+        let _ = writeln!(out, "# HELP sdl_lab_campaign_closed 1 once campaign_closed was logged.");
+        let _ = writeln!(out, "# TYPE sdl_lab_campaign_closed gauge");
+        let _ =
+            writeln!(out, "sdl_lab_campaign_closed{{{label}}} {}", if p.closed { 1 } else { 0 });
+        if let Some(best) = p.best {
+            let _ = writeln!(out, "# HELP sdl_lab_campaign_best_score Best score seen so far.");
+            let _ = writeln!(out, "# TYPE sdl_lab_campaign_best_score gauge");
+            let _ = writeln!(out, "sdl_lab_campaign_best_score{{{label}}} {best}");
+        }
+        Some(out)
     }
 }
 
@@ -296,6 +453,10 @@ impl ServerHandle {
             return;
         }
         self.shutdown.store(true, Ordering::SeqCst);
+        // Streaming responses watch this flag between frames; without it
+        // an idle /events/stream subscriber would hold its pool worker
+        // (and therefore the join below) until its peer went away.
+        self.server.closing.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection. A wildcard
         // bind address (0.0.0.0 / ::) is not connectable on every
         // platform, so aim at the loopback equivalent instead.
@@ -374,6 +535,12 @@ fn handle_connection(server: &PortalServer, stream: TcpStream) {
 
         let started = Instant::now();
         let head_only = req.method == "HEAD";
+        // Server-sent events cannot be Content-Length-framed, so the
+        // stream route bypasses handle() and writes the socket directly.
+        if req.path == "/events/stream" && req.method == "GET" {
+            serve_event_stream(server, &req, &mut writer, started);
+            break;
+        }
         let resp = server.handle(&req);
         // Bodies within bounds are fully read by read_request, so even 4xx
         // responses keep the connection in sync; only oversized/garbage
@@ -386,6 +553,80 @@ fn handle_connection(server: &PortalServer, stream: TcpStream) {
             break;
         }
     }
+}
+
+/// `GET /events/stream` — the event log as a server-sent-events stream.
+///
+/// Frames are `id: <seq>` / `data: <log line>` pairs; `?from=<seq>`
+/// resumes mid-log (SSE `Last-Event-ID` semantics, query-param form).
+/// The stream ends when the log closes (`event: close` frame), the
+/// server shuts down, or the peer disconnects; the connection always
+/// closes afterwards — SSE is not resumable in-place.
+fn serve_event_stream(
+    server: &PortalServer,
+    req: &Request,
+    writer: &mut impl Write,
+    started: Instant,
+) {
+    let finish = |status: u16, sent: usize| {
+        server.metrics.record_request(&req.path, status, started.elapsed(), sent);
+    };
+    let Some(log) = server.events() else {
+        let resp = Response::error(404, "no campaign event log is attached to this server");
+        finish(404, resp.body.len());
+        let _ = http::write_response(writer, &resp, false, true);
+        return;
+    };
+    let mut from = match req.query_param("from").map(|v| v.parse::<u64>()) {
+        None => 1,
+        Some(Ok(n)) => n.max(1),
+        Some(Err(_)) => {
+            let resp = Response::error(400, "bad from");
+            finish(400, resp.body.len());
+            let _ = http::write_response(writer, &resp, false, true);
+            return;
+        }
+    };
+    if write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )
+    .and_then(|_| writer.flush())
+    .is_err()
+    {
+        finish(500, 0);
+        return;
+    }
+
+    let mut sent = 0usize;
+    loop {
+        if server.closing.load(Ordering::SeqCst) {
+            break;
+        }
+        // Short slices rather than one long wait so shutdown is honored
+        // within ~SSE_SLICE even while the log is quiet.
+        let (lines, head, closed) = log.wait_from(from, DEFAULT_EVENT_PAGE, SSE_SLICE);
+        let mut frame = String::new();
+        for (seq, line) in &lines {
+            use std::fmt::Write as _;
+            let _ = write!(frame, "id: {seq}\ndata: {line}\n\n");
+            from = seq + 1;
+        }
+        let done = closed && from > head;
+        if done {
+            frame.push_str("event: close\ndata: end of log\n\n");
+        }
+        if !frame.is_empty() {
+            sent += frame.len();
+            if writer.write_all(frame.as_bytes()).and_then(|_| writer.flush()).is_err() {
+                break;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    finish(200, sent);
 }
 
 #[cfg(test)]
@@ -460,6 +701,133 @@ mod tests {
         assert!(page.headers.iter().any(|(k, v)| k == "X-Total-Count" && v == "5"));
         let one = get(&server, "/records?i=3");
         assert_eq!(String::from_utf8(one.body).unwrap().lines().count(), 1);
+    }
+
+    fn event_log_with_two_scenarios() -> Arc<EventLog> {
+        use sdl_core::{CampaignEvent, ScenarioSummary};
+        let log = Arc::new(EventLog::in_memory());
+        log.append(&CampaignEvent::CampaignOpened {
+            campaign: "camp\"x\"".to_string(),
+            executor: "runner".to_string(),
+            workers: vec!["local-0".to_string()],
+            specs: vec![Value::map(), Value::map()],
+        });
+        log.append(&CampaignEvent::ScenarioStarted {
+            index: 0,
+            label: "a".to_string(),
+            attempt: 0,
+            worker: "local-0".to_string(),
+        });
+        log.append(&CampaignEvent::ScenarioFinished {
+            index: 0,
+            label: "a".to_string(),
+            attempt: 0,
+            worker: "local-0".to_string(),
+            summary: ScenarioSummary {
+                best_score: 12.5,
+                duration: sdl_desim::SimDuration::from_micros(5000),
+                samples: 4,
+                plates: 1,
+                robotic_commands: 9,
+                solver_fallbacks: 0,
+                single: None,
+                multi: None,
+            },
+        });
+        log
+    }
+
+    #[test]
+    fn events_route_pages_and_reports_cursor() {
+        let log = event_log_with_two_scenarios();
+        let server = test_server().with_events(Arc::clone(&log));
+
+        let all = get(&server, "/events");
+        assert_eq!(all.status, 200);
+        assert_eq!(all.content_type, "application/x-ndjson");
+        let body = String::from_utf8(all.body).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.lines().all(|l| EventRecord::from_line(l).is_ok()), "{body}");
+        assert!(all.headers.iter().any(|(k, v)| k == "X-Next-Seq" && v == "4"));
+        assert!(all.headers.iter().any(|(k, v)| k == "X-Event-Head" && v == "3"));
+        assert!(all.headers.iter().any(|(k, v)| k == "X-Log-Closed" && v == "false"));
+
+        let page = get(&server, "/events?from=2&limit=1");
+        let body = String::from_utf8(page.body).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("scenario_started"), "{body}");
+        assert!(page.headers.iter().any(|(k, v)| k == "X-Next-Seq" && v == "3"));
+
+        // Past the head: empty body, cursor unchanged.
+        let empty = get(&server, "/events?from=9");
+        assert!(empty.body.is_empty());
+        assert!(empty.headers.iter().any(|(k, v)| k == "X-Next-Seq" && v == "9"));
+
+        assert_eq!(get(&server, "/events?from=zero").status, 400);
+        assert_eq!(get(&server, "/events?nope=1").status, 400);
+        assert_eq!(get(&test_server(), "/events").status, 404);
+    }
+
+    #[test]
+    fn events_long_poll_returns_on_append() {
+        use sdl_core::CampaignEvent;
+        let log = event_log_with_two_scenarios();
+        let server = Arc::new(test_server().with_events(Arc::clone(&log)));
+        let poller = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || get(&server, "/events?from=4&timeout_ms=5000"))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        log.append(&CampaignEvent::WorkerReadmitted { worker: "local-0".to_string() });
+        let resp = poller.join().unwrap();
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("worker_readmitted"), "{body}");
+    }
+
+    #[test]
+    fn campaign_gauges_render_on_metrics() {
+        let log = event_log_with_two_scenarios();
+        let server = test_server().with_events(log);
+        let text = String::from_utf8(get(&server, "/metrics").body).unwrap();
+        let label = "campaign=\"camp\\\"x\\\"\"";
+        assert!(text.contains(&format!("sdl_lab_campaign_scenarios_total{{{label}}} 2")), "{text}");
+        assert!(text.contains(&format!("sdl_lab_campaign_scenarios_done{{{label}}} 1")), "{text}");
+        assert!(text.contains(&format!("sdl_lab_campaign_event_seq{{{label}}} 3")), "{text}");
+        assert!(text.contains(&format!("sdl_lab_campaign_best_score{{{label}}} 12.5")), "{text}");
+        assert!(text.contains(&format!("sdl_lab_campaign_closed{{{label}}} 0")), "{text}");
+        // The fold is incremental: a second scrape after no growth reads
+        // nothing new and renders the same gauges.
+        let again = String::from_utf8(get(&server, "/metrics").body).unwrap();
+        assert!(again.contains(&format!("sdl_lab_campaign_event_seq{{{label}}} 3")), "{again}");
+        // No log attached → no campaign block at all.
+        let bare = String::from_utf8(get(&test_server(), "/metrics").body).unwrap();
+        assert!(!bare.contains("sdl_lab_campaign_"), "{bare}");
+    }
+
+    #[test]
+    fn event_stream_writes_sse_frames_until_close() {
+        use sdl_core::CampaignEvent;
+        let log = event_log_with_two_scenarios();
+        log.append(&CampaignEvent::CampaignClosed {
+            scenarios: 2,
+            failed: 0,
+            best_score: Some(12.5),
+            scheduler: None,
+        });
+        let server = test_server().with_events(log);
+        let raw = "GET /events/stream?from=2 HTTP/1.1\r\n\r\n";
+        let req = http::read_request(&mut BufReader::new(raw.as_bytes())).unwrap().unwrap();
+        let mut out = Vec::new();
+        serve_event_stream(&server, &req, &mut out, Instant::now());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: text/event-stream"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.contains("id: 2\ndata: "), "{text}");
+        assert!(text.contains("id: 4\ndata: "), "{text}");
+        assert!(!text.contains("id: 1\n"), "from=2 must skip seq 1: {text}");
+        assert!(text.ends_with("event: close\ndata: end of log\n\n"), "{text}");
     }
 
     #[test]

@@ -8,18 +8,21 @@
 //!             [--export-portal FILE] [--flat-field]
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
 //! sdl-lab campaign --config FILE [--threads T] [--workers url1,url2,...]
-//!                  [--shard N] [--export-portal FILE]
+//!                  [--shard N] [--export-portal FILE] [--event-log FILE]
+//! sdl-lab campaign --resume LOG [--threads T] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
+//!               [--event-log FILE]
+//! sdl-lab watch URL [--once] [--interval-ms N]
 //! sdl-lab workcell
 //! sdl-lab help
 //! ```
 
 use sdl_lab::color::Rgb8;
 use sdl_lab::core::{
-    batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignRunner, CampaignScheduler,
-    ColorPickerApp, Experiment,
+    batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignReport, CampaignRunner,
+    CampaignScheduler, ColorPickerApp, EventLog, EventRecord, Experiment, ProgressModel,
 };
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args[1..]),
         "portal" => cmd_portal(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "workcell" => {
             println!("{}", sdl_lab::wei::RPL_WORKCELL_YAML);
             match sdl_lab::wei::WorkcellConfig::from_yaml(sdl_lab::wei::RPL_WORKCELL_YAML) {
@@ -69,6 +73,7 @@ commands:
   campaign   run a declarative scenario matrix (solvers x seeds x batches x ...)
   portal     inspect an exported portal JSON-lines file
   serve      serve the ACDC portal over HTTP (saved export or live campaign)
+  watch      live terminal dashboard for a serving campaign (reads /events)
   workcell   print the default workcell YAML
   help       this text
 
@@ -110,6 +115,13 @@ campaign options:
                       (overrides the config's 'shard:'; default automatic)
   --export-portal F   write every streamed scenario record as JSON lines
   --fingerprint       print the campaign's determinism fingerprint
+  --event-log FILE    append every campaign event (claims, batches, samples,
+                      completions) to FILE as durable, checksummed JSON lines
+  --resume LOG        recover LOG from a crashed campaign and finish it:
+                      completed scenarios replay bit-exactly from the log,
+                      interrupted ones re-drive; the merged report equals an
+                      uninterrupted run's (--config is not needed — the
+                      scenario matrix is recovered from the log itself)
 
 portal options:
   --import FILE       JSON-lines file written by --export-portal
@@ -127,15 +139,26 @@ serve options (no flags = empty portal in lab-worker mode):
   --campaign-threads T campaign worker threads (default: one per core)
   --blob-dir DIR      blob spill directory; with --import, previously
                       spilled plate images are reloaded and served
+  --event-log FILE    with --campaign: also persist the event stream to FILE
+                      (without this flag a campaign still streams /events
+                      from an in-memory log; FILE makes it crash-resumable)
+
+watch options (URL is a 'sdl-lab serve' address, e.g. http://127.0.0.1:8323):
+  --once              render the current campaign state once and exit
+  --interval-ms N     minimum redraw interval (default 500)
 
 serve endpoints:
   /records            JSON lines; dotted-path filters + limit/offset, e.g.
                       /records?kind=sample&run=12&limit=50&offset=0
+  /events             campaign event log, JSON lines; ?from=SEQ&limit=N
+                      &timeout_ms=T long-polls (X-Next-Seq header carries
+                      the cursor); /events/stream is the same as SSE
   /summary            experiment summary HTML   (?experiment=ID)
   /runs/<run>         run detail HTML           (?experiment=ID)
   /blobs/<ref>        raw plate images
   /healthz            liveness JSON
-  /metrics            Prometheus text
+  /metrics            Prometheus text (+ sdl_lab_campaign_* gauges when a
+                      campaign event log is attached)
   /v1/experiments, /v1/batch, /v1/close   POST: the batch-execution API
                       (drive this server as a lab worker from another
                       process via 'run --backend remote:<addr>')
@@ -154,7 +177,13 @@ remote-worker example:
 worker-pool example (distributed campaign, bit-identical to single-process):
   sdl-lab serve --addr 127.0.0.1:8331 &          # worker 1
   sdl-lab serve --addr 127.0.0.1:8332 &          # worker 2
-  sdl-lab campaign --config c.yaml --workers 127.0.0.1:8331,127.0.0.1:8332"
+  sdl-lab campaign --config c.yaml --workers 127.0.0.1:8331,127.0.0.1:8332
+
+observability example (live dashboard + crash resume):
+  sdl-lab serve --campaign c.yaml --event-log c.events &
+  sdl-lab watch http://127.0.0.1:8323             # live terminal dashboard
+  kill -9 %1                                      # simulate a crash...
+  sdl-lab campaign --resume c.events --fingerprint   # ...and finish the rest"
     );
 }
 
@@ -323,13 +352,45 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
-    let path = flag_value(args, "--config").ok_or("campaign needs --config FILE")?;
+    // Resume mode: everything — the scenario matrix included — is
+    // recovered from the event log, so --config is not accepted.
+    if let Some(log_path) = flag_value(args, "--resume") {
+        if flag_value(args, "--config").is_some() || flag_value(args, "--workers").is_some() {
+            return Err(
+                "--resume recovers the scenario matrix from the log; drop --config/--workers"
+                    .into(),
+            );
+        }
+        let runner = runner_for(args)?.progress(true);
+        eprintln!("resuming campaign from {log_path}...");
+        let (report, stats) = runner.resume(log_path).map_err(|e| e.to_string())?;
+        if let Some(torn) = &stats.recovery.torn {
+            eprintln!("recovery: dropped a torn tail ({torn})");
+        }
+        eprintln!(
+            "recovered {} events ({} bytes): {} scenario(s) replayed from the log, {} re-driven",
+            stats.recovery.events, stats.recovery.valid_bytes, stats.replayed, stats.redriven
+        );
+        println!("# campaign (resumed from {log_path})");
+        return finish_campaign(args, &report);
+    }
+
+    let path =
+        flag_value(args, "--config").ok_or("campaign needs --config FILE (or --resume LOG)")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let config = CampaignConfig::from_yaml(&text).map_err(|e| e.to_string())?;
     let scenarios = config.scenarios();
     if scenarios.is_empty() {
         return Err("campaign expands to zero scenarios".into());
     }
+    let event_log = match flag_value(args, "--event-log") {
+        Some(p) => {
+            let log = EventLog::create(p).map_err(|e| e.to_string())?;
+            eprintln!("appending campaign events to {p}");
+            Some(std::sync::Arc::new(log))
+        }
+        None => None,
+    };
 
     // A worker pool (from --workers or the config's `workers:` key) selects
     // the distributed scheduler; otherwise the thread-pool runner.
@@ -340,7 +401,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         None => config.workers.clone(),
     };
     let report = if workers.is_empty() {
-        let mut runner = runner_for(args)?.progress(true);
+        let mut runner = runner_for(args)?.progress(true).name(&config.name);
+        if let Some(log) = event_log {
+            runner = runner.with_events(log);
+        }
         if flag_value(args, "--threads").is_none() {
             if let Some(t) = config.threads {
                 runner = runner.threads(t);
@@ -354,7 +418,10 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         );
         runner.run(scenarios)
     } else {
-        let mut scheduler = CampaignScheduler::new(workers).progress(true);
+        let mut scheduler = CampaignScheduler::new(workers).progress(true).name(&config.name);
+        if let Some(log) = event_log {
+            scheduler = scheduler.with_events(log);
+        }
         let shard = match flag_value(args, "--shard") {
             Some(v) => {
                 let s: usize = v.parse().map_err(|_| format!("bad --shard '{v}'"))?;
@@ -378,6 +445,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         report
     };
     println!("# campaign '{}'", config.name);
+    finish_campaign(args, &report)
+}
+
+/// The shared tail of `campaign` and `campaign --resume`: summary table,
+/// optional fingerprint and portal export, nonzero exit on failures.
+fn finish_campaign(args: &[String], report: &CampaignReport) -> Result<(), String> {
     println!("{}", report.summary_table());
     let failed = report.results.iter().filter(|r| r.outcome.is_err()).count();
     if flag_present(args, "--fingerprint") {
@@ -422,10 +495,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         eprintln!("loaded {n} records from {path}");
     }
 
+    if flag_value(args, "--event-log").is_some() && campaign.is_none() {
+        return Err("--event-log needs --campaign FILE (the log records campaign events)".into());
+    }
+
     // In campaign mode the runner publishes into the same portal and blob
     // store the server reads, on a background thread: scenario records
     // appear at the endpoints while the campaign is still executing.
     let mut campaign_worker = None;
+    let mut event_log = None;
     if let Some(path) = campaign {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let config = CampaignConfig::from_yaml(&text).map_err(|e| e.to_string())?;
@@ -433,9 +511,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if scenarios.is_empty() {
             return Err("campaign expands to zero scenarios".into());
         }
+        // The live /events feed and dashboard always get a log; --event-log
+        // additionally makes it durable (and the campaign crash-resumable).
+        let log = match flag_value(args, "--event-log") {
+            Some(p) => {
+                eprintln!("appending campaign events to {p}");
+                Arc::new(EventLog::create(p).map_err(|e| e.to_string())?)
+            }
+            None => Arc::new(EventLog::in_memory()),
+        };
+        event_log = Some(Arc::clone(&log));
         let mut runner = CampaignRunner::new()
             .with_portal(Arc::clone(&portal))
             .with_store(Arc::clone(&store))
+            .with_events(log)
+            .name(&config.name)
             .publish_records(true)
             .progress(true);
         match flag_value(args, "--campaign-threads") {
@@ -476,7 +566,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     // Every served portal also hosts the batch-execution API, so any
     // `sdl-lab serve` process doubles as a lab worker for remote sessions.
-    let server = PortalServer::new(portal, store).with_lab(Arc::new(LabHost::new()));
+    let mut server = PortalServer::new(portal, store).with_lab(Arc::new(LabHost::new()));
+    if let Some(log) = event_log {
+        server = server.with_events(log);
+    }
     let handle = spawn(server, &config).map_err(|e| format!("bind: {e}"))?;
     // The bound address goes to stdout (and is flushed) so scripts and the
     // CI smoke test can pick up an ephemeral port.
@@ -486,13 +579,121 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let _ = std::io::stdout().flush();
     }
     eprintln!(
-        "endpoints: /records /summary /runs/<run> /blobs/<ref> /healthz /metrics (Ctrl-C to stop)"
+        "endpoints: /records /events /summary /runs/<run> /blobs/<ref> /healthz /metrics \
+         (Ctrl-C to stop)"
     );
     handle.join();
     if let Some(worker) = campaign_worker {
         let _ = worker.join();
     }
     Ok(())
+}
+
+/// `sdl-lab watch URL` — a live terminal dashboard over `GET /events`.
+///
+/// Long-polls the server's event log, folds every event into a
+/// [`ProgressModel`], and redraws the rendered dashboard in place (ANSI
+/// clear + home). Exits when the campaign closes; `--once` renders the
+/// current state a single time (no ANSI) and exits — that form is what
+/// scripts and the CI smoke test use.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    use sdl_lab::portal_server::client::HttpClient;
+    use std::time::{Duration, Instant};
+
+    let url = match args.first().map(String::as_str) {
+        Some(u) if !u.starts_with("--") => u,
+        _ => return Err("watch needs a server URL (e.g. http://127.0.0.1:8323)".into()),
+    };
+    let addr = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/').to_string();
+    let once = flag_present(args, "--once");
+    let interval: u64 = match flag_value(args, "--interval-ms") {
+        Some(v) => v.parse().map_err(|_| format!("bad --interval-ms '{v}'"))?,
+        None => 500,
+    };
+    let width = std::env::var("COLUMNS").ok().and_then(|c| c.parse().ok()).unwrap_or(100);
+
+    let mut model = ProgressModel::new();
+    let mut from: u64 = 1;
+    let mut client: Option<HttpClient> = None;
+    // Samples/s over a sliding window of recent observations.
+    let mut window: std::collections::VecDeque<(Instant, u64)> = std::collections::VecDeque::new();
+
+    loop {
+        if client.is_none() {
+            match HttpClient::connect(&addr) {
+                Ok(c) => client = Some(c),
+                Err(e) if once => return Err(format!("{addr}: {e}")),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(interval.max(100)));
+                    continue;
+                }
+            }
+        }
+        let conn = client.as_mut().expect("connected above");
+        let timeout = if once { 0 } else { interval.clamp(100, 20_000) };
+        let path = format!("/events?from={from}&limit=5000&timeout_ms={timeout}");
+        let resp = match conn.get(&path) {
+            Ok(r) => r,
+            Err(e) if once => return Err(format!("{addr}: {e}")),
+            Err(_) => {
+                // Server restarting or keep-alive reaped: reconnect. The
+                // cursor survives, so nothing is lost or double-counted.
+                client = None;
+                continue;
+            }
+        };
+        if resp.status == 404 {
+            return Err(format!(
+                "{url} has no campaign event log (start the server with \
+                 'sdl-lab serve --campaign FILE')"
+            ));
+        }
+        if resp.status != 200 {
+            return Err(format!("{url}{path}: HTTP {}", resp.status));
+        }
+        for line in resp.text().lines() {
+            match EventRecord::from_line(line) {
+                Ok(rec) => model.apply(rec.seq, &rec.event),
+                Err(e) => return Err(format!("corrupt event line: {e}")),
+            }
+        }
+        from = match resp.header("x-next-seq").and_then(|v| v.parse().ok()) {
+            Some(next) => next,
+            None => model.seq + 1,
+        };
+        let closed = resp.header("x-log-closed") == Some("true");
+        let drained = resp
+            .header("x-event-head")
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|h| from > h);
+
+        let now = Instant::now();
+        window.push_back((now, model.samples));
+        while window.len() > 2
+            && now.duration_since(window.front().unwrap().0) > Duration::from_secs(10)
+        {
+            window.pop_front();
+        }
+        let rate = window.front().and_then(|(t0, s0)| {
+            let dt = now.duration_since(*t0).as_secs_f64();
+            (dt > 0.0).then(|| (model.samples.saturating_sub(*s0)) as f64 / dt)
+        });
+
+        if once {
+            print!("{}", model.render(width, rate));
+            return Ok(());
+        }
+        // Clear screen, home the cursor, redraw.
+        print!("\x1b[2J\x1b[H{}", model.render(width, rate));
+        {
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if closed && drained {
+            println!("campaign closed — {} scenarios done, {} failed", model.done, model.failed);
+            return Ok(());
+        }
+    }
 }
 
 fn cmd_portal(args: &[String]) -> Result<(), String> {

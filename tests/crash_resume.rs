@@ -1,0 +1,135 @@
+//! Process-level crash recovery: SIGKILL an `sdl-lab campaign` driver
+//! mid-campaign, resume from its event log, and assert the merged report
+//! is bit-identical to an uninterrupted single-process run — with no
+//! scenario executed twice.
+
+use sdl_lab::core::{CampaignConfig, CampaignEvent, CampaignRunner, EventLog};
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CAMPAIGN_YAML: &str = "name: crash-resume\n\
+                             samples: 10\n\
+                             batch: 2\n\
+                             seed: 91\n\
+                             publish_images: false\n\
+                             solvers: [genetic, random, bayesian]\n\
+                             seeds: 3\n";
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdl-crash-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// How many scenarios the log records as finished so far. Reads the raw
+/// file (the writer is another process), tolerating a torn last line.
+fn finished_in(log: &PathBuf) -> usize {
+    let Ok(mut f) = std::fs::File::open(log) else { return 0 };
+    let mut text = String::new();
+    let _ = f.read_to_string(&mut text);
+    text.matches("scenario_finished").count()
+}
+
+#[test]
+fn sigkilled_campaign_resumes_bit_identically() {
+    let config = CampaignConfig::from_yaml(CAMPAIGN_YAML).expect("campaign yaml parses");
+    let golden = CampaignRunner::new().threads(1).run(config.scenarios());
+    let total = config.scenarios().len();
+
+    let dir = workdir();
+    let yaml_path = dir.join("campaign.yaml");
+    let log_path = dir.join("campaign.events");
+    std::fs::write(&yaml_path, CAMPAIGN_YAML).unwrap();
+
+    // Drive the same campaign in a separate process, appending to the log.
+    let bin = env!("CARGO_BIN_EXE_sdl-lab");
+    let mut child = Command::new(bin)
+        .args(["campaign", "--config"])
+        .arg(&yaml_path)
+        .args(["--threads", "1", "--event-log"])
+        .arg(&log_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sdl-lab campaign");
+
+    // SIGKILL it as soon as at least two scenarios have landed in the log
+    // (so the resume has both completed work to replay and remaining work
+    // to re-drive). kill() is SIGKILL on unix: no flushing, no cleanup.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut killed = false;
+    while Instant::now() < deadline {
+        if finished_in(&log_path) >= 2 {
+            child.kill().expect("SIGKILL the driver");
+            killed = true;
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            break; // Finished before we could kill it — asserted below.
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.wait();
+    assert!(killed, "campaign finished before two scenarios hit the log; grow the matrix");
+
+    // Resume from the torn log. The recovered report must be bit-identical
+    // to the uninterrupted golden run.
+    let (report, stats) =
+        CampaignRunner::new().threads(1).resume(&log_path).expect("resume succeeds");
+    assert_eq!(
+        golden.fingerprint(),
+        report.fingerprint(),
+        "resumed campaign diverged from the golden run (replayed {}, redriven {})",
+        stats.replayed,
+        stats.redriven
+    );
+    assert!(stats.replayed >= 2, "the two logged scenarios must replay, not re-run: {stats:?}");
+    assert_eq!(stats.replayed + stats.redriven, total, "{stats:?}");
+
+    // No scenario ran twice: the final log holds exactly one terminal
+    // event per scenario, and nothing that finished before the crash was
+    // started again after the resume marker.
+    let (events, _) = EventLog::read(&log_path).expect("final log reads");
+    let resume_seq = events
+        .iter()
+        .find(|r| matches!(r.event, CampaignEvent::CampaignResumed { .. }))
+        .expect("resume marker present")
+        .seq;
+    let mut terminals = std::collections::HashMap::new();
+    let mut restarted = Vec::new();
+    for rec in &events {
+        match &rec.event {
+            CampaignEvent::ScenarioFinished { index, .. }
+            | CampaignEvent::ScenarioFailed { index, .. } => {
+                *terminals.entry(*index).or_insert(0u32) += 1;
+            }
+            CampaignEvent::ScenarioStarted { index, .. } if rec.seq > resume_seq => {
+                restarted.push(*index);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(terminals.len(), total, "every scenario must reach a terminal event");
+    assert!(terminals.values().all(|&n| n == 1), "a scenario ran twice: {terminals:?}");
+    let finished_before: Vec<usize> = events
+        .iter()
+        .filter(|r| r.seq < resume_seq)
+        .filter_map(|r| match &r.event {
+            CampaignEvent::ScenarioFinished { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    for index in &restarted {
+        assert!(
+            !finished_before.contains(index),
+            "scenario {index} finished before the crash but was re-driven after the resume"
+        );
+    }
+
+    // Resuming a completed log is refused — the campaign is closed.
+    assert!(CampaignRunner::new().resume(&log_path).is_err(), "closed log must refuse resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
