@@ -15,6 +15,7 @@
 use crate::app::AppError;
 use crate::backend::RetryPolicy;
 use crate::backend::{wire, BackendCaps, BackendClose, Batch, BatchResult, LabBackend};
+use crate::chaos::{ChaosPolicy, ChaosStream};
 use crate::config::AppConfig;
 use sdl_conf::{from_json, to_json, Value, ValueExt};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -30,6 +31,7 @@ pub struct RemoteBackend {
     conn: Option<Conn>,
     session: Option<String>,
     caps: Option<BackendCaps>,
+    chaos: Option<ChaosStream>,
 }
 
 struct Conn {
@@ -50,12 +52,36 @@ pub struct RemoteStats {
     pub resends: u64,
     /// TCP connect attempts that failed and were retried in-budget.
     pub reconnects: u64,
+    /// Chaos-injected connect refusals ([`ChaosPolicy::connect`]).
+    pub chaos_connects: u64,
+    /// Chaos-injected post-send disconnects ([`ChaosPolicy::disconnect`]).
+    pub chaos_disconnects: u64,
+    /// Chaos-injected read timeouts ([`ChaosPolicy::timeout`]).
+    pub chaos_timeouts: u64,
+    /// Chaos-synthesized HTTP 500s ([`ChaosPolicy::http500`]).
+    pub chaos_http500s: u64,
+    /// Chaos-discarded responses forcing replay ([`ChaosPolicy::replay`]).
+    pub chaos_replays: u64,
+}
+
+impl RemoteStats {
+    /// Total faults injected into this backend by its chaos stream.
+    pub fn injected(&self) -> u64 {
+        self.chaos_connects
+            + self.chaos_disconnects
+            + self.chaos_timeouts
+            + self.chaos_http500s
+            + self.chaos_replays
+    }
 }
 
 /// Whether a failed POST is safe to resend: `Unsent` means the worker
-/// provably never read the request.
+/// provably never read the request; `Injected` is a chaos fault on a
+/// provably resend-safe path (never sent, or sent where the worker's
+/// idempotent replay cache absorbs the duplicate).
 enum PostError {
     Unsent(AppError),
+    Injected(AppError),
     Fatal(AppError),
 }
 
@@ -73,6 +99,7 @@ impl RemoteBackend {
             conn: None,
             session: None,
             caps: None,
+            chaos: None,
         }
     }
 
@@ -80,6 +107,16 @@ impl RemoteBackend {
     /// retry budget for both connecting and resending unread requests).
     pub fn with_retry(mut self, retry: RetryPolicy) -> RemoteBackend {
         self.retry = retry;
+        self
+    }
+
+    /// Attach a chaos stream: every request rolls `policy`'s client-side
+    /// faults in a fixed order, deterministically in `(policy.seed, key)`.
+    /// Key the stream with [`crate::chaos::stream_key`] so each
+    /// worker × scenario × attempt gets an independent, replayable fault
+    /// schedule. A no-op policy attaches nothing.
+    pub fn with_chaos(mut self, policy: ChaosPolicy, key: u64) -> RemoteBackend {
+        self.chaos = if policy.is_noop() { None } else { Some(policy.stream(key)) };
         self
     }
 
@@ -117,6 +154,19 @@ impl RemoteBackend {
             std::thread::sleep(self.retry.backoff(attempt));
             if attempt > 0 {
                 self.stats.reconnects += 1;
+            }
+            // Chaos: refuse this connect attempt on schedule. The refusal
+            // burns budget exactly like a real ECONNREFUSED.
+            if let Some(chaos) = self.chaos.as_mut() {
+                let p = chaos.policy().connect;
+                if chaos.fires(p) {
+                    self.stats.chaos_connects += 1;
+                    last = Some(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "chaos: injected connect refusal",
+                    ));
+                    continue;
+                }
             }
             // Resolve per attempt: a worker restarting behind a DNS name may
             // come back on a different address.
@@ -161,13 +211,17 @@ impl RemoteBackend {
                     self.stats.posts += 1;
                     return Ok(v);
                 }
-                Err(PostError::Unsent(_)) if retry < self.retry.retries => {
+                Err(PostError::Unsent(_)) | Err(PostError::Injected(_))
+                    if retry < self.retry.retries =>
+                {
                     retry += 1;
                     self.stats.resends += 1;
                     self.conn = None; // reconnect and resend
                     std::thread::sleep(self.retry.backoff(retry));
                 }
-                Err(PostError::Unsent(e)) | Err(PostError::Fatal(e)) => {
+                Err(PostError::Unsent(e))
+                | Err(PostError::Injected(e))
+                | Err(PostError::Fatal(e)) => {
                     self.conn = None;
                     return Err(e);
                 }
@@ -177,6 +231,39 @@ impl RemoteBackend {
 
     fn try_post(&mut self, path: &str, payload: &str) -> Result<Value, PostError> {
         let addr = self.addr.clone();
+        // Chaos rolls happen up front, in a fixed order, every try — four
+        // counter ticks per post whatever the outcome — so a fault schedule
+        // is a pure function of the request sequence, not of timing.
+        let (inject_timeout, inject_500, inject_disconnect, inject_replay) =
+            match self.chaos.as_mut() {
+                Some(chaos) => {
+                    let p = *chaos.policy();
+                    (
+                        chaos.fires(p.timeout),
+                        chaos.fires(p.http500),
+                        chaos.fires(p.disconnect),
+                        chaos.fires(p.replay),
+                    )
+                }
+                None => (false, false, false, false),
+            };
+        if inject_timeout {
+            // A silent worker: surfaces as a transport error so the
+            // scheduler evicts and re-drives the scenario elsewhere.
+            self.stats.chaos_timeouts += 1;
+            self.conn = None;
+            return Err(PostError::Fatal(AppError::Transport(format!(
+                "{addr}{path}: chaos: injected read timeout"
+            ))));
+        }
+        if inject_500 {
+            // Synthesized *instead of* sending, so the resend is a plain
+            // first send — retry-safe by construction, unlike a real 5xx.
+            self.stats.chaos_http500s += 1;
+            return Err(PostError::Injected(AppError::Transport(format!(
+                "{addr}{path}: chaos: injected HTTP 500"
+            ))));
+        }
         // Socket-level failures are transport errors: whether the request
         // completed is unknowable from here, but idempotent replay on the
         // worker makes a re-drive safe.
@@ -190,6 +277,17 @@ impl RemoteBackend {
         )
         .map_err(|e| PostError::Unsent(err(e)))?;
         conn.writer.flush().map_err(|e| PostError::Unsent(err(e)))?;
+
+        if inject_disconnect {
+            // Drop the connection after the request went out but before
+            // reading the answer: the worker executes the batch, and the
+            // resend exercises its duplicate-response replay cache.
+            self.conn = None;
+            self.stats.chaos_disconnects += 1;
+            return Err(PostError::Injected(AppError::Transport(format!(
+                "{addr}{path}: chaos: injected mid-body disconnect"
+            ))));
+        }
 
         // Status line. A clean close (or reset) before the first byte means
         // the worker reaped the idle connection without seeing the request.
@@ -238,6 +336,16 @@ impl RemoteBackend {
         })?;
         let mut body = vec![0u8; length];
         conn.reader.read_exact(&mut body).map_err(|e| PostError::Fatal(err(e)))?;
+        if inject_replay {
+            // Throw the (perfectly good) response away and ask again: the
+            // worker must serve the duplicate from its replay cache, not
+            // re-execute the batch.
+            self.conn = None;
+            self.stats.chaos_replays += 1;
+            return Err(PostError::Injected(AppError::Transport(format!(
+                "{addr}{path}: chaos: discarded response to force replay"
+            ))));
+        }
         let text = String::from_utf8_lossy(&body);
         if status >= 400 {
             return Err(PostError::Fatal(AppError::Backend(format!(

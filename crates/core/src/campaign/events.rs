@@ -777,23 +777,32 @@ impl EventLog {
         })
     }
 
-    /// Scan a log file, verifying newline termination, seq contiguity and
-    /// checksums; returns the accepted events and where the scan stopped.
+    /// Scan a log file, verifying newline termination, UTF-8 validity, seq
+    /// contiguity and checksums; returns the accepted events and where the
+    /// scan stopped. The scan is byte-based so corruption anywhere — even
+    /// a bit flip that produces invalid UTF-8 — truncates to the clean
+    /// prefix instead of failing the whole read.
     pub fn read(path: impl AsRef<Path>) -> Result<(Vec<EventRecord>, RecoveryReport), AppError> {
         let path = path.as_ref();
-        let mut raw = String::new();
+        let mut raw = Vec::new();
         File::open(path)
-            .and_then(|mut f| f.read_to_string(&mut raw))
+            .and_then(|mut f| f.read_to_end(&mut raw))
             .map_err(|e| AppError::Setup(format!("event log {}: {e}", path.display())))?;
         let mut events = Vec::new();
         let mut report = RecoveryReport { events: 0, valid_bytes: 0, torn: None };
-        let mut rest = raw.as_str();
+        let mut rest = raw.as_slice();
         while !rest.is_empty() {
-            let Some(nl) = rest.find('\n') else {
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
                 report.torn = Some("unterminated final line".into());
                 break;
             };
-            let line = &rest[..nl];
+            let line = match std::str::from_utf8(&rest[..nl]) {
+                Ok(line) => line,
+                Err(_) => {
+                    report.torn = Some("invalid UTF-8 line".into());
+                    break;
+                }
+            };
             match EventRecord::from_line(line) {
                 Ok(rec) if rec.seq == events.len() as u64 + 1 => {
                     events.push(rec);

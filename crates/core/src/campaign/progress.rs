@@ -32,6 +32,11 @@ pub struct WorkerProgress {
     pub evictions: u64,
     /// Readmissions after a successful health probe.
     pub readmissions: u64,
+    /// Scenarios quarantined on this worker (failure budget exhausted).
+    pub quarantined: u64,
+    /// Chaos faults injected into this worker's traffic (backfilled from
+    /// the `campaign_closed` scheduler payload).
+    pub chaos: u64,
     /// Scenarios still queued for this worker at its last claim.
     pub queue_depth: u64,
     /// Sequence number of the last event mentioning this worker.
@@ -65,6 +70,8 @@ pub struct ProgressModel {
     pub seq: u64,
     /// Scenarios restored from the log by a resume.
     pub replayed: usize,
+    /// Scenarios that failed by quarantine (failure budget exhausted).
+    pub quarantined: usize,
     /// True once `campaign_closed` was applied.
     pub closed: bool,
     /// The scheduler report payload of `campaign_closed`, when present.
@@ -129,10 +136,17 @@ impl ProgressModel {
                 w.done += 1;
                 w.running = w.running.saturating_sub(1);
             }
-            CampaignEvent::ScenarioFailed { index, worker, .. } => {
+            CampaignEvent::ScenarioFailed { index, worker, error, .. } => {
                 self.running.remove(index);
                 self.failed += 1;
+                let quarantined = error.starts_with("quarantined");
+                if quarantined {
+                    self.quarantined += 1;
+                }
                 let w = touch(&mut self.workers, seq, worker);
+                if quarantined {
+                    w.quarantined += 1;
+                }
                 w.running = w.running.saturating_sub(1);
             }
             CampaignEvent::WorkerEvicted { worker, .. } => {
@@ -157,6 +171,23 @@ impl ProgressModel {
                 self.running.clear();
                 self.closed = true;
                 self.scheduler = scheduler.clone();
+                // Backfill per-worker chaos counters: only the scheduler
+                // report knows how many faults each backend's stream
+                // injected (there is no per-fault event — chaos must not
+                // bloat the log it is stress-testing).
+                if let Some(sched) = &self.scheduler {
+                    if let Some(entries) = sched.get("workers").and_then(Value::as_seq) {
+                        for e in entries {
+                            let Some(url) = e.get("url").and_then(Value::as_str) else { continue };
+                            let w = touch(&mut self.workers, seq, url);
+                            w.chaos = e.get("chaos").and_then(Value::as_i64).unwrap_or(0) as u64;
+                            w.quarantined = w
+                                .quarantined
+                                .max(e.get("quarantined").and_then(Value::as_i64).unwrap_or(0)
+                                    as u64);
+                        }
+                    }
+                }
             }
         }
     }
@@ -213,7 +244,7 @@ impl ProgressModel {
             for (name, w) in &self.workers {
                 let _ = writeln!(
                     out,
-                    "  {:<24} q={} steal={} stolen={} retry={} evict={} readmit={} lag={}",
+                    "  {:<24} q={} steal={} stolen={} retry={} evict={} readmit={} chaos={} quar={} lag={}",
                     trim_to(name, 24),
                     w.queue_depth,
                     w.steals,
@@ -221,6 +252,8 @@ impl ProgressModel {
                     w.retries,
                     w.evictions,
                     w.readmissions,
+                    w.chaos,
+                    w.quarantined,
                     self.seq.saturating_sub(w.last_seq),
                 );
             }
@@ -299,6 +332,13 @@ fn scheduler_summary(v: &Value) -> Vec<String> {
         get("local"),
         get("fallback"),
     ));
+    if get("chaos_injected") > 0 || get("quarantined") > 0 {
+        out.push(format!(
+            "chaos: {} injected faults, {} quarantined",
+            get("chaos_injected"),
+            get("quarantined"),
+        ));
+    }
     if let Some(phases) = v.get("phases") {
         let ph = |k: &str| phases.get(k).and_then(Value::as_f64).unwrap_or(0.0);
         out.push(format!(

@@ -43,6 +43,7 @@ use crate::campaign::queue::{Claim, ShardQueue};
 use crate::campaign::report::{CampaignReport, ScenarioOutcome, ScenarioResult};
 use crate::campaign::runner::{best_of, execute};
 use crate::campaign::spec::{RunMode, ScenarioSpec};
+use crate::chaos::{self, ChaosPolicy};
 use crate::experiment::Experiment;
 use sdl_conf::Value;
 use sdl_datapub::{AcdcPortal, BlobStore};
@@ -79,6 +80,12 @@ pub struct WorkerStats {
     pub wire_resends: u64,
     /// In-budget TCP reconnect attempts.
     pub wire_reconnects: u64,
+    /// Faults the chaos policy injected into this worker's wire traffic.
+    pub chaos_injected: u64,
+    /// Scenarios this worker's driver quarantined — failed deterministically
+    /// after exhausting the per-scenario failure budget instead of being
+    /// requeued forever.
+    pub quarantined: u64,
     /// Time spent driving scenarios on this worker.
     pub busy: Duration,
     /// Share of `busy` spent on scenarios stolen from a peer's deque.
@@ -138,6 +145,16 @@ impl SchedulerReport {
         self.workers.iter().map(|w| w.evictions).sum()
     }
 
+    /// Chaos-injected faults, pool-wide.
+    pub fn total_chaos_injected(&self) -> u64 {
+        self.workers.iter().map(|w| w.chaos_injected).sum()
+    }
+
+    /// Scenarios quarantined after exhausting the failure budget.
+    pub fn total_quarantined(&self) -> u64 {
+        self.workers.iter().map(|w| w.quarantined).sum()
+    }
+
     /// Measured samples per wall-clock second.
     pub fn samples_per_sec(&self) -> f64 {
         let s = self.wall.as_secs_f64();
@@ -162,6 +179,8 @@ impl SchedulerReport {
         v.set("retries", self.total_retries() as i64);
         v.set("steals", self.total_steals() as i64);
         v.set("evictions", self.total_evictions() as i64);
+        v.set("chaos_injected", self.total_chaos_injected() as i64);
+        v.set("quarantined", self.total_quarantined() as i64);
         let mut phases = Value::map();
         phases.set("deal_s", self.phases.deal.as_secs_f64());
         phases.set("steal_s", self.phases.steal.as_secs_f64());
@@ -180,6 +199,8 @@ impl SchedulerReport {
             e.set("posts", w.wire_posts as i64);
             e.set("resends", w.wire_resends as i64);
             e.set("reconnects", w.wire_reconnects as i64);
+            e.set("chaos", w.chaos_injected as i64);
+            e.set("quarantined", w.quarantined as i64);
             e.set("busy_s", w.busy.as_secs_f64());
             workers.push(e);
         }
@@ -193,7 +214,7 @@ impl SchedulerReport {
             .workers
             .iter()
             .map(|w| {
-                format!(
+                let mut line = format!(
                     "worker {}: {} done ({} stolen), {} retries, {} evictions, busy {:.2}s",
                     w.url,
                     w.completed,
@@ -201,7 +222,14 @@ impl SchedulerReport {
                     w.retries,
                     w.evictions,
                     w.busy.as_secs_f64()
-                )
+                );
+                if w.chaos_injected > 0 {
+                    line.push_str(&format!(", {} chaos", w.chaos_injected));
+                }
+                if w.quarantined > 0 {
+                    line.push_str(&format!(", {} quarantined", w.quarantined));
+                }
+                line
             })
             .collect();
         out.push(format!(
@@ -230,6 +258,8 @@ pub struct CampaignScheduler {
     shard: Option<usize>,
     retry: RetryPolicy,
     probe_budget: u32,
+    failure_budget: u32,
+    chaos: ChaosPolicy,
     portal: Arc<AcdcPortal>,
     store: Arc<BlobStore>,
     progress: bool,
@@ -250,6 +280,8 @@ impl CampaignScheduler {
             shard: None,
             retry: RetryPolicy::failover(),
             probe_budget: 5,
+            failure_budget: 10,
+            chaos: ChaosPolicy::default(),
             portal: Arc::new(AcdcPortal::new()),
             store: Arc::new(BlobStore::in_memory()),
             progress: false,
@@ -289,6 +321,28 @@ impl CampaignScheduler {
     /// driver gives up on readmission entirely.
     pub fn probe_budget(mut self, probes: u32) -> CampaignScheduler {
         self.probe_budget = probes;
+        self
+    }
+
+    /// Builder: per-scenario failure budget. A scenario whose execution
+    /// attempts have *all* died with their worker this many times is
+    /// quarantined — finished as a deterministic `scenario_failed` result —
+    /// instead of being requeued forever. A scenario that repeatedly kills
+    /// whatever worker touches it (a poison pill) therefore terminates the
+    /// campaign instead of hanging it. `0` disables the budget (requeue
+    /// without limit). Default: 10.
+    pub fn failure_budget(mut self, attempts: u32) -> CampaignScheduler {
+        self.failure_budget = attempts;
+        self
+    }
+
+    /// Builder: inject client-side transport chaos into every remote
+    /// scenario drive. Each worker × scenario × attempt gets its own
+    /// deterministic fault stream keyed by [`chaos::stream_key`], so a
+    /// fixed `(chaos seed, schedule)` reproduces the exact same fault
+    /// interleaving and counters across runs.
+    pub fn chaos(mut self, policy: ChaosPolicy) -> CampaignScheduler {
+        self.chaos = policy;
         self
     }
 
@@ -411,7 +465,15 @@ impl CampaignScheduler {
                 let scenarios = Arc::clone(&scenarios);
                 let tx = tx.clone();
                 let (queue, healthy, stats) = (&queue, &healthy, &stats[w]);
-                let (retry, probe_budget) = (self.retry, self.probe_budget);
+                // Per-worker jitter seed: drivers retrying the same dead
+                // peer spread their backoff waits apart (a no-op unless the
+                // policy opted into jitter).
+                let retry = self.retry.with_jitter(
+                    self.retry.jitter_permille,
+                    rand::counter::hash(self.retry.jitter_seed, w as u64),
+                );
+                let (probe_budget, failure_budget, chaos) =
+                    (self.probe_budget, self.failure_budget, self.chaos);
                 let (events, attempts, pool_urls) =
                     (self.events.as_ref(), &attempts[..], &self.workers[..]);
                 scope.spawn(move || {
@@ -425,6 +487,8 @@ impl CampaignScheduler {
                         &tx,
                         retry,
                         probe_budget,
+                        failure_budget,
+                        chaos,
                         events,
                         attempts,
                         pool_urls,
@@ -537,7 +601,10 @@ impl CampaignScheduler {
         sched.workers = stats.into_iter().map(|m| m.into_inner()).collect();
         let remote_done: u64 = sched.workers.iter().map(|w| w.completed).sum();
         sched.local = local_unshippable_count(&results);
-        sched.fallback = (n as u64).saturating_sub(remote_done + sched.local);
+        // Quarantined scenarios were terminated by a remote driver, not run
+        // by the in-process fallback — keep them out of its tally.
+        sched.fallback =
+            (n as u64).saturating_sub(remote_done + sched.local + sched.total_quarantined());
         sched.wall = started.elapsed();
         sched.samples = results
             .iter()
@@ -611,6 +678,8 @@ fn drive_worker(
     tx: &mpsc::Sender<(usize, ScenarioResult)>,
     retry: RetryPolicy,
     probe_budget: u32,
+    failure_budget: u32,
+    chaos: ChaosPolicy,
     events: Option<&Arc<EventLog>>,
     attempts: &[AtomicU32],
     pool: &[String],
@@ -674,7 +743,7 @@ fn drive_worker(
         }
         let ev = events.map(|log| EventScope::new(Arc::clone(log), index, attempt));
         let started = Instant::now();
-        let (outcome, wire) = drive_one(url, &spec, retry, ev);
+        let (outcome, wire) = drive_one(url, &spec, retry, chaos, index, attempt, ev);
         let busy = started.elapsed();
         let stolen = matches!(claim, Claim::Stolen { .. });
         {
@@ -686,9 +755,40 @@ fn drive_worker(
             s.wire_posts += wire.posts;
             s.wire_resends += wire.resends;
             s.wire_reconnects += wire.reconnects;
+            s.chaos_injected += wire.injected();
         }
         match outcome {
             Err(e) if e.is_transport() => {
+                // `attempts` counts starts, so the load already includes
+                // this just-failed attempt.
+                let failed_attempts = attempts[index].load(Ordering::Relaxed);
+                if failure_budget > 0 && failed_attempts >= failure_budget {
+                    // Quarantine: this scenario has now taken a worker down
+                    // with every attempt in its budget — a poison pill.
+                    // Requeueing it again would let it hunt the rest of the
+                    // pool (and then livelock the fallback), so finish it
+                    // as a *deterministic* failure instead. The worker is
+                    // not evicted here: its driver stays in rotation and
+                    // the very next claim decides its health on fresh
+                    // evidence.
+                    queue.complete_one();
+                    {
+                        let mut s = stats.lock();
+                        s.retries += 1;
+                        s.retry_busy += busy;
+                        s.quarantined += 1;
+                    }
+                    let outcome: Result<ScenarioOutcome, AppError> = Err(AppError::Backend(
+                        format!("quarantined after {failed_attempts} failed attempts (last: {e})"),
+                    ));
+                    if let Some(log) = events {
+                        log.append(&finish_event(index, &spec, attempt, url, &outcome));
+                    }
+                    if tx.send((index, ScenarioResult { spec, index, outcome })).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 // Worker death, not scenario failure: the attempt's session
                 // (and its partial records) died with the worker; requeue
                 // for a clean re-drive elsewhere and start probing.
@@ -734,14 +834,22 @@ fn drive_worker(
 
 /// Drive one shippable scenario on `url`, returning the outcome plus the
 /// backend's wire-level retry accounting. With `events`, the driver-side
-/// session appends batch/sample events as the remote lab executes.
+/// session appends batch/sample events as the remote lab executes. The
+/// chaos stream is keyed by `(url, index, attempt)` so every re-drive
+/// rolls its own reproducible fault schedule.
+#[allow(clippy::too_many_arguments)]
 fn drive_one(
     url: &str,
     spec: &ScenarioSpec,
     retry: RetryPolicy,
+    chaos: ChaosPolicy,
+    index: usize,
+    attempt: u32,
     events: Option<EventScope>,
 ) -> (Result<crate::app::ExperimentOutcome, AppError>, crate::backend::RemoteStats) {
-    let mut backend = RemoteBackend::new(url, spec.config.clone()).with_retry(retry);
+    let mut backend = RemoteBackend::new(url, spec.config.clone())
+        .with_retry(retry)
+        .with_chaos(chaos, chaos::stream_key(url, index, attempt));
     let outcome = match Experiment::new(spec.config.clone()) {
         Ok(mut session) => {
             if let Some(scope) = events {

@@ -28,6 +28,7 @@
 mod app;
 mod backend;
 mod campaign;
+pub mod chaos;
 mod config;
 mod experiment;
 mod metrics;
@@ -50,6 +51,7 @@ pub use campaign::{
     ScenarioResult, ScenarioSpec, ScenarioSummary, SchedulerReport, SingleTelemetry, SweepItem,
     WorkerProgress, WorkerStats,
 };
+pub use chaos::{ChaosClock, ChaosPolicy, ChaosStream, WorkerFault};
 pub use config::{AppConfig, ConfigError};
 pub use experiment::Experiment;
 pub use metrics::SdlMetrics;

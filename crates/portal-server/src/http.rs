@@ -221,6 +221,10 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Body bytes (omitted on the wire for HEAD).
     pub body: Vec<u8>,
+    /// True when the connection must be dropped without writing anything —
+    /// nothing goes on the wire, the socket just closes. Used by chaos
+    /// injection to simulate a worker dying mid-request.
+    pub hangup: bool,
 }
 
 impl Response {
@@ -231,6 +235,7 @@ impl Response {
             content_type: content_type.to_string(),
             headers: Vec::new(),
             body: body.into(),
+            hangup: false,
         }
     }
 
@@ -252,6 +257,13 @@ impl Response {
     /// Plain-text error with the given status.
     pub fn error(status: u16, message: &str) -> Response {
         Response::new(status, "text/plain; charset=utf-8", format!("{message}\n"))
+    }
+
+    /// A connection hangup: the handler decided to drop the socket without
+    /// answering (chaos `kill` fault). The connection loop writes nothing
+    /// and closes; the status/body here never reach the wire.
+    pub fn hangup() -> Response {
+        Response { hangup: true, ..Response::new(500, "text/plain", "") }
     }
 
     /// Append a header.

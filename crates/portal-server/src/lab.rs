@@ -27,7 +27,9 @@
 use crate::http::{Request, Response};
 use parking_lot::Mutex;
 use sdl_conf::{from_json, to_json, Value, ValueExt};
-use sdl_core::{wire, AppConfig, AppError, LabBackend, SimBackend};
+use sdl_core::{
+    wire, AppConfig, AppError, ChaosClock, ChaosPolicy, LabBackend, SimBackend, WorkerFault,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -65,6 +67,12 @@ pub struct LabMetrics {
     batch_replays: AtomicU64,
     /// Batches currently executing (gauge).
     batches_inflight: AtomicU64,
+    /// Chaos-injected request stalls (`--chaos stall=…`).
+    chaos_stalls: AtomicU64,
+    /// Chaos-injected 500 responses (`--chaos error=…`).
+    chaos_errors: AtomicU64,
+    /// Chaos-injected connection hangups (`--chaos kill=…`).
+    chaos_kills: AtomicU64,
 }
 
 impl LabMetrics {
@@ -86,6 +94,13 @@ impl LabMetrics {
     /// Sessions evicted after [`SESSION_TTL`] of inactivity.
     pub fn evicted(&self) -> u64 {
         self.sessions_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total chaos faults this worker injected into its own requests.
+    pub fn chaos_injected(&self) -> u64 {
+        self.chaos_stalls.load(Ordering::Relaxed)
+            + self.chaos_errors.load(Ordering::Relaxed)
+            + self.chaos_kills.load(Ordering::Relaxed)
     }
 }
 
@@ -115,6 +130,9 @@ pub struct LabHost {
     closed: Mutex<Vec<(String, Value)>>,
     next_id: AtomicU64,
     metrics: LabMetrics,
+    /// Worker-side fault injection (`sdl-lab serve --chaos`): rolled once
+    /// per `/v1` request in arrival order.
+    chaos: Option<ChaosClock>,
 }
 
 impl std::fmt::Debug for LabHost {
@@ -127,6 +145,16 @@ impl LabHost {
     /// An empty host (no sessions).
     pub fn new() -> LabHost {
         LabHost::default()
+    }
+
+    /// Attach worker-side chaos: every `/v1` request rolls `policy`'s
+    /// `stall`/`error`/`kill` faults before being served. Health probes
+    /// (`/healthz`) are unaffected — a chaos'd worker stays observable, so
+    /// eviction and readmission still work. A no-op policy attaches
+    /// nothing.
+    pub fn with_chaos(mut self, policy: ChaosPolicy) -> LabHost {
+        self.chaos = if policy.is_noop() { None } else { Some(ChaosClock::new(policy)) };
+        self
     }
 
     /// Live session count.
@@ -198,12 +226,48 @@ impl LabHost {
             "Duplicate-run resubmissions answered from the idempotency cache (client retries).",
             m.batch_replays.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "chaos_stalls_total",
+            "Chaos-injected request stalls (`--chaos stall=`).",
+            m.chaos_stalls.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "chaos_errors_total",
+            "Chaos-injected HTTP 500 responses (`--chaos error=`).",
+            m.chaos_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "chaos_kills_total",
+            "Chaos-injected connection hangups (`--chaos kill=`).",
+            m.chaos_kills.load(Ordering::Relaxed),
+        );
         out
     }
 
     /// Route one `/v1/*` request.
     pub fn handle(&self, req: &Request) -> Response {
         self.evict_idle();
+        if let Some(clock) = &self.chaos {
+            match clock.decide() {
+                WorkerFault::None => {}
+                WorkerFault::Stall(wait) => {
+                    // Slow is not wrong: serve normally after the nap.
+                    self.metrics.chaos_stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(wait);
+                }
+                WorkerFault::Error => {
+                    self.metrics.chaos_errors.fetch_add(1, Ordering::Relaxed);
+                    return Response::error(500, "chaos: injected worker error");
+                }
+                WorkerFault::Kill => {
+                    self.metrics.chaos_kills.fetch_add(1, Ordering::Relaxed);
+                    return Response::hangup();
+                }
+            }
+        }
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/experiments") => self.create(req),
             ("POST", "/v1/batch") => self.batch(req),
@@ -483,6 +547,36 @@ mod tests {
         assert!(text.contains("sdl_lab_batches_executed_total 1"));
         assert!(text.contains("sdl_lab_batch_replays_total 1"));
         assert!(text.contains("sdl_lab_batches_inflight 0"));
+    }
+
+    #[test]
+    fn worker_chaos_faults_fire_on_schedule() {
+        // kill=1: every /v1 request is a hangup, and /metrics says so.
+        let host = LabHost::new().with_chaos(ChaosPolicy::parse("seed=1,kill=1").unwrap());
+        let resp = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert!(resp.hangup);
+        assert_eq!(host.metrics().chaos_injected(), 1);
+        assert!(host.render_prometheus().contains("sdl_lab_chaos_kills_total 1"));
+
+        // error=1: every request answers a real 500.
+        let host = LabHost::new().with_chaos(ChaosPolicy::parse("seed=1,error=1").unwrap());
+        let resp = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(resp.status, 500);
+        assert!(!resp.hangup);
+        assert!(host.render_prometheus().contains("sdl_lab_chaos_errors_total 1"));
+
+        // stall=1 with a tiny nap: the request still succeeds.
+        let host =
+            LabHost::new().with_chaos(ChaosPolicy::parse("seed=1,stall=1,stall_ms=1").unwrap());
+        let resp = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(resp.status, 200);
+        assert!(host.render_prometheus().contains("sdl_lab_chaos_stalls_total 1"));
+
+        // A no-op policy attaches no clock at all.
+        let host = LabHost::new().with_chaos(ChaosPolicy::default());
+        let resp = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(resp.status, 200);
+        assert_eq!(host.metrics().chaos_injected(), 0);
     }
 
     #[test]

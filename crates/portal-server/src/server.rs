@@ -542,6 +542,12 @@ fn handle_connection(server: &PortalServer, stream: TcpStream) {
             break;
         }
         let resp = server.handle(&req);
+        if resp.hangup {
+            // Chaos kill: drop the socket without writing a byte, exactly
+            // like a worker process dying mid-request. The client sees a
+            // closed connection, not an error response.
+            break;
+        }
         // Bodies within bounds are fully read by read_request, so even 4xx
         // responses keep the connection in sync; only oversized/garbage
         // requests close, and those are handled in the parse-error branch

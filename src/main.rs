@@ -9,11 +9,12 @@
 //! sdl-lab sweep --batches 1,2,4,8 [--samples N] [--threads T]
 //! sdl-lab campaign --config FILE [--threads T] [--workers url1,url2,...]
 //!                  [--shard N] [--export-portal FILE] [--event-log FILE]
+//!                  [--chaos SPEC] [--failure-budget N]
 //! sdl-lab campaign --resume LOG [--threads T] [--export-portal FILE]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
-//!               [--event-log FILE]
+//!               [--event-log FILE] [--chaos SPEC]
 //! sdl-lab watch URL [--once] [--interval-ms N]
 //! sdl-lab workcell
 //! sdl-lab help
@@ -22,7 +23,8 @@
 use sdl_lab::color::Rgb8;
 use sdl_lab::core::{
     batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignReport, CampaignRunner,
-    CampaignScheduler, ColorPickerApp, EventLog, EventRecord, Experiment, ProgressModel,
+    CampaignScheduler, ChaosPolicy, ColorPickerApp, EventLog, EventRecord, Experiment,
+    ProgressModel,
 };
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
@@ -117,6 +119,15 @@ campaign options:
   --fingerprint       print the campaign's determinism fingerprint
   --event-log FILE    append every campaign event (claims, batches, samples,
                       completions) to FILE as durable, checksummed JSON lines
+  --chaos SPEC        (worker pools only) inject deterministic transport
+                      faults into the driver-worker wire, e.g.
+                      'seed=7,connect=0.05,disconnect=0.05,replay=0.05';
+                      keys: seed, connect, disconnect, timeout, http500,
+                      replay (probabilities in [0,1]); retry-safe faults
+                      leave the fingerprint bit-identical
+  --failure-budget N  (worker pools only) quarantine a scenario as a
+                      deterministic failure after N failed delivery attempts
+                      instead of requeueing forever (default 10; 0 = never)
   --resume LOG        recover LOG from a crashed campaign and finish it:
                       completed scenarios replay bit-exactly from the log,
                       interrupted ones re-drive; the merged report equals an
@@ -142,10 +153,16 @@ serve options (no flags = empty portal in lab-worker mode):
   --event-log FILE    with --campaign: also persist the event stream to FILE
                       (without this flag a campaign still streams /events
                       from an in-memory log; FILE makes it crash-resumable)
+  --chaos SPEC        misbehave as a lab worker, deterministically, e.g.
+                      'seed=3,stall=0.1,error=0.05,kill=0.01'; keys: seed,
+                      stall, error, kill, stall_ms ('/healthz' is never
+                      chaos'd, so schedulers can still probe and readmit)
 
 watch options (URL is a 'sdl-lab serve' address, e.g. http://127.0.0.1:8323):
   --once              render the current campaign state once and exit
   --interval-ms N     minimum redraw interval (default 500)
+  (reconnects with capped exponential backoff; exits with an error after
+  6 consecutive failed polls, so a dead server never spins the terminal)
 
 serve endpoints:
   /records            JSON lines; dotted-path filters + limit/offset, e.g.
@@ -400,6 +417,21 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         }
         None => config.workers.clone(),
     };
+    let chaos = match flag_value(args, "--chaos") {
+        Some(spec) => Some(ChaosPolicy::parse(spec).map_err(|e| format!("bad --chaos: {e}"))?),
+        None => None,
+    };
+    let failure_budget: Option<u32> = match flag_value(args, "--failure-budget") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --failure-budget '{v}'"))?),
+        None => None,
+    };
+    if workers.is_empty() && (chaos.is_some() || failure_budget.is_some()) {
+        return Err(
+            "--chaos/--failure-budget act on the driver-worker wire; they need a worker pool \
+             (--workers or the config's 'workers:')"
+                .into(),
+        );
+    }
     let report = if workers.is_empty() {
         let mut runner = runner_for(args)?.progress(true).name(&config.name);
         if let Some(log) = event_log {
@@ -421,6 +453,12 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         let mut scheduler = CampaignScheduler::new(workers).progress(true).name(&config.name);
         if let Some(log) = event_log {
             scheduler = scheduler.with_events(log);
+        }
+        if let Some(policy) = chaos {
+            scheduler = scheduler.chaos(policy);
+        }
+        if let Some(budget) = failure_budget {
+            scheduler = scheduler.failure_budget(budget);
         }
         let shard = match flag_value(args, "--shard") {
             Some(v) => {
@@ -566,7 +604,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     // Every served portal also hosts the batch-execution API, so any
     // `sdl-lab serve` process doubles as a lab worker for remote sessions.
-    let mut server = PortalServer::new(portal, store).with_lab(Arc::new(LabHost::new()));
+    let mut lab = LabHost::new();
+    if let Some(spec) = flag_value(args, "--chaos") {
+        let policy = ChaosPolicy::parse(spec).map_err(|e| format!("bad --chaos: {e}"))?;
+        if !policy.is_noop() {
+            eprintln!("worker chaos armed: {spec}");
+        }
+        lab = lab.with_chaos(policy);
+    }
+    let mut server = PortalServer::new(portal, store).with_lab(Arc::new(lab));
     if let Some(log) = event_log {
         server = server.with_events(log);
     }
@@ -593,9 +639,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 ///
 /// Long-polls the server's event log, folds every event into a
 /// [`ProgressModel`], and redraws the rendered dashboard in place (ANSI
-/// clear + home). Exits when the campaign closes; `--once` renders the
-/// current state a single time (no ANSI) and exits — that form is what
-/// scripts and the CI smoke test use.
+/// clear + home). Exits when the campaign closes, or with an error when
+/// the server stays unreachable through a capped-exponential reconnect
+/// backoff; `--once` renders the current state a single time (no ANSI)
+/// and exits — that form is what scripts and the CI smoke test use.
 fn cmd_watch(args: &[String]) -> Result<(), String> {
     use sdl_lab::portal_server::client::HttpClient;
     use std::time::{Duration, Instant};
@@ -615,6 +662,14 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     let mut model = ProgressModel::new();
     let mut from: u64 = 1;
     let mut client: Option<HttpClient> = None;
+    // Consecutive connect/poll failures. Reconnection backs off
+    // exponentially (capped) and gives up once the server looks dead,
+    // rather than spinning the terminal in a tight reconnect loop.
+    let mut failures: u32 = 0;
+    const MAX_FAILURES: u32 = 6;
+    let backoff = |failures: u32| {
+        Duration::from_millis((interval.clamp(100, 5_000) << (failures - 1).min(12)).min(5_000))
+    };
     // Samples/s over a sliding window of recent observations.
     let mut window: std::collections::VecDeque<(Instant, u64)> = std::collections::VecDeque::new();
 
@@ -623,8 +678,14 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
             match HttpClient::connect(&addr) {
                 Ok(c) => client = Some(c),
                 Err(e) if once => return Err(format!("{addr}: {e}")),
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(interval.max(100)));
+                Err(e) => {
+                    failures += 1;
+                    if failures >= MAX_FAILURES {
+                        return Err(format!(
+                            "{addr}: unreachable after {failures} attempts (last: {e})"
+                        ));
+                    }
+                    std::thread::sleep(backoff(failures));
                     continue;
                 }
             }
@@ -635,13 +696,21 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         let resp = match conn.get(&path) {
             Ok(r) => r,
             Err(e) if once => return Err(format!("{addr}: {e}")),
-            Err(_) => {
+            Err(e) => {
                 // Server restarting or keep-alive reaped: reconnect. The
                 // cursor survives, so nothing is lost or double-counted.
                 client = None;
+                failures += 1;
+                if failures >= MAX_FAILURES {
+                    return Err(format!(
+                        "{addr}: lost the server after {failures} attempts (last: {e})"
+                    ));
+                }
+                std::thread::sleep(backoff(failures));
                 continue;
             }
         };
+        failures = 0;
         if resp.status == 404 {
             return Err(format!(
                 "{url} has no campaign event log (start the server with \

@@ -3,10 +3,13 @@
 //! is bit-identical to an uninterrupted single-process run — with no
 //! scenario executed twice.
 
+use proptest::prelude::*;
+use sdl_lab::core::chaos::{apply_corruption, corruption_schedule};
 use sdl_lab::core::{CampaignConfig, CampaignEvent, CampaignRunner, EventLog};
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 const CAMPAIGN_YAML: &str = "name: crash-resume\n\
@@ -132,4 +135,94 @@ fn sigkilled_campaign_resumes_bit_identically() {
     // Resuming a completed log is refused — the campaign is closed.
     assert!(CampaignRunner::new().resume(&log_path).is_err(), "closed log must refuse resume");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+const FUZZ_YAML: &str = "name: log-fuzz\n\
+                         samples: 6\n\
+                         batch: 2\n\
+                         seed: 53\n\
+                         publish_images: false\n\
+                         solvers: [genetic, random]\n\
+                         seeds: 2\n";
+
+/// One real, completed campaign event log plus its golden fingerprint —
+/// built once, then corrupted afresh for every property case.
+fn fuzz_fixture() -> &'static (PathBuf, Vec<u8>, String) {
+    static FIXTURE: OnceLock<(PathBuf, Vec<u8>, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("sdl-log-fuzz-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("golden.events");
+        let log = Arc::new(EventLog::create(&log_path).unwrap());
+        let config = CampaignConfig::from_yaml(FUZZ_YAML).unwrap();
+        let report = CampaignRunner::new()
+            .threads(1)
+            .with_events(Arc::clone(&log))
+            .name(&config.name)
+            .run(config.scenarios());
+        log.sync();
+        let bytes = std::fs::read(&log_path).unwrap();
+        assert!(bytes.len() > 200, "fixture log suspiciously small: {} bytes", bytes.len());
+        (dir, bytes, report.fingerprint())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any corruption of a real campaign log — torn tails, random bit
+    /// flips, whole-event truncations, or several stacked — recovers to a
+    /// checksum-verified clean prefix of the original bytes, and resuming
+    /// from that prefix reproduces the golden fingerprint bit-identically
+    /// (or is refused cleanly when nothing usable is left; never a panic).
+    #[test]
+    fn corrupted_log_recovers_cleanly_and_resumes_bit_identically(
+        seed in 0u64..u64::MAX,
+        count in 0usize..4,
+    ) {
+        let (dir, original, golden) = fuzz_fixture();
+        let mut bytes = original.clone();
+        for c in corruption_schedule(seed, &bytes, count) {
+            bytes = apply_corruption(&bytes, c);
+        }
+        let copy = dir.join(format!("case-{seed}-{count}.events"));
+        std::fs::write(&copy, &bytes).unwrap();
+
+        // The scan is total: any damage truncates to a clean prefix of the
+        // undamaged original, never an error or a panic.
+        let (events, report) = EventLog::read(&copy).expect("read is total");
+        assert!(report.valid_bytes as usize <= original.len());
+        assert_eq!(
+            &bytes[..report.valid_bytes as usize],
+            &original[..report.valid_bytes as usize],
+            "accepted prefix must be undamaged original bytes"
+        );
+        for (i, rec) in events.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1, "accepted events must stay contiguous");
+        }
+
+        // A usable prefix resumes to the golden fingerprint bit-identically;
+        // a useless (no campaign_opened) or complete one is refused cleanly.
+        let closed = matches!(
+            events.last().map(|r| &r.event),
+            Some(CampaignEvent::CampaignClosed { .. })
+        );
+        let opened =
+            events.iter().any(|r| matches!(r.event, CampaignEvent::CampaignOpened { .. }));
+        let resumed = CampaignRunner::new().threads(1).resume(&copy);
+        if !opened || closed {
+            assert!(resumed.is_err(), "resume must refuse (opened={opened}, closed={closed})");
+        } else {
+            let (report, stats) = resumed.expect("resume from a clean prefix");
+            assert_eq!(
+                report.fingerprint(),
+                *golden,
+                "resume diverged (replayed {}, redriven {})",
+                stats.replayed,
+                stats.redriven
+            );
+        }
+        let _ = std::fs::remove_file(&copy);
+    }
 }
