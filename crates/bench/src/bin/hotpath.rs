@@ -35,7 +35,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sdl_bench::{arg_or, median};
-use sdl_color::Rgb8;
+use sdl_color::{ciede2000, Jab, Lab, Rgb8};
 use sdl_conf::{from_json, to_json_pretty, Value, ValueExt};
 use sdl_core::{
     AppConfig, CampaignEvent, CampaignScheduler, ColorPickerApp, EventLog, Experiment, LabBackend,
@@ -288,6 +288,32 @@ fn scheduler_scenarios(count: usize, samples: u32) -> Vec<ScenarioSpec> {
         .collect()
 }
 
+/// Median per-operation latency (ns) of one color-space op over a
+/// deterministic swatch set. Every scored sample pays these on the
+/// perceptual-objective path (sRGB→Lab or sRGB→Jab per endpoint, then the
+/// metric), so they bound how much a `ciede2000`/`cam16ucs` campaign can
+/// cost over the `rgb` baseline.
+fn time_colorspace_op(reps: usize, pairs: usize, f: impl Fn(Rgb8, Rgb8) -> f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(5);
+    let swatches: Vec<(Rgb8, Rgb8)> = (0..pairs)
+        .map(|_| {
+            (Rgb8::new(rng.gen(), rng.gen(), rng.gen()), Rgb8::new(rng.gen(), rng.gen(), rng.gen()))
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut acc = 0.0f64;
+        let t = Instant::now();
+        for &(a, b) in &swatches {
+            acc += f(a, b);
+        }
+        let ns = t.elapsed().as_secs_f64() * 1e9 / pairs as f64;
+        assert!(acc.is_finite());
+        samples.push(ns);
+    }
+    median(&samples)
+}
+
 /// Validate a previously written report; panics (non-zero exit) on
 /// missing/malformed files so CI can gate on it.
 fn check(path: &str) {
@@ -331,6 +357,18 @@ fn check(path: &str) {
         "{path}: event-log append overhead is {:.2}% of batch wall time (budget: 2%)",
         100.0 * overhead
     );
+    let colorspace = doc.get("colorspace").and_then(Value::as_seq).expect("colorspace section");
+    let expected_ops = ["srgb_to_lab", "srgb_to_jab", "delta_e2000", "ucs_distance"];
+    for op in expected_ops {
+        let row = colorspace
+            .iter()
+            .find(|r| r.opt_str("op") == Some(op))
+            .unwrap_or_else(|| panic!("{path}: colorspace section missing op '{op}'"));
+        assert!(
+            row.get("ns").and_then(Value::as_f64).is_some_and(|v| v > 0.0),
+            "{path}: colorspace op '{op}' needs a positive 'ns'"
+        );
+    }
     let scheduler = doc.get("scheduler").and_then(Value::as_seq).expect("scheduler section");
     assert!(!scheduler.is_empty(), "{path}: empty scheduler section");
     for row in scheduler {
@@ -399,6 +437,31 @@ fn main() {
         render.push(row);
     }
     doc.set("render", render);
+
+    // Color-space conversions and perceptual metrics (the objective
+    // subsystem's hot path). The metric rows are end-to-end per scored
+    // pair: two sRGB→space conversions plus the distance, exactly what
+    // `Objective::score` pays per measurement.
+    let cs_pairs = if smoke { 512usize } else { 4096 };
+    let cs_reps = if smoke { 3 } else { 9 };
+    let mut colorspace = Value::seq();
+    type ColorOp = Box<dyn Fn(Rgb8, Rgb8) -> f64>;
+    let ops: [(&str, ColorOp); 4] = [
+        ("srgb_to_lab", Box::new(|a, _| Lab::from_rgb8(a).l)),
+        ("srgb_to_jab", Box::new(|a, _| Jab::from_rgb8(a).j)),
+        ("delta_e2000", Box::new(|a, b| ciede2000(Lab::from_rgb8(a), Lab::from_rgb8(b)))),
+        ("ucs_distance", Box::new(|a, b| Jab::from_rgb8(a).distance(Jab::from_rgb8(b)))),
+    ];
+    for (op, f) in ops {
+        let ns = time_colorspace_op(cs_reps, cs_pairs, f);
+        let mut row = Value::map();
+        row.set("op", op);
+        row.set("pairs", cs_pairs as i64);
+        row.set("ns", ns);
+        eprintln!("colorspace {op}: {ns:.0}ns/op");
+        colorspace.push(row);
+    }
+    doc.set("colorspace", colorspace);
 
     let m_before = time_measure(false, measure_reps);
     let m_after = time_measure(true, measure_reps);

@@ -1,0 +1,275 @@
+//! CAM16 color appearance model and the CAM16-UCS uniform space.
+//!
+//! The pipeline is sRGB → XYZ → CAT16 cone-like responses → post-adaptation
+//! signals → appearance correlates (J, M, h) → UCS coordinates (J′, a′, b′),
+//! following Li et al. (2017), *Comprehensive color solutions: CAM16, CAT16,
+//! and CAM16-UCS*. Euclidean distance in (J′, a′, b′) is the CAM16-UCS ΔE′,
+//! the perceptually uniform counterpart of [`crate::ciede2000`].
+//!
+//! The model is validated against the published worked example (sample
+//! XYZ = (19.01, 20.00, 21.78) under L_A = 318.31) in the unit tests.
+
+use crate::rgb::Rgb8;
+use crate::xyz::Xyz;
+use std::sync::OnceLock;
+
+/// CAT16 matrix: XYZ → cone-like RGB responses.
+const M16: [[f64; 3]; 3] = [
+    [0.401288, 0.650173, -0.051461],
+    [-0.250268, 1.204414, 0.045854],
+    [-0.002079, 0.048952, 0.953127],
+];
+
+fn mul3(m: &[[f64; 3]; 3], v: [f64; 3]) -> [f64; 3] {
+    [
+        m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+        m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+        m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2],
+    ]
+}
+
+/// Post-adaptation nonlinearity (includes the +0.1 offset of the published
+/// formulation; the matching −0.305 appears in the achromatic response).
+fn adapt(x: f64, f_l: f64) -> f64 {
+    let t = (f_l * x.abs() / 100.0).powf(0.42);
+    (400.0 * t / (t + 27.13)).copysign(x) + 0.1
+}
+
+/// Precomputed CAM16 viewing conditions (average surround).
+///
+/// Constructing one runs the model's illuminant-dependent setup once; the
+/// per-color conversion then only needs the cached degree-of-adaptation
+/// scales and the achromatic response of the white.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewingConditions {
+    /// Surround impact factor c (0.69 for average surround).
+    c: f64,
+    /// Chromatic induction factor N_c.
+    n_c: f64,
+    /// Luminance-level adaptation factor F_L.
+    f_l: f64,
+    /// Background induction factor n = Y_b / Y_w.
+    n: f64,
+    /// Base exponential nonlinearity z.
+    z: f64,
+    /// Brightness induction factor N_bb (= N_cb).
+    n_bb: f64,
+    /// Per-channel degree-of-adaptation scale applied to cone responses.
+    d_rgb: [f64; 3],
+    /// Achromatic response of the adopted white.
+    a_w: f64,
+}
+
+impl ViewingConditions {
+    /// Viewing conditions for an adopted `white` (crate convention: Y = 1
+    /// for the reference white), adapting luminance `l_a` in cd/m² and
+    /// relative background luminance `y_b` (0–100), average surround.
+    pub fn new(white: Xyz, l_a: f64, y_b: f64) -> ViewingConditions {
+        let (f, c, n_c) = (1.0, 0.69, 1.0); // average surround
+        let xyz_w = [white.x * 100.0, white.y * 100.0, white.z * 100.0];
+        let y_w = xyz_w[1];
+        let k = 1.0 / (5.0 * l_a + 1.0);
+        let k4 = k.powi(4);
+        let f_l = 0.2 * k4 * 5.0 * l_a + 0.1 * (1.0 - k4).powi(2) * (5.0 * l_a).cbrt();
+        let n = y_b / y_w;
+        let z = 1.48 + n.sqrt();
+        let n_bb = 0.725 * n.recip().powf(0.2);
+        let d = (f * (1.0 - (1.0 / 3.6) * ((-l_a - 42.0) / 92.0).exp())).clamp(0.0, 1.0);
+        let rgb_w = mul3(&M16, xyz_w);
+        let d_rgb = [
+            d * y_w / rgb_w[0] + 1.0 - d,
+            d * y_w / rgb_w[1] + 1.0 - d,
+            d * y_w / rgb_w[2] + 1.0 - d,
+        ];
+        let aw = [
+            adapt(rgb_w[0] * d_rgb[0], f_l),
+            adapt(rgb_w[1] * d_rgb[1], f_l),
+            adapt(rgb_w[2] * d_rgb[2], f_l),
+        ];
+        let a_w = (2.0 * aw[0] + aw[1] + 0.05 * aw[2] - 0.305) * n_bb;
+        ViewingConditions { c, n_c, f_l, n, z, n_bb, d_rgb, a_w }
+    }
+
+    /// The conditions every [`Jab::from_rgb8`] conversion uses: the crate's
+    /// D65 white, dim-lab adapting luminance L_A = 64/π/5 ≈ 4.07 cd/m² and
+    /// a 20% gray background — the same defaults the kasi-kule crate uses
+    /// for sRGB material.
+    pub fn srgb() -> &'static ViewingConditions {
+        static SRGB: OnceLock<ViewingConditions> = OnceLock::new();
+        SRGB.get_or_init(|| {
+            let white = Xyz::from_linear(crate::rgb::LinRgb::WHITE);
+            ViewingConditions::new(white, 64.0 / std::f64::consts::PI / 5.0, 20.0)
+        })
+    }
+}
+
+/// CAM16 appearance correlates of one color (intermediate form).
+struct Cam16 {
+    /// Lightness J.
+    j: f64,
+    /// Colorfulness M.
+    m: f64,
+    /// Hue angle in radians.
+    h: f64,
+}
+
+fn cam16_of(xyz: Xyz, vc: &ViewingConditions) -> Cam16 {
+    let rgb = mul3(&M16, [xyz.x * 100.0, xyz.y * 100.0, xyz.z * 100.0]);
+    let r_a = adapt(rgb[0] * vc.d_rgb[0], vc.f_l);
+    let g_a = adapt(rgb[1] * vc.d_rgb[1], vc.f_l);
+    let b_a = adapt(rgb[2] * vc.d_rgb[2], vc.f_l);
+    let a = r_a - 12.0 * g_a / 11.0 + b_a / 11.0;
+    let b = (r_a + g_a - 2.0 * b_a) / 9.0;
+    let h = b.atan2(a);
+    let e_t = 0.25 * ((h + 2.0).cos() + 3.8);
+    let big_a = ((2.0 * r_a + g_a + 0.05 * b_a - 0.305) * vc.n_bb).max(0.0);
+    let j = 100.0 * (big_a / vc.a_w).powf(vc.c * vc.z);
+    let t =
+        (50_000.0 / 13.0 * vc.n_c * vc.n_bb * e_t * a.hypot(b)) / (r_a + g_a + 21.0 / 20.0 * b_a);
+    let c = t.powf(0.9) * (j / 100.0).sqrt() * (1.64 - 0.29_f64.powf(vc.n)).powf(0.73);
+    Cam16 { j, m: c * vc.f_l.powf(0.25), h }
+}
+
+/// A color in CAM16-UCS coordinates (J′, a′, b′).
+///
+/// Euclidean [`distance`](Jab::distance) here is the CAM16-UCS ΔE′ color
+/// difference. A just-noticeable difference is ≈ 1; black↔white is ≈ 100.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Jab {
+    /// UCS lightness J′ (0 black – 100 diffuse white).
+    pub j: f64,
+    /// UCS red–green axis a′.
+    pub a: f64,
+    /// UCS yellow–blue axis b′.
+    pub b: f64,
+}
+
+impl Jab {
+    /// Construct from UCS components.
+    pub const fn new(j: f64, a: f64, b: f64) -> Self {
+        Jab { j, a, b }
+    }
+
+    /// Convert from CIE XYZ (crate convention: white Y = 1) under `vc`.
+    pub fn from_xyz(xyz: Xyz, vc: &ViewingConditions) -> Jab {
+        let Cam16 { j, m, h } = cam16_of(xyz, vc);
+        let jp = 1.7 * j / (1.0 + 0.007 * j);
+        let mp = (1.0 + 0.0228 * m).ln() / 0.0228;
+        Jab { j: jp, a: mp * h.cos(), b: mp * h.sin() }
+    }
+
+    /// Convert from 8-bit sRGB under [`ViewingConditions::srgb`].
+    pub fn from_rgb8(c: Rgb8) -> Jab {
+        Jab::from_xyz(Xyz::from_linear(c.to_linear()), ViewingConditions::srgb())
+    }
+
+    /// CAM16-UCS ΔE′: Euclidean distance in (J′, a′, b′).
+    pub fn distance(self, other: Jab) -> f64 {
+        let dj = self.j - other.j;
+        let da = self.a - other.a;
+        let db = self.b - other.b;
+        (dj * dj + da * da + db * db).sqrt()
+    }
+}
+
+/// CAM16-UCS ΔE′ between two 8-bit sRGB colors (convenience wrapper).
+pub fn cam16ucs(a: Rgb8, b: Rgb8) -> f64 {
+    Jab::from_rgb8(a).distance(Jab::from_rgb8(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    /// The published CAM16 worked example (Li et al. 2017, case 1): gray
+    /// sample XYZ = (19.01, 20.00, 21.78) under white (95.05, 100, 108.88),
+    /// L_A = 318.31, Y_b = 20, average surround.
+    #[test]
+    fn matches_published_worked_example() {
+        let vc = ViewingConditions::new(Xyz::new(0.9505, 1.0, 1.0888), 318.31, 20.0);
+        let c = cam16_of(Xyz::new(0.1901, 0.2000, 0.2178), &vc);
+        assert!(close(c.j, 41.731_208, 1e-3), "J = {}", c.j);
+        assert!(close(c.m, 0.107_437, 1e-4), "M = {}", c.m);
+        let h_deg = c.h.to_degrees().rem_euclid(360.0);
+        assert!(close(h_deg, 217.067_960, 1e-2), "h = {h_deg}");
+    }
+
+    /// Values cross-checked against an independent implementation of the
+    /// published equations under the crate's sRGB viewing conditions.
+    #[test]
+    fn srgb_reference_values() {
+        let cases: &[(Rgb8, f64, f64, f64)] = &[
+            (Rgb8::new(255, 255, 255), 100.000000, -1.897564, -1.072816),
+            (Rgb8::new(120, 120, 120), 52.976722, -1.207722, -0.682855),
+            (Rgb8::new(255, 0, 0), 59.181552, 40.819896, 21.152636),
+            (Rgb8::new(0, 255, 0), 86.548338, -35.488318, 27.500740),
+            (Rgb8::new(0, 0, 255), 36.247686, 8.571862, -37.869997),
+            (Rgb8::new(30, 120, 200), 51.508308, -6.795439, -26.725358),
+            (Rgb8::new(200, 50, 120), 52.163723, 35.154246, -1.074761),
+            (Rgb8::new(17, 210, 93), 74.449400, -31.153843, 17.799781),
+        ];
+        for &(rgb, j, a, b) in cases {
+            let jab = Jab::from_rgb8(rgb);
+            assert!(close(jab.j, j, 1e-4), "{rgb}: J' = {}", jab.j);
+            assert!(close(jab.a, a, 1e-4), "{rgb}: a' = {}", jab.a);
+            assert!(close(jab.b, b, 1e-4), "{rgb}: b' = {}", jab.b);
+        }
+    }
+
+    #[test]
+    fn black_is_the_ucs_origin() {
+        let k = Jab::from_rgb8(Rgb8::new(0, 0, 0));
+        assert!(close(k.j, 0.0, 1e-9));
+        assert!(close(k.a, 0.0, 1e-9));
+        assert!(close(k.b, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn white_has_full_lightness() {
+        let w = Jab::from_rgb8(Rgb8::new(255, 255, 255));
+        assert!(close(w.j, 100.0, 1e-6), "J' = {}", w.j);
+        // D < 1 leaves the adopted white a slightly chromatic blue-ish
+        // point, so a'/b' are small but not exactly zero.
+        assert!(w.a.hypot(w.b) < 3.0);
+    }
+
+    #[test]
+    fn black_white_distance_is_about_100() {
+        let d = cam16ucs(Rgb8::new(0, 0, 0), Rgb8::new(255, 255, 255));
+        assert!(close(d, 100.023_756, 1e-3), "dE' = {d}");
+    }
+
+    #[test]
+    fn hue_quadrants_have_expected_signs() {
+        // Offsets are measured from the (slightly chromatic) gray axis.
+        let gray = Jab::from_rgb8(Rgb8::new(128, 128, 128));
+        let red = Jab::from_rgb8(Rgb8::new(255, 0, 0));
+        let green = Jab::from_rgb8(Rgb8::new(0, 255, 0));
+        let blue = Jab::from_rgb8(Rgb8::new(0, 0, 255));
+        let yellow = Jab::from_rgb8(Rgb8::new(255, 255, 0));
+        assert!(red.a - gray.a > 10.0);
+        assert!(green.a - gray.a < -10.0);
+        assert!(blue.b - gray.b < -10.0);
+        assert!(yellow.b - gray.b > 10.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_identity() {
+        let a = Rgb8::new(12, 200, 98);
+        let b = Rgb8::new(240, 13, 77);
+        assert_eq!(cam16ucs(a, b), cam16ucs(b, a));
+        assert_eq!(cam16ucs(a, a), 0.0);
+    }
+
+    #[test]
+    fn small_rgb_steps_are_small_ucs_steps() {
+        // The paper's match threshold talks in single-digit units for all
+        // perceptual metrics; a 5-unit RGB step near gray lands near 4 ΔE'.
+        let d = cam16ucs(Rgb8::new(120, 120, 120), Rgb8::new(123, 116, 120));
+        assert!(close(d, 4.028_307, 1e-4), "dE' = {d}");
+    }
+}

@@ -32,6 +32,26 @@ pub fn cie94(a: Lab, b: Lab) -> f64 {
     t.sqrt()
 }
 
+/// Symmetric ΔE\*94: the graphic-arts weights computed from the geometric
+/// mean of both chromas instead of the first (reference) chroma, so the
+/// result is independent of argument order. This is the form
+/// [`crate::Objective::Cie94`] optimizes; the classic reference-based
+/// [`cie94`] stays available for grading against a designated standard.
+pub fn cie94_symmetric(a: Lab, b: Lab) -> f64 {
+    let dl = a.l - b.l;
+    let c1 = a.chroma();
+    let c2 = b.chroma();
+    let dc = c1 - c2;
+    let da = a.a - b.a;
+    let db = a.b - b.b;
+    let dh2 = (da * da + db * db - dc * dc).max(0.0);
+    let c_gm = (c1 * c2).sqrt();
+    let sc = 1.0 + 0.045 * c_gm;
+    let sh = 1.0 + 0.015 * c_gm;
+    let t = dl * dl + (dc / sc).powi(2) + dh2 / (sh * sh);
+    t.sqrt()
+}
+
 /// ΔE00 (CIEDE2000), the current CIE recommendation. Implements the full
 /// Sharma–Wu–Dalal formulation; validated against their published test data.
 pub fn ciede2000(lab1: Lab, lab2: Lab) -> f64 {
@@ -233,6 +253,19 @@ mod tests {
         for (a, b) in pairs {
             assert!(cie94(a, b) <= cie76(a, b) + 1e-12);
         }
+    }
+
+    #[test]
+    fn cie94_symmetric_is_symmetric_and_agrees_on_equal_chroma() {
+        let a = Lab::new(50.0, 30.0, 10.0);
+        let b = Lab::new(55.0, 25.0, 12.0);
+        assert_eq!(cie94_symmetric(a, b), cie94_symmetric(b, a));
+        // When both colors share a chroma, the geometric mean equals the
+        // reference chroma and the two variants coincide.
+        let c = Lab::new(40.0, 30.0, 0.0);
+        let d = Lab::new(60.0, 0.0, 30.0);
+        assert!((cie94_symmetric(c, d) - cie94(c, d)).abs() < 1e-12);
+        assert_eq!(cie94_symmetric(a, a), 0.0);
     }
 
     #[test]

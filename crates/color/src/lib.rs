@@ -5,8 +5,11 @@
 //! * [`Rgb8`] / [`LinRgb`] — 8-bit sRGB (what the camera reports) and
 //!   linear light (where the physics happens);
 //! * [`Xyz`] / [`Lab`] — CIE spaces for perceptual grading;
+//! * [`Jab`] — CAM16-UCS appearance coordinates (sRGB viewing conditions);
 //! * [`DeltaE`] — the grading metrics ("delta e distance", paper §2.5),
 //!   including the plain RGB Euclidean distance plotted in Figure 4;
+//! * [`Objective`] — metric × color space, the campaign's loss-function
+//!   axis (`score(measured, target)`);
 //! * [`DyeSet`] / [`Recipe`] — the four CMYK dye stocks and per-well
 //!   dispense volumes;
 //! * [`MixModel`] implementations — Beer–Lambert (default), Kubelka–Munk
@@ -28,20 +31,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cam16;
 mod deltae;
 mod dye;
 mod lab;
 mod mix;
+mod objective;
 mod quant;
 mod recipe;
 mod rgb;
 mod spectrum;
 mod xyz;
 
-pub use deltae::{cie76, cie94, ciede2000, DeltaE};
+pub use cam16::{cam16ucs, Jab, ViewingConditions};
+pub use deltae::{cie76, cie94, cie94_symmetric, ciede2000, DeltaE};
 pub use dye::{Dye, DyeSet};
 pub use lab::Lab;
 pub use mix::{BeerLambert, KubelkaMunk, LinearMix, MixEngine, MixKind, MixModel};
+pub use objective::{in_space, ColorSpace, Objective};
 pub use quant::SrgbQuantizer;
 pub use recipe::{Recipe, RecipeError};
 pub use rgb::{linear_to_srgb, srgb_to_linear, LinRgb, Rgb8};

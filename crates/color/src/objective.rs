@@ -1,0 +1,250 @@
+//! Runtime-selectable optimization objectives: a color-difference metric
+//! paired with the color space it operates in.
+//!
+//! [`DeltaE`] answers "how far apart are two colors"; [`Objective`] is the
+//! campaign-facing axis built on top of it: every objective knows its
+//! metric, its [`ColorSpace`], a stable config name, and the scale of its
+//! scores relative to the paper's RGB-Euclidean baseline (so solvers with
+//! absolute thresholds can renormalize).
+
+use crate::cam16::{cam16ucs, Jab};
+use crate::deltae::{cie94_symmetric, DeltaE};
+use crate::lab::Lab;
+use crate::rgb::Rgb8;
+
+/// The color space an [`Objective`] measures distances in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorSpace {
+    /// 8-bit sRGB treated as a Euclidean space (the paper's Figure 4).
+    Srgb,
+    /// CIE L\*a\*b\* (D65).
+    CieLab,
+    /// CAM16-UCS (J′, a′, b′) under sRGB viewing conditions.
+    Cam16Ucs,
+}
+
+impl ColorSpace {
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColorSpace::Srgb => "srgb",
+            ColorSpace::CieLab => "cielab",
+            ColorSpace::Cam16Ucs => "cam16ucs",
+        }
+    }
+}
+
+/// An optimization objective: metric × color space, with
+/// `score(measured, target)` as the loss every solver minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Euclidean distance in 8-bit RGB — the paper's default.
+    #[default]
+    Rgb,
+    /// ΔE\*ab 1976 in Lab.
+    Cie76,
+    /// Symmetric ΔE\*94 in Lab (geometric-mean chroma weights, see
+    /// [`cie94_symmetric`]).
+    Cie94,
+    /// CIEDE2000 in Lab.
+    Ciede2000,
+    /// CAM16-UCS ΔE′ in Jab.
+    Cam16Ucs,
+}
+
+/// RGB Euclidean distance between black and white: the baseline score range
+/// every other objective's [`Objective::scale`] is measured against.
+const RGB_BLACK_WHITE: f64 = 441.672_955_930_063_7;
+
+impl Objective {
+    /// Every objective, in config-name order.
+    pub const ALL: [Objective; 5] = [
+        Objective::Rgb,
+        Objective::Cie76,
+        Objective::Cie94,
+        Objective::Ciede2000,
+        Objective::Cam16Ucs,
+    ];
+
+    /// Score `measured` against `target`: 0 on an exact match, growing with
+    /// perceptual mismatch. Symmetric in its arguments for every variant.
+    pub fn score(self, measured: Rgb8, target: Rgb8) -> f64 {
+        match self {
+            Objective::Rgb => measured.distance(target),
+            Objective::Cie76 => DeltaE::Cie76.between(measured, target),
+            Objective::Cie94 => cie94_symmetric(Lab::from_rgb8(measured), Lab::from_rgb8(target)),
+            Objective::Ciede2000 => DeltaE::Ciede2000.between(measured, target),
+            Objective::Cam16Ucs => cam16ucs(measured, target),
+        }
+    }
+
+    /// The color space the metric operates in.
+    pub fn space(self) -> ColorSpace {
+        match self {
+            Objective::Rgb => ColorSpace::Srgb,
+            Objective::Cie76 | Objective::Cie94 | Objective::Ciede2000 => ColorSpace::CieLab,
+            Objective::Cam16Ucs => ColorSpace::Cam16Ucs,
+        }
+    }
+
+    /// Short machine-readable name (used in configs and published records).
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Rgb => "rgb",
+            Objective::Cie76 => "cie76",
+            Objective::Cie94 => "cie94",
+            Objective::Ciede2000 => "ciede2000",
+            Objective::Cam16Ucs => "cam16ucs",
+        }
+    }
+
+    /// Every valid config name, for error messages.
+    pub fn valid_names() -> &'static str {
+        "rgb, cie76, cie94, ciede2000, cam16ucs"
+    }
+
+    /// Parse the name produced by [`Objective::name`].
+    pub fn parse(s: &str) -> Option<Objective> {
+        match s {
+            "rgb" => Some(Objective::Rgb),
+            "cie76" => Some(Objective::Cie76),
+            "cie94" => Some(Objective::Cie94),
+            "ciede2000" => Some(Objective::Ciede2000),
+            "cam16ucs" => Some(Objective::Cam16Ucs),
+            _ => None,
+        }
+    }
+
+    /// Typical score magnitude relative to RGB Euclidean, measured as the
+    /// black↔white score over the RGB black↔white distance. Exactly 1 for
+    /// [`Objective::Rgb`]; solvers with thresholds calibrated in RGB units
+    /// (e.g. an annealer's initial temperature) multiply them by this.
+    pub fn scale(self) -> f64 {
+        match self {
+            Objective::Rgb => 1.0,
+            other => other.score(Rgb8::new(0, 0, 0), Rgb8::new(255, 255, 255)) / RGB_BLACK_WHITE,
+        }
+    }
+
+    /// The grading [`DeltaE`] metric closest to this objective
+    /// ([`Objective::Cam16Ucs`] has none). Note [`Objective::Cie94`] scores
+    /// with the *symmetric* ΔE\*94 variant, while [`DeltaE::Cie94`] is the
+    /// classic reference-based formula.
+    pub fn delta_e(self) -> Option<DeltaE> {
+        match self {
+            Objective::Rgb => Some(DeltaE::RgbEuclidean),
+            Objective::Cie76 => Some(DeltaE::Cie76),
+            Objective::Cie94 => Some(DeltaE::Cie94),
+            Objective::Ciede2000 => Some(DeltaE::Ciede2000),
+            Objective::Cam16Ucs => None,
+        }
+    }
+}
+
+impl From<DeltaE> for Objective {
+    fn from(m: DeltaE) -> Objective {
+        match m {
+            DeltaE::RgbEuclidean => Objective::Rgb,
+            DeltaE::Cie76 => Objective::Cie76,
+            DeltaE::Cie94 => Objective::Cie94,
+            DeltaE::Ciede2000 => Objective::Ciede2000,
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The measured color expressed in an objective's own space, for telemetry
+/// and debugging (the score itself never round-trips through this).
+pub fn in_space(space: ColorSpace, c: Rgb8) -> [f64; 3] {
+    match space {
+        ColorSpace::Srgb => {
+            let [r, g, b] = c.channels();
+            [r as f64, g as f64, b as f64]
+        }
+        ColorSpace::CieLab => {
+            let lab = crate::lab::Lab::from_rgb8(c);
+            [lab.l, lab.a, lab.b]
+        }
+        ColorSpace::Cam16Ucs => {
+            let jab = Jab::from_rgb8(c);
+            [jab.j, jab.a, jab.b]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_objective_is_exactly_the_paper_score() {
+        let a = Rgb8::new(120, 120, 120);
+        let b = Rgb8::new(123, 116, 120);
+        assert_eq!(Objective::Rgb.score(a, b), a.distance(b));
+        assert_eq!(Objective::Rgb.scale(), 1.0);
+    }
+
+    #[test]
+    fn every_objective_is_zero_on_identity_and_symmetric() {
+        let a = Rgb8::new(200, 50, 120);
+        let b = Rgb8::new(30, 120, 200);
+        for obj in Objective::ALL {
+            assert_eq!(obj.score(a, a), 0.0, "{obj} not zero at zero");
+            assert_eq!(obj.score(b, b), 0.0, "{obj} not zero at zero");
+            assert_eq!(obj.score(a, b), obj.score(b, a), "{obj} not symmetric");
+            assert!(obj.score(a, b) > 0.0, "{obj} not positive on distinct colors");
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for obj in Objective::ALL {
+            assert_eq!(Objective::parse(obj.name()), Some(obj));
+            assert!(Objective::valid_names().contains(obj.name()));
+        }
+        assert_eq!(Objective::parse("vibes"), None);
+    }
+
+    #[test]
+    fn scales_are_sane() {
+        // Lab-family and UCS metrics run on a ~100-unit lightness axis, so
+        // their black↔white scores sit around a quarter of RGB's 441.67.
+        for obj in [Objective::Cie76, Objective::Cie94, Objective::Ciede2000, Objective::Cam16Ucs] {
+            let s = obj.scale();
+            assert!(s > 0.1 && s < 0.5, "{obj} scale = {s}");
+        }
+    }
+
+    #[test]
+    fn spaces_match_metrics() {
+        assert_eq!(Objective::Rgb.space(), ColorSpace::Srgb);
+        assert_eq!(Objective::Ciede2000.space(), ColorSpace::CieLab);
+        assert_eq!(Objective::Cam16Ucs.space(), ColorSpace::Cam16Ucs);
+        assert_eq!(ColorSpace::Cam16Ucs.name(), "cam16ucs");
+    }
+
+    #[test]
+    fn delta_e_conversion_is_consistent() {
+        for m in [DeltaE::RgbEuclidean, DeltaE::Cie76, DeltaE::Cie94, DeltaE::Ciede2000] {
+            let obj = Objective::from(m);
+            assert_eq!(obj.delta_e(), Some(m));
+            assert_eq!(obj.name(), m.name());
+        }
+        assert_eq!(Objective::Cam16Ucs.delta_e(), None);
+    }
+
+    #[test]
+    fn in_space_matches_conversions() {
+        let c = Rgb8::new(30, 120, 200);
+        assert_eq!(in_space(ColorSpace::Srgb, c), [30.0, 120.0, 200.0]);
+        let lab = crate::lab::Lab::from_rgb8(c);
+        assert_eq!(in_space(ColorSpace::CieLab, c), [lab.l, lab.a, lab.b]);
+        let jab = Jab::from_rgb8(c);
+        assert_eq!(in_space(ColorSpace::Cam16Ucs, c), [jab.j, jab.a, jab.b]);
+    }
+}

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use sdl_color::{
-    cie76, ciede2000, BeerLambert, DeltaE, DyeSet, Lab, LinRgb, MixModel, Recipe, Rgb8, Xyz,
+    cie76, ciede2000, BeerLambert, DeltaE, DyeSet, Jab, Lab, LinRgb, MixModel, Objective, Recipe,
+    Rgb8, Xyz,
 };
 
 fn arb_rgb8() -> impl Strategy<Value = Rgb8> {
@@ -41,6 +42,28 @@ proptest! {
         }
         let d94 = DeltaE::Cie94.between(a, b);
         prop_assert!(d94.is_finite() && d94 >= 0.0);
+    }
+
+    /// Every campaign objective is bit-exactly symmetric, zero at zero and
+    /// non-negative over the full 8-bit cube (including the symmetric CIE94
+    /// variant and CAM16-UCS).
+    #[test]
+    fn objectives_symmetric_and_zero_at_zero(a in arb_rgb8(), b in arb_rgb8()) {
+        for obj in Objective::ALL {
+            prop_assert_eq!(obj.score(a, a), 0.0, "{} not zero at zero", obj.name());
+            let ab = obj.score(a, b);
+            prop_assert_eq!(ab, obj.score(b, a), "{} not symmetric", obj.name());
+            prop_assert!(ab.is_finite() && ab >= 0.0, "{} ill-behaved: {}", obj.name(), ab);
+        }
+    }
+
+    /// The CAM16-UCS pipeline is finite over the whole 8-bit cube and its
+    /// lightness axis stays inside [0, 100] for in-gamut colors.
+    #[test]
+    fn jab_well_behaved(c in arb_rgb8()) {
+        let jab = Jab::from_rgb8(c);
+        prop_assert!(jab.j.is_finite() && jab.a.is_finite() && jab.b.is_finite());
+        prop_assert!((-1e-9..=100.0 + 1e-9).contains(&jab.j), "J' = {}", jab.j);
     }
 
     /// CIE76 satisfies the triangle inequality (it is a true metric).

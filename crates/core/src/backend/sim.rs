@@ -54,8 +54,12 @@ impl SimBackend {
         let mut cell_cfg = WorkcellConfig::from_yaml(&config.workcell_yaml)?;
         // The config's camera-fidelity axis reaches the camera simulator
         // through its module config; an explicit per-camera `fidelity` in
-        // the workcell document wins.
+        // the workcell document wins. The illumination-drift axis rides the
+        // same path, seeded by the master seed.
         cell_cfg.default_camera_fidelity(config.fidelity.name());
+        if let Some(drift) = config.drift {
+            cell_cfg.default_camera_drift(&drift.name(), config.seed);
+        }
 
         // Discover one module of each required kind.
         let need = |kind: ModuleKind| -> Result<&sdl_wei::ModuleConfig, AppError> {

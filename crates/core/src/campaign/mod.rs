@@ -28,6 +28,7 @@ mod resume;
 mod runner;
 mod scheduler;
 mod spec;
+mod stress;
 
 pub use events::{
     CampaignEvent, EventLog, EventRecord, EventScope, MultiTelemetry, RecoveryReport,
@@ -39,6 +40,7 @@ pub use resume::ResumeStats;
 pub use runner::CampaignRunner;
 pub use scheduler::{CampaignScheduler, PhaseTimings, SchedulerReport, WorkerStats};
 pub use spec::{CampaignConfig, RunMode, ScenarioSpec};
+pub use stress::{Leaderboard, LeaderboardRow, StressKind, StressSuite};
 
 use crate::app::{AppError, ColorPickerApp, ExperimentOutcome};
 use crate::config::AppConfig;

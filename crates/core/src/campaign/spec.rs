@@ -2,11 +2,11 @@
 
 use crate::backend::BackendSpec;
 use crate::config::{AppConfig, ConfigError};
-use sdl_color::{MixKind, Rgb8};
+use sdl_color::{MixKind, Objective, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_desim::{FaultPlan, FaultRates, RngHub};
 use sdl_solvers::SolverKind;
-use sdl_vision::Fidelity;
+use sdl_vision::{DriftSpec, Fidelity};
 
 /// How a scenario exercises the workcell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +132,8 @@ impl ScenarioSpec {
 /// seeds: 8            # 8 per-scenario seeds derived from the master seed
 /// batches: [1, 4]
 /// targets: [[120, 120, 120], [200, 200, 200]]
+/// objectives: [rgb, ciede2000]
+/// drifts: [none, wb+gain]
 /// fault_rates: [0.0, 0.05]
 /// threads: 8
 /// ```
@@ -154,6 +156,11 @@ pub struct CampaignConfig {
     /// Camera-fidelity axis (`full` / `fast` / `lowres`), the
     /// resolution/render-path sweep.
     pub fidelities: Vec<Fidelity>,
+    /// Objective axis (the perceptual-loss sweep: `rgb`, `cie76`, `cie94`,
+    /// `ciede2000`, `cam16ucs`).
+    pub objectives: Vec<Objective>,
+    /// Illumination-drift axis; a `none` entry means a stable illuminant.
+    pub drifts: Vec<Option<DriftSpec>>,
     /// Uniform command-fault-rate axis (reception rate; action = half).
     pub fault_rates: Vec<f64>,
     /// OT-2-count axis (1 = the single-loop app).
@@ -183,6 +190,8 @@ impl CampaignConfig {
             targets: Vec::new(),
             mix_models: Vec::new(),
             fidelities: Vec::new(),
+            objectives: Vec::new(),
+            drifts: Vec::new(),
             fault_rates: Vec::new(),
             n_ot2: Vec::new(),
             backend: BackendSpec::Sim,
@@ -294,6 +303,35 @@ impl CampaignConfig {
                 })?);
             }
         }
+        if let Some(seq) = axis("objectives")? {
+            for o in seq {
+                let name = o
+                    .as_str()
+                    .ok_or_else(|| ConfigError("objectives entries must be names".into()))?;
+                cfg.objectives.push(Objective::parse(name).ok_or_else(|| {
+                    ConfigError(format!(
+                        "unknown objective '{name}' (valid: {})",
+                        Objective::valid_names()
+                    ))
+                })?);
+            }
+        }
+        if let Some(seq) = axis("drifts")? {
+            for d in seq {
+                let name =
+                    d.as_str().ok_or_else(|| ConfigError("drifts entries must be names".into()))?;
+                if name == "none" {
+                    cfg.drifts.push(None);
+                } else {
+                    cfg.drifts.push(Some(DriftSpec::parse(name).ok_or_else(|| {
+                        ConfigError(format!(
+                            "unknown drift '{name}' (valid: none, {})",
+                            DriftSpec::valid_names()
+                        ))
+                    })?));
+                }
+            }
+        }
         if let Some(seq) = axis("fault_rates")? {
             for r in seq {
                 let v = r
@@ -342,7 +380,7 @@ impl CampaignConfig {
 
     /// Expand the matrix into concrete scenarios (row-major over the axes in
     /// declaration order: solver, batch, target, mix model, fidelity,
-    /// fault rate, OT-2 count, seed).
+    /// objective, drift, fault rate, OT-2 count, seed).
     pub fn scenarios(&self) -> Vec<ScenarioSpec> {
         // An unspecified axis contributes exactly the base value.
         let solvers =
@@ -358,6 +396,13 @@ impl CampaignConfig {
         } else {
             self.fidelities.clone()
         };
+        let objectives = if self.objectives.is_empty() {
+            vec![self.base.objective]
+        } else {
+            self.objectives.clone()
+        };
+        let drifts: Vec<Option<DriftSpec>> =
+            if self.drifts.is_empty() { vec![self.base.drift] } else { self.drifts.clone() };
         let faults: Vec<Option<f64>> = if self.fault_rates.is_empty() {
             vec![None]
         } else {
@@ -366,63 +411,76 @@ impl CampaignConfig {
         let handlers = if self.n_ot2.is_empty() { vec![1usize] } else { self.n_ot2.clone() };
         let seeds = if self.seeds.is_empty() { vec![self.base.seed] } else { self.seeds.clone() };
 
-        let mut out = Vec::new();
-        for &solver in &solvers {
-            for &batch in &batches {
-                for &target in &targets {
-                    for &mix in &mixes {
-                        for &fidelity in &fidelities {
-                            for &fault in &faults {
-                                for &n in &handlers {
-                                    for &seed in &seeds {
-                                        let mut config = self.base.clone();
-                                        config.solver = solver;
-                                        config.batch = batch;
-                                        config.target = target;
-                                        config.mix = mix;
-                                        config.fidelity = fidelity;
-                                        config.seed = seed;
-                                        if let Some(rate) = fault {
-                                            config.faults = FaultPlan::uniform(FaultRates::new(
-                                                rate,
-                                                rate / 2.0,
-                                            ));
-                                        }
-                                        let mut label = format!("{}/b{}", solver.name(), batch);
-                                        if targets.len() > 1 {
-                                            label.push_str(&format!("/t{target}"));
-                                        }
-                                        if mixes.len() > 1 {
-                                            label.push_str(&format!("/{}", mix.name()));
-                                        }
-                                        if fidelities.len() > 1 {
-                                            label.push_str(&format!("/{fidelity}"));
-                                        }
-                                        if let Some(rate) = fault {
-                                            label.push_str(&format!("/f{rate}"));
-                                        }
-                                        if handlers.len() > 1 || n > 1 {
-                                            label.push_str(&format!("/ot2x{n}"));
-                                        }
-                                        label.push_str(&format!("/s{seed}"));
-                                        let mode = if n == 1 {
-                                            RunMode::Single
-                                        } else {
-                                            RunMode::MultiOt2(n)
-                                        };
-                                        out.push(ScenarioSpec {
-                                            label,
-                                            config,
-                                            mode,
-                                            backend: self.backend.clone(),
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
+        // The full cross product is a 10-deep loop; iterate the flattened
+        // index space instead and decode row-major (seed fastest), matching
+        // the declaration order above.
+        let dims = [
+            solvers.len(),
+            batches.len(),
+            targets.len(),
+            mixes.len(),
+            fidelities.len(),
+            objectives.len(),
+            drifts.len(),
+            faults.len(),
+            handlers.len(),
+            seeds.len(),
+        ];
+        let total: usize = dims.iter().product();
+        let mut out = Vec::with_capacity(total);
+        for flat in 0..total {
+            let mut idx = [0usize; 10];
+            let mut rest = flat;
+            for (slot, &dim) in idx.iter_mut().zip(&dims).rev() {
+                *slot = rest % dim;
+                rest /= dim;
+            }
+            let [si, bi, ti, mi, fi, oi, di, fri, ni, sdi] = idx;
+            let (solver, batch, target) = (solvers[si], batches[bi], targets[ti]);
+            let (mix, fidelity) = (mixes[mi], fidelities[fi]);
+            let (objective, drift) = (objectives[oi], drifts[di]);
+            let (fault, n, seed) = (faults[fri], handlers[ni], seeds[sdi]);
+
+            let mut config = self.base.clone();
+            config.solver = solver;
+            config.batch = batch;
+            config.target = target;
+            config.mix = mix;
+            config.fidelity = fidelity;
+            config.objective = objective;
+            config.drift = drift;
+            config.seed = seed;
+            if let Some(rate) = fault {
+                config.faults = FaultPlan::uniform(FaultRates::new(rate, rate / 2.0));
+            }
+            let mut label = format!("{}/b{}", solver.name(), batch);
+            if targets.len() > 1 {
+                label.push_str(&format!("/t{target}"));
+            }
+            if mixes.len() > 1 {
+                label.push_str(&format!("/{}", mix.name()));
+            }
+            if fidelities.len() > 1 {
+                label.push_str(&format!("/{fidelity}"));
+            }
+            if objectives.len() > 1 {
+                label.push_str(&format!("/{}", objective.name()));
+            }
+            if drifts.len() > 1 {
+                match drift {
+                    Some(d) => label.push_str(&format!("/drift-{}", d.name())),
+                    None => label.push_str("/no-drift"),
                 }
             }
+            if let Some(rate) = fault {
+                label.push_str(&format!("/f{rate}"));
+            }
+            if handlers.len() > 1 || n > 1 {
+                label.push_str(&format!("/ot2x{n}"));
+            }
+            label.push_str(&format!("/s{seed}"));
+            let mode = if n == 1 { RunMode::Single } else { RunMode::MultiOt2(n) };
+            out.push(ScenarioSpec { label, config, mode, backend: self.backend.clone() });
         }
         out
     }
@@ -514,6 +572,36 @@ mod tests {
         // The base `fidelity:` key seeds an unlisted axis.
         let cfg = CampaignConfig::from_yaml("fidelity: lowres\nbatches: [1, 2]\n").unwrap();
         assert!(cfg.scenarios().iter().all(|s| s.config.fidelity == Fidelity::Lowres));
+    }
+
+    #[test]
+    fn objective_and_drift_axes_expand_and_roundtrip() {
+        let cfg = CampaignConfig::from_yaml(
+            "name: stress\nsamples: 8\nobjectives: [rgb, ciede2000]\ndrifts: [none, wb+gain]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.objectives, vec![Objective::Rgb, Objective::Ciede2000]);
+        assert_eq!(cfg.drifts, vec![None, Some(DriftSpec::WB_GAIN)]);
+        let scenarios = cfg.scenarios();
+        assert_eq!(scenarios.len(), 4);
+        // Axis tags appear only when the axis is actually swept.
+        assert!(scenarios.iter().any(|s| s.label.contains("/ciede2000")));
+        assert!(scenarios.iter().any(|s| s.label.contains("/no-drift")));
+        assert!(scenarios.iter().any(|s| s.label.contains("/drift-wb+gain")));
+        // Specs carry the new fields through the conf round trip.
+        for s in &scenarios {
+            let back = ScenarioSpec::from_value(&s.to_value()).unwrap();
+            assert_eq!(back.config.objective, s.config.objective);
+            assert_eq!(back.config.drift, s.config.drift);
+        }
+        // An unswept campaign keeps the historical label shape.
+        let plain = CampaignConfig::from_yaml("samples: 8\nbatches: [1, 2]\n").unwrap();
+        assert!(plain.scenarios().iter().all(|s| !s.label.contains("drift")));
+        // Bad entries and scalar axes are rejected.
+        assert!(CampaignConfig::from_yaml("objectives: [vibes]\n").is_err());
+        assert!(CampaignConfig::from_yaml("drifts: [vibes]\n").is_err());
+        assert!(CampaignConfig::from_yaml("objectives: rgb\n").is_err());
+        assert!(CampaignConfig::from_yaml("drifts: none\n").is_err());
     }
 
     #[test]

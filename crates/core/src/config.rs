@@ -1,10 +1,10 @@
 //! Application configuration.
 
-use sdl_color::{DeltaE, DyeSet, MixKind, Rgb8};
+use sdl_color::{DyeSet, MixKind, Objective, Rgb8};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_desim::{FaultPlan, FaultRates};
 use sdl_solvers::SolverKind;
-use sdl_vision::Fidelity;
+use sdl_vision::{DriftSpec, Fidelity};
 use sdl_wei::RPL_WORKCELL_YAML;
 use std::fmt;
 
@@ -17,6 +17,14 @@ pub struct AppConfig {
     pub date: String,
     /// Target color. Paper experiments fix RGB (120, 120, 120).
     pub target: Rgb8,
+    /// Extra target colors graded alongside `target`: a measurement's
+    /// score is the *minimum* over all targets (the multi-target stress
+    /// kind). Empty = single-target, the paper's setup.
+    pub target_set: Vec<Rgb8>,
+    /// Moving-target endpoint: when set, the grading (and solver) target
+    /// interpolates from `target` to this color over the sample budget
+    /// (the moving-target stress kind).
+    pub target_to: Option<Rgb8>,
     /// Total sample budget N. Paper: 128.
     pub sample_budget: u32,
     /// Batch size B (wells per mix iteration). Paper: 1–64.
@@ -28,8 +36,9 @@ pub struct AppConfig {
     /// Lets configs name downstream decision procedures without this crate
     /// (or the `SolverKind` enum) knowing about them.
     pub custom_solver: Option<String>,
-    /// Grading metric (Figure 4 uses RGB Euclidean distance).
-    pub metric: DeltaE,
+    /// Optimization objective — the metric × color space every measurement
+    /// is graded in (Figure 4 uses RGB Euclidean distance).
+    pub objective: Objective,
     /// Forward mixing model of the simulated chemistry.
     pub mix: MixKind,
     /// Dye stocks.
@@ -56,6 +65,12 @@ pub struct AppConfig {
     /// counter-based at half resolution). Cameras whose workcell document
     /// pins an explicit `fidelity` keep it.
     pub fidelity: Fidelity,
+    /// Deterministic illumination drift applied to simulated cameras
+    /// (white-balance wander and sensor-gain perturbation, the stress
+    /// axis); `None` = stable illuminant. Cameras whose workcell document
+    /// pins an explicit `drift` keep it. Incompatible with the frozen
+    /// `full` fidelity.
+    pub drift: Option<DriftSpec>,
 }
 
 impl Default for AppConfig {
@@ -64,11 +79,13 @@ impl Default for AppConfig {
             experiment_name: "ColorPickerRPL".into(),
             date: "2023-08-16".into(),
             target: Rgb8::PAPER_TARGET,
+            target_set: Vec::new(),
+            target_to: None,
             sample_budget: 128,
             batch: 1,
             solver: SolverKind::Genetic,
             custom_solver: None,
-            metric: DeltaE::RgbEuclidean,
+            objective: Objective::Rgb,
             mix: MixKind::BeerLambert,
             dyes: DyeSet::cmyk(),
             seed: 42,
@@ -80,6 +97,7 @@ impl Default for AppConfig {
             faults: FaultPlan::none(),
             flat_field: false,
             fidelity: Fidelity::default(),
+            drift: None,
         }
     }
 }
@@ -92,7 +110,7 @@ impl fmt::Debug for AppConfig {
             .field("sample_budget", &self.sample_budget)
             .field("batch", &self.batch)
             .field("solver", &self.solver_label())
-            .field("metric", &self.metric.name())
+            .field("objective", &self.objective.name())
             .field("mix", &self.mix.name())
             .field("seed", &self.seed)
             .finish_non_exhaustive()
@@ -126,6 +144,15 @@ pub(crate) fn parse_rgb_triple(v: &Value, what: &str) -> Result<Rgb8, ConfigErro
     Ok(Rgb8::new(ch[0] as u8, ch[1] as u8, ch[2] as u8))
 }
 
+/// Encode a color as the `[r, g, b]` sequence `parse_rgb_triple` reads.
+pub(crate) fn rgb_value(c: Rgb8) -> Value {
+    let mut triple = Value::seq();
+    for ch in c.channels() {
+        triple.push(ch as i64);
+    }
+    triple
+}
+
 impl AppConfig {
     /// Parse an application config document; unspecified fields keep their
     /// defaults.
@@ -136,7 +163,7 @@ impl AppConfig {
     /// samples: 128
     /// batch: 4
     /// solver: genetic
-    /// metric: rgb
+    /// objective: rgb
     /// mix_model: beer-lambert
     /// seed: 7
     /// ```
@@ -157,6 +184,17 @@ impl AppConfig {
         }
         if let Some(t) = doc.get("target") {
             cfg.target = parse_rgb_triple(t, "target")?;
+        }
+        if let Some(t) = doc.get("target_set") {
+            let seq = t.as_seq().ok_or_else(|| {
+                ConfigError("target_set must be a list of [r, g, b] triples".into())
+            })?;
+            for e in seq {
+                cfg.target_set.push(parse_rgb_triple(e, "target_set entry")?);
+            }
+        }
+        if let Some(t) = doc.get("target_to") {
+            cfg.target_to = Some(parse_rgb_triple(t, "target_to")?);
         }
         if let Some(v) = doc.opt_i64("samples") {
             if v <= 0 {
@@ -184,9 +222,15 @@ impl AppConfig {
                 }
             }
         }
-        if let Some(v) = doc.opt_str("metric") {
-            cfg.metric =
-                DeltaE::parse(v).ok_or_else(|| ConfigError(format!("unknown metric '{v}'")))?;
+        // `objective:` names the metric × color space the run optimizes;
+        // the historical `metric:` key is accepted as an alias.
+        if let Some(v) = doc.opt_str("objective").or_else(|| doc.opt_str("metric")) {
+            cfg.objective = Objective::parse(v).ok_or_else(|| {
+                ConfigError(format!(
+                    "unknown objective '{v}' (valid: {})",
+                    Objective::valid_names()
+                ))
+            })?;
         }
         if let Some(v) = doc.opt_str("mix_model") {
             cfg.mix =
@@ -214,6 +258,11 @@ impl AppConfig {
             cfg.fidelity = Fidelity::parse(v).ok_or_else(|| {
                 ConfigError(format!("unknown fidelity '{v}' (valid: {})", Fidelity::valid_names()))
             })?;
+        }
+        if let Some(v) = doc.opt_str("drift") {
+            cfg.drift = Some(DriftSpec::parse(v).ok_or_else(|| {
+                ConfigError(format!("unknown drift '{v}' (valid: {})", DriftSpec::valid_names()))
+            })?);
         }
         if let Some(v) = doc.opt_str("dyes") {
             cfg.dyes = match v {
@@ -244,15 +293,21 @@ impl AppConfig {
         let mut v = Value::map();
         v.set("experiment", self.experiment_name.as_str());
         v.set("date", self.date.as_str());
-        let mut target = Value::seq();
-        for c in self.target.channels() {
-            target.push(c as i64);
+        v.set("target", rgb_value(self.target));
+        if !self.target_set.is_empty() {
+            let mut set = Value::seq();
+            for &t in &self.target_set {
+                set.push(rgb_value(t));
+            }
+            v.set("target_set", set);
         }
-        v.set("target", target);
+        if let Some(t) = self.target_to {
+            v.set("target_to", rgb_value(t));
+        }
         v.set("samples", self.sample_budget as i64);
         v.set("batch", self.batch as i64);
         v.set("solver", self.solver_label());
-        v.set("metric", self.metric.name());
+        v.set("objective", self.objective.name());
         v.set("mix_model", self.mix.name());
         v.set("seed", self.seed as i64);
         if let Some(t) = self.match_threshold {
@@ -263,6 +318,9 @@ impl AppConfig {
         v.set("compute_seconds", self.compute_seconds);
         v.set("flat_field", self.flat_field);
         v.set("fidelity", self.fidelity.name());
+        if let Some(d) = self.drift {
+            v.set("drift", d.name().as_str());
+        }
         match self.dyes.len() {
             3 => v.set("dyes", "cmy"),
             _ => v.set("dyes", "cmyk"),
@@ -299,20 +357,54 @@ impl AppConfig {
 
     /// Instantiate the configured decision procedure for a `dims`-dye
     /// problem, resolving custom names through the process-wide
-    /// [`sdl_solvers::SolverRegistry`].
+    /// [`sdl_solvers::SolverRegistry`]. The solver is told the objective's
+    /// score scale so RGB-calibrated thresholds renormalize.
     pub fn build_solver(
         &self,
         dims: usize,
     ) -> Result<Box<dyn sdl_solvers::ColorSolver>, ConfigError> {
-        match &self.custom_solver {
+        let mut solver = match &self.custom_solver {
             Some(name) => sdl_solvers::build_registered(name, dims).ok_or_else(|| {
                 ConfigError(format!(
                     "solver '{name}' is not registered (registered solvers: {})",
                     sdl_solvers::registered_names()
                 ))
-            }),
-            None => Ok(self.solver.build(dims)),
+            })?,
+            None => self.solver.build(dims),
+        };
+        solver.set_score_scale(self.objective.scale());
+        Ok(solver)
+    }
+
+    /// The grading (and solver) target at 0-based sample index `sample`:
+    /// interpolates `target` → `target_to` over the sample budget when a
+    /// moving target is configured, otherwise `target`. Samples past the
+    /// budget (restored histories from a larger run) grade against the
+    /// endpoint.
+    pub fn target_at(&self, sample: u32) -> Rgb8 {
+        let Some(to) = self.target_to else { return self.target };
+        let last = self.sample_budget.saturating_sub(1);
+        if last == 0 {
+            // A one-sample budget has no trajectory to traverse; the single
+            // measurement grades against the endpoint.
+            return to;
         }
+        let t = sample.min(last) as f64 / last as f64;
+        let lerp = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+        let [ar, ag, ab] = self.target.channels();
+        let [br, bg, bb] = to.channels();
+        Rgb8::new(lerp(ar, br), lerp(ag, bg), lerp(ab, bb))
+    }
+
+    /// Grade one measurement taken as 0-based sample index `sample`: the
+    /// configured objective against the (possibly moving) primary target,
+    /// keeping the best score over any extra `target_set` entries.
+    pub fn score_measurement(&self, measured: Rgb8, sample: u32) -> f64 {
+        let mut best = self.objective.score(measured, self.target_at(sample));
+        for &t in &self.target_set {
+            best = best.min(self.objective.score(measured, t));
+        }
+        best
     }
 }
 
@@ -327,13 +419,16 @@ mod tests {
         assert_eq!(c.sample_budget, 128);
         assert_eq!(c.batch, 1);
         assert_eq!(c.solver, SolverKind::Genetic);
-        assert_eq!(c.metric, DeltaE::RgbEuclidean);
+        assert_eq!(c.objective, Objective::Rgb);
+        assert!(c.target_set.is_empty());
+        assert_eq!(c.target_to, None);
+        assert_eq!(c.drift, None);
     }
 
     #[test]
     fn yaml_overrides_fields() {
         let c = AppConfig::from_yaml(
-            "experiment: Demo\ntarget: [10, 20, 30]\nsamples: 64\nbatch: 8\nsolver: bayesian\nmetric: ciede2000\nmix_model: linear\nseed: 9\nmatch_threshold: 5.0\n",
+            "experiment: Demo\ntarget: [10, 20, 30]\nsamples: 64\nbatch: 8\nsolver: bayesian\nobjective: ciede2000\nmix_model: linear\nseed: 9\nmatch_threshold: 5.0\n",
         )
         .unwrap();
         assert_eq!(c.experiment_name, "Demo");
@@ -341,10 +436,74 @@ mod tests {
         assert_eq!(c.sample_budget, 64);
         assert_eq!(c.batch, 8);
         assert_eq!(c.solver, SolverKind::Bayesian);
-        assert_eq!(c.metric, DeltaE::Ciede2000);
+        assert_eq!(c.objective, Objective::Ciede2000);
         assert_eq!(c.mix, MixKind::Linear);
         assert_eq!(c.seed, 9);
         assert_eq!(c.match_threshold, Some(5.0));
+    }
+
+    #[test]
+    fn metric_key_is_an_objective_alias() {
+        let c = AppConfig::from_yaml("metric: cie76\n").unwrap();
+        assert_eq!(c.objective, Objective::Cie76);
+        // An explicit `objective:` wins over the legacy alias.
+        let c = AppConfig::from_yaml("objective: cam16ucs\nmetric: cie76\n").unwrap();
+        assert_eq!(c.objective, Objective::Cam16Ucs);
+        // The encoded form uses the modern key.
+        assert_eq!(c.to_value().opt_str("objective"), Some("cam16ucs"));
+        assert!(c.to_value().opt_str("metric").is_none());
+    }
+
+    #[test]
+    fn stress_fields_roundtrip_through_conf() {
+        let c = AppConfig::from_yaml(
+            "target: [10, 20, 30]\ntarget_set: [[200, 10, 10], [10, 200, 10]]\ntarget_to: [250, 250, 250]\ndrift: wb+gain\n",
+        )
+        .unwrap();
+        assert_eq!(c.target_set, vec![Rgb8::new(200, 10, 10), Rgb8::new(10, 200, 10)]);
+        assert_eq!(c.target_to, Some(Rgb8::new(250, 250, 250)));
+        assert_eq!(c.drift, Some(DriftSpec::WB_GAIN));
+        let back = AppConfig::from_value(&c.to_value()).unwrap();
+        assert_eq!(back.target_set, c.target_set);
+        assert_eq!(back.target_to, c.target_to);
+        assert_eq!(back.drift, c.drift);
+        // Defaults keep the stress keys out of the encoded form.
+        let v = AppConfig::default().to_value();
+        assert!(v.get("target_set").is_none());
+        assert!(v.get("target_to").is_none());
+        assert!(v.get("drift").is_none());
+    }
+
+    #[test]
+    fn moving_target_interpolates_over_the_budget() {
+        let c = AppConfig {
+            target: Rgb8::new(0, 100, 200),
+            target_to: Some(Rgb8::new(100, 100, 0)),
+            sample_budget: 101,
+            ..AppConfig::default()
+        };
+        assert_eq!(c.target_at(0), Rgb8::new(0, 100, 200));
+        assert_eq!(c.target_at(50), Rgb8::new(50, 100, 100));
+        assert_eq!(c.target_at(100), Rgb8::new(100, 100, 0));
+        // Past-budget samples clamp to the endpoint.
+        assert_eq!(c.target_at(10_000), Rgb8::new(100, 100, 0));
+        // No endpoint → the target never moves.
+        let fixed = AppConfig::default();
+        assert_eq!(fixed.target_at(77), fixed.target);
+    }
+
+    #[test]
+    fn multi_target_scoring_keeps_the_best() {
+        let c = AppConfig {
+            target: Rgb8::new(0, 0, 0),
+            target_set: vec![Rgb8::new(200, 200, 200)],
+            ..AppConfig::default()
+        };
+        let m = Rgb8::new(190, 190, 190);
+        assert_eq!(c.score_measurement(m, 0), m.distance(Rgb8::new(200, 200, 200)));
+        // With no extra targets the score is exactly the paper's grading.
+        let plain = AppConfig::default();
+        assert_eq!(plain.score_measurement(m, 0), m.distance(plain.target));
     }
 
     #[test]
@@ -355,6 +514,13 @@ mod tests {
         assert!(AppConfig::from_yaml("batch: -1").is_err());
         assert!(AppConfig::from_yaml("solver: quantum").is_err());
         assert!(AppConfig::from_yaml("metric: vibes").is_err());
+        let err = AppConfig::from_yaml("objective: vibes").unwrap_err();
+        assert!(err.to_string().contains("cam16ucs"), "{err}");
+        let err = AppConfig::from_yaml("drift: vibes").unwrap_err();
+        assert!(err.to_string().contains("wb+gain"), "{err}");
+        assert!(AppConfig::from_yaml("target_set: [[1, 2]]").is_err());
+        assert!(AppConfig::from_yaml("target_set: 3").is_err());
+        assert!(AppConfig::from_yaml("target_to: [1, 2, 900]").is_err());
     }
 
     #[test]

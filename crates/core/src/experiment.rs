@@ -215,8 +215,10 @@ impl Experiment {
 
         // Solver proposes (Figure 2: Solver.Run_Iteration).
         let proposed_at = self.events.as_ref().map(|_| std::time::Instant::now());
-        let ratios =
-            self.solver.propose(self.config.target, &self.history, b, &mut self.solver_rng);
+        // A moving target chases `target_to`: the solver is pointed at the
+        // target of the *next* sample to be measured.
+        let target = self.config.target_at(self.samples_done);
+        let ratios = self.solver.propose(target, &self.history, b, &mut self.solver_rng);
         debug_assert_eq!(ratios.len(), b);
         self.runs += 1;
         if let (Some(scope), Some(t)) = (&self.events, proposed_at) {
@@ -255,7 +257,8 @@ impl Experiment {
         let image_bytes: Option<Bytes> = result.image;
         for (i, (ratio, m)) in batch.ratios.iter().zip(&result.measurements).enumerate() {
             let measured = m.color;
-            let score = self.config.metric.between(measured, self.config.target);
+            let target_now = self.config.target_at(self.samples_done);
+            let score = self.config.score_measurement(measured, self.samples_done);
             self.history.push(Observation { ratios: ratio.clone(), measured, score });
             self.samples_done += 1;
             let best =
@@ -293,7 +296,7 @@ impl Experiment {
                     ratios: ratio.clone(),
                     volumes_ul: volumes,
                     measured: measured.channels(),
-                    target: self.config.target.channels(),
+                    target: target_now.channels(),
                     score,
                     best_so_far: best,
                     elapsed_s: result.elapsed.as_secs_f64(),

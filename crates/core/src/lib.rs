@@ -46,10 +46,10 @@ pub use backend::{
 };
 pub use campaign::{
     batch_sweep, run_one, run_sweep, solver_sweep, CampaignConfig, CampaignEvent, CampaignReport,
-    CampaignRunner, CampaignScheduler, EventLog, EventRecord, EventScope, MultiTelemetry,
-    PhaseTimings, ProgressModel, RecoveryReport, ResumeStats, RunMode, ScenarioOutcome,
-    ScenarioResult, ScenarioSpec, ScenarioSummary, SchedulerReport, SingleTelemetry, SweepItem,
-    WorkerProgress, WorkerStats,
+    CampaignRunner, CampaignScheduler, EventLog, EventRecord, EventScope, Leaderboard,
+    LeaderboardRow, MultiTelemetry, PhaseTimings, ProgressModel, RecoveryReport, ResumeStats,
+    RunMode, ScenarioOutcome, ScenarioResult, ScenarioSpec, ScenarioSummary, SchedulerReport,
+    SingleTelemetry, StressKind, StressSuite, SweepItem, WorkerProgress, WorkerStats,
 };
 pub use chaos::{ChaosClock, ChaosPolicy, ChaosStream, WorkerFault};
 pub use config::{AppConfig, ConfigError};

@@ -86,6 +86,9 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
     let yaml = multi_ot2_workcell_yaml(n_ot2);
     let mut cell_cfg = WorkcellConfig::from_yaml(&yaml)?;
     cell_cfg.default_camera_fidelity(base.fidelity.name());
+    if let Some(drift) = base.drift {
+        cell_cfg.default_camera_drift(&drift.name(), base.seed);
+    }
     let cell = Workcell::instantiate(cell_cfg, base.dyes.clone(), base.mix)?;
     let engine = Engine::new(cell, hub).with_faults(base.faults.clone());
 
@@ -113,8 +116,6 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
         res.insert(format!("barty_{i}"), sim.resource(format!("barty_{i}"), 1));
     }
 
-    let target = base.target;
-    let metric = base.metric;
     let batch = base.batch;
     let dyes = base.dyes.clone();
     let watermark = base.refill_watermark_ul;
@@ -124,6 +125,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
         let shared = Arc::clone(&shared);
         let res = res.clone();
         let dyes = dyes.clone();
+        let cfg = base.clone();
         sim.process(format!("flow-{flow}"), move |ctx| {
             let ot2 = format!("ot2_{flow}");
             let barty = format!("barty_{flow}");
@@ -247,7 +249,10 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
                 // Propose from the shared history.
                 let (ratios, protocol) = {
                     let mut s = shared.lock();
-                    let Shared { solver, history, solver_rng, .. } = &mut *s;
+                    let Shared { solver, history, solver_rng, samples_done, .. } = &mut *s;
+                    // The shared counter orders concurrent flows, so a
+                    // moving target advances identically run to run.
+                    let target = cfg.target_at(*samples_done);
                     let ratios = solver.propose(target, history, b, solver_rng);
                     let protocol = match build_protocol(&ratios, wells, &dyes) {
                         Ok(p) => p,
@@ -345,7 +350,7 @@ pub fn run_multi_ot2(base: &AppConfig, n_ot2: usize) -> Result<MultiOt2Outcome, 
                 for (ratio, well) in ratios.iter().zip(wells) {
                     let measured: Rgb8 =
                         reading.well(well.row, well.col).map(|w| w.color).unwrap_or_default();
-                    let score = metric.between(measured, target);
+                    let score = cfg.score_measurement(measured, s.samples_done);
                     s.history.push(Observation { ratios: ratio.clone(), measured, score });
                     s.samples_done += 1;
                     s.per_handler[flow - 1] += 1;

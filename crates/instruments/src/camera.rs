@@ -13,7 +13,7 @@ use crate::module::{
 use crate::timing::TimingModel;
 use crate::world::World;
 use rand::rngs::StdRng;
-use sdl_vision::{render_into, CameraGeometry, ImageRgb8, Lighting, PlateScene, Pose};
+use sdl_vision::{render_into, CameraGeometry, DriftSpec, ImageRgb8, Lighting, PlateScene, Pose};
 use std::sync::Arc;
 
 /// Camera simulator.
@@ -34,6 +34,13 @@ pub struct CameraSim {
     pub max_rot_deg: f64,
     /// Which fiducial is printed next to the mount.
     pub marker_id: usize,
+    /// Deterministic illumination drift applied per captured frame (the
+    /// stress-scenario axis); `None` = stable illuminant. The per-frame
+    /// gains are a pure function of `(drift, drift_seed, frame index)` and
+    /// consume no RNG, so enabling drift perturbs nothing else.
+    pub drift: Option<DriftSpec>,
+    /// Seed of the drift random walk.
+    pub drift_seed: u64,
     frames_captured: u64,
     /// The last frame handed out. Once every downstream consumer has
     /// dropped its handle (the normal cadence: one frame processed per
@@ -54,6 +61,8 @@ impl CameraSim {
             max_shift_px: 5.0,
             max_rot_deg: 1.0,
             marker_id: 0,
+            drift: None,
+            drift_seed: 0,
             frames_captured: 0,
             last_frame: None,
         }
@@ -117,6 +126,10 @@ impl Instrument for CameraSim {
                 let mut scene = PlateScene::empty_plate();
                 scene.marker_id = self.marker_id;
                 scene.lighting = self.lighting.clone();
+                if let Some(drift) = self.drift {
+                    scene.lighting.channel_gain =
+                        drift.channel_gain(self.drift_seed, self.frames_captured);
+                }
                 scene.camera = self.camera.clone();
                 scene.pose = Pose::jittered(rng, self.max_shift_px, self.max_rot_deg);
 
@@ -232,6 +245,33 @@ mod tests {
             bytes
         };
         assert_eq!(capture_all(true), capture_all(false));
+    }
+
+    #[test]
+    fn drift_consumes_no_rng_and_is_reproducible() {
+        let capture = |drift: Option<DriftSpec>| -> Vec<Vec<u8>> {
+            let (mut cam, mut world, timing, mut rng) = setup();
+            cam.drift = drift;
+            cam.drift_seed = 77;
+            world.spawn_plate("camera.nest", Microplate::standard96()).unwrap();
+            (0..3)
+                .map(|_| {
+                    let out = cam
+                        .execute("take_picture", &ActionArgs::none(), &mut world, &timing, &mut rng)
+                        .unwrap();
+                    let ActionData::Image(frame) = out.data else { panic!("expected an image") };
+                    frame.bytes().to_vec()
+                })
+                .collect()
+        };
+        // A zero-amplitude drift is bit-identical to no drift at all: the
+        // gains come from the counter hash, not the action RNG stream.
+        let plain = capture(None);
+        assert_eq!(capture(Some(DriftSpec { wb: 0.0, gain: 0.0, period: 4 })), plain);
+        // Real drift changes the frames but reproduces run to run.
+        let drifted = capture(Some(DriftSpec::WB_GAIN));
+        assert_ne!(drifted, plain);
+        assert_eq!(capture(Some(DriftSpec::WB_GAIN)), drifted);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub use module::{
 pub use ot2::Ot2;
 pub use pf400::Pf400;
 pub use sciclops::SciClops;
-pub use sdl_vision::{CameraGeometry, Fidelity};
+pub use sdl_vision::{CameraGeometry, DriftSpec, Fidelity};
 pub use timing::{Jittered, TimingModel};
 pub use world::{PlateId, Reservoir, ReservoirBank, World, WorldError};

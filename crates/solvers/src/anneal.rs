@@ -21,8 +21,13 @@ pub struct AnnealingSolver {
     pub final_step: f64,
     /// Samples over which the temperature anneals to its floor.
     pub horizon: u32,
-    /// Initial acceptance temperature in score units.
+    /// Initial acceptance temperature in score units. Calibrated for
+    /// RGB-Euclidean scores; [`ColorSolver::set_score_scale`] rescales it
+    /// when the campaign grades in a perceptual space instead.
     pub initial_temp: f64,
+    // Floor of the restart rule's temperature term, in score units
+    // (rescaled alongside `initial_temp`).
+    temp_floor: f64,
     /// Current incumbent the chain walks from (None until first feedback).
     state: Option<Vec<f64>>,
     state_score: f64,
@@ -38,6 +43,7 @@ impl AnnealingSolver {
             final_step: 0.03,
             horizon: 96,
             initial_temp: 20.0,
+            temp_floor: 1.0,
             state: None,
             state_score: f64::INFINITY,
             proposals_made: 0,
@@ -84,7 +90,7 @@ impl AnnealingSolver {
         // Never walk away from the global best entirely: restart the chain
         // there if it has drifted badly (score more than 3 temperatures off).
         if let Some(best) = best_observation(history) {
-            if self.state_score > best.score + 3.0 * self.temperature().max(1.0) {
+            if self.state_score > best.score + 3.0 * self.temperature().max(self.temp_floor) {
                 self.state = Some(best.ratios.clone());
                 self.state_score = best.score;
             }
@@ -95,6 +101,14 @@ impl AnnealingSolver {
 impl ColorSolver for AnnealingSolver {
     fn name(&self) -> &'static str {
         "annealing"
+    }
+
+    fn set_score_scale(&mut self, scale: f64) {
+        // Both absolute-threshold knobs are in score units; everything else
+        // (steps, horizon, acceptance ratioing) is scale-free. ×1.0 is an
+        // IEEE identity, so the RGB objective leaves the solver bit-exact.
+        self.initial_temp *= scale;
+        self.temp_floor *= scale;
     }
 
     fn propose(
@@ -139,6 +153,19 @@ mod tests {
             assert_eq!(p.len(), 4);
             assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
         }
+    }
+
+    #[test]
+    fn score_scale_renormalizes_the_temperature() {
+        let mut s = AnnealingSolver::new(4);
+        s.set_score_scale(0.25);
+        assert_eq!(s.initial_temp, 5.0);
+        assert_eq!(s.temp_floor, 0.25);
+        // Unit scale is exactly a no-op.
+        let mut u = AnnealingSolver::new(4);
+        u.set_score_scale(1.0);
+        assert_eq!(u.initial_temp, AnnealingSolver::new(4).initial_temp);
+        assert_eq!(u.temp_floor, AnnealingSolver::new(4).temp_floor);
     }
 
     #[test]

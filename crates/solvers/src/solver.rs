@@ -40,6 +40,15 @@ pub trait ColorSolver: Send {
     fn degenerate_fallbacks(&self) -> u64 {
         0
     }
+
+    /// Tell the solver the typical magnitude of the active objective's
+    /// scores relative to the paper's RGB-Euclidean baseline (1.0 = RGB
+    /// score units; perceptual ΔE objectives run near 0.25). Solvers with
+    /// absolute thresholds calibrated in RGB units multiply them by
+    /// `scale`; the default implementation ignores it (rank-based solvers
+    /// are scale-free). Called once, right after construction, and a scale
+    /// of exactly 1.0 must be a no-op.
+    fn set_score_scale(&mut self, _scale: f64) {}
 }
 
 /// Best observation (lowest score) in a history.

@@ -1,0 +1,219 @@
+//! Deterministic illumination drift — the stress axis for robustness
+//! scenarios.
+//!
+//! Real rigs do not sit under a constant illuminant: ring-light warm-up,
+//! ambient light and auto-exposure all move the effective white balance and
+//! sensor gain between captures. [`DriftSpec`] models this as per-channel
+//! illumination gains that wander smoothly from frame to frame.
+//!
+//! # Determinism contract
+//!
+//! The gains are a **pure function of `(spec, seed, frame index)`**: anchor
+//! values are drawn from the counter-based splitmix hash ([`rand::counter`],
+//! the same primitive as the renderer's noise field) at window boundaries
+//! and linearly interpolated between them. No RNG stream is consumed, so
+//! enabling drift never perturbs pose jitter, sensor noise, or any other
+//! draw — and the same scenario seed always reproduces the same drift
+//! trajectory regardless of thread count, sharding or resume.
+
+use rand::counter::{hash, unit_f64};
+
+/// Domain-separation tag so drift draws can never collide with the
+/// renderer's per-pixel noise counters even under equal seeds.
+const DRIFT_TAG: u64 = 0xD21F_7A3B_9E4C_0815;
+
+/// Default anchor spacing, in frames.
+const DEFAULT_PERIOD: u32 = 4;
+
+/// An illumination-drift profile: white-balance wander amplitude, shared
+/// gain wander amplitude, and the anchor period of the random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Per-channel white-balance amplitude: each channel's gain wanders
+    /// within `1 ± wb`.
+    pub wb: f64,
+    /// Shared sensor-gain amplitude: overall exposure wanders within
+    /// `1 ± gain` (multiplied on top of the white-balance term).
+    pub gain: f64,
+    /// Frames between random-walk anchors; gains interpolate linearly
+    /// between consecutive anchors.
+    pub period: u32,
+}
+
+impl DriftSpec {
+    /// Preset: white-balance drift only (`wb`).
+    pub const WB: DriftSpec = DriftSpec { wb: 0.06, gain: 0.0, period: DEFAULT_PERIOD };
+    /// Preset: sensor-gain drift only (`gain`).
+    pub const GAIN: DriftSpec = DriftSpec { wb: 0.0, gain: 0.12, period: DEFAULT_PERIOD };
+    /// Preset: both axes at once (`wb+gain`).
+    pub const WB_GAIN: DriftSpec = DriftSpec { wb: 0.06, gain: 0.12, period: DEFAULT_PERIOD };
+
+    /// Per-channel illumination gains for frame `frame` under `seed`.
+    ///
+    /// A pure function — see the module docs for the determinism contract.
+    /// With both amplitudes zero the result is exactly `[1.0; 3]`.
+    pub fn channel_gain(&self, seed: u64, frame: u64) -> [f64; 3] {
+        let period = self.period.max(1) as u64;
+        let window = frame / period;
+        let frac = (frame % period) as f64 / period as f64;
+        // Anchor draw in [-1, 1) for lane `c` (0–2 per-channel, 3 shared).
+        let anchor = |w: u64, lane: u64| 2.0 * unit_f64(hash(seed ^ DRIFT_TAG, w * 4 + lane)) - 1.0;
+        let walk = |lane: u64| {
+            let d0 = anchor(window, lane);
+            let d1 = anchor(window + 1, lane);
+            d0 + (d1 - d0) * frac
+        };
+        let shared = 1.0 + self.gain * walk(3);
+        [
+            ((1.0 + self.wb * walk(0)) * shared).max(0.0),
+            ((1.0 + self.wb * walk(1)) * shared).max(0.0),
+            ((1.0 + self.wb * walk(2)) * shared).max(0.0),
+        ]
+    }
+
+    /// Canonical machine-readable name: a preset name when the spec matches
+    /// one, else the full `wb=..,gain=..,period=..` key-value form. Always
+    /// reparses to an equal spec via [`DriftSpec::parse`].
+    pub fn name(&self) -> String {
+        if *self == DriftSpec::WB {
+            "wb".to_string()
+        } else if *self == DriftSpec::GAIN {
+            "gain".to_string()
+        } else if *self == DriftSpec::WB_GAIN {
+            "wb+gain".to_string()
+        } else {
+            format!("wb={},gain={},period={}", self.wb, self.gain, self.period)
+        }
+    }
+
+    /// Parse a drift profile: a preset name (`wb`, `gain`, `wb+gain`) or a
+    /// comma-separated key-value list (`wb=0.08,gain=0.2,period=8`; missing
+    /// keys default to zero amplitude and the standard period).
+    pub fn parse(s: &str) -> Option<DriftSpec> {
+        match s.trim() {
+            "wb" => return Some(DriftSpec::WB),
+            "gain" => return Some(DriftSpec::GAIN),
+            "wb+gain" | "gain+wb" => return Some(DriftSpec::WB_GAIN),
+            _ => {}
+        }
+        let mut spec = DriftSpec { wb: 0.0, gain: 0.0, period: DEFAULT_PERIOD };
+        let mut any = false;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part.split_once('=')?;
+            match k.trim() {
+                "wb" => spec.wb = v.trim().parse().ok()?,
+                "gain" => spec.gain = v.trim().parse().ok()?,
+                "period" => spec.period = v.trim().parse::<u32>().ok().filter(|&p| p >= 1)?,
+                _ => return None,
+            }
+            any = true;
+        }
+        let sane = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
+        (any && sane(spec.wb) && sane(spec.gain)).then_some(spec)
+    }
+
+    /// The valid preset names, for error messages.
+    pub fn valid_names() -> &'static str {
+        "wb, gain, wb+gain, or wb=..,gain=..,period=.."
+    }
+}
+
+impl std::fmt::Display for DriftSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_amplitudes_are_the_exact_identity() {
+        let spec = DriftSpec { wb: 0.0, gain: 0.0, period: 4 };
+        for frame in [0, 1, 7, 1000] {
+            assert_eq!(spec.channel_gain(42, frame), [1.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn gains_are_a_pure_function_of_seed_and_frame() {
+        let spec = DriftSpec::WB_GAIN;
+        for frame in 0..32 {
+            assert_eq!(spec.channel_gain(9, frame), spec.channel_gain(9, frame));
+        }
+        assert_ne!(spec.channel_gain(9, 3), spec.channel_gain(10, 3), "seed must matter");
+    }
+
+    #[test]
+    fn gains_stay_inside_the_advertised_band() {
+        let spec = DriftSpec::WB_GAIN;
+        let lo = (1.0 - spec.wb) * (1.0 - spec.gain) - 1e-12;
+        let hi = (1.0 + spec.wb) * (1.0 + spec.gain) + 1e-12;
+        for frame in 0..256 {
+            for g in spec.channel_gain(7, frame) {
+                assert!((lo..=hi).contains(&g), "frame {frame}: gain {g} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_moves_between_anchor_windows() {
+        let spec = DriftSpec::WB;
+        let a = spec.channel_gain(1, 0);
+        let b = spec.channel_gain(1, spec.period as u64 * 3);
+        assert_ne!(a, b, "gains must wander across windows");
+    }
+
+    #[test]
+    fn interpolation_is_smooth_within_a_window() {
+        // Per-frame steps are at most the window swing over the period.
+        let spec = DriftSpec::WB_GAIN;
+        let max_step =
+            2.0 * (spec.wb + spec.gain + spec.wb * spec.gain) / spec.period as f64 + 1e-12;
+        for frame in 0..64u64 {
+            let now = spec.channel_gain(3, frame);
+            let next = spec.channel_gain(3, frame + 1);
+            for c in 0..3 {
+                let step = (next[c] - now[c]).abs();
+                assert!(step <= max_step, "frame {frame} ch {c}: step {step} > {max_step}");
+            }
+        }
+    }
+
+    #[test]
+    fn wb_only_preserves_no_shared_gain() {
+        // The shared lane is off for the wb preset: channels move
+        // independently, so they should not all share one multiplier.
+        let g = DriftSpec::WB.channel_gain(5, 2);
+        assert!(g[0] != g[1] || g[1] != g[2], "channels drift independently: {g:?}");
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for spec in [
+            DriftSpec::WB,
+            DriftSpec::GAIN,
+            DriftSpec::WB_GAIN,
+            DriftSpec { wb: 0.03, gain: 0.25, period: 8 },
+            DriftSpec { wb: 0.0, gain: 0.5, period: 1 },
+        ] {
+            let name = spec.name();
+            assert_eq!(DriftSpec::parse(&name), Some(spec), "{name}");
+        }
+        assert_eq!(DriftSpec::parse("wb").unwrap().name(), "wb");
+        assert_eq!(DriftSpec::parse("gain+wb"), Some(DriftSpec::WB_GAIN));
+        assert_eq!(DriftSpec::parse("wb=0.1"), Some(DriftSpec { wb: 0.1, gain: 0.0, period: 4 }));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in ["", "vibes", "wb=", "wb=-0.1", "gain=2.0", "period=0", "wb=nan", "wb=0.1;"] {
+            assert_eq!(DriftSpec::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+}

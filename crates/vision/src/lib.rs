@@ -23,6 +23,7 @@
 
 pub mod aruco;
 pub mod draw;
+mod drift;
 mod fastmath;
 mod grid;
 mod hough;
@@ -35,6 +36,7 @@ mod render;
 pub use aruco::{
     detect_markers, detect_markers_with, ArucoParams, ArucoScratch, MarkerDetection, DICT_SIZE,
 };
+pub use drift::DriftSpec;
 pub use grid::{fit_grid, GridFit, GridModel};
 pub use hough::{hough_circles, hough_circles_with, Circle, HoughParams, HoughScratch};
 pub use image::ImageRgb8;

@@ -68,11 +68,16 @@ pub struct Lighting {
     pub noise_sigma: f64,
     /// Global illumination gain.
     pub gain: f64,
+    /// Per-channel illumination gains (white balance × sensor gain), the
+    /// hook the deterministic drift axes ([`crate::DriftSpec`]) set per
+    /// frame. `[1.0; 3]` is bit-exactly the undrifted frame; the frozen
+    /// [`Fidelity::Full`] reference path ignores this field.
+    pub channel_gain: [f64; 3],
 }
 
 impl Default for Lighting {
     fn default() -> Self {
-        Lighting { vignette: 0.08, noise_sigma: 0.006, gain: 1.0 }
+        Lighting { vignette: 0.08, noise_sigma: 0.006, gain: 1.0, channel_gain: [1.0; 3] }
     }
 }
 
@@ -263,6 +268,7 @@ fn render_rows(
         dx * dx + dy * dy
     };
     let sigma = scene.lighting.noise_sigma;
+    let [cg_r, cg_g, cg_b] = scene.lighting.channel_gain;
     // Vignette gain as a row-constant minus a pure rx² term.
     let vig_b = scene.lighting.gain * scene.lighting.vignette / corner_d2;
 
@@ -300,9 +306,11 @@ fn render_rows(
             mm_y += step_y;
             rx += 1.0;
             let n = 3 * px;
-            out_px[0] = quant.encode_channel((base.r * gain + sigma * z[n]).clamp(0.0, 1.0));
-            out_px[1] = quant.encode_channel((base.g * gain + sigma * z[n + 1]).clamp(0.0, 1.0));
-            out_px[2] = quant.encode_channel((base.b * gain + sigma * z[n + 2]).clamp(0.0, 1.0));
+            out_px[0] = quant.encode_channel((base.r * gain * cg_r + sigma * z[n]).clamp(0.0, 1.0));
+            out_px[1] =
+                quant.encode_channel((base.g * gain * cg_g + sigma * z[n + 1]).clamp(0.0, 1.0));
+            out_px[2] =
+                quant.encode_channel((base.b * gain * cg_b + sigma * z[n + 2]).clamp(0.0, 1.0));
         }
     }
 }
@@ -548,6 +556,33 @@ mod tests {
         // Re-render into the now right-sized buffer: still identical.
         render_into(&scene, &mut StdRng::seed_from_u64(5), &mut buf);
         assert_eq!(buf, fresh);
+    }
+
+    #[test]
+    fn unit_channel_gain_is_bit_identical_to_the_undrifted_frame() {
+        // `x * 1.0` is an exact IEEE identity, so the drift hook at its
+        // neutral setting must not change a single byte — this is what
+        // keeps default campaigns golden-stable.
+        let mut scene = PlateScene::empty_plate();
+        scene.set_well(2, 3, LinRgb::new(0.5, 0.05, 0.05));
+        let baseline = render(&scene, &mut StdRng::seed_from_u64(11));
+        scene.lighting.channel_gain = [1.0, 1.0, 1.0];
+        assert_eq!(render(&scene, &mut StdRng::seed_from_u64(11)), baseline);
+    }
+
+    #[test]
+    fn channel_gain_tints_the_frame() {
+        let mut scene = PlateScene::empty_plate();
+        scene.lighting.noise_sigma = 0.0;
+        let neutral = render(&scene, &mut StdRng::seed_from_u64(11));
+        scene.lighting.channel_gain = [1.1, 1.0, 0.9];
+        let tinted = render(&scene, &mut StdRng::seed_from_u64(11));
+        assert_ne!(neutral, tinted);
+        // The plate body (a near-neutral gray) must read warmer.
+        let (n_mean, _) = neutral.mean_disk(320.0, 240.0, 30.0);
+        let (t_mean, _) = tinted.mean_disk(320.0, 240.0, 30.0);
+        assert!(t_mean.r >= n_mean.r && t_mean.b <= n_mean.b, "{n_mean} -> {t_mean}");
+        assert!(t_mean.r as i32 - t_mean.b as i32 > n_mean.r as i32 - n_mean.b as i32);
     }
 
     #[test]

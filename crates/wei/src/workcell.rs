@@ -9,8 +9,8 @@ use crate::error::WeiError;
 use sdl_color::{DyeSet, MixKind};
 use sdl_conf::{from_yaml, Value, ValueExt};
 use sdl_instruments::{
-    Barty, CameraGeometry, CameraSim, Fidelity, Instrument, ModuleKind, Ot2, Pf400, ReservoirBank,
-    SciClops, TimingModel, World,
+    Barty, CameraGeometry, CameraSim, DriftSpec, Fidelity, Instrument, ModuleKind, Ot2, Pf400,
+    ReservoirBank, SciClops, TimingModel, World,
 };
 use std::collections::BTreeMap;
 
@@ -75,6 +75,22 @@ impl WorkcellConfig {
         for m in &mut self.modules {
             if m.kind == ModuleKind::Camera && m.config.opt_str("fidelity").is_none() {
                 m.config.set("fidelity", fidelity);
+            }
+        }
+    }
+
+    /// Default every camera module that does not specify its own `drift`
+    /// to the given drift profile and random-walk seed. The application
+    /// config's illumination-drift axis reaches the instantiated workcell
+    /// through here, mirroring [`WorkcellConfig::default_camera_fidelity`];
+    /// an explicit per-camera setting in the workcell document stays
+    /// authoritative.
+    pub fn default_camera_drift(&mut self, drift: &str, seed: u64) {
+        use sdl_conf::ValueExt as _;
+        for m in &mut self.modules {
+            if m.kind == ModuleKind::Camera && m.config.opt_str("drift").is_none() {
+                m.config.set("drift", drift);
+                m.config.set("drift_seed", seed as i64);
             }
         }
     }
@@ -187,6 +203,24 @@ impl Workcell {
                     }
                     if let Some(v) = c.opt_f64("max_rot_deg") {
                         cam.max_rot_deg = v;
+                    }
+                    if let Some(v) = c.opt_str("drift") {
+                        let drift = DriftSpec::parse(v).ok_or_else(|| {
+                            WeiError::Invalid(format!(
+                                "{}: unknown camera drift '{v}' (valid: {})",
+                                m.name,
+                                DriftSpec::valid_names()
+                            ))
+                        })?;
+                        if cam.camera.fidelity == Fidelity::Full {
+                            return Err(WeiError::Invalid(format!(
+                                "{}: illumination drift needs the counter-based renderer \
+                                 (fast/lowres); the 'full' reference path is frozen",
+                                m.name
+                            )));
+                        }
+                        cam.drift = Some(drift);
+                        cam.drift_seed = c.opt_i64("drift_seed").unwrap_or(0) as u64;
                     }
                     instruments.insert(m.name.clone(), Box::new(cam));
                 }

@@ -1,44 +1,74 @@
-//! Solver shootout — §2.5's claim in miniature, as one campaign.
+//! Solver shootout — §2.5's claim in miniature, now as a stress suite.
 //!
 //! The paper implemented a Bayesian optimizer alongside the genetic solver
 //! but found it "does not yield a systematic improvement". This example
-//! races all six decision procedures (including the analytic oracle and
-//! the random floor) on identical budgets and seeds.
+//! races the search strategies on identical budgets and seeds — not just
+//! on the clean RGB objective, but across the full stress matrix:
+//! perceptual objectives (CIEDE2000, CAM16-UCS) crossed with camera
+//! drift, multi-target and moving-target conditions. The leaderboard
+//! ranks solvers within each cell, where every solver faced identical
+//! conditions, so no single easy cell can carry a solver.
 //!
 //! ```text
 //! cargo run --release --example solver_shootout
 //! ```
+//!
+//! The same matrix is available from the CLI as `sdl-lab stress`.
 
-use sdl_lab::core::{solver_sweep, AppConfig, CampaignRunner};
-use sdl_lab::solvers::SolverKind;
+use sdl_lab::core::{AppConfig, CampaignRunner, Leaderboard, StressSuite};
 
 fn main() {
     let base =
         AppConfig { sample_budget: 48, batch: 4, publish_images: false, ..AppConfig::default() };
-    let solvers = SolverKind::all();
-    let seeds = [11u64, 22, 33];
+    let suite = StressSuite::new(base);
     println!(
-        "racing {} solvers x {} seeds (N={}, B={})...",
-        solvers.len(),
-        seeds.len(),
-        base.sample_budget,
-        base.batch
+        "racing {} solvers x {} objectives x {} conditions x {} seeds (N={}, B={})...",
+        suite.solvers.len(),
+        suite.objectives.len(),
+        suite.kinds.len(),
+        suite.seeds.len(),
+        suite.base.sample_budget,
+        suite.base.batch
     );
-    let report = CampaignRunner::new().run(solver_sweep(&base, &solvers, &seeds));
+    let report = CampaignRunner::new().run(suite.scenarios());
 
-    println!("\n{:<22} {:>10} {:>14}", "solver/seed", "best", "sample@best");
-    for result in &report.results {
-        let out = result.expect_single();
-        let best_at =
-            out.trajectory.iter().find(|p| p.best == out.best_score).map(|p| p.sample).unwrap_or(0);
-        println!("{:<22} {:>10.2} {:>14}", result.label(), out.best_score, best_at);
-    }
+    let board = Leaderboard::from_report(&report);
+    println!("\n{}", board.render_table());
 
-    println!("\nper-solver mean best:");
-    for solver in solvers {
-        let scores = report.best_scores_with_prefix(solver.name());
-        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-        println!("  {:<10} {:>7.2}", solver.name(), mean);
+    // The per-cell detail behind the ranks: each solver's best score per
+    // (objective, condition) pair, averaged over seeds and normalized by
+    // the objective's scale so the columns are comparable.
+    println!("\nmean normalized best per condition:");
+    print!("{:<12}", "solver");
+    for kind in &suite.kinds {
+        print!(" {:>13}", kind.name());
     }
-    println!("\nexpect: analytic < genetic ≈ bayesian < random.");
+    println!();
+    for &solver in &suite.solvers {
+        print!("{:<12}", solver.name());
+        for &kind in &suite.kinds {
+            let mut scores = Vec::new();
+            for &objective in &suite.objectives {
+                for &seed in &suite.seeds {
+                    let label = format!(
+                        "stress/{}/{}/{}/s{seed}",
+                        objective.name(),
+                        kind.name(),
+                        solver.name()
+                    );
+                    if let Some(result) = report.by_label(&label) {
+                        if let Ok(out) = &result.outcome {
+                            scores.push(out.best_score() / objective.scale());
+                        }
+                    }
+                }
+            }
+            let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+            print!(" {:>13.2}", mean);
+        }
+        println!();
+    }
+    println!("\nexpect: genetic ≈ bayesian ahead of annealing and random overall, with");
+    println!("the gap narrowing under drift (noisy scores) and moving targets (stale");
+    println!("early observations).");
 }

@@ -11,6 +11,10 @@
 //!                  [--shard N] [--export-portal FILE] [--event-log FILE]
 //!                  [--chaos SPEC] [--failure-budget N]
 //! sdl-lab campaign --resume LOG [--threads T] [--export-portal FILE]
+//! sdl-lab stress [--samples N] [--batch B] [--seed S] [--seeds K]
+//!                [--solvers LIST] [--objectives LIST] [--kinds LIST]
+//!                [--threads T] [--workers url1,url2,...] [--shard N]
+//!                [--event-log FILE] [--export-portal FILE] [--fingerprint]
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
@@ -20,11 +24,11 @@
 //! sdl-lab help
 //! ```
 
-use sdl_lab::color::Rgb8;
+use sdl_lab::color::{Objective, Rgb8};
 use sdl_lab::core::{
     batch_sweep, AppConfig, BackendSpec, CampaignConfig, CampaignReport, CampaignRunner,
-    CampaignScheduler, ChaosPolicy, ColorPickerApp, EventLog, EventRecord, Experiment,
-    ProgressModel,
+    CampaignScheduler, ChaosPolicy, ColorPickerApp, EventLog, EventRecord, Experiment, Leaderboard,
+    ProgressModel, StressKind, StressSuite,
 };
 use sdl_lab::datapub::AcdcPortal;
 use sdl_lab::solvers::SolverKind;
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "stress" => cmd_stress(&args[1..]),
         "portal" => cmd_portal(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
@@ -73,6 +78,9 @@ commands:
   run        run one closed-loop experiment and print metrics + portal summary
   sweep      run a batch-size sweep (Figure 4 style) through the campaign engine
   campaign   run a declarative scenario matrix (solvers x seeds x batches x ...)
+  stress     run the built-in ColorBench-style stress suite (objectives x
+             drift/multi-target/moving-target conditions x solvers x seeds)
+             and print a per-solver leaderboard
   portal     inspect an exported portal JSON-lines file
   serve      serve the ACDC portal over HTTP (saved export or live campaign)
   watch      live terminal dashboard for a serving campaign (reads /events)
@@ -133,6 +141,22 @@ campaign options:
                       interrupted ones re-drive; the merged report equals an
                       uninterrupted run's (--config is not needed — the
                       scenario matrix is recovered from the log itself)
+
+stress options (plus --samples/--batch/--seed/--config from 'run'):
+  --solvers LIST      comma-separated solvers to rank (default
+                      genetic,bayesian,random,annealing)
+  --objectives LIST   comma-separated objectives (rgb|cie76|cie94|ciede2000|
+                      cam16ucs; default rgb,ciede2000,cam16ucs)
+  --kinds LIST        comma-separated stress conditions (baseline|wb-drift|
+                      gain-drift|multi-target|moving-target; default all)
+  --seeds K           replications: master seeds seed..seed+K-1 (default 2)
+  --threads T         worker threads (default: one per core)
+  --workers LIST      fan the suite across remote 'sdl-lab serve' workers
+  --shard N           scheduler shard size (worker pools; default automatic)
+  --event-log FILE    append campaign events to FILE (finish a crashed suite
+                      with 'sdl-lab campaign --resume FILE')
+  --export-portal F   write scenario records + the leaderboard as JSON lines
+  --fingerprint       print the suite's determinism fingerprint
 
 portal options:
   --import FILE       JSON-lines file written by --export-portal
@@ -483,6 +507,124 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         report
     };
     println!("# campaign '{}'", config.name);
+    finish_campaign(args, &report)
+}
+
+/// `sdl-lab stress` — expand the built-in stress suite (objectives ×
+/// adversarial conditions × solvers × seeds) through the campaign engine
+/// and fold the report into a per-solver leaderboard.
+fn cmd_stress(args: &[String]) -> Result<(), String> {
+    let base = build_config(args)?;
+    let base_seed = base.seed;
+    let mut suite = StressSuite::new(base);
+    if let Some(list) = flag_value(args, "--solvers") {
+        suite.solvers = list
+            .split(',')
+            .map(|s| {
+                SolverKind::parse(s).ok_or_else(|| {
+                    format!("unknown solver '{}' (valid: {})", s.trim(), SolverKind::valid_names())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = flag_value(args, "--objectives") {
+        suite.objectives = list
+            .split(',')
+            .map(|s| {
+                Objective::parse(s.trim()).ok_or_else(|| {
+                    format!(
+                        "unknown objective '{}' (valid: {})",
+                        s.trim(),
+                        Objective::valid_names()
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = flag_value(args, "--kinds") {
+        suite.kinds = list
+            .split(',')
+            .map(|s| {
+                StressKind::parse(s).ok_or_else(|| {
+                    format!(
+                        "unknown stress kind '{}' (valid: {})",
+                        s.trim(),
+                        StressKind::valid_names()
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = flag_value(args, "--seeds") {
+        let k: u64 = v.parse().map_err(|_| format!("bad --seeds '{v}'"))?;
+        if k == 0 {
+            return Err("--seeds needs at least one replication".into());
+        }
+        suite.seeds = (0..k).map(|i| base_seed.wrapping_add(i)).collect();
+    }
+    if suite.is_empty() {
+        return Err("stress suite expands to zero scenarios".into());
+    }
+    let scenarios = suite.scenarios();
+
+    let event_log = match flag_value(args, "--event-log") {
+        Some(p) => {
+            let log = EventLog::create(p).map_err(|e| e.to_string())?;
+            eprintln!("appending campaign events to {p}");
+            Some(std::sync::Arc::new(log))
+        }
+        None => None,
+    };
+    let workers: Vec<String> = match flag_value(args, "--workers") {
+        Some(list) => {
+            list.split(',').map(str::trim).filter(|w| !w.is_empty()).map(str::to_string).collect()
+        }
+        None => Vec::new(),
+    };
+    let report = if workers.is_empty() {
+        let mut runner = runner_for(args)?.progress(true).name("stress");
+        if let Some(log) = event_log {
+            runner = runner.with_events(log);
+        }
+        eprintln!(
+            "stress suite: {} scenarios ({} objectives x {} kinds x {} solvers x {} seeds) \
+             on {} threads...",
+            scenarios.len(),
+            suite.objectives.len(),
+            suite.kinds.len(),
+            suite.solvers.len(),
+            suite.seeds.len(),
+            runner.worker_threads()
+        );
+        runner.run(scenarios)
+    } else {
+        let mut scheduler = CampaignScheduler::new(workers).progress(true).name("stress");
+        if let Some(log) = event_log {
+            scheduler = scheduler.with_events(log);
+        }
+        if let Some(v) = flag_value(args, "--shard") {
+            let s: usize = v.parse().map_err(|_| format!("bad --shard '{v}'"))?;
+            scheduler = scheduler.shard_size(s.max(1));
+        }
+        eprintln!(
+            "stress suite: {} scenarios across {} workers...",
+            scenarios.len(),
+            scheduler.pool().len()
+        );
+        let (report, sched) = scheduler.run(scenarios);
+        for line in sched.summary_lines() {
+            eprintln!("{line}");
+        }
+        report
+    };
+
+    // The leaderboard goes into the portal before the export below, so
+    // `--export-portal` files carry it alongside the scenario records.
+    let board = Leaderboard::from_report(&report);
+    board.publish(&report.portal);
+    println!("# stress leaderboard");
+    println!("{}", board.render_table());
+    println!();
     finish_campaign(args, &report)
 }
 

@@ -2,14 +2,14 @@
 //! count, an ordered portal stream, and the declarative scenario matrix.
 
 use proptest::prelude::*;
-use sdl_lab::color::{DeltaE, MixKind, Rgb8};
+use sdl_lab::color::{MixKind, Objective, Rgb8};
 use sdl_lab::conf::ValueExt;
 use sdl_lab::core::{
     AppConfig, BackendSpec, CampaignConfig, CampaignRunner, RunMode, ScenarioSpec,
 };
 use sdl_lab::desim::{FaultPlan, FaultRates};
 use sdl_lab::solvers::SolverKind;
-use sdl_lab::vision::Fidelity;
+use sdl_lab::vision::{DriftSpec, Fidelity};
 
 /// A 16-scenario mixed campaign: four solvers x seeds, two batch sizes, a
 /// faulty scenario and two multi-OT2 scenarios.
@@ -123,11 +123,12 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         Just(SolverKind::Analytic),
         Just(SolverKind::Annealing),
     ];
-    let metric = prop_oneof![
-        Just(DeltaE::RgbEuclidean),
-        Just(DeltaE::Cie76),
-        Just(DeltaE::Cie94),
-        Just(DeltaE::Ciede2000),
+    let objective = prop_oneof![
+        Just(Objective::Rgb),
+        Just(Objective::Cie76),
+        Just(Objective::Cie94),
+        Just(Objective::Ciede2000),
+        Just(Objective::Cam16Ucs),
     ];
     let mix = prop_oneof![
         Just(MixKind::BeerLambert),
@@ -139,7 +140,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         (
             "[a-z][a-z0-9 _.-]{0,18}",
             solver,
-            metric,
+            objective,
             mix,
             any::<u64>(),
             1u32..512,
@@ -160,22 +161,38 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 "[a-z0-9._/-]{1,20}".prop_map(BackendSpec::Replay),
             ],
         ),
-        prop_oneof![Just(Fidelity::Full), Just(Fidelity::Fast), Just(Fidelity::Lowres)],
+        (
+            prop_oneof![Just(Fidelity::Full), Just(Fidelity::Fast), Just(Fidelity::Lowres)],
+            prop_oneof![
+                Just(None),
+                Just(Some(DriftSpec::WB)),
+                Just(Some(DriftSpec::GAIN)),
+                Just(Some(DriftSpec::WB_GAIN)),
+            ],
+            prop_oneof![Just(None), (0u8..=255, 0u8..=255, 0u8..=255).prop_map(Some)],
+            proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 0..3),
+        ),
     )
         .prop_map(
             |(
-                (label, solver, metric, mix, seed, samples, batch, (r, g, b)),
+                (label, solver, objective, mix, seed, samples, batch, (r, g, b)),
                 (f_rec, f_act, n_ot2, publish, flat, compute, threshold, backend),
-                fidelity,
+                (fidelity, drift, target_to, target_set),
             )| {
                 let mut config = AppConfig {
                     sample_budget: samples,
                     batch,
                     solver,
-                    metric,
+                    objective,
                     mix,
                     seed,
                     target: Rgb8::new(r, g, b),
+                    target_to: target_to.map(|(r, g, b)| Rgb8::new(r, g, b)),
+                    target_set: target_set
+                        .into_iter()
+                        .map(|(r, g, b)| Rgb8::new(r, g, b))
+                        .collect(),
+                    drift,
                     publish_images: publish,
                     flat_field: flat,
                     compute_seconds: compute,
@@ -224,7 +241,10 @@ fn assert_specs_match(a: &ScenarioSpec, b: &ScenarioSpec) {
     assert_eq!(ca.sample_budget, cb.sample_budget);
     assert_eq!(ca.batch, cb.batch);
     assert_eq!(ca.solver, cb.solver);
-    assert_eq!(ca.metric, cb.metric);
+    assert_eq!(ca.objective, cb.objective);
+    assert_eq!(ca.target_set, cb.target_set);
+    assert_eq!(ca.target_to, cb.target_to);
+    assert_eq!(ca.drift, cb.drift);
     assert_eq!(ca.mix, cb.mix);
     assert_eq!(ca.seed, cb.seed);
     assert_eq!(ca.match_threshold, cb.match_threshold);

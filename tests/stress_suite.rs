@@ -1,0 +1,119 @@
+//! Stress-suite integration: the ColorBench-style matrix — perceptual
+//! objectives under drift, multi-target and moving-target conditions —
+//! must be deterministic through every execution path: thread pools,
+//! distributed worker pools at any shard size, and event-log resume. The
+//! leaderboard folded out of each path must be identical too.
+
+use sdl_lab::color::Objective;
+use sdl_lab::core::{
+    AppConfig, CampaignRunner, CampaignScheduler, EventLog, Leaderboard, StressKind, StressSuite,
+};
+use sdl_lab::datapub::{AcdcPortal, BlobStore};
+use sdl_lab::portal_server::{spawn, LabHost, PortalServer, ServerConfig, ServerHandle};
+use sdl_lab::solvers::SolverKind;
+use std::sync::Arc;
+
+fn worker_server() -> ServerHandle {
+    let portal = Arc::new(AcdcPortal::new());
+    let store = Arc::new(BlobStore::in_memory());
+    let server = PortalServer::new(portal, store).with_lab(Arc::new(LabHost::new()));
+    spawn(server, &ServerConfig::default()).expect("bind worker server")
+}
+
+/// Every cell is a non-default condition: a perceptual objective crossed
+/// with drift, multi-target and moving-target stress.
+fn tiny_suite() -> StressSuite {
+    let mut suite = StressSuite::new(AppConfig {
+        sample_budget: 4,
+        batch: 2,
+        seed: 5,
+        publish_images: false,
+        ..AppConfig::default()
+    });
+    suite.solvers = vec![SolverKind::Random, SolverKind::Annealing];
+    suite.objectives = vec![Objective::Ciede2000];
+    suite.kinds = vec![
+        StressKind::WbDrift,
+        StressKind::GainDrift,
+        StressKind::MultiTarget,
+        StressKind::MovingTarget,
+    ];
+    suite.seeds = vec![5];
+    suite
+}
+
+#[test]
+fn stress_fingerprint_is_bit_identical_across_threads_and_worker_pools() {
+    let suite = tiny_suite();
+    let golden = CampaignRunner::new().threads(1).run(suite.scenarios());
+    let fp = golden.fingerprint();
+    assert!(!fp.is_empty());
+    // Same seed, same fingerprint: the drift and target perturbations are
+    // counter-derived, never wall-clock- or thread-derived.
+    assert_eq!(fp, CampaignRunner::new().threads(1).run(suite.scenarios()).fingerprint());
+    assert_eq!(fp, CampaignRunner::new().threads(4).run(suite.scenarios()).fingerprint());
+
+    let handles: Vec<ServerHandle> = (0..2).map(|_| worker_server()).collect();
+    let urls: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+    for shard in [1usize, 3] {
+        let (report, _) =
+            CampaignScheduler::new(urls.clone()).shard_size(shard).run(suite.scenarios());
+        assert_eq!(fp, report.fingerprint(), "fingerprint drift at shard={shard}");
+        assert_eq!(
+            Leaderboard::from_report(&golden).rows,
+            Leaderboard::from_report(&report).rows,
+            "leaderboard drift at shard={shard}"
+        );
+    }
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn stress_campaign_resumes_bit_identically_from_a_truncated_log() {
+    let suite = tiny_suite();
+    let golden = CampaignRunner::new().threads(1).run(suite.scenarios());
+
+    let dir = std::env::temp_dir().join(format!("sdl-stress-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("stress.events");
+    {
+        let log = Arc::new(EventLog::create(&log_path).expect("create event log"));
+        let _ = CampaignRunner::new().threads(1).with_events(log).run(suite.scenarios());
+    }
+
+    // Simulate a crash: cut the log right after the second finished
+    // scenario, so the resume has completed work to replay and remaining
+    // work to re-drive.
+    let text = std::fs::read_to_string(&log_path).unwrap();
+    let mut kept = String::new();
+    let mut finished = 0;
+    for line in text.lines() {
+        kept.push_str(line);
+        kept.push('\n');
+        if line.contains("scenario_finished") {
+            finished += 1;
+            if finished == 2 {
+                break;
+            }
+        }
+    }
+    assert_eq!(finished, 2, "log holds fewer than two finished scenarios");
+    std::fs::write(&log_path, kept).unwrap();
+
+    let (report, stats) =
+        CampaignRunner::new().threads(1).resume(&log_path).expect("resume succeeds");
+    assert_eq!(
+        golden.fingerprint(),
+        report.fingerprint(),
+        "resumed stress campaign diverged (replayed {}, redriven {})",
+        stats.replayed,
+        stats.redriven
+    );
+    assert_eq!(stats.replayed, 2, "the two logged scenarios replay, not re-run");
+    assert_eq!(stats.replayed + stats.redriven, suite.len());
+    assert_eq!(Leaderboard::from_report(&golden).rows, Leaderboard::from_report(&report).rows);
+    let _ = std::fs::remove_dir_all(&dir);
+}
