@@ -25,7 +25,11 @@
 //!    scaling vs. a single worker; flat on a one-core host by design);
 //! 7. campaign event-log append overhead — mean durable-append latency
 //!    times the events a batch emits, as a fraction of the batch's lab
-//!    wall time (`--check` gates it below 2%).
+//!    wall time (`--check` gates it below 2%);
+//! 8. overload admission — offered load at 1×/2×/4× a tiny
+//!    live-connection cap: admitted req/s, p50/p99 latency of admitted
+//!    requests, and the shed rate (503-at-accept share). The 4× row must
+//!    actually shed (`--check` gates it).
 //!
 //! Writes machine-readable `BENCH_hotpath.json` (repo root when run from
 //! there; `--out` to override) so successive PRs accumulate a perf
@@ -270,6 +274,72 @@ fn loopback_worker() -> sdl_portal_server::ServerHandle {
         .expect("bind loopback worker")
 }
 
+/// Spawn a portal server capped at `cap` live connections (no lab — the
+/// overload sweep measures the admission layer, not the simulator).
+fn capped_server(cap: usize) -> sdl_portal_server::ServerHandle {
+    use std::sync::Arc;
+    let server = sdl_portal_server::PortalServer::new(
+        Arc::new(sdl_datapub::AcdcPortal::new()),
+        Arc::new(sdl_datapub::BlobStore::in_memory()),
+    );
+    sdl_portal_server::spawn(
+        server,
+        &sdl_portal_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: cap.max(1),
+            max_conns: cap,
+            ..sdl_portal_server::ServerConfig::default()
+        },
+    )
+    .expect("bind overload server")
+}
+
+/// One keep-alive client hammering `/healthz` against a capped server:
+/// holds its connection while it can, reconnects when shed or closed.
+/// Returns (admitted latencies µs, admitted, shed).
+fn overload_client(addr: std::net::SocketAddr, attempts: usize) -> (Vec<f64>, u64, u64) {
+    use sdl_portal_server::client::HttpClient;
+    let mut lat = Vec::with_capacity(attempts);
+    let (mut ok, mut shed) = (0u64, 0u64);
+    let mut conn: Option<HttpClient> = None;
+    for _ in 0..attempts {
+        if conn.is_none() {
+            conn = HttpClient::connect(addr).ok();
+        }
+        let Some(c) = conn.as_mut() else {
+            shed += 1;
+            continue;
+        };
+        let t0 = Instant::now();
+        match c.get("/healthz") {
+            Ok(resp) if resp.status == 200 => {
+                lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                ok += 1;
+                if resp.header("connection") == Some("close") {
+                    conn = None;
+                }
+            }
+            Ok(_) | Err(_) => {
+                // 503-at-accept, or the shed race closing under us:
+                // either way this attempt was refused admission.
+                shed += 1;
+                conn = None;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+    (lat, ok, shed)
+}
+
+/// Percentile over a sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 /// The scenario matrix the distributed-scheduler throughput rows fan out.
 fn scheduler_scenarios(count: usize, samples: u32) -> Vec<ScenarioSpec> {
     (0..count)
@@ -380,6 +450,27 @@ fn check(path: &str) {
             "{path}: scheduler throughput must be positive"
         );
     }
+    let overload = doc.get("overload").and_then(Value::as_seq).expect("overload section");
+    assert!(!overload.is_empty(), "{path}: empty overload section");
+    for row in overload {
+        for key in
+            ["clients", "cap", "attempts", "ok", "sheds", "req_s", "shed_rate", "p50_us", "p99_us"]
+        {
+            assert!(row.get(key).is_some(), "{path}: overload row missing '{key}'");
+        }
+        assert!(
+            row.get("req_s").and_then(Value::as_f64).is_some_and(|v| v > 0.0),
+            "{path}: overload admitted throughput must be positive"
+        );
+        assert!(
+            row.get("shed_rate").and_then(Value::as_f64).is_some_and(|v| (0.0..=1.0).contains(&v)),
+            "{path}: overload shed_rate must be a fraction"
+        );
+    }
+    assert!(
+        overload.last().and_then(|r| r.get("sheds")).and_then(Value::as_i64).is_some_and(|v| v > 0),
+        "{path}: the 4x-cap overload row must actually shed"
+    );
     println!("{path}: OK");
 }
 
@@ -566,6 +657,54 @@ fn main() {
         scheduler.push(row);
     }
     doc.set("scheduler", scheduler);
+
+    // Overload admission: offered load at 1x/2x/4x a tiny live-connection
+    // cap. Admission control must keep admitted throughput steady and
+    // answer the excess 503-at-accept — req_s counts *admitted* work,
+    // shed_rate the refused share of all attempts.
+    let overload_cap = 2usize;
+    let overload_attempts = if smoke { 40usize } else { 200 };
+    let mut overload = Value::seq();
+    for mult in [1usize, 2, 4] {
+        let clients = overload_cap * mult;
+        let server = capped_server(overload_cap);
+        let addr = server.addr();
+        let wall = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|_| std::thread::spawn(move || overload_client(addr, overload_attempts)))
+            .collect();
+        let mut lat = Vec::new();
+        let (mut ok, mut sheds) = (0u64, 0u64);
+        for w in workers {
+            let (mut l, o, s) = w.join().expect("overload client");
+            lat.append(&mut l);
+            ok += o;
+            sheds += s;
+        }
+        let wall_s = wall.elapsed().as_secs_f64();
+        server.shutdown();
+        lat.sort_by(f64::total_cmp);
+        let attempts_total = (clients * overload_attempts) as u64;
+        let mut row = Value::map();
+        row.set("clients", clients as i64);
+        row.set("cap", overload_cap as i64);
+        row.set("attempts", attempts_total as i64);
+        row.set("ok", ok as i64);
+        row.set("sheds", sheds as i64);
+        row.set("req_s", ok as f64 / wall_s);
+        row.set("shed_rate", sheds as f64 / attempts_total as f64);
+        row.set("p50_us", percentile(&lat, 50.0));
+        row.set("p99_us", percentile(&lat, 99.0));
+        eprintln!(
+            "overload {clients} clients vs cap {overload_cap}: {:.0} admitted req/s, \
+             p99 {:.0}µs, {:.1}% shed",
+            ok as f64 / wall_s,
+            percentile(&lat, 99.0),
+            100.0 * sheds as f64 / attempts_total as f64
+        );
+        overload.push(row);
+    }
+    doc.set("overload", overload);
 
     let (c_before, c_after, samples) = time_campaign(budget, campaign_reps);
     let mut campaign = Value::map();

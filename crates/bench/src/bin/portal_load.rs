@@ -4,7 +4,14 @@
 //! and report throughput plus p50/p99 latency per endpoint.
 //!
 //! Usage: `cargo run --release -p sdl-bench --bin portal_load --
-//!         [--clients 8] [--requests 500] [--records 5000] [--threads 8]`
+//!         [--clients 8] [--requests 500] [--records 5000] [--threads 8]
+//!         [--max-conns 0]`
+//!
+//! `--max-conns N` arms the server's live-connection cap: clients past
+//! it are shed `503` at accept and reconnect, and the summary reports
+//! the shed rate alongside throughput (the overload sweep in the
+//! `hotpath` bench records the same admission behavior in
+//! `BENCH_hotpath.json`).
 
 use bytes::Bytes;
 use sdl_bench::{arg_or, mean, table};
@@ -93,14 +100,19 @@ fn main() {
 
     let (portal, store, blob) = seed_portal(records);
     let total_records = portal.len();
+    let max_conns: usize = arg_or("--max-conns", 0);
     let server = PortalServer::new(portal, store);
-    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads })
-        .expect("bind load-test server");
+    let handle = spawn(
+        server,
+        &ServerConfig { addr: "127.0.0.1:0".into(), threads, max_conns, ..ServerConfig::default() },
+    )
+    .expect("bind load-test server");
     let addr = handle.addr();
     eprintln!(
         "portal_load: {total_records} records behind {}, {clients} clients x {requests} \
-         requests, {threads} server threads",
-        handle.url()
+         requests, {threads} server threads{}",
+        handle.url(),
+        if max_conns > 0 { format!(", {max_conns}-connection cap") } else { String::new() }
     );
 
     let wall = Instant::now();
@@ -110,28 +122,47 @@ fn main() {
             std::thread::spawn(move || {
                 let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); ENDPOINTS.len()];
                 let mut errors = 0usize;
-                let mut client = HttpClient::connect(addr).expect("connect");
+                let mut sheds = 0usize;
+                // With a connection cap in play the client may be shed at
+                // accept; reconnect-and-retry is the backpressure contract.
+                let mut client: Option<HttpClient> = None;
                 for i in 0..requests {
                     // Offset each client's walk so endpoints interleave.
                     let (slot, path) = endpoint_for(c + i, &blob, records);
+                    if client.is_none() {
+                        client = HttpClient::connect(addr).ok();
+                    }
+                    let Some(conn) = client.as_mut() else {
+                        errors += 1;
+                        continue;
+                    };
                     let t0 = Instant::now();
-                    match client.get(&path) {
+                    match conn.get(&path) {
                         Ok(resp) if resp.status == 200 => {
                             latencies[slot].push(t0.elapsed().as_secs_f64() * 1e6)
                         }
-                        _ => errors += 1,
+                        Ok(resp) if resp.status == 503 || resp.status == 429 => {
+                            sheds += 1;
+                            client = None;
+                        }
+                        _ => {
+                            errors += 1;
+                            client = None;
+                        }
                     }
                 }
-                (latencies, errors)
+                (latencies, errors, sheds)
             })
         })
         .collect();
 
     let mut by_endpoint: Vec<Vec<f64>> = vec![Vec::new(); ENDPOINTS.len()];
     let mut errors = 0usize;
+    let mut sheds = 0usize;
     for worker in workers {
-        let (latencies, errs) = worker.join().expect("client thread");
+        let (latencies, errs, shed) = worker.join().expect("client thread");
         errors += errs;
+        sheds += shed;
         for (slot, mut l) in latencies.into_iter().enumerate() {
             by_endpoint[slot].append(&mut l);
         }
@@ -172,11 +203,14 @@ fn main() {
         table(&["endpoint", "requests", "mean us", "p50 us", "p99 us", "max us"], &rows)
     );
     println!(
-        "throughput: {:.0} req/s over {:.2} s wall ({} ok, {} errors)",
+        "throughput: {:.0} req/s over {:.2} s wall ({} ok, {} shed, {} errors; \
+         shed rate {:.1}%)",
         total as f64 / elapsed,
         elapsed,
         total,
-        errors
+        sheds,
+        errors,
+        100.0 * sheds as f64 / (total + sheds + errors).max(1) as f64
     );
 
     // Cross-check against the server's own accounting.

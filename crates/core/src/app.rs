@@ -52,6 +52,17 @@ pub enum AppError {
     /// connection lost, timed out): the work itself never completed, so a
     /// scheduler may safely retry it on another worker.
     Transport(String),
+    /// The worker shed the request with `429`/`503` + `Retry-After`: it is
+    /// alive but over capacity. Distinct from [`AppError::Transport`] so a
+    /// scheduler throttles and retries the *same* worker instead of
+    /// evicting a merely-busy one. Carries the server's `Retry-After`
+    /// hint when one was sent.
+    Backpressure {
+        /// What the worker said when it shed the request.
+        message: String,
+        /// The server-provided `Retry-After`, if any.
+        retry_after: Option<std::time::Duration>,
+    },
     /// An error restored verbatim from a campaign event log during resume.
     /// The original variant is gone — only its rendered message survives in
     /// the log — so this displays the stored text unchanged, keeping
@@ -66,6 +77,21 @@ impl AppError {
     pub fn is_transport(&self) -> bool {
         matches!(self, AppError::Transport(_))
     }
+
+    /// True for worker load-shedding (429/503): the scheduler should
+    /// throttle and retry the same worker, never evict it.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, AppError::Backpressure { .. })
+    }
+
+    /// The server's `Retry-After` hint, when this is a backpressure error
+    /// that carried one.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            AppError::Backpressure { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AppError {
@@ -77,6 +103,7 @@ impl fmt::Display for AppError {
             AppError::Setup(m) => write!(f, "setup error: {m}"),
             AppError::Backend(m) => write!(f, "backend error: {m}"),
             AppError::Transport(m) => write!(f, "worker unreachable: {m}"),
+            AppError::Backpressure { message, .. } => write!(f, "worker busy: {message}"),
             AppError::Restored(m) => write!(f, "{m}"),
         }
     }

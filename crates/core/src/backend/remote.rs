@@ -62,6 +62,11 @@ pub struct RemoteStats {
     pub chaos_http500s: u64,
     /// Chaos-discarded responses forcing replay ([`ChaosPolicy::replay`]).
     pub chaos_replays: u64,
+    /// Chaos-trickled request writes ([`ChaosPolicy::slow_reader`]).
+    pub chaos_slow_reads: u64,
+    /// Load-shed responses received (429/503 + `Retry-After`): the worker
+    /// was alive but over capacity, and this client backed off.
+    pub sheds: u64,
 }
 
 impl RemoteStats {
@@ -72,16 +77,20 @@ impl RemoteStats {
             + self.chaos_timeouts
             + self.chaos_http500s
             + self.chaos_replays
+            + self.chaos_slow_reads
     }
 }
 
 /// Whether a failed POST is safe to resend: `Unsent` means the worker
 /// provably never read the request; `Injected` is a chaos fault on a
 /// provably resend-safe path (never sent, or sent where the worker's
-/// idempotent replay cache absorbs the duplicate).
+/// idempotent replay cache absorbs the duplicate); `Throttled` is a
+/// 429/503 load shed — the worker answered, is healthy, and asked us to
+/// slow down (always resend-safe: the request was refused, not executed).
 enum PostError {
     Unsent(AppError),
     Injected(AppError),
+    Throttled(AppError),
     Fatal(AppError),
 }
 
@@ -219,8 +228,17 @@ impl RemoteBackend {
                     self.conn = None; // reconnect and resend
                     std::thread::sleep(self.retry.backoff(retry));
                 }
+                Err(PostError::Throttled(e)) if retry < self.retry.retries => {
+                    // Load shed: the worker answered 429/503, so the
+                    // keep-alive connection is still in sync — wait out the
+                    // server's Retry-After (clamped by the policy) and
+                    // resend on the same connection.
+                    retry += 1;
+                    std::thread::sleep(self.retry.backpressure_delay(e.retry_after(), retry));
+                }
                 Err(PostError::Unsent(e))
                 | Err(PostError::Injected(e))
+                | Err(PostError::Throttled(e))
                 | Err(PostError::Fatal(e)) => {
                     self.conn = None;
                     return Err(e);
@@ -231,10 +249,10 @@ impl RemoteBackend {
 
     fn try_post(&mut self, path: &str, payload: &str) -> Result<Value, PostError> {
         let addr = self.addr.clone();
-        // Chaos rolls happen up front, in a fixed order, every try — four
+        // Chaos rolls happen up front, in a fixed order, every try — five
         // counter ticks per post whatever the outcome — so a fault schedule
         // is a pure function of the request sequence, not of timing.
-        let (inject_timeout, inject_500, inject_disconnect, inject_replay) =
+        let (inject_timeout, inject_500, inject_disconnect, inject_replay, inject_slow) =
             match self.chaos.as_mut() {
                 Some(chaos) => {
                     let p = *chaos.policy();
@@ -243,9 +261,10 @@ impl RemoteBackend {
                         chaos.fires(p.http500),
                         chaos.fires(p.disconnect),
                         chaos.fires(p.replay),
+                        chaos.fires(p.slow_reader),
                     )
                 }
-                None => (false, false, false, false),
+                None => (false, false, false, false, false),
             };
         if inject_timeout {
             // A silent worker: surfaces as a transport error so the
@@ -268,14 +287,36 @@ impl RemoteBackend {
         // completed is unknowable from here, but idempotent replay on the
         // worker makes a re-drive safe.
         let err = |e: std::io::Error| AppError::Transport(format!("{addr}{path}: {e}"));
+        let stall = self.chaos.as_ref().map(|c| Duration::from_millis(c.policy().stall_ms));
+        if inject_slow {
+            self.stats.chaos_slow_reads += 1;
+        }
         let conn = self.connect().map_err(PostError::Unsent)?;
-        write!(
-            conn.writer,
-            "POST {path} HTTP/1.1\r\nHost: lab\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{payload}",
-            payload.len()
-        )
-        .map_err(|e| PostError::Unsent(err(e)))?;
+        if inject_slow {
+            // A slow reader: trickle the request out in two halves with a
+            // stall in between, exercising the worker's header/body read
+            // deadlines. The request still completes, so this is
+            // retry-safe by construction.
+            let head = format!(
+                "POST {path} HTTP/1.1\r\nHost: lab\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n",
+                payload.len()
+            );
+            let (first, rest) = payload.as_bytes().split_at(payload.len() / 2);
+            conn.writer.write_all(head.as_bytes()).map_err(|e| PostError::Unsent(err(e)))?;
+            conn.writer.write_all(first).map_err(|e| PostError::Unsent(err(e)))?;
+            conn.writer.flush().map_err(|e| PostError::Unsent(err(e)))?;
+            std::thread::sleep(stall.unwrap_or(Duration::from_millis(25)));
+            conn.writer.write_all(rest).map_err(|e| PostError::Unsent(err(e)))?;
+        } else {
+            write!(
+                conn.writer,
+                "POST {path} HTTP/1.1\r\nHost: lab\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            )
+            .map_err(|e| PostError::Unsent(err(e)))?;
+        }
         conn.writer.flush().map_err(|e| PostError::Unsent(err(e)))?;
 
         if inject_disconnect {
@@ -316,8 +357,10 @@ impl RemoteBackend {
             line.split_ascii_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
                 PostError::Fatal(AppError::Backend(format!("{addr}{path}: bad status line")))
             })?;
-        // Headers: only Content-Length matters.
+        // Headers: Content-Length frames the body; Retry-After (seconds
+        // form) is the server's backoff hint on a load shed.
         let mut length: Option<usize> = None;
+        let mut retry_after: Option<u64> = None;
         loop {
             let mut header = String::new();
             conn.reader.read_line(&mut header).map_err(|e| PostError::Fatal(err(e)))?;
@@ -326,8 +369,11 @@ impl RemoteBackend {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     length = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
@@ -347,6 +393,16 @@ impl RemoteBackend {
             ))));
         }
         let text = String::from_utf8_lossy(&body);
+        if status == 429 || status == 503 {
+            // A load shed, not a failure: the worker is alive and asked us
+            // to slow down. Surfaced as backpressure so the caller throttles
+            // this worker instead of evicting it.
+            self.stats.sheds += 1;
+            return Err(PostError::Throttled(AppError::Backpressure {
+                message: format!("{addr}{path}: HTTP {status}: {}", text.trim()),
+                retry_after: retry_after.map(Duration::from_secs),
+            }));
+        }
         if status >= 400 {
             return Err(PostError::Fatal(AppError::Backend(format!(
                 "{addr}{path}: HTTP {status}: {}",

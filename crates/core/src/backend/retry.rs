@@ -121,6 +121,18 @@ impl RetryPolicy {
         Duration::from_nanos(nanos - cut)
     }
 
+    /// The wait before retrying a load-shed request (HTTP 429/503):
+    /// honors the server's `Retry-After` hint when one was sent, clamped
+    /// to `4 × max_backoff` so a confused server cannot park a client
+    /// indefinitely; without a hint it falls back to the plain
+    /// exponential [`backoff`](RetryPolicy::backoff) for retry `k`.
+    pub fn backpressure_delay(&self, hint: Option<Duration>, retry: u32) -> Duration {
+        match hint {
+            Some(hint) => hint.min(self.max_backoff.saturating_mul(4)),
+            None => self.backoff(retry),
+        }
+    }
+
     /// The full wait schedule, one entry per in-budget retry.
     pub fn schedule(&self) -> Vec<Duration> {
         (1..=self.retries).map(|k| self.backoff(k)).collect()
@@ -242,6 +254,28 @@ mod tests {
         // that's the whole point of jitter.
         let schedules: Vec<_> = (0..8u64).map(|w| p.with_jitter(500, w).schedule()).collect();
         assert!(schedules.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn backpressure_delay_honors_clamped_retry_after() {
+        let p = RetryPolicy {
+            retries: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        // An in-range hint is used verbatim.
+        assert_eq!(
+            p.backpressure_delay(Some(Duration::from_millis(300)), 1),
+            Duration::from_millis(300)
+        );
+        // A hostile hint clamps to 4 × max_backoff.
+        assert_eq!(
+            p.backpressure_delay(Some(Duration::from_secs(3600)), 1),
+            Duration::from_millis(800)
+        );
+        // No hint: the plain exponential schedule.
+        assert_eq!(p.backpressure_delay(None, 2), p.backoff(2));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct WorkerProgress {
     /// Chaos faults injected into this worker's traffic (backfilled from
     /// the `campaign_closed` scheduler payload).
     pub chaos: u64,
+    /// Load-shed responses (429/503) this worker returned (backfilled from
+    /// the `campaign_closed` scheduler payload).
+    pub shed: u64,
+    /// Attempts the driver throttled — waited out `Retry-After` and
+    /// requeued instead of evicting (backfilled like `chaos`).
+    pub throttled: u64,
     /// Scenarios still queued for this worker at its last claim.
     pub queue_depth: u64,
     /// Sequence number of the last event mentioning this worker.
@@ -181,6 +187,9 @@ impl ProgressModel {
                             let Some(url) = e.get("url").and_then(Value::as_str) else { continue };
                             let w = touch(&mut self.workers, seq, url);
                             w.chaos = e.get("chaos").and_then(Value::as_i64).unwrap_or(0) as u64;
+                            w.shed = e.get("shed").and_then(Value::as_i64).unwrap_or(0) as u64;
+                            w.throttled =
+                                e.get("throttled").and_then(Value::as_i64).unwrap_or(0) as u64;
                             w.quarantined = w
                                 .quarantined
                                 .max(e.get("quarantined").and_then(Value::as_i64).unwrap_or(0)
@@ -244,7 +253,7 @@ impl ProgressModel {
             for (name, w) in &self.workers {
                 let _ = writeln!(
                     out,
-                    "  {:<24} q={} steal={} stolen={} retry={} evict={} readmit={} chaos={} quar={} lag={}",
+                    "  {:<24} q={} steal={} stolen={} retry={} evict={} readmit={} chaos={} quar={} shed={} throttled={} lag={}",
                     trim_to(name, 24),
                     w.queue_depth,
                     w.steals,
@@ -254,6 +263,8 @@ impl ProgressModel {
                     w.readmissions,
                     w.chaos,
                     w.quarantined,
+                    w.shed,
+                    w.throttled,
                     self.seq.saturating_sub(w.last_seq),
                 );
             }
@@ -337,6 +348,13 @@ fn scheduler_summary(v: &Value) -> Vec<String> {
             "chaos: {} injected faults, {} quarantined",
             get("chaos_injected"),
             get("quarantined"),
+        ));
+    }
+    if get("sheds") > 0 || get("throttled") > 0 {
+        out.push(format!(
+            "overload: {} shed responses, {} throttled attempts",
+            get("sheds"),
+            get("throttled"),
         ));
     }
     if let Some(phases) = v.get("phases") {
@@ -467,6 +485,47 @@ mod tests {
         assert!(text.contains("2/2 scenarios"), "{text}");
         assert!(text.contains("12.5/s"), "{text}");
         assert!(text.contains("w:1"), "{text}");
+    }
+
+    #[test]
+    fn closed_payload_backfills_shed_and_throttled() {
+        let mut m = ProgressModel::new();
+        m.apply(
+            1,
+            &CampaignEvent::CampaignOpened {
+                campaign: "demo".into(),
+                executor: "scheduler".into(),
+                workers: vec!["w:1".into()],
+                specs: vec![Value::map()],
+            },
+        );
+        let mut entry = Value::map();
+        entry.set("url", "w:1");
+        entry.set("chaos", 3i64);
+        entry.set("shed", 7i64);
+        entry.set("throttled", 2i64);
+        entry.set("quarantined", 0i64);
+        let mut workers = Value::seq();
+        workers.push(entry);
+        let mut sched = Value::map();
+        sched.set("workers", workers);
+        sched.set("sheds", 7i64);
+        sched.set("throttled", 2i64);
+        m.apply(
+            2,
+            &CampaignEvent::CampaignClosed {
+                scenarios: 1,
+                failed: 0,
+                best_score: Some(1.0),
+                scheduler: Some(sched),
+            },
+        );
+        assert_eq!(m.workers["w:1"].shed, 7);
+        assert_eq!(m.workers["w:1"].throttled, 2);
+        let text = m.render(120, None);
+        assert!(text.contains("shed=7"), "{text}");
+        assert!(text.contains("throttled=2"), "{text}");
+        assert!(text.contains("overload: 7 shed responses, 2 throttled attempts"), "{text}");
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct WorkerStats {
     pub wire_reconnects: u64,
     /// Faults the chaos policy injected into this worker's wire traffic.
     pub chaos_injected: u64,
+    /// Load-shed responses (429/503) this worker returned at the wire
+    /// level; most are absorbed by the backend's in-budget resends.
+    pub sheds: u64,
+    /// Scenario attempts that surfaced backpressure to the driver, which
+    /// then waited out the worker's `Retry-After` and requeued the work
+    /// instead of evicting the (alive, merely busy) worker.
+    pub throttled: u64,
     /// Scenarios this worker's driver quarantined — failed deterministically
     /// after exhausting the per-scenario failure budget instead of being
     /// requeued forever.
@@ -155,6 +162,16 @@ impl SchedulerReport {
         self.workers.iter().map(|w| w.quarantined).sum()
     }
 
+    /// Wire-level load-shed responses (429/503) observed, pool-wide.
+    pub fn total_sheds(&self) -> u64 {
+        self.workers.iter().map(|w| w.sheds).sum()
+    }
+
+    /// Scenario attempts throttled (waited out and requeued), pool-wide.
+    pub fn total_throttled(&self) -> u64 {
+        self.workers.iter().map(|w| w.throttled).sum()
+    }
+
     /// Measured samples per wall-clock second.
     pub fn samples_per_sec(&self) -> f64 {
         let s = self.wall.as_secs_f64();
@@ -181,6 +198,8 @@ impl SchedulerReport {
         v.set("evictions", self.total_evictions() as i64);
         v.set("chaos_injected", self.total_chaos_injected() as i64);
         v.set("quarantined", self.total_quarantined() as i64);
+        v.set("sheds", self.total_sheds() as i64);
+        v.set("throttled", self.total_throttled() as i64);
         let mut phases = Value::map();
         phases.set("deal_s", self.phases.deal.as_secs_f64());
         phases.set("steal_s", self.phases.steal.as_secs_f64());
@@ -201,6 +220,8 @@ impl SchedulerReport {
             e.set("reconnects", w.wire_reconnects as i64);
             e.set("chaos", w.chaos_injected as i64);
             e.set("quarantined", w.quarantined as i64);
+            e.set("shed", w.sheds as i64);
+            e.set("throttled", w.throttled as i64);
             e.set("busy_s", w.busy.as_secs_f64());
             workers.push(e);
         }
@@ -228,6 +249,12 @@ impl SchedulerReport {
                 }
                 if w.quarantined > 0 {
                     line.push_str(&format!(", {} quarantined", w.quarantined));
+                }
+                if w.sheds > 0 {
+                    line.push_str(&format!(", {} shed", w.sheds));
+                }
+                if w.throttled > 0 {
+                    line.push_str(&format!(", {} throttled", w.throttled));
                 }
                 line
             })
@@ -756,8 +783,47 @@ fn drive_worker(
             s.wire_resends += wire.resends;
             s.wire_reconnects += wire.reconnects;
             s.chaos_injected += wire.injected();
+            s.sheds += wire.sheds;
         }
         match outcome {
+            Err(e) if e.is_backpressure() => {
+                // Backpressure, not death: the worker answered 429/503 past
+                // the backend's in-request retry budget. It is alive and
+                // merely over capacity, so it stays in the healthy pool
+                // (no eviction, no probing) — the driver waits out the
+                // server's Retry-After and requeues the scenario for a
+                // clean re-drive. Bounded by the same failure budget as
+                // transport deaths so a permanently-shedding worker cannot
+                // livelock the campaign.
+                let failed_attempts = attempts[index].load(Ordering::Relaxed);
+                if failure_budget > 0 && failed_attempts >= failure_budget {
+                    queue.complete_one();
+                    {
+                        let mut s = stats.lock();
+                        s.retries += 1;
+                        s.retry_busy += busy;
+                        s.quarantined += 1;
+                    }
+                    let outcome: Result<ScenarioOutcome, AppError> = Err(AppError::Backend(
+                        format!("quarantined after {failed_attempts} throttled attempts (last: {e})"),
+                    ));
+                    if let Some(log) = events {
+                        log.append(&finish_event(index, &spec, attempt, url, &outcome));
+                    }
+                    if tx.send((index, ScenarioResult { spec, index, outcome })).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                queue.requeue(index);
+                {
+                    let mut s = stats.lock();
+                    s.retries += 1;
+                    s.throttled += 1;
+                    s.retry_busy += busy;
+                }
+                std::thread::sleep(retry.backpressure_delay(e.retry_after(), 1));
+            }
             Err(e) if e.is_transport() => {
                 // `attempts` counts starts, so the load already includes
                 // this just-failed attempt.

@@ -73,7 +73,16 @@ pub struct ChaosPolicy {
     /// P(hang up a `/v1` connection without answering) — worker side.
     /// Exercises eviction/readmission/steal; quarantine bounds the damage.
     pub kill: f64,
-    /// How long a `stall` fault sleeps, in milliseconds.
+    /// P(shed a `/v1` request with a 429 + `Retry-After`, as if a quota
+    /// had run dry) — worker side, retry-safe (the client treats it as
+    /// backpressure and retries the same worker).
+    pub shed: f64,
+    /// P(trickle the request onto the wire in two halves with a pause
+    /// between them, simulating a slow client) — client side, retry-safe
+    /// (slower, never wrong; exercises the server's read deadlines).
+    pub slow_reader: f64,
+    /// How long a `stall` fault sleeps, in milliseconds. Also the pause a
+    /// `slow_reader` fault inserts mid-request.
     pub stall_ms: u64,
 }
 
@@ -90,6 +99,8 @@ impl Default for ChaosPolicy {
             stall: 0.0,
             error: 0.0,
             kill: 0.0,
+            shed: 0.0,
+            slow_reader: 0.0,
             stall_ms: 25,
         }
     }
@@ -137,6 +148,8 @@ impl ChaosPolicy {
                 "stall" => prob(&mut policy.stall)?,
                 "error" => prob(&mut policy.error)?,
                 "kill" => prob(&mut policy.kill)?,
+                "shed" => prob(&mut policy.shed)?,
+                "slow_reader" => prob(&mut policy.slow_reader)?,
                 other => return Err(format!("chaos spec: unknown key `{other}`")),
             }
         }
@@ -154,6 +167,8 @@ impl ChaosPolicy {
             self.stall,
             self.error,
             self.kill,
+            self.shed,
+            self.slow_reader,
         ]
         .iter()
         .all(|&p| p == 0.0)
@@ -233,6 +248,9 @@ pub enum WorkerFault {
     Error,
     /// Hang up without answering (exercises eviction/readmission).
     Kill,
+    /// Refuse with a 429 + `Retry-After` (deterministic overload; the
+    /// client treats it as backpressure, not a scenario failure).
+    Shed,
 }
 
 /// The worker-side chaos stream: one shared atomic counter rolled per
@@ -257,8 +275,9 @@ impl ChaosClock {
     }
 
     /// Roll the next tick into a [`WorkerFault`]. One uniform draw is cut
-    /// by cumulative probability — kill, then error, then stall — so the
-    /// per-request fault mix matches the spec exactly.
+    /// by cumulative probability — kill, then error, then shed, then
+    /// stall — so the per-request fault mix matches the spec exactly (and
+    /// a zero-probability family never perturbs the others' schedule).
     pub fn decide(&self) -> WorkerFault {
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
         let u = counter::unit_f64(counter::hash(self.policy.seed, n));
@@ -267,7 +286,9 @@ impl ChaosClock {
             WorkerFault::Kill
         } else if u < p.kill + p.error {
             WorkerFault::Error
-        } else if u < p.kill + p.error + p.stall {
+        } else if u < p.kill + p.error + p.shed {
+            WorkerFault::Shed
+        } else if u < p.kill + p.error + p.shed + p.stall {
             WorkerFault::Stall(Duration::from_millis(p.stall_ms))
         } else {
             WorkerFault::None
@@ -360,7 +381,8 @@ mod tests {
     fn parse_round_trips_every_key() {
         let p = ChaosPolicy::parse(
             "seed=42, connect=0.1, disconnect=0.2, timeout=0.05, http500=0.3, \
-             replay=0.15, stall=0.4, error=0.25, kill=0.5, stall_ms=75",
+             replay=0.15, stall=0.4, error=0.25, kill=0.5, shed=0.35, \
+             slow_reader=0.45, stall_ms=75",
         )
         .unwrap();
         assert_eq!(p.seed, 42);
@@ -372,9 +394,16 @@ mod tests {
         assert_eq!(p.stall, 0.4);
         assert_eq!(p.error, 0.25);
         assert_eq!(p.kill, 0.5);
+        assert_eq!(p.shed, 0.35);
+        assert_eq!(p.slow_reader, 0.45);
         assert_eq!(p.stall_ms, 75);
         assert!(!p.is_noop());
         assert!(!p.is_retry_safe());
+        // The overload family alone is retry-safe: sheds are backpressure,
+        // slow reads are just slow.
+        let overload = ChaosPolicy::parse("seed=1,shed=0.3,slow_reader=0.2").unwrap();
+        assert!(!overload.is_noop());
+        assert!(overload.is_retry_safe());
     }
 
     #[test]
@@ -424,9 +453,10 @@ mod tests {
 
     #[test]
     fn clock_rates_track_the_spec() {
-        let p = ChaosPolicy::parse("seed=3,kill=0.2,error=0.1,stall=0.3,stall_ms=5").unwrap();
+        let p = ChaosPolicy::parse("seed=3,kill=0.2,error=0.1,shed=0.15,stall=0.3,stall_ms=5")
+            .unwrap();
         let clock = ChaosClock::new(p);
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         for _ in 0..10_000 {
             match clock.decide() {
                 WorkerFault::Kill => counts[0] += 1,
@@ -436,13 +466,15 @@ mod tests {
                     counts[2] += 1;
                 }
                 WorkerFault::None => counts[3] += 1,
+                WorkerFault::Shed => counts[4] += 1,
             }
         }
         let near = |n: usize, p: f64| (n as f64 / 10_000.0 - p).abs() < 0.03;
         assert!(near(counts[0], 0.2), "kill rate {}", counts[0]);
         assert!(near(counts[1], 0.1), "error rate {}", counts[1]);
         assert!(near(counts[2], 0.3), "stall rate {}", counts[2]);
-        assert!(near(counts[3], 0.4), "clean rate {}", counts[3]);
+        assert!(near(counts[3], 0.25), "clean rate {}", counts[3]);
+        assert!(near(counts[4], 0.15), "shed rate {}", counts[4]);
         // Same seed, fresh clock → identical sequence.
         let a: Vec<WorkerFault> = {
             let c = ChaosClock::new(p);

@@ -35,12 +35,33 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h ^ (bytes.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
-/// Thread-safe content-addressed store.
+/// Map plus its running byte total, guarded by one lock so the total can
+/// never drift from the map contents.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Blob → (bytes, LRU stamp). Stamps come from a shared clock; the
+    /// smallest stamp is the least recently touched blob.
+    blobs: HashMap<BlobRef, (Bytes, u64)>,
+    /// Sum of every in-memory blob's length.
+    bytes: usize,
+}
+
+/// Thread-safe content-addressed store with an optional memory ceiling:
+/// with a spill directory and [`BlobStore::with_mem_cap`], least recently
+/// used blobs are evicted from memory once the ceiling is crossed (their
+/// spilled `.bin` file remains the durable copy) and transparently
+/// reloaded — hash-verified — on the next `get`.
 #[derive(Debug, Default)]
 pub struct BlobStore {
-    blobs: Mutex<HashMap<BlobRef, Bytes>>,
+    inner: Mutex<Inner>,
     spill_dir: Option<PathBuf>,
     spill_ready: std::sync::atomic::AtomicBool,
+    /// In-memory byte ceiling; `0` = unbounded. Only enforced when a
+    /// spill directory makes eviction lossless.
+    mem_cap: usize,
+    clock: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
+    reloads: std::sync::atomic::AtomicU64,
 }
 
 impl BlobStore {
@@ -53,11 +74,20 @@ impl BlobStore {
     /// missing parents) is created on the first write, so a store may be
     /// configured with a path that does not exist yet.
     pub fn with_spill_dir(dir: impl Into<PathBuf>) -> BlobStore {
-        BlobStore {
-            blobs: Mutex::new(HashMap::new()),
-            spill_dir: Some(dir.into()),
-            spill_ready: std::sync::atomic::AtomicBool::new(false),
+        BlobStore { spill_dir: Some(dir.into()), ..BlobStore::default() }
+    }
+
+    /// Builder: cap in-memory blob bytes at `cap` (`0` = unbounded).
+    /// Without a spill directory the cap is ignored — evicting a blob
+    /// that exists nowhere else would lose it. Applies immediately to
+    /// anything already held (e.g. after [`BlobStore::open_spill_dir`]).
+    pub fn with_mem_cap(self, cap: usize) -> BlobStore {
+        let store = BlobStore { mem_cap: cap, ..self };
+        {
+            let mut inner = store.inner.lock();
+            store.enforce(&mut inner);
         }
+        store
     }
 
     /// Reopen a spill directory: load every previously spilled blob back
@@ -68,7 +98,7 @@ impl BlobStore {
         std::fs::create_dir_all(&dir)?;
         let store = BlobStore::with_spill_dir(&dir);
         store.spill_ready.store(true, std::sync::atomic::Ordering::Release);
-        let mut blobs = store.blobs.lock();
+        let mut inner = store.inner.lock();
         for entry in std::fs::read_dir(&dir)? {
             let path = entry?.path();
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -78,11 +108,38 @@ impl BlobStore {
             let data = Bytes::from(std::fs::read(&path)?);
             let r = BlobRef::from_hash(fnv64(&data));
             if r.0.replace(':', "_") + ".bin" == name {
-                blobs.insert(r, data);
+                let stamp = store.tick();
+                inner.bytes += data.len();
+                inner.blobs.insert(r, (data, stamp));
             }
         }
-        drop(blobs);
+        drop(inner);
         Ok(store)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Evict least-recently-used blobs until memory fits the cap. Only
+    /// meaningful with a spill directory: every in-memory blob of such a
+    /// store already has its durable `.bin` copy, so eviction is lossless.
+    fn enforce(&self, inner: &mut Inner) {
+        if self.mem_cap == 0 || self.spill_dir.is_none() {
+            return;
+        }
+        while inner.bytes > self.mem_cap && !inner.blobs.is_empty() {
+            let victim = inner
+                .blobs
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(r, _)| r.clone())
+                .expect("non-empty map has a minimum");
+            if let Some((data, _)) = inner.blobs.remove(&victim) {
+                inner.bytes -= data.len();
+                self.evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
     }
 
     fn spill(&self, r: &BlobRef, data: &Bytes) {
@@ -101,28 +158,57 @@ impl BlobStore {
     /// Store a blob, returning its reference (idempotent).
     pub fn put(&self, data: Bytes) -> BlobRef {
         let r = BlobRef::from_hash(fnv64(&data));
-        let mut blobs = self.blobs.lock();
-        if blobs.contains_key(&r) {
+        let mut inner = self.inner.lock();
+        if let Some((_, stamp)) = inner.blobs.get_mut(&r) {
+            *stamp = self.tick();
             return r;
         }
         self.spill(&r, &data);
-        blobs.insert(r.clone(), data);
+        inner.bytes += data.len();
+        let stamp = self.tick();
+        inner.blobs.insert(r.clone(), (data, stamp));
+        self.enforce(&mut inner);
         r
     }
 
-    /// Fetch a blob.
+    /// Fetch a blob. A memory miss in a spill-directory store falls back
+    /// to the blob's `.bin` file (an LRU-evicted blob lives only there),
+    /// verifies the content hash against the reference, and caches it
+    /// back in memory.
     pub fn get(&self, r: &BlobRef) -> Option<Bytes> {
-        self.blobs.lock().get(r).cloned()
+        {
+            let mut inner = self.inner.lock();
+            if let Some((data, stamp)) = inner.blobs.get_mut(r) {
+                *stamp = self.tick();
+                return Some(data.clone());
+            }
+        }
+        let dir = self.spill_dir.as_ref()?;
+        let path = dir.join(format!("{}.bin", r.0.replace(':', "_")));
+        let data = Bytes::from(std::fs::read(path).ok()?);
+        if BlobRef::from_hash(fnv64(&data)) != *r {
+            return None; // tampered or torn spill file
+        }
+        self.reloads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if !inner.blobs.contains_key(r) {
+            inner.bytes += data.len();
+            let stamp = self.tick();
+            inner.blobs.insert(r.clone(), (data.clone(), stamp));
+            self.enforce(&mut inner);
+        }
+        Some(data)
     }
 
-    /// References of every blob held, in unspecified order.
+    /// References of every blob held in memory, in unspecified order.
     pub fn refs(&self) -> Vec<BlobRef> {
-        self.blobs.lock().keys().cloned().collect()
+        self.inner.lock().blobs.keys().cloned().collect()
     }
 
-    /// Snapshot of every (reference, bytes) pair, in unspecified order.
+    /// Snapshot of every in-memory (reference, bytes) pair, in
+    /// unspecified order.
     pub fn entries(&self) -> Vec<(BlobRef, Bytes)> {
-        self.blobs.lock().iter().map(|(r, b)| (r.clone(), b.clone())).collect()
+        self.inner.lock().blobs.iter().map(|(r, (b, _))| (r.clone(), b.clone())).collect()
     }
 
     /// Copy every blob into `dst` (references are content hashes, so they
@@ -133,19 +219,35 @@ impl BlobStore {
         }
     }
 
-    /// Number of distinct blobs held.
+    /// Number of distinct blobs held in memory.
     pub fn len(&self) -> usize {
-        self.blobs.lock().len()
+        self.inner.lock().blobs.len()
     }
 
-    /// True when no blobs are held.
+    /// True when no blobs are held in memory.
     pub fn is_empty(&self) -> bool {
-        self.blobs.lock().is_empty()
+        self.inner.lock().blobs.is_empty()
     }
 
-    /// Total bytes held in memory.
+    /// Total bytes held in memory (never exceeds the cap for long: `put`
+    /// and `get` evict back down before returning).
     pub fn total_bytes(&self) -> usize {
-        self.blobs.lock().values().map(Bytes::len).sum()
+        self.inner.lock().bytes
+    }
+
+    /// The configured in-memory byte ceiling (`0` = unbounded).
+    pub fn mem_cap(&self) -> usize {
+        self.mem_cap
+    }
+
+    /// Blobs evicted from memory to their spill files so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Evicted blobs reloaded (hash-verified) from spill files so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -227,6 +329,38 @@ mod tests {
         assert_eq!(reopened.len(), 1);
         assert!(reopened.get(&a).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_cap_evicts_lru_and_reloads_on_get() {
+        let dir = std::env::temp_dir().join(format!("sdl-blob-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = BlobStore::with_spill_dir(&dir).with_mem_cap(24);
+        let a = store.put(Bytes::from(vec![b'a'; 10]));
+        let b = store.put(Bytes::from(vec![b'b'; 10]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes(), 20);
+        store.get(&a).unwrap(); // touch a: b becomes least recently used
+        let c = store.put(Bytes::from(vec![b'c'; 10])); // 30 > 24 → evict b
+        assert!(store.total_bytes() <= 24, "memory must stay under the cap");
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get(&a).is_some() || store.get(&c).is_some());
+        // The evicted blob is served from (and verified against) its
+        // spill file, then cached back under the same cap.
+        assert_eq!(store.get(&b).unwrap(), Bytes::from(vec![b'b'; 10]));
+        assert!(store.reloads() >= 1);
+        assert!(store.total_bytes() <= 24, "reload must not break the cap");
+        assert_eq!(store.mem_cap(), 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_cap_without_spill_dir_is_ignored() {
+        let store = BlobStore::in_memory().with_mem_cap(4);
+        let r = store.put(Bytes::from_static(b"bigger than four"));
+        // Evicting here would lose the only copy, so the cap is inert.
+        assert_eq!(store.get(&r).unwrap(), Bytes::from_static(b"bigger than four"));
+        assert_eq!(store.evictions(), 0);
     }
 
     #[test]

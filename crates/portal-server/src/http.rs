@@ -6,7 +6,9 @@
 //! connections, and `Content-Length`-framed responses. No chunked
 //! encoding, no TLS.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on one request line or header line, bytes.
 const MAX_LINE: usize = 8 * 1024;
@@ -259,6 +261,14 @@ impl Response {
         Response::new(status, "text/plain; charset=utf-8", format!("{message}\n"))
     }
 
+    /// A load-shedding refusal: `429` (per-tenant quota) or `503`
+    /// (capacity), always carrying a `Retry-After` hint in whole seconds
+    /// so well-behaved clients back off instead of hammering.
+    pub fn shed(status: u16, message: &str, retry_after: Duration) -> Response {
+        Response::error(status, message)
+            .with_header("Retry-After", retry_after.as_secs().max(1))
+    }
+
     /// A connection hangup: the handler decided to drop the socket without
     /// answering (chaos `kill` fault). The connection loop writes nothing
     /// and closes; the status/body here never reach the wire.
@@ -279,8 +289,11 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "",
         }
     }
@@ -305,6 +318,81 @@ pub fn write_response(
         w.write_all(&resp.body)?;
     }
     w.flush()
+}
+
+/// Slow-loris protection: a [`Read`] adapter over a borrowed `TcpStream`
+/// that enforces two wall-clock bounds per request:
+///
+/// * while *idle* (no byte of the next request seen yet) each read waits
+///   at most `idle_timeout` — a silent keep-alive connection is released
+///   after that;
+/// * from the first byte of a request, every subsequent read is capped by
+///   the time remaining until `now + request_deadline` — a client
+///   trickling one header byte per second cannot pin a pool thread past
+///   the deadline, because the socket timeout is re-armed with the
+///   *remaining* time, not a fresh per-read allowance.
+///
+/// Call [`DeadlineStream::start_request`] before parsing each request so
+/// the deadline re-arms per request, not per connection. Reads served
+/// from the `BufReader` above this adapter (pipelined bytes) don't touch
+/// the clock, which only makes the bound more generous, never tighter.
+pub struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    idle_timeout: Duration,
+    request_deadline: Duration,
+    deadline: Option<Instant>,
+}
+
+impl<'a> DeadlineStream<'a> {
+    /// Wrap `stream`; both durations are clamped to at least 1 ms so a
+    /// zero config can't turn every read into an instant timeout.
+    pub fn new(
+        stream: &'a TcpStream,
+        idle_timeout: Duration,
+        request_deadline: Duration,
+    ) -> DeadlineStream<'a> {
+        DeadlineStream {
+            stream,
+            idle_timeout: idle_timeout.max(Duration::from_millis(1)),
+            request_deadline: request_deadline.max(Duration::from_millis(1)),
+            deadline: None,
+        }
+    }
+
+    /// Reset to the idle phase; the next byte read arms a fresh deadline.
+    pub fn start_request(&mut self) {
+        self.deadline = None;
+    }
+
+    /// True when the last read failed because the request deadline
+    /// expired (as opposed to an idle keep-alive timeout).
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.idle_timeout,
+            Some(deadline) => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request read deadline exceeded",
+                    ));
+                }
+                left
+            }
+        };
+        self.stream.set_read_timeout(Some(timeout))?;
+        let n = self.stream.read(buf)?;
+        if self.deadline.is_none() && n > 0 {
+            self.deadline = Some(Instant::now() + self.request_deadline);
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]

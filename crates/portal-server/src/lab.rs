@@ -31,7 +31,7 @@ use sdl_core::{
     wire, AppConfig, AppError, ChaosClock, ChaosPolicy, LabBackend, SimBackend, WorkerFault,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,63 @@ use std::time::{Duration, Instant};
 /// process that crashed without posting `/v1/close` must not leak a
 /// simulated workcell in the worker forever).
 pub const SESSION_TTL: Duration = Duration::from_secs(30 * 60);
+
+/// Most token buckets kept before idle ones are pruned (a tenant id churn
+/// attack must not grow the quota table unboundedly).
+const MAX_TENANTS: usize = 1024;
+
+/// Per-tenant token-bucket quota: `rate` requests per second refilling a
+/// bucket of `burst` tokens; each admitted `/v1` POST costs one token.
+///
+/// The tenant key is the lab session id (`?session=`), so every open
+/// session — one scenario attempt of one campaign — gets its own bucket;
+/// session creation itself draws from a shared `"open"` bucket, which is
+/// what bounds how fast new tenants can appear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaPolicy {
+    /// Sustained refill rate, tokens (requests) per second.
+    pub rate: f64,
+    /// Bucket capacity — the tolerated burst above the sustained rate.
+    pub burst: f64,
+}
+
+impl QuotaPolicy {
+    /// `rate` requests/second with a burst of the same size (min 1).
+    pub fn per_second(rate: f64) -> QuotaPolicy {
+        QuotaPolicy { rate, burst: rate.max(1.0) }
+    }
+
+    /// Parse `"RATE"` or `"RATE:BURST"` (e.g. `"5"`, `"2.5:20"`).
+    pub fn parse(spec: &str) -> Result<QuotaPolicy, String> {
+        let (rate, burst) = match spec.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (spec, None),
+        };
+        let rate: f64 =
+            rate.trim().parse().map_err(|_| format!("bad quota rate '{}'", rate.trim()))?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("quota rate must be positive, got {rate}"));
+        }
+        let burst = match burst {
+            Some(b) => {
+                let b: f64 =
+                    b.trim().parse().map_err(|_| format!("bad quota burst '{}'", b.trim()))?;
+                if !b.is_finite() || b < 1.0 {
+                    return Err(format!("quota burst must be >= 1, got {b}"));
+                }
+                b
+            }
+            None => rate.max(1.0),
+        };
+        Ok(QuotaPolicy { rate, burst })
+    }
+}
+
+/// One tenant's token bucket.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
 
 /// One hosted lab: the simulated backend plus idempotency bookkeeping.
 struct LabSession {
@@ -73,6 +130,17 @@ pub struct LabMetrics {
     chaos_errors: AtomicU64,
     /// Chaos-injected connection hangups (`--chaos kill=…`).
     chaos_kills: AtomicU64,
+    /// Chaos-injected 429 sheds (`--chaos shed=…`).
+    chaos_sheds: AtomicU64,
+    /// Every `/v1` request refused with 429/503 instead of being served
+    /// (quota, in-flight cap, drain, and chaos sheds combined).
+    shed_total: AtomicU64,
+    /// Requests refused because the tenant's token bucket ran dry (429).
+    quota_denials: AtomicU64,
+    /// Batches refused because the in-flight cap was reached (503).
+    capacity_denials: AtomicU64,
+    /// Session-open requests refused because the host is draining (503).
+    drain_denials: AtomicU64,
 }
 
 impl LabMetrics {
@@ -101,6 +169,32 @@ impl LabMetrics {
         self.chaos_stalls.load(Ordering::Relaxed)
             + self.chaos_errors.load(Ordering::Relaxed)
             + self.chaos_kills.load(Ordering::Relaxed)
+            + self.chaos_sheds.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused with 429/503 instead of served (all causes).
+    pub fn shed(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused because a tenant's token bucket ran dry.
+    pub fn quota_denials(&self) -> u64 {
+        self.quota_denials.load(Ordering::Relaxed)
+    }
+
+    /// Batches refused at the in-flight cap.
+    pub fn capacity_denials(&self) -> u64 {
+        self.capacity_denials.load(Ordering::Relaxed)
+    }
+
+    /// Session opens refused while draining.
+    pub fn drain_denials(&self) -> u64 {
+        self.drain_denials.load(Ordering::Relaxed)
+    }
+
+    fn count_shed(&self, cause: &AtomicU64) {
+        cause.fetch_add(1, Ordering::Relaxed);
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -133,6 +227,16 @@ pub struct LabHost {
     /// Worker-side fault injection (`sdl-lab serve --chaos`): rolled once
     /// per `/v1` request in arrival order.
     chaos: Option<ChaosClock>,
+    /// Per-tenant admission quota (`serve --quota`); `None` admits all.
+    quota: Option<QuotaPolicy>,
+    /// Live token buckets, keyed by tenant (session id, or `"open"` for
+    /// session creation).
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+    /// Most batches executing at once before `/v1/batch` sheds with 503;
+    /// 0 = unbounded.
+    max_inflight: u64,
+    /// Graceful drain: refuse new sessions, finish in-flight work.
+    draining: AtomicBool,
 }
 
 impl std::fmt::Debug for LabHost {
@@ -155,6 +259,66 @@ impl LabHost {
     pub fn with_chaos(mut self, policy: ChaosPolicy) -> LabHost {
         self.chaos = if policy.is_noop() { None } else { Some(ChaosClock::new(policy)) };
         self
+    }
+
+    /// Enforce a per-tenant token-bucket quota on `/v1` POSTs: over-quota
+    /// requests get an immediate `429` with `Retry-After` instead of
+    /// queuing.
+    pub fn with_quota(mut self, quota: QuotaPolicy) -> LabHost {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Cap concurrently executing batches; past the cap `/v1/batch` sheds
+    /// with `503` + `Retry-After` instead of piling more lab work onto the
+    /// pool. 0 (the default) means unbounded.
+    pub fn with_max_inflight(mut self, max: u64) -> LabHost {
+        self.max_inflight = max;
+        self
+    }
+
+    /// Enter drain mode: new sessions are refused with `503`, in-flight
+    /// batches and closes on existing sessions keep being served so no
+    /// accepted work is lost.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`LabHost::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Charge one token to `tenant`'s bucket; on an empty bucket, the
+    /// error is how long until one token refills (the `Retry-After` hint).
+    fn admit(&self, tenant: &str) -> Result<(), Duration> {
+        let Some(quota) = self.quota else { return Ok(()) };
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        if buckets.len() >= MAX_TENANTS && !buckets.contains_key(tenant) {
+            // Prune buckets that have fully refilled — they carry no state
+            // a fresh bucket wouldn't have.
+            buckets.retain(|_, b| {
+                b.tokens + b.last.elapsed().as_secs_f64() * quota.rate < quota.burst
+            });
+        }
+        let bucket = buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket { tokens: quota.burst, last: now });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * quota.rate).min(quota.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64((1.0 - bucket.tokens) / quota.rate))
+        }
+    }
+
+    /// Live token buckets (quota tenants currently tracked).
+    pub fn quota_tenants(&self) -> usize {
+        self.buckets.lock().len()
     }
 
     /// Live session count.
@@ -244,6 +408,43 @@ impl LabHost {
             "Chaos-injected connection hangups (`--chaos kill=`).",
             m.chaos_kills.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "chaos_sheds_total",
+            "Chaos-injected 429 sheds (`--chaos shed=`).",
+            m.chaos_sheds.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "shed_total",
+            "Requests refused with 429/503 instead of served (all causes).",
+            m.shed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "quota_denials_total",
+            "Requests refused because the tenant's token bucket ran dry (429).",
+            m.quota_denials.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "capacity_denials_total",
+            "Batches refused at the in-flight cap (503).",
+            m.capacity_denials.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "drain_denials_total",
+            "Session opens refused while draining (503).",
+            m.drain_denials.load(Ordering::Relaxed),
+        );
+        gauge(&mut out, "quota_tenants", "Live quota token buckets.", self.quota_tenants() as u64);
+        gauge(
+            &mut out,
+            "draining",
+            "1 while the host is draining (refusing new sessions).",
+            self.is_draining() as u64,
+        );
         out
     }
 
@@ -266,6 +467,28 @@ impl LabHost {
                     self.metrics.chaos_kills.fetch_add(1, Ordering::Relaxed);
                     return Response::hangup();
                 }
+                WorkerFault::Shed => {
+                    // Deterministic overload: refuse exactly like a real
+                    // quota denial so client backpressure handling is
+                    // exercised on a replayable schedule.
+                    self.metrics.chaos_sheds.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    return Response::shed(429, "chaos: injected shed", Duration::from_secs(1));
+                }
+            }
+        }
+        // Per-tenant admission: every POST costs one token from the
+        // session's bucket (session creation draws from a shared "open"
+        // bucket). GETs are diagnostics and stay free.
+        if req.method == "POST" && req.path.starts_with("/v1/") {
+            let tenant = req.query_param("session").unwrap_or("open");
+            if let Err(retry_after) = self.admit(tenant) {
+                self.metrics.count_shed(&self.metrics.quota_denials);
+                return Response::shed(
+                    429,
+                    &format!("quota exceeded for tenant '{tenant}'"),
+                    retry_after,
+                );
             }
         }
         match (req.method.as_str(), req.path.as_str()) {
@@ -280,6 +503,10 @@ impl LabHost {
     }
 
     fn create(&self, req: &Request) -> Response {
+        if self.is_draining() {
+            self.metrics.count_shed(&self.metrics.drain_denials);
+            return Response::shed(503, "draining: not accepting new sessions", Duration::from_secs(2));
+        }
         let doc = match from_json(&req.body_text()) {
             Ok(doc) => doc,
             Err(e) => return Response::error(400, &format!("bad config JSON: {e}")),
@@ -359,6 +586,14 @@ impl LabHost {
             Ok(batch) => batch,
             Err(e) => return Response::error(400, &format!("bad batch: {e}")),
         };
+        // Bounded in-flight work: past the cap, shed instead of queuing
+        // more lab execution behind the session locks.
+        if self.max_inflight > 0
+            && self.metrics.batches_inflight.load(Ordering::Relaxed) >= self.max_inflight
+        {
+            self.metrics.count_shed(&self.metrics.capacity_denials);
+            return Response::shed(503, "batch capacity reached", Duration::from_secs(1));
+        }
         // Sessions are driven by one client at a time; the per-session lock
         // serializes stray concurrent submissions without blocking other
         // sessions.
@@ -588,5 +823,115 @@ mod tests {
         assert_eq!(post(&host, "/v1/batch?session=nope", r#"{"run":1,"ratios":[]}"#).status, 404);
         assert_eq!(post(&host, "/v1/close?session=nope", "{}").status, 404);
         assert_eq!(post(&host, "/v1/nothing", "{}").status, 404);
+    }
+
+    fn retry_after(resp: &Response) -> Option<u64> {
+        resp.headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+            .and_then(|(_, value)| value.parse().ok())
+    }
+
+    #[test]
+    fn quota_sheds_over_budget_with_retry_after() {
+        // burst 1 at a slow refill: the first session creation drains the
+        // shared "open" bucket, the second is shed with a back-off hint.
+        let host = LabHost::new().with_quota(QuotaPolicy { rate: 0.5, burst: 1.0 });
+        let first = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+        let session = json(&first).opt_str("session").unwrap().to_string();
+
+        let second = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(second.status, 429, "{}", String::from_utf8_lossy(&second.body));
+        assert!(retry_after(&second).unwrap() >= 1, "shed must carry a Retry-After hint");
+        assert_eq!(host.metrics().quota_denials(), 1);
+        assert_eq!(host.metrics().shed(), 1);
+
+        // The open session is a *different tenant*: its own bucket still
+        // holds a token, so its batch is admitted.
+        let batch = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        );
+        assert_eq!(batch.status, 200, "{}", String::from_utf8_lossy(&batch.body));
+        assert!(host.quota_tenants() >= 2, "per-tenant buckets, not one global");
+
+        let text = host.render_prometheus();
+        assert!(text.contains("sdl_lab_shed_total 1"), "{text}");
+        assert!(text.contains("sdl_lab_quota_denials_total 1"), "{text}");
+    }
+
+    #[test]
+    fn inflight_cap_sheds_batches_as_503() {
+        let host = LabHost::new().with_max_inflight(1);
+        let created = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        let session = json(&created).opt_str("session").unwrap().to_string();
+        // Simulate a batch already executing on another connection.
+        host.metrics.batches_inflight.fetch_add(1, Ordering::Relaxed);
+        let shed = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        );
+        assert_eq!(shed.status, 503, "{}", String::from_utf8_lossy(&shed.body));
+        assert!(retry_after(&shed).is_some());
+        assert_eq!(host.metrics().capacity_denials(), 1);
+        // Capacity frees up: the same batch is admitted and executes.
+        host.metrics.batches_inflight.fetch_sub(1, Ordering::Relaxed);
+        let ok = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        );
+        assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+    }
+
+    #[test]
+    fn drain_refuses_new_sessions_but_finishes_in_flight_work() {
+        let host = LabHost::new();
+        let created = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        let session = json(&created).opt_str("session").unwrap().to_string();
+
+        host.begin_drain();
+        assert!(host.is_draining());
+        let refused = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(refused.status, 503, "{}", String::from_utf8_lossy(&refused.body));
+        assert!(retry_after(&refused).is_some());
+        assert_eq!(host.metrics().drain_denials(), 1);
+
+        // Sessions accepted before the drain run to completion.
+        let batch = post(
+            &host,
+            &format!("/v1/batch?session={session}"),
+            r#"{"run": 1, "ratios": [[0.5, 0.25, 0.0, 0.1], [0.0, 0.0, 0.0, 1.0]]}"#,
+        );
+        assert_eq!(batch.status, 200, "{}", String::from_utf8_lossy(&batch.body));
+        let closed = post(&host, &format!("/v1/close?session={session}"), r#"{"samples": 2}"#);
+        assert_eq!(closed.status, 200);
+        assert!(host.render_prometheus().contains("sdl_lab_draining 1"));
+    }
+
+    #[test]
+    fn shed_chaos_is_a_retryable_429() {
+        let host = LabHost::new().with_chaos(ChaosPolicy::parse("seed=1,shed=1").unwrap());
+        let resp = post(&host, "/v1/experiments", r#"{"samples": 4, "batch": 2}"#);
+        assert_eq!(resp.status, 429);
+        assert!(retry_after(&resp).is_some());
+        assert!(host.render_prometheus().contains("sdl_lab_chaos_sheds_total 1"));
+    }
+
+    #[test]
+    fn quota_policy_parses_rate_and_burst() {
+        assert_eq!(QuotaPolicy::parse("5").unwrap(), QuotaPolicy { rate: 5.0, burst: 5.0 });
+        assert_eq!(
+            QuotaPolicy::parse("2.5:20").unwrap(),
+            QuotaPolicy { rate: 2.5, burst: 20.0 }
+        );
+        assert_eq!(QuotaPolicy::parse("0.5").unwrap().burst, 1.0, "burst floor of one token");
+        assert!(QuotaPolicy::parse("0").is_err());
+        assert!(QuotaPolicy::parse("-1").is_err());
+        assert!(QuotaPolicy::parse("5:0.2").is_err());
+        assert!(QuotaPolicy::parse("nope").is_err());
     }
 }

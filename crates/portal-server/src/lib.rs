@@ -35,7 +35,7 @@ mod pool;
 mod server;
 
 pub use http::{percent_decode, Request, Response};
-pub use lab::{LabHost, LabMetrics, SESSION_TTL};
+pub use lab::{LabHost, LabMetrics, QuotaPolicy, SESSION_TTL};
 pub use metrics::{route_label, ServerMetrics};
 pub use pool::ThreadPool;
 pub use server::{spawn, PortalServer, ServerConfig, ServerHandle};

@@ -22,6 +22,8 @@ pub struct ServerMetrics {
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
     connections: AtomicU64,
+    conns_active: AtomicU64,
+    conn_sheds: AtomicU64,
     bytes_sent: AtomicU64,
 }
 
@@ -46,6 +48,29 @@ impl ServerMetrics {
     /// Record one accepted connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        self.conns_active.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record one connection finishing (accepted earlier).
+    pub fn record_connection_closed(&self) {
+        self.conns_active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Connections accepted and not yet finished (includes ones still
+    /// queued for a pool worker).
+    pub fn active_connections(&self) -> u64 {
+        self.conns_active.load(Ordering::Acquire)
+    }
+
+    /// Record one connection refused at accept because the live-connection
+    /// cap was reached (answered `503` + `Retry-After`, never queued).
+    pub fn record_conn_shed(&self) {
+        self.conn_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed over the cap so far.
+    pub fn conn_sheds(&self) -> u64 {
+        self.conn_sheds.load(Ordering::Relaxed)
     }
 
     /// Record one completed request.
@@ -124,6 +149,17 @@ impl ServerMetrics {
         let _ = writeln!(out, "# HELP {p}_connections_total Connections accepted.");
         let _ = writeln!(out, "# TYPE {p}_connections_total counter");
         let _ = writeln!(out, "{p}_connections_total {}", self.connections.load(Ordering::Relaxed));
+
+        let _ = writeln!(out, "# HELP {p}_conns_active Connections accepted and not yet closed.");
+        let _ = writeln!(out, "# TYPE {p}_conns_active gauge");
+        let _ = writeln!(out, "{p}_conns_active {}", self.conns_active.load(Ordering::Acquire));
+
+        let _ = writeln!(
+            out,
+            "# HELP {p}_conn_sheds_total Connections refused over the live-connection cap."
+        );
+        let _ = writeln!(out, "# TYPE {p}_conn_sheds_total counter");
+        let _ = writeln!(out, "{p}_conn_sheds_total {}", self.conn_sheds.load(Ordering::Relaxed));
 
         let _ = writeln!(out, "# HELP {p}_body_bytes_sent_total Body bytes written.");
         let _ = writeln!(out, "# TYPE {p}_body_bytes_sent_total counter");

@@ -4,6 +4,7 @@
 //! pool closes the channel and joins every worker, so shutdown is a normal
 //! destructor rather than a special protocol.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -11,10 +12,16 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Fixed set of worker threads consuming a shared job queue.
+///
+/// The channel itself is unbounded; admission control lives above the
+/// pool (the accept loop sheds connections past its cap before they ever
+/// become jobs), and [`ThreadPool::queued`] exposes the depth so callers
+/// can bound and observe it.
 #[derive(Debug)]
 pub struct ThreadPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicUsize>,
 }
 
 impl ThreadPool {
@@ -23,9 +30,11 @@ impl ThreadPool {
         let size = size.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
         let workers = (0..size)
             .map(|i| {
                 let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("portal-worker-{i}"))
                     .spawn(move || loop {
@@ -34,14 +43,17 @@ impl ThreadPool {
                             Err(_) => break,
                         };
                         match job {
-                            Ok(job) => job(),
+                            Ok(job) => {
+                                queued.fetch_sub(1, Ordering::Relaxed);
+                                job()
+                            }
                             Err(_) => break, // channel closed: pool dropped
                         }
                     })
                     .expect("spawn portal worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers }
+        ThreadPool { tx: Some(tx), workers, queued }
     }
 
     /// Number of worker threads.
@@ -49,12 +61,25 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Shared handle to the queue-depth gauge (for `/metrics`).
+    pub fn depth_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.queued)
+    }
+
     /// Queue a job; runs on the first free worker.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         if let Some(tx) = &self.tx {
+            self.queued.fetch_add(1, Ordering::Relaxed);
             // Send only fails when every worker has exited, which cannot
             // happen while the pool is alive; drop the job in that case.
-            let _ = tx.send(Box::new(job));
+            if tx.send(Box::new(job)).is_err() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 }

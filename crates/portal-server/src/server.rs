@@ -1,6 +1,6 @@
 //! Routing and the accept/serve loop.
 
-use crate::http::{self, ParseError, Request, Response};
+use crate::http::{self, DeadlineStream, ParseError, Request, Response};
 use crate::lab::LabHost;
 use crate::metrics::ServerMetrics;
 use crate::pool::ThreadPool;
@@ -32,7 +32,7 @@ const MAX_POLL: Duration = Duration::from_secs(25);
 /// How often the SSE writer wakes to check for shutdown while idle.
 const SSE_SLICE: Duration = Duration::from_millis(250);
 
-/// How the server binds and sizes itself.
+/// How the server binds, sizes and bounds itself.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
@@ -42,12 +42,42 @@ pub struct ServerConfig {
     /// until the peer closes or goes idle (~10 s), so size this at or
     /// above the number of concurrent clients you expect.
     pub threads: usize,
+    /// Live-connection cap (`0` = unlimited): connections accepted past it
+    /// are answered `503` + `Retry-After` in the accept thread and closed,
+    /// never queued — the work queue stays bounded under any client load.
+    pub max_conns: usize,
+    /// Requests served per keep-alive connection before the server closes
+    /// it (`Connection: close`); `0` = unlimited. Bounds the lifetime a
+    /// single client can pin one pool worker.
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before it is reaped.
+    pub idle_timeout: Duration,
+    /// Once the first byte of a request arrives, the whole head + body
+    /// must land within this deadline — a trickling client (slow loris)
+    /// gets `408` and the connection closed, not a parked worker.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { addr: "127.0.0.1:0".to_string(), threads: 8 }
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 8,
+            max_conns: 256,
+            max_requests_per_conn: 10_000,
+            idle_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(10),
+        }
     }
+}
+
+/// The per-connection slice of [`ServerConfig`] handed to every handler.
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    max_requests: usize,
+    idle_timeout: Duration,
+    request_deadline: Duration,
 }
 
 /// The portal front-end: routes requests against a live [`AcdcPortal`] and
@@ -67,6 +97,13 @@ pub struct PortalServer {
     /// Set by [`ServerHandle`] teardown so streaming responses
     /// (`/events/stream`) let go of their pool worker promptly.
     closing: AtomicBool,
+    /// Set by [`PortalServer::begin_drain`]: new sessions are refused,
+    /// in-flight work finishes, keep-alive connections close after their
+    /// next response.
+    draining: AtomicBool,
+    /// The accept pool's queue-depth gauge, wired up by [`spawn`] (stays
+    /// zero for a routing-only server that was never spawned).
+    queue_depth: Arc<std::sync::atomic::AtomicUsize>,
     started: Instant,
 }
 
@@ -82,8 +119,26 @@ impl PortalServer {
             events: None,
             watch: Mutex::new((1, ProgressModel::default())),
             closing: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            queue_depth: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
             started: Instant::now(),
         }
+    }
+
+    /// Enter drain mode: the lab host (when present) refuses new sessions
+    /// with `503` + `Retry-After`, in-flight batches run to completion, and
+    /// every keep-alive connection is closed after its next response.
+    /// Irreversible; used by `sdl-lab serve` on SIGTERM before shutdown.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        if let Some(lab) = &self.lab {
+            lab.begin_drain();
+        }
+    }
+
+    /// True once [`PortalServer::begin_drain`] was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Builder: also host the `POST /v1/*` batch-execution API, making
@@ -333,6 +388,35 @@ impl PortalServer {
             self.store.total_bytes(),
             self.started.elapsed(),
         );
+        {
+            use std::fmt::Write as _;
+            let _ = writeln!(text, "# HELP sdl_portal_queue_depth Connections queued for a pool worker.");
+            let _ = writeln!(text, "# TYPE sdl_portal_queue_depth gauge");
+            let _ = writeln!(
+                text,
+                "sdl_portal_queue_depth {}",
+                self.queue_depth.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(text, "# HELP sdl_portal_draining 1 while the server drains for shutdown.");
+            let _ = writeln!(text, "# TYPE sdl_portal_draining gauge");
+            let _ = writeln!(
+                text,
+                "sdl_portal_draining {}",
+                if self.is_draining() { 1 } else { 0 }
+            );
+            let _ = writeln!(
+                text,
+                "# HELP sdl_portal_blob_evictions_total Blobs evicted from memory to spill files."
+            );
+            let _ = writeln!(text, "# TYPE sdl_portal_blob_evictions_total counter");
+            let _ = writeln!(text, "sdl_portal_blob_evictions_total {}", self.store.evictions());
+            let _ = writeln!(
+                text,
+                "# HELP sdl_portal_blob_reloads_total Evicted blobs reloaded from spill files."
+            );
+            let _ = writeln!(text, "# TYPE sdl_portal_blob_reloads_total counter");
+            let _ = writeln!(text, "sdl_portal_blob_reloads_total {}", self.store.reloads());
+        }
         // Worker mode: the batch-execution dispatch metrics ride along.
         if let Some(lab) = &self.lab {
             text.push_str(&lab.render_prometheus());
@@ -484,23 +568,63 @@ impl Drop for ServerHandle {
 pub fn spawn(server: PortalServer, config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let pool = ThreadPool::new(config.threads);
+    let mut server = server;
+    server.queue_depth = pool.depth_gauge();
     let server = Arc::new(server);
     let shutdown = Arc::new(AtomicBool::new(false));
-    let threads = config.threads;
+    let max_conns = config.max_conns;
+    let limits = ConnLimits {
+        max_requests: config.max_requests_per_conn,
+        idle_timeout: config.idle_timeout,
+        request_deadline: config.request_deadline,
+    };
 
     let accept_server = Arc::clone(&server);
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread =
         std::thread::Builder::new().name("portal-accept".to_string()).spawn(move || {
-            let pool = ThreadPool::new(threads);
             for conn in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                // Admission control: past the live-connection cap the
+                // accept thread itself answers an immediate 503 +
+                // Retry-After and hangs up — the connection never queues,
+                // so memory and queue depth stay bounded however many
+                // clients pile in.
+                if max_conns > 0
+                    && accept_server.metrics.active_connections() >= max_conns as u64
+                {
+                    accept_server.metrics.record_conn_shed();
+                    let resp =
+                        Response::shed(503, "connection limit reached", Duration::from_secs(1));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let mut writer = BufWriter::new(&stream);
+                    if http::write_response(&mut writer, &resp, false, true).is_ok() {
+                        // Drain the request bytes the client already sent
+                        // (briefly, bounded) so closing sends a clean FIN
+                        // rather than an RST that races the 503 off the
+                        // peer's socket before it can read it.
+                        use std::io::Read as _;
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                        let mut sink = [0u8; 1024];
+                        for _ in 0..8 {
+                            match (&stream).read(&mut sink) {
+                                Ok(n) if n > 0 => continue,
+                                _ => break,
+                            }
+                        }
+                    }
+                    continue;
+                }
                 accept_server.metrics.record_connection();
                 let server = Arc::clone(&accept_server);
-                pool.execute(move || handle_connection(&server, stream));
+                pool.execute(move || {
+                    handle_connection(&server, stream, limits);
+                    server.metrics.record_connection_closed();
+                });
             }
             // Dropping the pool joins every worker, so `shutdown` returns
             // only after in-flight requests finish.
@@ -509,21 +633,38 @@ pub fn spawn(server: PortalServer, config: &ServerConfig) -> std::io::Result<Ser
     Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), server })
 }
 
-/// Serve one connection: keep-alive loop of request → route → response.
-fn handle_connection(server: &PortalServer, stream: TcpStream) {
+/// Serve one connection: keep-alive loop of request → route → response,
+/// bounded by [`ConnLimits`] — idle reaping, a whole-request deadline
+/// (slow-loris protection), and a max-requests-per-connection cap.
+fn handle_connection(server: &PortalServer, stream: TcpStream, limits: ConnLimits) {
     let _ = stream.set_nodelay(true);
-    // Idle keep-alive connections are reaped so workers cannot be held
-    // hostage forever by a silent peer.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let Ok(write_half) = stream.try_clone() else { return };
+    // Idle keep-alive connections are reaped, and once a request's first
+    // byte arrives the whole head + body must land within the deadline —
+    // a trickling peer cannot park this worker.
+    let mut reader = BufReader::new(DeadlineStream::new(
+        &stream,
+        limits.idle_timeout,
+        limits.request_deadline,
+    ));
+    let mut writer = BufWriter::new(write_half);
+    let mut served = 0usize;
 
     loop {
+        reader.get_mut().start_request();
         let req = match http::read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => break,
-            Err(ParseError::Io(_)) => break,
+            Err(ParseError::Io(_)) => {
+                if reader.get_ref().deadline_expired() {
+                    // A started-but-never-finished request: tell the slow
+                    // loris why it was cut off, then hang up.
+                    let resp = Response::error(408, "request read deadline exceeded");
+                    server.metrics.record_request("bad", 408, Duration::ZERO, resp.body.len());
+                    let _ = http::write_response(&mut writer, &resp, false, true);
+                }
+                break;
+            }
             Err(e) => {
                 let status = if matches!(e, ParseError::TooLarge) { 431 } else { 400 };
                 let resp = Response::error(status, &e.to_string());
@@ -552,7 +693,10 @@ fn handle_connection(server: &PortalServer, stream: TcpStream) {
         // responses keep the connection in sync; only oversized/garbage
         // requests close, and those are handled in the parse-error branch
         // above.
-        let close = req.wants_close();
+        served += 1;
+        let close = req.wants_close()
+            || server.is_draining()
+            || (limits.max_requests > 0 && served >= limits.max_requests);
         let sent = if head_only { 0 } else { resp.body.len() };
         server.metrics.record_request(&req.path, resp.status, started.elapsed(), sent);
         if http::write_response(&mut writer, &resp, head_only, close).is_err() || close {

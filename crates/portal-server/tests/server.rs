@@ -55,7 +55,7 @@ fn seeded() -> (Arc<AcdcPortal>, Arc<BlobStore>, String) {
 fn live_server() -> (sdl_portal_server::ServerHandle, String) {
     let (portal, store, blob) = seeded();
     let server = PortalServer::new(portal, store);
-    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads: 8 }).unwrap();
+    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads: 8, ..ServerConfig::default() }).unwrap();
     (handle, blob)
 }
 
@@ -65,7 +65,7 @@ fn batch_execution_api_over_real_sockets() {
     // the crate's own keep-alive client (request bodies over the wire).
     let server = PortalServer::new(Arc::new(AcdcPortal::new()), Arc::new(BlobStore::in_memory()))
         .with_lab(Arc::new(sdl_portal_server::LabHost::new()));
-    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads: 4 }).unwrap();
+    let handle = spawn(server, &ServerConfig { addr: "127.0.0.1:0".into(), threads: 4, ..ServerConfig::default() }).unwrap();
     let addr = handle.addr();
 
     let mut c = HttpClient::connect(addr).unwrap();
@@ -206,7 +206,7 @@ fn records_stream_live_while_server_runs() {
     let store = Arc::new(BlobStore::in_memory());
     let handle = spawn(
         PortalServer::new(Arc::clone(&portal), store),
-        &ServerConfig { addr: "127.0.0.1:0".into(), threads: 2 },
+        &ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServerConfig::default() },
     )
     .unwrap();
     let addr = handle.addr();

@@ -18,7 +18,9 @@
 //! sdl-lab portal --import FILE [--experiment ID] [--run N]
 //! sdl-lab serve [--import FILE | --campaign FILE] [--addr HOST:PORT]
 //!               [--threads N] [--campaign-threads T] [--blob-dir DIR]
-//!               [--event-log FILE] [--chaos SPEC]
+//!               [--event-log FILE] [--chaos SPEC] [--max-conns N]
+//!               [--quota RATE[:BURST]] [--max-inflight N]
+//!               [--blob-mem-cap BYTES]
 //! sdl-lab watch URL [--once] [--interval-ms N]
 //! sdl-lab workcell
 //! sdl-lab help
@@ -179,8 +181,23 @@ serve options (no flags = empty portal in lab-worker mode):
                       from an in-memory log; FILE makes it crash-resumable)
   --chaos SPEC        misbehave as a lab worker, deterministically, e.g.
                       'seed=3,stall=0.1,error=0.05,kill=0.01'; keys: seed,
-                      stall, error, kill, stall_ms ('/healthz' is never
+                      stall, error, kill, shed, stall_ms ('/healthz' is never
                       chaos'd, so schedulers can still probe and readmit)
+  --max-conns N       live-connection cap; connections over the cap are
+                      answered 503 + Retry-After at accept, never queued
+                      (default 256; 0 = unlimited)
+  --quota RATE[:BURST] per-tenant token-bucket quota on the /v1 batch API
+                      (tenant = session id); over budget answers 429 +
+                      Retry-After, e.g. '50' or '100:200' (RATE tokens/s,
+                      BURST bucket size, default BURST = 2*RATE)
+  --max-inflight N    cap concurrently executing /v1/batch requests; over
+                      the cap answers 503 + Retry-After (default unlimited)
+  --blob-mem-cap B    in-memory blob ceiling in bytes ('64k'/'16m'/'1g'
+                      suffixes ok); over the cap the least-recently-used
+                      blobs drop to the --blob-dir spill files and reload
+                      hash-verified on demand (needs --blob-dir)
+  (SIGTERM drains gracefully: new sessions are refused 503, in-flight
+  batches finish, the event log is flushed, then the process exits 0)
 
 watch options (URL is a 'sdl-lab serve' address, e.g. http://127.0.0.1:8323):
   --once              render the current campaign state once and exit
@@ -234,6 +251,20 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn flag_present(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (powers of 1024),
+/// e.g. `65536`, `64k`, `16m`.
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: usize = digits.trim().parse().map_err(|_| "expected BYTES[k|m|g]".to_string())?;
+    n.checked_mul(mult).ok_or_else(|| "byte count overflows".to_string())
 }
 
 fn build_config(args: &[String]) -> Result<AppConfig, String> {
@@ -649,7 +680,7 @@ fn finish_campaign(args: &[String], report: &CampaignReport) -> Result<(), Strin
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use sdl_lab::datapub::{AcdcPortal, BlobStore};
-    use sdl_lab::portal_server::{spawn, LabHost, PortalServer, ServerConfig};
+    use sdl_lab::portal_server::{spawn, LabHost, PortalServer, QuotaPolicy, ServerConfig};
     use std::sync::Arc;
 
     let import = flag_value(args, "--import");
@@ -664,9 +695,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     let portal = Arc::new(AcdcPortal::new());
+    let mem_cap = match flag_value(args, "--blob-mem-cap") {
+        Some(v) => Some(parse_bytes(v).map_err(|e| format!("bad --blob-mem-cap '{v}': {e}"))?),
+        None => None,
+    };
     let store: Arc<BlobStore> = match flag_value(args, "--blob-dir") {
-        Some(dir) => Arc::new(BlobStore::open_spill_dir(dir).map_err(|e| format!("{dir}: {e}"))?),
-        None => Arc::new(BlobStore::in_memory()),
+        Some(dir) => {
+            let mut store = BlobStore::open_spill_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+            if let Some(cap) = mem_cap {
+                store = store.with_mem_cap(cap);
+                eprintln!("blob memory cap: {cap} bytes (LRU eviction over the spill dir)");
+            }
+            Arc::new(store)
+        }
+        None => {
+            if mem_cap.is_some() {
+                eprintln!("--blob-mem-cap ignored without --blob-dir (no spill dir to evict into)");
+            }
+            Arc::new(BlobStore::in_memory())
+        }
     };
 
     if let Some(path) = import {
@@ -743,6 +790,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag_value(args, "--threads") {
         config.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
     }
+    if let Some(v) = flag_value(args, "--max-conns") {
+        config.max_conns = v.parse().map_err(|_| format!("bad --max-conns '{v}'"))?;
+    }
 
     // Every served portal also hosts the batch-execution API, so any
     // `sdl-lab serve` process doubles as a lab worker for remote sessions.
@@ -753,6 +803,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             eprintln!("worker chaos armed: {spec}");
         }
         lab = lab.with_chaos(policy);
+    }
+    if let Some(spec) = flag_value(args, "--quota") {
+        let quota = QuotaPolicy::parse(spec).map_err(|e| format!("bad --quota: {e}"))?;
+        eprintln!("per-tenant quota armed: {spec} (over budget answers 429 + Retry-After)");
+        lab = lab.with_quota(quota);
+    }
+    if let Some(v) = flag_value(args, "--max-inflight") {
+        let n: u64 = v.parse().map_err(|_| format!("bad --max-inflight '{v}'"))?;
+        lab = lab.with_max_inflight(n);
     }
     let mut server = PortalServer::new(portal, store).with_lab(Arc::new(lab));
     if let Some(log) = event_log {
@@ -768,13 +827,73 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     eprintln!(
         "endpoints: /records /events /summary /runs/<run> /blobs/<ref> /healthz /metrics \
-         (Ctrl-C to stop)"
+         (SIGTERM drains gracefully, Ctrl-C stops immediately)"
     );
-    handle.join();
-    if let Some(worker) = campaign_worker {
-        let _ = worker.join();
+    #[cfg(unix)]
+    {
+        // SIGTERM triggers a graceful drain instead of killing the process:
+        // refuse new sessions, finish in-flight /v1 batches, flush the
+        // event log, then exit 0 so orchestrators see a clean stop.
+        term_signal::install();
+        while !term_signal::received() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        eprintln!("SIGTERM: draining (refusing new sessions, finishing in-flight batches)");
+        let server = Arc::clone(handle.server());
+        server.begin_drain();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        if let Some(lab) = server.lab() {
+            while lab.metrics().inflight() > 0 && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        if let Some(log) = server.events() {
+            log.sync();
+        }
+        handle.shutdown();
+        // A campaign still running its scenario matrix is not waited for:
+        // its progress is already durable in the (just-synced) event log
+        // and can be finished with `campaign --resume`.
+        drop(campaign_worker);
+        eprintln!("drained: in-flight batches finished, event log flushed");
+        Ok(())
     }
-    Ok(())
+    #[cfg(not(unix))]
+    {
+        handle.join();
+        if let Some(worker) = campaign_worker {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// SIGTERM → drain flag for `serve`. `std` has no signal API and the
+/// build is dependency-free, so this declares `signal(2)` directly; the
+/// handler only stores into an atomic (async-signal-safe).
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
 }
 
 /// `sdl-lab watch URL` — a live terminal dashboard over `GET /events`.
